@@ -1,0 +1,62 @@
+// Ablation A2 (F5 design): full control-flow logging (every transfer's
+// destination, as the paper describes) vs the optimized variant that logs
+// only non-deterministic transfers (conditional outcomes, returns, indirect
+// calls). Vrf can reconstruct the path either way; the trade-off is log
+// bytes + cycles vs verifier work.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using dialed::bench::bench_key;
+using dialed::bench::measure;
+
+void BM_run_cfmode(benchmark::State& state) {
+  const auto app =
+      dialed::apps::evaluation_apps()[static_cast<std::size_t>(state.range(0))];
+  dialed::instr::pass_options popts;
+  popts.optimized_cf = state.range(1) != 0;
+  const auto prog = dialed::apps::build_app(
+      app, dialed::instr::instrumentation::dialed, popts);
+  dialed::proto::prover_device dev(prog, bench_key());
+  std::array<std::uint8_t, 16> chal{};
+  for (auto _ : state) {
+    dev.invoke(chal, app.representative_input);
+  }
+  state.counters["log_bytes"] = dev.last_log_bytes();
+  state.counters["op_cycles"] = static_cast<double>(dev.last_op_cycles());
+  state.SetLabel(app.name + (popts.optimized_cf ? "/optimized" : "/full"));
+}
+BENCHMARK(BM_run_cfmode)
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==========================================================\n");
+  std::printf("DIALED reproduction — ablation A2: CF logging granularity\n");
+  std::printf("==========================================================\n");
+  std::printf("\n%-18s %18s %18s\n", "Application", "full CF log",
+              "optimized CF log");
+  for (const auto& app : dialed::apps::evaluation_apps()) {
+    const auto full = measure(app, dialed::instr::instrumentation::dialed);
+    dialed::instr::pass_options opt;
+    opt.optimized_cf = true;
+    const auto lean =
+        measure(app, dialed::instr::instrumentation::dialed, opt);
+    std::printf("%-18s %14d B   %14d B   (log bytes)\n", app.name.c_str(),
+                full.log_bytes, lean.log_bytes);
+    std::printf("%-18s %14zu B   %14zu B   (code bytes)\n", "",
+                full.code_size, lean.code_size);
+    std::printf("%-18s %14llu cy  %14llu cy  (op cycles)\n", "",
+                static_cast<unsigned long long>(full.op_cycles),
+                static_cast<unsigned long long>(lean.op_cycles));
+  }
+  std::printf("\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

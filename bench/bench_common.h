@@ -1,0 +1,82 @@
+// Shared helpers for the benchmark harnesses reproducing the paper's
+// evaluation (§V): build each evaluation app at each instrumentation level
+// and measure ER size, op runtime (cycles) and OR log bytes.
+#ifndef DIALED_BENCH_BENCH_COMMON_H
+#define DIALED_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "proto/prover.h"
+
+namespace dialed::bench {
+
+inline byte_vec bench_key() { return byte_vec(32, 0x42); }
+
+struct measurement {
+  std::string app;
+  std::string mode;
+  std::size_t code_size = 0;   ///< ER bytes (Fig. 6a)
+  std::uint64_t op_cycles = 0; ///< op runtime in MCU cycles (Fig. 6b)
+  int log_bytes = 0;           ///< CF-Log + I-Log bytes in OR (Fig. 6c)
+};
+
+/// Build + run one app at one instrumentation level on its representative
+/// workload, returning the paper's three Fig. 6 quantities.
+inline measurement measure(const apps::app_spec& app,
+                           instr::instrumentation mode,
+                           const instr::pass_options& popts = {}) {
+  const auto prog = apps::build_app(app, mode, popts);
+  proto::prover_device dev(prog, bench_key());
+  std::array<std::uint8_t, 16> chal{};
+  dev.invoke(chal, app.representative_input);
+  measurement m;
+  m.app = app.name;
+  m.mode = to_string(mode);
+  m.code_size = prog.code_size();
+  m.op_cycles = dev.last_op_cycles();
+  m.log_bytes = dev.last_log_bytes();
+  return m;
+}
+
+/// All apps x all instrumentation levels.
+inline std::vector<measurement> measure_all(
+    const instr::pass_options& popts = {}) {
+  std::vector<measurement> out;
+  for (const auto& app : apps::evaluation_apps()) {
+    for (const auto mode :
+         {instr::instrumentation::none, instr::instrumentation::tinycfa,
+          instr::instrumentation::dialed}) {
+      out.push_back(measure(app, mode, popts));
+    }
+  }
+  return out;
+}
+
+inline void print_series(const char* title, const char* unit,
+                         const std::vector<measurement>& ms,
+                         std::uint64_t measurement::*field_u64,
+                         std::size_t measurement::*field_sz,
+                         int measurement::*field_int) {
+  std::printf("\n%s\n", title);
+  std::printf("%-18s %14s %14s %14s\n", "Application", "Original",
+              "Tiny-CFA", "DIALED");
+  for (const auto& app : apps::evaluation_apps()) {
+    double v[3] = {0, 0, 0};
+    for (const auto& m : ms) {
+      if (m.app != app.name) continue;
+      int idx = m.mode == "Original" ? 0 : (m.mode == "Tiny-CFA" ? 1 : 2);
+      if (field_u64 != nullptr) v[idx] = static_cast<double>(m.*field_u64);
+      if (field_sz != nullptr) v[idx] = static_cast<double>(m.*field_sz);
+      if (field_int != nullptr) v[idx] = static_cast<double>(m.*field_int);
+    }
+    std::printf("%-18s %11.0f %s %11.0f %s %11.0f %s\n", app.name.c_str(),
+                v[0], unit, v[1], unit, v[2], unit);
+  }
+}
+
+}  // namespace dialed::bench
+
+#endif  // DIALED_BENCH_BENCH_COMMON_H

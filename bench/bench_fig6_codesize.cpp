@@ -1,0 +1,61 @@
+// Fig. 6(a) reproduction: total code size (bytes) of each evaluation app —
+// unmodified, Tiny-CFA-instrumented (CFA), and DIALED-instrumented
+// (CFA+DFA). The paper's shape: overhead dominated by the CFA
+// instrumentation; DIALED adds 1-20% on top of Tiny-CFA.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using dialed::bench::bench_key;
+using dialed::bench::measure_all;
+
+void BM_toolchain_build(benchmark::State& state) {
+  // Throughput of the full compile+instrument+assemble pipeline.
+  const auto app =
+      dialed::apps::evaluation_apps()[static_cast<std::size_t>(state.range(0))];
+  const auto mode = static_cast<dialed::instr::instrumentation>(state.range(1));
+  std::size_t size = 0;
+  for (auto _ : state) {
+    const auto prog = dialed::apps::build_app(app, mode);
+    size = prog.code_size();
+    benchmark::DoNotOptimize(prog);
+  }
+  state.counters["code_bytes"] = static_cast<double>(size);
+  state.SetLabel(app.name + "/" + to_string(mode));
+}
+BENCHMARK(BM_toolchain_build)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==========================================================\n");
+  std::printf("DIALED reproduction — Fig. 6(a): code size\n");
+  std::printf("==========================================================\n");
+  const auto ms = measure_all();
+  dialed::bench::print_series("Total code size (ER bytes)", "B", ms, nullptr,
+                              &dialed::bench::measurement::code_size,
+                              nullptr);
+  // Shape checks reported inline.
+  for (const auto& app : dialed::apps::evaluation_apps()) {
+    double orig = 0, cfa = 0, dfa = 0;
+    for (const auto& m : ms) {
+      if (m.app != app.name) continue;
+      if (m.mode == "Original") orig = static_cast<double>(m.code_size);
+      if (m.mode == "Tiny-CFA") cfa = static_cast<double>(m.code_size);
+      if (m.mode == "DIALED") dfa = static_cast<double>(m.code_size);
+    }
+    std::printf("%-18s DIALED over Tiny-CFA: +%.1f%% (paper: 1-20%%); "
+                "Tiny-CFA over original: +%.0f%%\n",
+                app.name.c_str(), 100.0 * (dfa - cfa) / cfa,
+                100.0 * (cfa - orig) / orig);
+  }
+  std::printf("\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 6(b) reproduction: runtime (MCU cycles) of one embedded-operation
+// invocation — unmodified vs Tiny-CFA vs DIALED. Cycle counts come from the
+// emulator's SLAU049 timing model, so they are architectural quantities
+// (startup and SW-Att are metered out, as in the paper).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using dialed::bench::bench_key;
+using dialed::bench::measure;
+using dialed::bench::measure_all;
+
+void BM_attested_invocation(benchmark::State& state) {
+  // Host-side wall time of one full attested round (run + SW-Att).
+  const auto app =
+      dialed::apps::evaluation_apps()[static_cast<std::size_t>(state.range(0))];
+  const auto mode = static_cast<dialed::instr::instrumentation>(state.range(1));
+  const auto prog = dialed::apps::build_app(app, mode);
+  dialed::proto::prover_device dev(prog, bench_key());
+  std::array<std::uint8_t, 16> chal{};
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    dev.invoke(chal, app.representative_input);
+    cycles = dev.last_op_cycles();
+  }
+  state.counters["op_cycles"] = static_cast<double>(cycles);
+  state.SetLabel(app.name + "/" + to_string(mode));
+}
+BENCHMARK(BM_attested_invocation)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==========================================================\n");
+  std::printf("DIALED reproduction — Fig. 6(b): runtime (cycles)\n");
+  std::printf("==========================================================\n");
+  const auto ms = measure_all();
+  dialed::bench::print_series("Op runtime (MCU cycles)", "cy", ms,
+                              &dialed::bench::measurement::op_cycles, nullptr,
+                              nullptr);
+  for (const auto& app : dialed::apps::evaluation_apps()) {
+    double orig = 0, cfa = 0, dfa = 0;
+    for (const auto& m : ms) {
+      if (m.app != app.name) continue;
+      if (m.mode == "Original") orig = static_cast<double>(m.op_cycles);
+      if (m.mode == "Tiny-CFA") cfa = static_cast<double>(m.op_cycles);
+      if (m.mode == "DIALED") dfa = static_cast<double>(m.op_cycles);
+    }
+    std::printf("%-18s DIALED over Tiny-CFA: +%.1f%% (paper: 1-20%%); "
+                "Tiny-CFA over original: +%.0f%%\n",
+                app.name.c_str(), 100.0 * (dfa - cfa) / cfa,
+                100.0 * (cfa - orig) / orig);
+  }
+  std::printf("\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

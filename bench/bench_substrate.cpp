@@ -1,0 +1,137 @@
+// Substrate microbenchmarks (A3): the building blocks' host-side
+// performance — HMAC-SHA256 throughput (SW-Att's workload), emulator
+// instruction throughput, toolchain latency, and verifier replay speed.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "crypto/hmac.h"
+#include "masm/masm.h"
+#include "verifier/verifier.h"
+
+namespace {
+
+using dialed::byte_vec;
+using dialed::bench::bench_key;
+
+void BM_hmac_sha256(benchmark::State& state) {
+  const byte_vec key(32, 0x11);
+  byte_vec data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  for (auto _ : state) {
+    const auto mac = dialed::crypto::hmac_sha256::compute(key, data);
+    benchmark::DoNotOptimize(mac);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_hmac_sha256)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_emulator_mips(benchmark::State& state) {
+  // A tight counted loop: 3 instructions per iteration.
+  dialed::emu::memory_map map;
+  const auto img = dialed::masm::assemble_text(
+      "        .org 0xc000\n"
+      "__start:\n"
+      "        mov #50000, r15\n"
+      "loop:   dec r15\n"
+      "        jne loop\n"
+      "        mov #1, &HALT_PORT\n"
+      "        .org RESET_VECTOR\n"
+      "        .word __start\n",
+      map.predefined_symbols());
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    dialed::emu::machine m(map);
+    m.load(img);
+    m.reset();
+    m.run(10'000'000);
+    instructions += 100'003;
+  }
+  state.counters["emulated_instr_per_s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_emulator_mips)->Unit(benchmark::kMillisecond);
+
+void BM_assembler(benchmark::State& state) {
+  std::string src = "        .org 0xc000\n";
+  for (int i = 0; i < 200; ++i) {
+    src += "l" + std::to_string(i) + ": mov #" + std::to_string(i) +
+           ", r15\n        add r15, r14\n";
+  }
+  for (auto _ : state) {
+    const auto img = dialed::masm::assemble_text(src);
+    benchmark::DoNotOptimize(img);
+  }
+}
+BENCHMARK(BM_assembler)->Unit(benchmark::kMillisecond);
+
+void BM_full_attestation_round(benchmark::State& state) {
+  // Device run + SW-Att + Vrf verification (MAC + abstract execution).
+  const auto app = dialed::apps::evaluation_apps()[1];  // FireSensor
+  const auto prog =
+      dialed::apps::build_app(app, dialed::instr::instrumentation::dialed);
+  dialed::proto::prover_device dev(prog, bench_key());
+  dialed::verifier::op_verifier vrf(prog, bench_key());
+  std::array<std::uint8_t, 16> chal{};
+  for (auto _ : state) {
+    const auto rep = dev.invoke(chal, app.representative_input);
+    const auto v = vrf.verify(rep);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_full_attestation_round)->Unit(benchmark::kMillisecond);
+
+void BM_verifier_replay_scaling(benchmark::State& state) {
+  // Vrf-side abstract-execution cost as a function of attested work (the
+  // loop count drives both op length and log size).
+  const auto n = static_cast<std::uint16_t>(state.range(0));
+  dialed::instr::link_options lo;
+  lo.entry = "op";
+  lo.mode = dialed::instr::instrumentation::dialed;
+  const auto prog = dialed::instr::build_operation(
+      "int g = 3;"
+      "int op(int n) { int s = 0; int i;"
+      "  for (i = 0; i < n; i++) { s = s + g + i; } return s; }",
+      lo);
+  dialed::proto::prover_device dev(prog, bench_key());
+  dialed::verifier::op_verifier vrf(prog, bench_key());
+  std::array<std::uint8_t, 16> chal{};
+  dialed::proto::invocation inv;
+  inv.args[0] = n;
+  const auto rep = dev.invoke(chal, inv);
+  double instructions = 0;
+  for (auto _ : state) {
+    const auto v = vrf.verify(rep);
+    instructions = static_cast<double>(v.replay_instructions);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["replayed_instr"] = instructions;
+  state.counters["log_bytes"] = dev.last_log_bytes();
+}
+BENCHMARK(BM_verifier_replay_scaling)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_swatt_device_cost(benchmark::State& state) {
+  // The modelled on-device cost of SW-Att in MCU cycles (context output).
+  const auto app = dialed::apps::evaluation_apps()[1];
+  const auto prog =
+      dialed::apps::build_app(app, dialed::instr::instrumentation::dialed);
+  dialed::proto::prover_device dev(prog, bench_key());
+  std::array<std::uint8_t, 16> chal{};
+  std::uint64_t swatt_cycles = 0;
+  for (auto _ : state) {
+    dev.invoke(chal, app.representative_input);
+    swatt_cycles = dev.rot().vrased().last_swatt_cycles();
+  }
+  state.counters["swatt_mcu_cycles"] = static_cast<double>(swatt_cycles);
+}
+BENCHMARK(BM_swatt_device_cost)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// The paper's running example (§II-B): a networked syringe pump with a
+// dose-safety check, attacked two ways —
+//
+//   Fig. 1: a control-flow attack smashes a return address to reach the
+//           actuation code while skipping `dose < 10`;
+//   Fig. 2: a data-only attack overflows `settings[]` onto the adjacent
+//           actuation mask `set`, disabling injection WITHOUT changing the
+//           control flow (invisible to CFA; caught by DIALED).
+//
+// Build & run:  ./examples/medical_device
+#include <cstdio>
+
+#include "apps/apps.h"
+#include "proto/prover.h"
+#include "proto/session.h"
+
+using namespace dialed;
+
+namespace {
+
+void report_verdict(const char* label, const verifier::verdict& v) {
+  std::printf("%-34s -> %s\n", label, v.accepted ? "ACCEPTED" : "REJECTED");
+  for (const auto& f : v.findings) {
+    std::printf("    %-22s %s\n", verifier::to_string(f.kind).c_str(),
+                f.detail.c_str());
+  }
+}
+
+void actuation_trace(emu::machine& m) {
+  const auto& h = m.gpio().history();
+  if (h.empty()) {
+    std::printf("    actuation: none\n");
+    return;
+  }
+  std::printf("    actuation:");
+  for (const auto& w : h) std::printf(" P3OUT=%u", w.value);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const byte_vec key(32, 0x99);
+
+  std::printf("=== Fig. 1: control-flow attack ===\n");
+  {
+    const auto prog =
+        apps::build_app(apps::fig1_app(), instr::instrumentation::dialed);
+    proto::prover_device dev(prog, key);
+    proto::verifier_session vrf(prog, key);
+    vrf.core().add_policy(apps::dose_actuation_policy());
+
+    auto v = vrf.check(dev.invoke(vrf.new_challenge(), apps::fig1_benign(5)));
+    report_verdict("benign: inject 5 units", v);
+    actuation_trace(dev.machine());
+
+    v = vrf.check(dev.invoke(vrf.new_challenge(), apps::fig1_benign(12)));
+    report_verdict("benign: request 12 units (blocked)", v);
+    actuation_trace(dev.machine());
+
+    v = vrf.check(
+        dev.invoke(vrf.new_challenge(), apps::fig1_attack(prog, 15)));
+    report_verdict("ATTACK: smash RA, dose 15", v);
+    actuation_trace(dev.machine());
+    std::printf("    (the pump DID inject 15 units — APEX saw a clean run,\n"
+                "     only the CF-Log evidence betrays the attack)\n");
+  }
+
+  std::printf("\n=== Fig. 2: data-only attack ===\n");
+  {
+    const auto prog =
+        apps::build_app(apps::fig2_app(), instr::instrumentation::dialed);
+    proto::prover_device dev(prog, key);
+    proto::verifier_session vrf(prog, key);
+
+    auto v = vrf.check(
+        dev.invoke(vrf.new_challenge(), apps::fig2_benign(1, 3)));
+    report_verdict("benign: settings[3] = 1", v);
+    actuation_trace(dev.machine());
+
+    v = vrf.check(dev.invoke(vrf.new_challenge(), apps::fig2_attack()));
+    report_verdict("ATTACK: settings[8] = 0 (hits `set`)", v);
+    actuation_trace(dev.machine());
+    std::printf("    (no injection happened; same control flow as benign)\n");
+  }
+
+  std::printf("\n=== The CFA blind spot, demonstrated ===\n");
+  {
+    // With Tiny-CFA alone, the Fig. 2 attack's log is byte-identical to a
+    // benign run: CFA cannot see data-only attacks (paper §II-B).
+    const auto prog =
+        apps::build_app(apps::fig2_app(), instr::instrumentation::tinycfa);
+    proto::prover_device dev(prog, key);
+    std::array<std::uint8_t, 16> chal{};
+    const auto benign = dev.invoke(chal, apps::fig2_benign(1, 3));
+    const auto attack = dev.invoke(chal, apps::fig2_attack());
+    std::printf("CFA-only OR logs identical between benign and attack: %s\n",
+                benign.or_bytes == attack.or_bytes ? "YES (blind)" : "no");
+    std::printf("both runs report EXEC=1: %s\n",
+                (benign.exec && attack.exec) ? "YES" : "no");
+  }
+  return 0;
+}

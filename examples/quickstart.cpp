@@ -1,0 +1,79 @@
+// Quickstart: the complete DIALED pipeline in one file.
+//
+//   1. Write an embedded operation in mini-C.
+//   2. Compile + instrument (Tiny-CFA + DIALED) + link it into an MSP430
+//      program whose attested ER is guarded by the APEX/VRASED monitors.
+//   3. Run one attested invocation on the emulated device.
+//   4. Verify the report: MAC, EXEC, and abstract execution of the logs.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "instr/oplink.h"
+#include "proto/prover.h"
+#include "proto/session.h"
+
+int main() {
+  using namespace dialed;
+
+  // 1. The embedded operation: average `n` sensor samples from the ADC.
+  const char* source = R"(
+    int sample_count = 0;                 // persistent device state
+
+    int read_adc() {
+      __mmio_w16(320, 1);                 // trigger a conversion
+      return __mmio_r16(320);             // read the sample (idempotent)
+    }
+
+    int op(int n) {
+      int sum = 0;
+      int i;
+      if (n < 1) { n = 1; }
+      for (i = 0; i < n; i++) {
+        sum = sum + read_adc();           // each sample becomes an I-Log entry
+      }
+      sample_count = sample_count + n;
+      return sum / n;
+    }
+  )";
+
+  // 2. Build at the DIALED level (Tiny-CFA + DIALED instrumentation).
+  instr::link_options lo;
+  lo.entry = "op";
+  lo.mode = instr::instrumentation::dialed;
+  const auto prog = instr::build_operation(source, lo);
+  std::printf("built op: ER=[0x%04x,0x%04x], %zu bytes of attested code\n",
+              prog.er_min, prog.er_max, prog.code_size());
+
+  // 3. Provision a device and a verifier with the shared key.
+  const byte_vec key(32, 0xd1);
+  proto::prover_device device(prog, key);
+  proto::verifier_session vrf(prog, key);
+
+  // One attested invocation: average 4 samples.
+  proto::invocation inv;
+  inv.args[0] = 4;
+  inv.adc_samples = {300, 310, 290, 300};
+  const auto challenge = vrf.new_challenge();
+  const auto report = device.invoke(challenge, inv);
+
+  std::printf("device: result=%u, EXEC=%d, op took %llu MCU cycles, "
+              "log used %d bytes\n",
+              report.claimed_result, report.exec ? 1 : 0,
+              static_cast<unsigned long long>(device.last_op_cycles()),
+              device.last_log_bytes());
+
+  // 4. Verify: MAC + EXEC + abstract execution of CF-Log/I-Log.
+  const auto verdict = vrf.check(report);
+  std::printf("verifier: %s — replayed result %u over %llu instructions, "
+              "%d log slots\n",
+              verdict.accepted ? "ACCEPTED" : "REJECTED",
+              verdict.replayed_result,
+              static_cast<unsigned long long>(verdict.replay_instructions),
+              verdict.log_slots_consumed);
+  for (const auto& f : verdict.findings) {
+    std::printf("  finding: %s — %s\n",
+                verifier::to_string(f.kind).c_str(), f.detail.c_str());
+  }
+  return verdict.accepted ? 0 : 1;
+}

@@ -1,0 +1,24 @@
+#include "apps/apps.h"
+
+namespace dialed::apps {
+
+// Defined in the per-app translation units.
+app_spec syringe_pump_app();
+app_spec fire_sensor_app();
+app_spec ultrasonic_ranger_app();
+
+std::vector<app_spec> evaluation_apps() {
+  return {syringe_pump_app(), fire_sensor_app(), ultrasonic_ranger_app()};
+}
+
+instr::linked_program build_app(const app_spec& app,
+                                instr::instrumentation mode,
+                                const instr::pass_options& popts) {
+  instr::link_options lo;
+  lo.entry = app.entry;
+  lo.mode = mode;
+  lo.pass_opts = popts;
+  return instr::build_operation(app.source, lo);
+}
+
+}  // namespace dialed::apps

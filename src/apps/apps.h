@@ -1,0 +1,69 @@
+// The embedded applications of the paper's evaluation (§V-B) re-implemented
+// in mini-C, plus the two vulnerable operations of Figures 1 and 2 with
+// concrete attack payloads.
+//
+// Peripheral addresses are the numeric defaults of emu::memory_map:
+// P3OUT=0x19 (25), NET_DATA=0x76 (118), NET_AVAIL=0x77 (119),
+// ADC_MEM=0x140 (320).
+#ifndef DIALED_APPS_APPS_H
+#define DIALED_APPS_APPS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "instr/oplink.h"
+#include "proto/prover.h"
+#include "verifier/replay.h"
+
+namespace dialed::apps {
+
+struct app_spec {
+  std::string name;    ///< display name used in the Fig. 6 benches
+  std::string source;  ///< mini-C translation unit
+  std::string entry;   ///< attested embedded operation
+  proto::invocation representative_input;  ///< workload for Fig. 6 numbers
+};
+
+/// The three applications of the paper's Fig. 6: SyringePump, FireSensor,
+/// UltrasonicRanger.
+std::vector<app_spec> evaluation_apps();
+
+/// Paper Fig. 1: syringe-pump operation vulnerable to a stack-smashing
+/// control-flow attack via an unchecked memcpy length.
+app_spec fig1_app();
+/// Benign command: inject `dose` units (dose < 10).
+proto::invocation fig1_benign(int dose);
+/// The attack: 6 command words; word 5 overwrites parse_commands' return
+/// address with &do_actuation, bypassing the dose<10 safety check.
+proto::invocation fig1_attack(const instr::linked_program& prog, int dose);
+
+/// Paper Fig. 2: settings-update operation vulnerable to a data-only
+/// attack (settings[8] aliases the adjacent `set` actuation word).
+app_spec fig2_app();
+/// Benign update: settings[index] = value with index in bounds.
+proto::invocation fig2_benign(int value, int index);
+/// The attack: index=8, value=0 clobbers `set`; control flow is unchanged.
+proto::invocation fig2_attack();
+
+/// DoorLock: an extension app beyond the paper's three — a keypad lock
+/// whose unchecked digit copy lets 12 keypresses overwrite the master code
+/// (a byte-granularity data-only attack, invisible to CFA).
+app_spec door_lock_app();
+/// Type `digits` at the keypad (len = digits.size()).
+proto::invocation door_lock_try(const std::vector<std::uint8_t>& digits);
+/// The overflow: the chosen `pin` is written over both `entered` and
+/// `master`, so the door opens for the attacker's PIN.
+proto::invocation door_lock_attack(const std::vector<std::uint8_t>& pin);
+
+/// Convenience: build an app at a given instrumentation level.
+instr::linked_program build_app(const app_spec& app, instr::instrumentation mode,
+                                const instr::pass_options& popts = {});
+
+/// Safety policy for the medical operations: any non-zero actuation write
+/// to P3OUT requires the (replayed) `dose` global to be below 10.
+std::shared_ptr<verifier::policy> dose_actuation_policy(int max_dose = 10);
+
+}  // namespace dialed::apps
+
+#endif  // DIALED_APPS_APPS_H

@@ -1,0 +1,85 @@
+// DoorLock: an extension application beyond the paper's three (same device
+// class: keypad + latch actuator). Demonstrates a byte-granularity
+// data-only attack: the keypad handler copies `len` digits into a 6-byte
+// buffer without a bound, and the master code lives right behind it — an
+// attacker who sends 12 digits overwrites the master code with their own
+// PIN and walks in. Control flow is identical to a wrong-PIN attempt plus
+// a successful unlock; only DIALED's data-flow evidence reveals it.
+#include "apps/apps.h"
+
+namespace dialed::apps {
+
+namespace {
+
+constexpr const char* source = R"(
+// Smart door lock. P3OUT = 25 (latch), NET_DATA = 118 (keypad).
+char entered[6];                       // digits typed at the keypad
+char master[6] = {3, 1, 4, 1, 5, 9};   // installer-set master code
+int fail_count = 0;
+
+int net_byte() {
+  int b = __mmio_r8(118);
+  __mmio_w8(118, 0);
+  return b;
+}
+
+void latch(int open) {
+  if (open) {
+    __mmio_w8(25, 1);                  // energize the strike
+  } else {
+    __mmio_w8(25, 0);
+  }
+}
+
+int op(int len) {
+  int i;
+  for (i = 0; i < len; i++) {
+    entered[i] = net_byte();           // no bound check on len!
+  }
+  int ok = 1;
+  for (i = 0; i < 6; i++) {
+    if (entered[i] != master[i]) {
+      ok = 0;
+    }
+  }
+  if (ok) {
+    latch(1);
+    fail_count = 0;
+  } else {
+    latch(0);
+    fail_count = fail_count + 1;
+  }
+  return ok;
+}
+)";
+
+}  // namespace
+
+app_spec door_lock_app() {
+  app_spec s;
+  s.name = "DoorLock";
+  s.source = source;
+  s.entry = "op";
+  s.representative_input = door_lock_try({3, 1, 4, 1, 5, 9});
+  return s;
+}
+
+proto::invocation door_lock_try(const std::vector<std::uint8_t>& digits) {
+  proto::invocation inv;
+  inv.args[0] = static_cast<std::uint16_t>(digits.size());
+  inv.net_rx = digits;
+  return inv;
+}
+
+proto::invocation door_lock_attack(const std::vector<std::uint8_t>& pin) {
+  // Send the chosen PIN twice: bytes 0..5 fill `entered`, bytes 6..11
+  // overflow onto `master` — both now hold the attacker's PIN, so the
+  // comparison succeeds and the latch opens.
+  proto::invocation inv;
+  inv.args[0] = static_cast<std::uint16_t>(2 * pin.size());
+  inv.net_rx = pin;
+  inv.net_rx.insert(inv.net_rx.end(), pin.begin(), pin.end());
+  return inv;
+}
+
+}  // namespace dialed::apps

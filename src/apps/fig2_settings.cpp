@@ -1,0 +1,70 @@
+// Paper Fig. 2: an embedded application vulnerable to a data-only attack.
+// `settings[8]` is written with an attacker-chosen index; index 8 lands on
+// the adjacent global `set` (the actuation port mask), so actuation is
+// silently disabled without any change to the control flow — invisible to
+// CFA, caught by DIALED.
+//
+// Layout note: the paper declares `set` first; this toolchain allocates
+// globals in declaration order, so `settings` is declared first to make
+// `set` the word at settings+16, exactly the aliasing the paper describes.
+#include "apps/apps.h"
+
+namespace dialed::apps {
+
+namespace {
+
+constexpr const char* source = R"(
+// Fig. 2 (DAC'21 DIALED paper). P3OUT = 25.
+int settings[8] = {1, 1, 1, 1, 1, 0, 0, 0};  // default settings: dose = 5
+int set = 1;  // configured to cause actuation on port 1 (paper line 1)
+
+int define_dosage(int *s) {
+  int d = 0;
+  int i;
+  for (i = 0; i < 8; i++) {
+    d = d + s[i];
+  }
+  return d;
+}
+
+int op(int new_setting, int index) {
+  settings[index] = new_setting;    // paper line 5: unchecked index
+  int dose = define_dosage(settings);
+  if (dose < 10) {                  // paper line 7: safety check
+    __mmio_w8(25, set);             // paper line 8: actuate via `set`
+    __delay_cycles(dose * 50);
+  }
+  __mmio_w8(25, 0);                 // paper line 11
+  return dose;
+}
+)";
+
+}  // namespace
+
+app_spec fig2_app() {
+  app_spec s;
+  s.name = "Fig2-SettingsOp";
+  s.source = source;
+  s.entry = "op";
+  s.representative_input = fig2_benign(1, 3);
+  return s;
+}
+
+proto::invocation fig2_benign(int value, int index) {
+  proto::invocation inv;
+  inv.args[0] = static_cast<std::uint16_t>(value);
+  inv.args[1] = static_cast<std::uint16_t>(index);
+  return inv;
+}
+
+proto::invocation fig2_attack() {
+  // new_setting = 0, index = 8: settings[8] aliases `set`, so the write
+  // turns actuation off while every branch goes the same way as a benign
+  // in-bounds update that leaves the dosage unchanged.
+  proto::invocation inv;
+  inv.args[0] = 0;
+  inv.args[1] = 8;
+  return inv;
+}
+
+}  // namespace dialed::apps

@@ -1,0 +1,61 @@
+// FireSensor: modelled on the Grove temperature/humidity LaunchPad demo
+// (the paper's evaluation app #2). The op samples the ADC, maintains a
+// ring-buffer history in global memory, smooths it, and raises the alarm
+// GPIO when the average crosses the threshold. Data-input intensive: every
+// history word read is an I-Log entry (reads of globals are inputs under
+// Definition 1).
+#include "apps/apps.h"
+
+namespace dialed::apps {
+
+namespace {
+
+constexpr const char* source = R"(
+// Grove-style fire/temperature sensor operation. P3OUT = 25, ADC = 320.
+int history[8];
+int hist_idx = 0;
+int alarm_latched = 0;
+
+int read_adc() {
+  __mmio_w16(320, 1);       // trigger a conversion
+  return __mmio_r16(320);   // read the converted sample (idempotent)
+}
+
+int op(int threshold) {
+  int t = read_adc();
+  history[hist_idx] = t;
+  hist_idx = hist_idx + 1;
+  if (hist_idx >= 8) {
+    hist_idx = 0;
+  }
+  int sum = 0;
+  int i;
+  for (i = 0; i < 8; i++) {
+    sum = sum + history[i];
+  }
+  int avg = sum / 8;
+  if (avg > threshold) {
+    __mmio_w8(25, 1);     // alarm on
+    alarm_latched = 1;
+  } else {
+    __mmio_w8(25, 0);
+  }
+  return avg;
+}
+)";
+
+}  // namespace
+
+app_spec fire_sensor_app() {
+  app_spec s;
+  s.name = "FireSensor";
+  s.source = source;
+  s.entry = "op";
+  proto::invocation inv;
+  inv.args[0] = 300;                 // alarm threshold
+  inv.adc_samples = {280};           // one fresh temperature sample
+  s.representative_input = inv;
+  return s;
+}
+
+}  // namespace dialed::apps

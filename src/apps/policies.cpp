@@ -1,0 +1,43 @@
+// App-specific verifier policies. Unlike OAT's programmer annotations
+// (which the paper criticizes, §I), these run entirely on Vrf over the
+// replayed execution; the device code is never annotated.
+#include "apps/apps.h"
+
+namespace dialed::apps {
+
+namespace {
+
+/// Fires when the replay writes a non-zero actuation value to P3OUT while
+/// the `dose` global is at or above the safety limit — the invariant the
+/// Fig. 1 code is supposed to enforce with its `dose < 10` check.
+class dose_policy final : public verifier::policy {
+ public:
+  explicit dose_policy(int max_dose) : max_dose_(max_dose) {}
+
+  std::string name() const override { return "dose-actuation"; }
+
+  void on_write(const verifier::replay_state& st, std::uint16_t addr,
+                std::uint16_t value, std::uint16_t pc,
+                std::vector<verifier::finding>& out) override {
+    constexpr std::uint16_t p3out = 0x0019;
+    if (addr != p3out || value == 0) return;
+    const std::uint16_t dose = st.global("dose");
+    if (static_cast<std::int16_t>(dose) >= max_dose_) {
+      out.push_back({verifier::attack_kind::policy_violation,
+                     "actuation with dose=" + std::to_string(dose) +
+                         " >= " + std::to_string(max_dose_),
+                     pc, addr});
+    }
+  }
+
+ private:
+  int max_dose_;
+};
+
+}  // namespace
+
+std::shared_ptr<verifier::policy> dose_actuation_policy(int max_dose) {
+  return std::make_shared<dose_policy>(max_dose);
+}
+
+}  // namespace dialed::apps

@@ -1,0 +1,75 @@
+// SyringePump: modelled on OpenSyringePump (the paper's evaluation app #1).
+// The op consumes a network command ('+'/'-' plus a step count), drives the
+// stepper motor through GPIO pulses with a bounded plunger position, and
+// reports how many steps were actually taken. Control-flow intensive
+// (per-step loop) with a handful of network inputs.
+#include "apps/apps.h"
+
+namespace dialed::apps {
+
+namespace {
+
+constexpr const char* source = R"(
+// OpenSyringePump-style embedded operation. P3OUT = 25, NET_DATA = 118,
+// NET_AVAIL = 119.
+int plunger_pos = 0;       // persistent plunger position (in steps)
+int steps_per_ul = 2;      // calibration: steps per microliter
+
+int net_byte() {
+  int b = __mmio_r8(118);   // read FIFO head (idempotent)
+  __mmio_w8(118, 0);        // acknowledge/advance
+  return b;
+}
+
+void pulse_motor(int pattern) {
+  __mmio_w8(25, pattern);  // direction + step bit
+  __delay_cycles(10);      // motor timing
+  __mmio_w8(25, 0);
+}
+
+int op(int max_steps) {
+  int cmd = net_byte();    // '+' = push (43), '-' = pull (45)
+  int ul = net_byte();     // requested volume in microliters
+  int steps = ul * steps_per_ul;
+  int moved = 0;
+  int i;
+  if (steps > max_steps) {
+    steps = max_steps;
+  }
+  if (cmd == 43) {
+    for (i = 0; i < steps; i++) {
+      if (plunger_pos < 200) {
+        pulse_motor(1);
+        plunger_pos = plunger_pos + 1;
+        moved = moved + 1;
+      }
+    }
+  }
+  if (cmd == 45) {
+    for (i = 0; i < steps; i++) {
+      if (plunger_pos > 0) {
+        pulse_motor(2);
+        plunger_pos = plunger_pos - 1;
+        moved = moved + 1;
+      }
+    }
+  }
+  return moved;
+}
+)";
+
+}  // namespace
+
+app_spec syringe_pump_app() {
+  app_spec s;
+  s.name = "SyringePump";
+  s.source = source;
+  s.entry = "op";
+  proto::invocation inv;
+  inv.args[0] = 64;            // max_steps
+  inv.net_rx = {'+', 12};      // push 12 microliters = 24 steps
+  s.representative_input = inv;
+  return s;
+}
+
+}  // namespace dialed::apps

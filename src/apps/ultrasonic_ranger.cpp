@@ -1,0 +1,56 @@
+// UltrasonicRanger: modelled on the Grove ultrasonic ranger LaunchPad demo
+// (the paper's evaluation app #3, "a sensor used in vehicles to measure
+// distance from obstacles"). The op fires trigger pulses, averages the echo
+// round-trip times, and converts to centimeters with the HC-SR04 divisor.
+#include "apps/apps.h"
+
+namespace dialed::apps {
+
+namespace {
+
+constexpr const char* source = R"(
+// Grove-style ultrasonic ranger operation. P3OUT = 25, ADC/echo = 320.
+int last_distance_cm = 0;
+
+int measure_echo() {
+  __mmio_w8(25, 1);        // trigger pulse high
+  __delay_cycles(10);      // >10us trigger
+  __mmio_w8(25, 0);        // trigger low
+  __mmio_w16(320, 1);      // latch the echo time
+  return __mmio_r16(320);  // echo round-trip time in microseconds
+}
+
+int op(int samples) {
+  int sum = 0;
+  int i;
+  if (samples < 1) {
+    samples = 1;
+  }
+  if (samples > 8) {
+    samples = 8;
+  }
+  for (i = 0; i < samples; i++) {
+    sum = sum + measure_echo();
+  }
+  int us = sum / samples;
+  int cm = us / 58;        // HC-SR04: distance(cm) = echo(us) / 58
+  last_distance_cm = cm;
+  return cm;
+}
+)";
+
+}  // namespace
+
+app_spec ultrasonic_ranger_app() {
+  app_spec s;
+  s.name = "UltrasonicRanger";
+  s.source = source;
+  s.entry = "op";
+  proto::invocation inv;
+  inv.args[0] = 4;                                // average over 4 pings
+  inv.adc_samples = {1180, 1160, 1220, 1200};     // ~20cm echoes
+  s.representative_input = inv;
+  return s;
+}
+
+}  // namespace dialed::apps

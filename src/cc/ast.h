@@ -1,0 +1,159 @@
+// Abstract syntax tree of the mini-C language used to write the embedded
+// operations (DESIGN.md §2). The subset covers what the paper's three
+// evaluation applications and its Fig. 1/Fig. 2 listings need: 16-bit ints,
+// 8-bit chars, pointers, arrays, the usual statements and operators, and a
+// handful of MMIO/delay intrinsics.
+#ifndef DIALED_CC_AST_H
+#define DIALED_CC_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dialed::cc {
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+/// int = 16-bit word, ch = 8-bit byte; pointers are 16-bit.
+struct type {
+  enum class kind : std::uint8_t { void_t, int_t, char_t, pointer, array };
+  kind k = kind::int_t;
+  std::shared_ptr<type> elem;  ///< pointee/element for pointer/array
+  int array_len = 0;
+
+  bool is_void() const { return k == kind::void_t; }
+  bool is_pointer() const { return k == kind::pointer; }
+  bool is_array() const { return k == kind::array; }
+  bool is_char() const { return k == kind::char_t; }
+  bool is_scalar() const {
+    return k == kind::int_t || k == kind::char_t || k == kind::pointer;
+  }
+
+  /// Size in bytes (void = 0).
+  int size() const;
+  /// Size of the pointed-to / element type (1 for char, else 2).
+  int elem_size() const;
+};
+
+type make_int();
+type make_char();
+type make_void();
+type make_pointer(type elem);
+type make_array(type elem, int len);
+std::string to_string(const type& t);
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class binop : std::uint8_t {
+  add, sub, mul, div, mod,
+  band, bor, bxor, shl, shr,
+  eq, ne, lt, le, gt, ge,
+  land, lor,
+};
+
+enum class unop : std::uint8_t { neg, lnot, bnot, deref, addr };
+
+struct expr;
+using expr_ptr = std::unique_ptr<expr>;
+
+struct expr {
+  enum class kind : std::uint8_t {
+    literal,    ///< value
+    ident,      ///< name
+    binary,     ///< op, lhs, rhs
+    unary,      ///< uop, lhs
+    assign,     ///< lhs = rhs
+    index,      ///< lhs[rhs]
+    call,       ///< name(args...)
+    pre_incdec, ///< ++x / --x   (delta = +1/-1)
+    post_incdec,///< x++ / x--
+  };
+
+  kind k = kind::literal;
+  int line = 0;
+
+  std::int32_t value = 0;  ///< literal / incdec delta
+  std::string name;        ///< ident / call target
+  binop op = binop::add;
+  unop uop = unop::neg;
+  expr_ptr lhs;
+  expr_ptr rhs;
+  std::vector<expr_ptr> args;
+
+  /// Filled by the code generator's type checker.
+  type ty{};
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct stmt;
+using stmt_ptr = std::unique_ptr<stmt>;
+
+struct stmt {
+  enum class kind : std::uint8_t {
+    expression,  ///< e;
+    decl,        ///< local declaration (possibly with init)
+    block,       ///< { body... }
+    if_,         ///< cond, then_body, else_body
+    while_,      ///< cond, body(=then_body)
+    do_while_,   ///< body, cond (condition tested after the body)
+    for_,        ///< init(stmt), cond, step(expr), body
+    return_,     ///< optional value
+    break_,
+    continue_,
+  };
+
+  kind k = kind::expression;
+  int line = 0;
+
+  expr_ptr e;        ///< expression / condition / return value
+  expr_ptr step;     ///< for-step
+  stmt_ptr init;     ///< for-init
+  std::vector<stmt_ptr> body;       ///< block / then / loop body
+  std::vector<stmt_ptr> else_body;  ///< else branch
+
+  // kind::decl
+  std::string decl_name;
+  type decl_type{};
+  expr_ptr decl_init;
+};
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+struct param {
+  std::string name;
+  type ty;
+};
+
+struct function_decl {
+  std::string name;
+  type ret{};
+  std::vector<param> params;
+  std::vector<stmt_ptr> body;
+  int line = 0;
+};
+
+struct global_decl {
+  std::string name;
+  type ty{};
+  std::vector<std::int32_t> init;  ///< scalar: 1 entry; array: up to len
+  int line = 0;
+};
+
+struct translation_unit {
+  std::vector<global_decl> globals;
+  std::vector<function_decl> functions;
+};
+
+}  // namespace dialed::cc
+
+#endif  // DIALED_CC_AST_H

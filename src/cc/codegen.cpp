@@ -1,0 +1,822 @@
+// MSP430 code generation for the mini-C subset.
+//
+// Model: stack-machine evaluation with r15 as the accumulator and the
+// hardware stack for temporaries (push/pop), so every temporary lives in
+// the op's stack region and is — per DIALED's Definition 1 — never treated
+// as an external input. r12..r14 are transient scratch inside a single
+// expression step; r4/r5 are never touched (reserved for instrumentation).
+//
+// The generator deliberately avoids read-modify-write instructions with
+// memory destinations: all arithmetic goes through registers, which keeps
+// the DIALED read-instrumentation story identical between compiled code and
+// the paper's examples.
+#include <map>
+#include <optional>
+
+#include "cc/compiler.h"
+#include "cc/parser.h"
+#include "common/error.h"
+
+namespace dialed::cc {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw error("cc:" + std::to_string(line) + ": " + msg);
+}
+
+struct local_slot {
+  int offset = 0;
+  type ty{};
+};
+
+class codegen {
+ public:
+  explicit codegen(const translation_unit& tu) : tu_(tu) {}
+
+  compile_result run() {
+    compile_result out;
+    for (const auto& g : tu_.globals) {
+      if (globals_.count(g.name)) fail(g.line, "global redefined: " + g.name);
+      globals_[g.name] = &g;
+      global_var_info gi;
+      gi.name = g.name;
+      gi.size_bytes = g.ty.size();
+      gi.is_array = g.ty.is_array();
+      gi.is_char = g.ty.is_array() ? g.ty.elem->is_char() : g.ty.is_char();
+      gi.init = g.init;
+      out.globals.push_back(std::move(gi));
+    }
+    for (const auto& f : tu_.functions) {
+      if (functions_.count(f.name)) {
+        fail(f.line, "function redefined: " + f.name);
+      }
+      functions_[f.name] = &f;
+    }
+    for (const auto& f : tu_.functions) {
+      text_.clear();
+      out.functions.push_back(emit_function(f));
+      out.function_text.emplace_back(f.name, text_);
+      out.asm_text += text_;
+    }
+    out.helpers = helpers_;
+    out.access_sites = std::move(sites_);
+    return out;
+  }
+
+ private:
+  // ---- emission helpers ----
+  void emit(const std::string& line) { text_ += "        " + line + "\n"; }
+  void emit_label(const std::string& l) { text_ += l + ":\n"; }
+  std::string new_label(const std::string& hint) {
+    return ".L" + fn_->name + "_" + hint + std::to_string(label_counter_++);
+  }
+
+  void push_acc() {
+    emit("push r15");
+    ++push_depth_;
+  }
+  void pop_to(const std::string& reg) {
+    emit("pop " + reg);
+    --push_depth_;
+  }
+
+  // ---- variables ----
+  const local_slot* find_local(const std::string& name) const {
+    const auto it = locals_.find(name);
+    return it == locals_.end() ? nullptr : &it->second;
+  }
+
+  int sp_offset(const local_slot& slot) const {
+    return slot.offset + 2 * push_depth_;
+  }
+
+  // ---- lvalues ----
+  struct lvalue {
+    enum class kind { frame, global, computed } k = kind::computed;
+    const local_slot* slot = nullptr;  // frame
+    std::string global;                // global
+    type ty{};                         // type of the object designated
+  };
+
+  /// Resolve an lvalue. For `computed`, code is emitted that leaves the
+  /// address in r15.
+  lvalue resolve_lvalue(const expr& e) {
+    switch (e.k) {
+      case expr::kind::ident: {
+        if (const local_slot* s = find_local(e.name)) {
+          if (s->ty.is_array()) fail(e.line, "array is not assignable");
+          return {lvalue::kind::frame, s, "", s->ty};
+        }
+        const auto git = globals_.find(e.name);
+        if (git != globals_.end()) {
+          if (git->second->ty.is_array()) {
+            fail(e.line, "array is not assignable");
+          }
+          return {lvalue::kind::global, nullptr, e.name, git->second->ty};
+        }
+        fail(e.line, "undefined variable '" + e.name + "'");
+      }
+      case expr::kind::unary:
+        if (e.uop == unop::deref) {
+          const type pt = eval(*e.lhs);  // address in r15
+          if (!pt.is_pointer() && !pt.is_array()) {
+            fail(e.line, "dereference of non-pointer");
+          }
+          return {lvalue::kind::computed, nullptr, "", *pt.elem};
+        }
+        fail(e.line, "expression is not assignable");
+      case expr::kind::index: {
+        const type et = emit_index_address(e);  // address in r15
+        return {lvalue::kind::computed, nullptr, "", et};
+      }
+      default:
+        fail(e.line, "expression is not assignable");
+    }
+  }
+
+  /// Load the object designated by an lvalue into r15 (address for
+  /// `computed` must already be in r15).
+  void load_lvalue(const lvalue& lv) {
+    const bool byte = lv.ty.is_char();
+    const char* suffix = byte ? ".b" : "";
+    switch (lv.k) {
+      case lvalue::kind::frame:
+        emit(std::string("mov") + suffix + " " +
+             std::to_string(sp_offset(*lv.slot)) + "(sp), r15");
+        break;
+      case lvalue::kind::global:
+        emit(std::string("mov") + suffix + " &" + lv.global + ", r15");
+        break;
+      case lvalue::kind::computed:
+        emit(std::string("mov") + suffix + " @r15, r15");
+        break;
+    }
+  }
+
+  /// Store `reg` into the lvalue; for `computed` the address must be in
+  /// `addr_reg`.
+  void store_lvalue(const lvalue& lv, const std::string& reg,
+                    const std::string& addr_reg = "r15") {
+    const bool byte = lv.ty.is_char();
+    const char* suffix = byte ? ".b" : "";
+    switch (lv.k) {
+      case lvalue::kind::frame:
+        emit(std::string("mov") + suffix + " " + reg + ", " +
+             std::to_string(sp_offset(*lv.slot)) + "(sp)");
+        break;
+      case lvalue::kind::global:
+        emit(std::string("mov") + suffix + " " + reg + ", &" + lv.global);
+        break;
+      case lvalue::kind::computed:
+        emit(std::string("mov") + suffix + " " + reg + ", 0(" + addr_reg +
+             ")");
+        break;
+    }
+  }
+
+  /// a[i]: leaves the element address in r15, returns the element type.
+  /// When the base names an array object directly, an access site is
+  /// recorded for the verifier's bounds analysis (see access_site).
+  type emit_index_address(const expr& e) {
+    const type base = eval_address_of_base(*e.lhs);
+    if (!base.is_pointer() && !base.is_array()) {
+      fail(e.line, "indexing a non-array");
+    }
+    const type elem = *base.elem;
+    push_acc();               // base address
+    const type it = eval(*e.rhs);
+    if (!it.is_scalar()) fail(e.line, "index must be scalar");
+    if (elem.size() == 2) emit("rla r15");
+    pop_to("r14");
+    emit("add r14, r15");
+    record_access_site(*e.lhs);
+    return elem;
+  }
+
+  /// If `base` is an identifier naming an array, emit a site label (r15
+  /// holds the effective address there) and record its extent metadata.
+  void record_access_site(const expr& base) {
+    if (base.k != expr::kind::ident) return;
+    access_site site;
+    if (const local_slot* s = find_local(base.name)) {
+      if (!s->ty.is_array()) return;
+      site.is_global = false;
+      site.local_offset_adj = sp_offset(*s);
+      site.size_bytes = s->ty.size();
+    } else {
+      const auto git = globals_.find(base.name);
+      if (git == globals_.end() || !git->second->ty.is_array()) return;
+      site.is_global = true;
+      site.size_bytes = git->second->ty.size();
+    }
+    site.object = base.name;
+    site.function = fn_->name;
+    site.label = ".Lbnd_" + std::to_string(site_counter_++);
+    emit_label(site.label);
+    sites_.push_back(std::move(site));
+  }
+
+  /// Evaluate something usable as an array/pointer base: arrays yield their
+  /// address, pointers their value.
+  type eval_address_of_base(const expr& e) {
+    if (e.k == expr::kind::ident) {
+      if (const local_slot* s = find_local(e.name)) {
+        if (s->ty.is_array()) {
+          emit("mov sp, r15");
+          emit("add #" + std::to_string(sp_offset(*s)) + ", r15");
+          return s->ty;
+        }
+        if (s->ty.is_pointer()) {
+          emit("mov " + std::to_string(sp_offset(*s)) + "(sp), r15");
+          return s->ty;
+        }
+        fail(e.line, "'" + e.name + "' is not an array or pointer");
+      }
+      const auto git = globals_.find(e.name);
+      if (git != globals_.end()) {
+        const type& gt = git->second->ty;
+        if (gt.is_array()) {
+          emit("mov #" + e.name + ", r15");
+          return gt;
+        }
+        if (gt.is_pointer()) {
+          emit("mov &" + e.name + ", r15");
+          return gt;
+        }
+        fail(e.line, "'" + e.name + "' is not an array or pointer");
+      }
+      fail(e.line, "undefined variable '" + e.name + "'");
+    }
+    return eval(e);
+  }
+
+  // ---- expressions ----
+
+  /// Generate code leaving the (word) value of `e` in r15; returns its type.
+  type eval(const expr& e) {
+    switch (e.k) {
+      case expr::kind::literal:
+        emit("mov #" + std::to_string(e.value) + ", r15");
+        return make_int();
+      case expr::kind::ident: {
+        if (const local_slot* s = find_local(e.name)) {
+          if (s->ty.is_array()) {
+            emit("mov sp, r15");
+            emit("add #" + std::to_string(sp_offset(*s)) + ", r15");
+            return make_pointer(*s->ty.elem);
+          }
+          lvalue lv{lvalue::kind::frame, s, "", s->ty};
+          load_lvalue(lv);
+          return s->ty;
+        }
+        const auto git = globals_.find(e.name);
+        if (git != globals_.end()) {
+          const type& gt = git->second->ty;
+          if (gt.is_array()) {
+            emit("mov #" + e.name + ", r15");
+            return make_pointer(*gt.elem);
+          }
+          lvalue lv{lvalue::kind::global, nullptr, e.name, gt};
+          load_lvalue(lv);
+          return gt;
+        }
+        fail(e.line, "undefined variable '" + e.name + "'");
+      }
+      case expr::kind::assign: {
+        const type rt = eval(*e.rhs);
+        // Fast path: direct stores for plain variables.
+        if (e.lhs->k == expr::kind::ident) {
+          lvalue lv = resolve_lvalue(*e.lhs);
+          store_lvalue(lv, "r15");
+          return lv.ty.is_char() ? rt : lv.ty;
+        }
+        push_acc();
+        lvalue lv = resolve_lvalue(*e.lhs);  // computed: address in r15
+        pop_to("r14");
+        store_lvalue(lv, "r14");
+        emit("mov r14, r15");
+        return lv.ty;
+      }
+      case expr::kind::index: {
+        const type elem = emit_index_address(e);
+        lvalue lv{lvalue::kind::computed, nullptr, "", elem};
+        load_lvalue(lv);
+        return elem;
+      }
+      case expr::kind::unary:
+        return eval_unary(e);
+      case expr::kind::binary:
+        return eval_binary(e);
+      case expr::kind::call:
+        return eval_call(e);
+      case expr::kind::pre_incdec:
+      case expr::kind::post_incdec:
+        return eval_incdec(e);
+    }
+    fail(e.line, "unsupported expression");
+  }
+
+  type eval_unary(const expr& e) {
+    switch (e.uop) {
+      case unop::neg: {
+        eval(*e.lhs);
+        emit("inv r15");
+        emit("inc r15");
+        return make_int();
+      }
+      case unop::bnot: {
+        eval(*e.lhs);
+        emit("inv r15");
+        return make_int();
+      }
+      case unop::lnot: {
+        eval(*e.lhs);
+        const std::string t = new_label("not_t");
+        const std::string end = new_label("not_e");
+        emit("tst r15");
+        emit("jeq " + t);
+        emit("mov #0, r15");
+        emit("jmp " + end);
+        emit_label(t);
+        emit("mov #1, r15");
+        emit_label(end);
+        return make_int();
+      }
+      case unop::deref: {
+        const type pt = eval(*e.lhs);
+        if (!pt.is_pointer() && !pt.is_array()) {
+          fail(e.line, "dereference of non-pointer");
+        }
+        const type elem = *pt.elem;
+        emit(elem.is_char() ? "mov.b @r15, r15" : "mov @r15, r15");
+        return elem;
+      }
+      case unop::addr: {
+        const expr& target = *e.lhs;
+        if (target.k == expr::kind::ident) {
+          if (const local_slot* s = find_local(target.name)) {
+            emit("mov sp, r15");
+            emit("add #" + std::to_string(sp_offset(*s)) + ", r15");
+            return make_pointer(s->ty);
+          }
+          const auto git = globals_.find(target.name);
+          if (git != globals_.end()) {
+            emit("mov #" + target.name + ", r15");
+            return make_pointer(git->second->ty);
+          }
+          fail(e.line, "undefined variable '" + target.name + "'");
+        }
+        if (target.k == expr::kind::index) {
+          const type elem = emit_index_address(target);
+          return make_pointer(elem);
+        }
+        fail(e.line, "cannot take the address of this expression");
+      }
+    }
+    fail(e.line, "unsupported unary operator");
+  }
+
+  type eval_binary(const expr& e) {
+    // Short-circuit operators first (no stack temp).
+    if (e.op == binop::land || e.op == binop::lor) {
+      const std::string out_false = new_label("sc_f");
+      const std::string out_true = new_label("sc_t");
+      const std::string end = new_label("sc_e");
+      eval(*e.lhs);
+      emit("tst r15");
+      if (e.op == binop::land) {
+        emit("jeq " + out_false);
+      } else {
+        emit("jne " + out_true);
+      }
+      eval(*e.rhs);
+      emit("tst r15");
+      emit("jeq " + out_false);
+      emit_label(out_true);
+      emit("mov #1, r15");
+      emit("jmp " + end);
+      emit_label(out_false);
+      emit("mov #0, r15");
+      emit_label(end);
+      return make_int();
+    }
+
+    const type lt = eval(*e.lhs);
+    push_acc();
+    const type rt = eval(*e.rhs);
+
+    // Pointer arithmetic scaling (int16 elements scale by 2).
+    const bool lp = lt.is_pointer() || lt.is_array();
+    const bool rp = rt.is_pointer() || rt.is_array();
+    if ((e.op == binop::add || e.op == binop::sub)) {
+      if (lp && !rp && lt.elem_size() == 2) emit("rla r15");
+    }
+    pop_to("r14");
+    if ((e.op == binop::add) && rp && !lp && rt.elem_size() == 2) {
+      emit("rla r14");
+    }
+
+    // lhs in r14, rhs in r15.
+    switch (e.op) {
+      case binop::add: emit("add r14, r15"); break;
+      case binop::sub:
+        emit("sub r15, r14");
+        emit("mov r14, r15");
+        break;
+      case binop::band: emit("and r14, r15"); break;
+      case binop::bor: emit("bis r14, r15"); break;
+      case binop::bxor: emit("xor r14, r15"); break;
+      case binop::mul:
+        helpers_.insert("__mulhi");
+        emit("call #__mulhi");
+        break;
+      case binop::div:
+      case binop::mod: {
+        // Helpers take dividend in r15, divisor in r14: swap.
+        emit("mov r15, r13");
+        emit("mov r14, r15");
+        emit("mov r13, r14");
+        helpers_.insert(e.op == binop::div ? "__divhi" : "__modhi");
+        emit(e.op == binop::div ? "call #__divhi" : "call #__modhi");
+        break;
+      }
+      case binop::shl:
+      case binop::shr: {
+        emit("mov r15, r13");
+        emit("mov r14, r15");
+        emit("mov r13, r14");
+        helpers_.insert(e.op == binop::shl ? "__shlhi" : "__shrhi");
+        emit(e.op == binop::shl ? "call #__shlhi" : "call #__shrhi");
+        break;
+      }
+      case binop::eq:
+      case binop::ne:
+      case binop::lt:
+      case binop::le:
+      case binop::gt:
+      case binop::ge: {
+        const std::string t = new_label("cmp_t");
+        const std::string end = new_label("cmp_e");
+        switch (e.op) {
+          case binop::eq:
+            emit("cmp r15, r14");
+            emit("jeq " + t);
+            break;
+          case binop::ne:
+            emit("cmp r15, r14");
+            emit("jne " + t);
+            break;
+          case binop::lt:  // lhs < rhs  <=>  r14 - r15 < 0
+            emit("cmp r15, r14");
+            emit("jl " + t);
+            break;
+          case binop::ge:  // lhs >= rhs
+            emit("cmp r15, r14");
+            emit("jge " + t);
+            break;
+          case binop::gt:  // lhs > rhs  <=>  rhs < lhs  <=>  r15 - r14 < 0
+            emit("cmp r14, r15");
+            emit("jl " + t);
+            break;
+          case binop::le:  // lhs <= rhs  <=>  r15 - r14 >= 0
+            emit("cmp r14, r15");
+            emit("jge " + t);
+            break;
+          default: break;
+        }
+        emit("mov #0, r15");
+        emit("jmp " + end);
+        emit_label(t);
+        emit("mov #1, r15");
+        emit_label(end);
+        return make_int();
+      }
+      default:
+        fail(e.line, "unsupported binary operator");
+    }
+    if ((e.op == binop::add || e.op == binop::sub) && (lp || rp)) {
+      return lp ? lt : rt;
+    }
+    return make_int();
+  }
+
+  type eval_incdec(const expr& e) {
+    const bool post = e.k == expr::kind::post_incdec;
+    // Fast path for plain variables.
+    if (e.lhs->k == expr::kind::ident) {
+      lvalue lv = resolve_lvalue(*e.lhs);
+      load_lvalue(lv);  // old -> r15
+      emit("mov r15, r14");
+      emit(e.value > 0 ? "add #1, r14" : "sub #1, r14");
+      store_lvalue(lv, "r14");
+      if (!post) emit("mov r14, r15");
+      return lv.ty;
+    }
+    // General path through a computed address.
+    lvalue lv = resolve_lvalue(*e.lhs);  // address in r15
+    if (lv.k != lvalue::kind::computed) fail(e.line, "internal incdec state");
+    emit("mov r15, r13");
+    emit(lv.ty.is_char() ? "mov.b @r13, r15" : "mov @r13, r15");
+    emit("mov r15, r14");
+    emit(e.value > 0 ? "add #1, r14" : "sub #1, r14");
+    store_lvalue(lv, "r14", "r13");
+    if (!post) emit("mov r14, r15");
+    return lv.ty;
+  }
+
+  type eval_call(const expr& e) {
+    // ---- intrinsics ----
+    auto args = [&](std::size_t n) {
+      if (e.args.size() != n) {
+        fail(e.line, e.name + " expects " + std::to_string(n) + " argument(s)");
+      }
+    };
+    if (e.name == "__mmio_r8" || e.name == "__mmio_r16") {
+      args(1);
+      eval(*e.args[0]);
+      emit(e.name == "__mmio_r8" ? "mov.b @r15, r15" : "mov @r15, r15");
+      return make_int();
+    }
+    if (e.name == "__mmio_w8" || e.name == "__mmio_w16") {
+      args(2);
+      eval(*e.args[0]);
+      push_acc();
+      eval(*e.args[1]);
+      pop_to("r14");
+      emit(e.name == "__mmio_w8" ? "mov.b r15, 0(r14)" : "mov r15, 0(r14)");
+      return make_void();
+    }
+    if (e.name == "__delay_cycles") {
+      args(1);
+      eval(*e.args[0]);
+      helpers_.insert("__delay");
+      emit("call #__delay");
+      return make_void();
+    }
+    if (e.name == "__halt") {
+      args(1);
+      eval(*e.args[0]);
+      emit("mov r15, &HALT_PORT");
+      return make_void();
+    }
+    if (e.name == "memcpy") {
+      args(3);
+      return emit_user_call(e, "__memcpy", 3);
+    }
+
+    // ---- user functions ----
+    const auto fit = functions_.find(e.name);
+    if (fit == functions_.end()) {
+      fail(e.line, "call to undefined function '" + e.name + "'");
+    }
+    if (e.args.size() != fit->second->params.size()) {
+      fail(e.line, "wrong number of arguments to '" + e.name + "'");
+    }
+    if (e.args.size() > 8) fail(e.line, "more than 8 arguments");
+    emit_user_call(e, e.name, static_cast<int>(e.args.size()));
+    return fit->second->ret;
+  }
+
+  type emit_user_call(const expr& e, const std::string& target, int n) {
+    if (n > 8) fail(e.line, "more than 8 arguments");
+    for (int i = 0; i < n; ++i) {
+      eval(*e.args[static_cast<std::size_t>(i)]);
+      push_acc();
+    }
+    // Pop into the argument registers: argk ends up in r(15-k).
+    for (int i = n - 1; i >= 0; --i) {
+      pop_to("r" + std::to_string(15 - i));
+    }
+    if (target == "__memcpy") helpers_.insert("__memcpy");
+    emit("call #" + target);
+    return make_int();
+  }
+
+  // ---- statements ----
+  struct loop_labels {
+    std::string break_label;
+    std::string continue_label;
+  };
+
+  void gen_stmt(const stmt& s) {
+    switch (s.k) {
+      case stmt::kind::expression:
+        eval(*s.e);
+        return;
+      case stmt::kind::decl: {
+        if (s.decl_init) {
+          const local_slot* slot = find_local(s.decl_name);
+          eval(*s.decl_init);
+          lvalue lv{lvalue::kind::frame, slot, "", slot->ty};
+          store_lvalue(lv, "r15");
+        }
+        return;
+      }
+      case stmt::kind::block:
+        for (const auto& c : s.body) gen_stmt(*c);
+        return;
+      case stmt::kind::if_: {
+        const std::string else_l = new_label("else");
+        const std::string end_l = new_label("fi");
+        eval(*s.e);
+        emit("tst r15");
+        emit("jeq " + else_l);
+        for (const auto& c : s.body) gen_stmt(*c);
+        if (!s.else_body.empty()) {
+          emit("jmp " + end_l);
+          emit_label(else_l);
+          for (const auto& c : s.else_body) gen_stmt(*c);
+          emit_label(end_l);
+        } else {
+          emit_label(else_l);
+        }
+        return;
+      }
+      case stmt::kind::while_: {
+        const std::string head = new_label("wh");
+        const std::string end = new_label("we");
+        emit_label(head);
+        eval(*s.e);
+        emit("tst r15");
+        emit("jeq " + end);
+        loops_.push_back({end, head});
+        for (const auto& c : s.body) gen_stmt(*c);
+        loops_.pop_back();
+        emit("jmp " + head);
+        emit_label(end);
+        return;
+      }
+      case stmt::kind::do_while_: {
+        const std::string head = new_label("dw");
+        const std::string cond_l = new_label("dwc");
+        const std::string end = new_label("dwe");
+        emit_label(head);
+        loops_.push_back({end, cond_l});
+        for (const auto& c : s.body) gen_stmt(*c);
+        loops_.pop_back();
+        emit_label(cond_l);
+        eval(*s.e);
+        emit("tst r15");
+        emit("jne " + head);
+        emit_label(end);
+        return;
+      }
+      case stmt::kind::for_: {
+        const std::string head = new_label("fh");
+        const std::string step_l = new_label("fs");
+        const std::string end = new_label("fe");
+        if (s.init) gen_stmt(*s.init);
+        emit_label(head);
+        if (s.e) {
+          eval(*s.e);
+          emit("tst r15");
+          emit("jeq " + end);
+        }
+        loops_.push_back({end, step_l});
+        for (const auto& c : s.body) gen_stmt(*c);
+        loops_.pop_back();
+        emit_label(step_l);
+        if (s.step) eval(*s.step);
+        emit("jmp " + head);
+        emit_label(end);
+        return;
+      }
+      case stmt::kind::return_:
+        if (s.e) eval(*s.e);
+        emit("jmp " + epilogue_);
+        return;
+      case stmt::kind::break_:
+        if (loops_.empty()) fail(s.line, "break outside a loop");
+        emit("jmp " + loops_.back().break_label);
+        return;
+      case stmt::kind::continue_:
+        if (loops_.empty()) fail(s.line, "continue outside a loop");
+        emit("jmp " + loops_.back().continue_label);
+        return;
+    }
+  }
+
+  // ---- functions ----
+  void collect_locals(const std::vector<stmt_ptr>& body,
+                      function_info& info, int& frame, int line) {
+    for (const auto& sp : body) {
+      const stmt& s = *sp;
+      if (s.k == stmt::kind::decl) {
+        if (locals_.count(s.decl_name)) {
+          fail(s.line, "local redefined: " + s.decl_name +
+                           " (shadowing is not supported)");
+        }
+        int size = s.decl_type.size();
+        if (size % 2 != 0) ++size;  // keep the frame word-aligned
+        if (s.decl_type.is_scalar() && size < 2) size = 2;
+        locals_[s.decl_name] = {frame, s.decl_type};
+        local_var_info li;
+        li.name = s.decl_name;
+        li.frame_offset = frame;
+        li.size_bytes = s.decl_type.size();
+        li.is_array = s.decl_type.is_array();
+        li.is_char = s.decl_type.is_array() ? s.decl_type.elem->is_char()
+                                            : s.decl_type.is_char();
+        info.locals.push_back(li);
+        frame += size;
+      }
+      collect_locals(s.body, info, frame, line);
+      collect_locals(s.else_body, info, frame, line);
+      if (s.init) {
+        std::vector<stmt_ptr> tmp;  // visit for-init declaration
+        if (s.init->k == stmt::kind::decl) {
+          if (locals_.count(s.init->decl_name)) {
+            fail(s.init->line, "local redefined: " + s.init->decl_name);
+          }
+          int size = s.init->decl_type.size();
+          if (size % 2 != 0) ++size;
+          if (s.init->decl_type.is_scalar() && size < 2) size = 2;
+          locals_[s.init->decl_name] = {frame, s.init->decl_type};
+          local_var_info li;
+          li.name = s.init->decl_name;
+          li.frame_offset = frame;
+          li.size_bytes = s.init->decl_type.size();
+          li.is_array = s.init->decl_type.is_array();
+          li.is_char = s.init->decl_type.is_char();
+          info.locals.push_back(li);
+          frame += size;
+        }
+      }
+    }
+  }
+
+  function_info emit_function(const function_decl& f) {
+    fn_ = &f;
+    locals_.clear();
+    loops_.clear();
+    push_depth_ = 0;
+    label_counter_ = 0;
+    epilogue_ = ".L" + f.name + "_epilogue";
+
+    function_info info;
+    info.name = f.name;
+    info.num_params = static_cast<int>(f.params.size());
+    info.returns_value = !f.ret.is_void();
+
+    int frame = 0;
+    // Parameters become the first frame slots.
+    if (f.params.size() > 8) fail(f.line, "more than 8 parameters");
+    for (const auto& p : f.params) {
+      if (locals_.count(p.name)) fail(f.line, "parameter redefined: " + p.name);
+      locals_[p.name] = {frame, p.ty};
+      local_var_info li;
+      li.name = p.name;
+      li.frame_offset = frame;
+      li.size_bytes = p.ty.size() < 2 ? 2 : p.ty.size();
+      li.is_array = false;
+      li.is_char = p.ty.is_char();
+      info.locals.push_back(li);
+      frame += 2;
+    }
+    collect_locals(f.body, info, frame, f.line);
+    info.frame_size = frame;
+
+    emit_label(f.name);
+    if (frame > 0) emit("sub #" + std::to_string(frame) + ", sp");
+    for (std::size_t i = 0; i < f.params.size(); ++i) {
+      emit("mov r" + std::to_string(15 - i) + ", " +
+           std::to_string(2 * static_cast<int>(i)) + "(sp)");
+    }
+    for (const auto& s : f.body) gen_stmt(*s);
+    emit_label(epilogue_);
+    if (frame > 0) emit("add #" + std::to_string(frame) + ", sp");
+    emit("ret");
+
+    if (push_depth_ != 0) {
+      fail(f.line, "internal: unbalanced expression stack");
+    }
+    fn_ = nullptr;
+    return info;
+  }
+
+  const translation_unit& tu_;
+  std::string text_;
+  std::map<std::string, const global_decl*> globals_;
+  std::map<std::string, const function_decl*> functions_;
+  std::set<std::string> helpers_;
+  std::vector<access_site> sites_;
+  int site_counter_ = 0;
+
+  // Per-function state.
+  const function_decl* fn_ = nullptr;
+  std::map<std::string, local_slot> locals_;
+  std::vector<loop_labels> loops_;
+  std::string epilogue_;
+  int push_depth_ = 0;
+  int label_counter_ = 0;
+};
+
+}  // namespace
+
+compile_result compile(std::string_view source) {
+  const translation_unit tu = parse(source);
+  return codegen(tu).run();
+}
+
+}  // namespace dialed::cc

@@ -1,0 +1,85 @@
+// Public facade of the mini-C compiler: source text in, MSP430 assembly out,
+// together with the debug information the verifier's memory-safety analysis
+// consumes (global extents and per-function frame layouts).
+//
+// ABI (matches the paper §IV): arguments in r15..r8 (first in r15), return
+// value in r15; r11..r15 caller-saved; r4 (DIALED log pointer) and r5
+// (instrumentation scratch) are never allocated.
+#ifndef DIALED_CC_COMPILER_H
+#define DIALED_CC_COMPILER_H
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cc/ast.h"
+
+namespace dialed::cc {
+
+/// A named memory object, for the verifier's bounds analysis.
+struct global_var_info {
+  std::string name;
+  int size_bytes = 0;
+  bool is_char = false;
+  bool is_array = false;
+  std::vector<std::int32_t> init;  ///< element initializers (may be short)
+};
+
+struct local_var_info {
+  std::string name;
+  int frame_offset = 0;  ///< bytes from SP after the prologue
+  int size_bytes = 0;
+  bool is_array = false;
+  bool is_char = false;
+};
+
+struct function_info {
+  std::string name;
+  int frame_size = 0;
+  int num_params = 0;
+  bool returns_value = false;
+  std::vector<local_var_info> locals;  ///< params first, then locals
+};
+
+/// One compiler-recorded array access: at the instruction labelled `label`
+/// the register r15 holds the effective address of an access into `object`.
+/// The verifier checks it against the object's extent during abstract
+/// execution — this is what detects data-only attacks like the paper's
+/// Fig. 2 without any programmer annotation (DIALED's key advantage over
+/// OAT, §I).
+struct access_site {
+  std::string label;  ///< ".Lbnd_<n>", resolvable via the image symbol table
+  std::string object;
+  std::string function;
+  bool is_global = false;
+  int local_offset_adj = 0;  ///< locals: extent base = r1 + this, at the site
+  int size_bytes = 0;
+};
+
+struct compile_result {
+  std::string asm_text;  ///< functions only; runtime helpers are separate
+  std::vector<global_var_info> globals;
+  std::vector<function_info> functions;  ///< in source order
+  std::set<std::string> helpers;  ///< runtime helpers referenced (__mulhi...)
+  std::vector<access_site> access_sites;
+
+  /// Per-function assembly, so the op-linker can order the entry function
+  /// last (its final `ret` becomes the instruction at ER_max).
+  std::vector<std::pair<std::string, std::string>> function_text;
+};
+
+/// Compile a translation unit. Throws dialed::error ("cc:<line>: ...") on
+/// the first front-end or codegen error.
+compile_result compile(std::string_view source);
+
+/// Assembly text of the requested runtime helpers (plus their transitive
+/// dependencies), suitable for placing inside the attested ER.
+std::string runtime_asm(const std::set<std::string>& helpers);
+
+/// All helpers the runtime provides (for tests).
+const std::set<std::string>& all_runtime_helpers();
+
+}  // namespace dialed::cc
+
+#endif  // DIALED_CC_COMPILER_H

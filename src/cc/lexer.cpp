@@ -1,0 +1,130 @@
+#include "cc/lexer.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/error.h"
+
+namespace dialed::cc {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw error("cc:" + std::to_string(line) + ": " + msg);
+}
+
+// Longest-match punctuation table (order matters: longest first).
+constexpr std::array<std::string_view, 33> puncts = {
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++",
+    "--",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=", "^=", "+",  "-",
+    "*",   "/",   "%",  "&",  "|",  "^",  "!",  "~",  "<",  ">",  "="};
+
+}  // namespace
+
+std::vector<token> lex(std::string_view src) {
+  std::vector<token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (src.substr(i).starts_with("//")) {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (src.substr(i).starts_with("/*")) {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) fail(line, "unterminated comment");
+      i += 2;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                       src[i] == '_')) {
+        ++i;
+      }
+      out.push_back({token::kind::identifier,
+                     std::string(src.substr(start, i - start)), 0, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t value = 0;
+      if (src.substr(i).starts_with("0x") || src.substr(i).starts_with("0X")) {
+        i += 2;
+        std::size_t digits = 0;
+        while (i < n && std::isxdigit(static_cast<unsigned char>(src[i]))) {
+          const char d = static_cast<char>(
+              std::tolower(static_cast<unsigned char>(src[i])));
+          value = value * 16 + (d <= '9' ? d - '0' : d - 'a' + 10);
+          ++i;
+          ++digits;
+        }
+        if (digits == 0) fail(line, "malformed hex literal");
+      } else {
+        while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) {
+          value = value * 10 + (src[i] - '0');
+          ++i;
+        }
+      }
+      out.push_back({token::kind::number, "", static_cast<std::int32_t>(value),
+                     line});
+      continue;
+    }
+    if (c == '\'') {
+      if (i + 2 >= n) fail(line, "unterminated character literal");
+      char v = src[i + 1];
+      std::size_t adv = 3;
+      if (v == '\\') {
+        if (i + 3 >= n) fail(line, "unterminated character literal");
+        switch (src[i + 2]) {
+          case 'n': v = '\n'; break;
+          case 't': v = '\t'; break;
+          case '0': v = '\0'; break;
+          case '\\': v = '\\'; break;
+          case '\'': v = '\''; break;
+          default: fail(line, "unknown escape in character literal");
+        }
+        adv = 4;
+      }
+      if (src[i + adv - 1] != '\'') fail(line, "unterminated character literal");
+      out.push_back({token::kind::number, "", v, line});
+      i += adv;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == '{' || c == '}' || c == '[' ||
+        c == ']' || c == ';' || c == ',') {
+      out.push_back({token::kind::punct, std::string(1, c), 0, line});
+      ++i;
+      continue;
+    }
+    bool matched = false;
+    for (const auto p : puncts) {
+      if (src.substr(i).starts_with(p)) {
+        out.push_back({token::kind::punct, std::string(p), 0, line});
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) fail(line, std::string("unexpected character '") + c + "'");
+  }
+  out.push_back({token::kind::eof, "", 0, line});
+  return out;
+}
+
+}  // namespace dialed::cc

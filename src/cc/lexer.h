@@ -1,0 +1,39 @@
+// Token stream for the mini-C front end.
+#ifndef DIALED_CC_LEXER_H
+#define DIALED_CC_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dialed::cc {
+
+struct token {
+  enum class kind : std::uint8_t {
+    identifier,
+    number,
+    punct,  ///< operators and separators, text holds the spelling
+    eof,
+  };
+  kind k = kind::eof;
+  std::string text;
+  std::int32_t value = 0;
+  int line = 1;
+
+  bool is(std::string_view p) const {
+    return k == kind::punct && text == p;
+  }
+  bool is_ident(std::string_view name) const {
+    return k == kind::identifier && text == name;
+  }
+};
+
+/// Tokenize mini-C source. Supports //- and /*-style comments, decimal,
+/// hex (0x...) and character ('a') literals. Throws dialed::error with
+/// "cc:<line>:" context on malformed input.
+std::vector<token> lex(std::string_view source);
+
+}  // namespace dialed::cc
+
+#endif  // DIALED_CC_LEXER_H

@@ -1,0 +1,538 @@
+#include "cc/parser.h"
+
+#include <optional>
+
+#include "cc/lexer.h"
+#include "common/error.h"
+
+namespace dialed::cc {
+
+int type::size() const {
+  switch (k) {
+    case kind::void_t: return 0;
+    case kind::char_t: return 1;
+    case kind::int_t:
+    case kind::pointer: return 2;
+    case kind::array: return array_len * elem->size();
+  }
+  return 0;
+}
+
+int type::elem_size() const {
+  if ((is_pointer() || is_array()) && elem) return elem->size();
+  return is_char() ? 1 : 2;
+}
+
+type make_int() { return {type::kind::int_t, nullptr, 0}; }
+type make_char() { return {type::kind::char_t, nullptr, 0}; }
+type make_void() { return {type::kind::void_t, nullptr, 0}; }
+type make_pointer(type elem) {
+  return {type::kind::pointer, std::make_shared<type>(std::move(elem)), 0};
+}
+type make_array(type elem, int len) {
+  return {type::kind::array, std::make_shared<type>(std::move(elem)), len};
+}
+
+std::string to_string(const type& t) {
+  switch (t.k) {
+    case type::kind::void_t: return "void";
+    case type::kind::int_t: return "int";
+    case type::kind::char_t: return "char";
+    case type::kind::pointer: return to_string(*t.elem) + "*";
+    case type::kind::array:
+      return to_string(*t.elem) + "[" + std::to_string(t.array_len) + "]";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw error("cc:" + std::to_string(line) + ": " + msg);
+}
+
+class parser {
+ public:
+  explicit parser(std::vector<token> toks) : toks_(std::move(toks)) {}
+
+  translation_unit run() {
+    translation_unit tu;
+    while (!peek().is("") && peek().k != token::kind::eof) {
+      parse_top_level(tu);
+    }
+    return tu;
+  }
+
+ private:
+  const token& peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  token next() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool accept(std::string_view p) {
+    if (peek().is(p)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(std::string_view p) {
+    if (!accept(p)) {
+      fail(peek().line,
+           "expected '" + std::string(p) + "', got '" + peek().text + "'");
+    }
+  }
+  std::string expect_ident() {
+    if (peek().k != token::kind::identifier) {
+      fail(peek().line, "expected identifier");
+    }
+    return next().text;
+  }
+
+  // type := ("void"|"int"|"unsigned"|"char") "*"*
+  std::optional<type> try_type() {
+    const token& t = peek();
+    if (t.k != token::kind::identifier) return std::nullopt;
+    type base;
+    if (t.text == "void") {
+      base = make_void();
+    } else if (t.text == "int" || t.text == "unsigned") {
+      base = make_int();
+    } else if (t.text == "char") {
+      base = make_char();
+    } else {
+      return std::nullopt;
+    }
+    ++pos_;
+    if (peek().is_ident("int") && base.k == type::kind::int_t) {
+      ++pos_;  // "unsigned int"
+    }
+    if (peek().is_ident("char")) {
+      ++pos_;  // "unsigned char"
+      base = make_char();
+    }
+    while (accept("*")) base = make_pointer(base);
+    return base;
+  }
+
+  void parse_top_level(translation_unit& tu) {
+    const int line = peek().line;
+    auto ty = try_type();
+    if (!ty) fail(line, "expected declaration");
+    const std::string name = expect_ident();
+
+    if (peek().is("(")) {
+      tu.functions.push_back(parse_function(*ty, name, line));
+      return;
+    }
+
+    // Global variable (possibly an array, possibly initialized).
+    global_decl g;
+    g.name = name;
+    g.ty = *ty;
+    g.line = line;
+    if (accept("[")) {
+      if (peek().k != token::kind::number) {
+        fail(line, "array length must be a literal");
+      }
+      const int len = next().value;
+      expect("]");
+      g.ty = make_array(*ty, len);
+    }
+    if (accept("=")) {
+      if (accept("{")) {
+        if (!peek().is("}")) {
+          do {
+            g.init.push_back(parse_const_expr());
+          } while (accept(","));
+        }
+        expect("}");
+      } else {
+        g.init.push_back(parse_const_expr());
+      }
+    }
+    expect(";");
+    tu.globals.push_back(std::move(g));
+  }
+
+  std::int32_t parse_const_expr() {
+    bool neg = accept("-");
+    if (peek().k != token::kind::number) {
+      fail(peek().line, "expected constant expression");
+    }
+    const std::int32_t v = next().value;
+    return neg ? -v : v;
+  }
+
+  function_decl parse_function(type ret, std::string name, int line) {
+    function_decl f;
+    f.name = std::move(name);
+    f.ret = std::move(ret);
+    f.line = line;
+    expect("(");
+    if (!peek().is(")")) {
+      if (peek().is_ident("void") && peek(1).is(")")) {
+        ++pos_;
+      } else {
+        do {
+          auto pty = try_type();
+          if (!pty) fail(peek().line, "expected parameter type");
+          if (pty->is_void()) fail(peek().line, "void parameter");
+          param p;
+          p.ty = *pty;
+          p.name = expect_ident();
+          if (accept("[")) {  // array parameter decays to pointer
+            expect("]");
+            p.ty = make_pointer(*pty);
+          }
+          f.params.push_back(std::move(p));
+        } while (accept(","));
+      }
+    }
+    expect(")");
+    expect("{");
+    while (!peek().is("}")) f.body.push_back(parse_stmt());
+    expect("}");
+    return f;
+  }
+
+  stmt_ptr parse_stmt() {
+    auto s = std::make_unique<stmt>();
+    s->line = peek().line;
+
+    if (accept("{")) {
+      s->k = stmt::kind::block;
+      while (!peek().is("}")) s->body.push_back(parse_stmt());
+      expect("}");
+      return s;
+    }
+    if (peek().is_ident("if")) {
+      ++pos_;
+      s->k = stmt::kind::if_;
+      expect("(");
+      s->e = parse_expr();
+      expect(")");
+      s->body.push_back(parse_stmt());
+      if (peek().is_ident("else")) {
+        ++pos_;
+        s->else_body.push_back(parse_stmt());
+      }
+      return s;
+    }
+    if (peek().is_ident("while")) {
+      ++pos_;
+      s->k = stmt::kind::while_;
+      expect("(");
+      s->e = parse_expr();
+      expect(")");
+      s->body.push_back(parse_stmt());
+      return s;
+    }
+    if (peek().is_ident("do")) {
+      ++pos_;
+      s->k = stmt::kind::do_while_;
+      s->body.push_back(parse_stmt());
+      if (!peek().is_ident("while")) fail(peek().line, "expected 'while'");
+      ++pos_;
+      expect("(");
+      s->e = parse_expr();
+      expect(")");
+      expect(";");
+      return s;
+    }
+    if (peek().is_ident("for")) {
+      ++pos_;
+      s->k = stmt::kind::for_;
+      expect("(");
+      if (!peek().is(";")) {
+        s->init = parse_simple_stmt();
+      } else {
+        ++pos_;
+      }
+      if (!peek().is(";")) s->e = parse_expr();
+      expect(";");
+      if (!peek().is(")")) s->step = parse_expr();
+      expect(")");
+      s->body.push_back(parse_stmt());
+      return s;
+    }
+    if (peek().is_ident("return")) {
+      ++pos_;
+      s->k = stmt::kind::return_;
+      if (!peek().is(";")) s->e = parse_expr();
+      expect(";");
+      return s;
+    }
+    if (peek().is_ident("break")) {
+      ++pos_;
+      s->k = stmt::kind::break_;
+      expect(";");
+      return s;
+    }
+    if (peek().is_ident("continue")) {
+      ++pos_;
+      s->k = stmt::kind::continue_;
+      expect(";");
+      return s;
+    }
+    return parse_simple_stmt();
+  }
+
+  /// declaration-or-expression statement, consuming the trailing ';'.
+  stmt_ptr parse_simple_stmt() {
+    auto s = std::make_unique<stmt>();
+    s->line = peek().line;
+    // Try a local declaration.
+    {
+      const std::size_t save = pos_;
+      if (auto ty = try_type()) {
+        if (peek().k == token::kind::identifier) {
+          s->k = stmt::kind::decl;
+          s->decl_type = *ty;
+          s->decl_name = expect_ident();
+          if (accept("[")) {
+            if (peek().k != token::kind::number) {
+              fail(s->line, "array length must be a literal");
+            }
+            const int len = next().value;
+            expect("]");
+            s->decl_type = make_array(*ty, len);
+          }
+          if (accept("=")) s->decl_init = parse_expr();
+          expect(";");
+          return s;
+        }
+        pos_ = save;
+      }
+    }
+    s->k = stmt::kind::expression;
+    s->e = parse_expr();
+    expect(";");
+    return s;
+  }
+
+  // ---- expressions (precedence climbing) ----
+  expr_ptr parse_expr() { return parse_assign(); }
+
+  expr_ptr parse_assign() {
+    expr_ptr lhs = parse_logical_or();
+    const int line = peek().line;
+    static constexpr struct {
+      std::string_view tok;
+      binop op;
+    } compound[] = {{"+=", binop::add},  {"-=", binop::sub},
+                    {"*=", binop::mul},  {"/=", binop::div},
+                    {"%=", binop::mod},  {"&=", binop::band},
+                    {"|=", binop::bor},  {"^=", binop::bxor},
+                    {"<<=", binop::shl}, {">>=", binop::shr}};
+    if (accept("=")) {
+      auto e = std::make_unique<expr>();
+      e->k = expr::kind::assign;
+      e->line = line;
+      e->lhs = std::move(lhs);
+      e->rhs = parse_assign();
+      return e;
+    }
+    for (const auto& c : compound) {
+      if (peek().is(c.tok)) {
+        ++pos_;
+        // a op= b  ==>  a = (a op b), duplicating the lvalue AST.
+        auto dup = clone(*lhs);
+        auto bin = std::make_unique<expr>();
+        bin->k = expr::kind::binary;
+        bin->line = line;
+        bin->op = c.op;
+        bin->lhs = std::move(dup);
+        bin->rhs = parse_assign();
+        auto e = std::make_unique<expr>();
+        e->k = expr::kind::assign;
+        e->line = line;
+        e->lhs = std::move(lhs);
+        e->rhs = std::move(bin);
+        return e;
+      }
+    }
+    return lhs;
+  }
+
+  expr_ptr clone(const expr& src) {
+    auto e = std::make_unique<expr>();
+    e->k = src.k;
+    e->line = src.line;
+    e->value = src.value;
+    e->name = src.name;
+    e->op = src.op;
+    e->uop = src.uop;
+    if (src.lhs) e->lhs = clone(*src.lhs);
+    if (src.rhs) e->rhs = clone(*src.rhs);
+    for (const auto& a : src.args) e->args.push_back(clone(*a));
+    return e;
+  }
+
+  expr_ptr binary_chain(expr_ptr (parser::*sub)(),
+                        std::initializer_list<std::pair<std::string_view, binop>>
+                            table) {
+    expr_ptr lhs = (this->*sub)();
+    for (;;) {
+      bool matched = false;
+      for (const auto& [tok, op] : table) {
+        if (peek().is(tok)) {
+          const int line = peek().line;
+          ++pos_;
+          auto e = std::make_unique<expr>();
+          e->k = expr::kind::binary;
+          e->line = line;
+          e->op = op;
+          e->lhs = std::move(lhs);
+          e->rhs = (this->*sub)();
+          lhs = std::move(e);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  expr_ptr parse_logical_or() {
+    return binary_chain(&parser::parse_logical_and, {{"||", binop::lor}});
+  }
+  expr_ptr parse_logical_and() {
+    return binary_chain(&parser::parse_bit_or, {{"&&", binop::land}});
+  }
+  expr_ptr parse_bit_or() {
+    return binary_chain(&parser::parse_bit_xor, {{"|", binop::bor}});
+  }
+  expr_ptr parse_bit_xor() {
+    return binary_chain(&parser::parse_bit_and, {{"^", binop::bxor}});
+  }
+  expr_ptr parse_bit_and() {
+    return binary_chain(&parser::parse_equality, {{"&", binop::band}});
+  }
+  expr_ptr parse_equality() {
+    return binary_chain(&parser::parse_relational,
+                        {{"==", binop::eq}, {"!=", binop::ne}});
+  }
+  expr_ptr parse_relational() {
+    return binary_chain(&parser::parse_shift, {{"<=", binop::le},
+                                               {">=", binop::ge},
+                                               {"<", binop::lt},
+                                               {">", binop::gt}});
+  }
+  expr_ptr parse_shift() {
+    return binary_chain(&parser::parse_additive,
+                        {{"<<", binop::shl}, {">>", binop::shr}});
+  }
+  expr_ptr parse_additive() {
+    return binary_chain(&parser::parse_multiplicative,
+                        {{"+", binop::add}, {"-", binop::sub}});
+  }
+  expr_ptr parse_multiplicative() {
+    return binary_chain(
+        &parser::parse_unary,
+        {{"*", binop::mul}, {"/", binop::div}, {"%", binop::mod}});
+  }
+
+  expr_ptr parse_unary() {
+    const int line = peek().line;
+    auto mk_unary = [&](unop u) {
+      ++pos_;
+      auto e = std::make_unique<expr>();
+      e->k = expr::kind::unary;
+      e->line = line;
+      e->uop = u;
+      e->lhs = parse_unary();
+      return e;
+    };
+    if (peek().is("-")) return mk_unary(unop::neg);
+    if (peek().is("!")) return mk_unary(unop::lnot);
+    if (peek().is("~")) return mk_unary(unop::bnot);
+    if (peek().is("*")) return mk_unary(unop::deref);
+    if (peek().is("&")) return mk_unary(unop::addr);
+    if (peek().is("++") || peek().is("--")) {
+      const int delta = peek().is("++") ? 1 : -1;
+      ++pos_;
+      auto e = std::make_unique<expr>();
+      e->k = expr::kind::pre_incdec;
+      e->line = line;
+      e->value = delta;
+      e->lhs = parse_unary();
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  expr_ptr parse_postfix() {
+    expr_ptr e = parse_primary();
+    for (;;) {
+      const int line = peek().line;
+      if (accept("[")) {
+        auto idx = std::make_unique<expr>();
+        idx->k = expr::kind::index;
+        idx->line = line;
+        idx->lhs = std::move(e);
+        idx->rhs = parse_expr();
+        expect("]");
+        e = std::move(idx);
+        continue;
+      }
+      if (peek().is("++") || peek().is("--")) {
+        const int delta = peek().is("++") ? 1 : -1;
+        ++pos_;
+        auto p = std::make_unique<expr>();
+        p->k = expr::kind::post_incdec;
+        p->line = line;
+        p->value = delta;
+        p->lhs = std::move(e);
+        e = std::move(p);
+        continue;
+      }
+      return e;
+    }
+  }
+
+  expr_ptr parse_primary() {
+    const token& t = peek();
+    auto e = std::make_unique<expr>();
+    e->line = t.line;
+    if (t.k == token::kind::number) {
+      e->k = expr::kind::literal;
+      e->value = next().value;
+      return e;
+    }
+    if (accept("(")) {
+      e = parse_expr();
+      expect(")");
+      return e;
+    }
+    if (t.k == token::kind::identifier) {
+      const std::string name = next().text;
+      if (accept("(")) {
+        e->k = expr::kind::call;
+        e->name = name;
+        if (!peek().is(")")) {
+          do {
+            e->args.push_back(parse_expr());
+          } while (accept(","));
+        }
+        expect(")");
+        return e;
+      }
+      e->k = expr::kind::ident;
+      e->name = name;
+      return e;
+    }
+    fail(t.line, "expected expression, got '" + t.text + "'");
+  }
+
+  std::vector<token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+translation_unit parse(std::string_view source) {
+  return parser(lex(source)).run();
+}
+
+}  // namespace dialed::cc

@@ -1,0 +1,17 @@
+// Recursive-descent parser for the mini-C subset.
+#ifndef DIALED_CC_PARSER_H
+#define DIALED_CC_PARSER_H
+
+#include <string_view>
+
+#include "cc/ast.h"
+
+namespace dialed::cc {
+
+/// Parse a full translation unit. Throws dialed::error ("cc:<line>: ...")
+/// on the first syntax error.
+translation_unit parse(std::string_view source);
+
+}  // namespace dialed::cc
+
+#endif  // DIALED_CC_PARSER_H

@@ -1,0 +1,196 @@
+// Assembly runtime for compiled operations. The MSP430 has no hardware
+// multiply/divide, so the compiler lowers *, /, %, << and >> to these
+// helpers, exactly as msp430-gcc's libgcc does. The helpers live inside the
+// attested ER and are instrumented together with the op (their reads are
+// register-only, so they add no I-Log entries — only CF-Log ones).
+//
+// ABI: first operand r15, second r14; result r15; r12/r13 scratch.
+#include <map>
+#include <vector>
+
+#include "cc/compiler.h"
+#include "common/error.h"
+
+namespace dialed::cc {
+
+namespace {
+
+struct helper_def {
+  const char* text;
+  std::vector<std::string> deps;
+};
+
+const std::map<std::string, helper_def>& helper_table() {
+  static const std::map<std::string, helper_def> table = {
+      {"__mulhi",
+       {R"(__mulhi:                       ; r15 = r15 * r14 (shift-add)
+        mov r15, r13
+        mov #0, r15
+__mulhi_loop:
+        tst r14
+        jeq __mulhi_done
+        bit #1, r14
+        jeq __mulhi_noadd
+        add r13, r15
+__mulhi_noadd:
+        rla r13
+        clrc
+        rrc r14
+        jmp __mulhi_loop
+__mulhi_done:
+        ret
+)",
+        {}}},
+      {"__udivhi",
+       {R"(__udivhi:                      ; r15 = r15 / r14 (unsigned), r13 = remainder
+        mov #0, r13
+        mov #16, r12
+__udivhi_loop:
+        rla r15
+        rlc r13
+        cmp r14, r13
+        jlo __udivhi_skip
+        sub r14, r13
+        bis #1, r15
+__udivhi_skip:
+        dec r12
+        jne __udivhi_loop
+        ret
+)",
+        {}}},
+      {"__divhi",
+       {R"(__divhi:                       ; r15 = r15 / r14 (signed)
+        mov #0, r12
+        tst r15
+        jge __divhi_p1
+        inv r15
+        inc r15
+        xor #1, r12
+__divhi_p1:
+        tst r14
+        jge __divhi_p2
+        inv r14
+        inc r14
+        xor #1, r12
+__divhi_p2:
+        push r12
+        call #__udivhi
+        pop r12
+        tst r12
+        jeq __divhi_done
+        inv r15
+        inc r15
+__divhi_done:
+        ret
+)",
+        {"__udivhi"}}},
+      {"__modhi",
+       {R"(__modhi:                       ; r15 = r15 % r14 (sign follows dividend)
+        mov #0, r12
+        tst r15
+        jge __modhi_p1
+        inv r15
+        inc r15
+        mov #1, r12
+__modhi_p1:
+        tst r14
+        jge __modhi_p2
+        inv r14
+        inc r14
+__modhi_p2:
+        push r12
+        call #__udivhi
+        pop r12
+        mov r13, r15
+        tst r12
+        jeq __modhi_done
+        inv r15
+        inc r15
+__modhi_done:
+        ret
+)",
+        {"__udivhi"}}},
+      {"__shlhi",
+       {R"(__shlhi:                       ; r15 = r15 << r14
+        tst r14
+        jeq __shlhi_done
+__shlhi_loop:
+        rla r15
+        dec r14
+        jne __shlhi_loop
+__shlhi_done:
+        ret
+)",
+        {}}},
+      {"__shrhi",
+       {R"(__shrhi:                       ; r15 = r15 >> r14 (logical)
+        tst r14
+        jeq __shrhi_done
+__shrhi_loop:
+        clrc
+        rrc r15
+        dec r14
+        jne __shrhi_loop
+__shrhi_done:
+        ret
+)",
+        {}}},
+      {"__delay",
+       {R"(__delay:                       ; busy-wait r15 iterations
+        tst r15
+        jeq __delay_done
+__delay_loop:
+        dec r15
+        jne __delay_loop
+__delay_done:
+        ret
+)",
+        {}}},
+      {"__memcpy",
+       {R"(__memcpy:                      ; copy r13 bytes from r14 to r15
+        tst r13
+        jeq __memcpy_done
+__memcpy_loop:
+        mov.b @r14+, 0(r15)
+        inc r15
+        dec r13
+        jne __memcpy_loop
+__memcpy_done:
+        ret
+)",
+        {}}},
+  };
+  return table;
+}
+
+void add_with_deps(const std::string& name, std::set<std::string>& closed,
+                   std::string& out) {
+  if (closed.count(name)) return;
+  const auto it = helper_table().find(name);
+  if (it == helper_table().end()) {
+    throw error("cc: unknown runtime helper '" + name + "'");
+  }
+  closed.insert(name);
+  for (const auto& d : it->second.deps) add_with_deps(d, closed, out);
+  out += it->second.text;
+}
+
+}  // namespace
+
+std::string runtime_asm(const std::set<std::string>& helpers) {
+  std::string out;
+  std::set<std::string> closed;
+  for (const auto& h : helpers) add_with_deps(h, closed, out);
+  return out;
+}
+
+const std::set<std::string>& all_runtime_helpers() {
+  static const std::set<std::string> names = [] {
+    std::set<std::string> n;
+    for (const auto& [name, def] : helper_table()) n.insert(name);
+    return n;
+  }();
+  return names;
+}
+
+}  // namespace dialed::cc

@@ -1,0 +1,53 @@
+#include "common/bytes.h"
+
+#include <array>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace dialed {
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+byte_vec from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    throw error("common: from_hex requires an even-length string");
+  }
+  byte_vec out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw error("common: from_hex found a non-hex character");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string hex16(std::uint16_t v) {
+  std::array<char, 8> buf{};
+  std::snprintf(buf.data(), buf.size(), "0x%04x", v);
+  return std::string(buf.data());
+}
+
+}  // namespace dialed

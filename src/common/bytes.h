@@ -1,0 +1,42 @@
+// Byte-buffer helpers shared across the library: hex formatting, and
+// little-endian 16-bit loads/stores (the MSP430 is little-endian).
+#ifndef DIALED_COMMON_BYTES_H
+#define DIALED_COMMON_BYTES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dialed {
+
+using byte_vec = std::vector<std::uint8_t>;
+
+/// Lowercase hex string of a byte span ("deadbeef"); no separators.
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Parse a hex string (even length, upper or lower case). Throws
+/// dialed::error on malformed input.
+byte_vec from_hex(const std::string& hex);
+
+/// Format a 16-bit value as "0x%04x".
+std::string hex16(std::uint16_t v);
+
+/// Little-endian 16-bit load from `bytes[offset..offset+1]`.
+constexpr std::uint16_t load_le16(std::span<const std::uint8_t> bytes,
+                                  std::size_t offset) {
+  return static_cast<std::uint16_t>(bytes[offset] |
+                                    (bytes[offset + 1] << 8));
+}
+
+/// Little-endian 16-bit store to `bytes[offset..offset+1]`.
+constexpr void store_le16(std::span<std::uint8_t> bytes, std::size_t offset,
+                          std::uint16_t v) {
+  bytes[offset] = static_cast<std::uint8_t>(v & 0xff);
+  bytes[offset + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+}  // namespace dialed
+
+#endif  // DIALED_COMMON_BYTES_H

@@ -1,0 +1,24 @@
+// Common error type for the DIALED library.
+//
+// Hard failures (API misuse, malformed images, broken invariants) throw
+// dialed::error; user-input problems in the toolchain (mini-C source or
+// assembly diagnostics) are instead collected in diagnostic lists so a
+// front end can report all of them at once.
+#ifndef DIALED_COMMON_ERROR_H
+#define DIALED_COMMON_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace dialed {
+
+/// Library-wide exception type. The `what()` string always names the
+/// subsystem that raised it, e.g. "emu: fetch from unmapped address 0x1234".
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+}  // namespace dialed
+
+#endif  // DIALED_COMMON_ERROR_H

@@ -1,0 +1,49 @@
+#include "crypto/hmac.h"
+
+#include <algorithm>
+
+namespace dialed::crypto {
+
+hmac_sha256::hmac_sha256(std::span<const std::uint8_t> key) {
+  std::array<std::uint8_t, sha256::block_size> block_key{};
+  if (key.size() > sha256::block_size) {
+    const auto digest = sha256::hash(key);
+    std::copy(digest.begin(), digest.end(), block_key.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block_key.begin());
+  }
+
+  std::array<std::uint8_t, sha256::block_size> ipad_key{};
+  for (std::size_t i = 0; i < sha256::block_size; ++i) {
+    ipad_key[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  }
+  inner_.update(ipad_key);
+}
+
+void hmac_sha256::update(std::span<const std::uint8_t> data) {
+  inner_.update(data);
+}
+
+hmac_sha256::mac hmac_sha256::finish() {
+  const auto inner_digest = inner_.finish();
+  sha256 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+hmac_sha256::mac hmac_sha256::compute(std::span<const std::uint8_t> key,
+                                      std::span<const std::uint8_t> data) {
+  hmac_sha256 h(key);
+  h.update(data);
+  return h.finish();
+}
+
+bool hmac_sha256::equal(const mac& a, const mac& b) {
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace dialed::crypto

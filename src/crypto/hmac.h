@@ -1,0 +1,36 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1), the MAC used by VRASED's SW-Att to
+// authenticate attestation reports.
+#ifndef DIALED_CRYPTO_HMAC_H
+#define DIALED_CRYPTO_HMAC_H
+
+#include <span>
+
+#include "crypto/sha256.h"
+
+namespace dialed::crypto {
+
+/// Incremental HMAC-SHA256 keyed at construction.
+class hmac_sha256 {
+ public:
+  using mac = sha256::digest;
+
+  explicit hmac_sha256(std::span<const std::uint8_t> key);
+
+  void update(std::span<const std::uint8_t> data);
+  mac finish();
+
+  /// One-shot convenience.
+  static mac compute(std::span<const std::uint8_t> key,
+                     std::span<const std::uint8_t> data);
+
+  /// Constant-time comparison of two MACs.
+  static bool equal(const mac& a, const mac& b);
+
+ private:
+  std::array<std::uint8_t, sha256::block_size> opad_key_{};
+  sha256 inner_;
+};
+
+}  // namespace dialed::crypto
+
+#endif  // DIALED_CRYPTO_HMAC_H

@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4). VRASED's SW-Att computes HMAC-SHA256 over attested
+// memory; this is the self-contained implementation backing it.
+#ifndef DIALED_CRYPTO_SHA256_H
+#define DIALED_CRYPTO_SHA256_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace dialed::crypto {
+
+/// Incremental SHA-256. Reusable after `reset()`.
+class sha256 {
+ public:
+  static constexpr std::size_t digest_size = 32;
+  static constexpr std::size_t block_size = 64;
+  using digest = std::array<std::uint8_t, digest_size>;
+
+  sha256() { reset(); }
+
+  /// Restore the initial hash state; discards any buffered input.
+  void reset();
+
+  /// Absorb `data`; may be called any number of times.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Pad, finalize and return the digest. The object must be `reset()`
+  /// before further use.
+  digest finish();
+
+  /// One-shot convenience.
+  static digest hash(std::span<const std::uint8_t> data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, block_size> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace dialed::crypto
+
+#endif  // DIALED_CRYPTO_SHA256_H

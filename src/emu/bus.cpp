@@ -1,0 +1,87 @@
+#include "emu/bus.h"
+
+#include <algorithm>
+
+namespace dialed::emu {
+
+std::uint8_t bus::raw_read8(std::uint16_t addr) {
+  for (mmio_device* d : devices_) {
+    if (d->owns(addr)) return d->read8(addr);
+  }
+  return mem_[addr];
+}
+
+void bus::raw_write8(std::uint16_t addr, std::uint8_t value) {
+  for (mmio_device* d : devices_) {
+    if (d->owns(addr)) {
+      d->write8(addr, value);
+      return;
+    }
+  }
+  mem_[addr] = value;
+}
+
+void bus::notify(const bus_access& a) {
+  for (watcher* w : watchers_) w->on_access(a);
+}
+
+std::uint8_t bus::read8(std::uint16_t addr, bool dma) {
+  const std::uint8_t v = raw_read8(addr);
+  notify({addr, v, true, false, dma});
+  return v;
+}
+
+std::uint16_t bus::read16(std::uint16_t addr, bool dma) {
+  const std::uint16_t a = addr & 0xfffe;
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      raw_read8(a) | (raw_read8(static_cast<std::uint16_t>(a + 1)) << 8));
+  notify({a, v, false, false, dma});
+  return v;
+}
+
+void bus::write8(std::uint16_t addr, std::uint8_t value, bool dma) {
+  raw_write8(addr, value);
+  notify({addr, value, true, true, dma});
+}
+
+void bus::write16(std::uint16_t addr, std::uint16_t value, bool dma) {
+  const std::uint16_t a = addr & 0xfffe;
+  raw_write8(a, static_cast<std::uint8_t>(value & 0xff));
+  raw_write8(static_cast<std::uint16_t>(a + 1),
+             static_cast<std::uint8_t>(value >> 8));
+  notify({a, value, false, true, dma});
+}
+
+std::uint8_t bus::peek8(std::uint16_t addr) const { return mem_[addr]; }
+
+std::uint16_t bus::peek16(std::uint16_t addr) const {
+  const std::uint16_t a = addr & 0xfffe;
+  return static_cast<std::uint16_t>(mem_[a] | (mem_[a + 1] << 8));
+}
+
+void bus::poke8(std::uint16_t addr, std::uint8_t value) { mem_[addr] = value; }
+
+void bus::poke16(std::uint16_t addr, std::uint16_t value) {
+  const std::uint16_t a = addr & 0xfffe;
+  mem_[a] = static_cast<std::uint8_t>(value & 0xff);
+  mem_[a + 1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+void bus::remove_watcher(const watcher* w) {
+  watchers_.erase(std::remove(watchers_.begin(), watchers_.end(), w),
+                  watchers_.end());
+}
+
+void bus::notify_exec(std::uint16_t pc, const isa::instruction& ins) {
+  for (watcher* w : watchers_) w->on_exec(pc, ins);
+}
+
+void bus::notify_irq(std::uint16_t vector) {
+  for (watcher* w : watchers_) w->on_irq(vector);
+}
+
+void bus::notify_reset() {
+  for (watcher* w : watchers_) w->on_reset();
+}
+
+}  // namespace dialed::emu

@@ -1,0 +1,84 @@
+// MSP430 CPU core: fetch/decode/execute with full flag semantics, interrupt
+// servicing and the SLAU049 cycle model. Data accesses go through the bus
+// observers so the rot monitors see exactly what hardware would.
+#ifndef DIALED_EMU_CPU_H
+#define DIALED_EMU_CPU_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "emu/bus.h"
+#include "isa/isa.h"
+
+namespace dialed::emu {
+
+class cpu {
+ public:
+  explicit cpu(bus& b) : bus_(b) {}
+
+  /// Load PC from the reset vector; clears registers and the cycle count.
+  void reset();
+
+  struct step_info {
+    std::uint16_t pc = 0;       ///< address of the executed instruction
+    isa::instruction ins{};     ///< decoded instruction (undefined for irq)
+    int cycles = 0;
+    bool serviced_irq = false;  ///< this step took an interrupt instead
+  };
+
+  /// Service a pending interrupt (if GIE) or execute one instruction.
+  step_info step();
+
+  std::array<std::uint16_t, 16>& regs() { return regs_; }
+  const std::array<std::uint16_t, 16>& regs() const { return regs_; }
+  std::uint16_t pc() const { return regs_[isa::REG_PC]; }
+  void set_pc(std::uint16_t v) { regs_[isa::REG_PC] = v; }
+  std::uint64_t cycles() const { return cycles_; }
+
+  /// Charge extra cycles (used by the native SW-Att model to account for
+  /// the cost the routine would have on the real MCU).
+  void add_cycles(std::uint64_t n) { cycles_ += n; }
+
+  /// Assert interrupt `index` (vector at ivt_start + 2*index). It is
+  /// serviced before the next instruction if GIE is set, otherwise it stays
+  /// pending.
+  void request_interrupt(int index) { pending_irq_ = index; }
+  bool irq_pending() const { return pending_irq_.has_value(); }
+
+ private:
+  struct operand_ref {
+    bool is_reg = true;
+    std::uint8_t reg = 0;
+    std::uint16_t addr = 0;
+  };
+
+  std::uint16_t read_operand(const isa::operand& op, bool byte,
+                             operand_ref* ref);
+  std::uint16_t read_ref(const operand_ref& ref, bool byte);
+  void write_ref(const operand_ref& ref, std::uint16_t value, bool byte);
+  void execute(const isa::instruction& ins);
+
+  // Flag helpers (operate on regs_[SR]).
+  bool flag(std::uint16_t bit) const { return (regs_[isa::REG_SR] & bit) != 0; }
+  void set_flag(std::uint16_t bit, bool v) {
+    if (v) {
+      regs_[isa::REG_SR] |= bit;
+    } else {
+      regs_[isa::REG_SR] &= static_cast<std::uint16_t>(~bit);
+    }
+  }
+  void set_nz(std::uint16_t result, bool byte);
+
+  void push_word(std::uint16_t v);
+  std::uint16_t pop_word();
+
+  bus& bus_;
+  std::array<std::uint16_t, 16> regs_{};
+  std::uint64_t cycles_ = 0;
+  std::optional<int> pending_irq_;
+};
+
+}  // namespace dialed::emu
+
+#endif  // DIALED_EMU_CPU_H

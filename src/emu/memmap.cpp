@@ -1,0 +1,41 @@
+#include "emu/memmap.h"
+
+namespace dialed::emu {
+
+std::map<std::string, std::uint16_t> memory_map::predefined_symbols() const {
+  return {
+      {"RAM_START", ram_start},
+      {"RAM_END", ram_end},
+      {"OR_MIN", or_min},
+      {"OR_MAX", or_max},
+      {"STACK_INIT", stack_init},
+      {"KEY_BASE", key_base},
+      {"MAC_BASE", mac_base},
+      {"SROM_ENTRY", srom_start},
+      {"FLASH_START", flash_start},
+      {"IVT_START", ivt_start},
+      {"RESET_VECTOR", reset_vector},
+      {"P3OUT", p3out},
+      {"P3IN", p3in},
+      {"NET_DATA", net_data},
+      {"NET_AVAIL", net_avail},
+      {"NET_TX", net_tx},
+      {"ADC_MEM", adc_mem},
+      {"TAR", tar},
+      {"HALT_PORT", halt_port},
+      {"ARGS_BASE", args_base},
+      {"RESULT", result_addr},
+      {"META_BASE", meta_base},
+      {"META_ER_MIN", static_cast<std::uint16_t>(meta_base + META_ER_MIN)},
+      {"META_ER_MAX", static_cast<std::uint16_t>(meta_base + META_ER_MAX)},
+      {"META_OR_MIN", static_cast<std::uint16_t>(meta_base + META_OR_MIN)},
+      {"META_OR_MAX", static_cast<std::uint16_t>(meta_base + META_OR_MAX)},
+      {"META_EXEC", static_cast<std::uint16_t>(meta_base + META_EXEC)},
+      {"META_CHAL", static_cast<std::uint16_t>(meta_base + META_CHAL)},
+      {"HALT_CLEAN", HALT_CLEAN},
+      {"HALT_ABORT", HALT_ABORT},
+      {"HALT_FAULT", HALT_FAULT},
+  };
+}
+
+}  // namespace dialed::emu

@@ -1,0 +1,114 @@
+#include "emu/peripherals.h"
+
+#include "common/error.h"
+
+namespace dialed::emu {
+
+std::uint8_t gpio_device::read8(std::uint16_t addr) {
+  if (addr == map_.p3in) return p3in_;
+  return p3out_;
+}
+
+void gpio_device::write8(std::uint16_t addr, std::uint8_t value) {
+  if (addr == map_.p3out) {
+    p3out_ = value;
+    history_.push_back({now_(), value});
+  }
+  // Writes to the input register are ignored, as on hardware.
+}
+
+std::uint8_t net_device::read8(std::uint16_t addr) {
+  if (addr == map_.net_data) {
+    // Idempotent read of the FIFO head: the DIALED logging stub and the
+    // instrumented instruction each read the register once (paper Fig. 5
+    // reads the source twice), so reads must not self-advance. Software
+    // acknowledges the byte by writing NET_DATA.
+    return rx_.empty() ? 0 : rx_.front();
+  }
+  if (addr == map_.net_avail) {
+    return static_cast<std::uint8_t>(
+        rx_.size() > 0xff ? 0xff : rx_.size());
+  }
+  return 0;
+}
+
+void net_device::write8(std::uint16_t addr, std::uint8_t value) {
+  if (addr == map_.net_tx) tx_.push_back(value);
+  if (addr == map_.net_data && !rx_.empty()) rx_.pop_front();  // ack/advance
+}
+
+std::uint8_t adc_device::read8(std::uint16_t addr) {
+  // Reads are idempotent (see net_device::read8): they return the last
+  // converted sample. A write to ADC_MEM triggers the next conversion.
+  if (addr == map_.adc_mem) {
+    return static_cast<std::uint8_t>(last_ & 0xff);
+  }
+  return static_cast<std::uint8_t>(last_ >> 8);
+}
+
+void adc_device::write8(std::uint16_t addr, std::uint8_t) {
+  // Only the low-byte (control) write triggers, so a 16-bit store to
+  // ADC_MEM converts exactly one sample.
+  if (addr != map_.adc_mem) return;
+  if (!samples_.empty()) {
+    last_ = samples_.front();
+    samples_.pop_front();
+  }
+}
+
+std::uint8_t timer_device::read8(std::uint16_t addr) {
+  const std::uint16_t t = static_cast<std::uint16_t>(now_() & 0xffff);
+  if (addr == map_.tar) return static_cast<std::uint8_t>(t & 0xff);
+  return static_cast<std::uint8_t>(t >> 8);
+}
+
+void halt_device::write8(std::uint16_t addr, std::uint8_t value) {
+  if (addr == map_.halt_port) {
+    low_ = value;
+    halt_(low_);  // byte write halts immediately with the byte code
+  } else {
+    halt_(static_cast<std::uint16_t>((value << 8) | low_));
+  }
+}
+
+std::uint8_t mailbox_device::read8(std::uint16_t addr) {
+  if (addr >= map_.args_base && addr < map_.args_base + 16) {
+    const int off = addr - map_.args_base;
+    const std::uint16_t w = args_[static_cast<std::size_t>(off / 2)];
+    return static_cast<std::uint8_t>((off % 2) ? (w >> 8) : (w & 0xff));
+  }
+  if (addr == map_.result_addr) {
+    return static_cast<std::uint8_t>(result_ & 0xff);
+  }
+  return static_cast<std::uint8_t>(result_ >> 8);
+}
+
+void mailbox_device::write8(std::uint16_t addr, std::uint8_t value) {
+  if (addr == map_.result_addr) {
+    result_ = static_cast<std::uint16_t>((result_ & 0xff00) | value);
+    return;
+  }
+  if (addr == static_cast<std::uint16_t>(map_.result_addr + 1)) {
+    result_ = static_cast<std::uint16_t>((result_ & 0x00ff) | (value << 8));
+    return;
+  }
+  const int off = addr - map_.args_base;
+  auto& w = args_[static_cast<std::size_t>(off / 2)];
+  if (off % 2) {
+    w = static_cast<std::uint16_t>((w & 0x00ff) | (value << 8));
+  } else {
+    w = static_cast<std::uint16_t>((w & 0xff00) | value);
+  }
+}
+
+void mailbox_device::set_arg(int i, std::uint16_t v) {
+  if (i < 0 || i > 7) throw error("emu: argument index out of range");
+  args_[static_cast<std::size_t>(i)] = v;
+}
+
+std::uint16_t mailbox_device::arg(int i) const {
+  if (i < 0 || i > 7) throw error("emu: argument index out of range");
+  return args_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace dialed::emu

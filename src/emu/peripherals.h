@@ -1,0 +1,163 @@
+// Memory-mapped peripherals of the emulated device: GPIO (the paper's
+// actuation port P3OUT), a network/UART RX-TX mailbox, an ADC sample queue,
+// a free-running timer, host argument/result mailboxes and the halt latch.
+#ifndef DIALED_EMU_PERIPHERALS_H
+#define DIALED_EMU_PERIPHERALS_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "emu/bus.h"
+#include "emu/memmap.h"
+
+namespace dialed::emu {
+
+/// GPIO port 3 (extendable to other ports). Records every write to P3OUT
+/// with its cycle stamp so tests can check actuation behaviour (e.g. "was
+/// the medicine pump ever driven?", paper §II-B).
+class gpio_device final : public mmio_device {
+ public:
+  gpio_device(const memory_map& map, std::function<std::uint64_t()> now)
+      : map_(map), now_(std::move(now)) {}
+
+  struct write_record {
+    std::uint64_t cycle;
+    std::uint8_t value;
+  };
+
+  bool owns(std::uint16_t addr) const override {
+    return addr == map_.p3out || addr == map_.p3in;
+  }
+  std::uint8_t read8(std::uint16_t addr) override;
+  void write8(std::uint16_t addr, std::uint8_t value) override;
+
+  void set_input(std::uint8_t v) { p3in_ = v; }
+  std::uint8_t output() const { return p3out_; }
+  const std::vector<write_record>& history() const { return history_; }
+  void clear_history() { history_.clear(); }
+
+ private:
+  memory_map map_;
+  std::function<std::uint64_t()> now_;
+  std::uint8_t p3in_ = 0;
+  std::uint8_t p3out_ = 0;
+  std::vector<write_record> history_;
+};
+
+/// Network / UART mailbox: the host pushes RX bytes; the program reads the
+/// FIFO head at net_data (idempotent), acknowledges it by writing net_data,
+/// and polls net_avail; TX bytes written to net_tx are collected for the
+/// host.
+class net_device final : public mmio_device {
+ public:
+  explicit net_device(const memory_map& map) : map_(map) {}
+
+  bool owns(std::uint16_t addr) const override {
+    return addr == map_.net_data || addr == map_.net_avail ||
+           addr == map_.net_tx;
+  }
+  std::uint8_t read8(std::uint16_t addr) override;
+  void write8(std::uint16_t addr, std::uint8_t value) override;
+
+  void push_rx(std::uint8_t b) { rx_.push_back(b); }
+  void push_rx_word(std::uint16_t w) {
+    rx_.push_back(static_cast<std::uint8_t>(w & 0xff));
+    rx_.push_back(static_cast<std::uint8_t>(w >> 8));
+  }
+  const std::vector<std::uint8_t>& tx() const { return tx_; }
+
+ private:
+  memory_map map_;
+  std::deque<std::uint8_t> rx_;
+  std::vector<std::uint8_t> tx_;
+};
+
+/// ADC with a host-fed sample queue. A write to adc_mem triggers the next
+/// conversion (pops the queue into the result register); reads return the
+/// last converted sample and are side-effect free, as the read-twice
+/// instrumentation requires.
+class adc_device final : public mmio_device {
+ public:
+  explicit adc_device(const memory_map& map) : map_(map) {}
+
+  bool owns(std::uint16_t addr) const override {
+    return addr == map_.adc_mem ||
+           addr == static_cast<std::uint16_t>(map_.adc_mem + 1);
+  }
+  std::uint8_t read8(std::uint16_t addr) override;
+  void write8(std::uint16_t addr, std::uint8_t value) override;
+
+  void push_sample(std::uint16_t s) { samples_.push_back(s); }
+
+ private:
+  memory_map map_;
+  std::deque<std::uint16_t> samples_;
+  std::uint16_t last_ = 0;
+};
+
+/// Free-running timer: TAR reads the low 16 bits of the cycle counter.
+class timer_device final : public mmio_device {
+ public:
+  timer_device(const memory_map& map, std::function<std::uint64_t()> now)
+      : map_(map), now_(std::move(now)) {}
+
+  bool owns(std::uint16_t addr) const override {
+    return addr == map_.tar ||
+           addr == static_cast<std::uint16_t>(map_.tar + 1);
+  }
+  std::uint8_t read8(std::uint16_t addr) override;
+  void write8(std::uint16_t, std::uint8_t) override {}
+
+ private:
+  memory_map map_;
+  std::function<std::uint64_t()> now_;
+};
+
+/// Halt latch: any write stops the machine with the written value as code.
+class halt_device final : public mmio_device {
+ public:
+  halt_device(const memory_map& map, std::function<void(std::uint16_t)> halt)
+      : map_(map), halt_(std::move(halt)) {}
+
+  bool owns(std::uint16_t addr) const override {
+    return addr == map_.halt_port ||
+           addr == static_cast<std::uint16_t>(map_.halt_port + 1);
+  }
+  std::uint8_t read8(std::uint16_t) override { return 0; }
+  void write8(std::uint16_t addr, std::uint8_t value) override;
+
+ private:
+  memory_map map_;
+  std::function<void(std::uint16_t)> halt_;
+  std::uint8_t low_ = 0;
+};
+
+/// Host-writable argument words (arg0..arg7) and the result word; the
+/// generated crt0 loads r15..r8 from here before calling the attested op.
+class mailbox_device final : public mmio_device {
+ public:
+  explicit mailbox_device(const memory_map& map) : map_(map) {}
+
+  bool owns(std::uint16_t addr) const override {
+    return (addr >= map_.args_base && addr < map_.args_base + 16) ||
+           addr == map_.result_addr ||
+           addr == static_cast<std::uint16_t>(map_.result_addr + 1);
+  }
+  std::uint8_t read8(std::uint16_t addr) override;
+  void write8(std::uint16_t addr, std::uint8_t value) override;
+
+  void set_arg(int i, std::uint16_t v);
+  std::uint16_t arg(int i) const;
+  std::uint16_t result() const { return result_; }
+
+ private:
+  memory_map map_;
+  std::array<std::uint16_t, 8> args_{};
+  std::uint16_t result_ = 0;
+};
+
+}  // namespace dialed::emu
+
+#endif  // DIALED_EMU_PERIPHERALS_H

@@ -1,0 +1,33 @@
+#include "emu/trace.h"
+
+#include <algorithm>
+
+namespace dialed::emu {
+
+std::vector<std::pair<std::uint16_t, std::uint64_t>> tracer::hotspots(
+    std::size_t n) const {
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> all(counts_.begin(),
+                                                           counts_.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+tracer::coverage tracer::cover(const masm::image& img, std::uint16_t lo,
+                               std::uint16_t hi) const {
+  coverage c;
+  for (const auto& e : img.listing) {
+    if (e.address < lo || e.address > hi) continue;
+    ++c.total;
+    if (counts_.count(e.address)) {
+      ++c.executed;
+    } else {
+      c.never_executed.push_back(e.address);
+    }
+  }
+  return c;
+}
+
+}  // namespace dialed::emu

@@ -1,0 +1,83 @@
+// Execution tracer + coverage profiler: a bus watcher recording every
+// retired instruction. Used for attestation forensics (which ER code ran,
+// how often), for the Fig. 6(b)-style hotspot breakdowns, and by tests to
+// assert path properties.
+#ifndef DIALED_EMU_TRACE_H
+#define DIALED_EMU_TRACE_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "emu/bus.h"
+#include "masm/masm.h"
+
+namespace dialed::emu {
+
+class tracer final : public watcher {
+ public:
+  struct options {
+    /// Keep the full instruction sequence (not just counts). Bounded by
+    /// `max_trace_entries`; beyond it only counts keep accumulating.
+    bool record_sequence = false;
+    std::size_t max_trace_entries = 1'000'000;
+  };
+
+  struct entry {
+    std::uint16_t pc;
+    isa::instruction ins;
+  };
+
+  tracer() = default;
+  explicit tracer(options opts) : opts_(opts) {}
+
+  void on_exec(std::uint16_t pc, const isa::instruction& ins) override {
+    ++counts_[pc];
+    ++total_;
+    if (opts_.record_sequence && seq_.size() < opts_.max_trace_entries) {
+      seq_.push_back({pc, ins});
+    }
+  }
+  void on_reset() override {}
+
+  /// Per-address execution counts.
+  const std::map<std::uint16_t, std::uint64_t>& counts() const {
+    return counts_;
+  }
+  std::uint64_t total_executed() const { return total_; }
+  const std::vector<entry>& sequence() const { return seq_; }
+  void clear() {
+    counts_.clear();
+    seq_.clear();
+    total_ = 0;
+  }
+
+  /// The `n` most frequently executed addresses (hotspots), descending.
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> hotspots(
+      std::size_t n) const;
+
+  struct coverage {
+    int executed = 0;  ///< listed instructions that ran at least once
+    int total = 0;     ///< listed instructions in the range
+    std::vector<std::uint16_t> never_executed;
+
+    double percent() const {
+      return total == 0 ? 0.0 : 100.0 * executed / total;
+    }
+  };
+
+  /// Instruction coverage over the image's listing, restricted to
+  /// addresses within [lo, hi].
+  coverage cover(const masm::image& img, std::uint16_t lo,
+                 std::uint16_t hi) const;
+
+ private:
+  options opts_{};
+  std::map<std::uint16_t, std::uint64_t> counts_;
+  std::vector<entry> seq_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dialed::emu
+
+#endif  // DIALED_EMU_TRACE_H

@@ -1,0 +1,164 @@
+// DIALED instrumentation (paper §IV; features F3 and F4 of §III-C).
+//
+// F3 — argument logging (paper Fig. 4): at the ER entry, after Tiny-CFA's
+// r4 check, the current stack pointer is saved to the OR_MAX slot (it
+// defines the base of the op's stack for the run) and all eight argument
+// registers r8..r15 are pushed onto the log, r8 first.
+//
+// F4 — runtime data-input logging (paper Fig. 5): every instruction that
+// reads data memory is preceded by a stub that computes the effective
+// address into r5, tests it against the op's current stack [r1, base] with
+// base read back from the OR_MAX slot, and logs the read value when the
+// address lies outside (Definition 1). Byte reads occupy a zero-extended
+// word slot.
+//
+// Deviations from the paper's listings (documented in DESIGN.md §1): word
+// slots use `decd r4`; the Fig. 5 comparison senses are implemented as the
+// prose/Definition 1 describe; stubs run before their instruction so that
+// read-modify-write destinations are logged with their pre-write value.
+#include "common/error.h"
+#include "instr/emit_util.h"
+#include "instr/passes.h"
+
+namespace dialed::instr {
+
+namespace {
+
+using detail::stub_builder;
+using masm::imm_operand;
+using masm::lit;
+using masm::operand_ast;
+using masm::stmt;
+using masm::symref;
+using isa::addr_mode;
+using isa::opcode;
+
+/// Emit the F3 entry block: save SP, then log r8..r15.
+void emit_entry_logging(stub_builder& b) {
+  b.push_log(masm::reg_operand(isa::REG_SP));
+  for (std::uint8_t r = 8; r <= 15; ++r) {
+    b.push_log(masm::reg_operand(r));
+  }
+}
+
+/// Emit the F4 stub for one memory-reading operand of `s`:
+///     <ea -> r5>
+///     cmp r1, r5        ; r5 - r1
+///     jlo log           ; below the stack top -> outside -> input
+///     cmp r5, &OR_MAX   ; base - r5
+///     jhs skip          ; base >= r5 -> inside [r1, base] -> not an input
+///   log:
+///     <push_log @r5>
+///   skip:
+void emit_read_stub(stub_builder& b, const operand_ast& o, bool byte_read,
+                    const pass_options& opts, int line) {
+  // Static classification (sound under Definition 1; see passes.h).
+  if (opts.static_read_filter && !opts.log_all_reads) {
+    if ((o.mode == addr_mode::indexed || o.mode == addr_mode::indirect ||
+         o.mode == addr_mode::indirect_inc) &&
+        o.reg == isa::REG_SP) {
+      return;  // frame slot or stack pop: statically inside [r1, base]
+    }
+    if (const auto addr = detail::resolve_static_addr(o, opts.symbols)) {
+      const std::uint16_t stack_lo =
+          static_cast<std::uint16_t>(opts.map.or_max + 2);
+      const std::uint16_t stack_hi =
+          static_cast<std::uint16_t>(opts.map.stack_init + 1);
+      if (*addr < stack_lo || *addr > stack_hi) {
+        b.push_log(o, byte_read);  // statically an input: log unconditionally
+        return;
+      }
+      // Inside the stack region: fall through to the dynamic check.
+    }
+  }
+
+  detail::emit_ea_to_scratch(b, o, line);
+  const operand_ast scratch = masm::reg_operand(isa::REG_SCRATCH);
+  const std::string do_log = b.fresh_label("dfa_log");
+  const std::string skip = b.fresh_label("dfa_skip");
+  if (!opts.log_all_reads) {
+    b.instr(opcode::cmp, {masm::reg_operand(isa::REG_SP), scratch});
+    b.jump(opcode::jnc, do_log);  // jlo: r5 < r1
+    b.instr(opcode::cmp, {scratch, masm::abs_operand(symref("OR_MAX"))});
+    b.jump(opcode::jc, skip);  // jhs: base >= r5 -> inside the stack
+    b.label(do_log);
+  }
+  b.push_log(masm::ind_operand(isa::REG_SCRATCH), byte_read);
+  b.label(skip);
+}
+
+/// The memory-reading operands of an instruction, in evaluation order.
+std::vector<const operand_ast*> reading_operands(const stmt& s) {
+  std::vector<const operand_ast*> out;
+  if (isa::is_jump(s.op) || s.op == opcode::reti) return out;
+  if (isa::is_format2(s.op)) {
+    // rra/rrc/sxt read-modify-write their operand; push and call read it.
+    if (!s.ops.empty() && detail::reads_memory(s.ops[0])) {
+      out.push_back(&s.ops[0]);
+    }
+    return out;
+  }
+  // Format I: the source always reads; the destination reads for every
+  // opcode except mov (cmp/bit read it too).
+  if (s.ops.size() == 2) {
+    if (detail::reads_memory(s.ops[0])) out.push_back(&s.ops[0]);
+    if (s.op != opcode::mov && detail::reads_memory(s.ops[1])) {
+      out.push_back(&s.ops[1]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+masm::module_src dialed_pass(const masm::module_src& in,
+                             const pass_options& opts) {
+  masm::module_src out;
+  int label_counter = 100000;  // disjoint from Tiny-CFA's stub labels
+  bool entry_emitted = false;
+
+  bool has_tinycfa_entry = false;
+  for (const auto& s : in.stmts) {
+    if (s.k == stmt::kind::label && s.label == "__tinycfa_entry_done") {
+      has_tinycfa_entry = true;
+      break;
+    }
+  }
+
+  for (const auto& s : in.stmts) {
+    if (s.k == stmt::kind::label) {
+      out.stmts.push_back(s);
+      // After Tiny-CFA's entry check if present, else right at the entry.
+      if (s.label == "__tinycfa_entry_done" ||
+          (s.label == er_entry_label && !has_tinycfa_entry)) {
+        stub_builder b(label_counter);
+        emit_entry_logging(b);
+        for (auto& st : b.take()) out.stmts.push_back(std::move(st));
+        entry_emitted = true;
+      }
+      continue;
+    }
+    if (s.k != stmt::kind::instruction || s.synthetic) {
+      out.stmts.push_back(s);
+      continue;
+    }
+    const auto reads = reading_operands(s);
+    if (!reads.empty()) {
+      stub_builder b(label_counter);
+      for (const operand_ast* o : reads) {
+        emit_read_stub(b, *o, s.byte_op, opts, s.line);
+      }
+      for (auto& st : b.take()) out.stmts.push_back(std::move(st));
+    }
+    out.stmts.push_back(s);
+  }
+
+  if (!entry_emitted) {
+    throw error(
+        "instr: dialed_pass found no ER entry point (__er_start / "
+        "__tinycfa_entry_done)");
+  }
+  return out;
+}
+
+}  // namespace dialed::instr

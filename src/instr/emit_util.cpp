@@ -1,0 +1,100 @@
+#include "instr/emit_util.h"
+
+#include "common/error.h"
+#include "instr/passes.h"
+
+namespace dialed::instr::detail {
+
+using masm::imm_operand;
+using masm::lit;
+using masm::operand_ast;
+using masm::symref;
+
+void stub_builder::far_fail() {
+  // br #__er_fail  ==  mov #__er_fail, pc
+  instr(isa::opcode::mov,
+        {imm_operand(symref(er_fail_label)), masm::reg_operand(isa::REG_PC)});
+}
+
+void stub_builder::push_log(const operand_ast& value, bool byte_value) {
+  const operand_ast slot = masm::idx_operand(isa::REG_LOGPTR, lit(0));
+  if (byte_value) {
+    instr(isa::opcode::mov, {imm_operand(lit(0)), slot});
+    instr(isa::opcode::mov, {value, slot}, /*byte_op=*/true);
+  } else {
+    instr(isa::opcode::mov, {value, slot});
+  }
+  // decd r4
+  instr(isa::opcode::sub,
+        {imm_operand(lit(2)), masm::reg_operand(isa::REG_LOGPTR)});
+  // cmp #OR_MIN, r4 ; jhs ok (r4 >= OR_MIN, unsigned) ; br #__er_fail ; ok:
+  instr(isa::opcode::cmp,
+        {imm_operand(symref("OR_MIN")), masm::reg_operand(isa::REG_LOGPTR)});
+  const std::string ok = fresh_label("ok");
+  jump(isa::opcode::jc, ok);  // jc == jhs
+  far_fail();
+  label(ok);
+}
+
+bool reads_memory(const operand_ast& o) {
+  using isa::addr_mode;
+  switch (o.mode) {
+    case addr_mode::indexed:
+    case addr_mode::symbolic:
+    case addr_mode::absolute:
+    case addr_mode::indirect:
+    case addr_mode::indirect_inc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void emit_ea_to_scratch(stub_builder& b, const operand_ast& o,
+                        int source_line) {
+  using isa::addr_mode;
+  const operand_ast scratch = masm::reg_operand(isa::REG_SCRATCH);
+  switch (o.mode) {
+    case addr_mode::indirect:
+    case addr_mode::indirect_inc:
+      if (o.reg == isa::REG_SCRATCH || o.reg == isa::REG_LOGPTR) {
+        throw error("instr:" + std::to_string(source_line) +
+                    ": operand uses a reserved register (r4/r5)");
+      }
+      b.instr(isa::opcode::mov, {masm::reg_operand(o.reg), scratch});
+      return;
+    case addr_mode::indexed:
+      if (o.reg == isa::REG_SCRATCH || o.reg == isa::REG_LOGPTR) {
+        throw error("instr:" + std::to_string(source_line) +
+                    ": operand uses a reserved register (r4/r5)");
+      }
+      b.instr(isa::opcode::mov, {masm::reg_operand(o.reg), scratch});
+      b.instr(isa::opcode::add, {imm_operand(o.e), scratch});
+      return;
+    case addr_mode::absolute:
+    case addr_mode::symbolic:
+      b.instr(isa::opcode::mov, {imm_operand(o.e), scratch});
+      return;
+    default:
+      throw error("instr:" + std::to_string(source_line) +
+                  ": operand has no memory address");
+  }
+}
+
+std::optional<std::uint16_t> resolve_static_addr(
+    const operand_ast& o,
+    const std::map<std::string, std::uint16_t>& symbols) {
+  using isa::addr_mode;
+  if (o.mode != addr_mode::absolute && o.mode != addr_mode::symbolic) {
+    return std::nullopt;
+  }
+  std::int32_t v = o.e.offset;
+  if (!o.e.sym.empty()) {
+    const auto it = symbols.find(o.e.sym);
+    if (it == symbols.end()) return std::nullopt;
+    v += it->second;
+  }
+  return static_cast<std::uint16_t>(v & 0xffff);
+}
+
+}  // namespace dialed::instr::detail

@@ -1,0 +1,80 @@
+// Shared emission helpers for the instrumentation passes (internal header).
+#ifndef DIALED_INSTR_EMIT_UTIL_H
+#define DIALED_INSTR_EMIT_UTIL_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "masm/ast.h"
+
+namespace dialed::instr::detail {
+
+/// Builder collecting synthetic statements.
+class stub_builder {
+ public:
+  explicit stub_builder(int& label_counter) : label_counter_(label_counter) {}
+
+  std::string fresh_label(const std::string& hint) {
+    return ".Lstub_" + hint + std::to_string(label_counter_++);
+  }
+
+  void instr(isa::opcode op, std::vector<masm::operand_ast> ops,
+             bool byte_op = false) {
+    masm::stmt s = masm::make_instr(op, std::move(ops), byte_op);
+    s.synthetic = true;
+    out_.push_back(std::move(s));
+  }
+  void label(const std::string& name) {
+    masm::stmt s = masm::make_label(name);
+    s.synthetic = true;
+    out_.push_back(std::move(s));
+  }
+
+  /// `jxx target` (target must be a label).
+  void jump(isa::opcode op, const std::string& target) {
+    instr(op, {masm::sym_operand(masm::symref(target))});
+  }
+
+  /// `br #__er_fail` — a far branch to the abort handler (mov #addr, pc),
+  /// used instead of a short jump so the reachable distance is unlimited.
+  void far_fail();
+
+  /// Append the log-push sequence of the paper (store to the slot at r4,
+  /// decrement by one word, bounds-check against OR_MIN):
+  ///     mov <value>, 0(r4)
+  ///     decd r4
+  ///     cmp #OR_MIN, r4 ; jhs ok ; br #__er_fail ; ok:
+  /// `byte_value` clears the slot first and stores one byte (so byte reads
+  /// occupy a full, zero-extended log slot).
+  void push_log(const masm::operand_ast& value, bool byte_value = false);
+
+  /// Move the collected statements out.
+  std::vector<masm::stmt> take() { return std::move(out_); }
+
+ private:
+  int& label_counter_;
+  std::vector<masm::stmt> out_;
+};
+
+/// True if the operand mode reads data memory when used as a source.
+bool reads_memory(const masm::operand_ast& o);
+
+/// Effective-address computation into the scratch register r5:
+///     mov rn, r5 [; add #X, r5]      (indirect/indexed)
+///     mov #ADDR, r5                  (absolute/symbolic)
+/// Throws for operands whose address cannot be computed (immediates).
+void emit_ea_to_scratch(stub_builder& b, const masm::operand_ast& o,
+                        int source_line);
+
+/// Resolve an absolute/symbolic operand's address from the pass's symbol
+/// table; nullopt for other modes or unknown symbols.
+std::optional<std::uint16_t> resolve_static_addr(
+    const masm::operand_ast& o,
+    const std::map<std::string, std::uint16_t>& symbols);
+
+}  // namespace dialed::instr::detail
+
+#endif  // DIALED_INSTR_EMIT_UTIL_H

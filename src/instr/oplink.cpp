@@ -1,0 +1,221 @@
+#include "instr/oplink.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "masm/masm.h"
+
+namespace dialed::instr {
+
+using masm::imm_operand;
+using masm::lit;
+using masm::stmt;
+using masm::symref;
+using isa::opcode;
+
+std::string to_string(instrumentation m) {
+  switch (m) {
+    case instrumentation::none: return "Original";
+    case instrumentation::tinycfa: return "Tiny-CFA";
+    case instrumentation::dialed: return "DIALED";
+  }
+  return "?";
+}
+
+namespace {
+
+stmt synth(stmt s) {
+  s.synthetic = true;
+  return s;
+}
+
+/// crt0: runtime startup outside the ER (untrusted, unattested — exactly
+/// the code whose behaviour the attestation does NOT need to trust).
+std::string crt0_text(const cc::compile_result& cr,
+                      const std::map<std::string, std::uint16_t>& globals) {
+  std::string t;
+  t += "__start:\n";
+  t += "        mov #STACK_INIT, sp\n";
+  // Zero the output region so reports are deterministic and stale logs
+  // cannot be replayed.
+  t += "        mov #OR_MIN, r13\n";
+  t += "__or_clr:\n";
+  t += "        mov #0, 0(r13)\n";
+  t += "        incd r13\n";
+  t += "        cmp #OR_MAX+2, r13\n";
+  t += "        jlo __or_clr\n";
+  // C semantics: globals are zero-initialized, then explicit initializers
+  // are applied element-wise.
+  for (const auto& g : cr.globals) {
+    const std::uint16_t base = globals.at(g.name);
+    const int elem = g.is_char ? 1 : 2;
+    const int count = g.size_bytes / elem;
+    for (int i = 0; i < count; ++i) {
+      const std::uint16_t addr = static_cast<std::uint16_t>(base + i * elem);
+      std::int32_t v = 0;
+      if (static_cast<std::size_t>(i) < g.init.size()) v = g.init[i];
+      if (!g.is_array && !g.init.empty()) v = g.init[0];
+      const std::string mn = g.is_char ? "mov.b" : "mov";
+      t += "        " + mn + " #" + std::to_string(v) + ", &" +
+           std::to_string(addr) + "\n";
+    }
+  }
+  // Log pointer (checked by Tiny-CFA at the ER entry) and arguments.
+  t += "        mov #OR_MAX, r4\n";
+  for (int i = 0; i < 8; ++i) {
+    t += "        mov &ARGS_BASE+" + std::to_string(2 * i) + ", r" +
+         std::to_string(15 - i) + "\n";
+  }
+  t += "        call #__er_start\n";
+  t += "        mov r15, &RESULT\n";
+  t += "        call #SROM_ENTRY\n";
+  t += "        mov #HALT_CLEAN, &HALT_PORT\n";
+  t += "__spin:\n";
+  t += "        jmp __spin\n";
+  return t;
+}
+
+}  // namespace
+
+byte_vec linked_program::er_bytes() const {
+  for (const auto& seg : image.segments) {
+    if (seg.base <= er_min && seg.end() > er_max) {
+      const std::size_t off = er_min - seg.base;
+      const std::size_t len = static_cast<std::size_t>(er_max) + 2 - er_min;
+      return byte_vec(seg.bytes.begin() + static_cast<std::ptrdiff_t>(off),
+                      seg.bytes.begin() +
+                          static_cast<std::ptrdiff_t>(off + len));
+    }
+  }
+  throw error("instr: ER segment not found in linked image");
+}
+
+linked_program link_operation(const cc::compile_result& cr,
+                              const link_options& opts) {
+  // ---- check the entry ----
+  const bool entry_exists =
+      std::any_of(cr.functions.begin(), cr.functions.end(),
+                  [&](const auto& f) { return f.name == opts.entry; });
+  if (!entry_exists) {
+    throw error("instr: entry function '" + opts.entry + "' not found");
+  }
+
+  // ---- assign global addresses ----
+  std::map<std::string, std::uint16_t> global_addrs;
+  std::uint32_t ram = opts.map.ram_start;
+  for (const auto& g : cr.globals) {
+    if (ram % 2 != 0) ++ram;
+    global_addrs[g.name] = static_cast<std::uint16_t>(ram);
+    ram += static_cast<std::uint32_t>(g.size_bytes);
+  }
+  if (ram > opts.map.or_min) {
+    throw error("instr: globals overflow into the output region");
+  }
+
+  // ---- ER module: trampoline + abort handler + helpers + functions ----
+  std::string er_body = cc::runtime_asm(cr.helpers);
+  for (const auto& [name, text] : cr.function_text) {
+    if (name != opts.entry) er_body += text;
+  }
+  for (const auto& [name, text] : cr.function_text) {
+    if (name == opts.entry) er_body += text;
+  }
+
+  masm::module_src er;
+  {
+    stmt org = masm::make_directive("org", {lit(opts.er_base)});
+    er.stmts.push_back(std::move(org));
+    er.stmts.push_back(masm::make_label(er_entry_label));
+    er.stmts.push_back(synth(masm::make_instr(
+        opcode::mov,
+        {imm_operand(symref(opts.entry)), masm::reg_operand(isa::REG_PC)})));
+    er.stmts.push_back(masm::make_label(er_fail_label));
+    er.stmts.push_back(synth(masm::make_instr(
+        opcode::mov, {imm_operand(lit(emu::HALT_ABORT)),
+                      masm::abs_operand(symref("HALT_PORT"))})));
+    er.stmts.push_back(synth(masm::make_instr(
+        opcode::mov, {imm_operand(symref(er_fail_label)),
+                      masm::reg_operand(isa::REG_PC)})));
+    masm::module_src body = masm::parse(er_body);
+    for (auto& s : body.stmts) er.stmts.push_back(std::move(s));
+  }
+
+  // ---- instrumentation ----
+  pass_options popts = opts.pass_opts;
+  popts.map = opts.map;
+  popts.symbols = opts.map.predefined_symbols();
+  for (const auto& [name, addr] : global_addrs) popts.symbols[name] = addr;
+  if (opts.mode == instrumentation::tinycfa ||
+      opts.mode == instrumentation::dialed) {
+    er = tinycfa_pass(er, popts);
+  }
+  if (opts.mode == instrumentation::dialed) {
+    er = dialed_pass(er, popts);
+  }
+
+  // Render the instrumented ER listing before its statements are moved
+  // into the full module below.
+  const std::string er_text = masm::to_text(er);
+
+  // ---- full module: crt0, ER, reset vector ----
+  masm::module_src full;
+  full.stmts.push_back(
+      masm::make_directive("org", {lit(opts.map.flash_start)}));
+  {
+    masm::module_src crt = masm::parse(crt0_text(cr, global_addrs));
+    for (auto& s : crt.stmts) full.stmts.push_back(std::move(s));
+  }
+  for (auto& s : er.stmts) full.stmts.push_back(std::move(s));
+  full.stmts.push_back(
+      masm::make_directive("org", {lit(opts.map.reset_vector)}));
+  full.stmts.push_back(
+      masm::make_directive("word", {symref("__start")}));
+
+  // ---- assemble ----
+  auto symbols = opts.map.predefined_symbols();
+  for (const auto& [name, addr] : global_addrs) {
+    if (!symbols.emplace(name, addr).second) {
+      throw error("instr: global '" + name + "' collides with a layout symbol");
+    }
+  }
+
+  linked_program out;
+  out.image = masm::assemble(full, symbols);
+  out.er_min = opts.er_base;
+  out.crt_entry = out.image.symbol("__start");
+  out.global_addrs = std::move(global_addrs);
+  out.compile_info = cr;
+  out.er_asm_text = er_text;
+  out.options = opts;
+
+  // ER_max = the last instruction at/above er_base (the entry's final ret).
+  std::uint16_t er_max = 0;
+  for (const auto& entry : out.image.listing) {
+    if (entry.address >= opts.er_base && entry.address > er_max) {
+      er_max = entry.address;
+    }
+  }
+  if (er_max == 0) throw error("instr: empty ER after linking");
+  out.er_max = er_max;
+
+  // The op's return address in crt0 (the instruction after the call).
+  for (std::size_t i = 0; i < out.image.listing.size(); ++i) {
+    const auto& entry = out.image.listing[i];
+    if (entry.text.find("call #__er_start") != std::string::npos) {
+      out.op_return_addr =
+          static_cast<std::uint16_t>(entry.address + entry.size_bytes);
+      break;
+    }
+  }
+  if (out.op_return_addr == 0) {
+    throw error("instr: crt0 call to __er_start not found");
+  }
+  return out;
+}
+
+linked_program build_operation(std::string_view source,
+                               const link_options& opts) {
+  return link_operation(cc::compile(source), opts);
+}
+
+}  // namespace dialed::instr

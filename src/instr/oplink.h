@@ -1,0 +1,80 @@
+// The op-linker: turns a compiled translation unit into a complete,
+// loadable device program with the attested embedded operation laid out in
+// an APEX Executable Range.
+//
+// Layout (DESIGN.md §3/§4):
+//   flash_start:  crt0 — set SP, zero OR, initialize globals, set r4=OR_MAX,
+//                 load the op's arguments from the host mailbox into
+//                 r15..r8, call the ER, store the result, invoke SW-Att,
+//                 halt cleanly.
+//   er_base:      __er_start: <entry instrumentation> ; br #<entry>
+//                 __er_fail:  abort handler (halts with HALT_ABORT)
+//                 runtime helpers, callees, and the entry function LAST so
+//                 that its final `ret` is the instruction at ER_max (APEX's
+//                 single legal exit).
+//   reset_vector: .word __start
+//
+// Globals are assigned RAM addresses from ram_start upward in declaration
+// order (which is what makes the paper's Fig. 2 adjacent-overflow concrete).
+#ifndef DIALED_INSTR_OPLINK_H
+#define DIALED_INSTR_OPLINK_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cc/compiler.h"
+#include "emu/memmap.h"
+#include "instr/passes.h"
+#include "masm/masm.h"
+
+namespace dialed::instr {
+
+enum class instrumentation : std::uint8_t {
+  none,     ///< plain compilation (the paper's "Original" bars)
+  tinycfa,  ///< CFA only
+  dialed,   ///< Tiny-CFA + DIALED (CFA + DFA)
+};
+
+std::string to_string(instrumentation m);
+
+struct link_options {
+  std::string entry;  ///< name of the attested embedded operation
+  instrumentation mode = instrumentation::none;
+  emu::memory_map map{};
+  std::uint16_t er_base = 0xe000;
+  pass_options pass_opts{};
+};
+
+struct linked_program {
+  masm::image image;         ///< full program: crt0 + ER + reset vector
+  std::uint16_t er_min = 0;  ///< == er_base == address of __er_start
+  std::uint16_t er_max = 0;  ///< address of the op's final `ret`
+  std::uint16_t crt_entry = 0;  ///< __start
+  /// The crt0 instruction following `call #__er_start` — the return
+  /// address the op's final `ret` consumes (and logs). The verifier's
+  /// abstract executor uses it as the known caller continuation.
+  std::uint16_t op_return_addr = 0;
+  std::map<std::string, std::uint16_t> global_addrs;
+  cc::compile_result compile_info;  ///< carried for the verifier's analysis
+  std::string er_asm_text;          ///< instrumented ER assembly (listing)
+  link_options options;
+
+  /// Bytes of [er_min, er_max+1] — the attested code.
+  byte_vec er_bytes() const;
+  /// ER size in bytes (the paper's Fig. 6(a) "code size" metric).
+  std::size_t code_size() const { return er_bytes().size(); }
+};
+
+/// Compile-result → device program. Throws dialed::error on layout or
+/// instrumentation failures (e.g. unknown entry function).
+linked_program link_operation(const cc::compile_result& cr,
+                              const link_options& opts);
+
+/// Convenience: compile + link.
+linked_program build_operation(std::string_view source,
+                               const link_options& opts);
+
+}  // namespace dialed::instr
+
+#endif  // DIALED_INSTR_OPLINK_H

@@ -1,0 +1,72 @@
+// The two instrumentation passes of the paper, implemented over the parsed
+// assembly model:
+//
+//  * tinycfa_pass — Tiny-CFA (paper §II-C, features F2/F5): entry check of
+//    the log pointer r4, logging of every control-flow-altering
+//    instruction's destination into the OR log stack, and safety checks on
+//    every memory write against the live log region [r4, OR_MAX].
+//
+//  * dialed_pass — DIALED (paper §IV, features F3/F4): at entry, save the
+//    base stack pointer to the OR_MAX slot and log the eight argument
+//    registers r8..r15 (Fig. 4); before every memory-reading instruction,
+//    compute the effective address, compare it against the current stack
+//    range [r1, saved base], and log the read value when it lies outside
+//    (Fig. 5, following Definition 1 — see DESIGN.md §1 for the two
+//    documented deviations from the paper's listings).
+//
+// Both passes only ever insert `synthetic` statements and never instrument
+// them, mirroring the paper's layered instrumentation.
+#ifndef DIALED_INSTR_PASSES_H
+#define DIALED_INSTR_PASSES_H
+
+#include <map>
+#include <string>
+
+#include "emu/memmap.h"
+#include "masm/ast.h"
+
+namespace dialed::instr {
+
+/// Label of the ER entry (the op trampoline) and of the abort handler the
+/// passes branch to on a detected violation.
+inline constexpr const char* er_entry_label = "__er_start";
+inline constexpr const char* er_fail_label = "__er_fail";
+
+struct pass_options {
+  /// Ablation A2: log only non-deterministic transfers (conditional
+  /// outcomes, returns, indirect calls/branches) instead of every transfer.
+  bool optimized_cf = false;
+
+  /// Ablation A1: log every memory read, skipping the Definition-1 stack
+  /// filter (shows why the paper's input definition keeps I-Log small).
+  bool log_all_reads = false;
+
+  /// Static read classification (default on): SP-relative reads are
+  /// statically inside the op's stack (never logged, no stub); absolute
+  /// reads whose resolved address lies outside the stack region are
+  /// statically inputs (logged without the dynamic range check). Only
+  /// pointer-based reads keep the full Fig. 5 dynamic check. Turning this
+  /// off instruments every read dynamically (ablation A4).
+  bool static_read_filter = true;
+
+  /// Statically skip F5 write checks for absolute targets provably outside
+  /// the OR (and fail statically for targets provably inside it).
+  bool static_write_filter = true;
+
+  /// Memory layout + resolved symbols, used only for the static filters.
+  emu::memory_map map{};
+  std::map<std::string, std::uint16_t> symbols;
+};
+
+/// Apply Tiny-CFA. Throws dialed::error on constructs the instrumentation
+/// cannot secure (e.g. computed call through an indexed operand).
+masm::module_src tinycfa_pass(const masm::module_src& in,
+                              const pass_options& opts = {});
+
+/// Apply DIALED on (typically) Tiny-CFA-instrumented input.
+masm::module_src dialed_pass(const masm::module_src& in,
+                             const pass_options& opts = {});
+
+}  // namespace dialed::instr
+
+#endif  // DIALED_INSTR_PASSES_H

@@ -1,0 +1,266 @@
+// Tiny-CFA instrumentation (paper §II-C; features F2 and F5 of §III-C).
+//
+// For every control-flow-altering instruction the destination address is
+// pushed onto the OR log stack through r4; conditional branches are
+// rewritten so that both the taken and the fall-through successor are
+// logged (the log then encodes the exact executed path). Every memory write
+// is preceded by a safety check that aborts if the target lies inside the
+// live log region [r4, OR_MAX] (F5). At the ER entry, r4 must equal OR_MAX.
+#include "common/error.h"
+#include "instr/emit_util.h"
+#include "instr/passes.h"
+
+namespace dialed::instr {
+
+namespace {
+
+using detail::stub_builder;
+using masm::imm_operand;
+using masm::lit;
+using masm::operand_ast;
+using masm::stmt;
+using masm::symref;
+using isa::addr_mode;
+using isa::opcode;
+
+/// Label emitted at the end of the Tiny-CFA entry check; the DIALED pass
+/// inserts its own entry instrumentation after it (paper Fig. 4 ordering).
+constexpr const char* entry_done_label = "__tinycfa_entry_done";
+
+bool is_return(const stmt& s) {
+  // ret == mov @sp+, pc
+  return s.op == opcode::mov && s.ops.size() == 2 &&
+         s.ops[1].mode == addr_mode::reg && s.ops[1].reg == isa::REG_PC &&
+         s.ops[0].mode == addr_mode::indirect_inc &&
+         s.ops[0].reg == isa::REG_SP;
+}
+
+bool is_branch_via_pc(const stmt& s) {
+  return s.op == opcode::mov && s.ops.size() == 2 &&
+         s.ops[1].mode == addr_mode::reg && s.ops[1].reg == isa::REG_PC;
+}
+
+bool writes_pc(const stmt& s) {
+  return !s.ops.empty() && s.ops.back().mode == addr_mode::reg &&
+         s.ops.back().reg == isa::REG_PC && isa::is_format1(s.op) &&
+         s.op != opcode::cmp && s.op != opcode::bit;
+}
+
+/// Emit the entry check: cmp #OR_MAX, r4 ; jeq ok ; br #__er_fail ; ok:.
+void emit_entry_check(stub_builder& b) {
+  b.instr(opcode::cmp,
+          {imm_operand(symref("OR_MAX")), masm::reg_operand(isa::REG_LOGPTR)});
+  const std::string ok = b.fresh_label("entry_ok");
+  b.jump(opcode::jeq, ok);
+  b.far_fail();
+  b.label(ok);
+  b.label(entry_done_label);
+}
+
+/// Emit the F5 write check for the effective address already in r5:
+///     cmp r4, r5            ; r5 - r4
+///     jlo ok                ; below the live log region
+///     cmp #OR_MAX+2, r5     ; r5 - (OR_MAX+2)
+///     jhs ok                ; above the log region
+///     br #__er_fail
+///   ok:
+void emit_write_check_on_scratch(stub_builder& b) {
+  const operand_ast scratch = masm::reg_operand(isa::REG_SCRATCH);
+  const std::string ok = b.fresh_label("w_ok");
+  b.instr(opcode::cmp, {masm::reg_operand(isa::REG_LOGPTR), scratch});
+  b.jump(opcode::jnc, ok);  // jlo
+  b.instr(opcode::cmp, {imm_operand(symref("OR_MAX", 2)), scratch});
+  b.jump(opcode::jc, ok);  // jhs
+  b.far_fail();
+  b.label(ok);
+}
+
+/// Does this instruction write data memory through its destination operand?
+bool has_memory_write(const stmt& s) {
+  if (!isa::is_format1(s.op)) return false;
+  if (s.op == opcode::cmp || s.op == opcode::bit) return false;
+  if (s.ops.size() != 2) return false;
+  const addr_mode m = s.ops[1].mode;
+  return m == addr_mode::indexed || m == addr_mode::symbolic ||
+         m == addr_mode::absolute;
+}
+
+class tinycfa {
+ public:
+  tinycfa(const masm::module_src& in, const pass_options& opts)
+      : in_(in), opts_(opts) {}
+
+  masm::module_src run() {
+    masm::module_src out;
+    for (const auto& s : in_.stmts) {
+      if (s.k == stmt::kind::label) {
+        out.stmts.push_back(s);
+        if (s.label == er_entry_label) {
+          stub_builder b(label_counter_);
+          emit_entry_check(b);
+          append(out, b);
+        }
+        continue;
+      }
+      if (s.k != stmt::kind::instruction || s.synthetic) {
+        out.stmts.push_back(s);
+        continue;
+      }
+      instrument(out, s);
+    }
+    return out;
+  }
+
+ private:
+  void append(masm::module_src& out, stub_builder& b) {
+    for (auto& st : b.take()) out.stmts.push_back(std::move(st));
+  }
+
+  void instrument(masm::module_src& out, const stmt& s) {
+    stub_builder b(label_counter_);
+
+    // ---- control-flow logging (F2) ----
+    if (isa::is_jump(s.op)) {
+      if (s.op == opcode::jmp) {
+        if (!opts_.optimized_cf) {
+          b.push_log(imm_operand(s.ops[0].e));
+        }
+        append(out, b);
+        out.stmts.push_back(s);
+        return;
+      }
+      // Conditional: rewrite so both outcomes are logged.
+      const std::string taken = b.fresh_label("cfa_taken");
+      const std::string fall = b.fresh_label("cfa_fall");
+      stmt cond = s;  // same condition, new target
+      cond.synthetic = true;
+      cond.ops[0] = masm::sym_operand(symref(taken));
+      out.stmts.push_back(std::move(cond));
+      b.push_log(imm_operand(symref(fall)));
+      b.jump(opcode::jmp, fall);
+      b.label(taken);
+      b.push_log(imm_operand(s.ops[0].e));
+      // br #target (unlimited range)
+      b.instr(opcode::mov,
+              {imm_operand(s.ops[0].e), masm::reg_operand(isa::REG_PC)});
+      b.label(fall);
+      append(out, b);
+      return;
+    }
+
+    if (s.op == opcode::call) {
+      const operand_ast& t = s.ops[0];
+      switch (t.mode) {
+        case addr_mode::immediate:
+          if (!opts_.optimized_cf) b.push_log(t);
+          break;
+        case addr_mode::reg:
+          b.push_log(t);
+          break;
+        case addr_mode::indirect:
+          b.push_log(t);
+          break;
+        case addr_mode::indexed:
+          detail::emit_ea_to_scratch(b, t, s.line);
+          b.push_log(masm::ind_operand(isa::REG_SCRATCH));
+          break;
+        default:
+          throw error("instr:" + std::to_string(s.line) +
+                      ": unsupported call operand for CFA logging");
+      }
+      append(out, b);
+      out.stmts.push_back(s);
+      return;
+    }
+
+    if (is_return(s)) {
+      // The return address is at the top of the stack right before `ret`.
+      b.push_log(masm::ind_operand(isa::REG_SP));
+      append(out, b);
+      out.stmts.push_back(s);
+      return;
+    }
+
+    if (is_branch_via_pc(s)) {
+      const operand_ast& src = s.ops[0];
+      switch (src.mode) {
+        case addr_mode::immediate:
+          if (!opts_.optimized_cf) b.push_log(src);
+          break;
+        case addr_mode::reg:
+        case addr_mode::indirect:
+          b.push_log(src);
+          break;
+        case addr_mode::indexed:
+          detail::emit_ea_to_scratch(b, src, s.line);
+          b.push_log(masm::ind_operand(isa::REG_SCRATCH));
+          break;
+        default:
+          throw error("instr:" + std::to_string(s.line) +
+                      ": unsupported branch-via-pc source");
+      }
+      append(out, b);
+      out.stmts.push_back(s);
+      return;
+    }
+
+    if (writes_pc(s)) {
+      throw error("instr:" + std::to_string(s.line) +
+                  ": computed write to PC is not supported by Tiny-CFA");
+    }
+
+    // ---- write checks (F5) ----
+    if (has_memory_write(s)) {
+      // Static filter: an absolute target provably outside the OR can
+      // never hit the log region; one provably inside it always does.
+      if (opts_.static_write_filter) {
+        if (const auto addr =
+                detail::resolve_static_addr(s.ops[1], opts_.symbols)) {
+          const bool outside_or =
+              *addr > static_cast<std::uint16_t>(opts_.map.or_max + 1) ||
+              *addr + 1 < opts_.map.or_min;
+          if (outside_or) {
+            out.stmts.push_back(s);
+            return;
+          }
+          b.far_fail();  // statically always-illegal write into the OR
+          append(out, b);
+          out.stmts.push_back(s);
+          return;
+        }
+      }
+      detail::emit_ea_to_scratch(b, s.ops[1], s.line);
+      emit_write_check_on_scratch(b);
+      append(out, b);
+      out.stmts.push_back(s);
+      return;
+    }
+    if (s.op == opcode::push) {
+      // Implicit write at SP-2.
+      b.instr(opcode::mov,
+              {masm::reg_operand(isa::REG_SP),
+               masm::reg_operand(isa::REG_SCRATCH)});
+      b.instr(opcode::sub,
+              {imm_operand(lit(2)), masm::reg_operand(isa::REG_SCRATCH)});
+      emit_write_check_on_scratch(b);
+      append(out, b);
+      out.stmts.push_back(s);
+      return;
+    }
+
+    out.stmts.push_back(s);
+  }
+
+  const masm::module_src& in_;
+  pass_options opts_;
+  int label_counter_ = 0;
+};
+
+}  // namespace
+
+masm::module_src tinycfa_pass(const masm::module_src& in,
+                              const pass_options& opts) {
+  return tinycfa(in, opts).run();
+}
+
+}  // namespace dialed::instr

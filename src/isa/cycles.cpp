@@ -1,0 +1,88 @@
+// Cycle model following the MSP430x1xx family user's guide (SLAU049)
+// instruction-timing tables. The evaluation's Fig. 6(b) reports runtime in
+// CPU cycles; this table is what makes those numbers architectural rather
+// than host-dependent.
+#include "common/error.h"
+#include "isa/isa.h"
+
+namespace dialed::isa {
+
+namespace {
+
+int src_extra(addr_mode m, bool cg) {
+  switch (m) {
+    case addr_mode::reg: return 0;
+    case addr_mode::immediate: return cg ? 0 : 1;
+    case addr_mode::indirect:
+    case addr_mode::indirect_inc: return 1;
+    case addr_mode::indexed:
+    case addr_mode::symbolic:
+    case addr_mode::absolute: return 2;
+  }
+  return 0;
+}
+
+int dst_extra(const operand& d) {
+  switch (d.mode) {
+    case addr_mode::reg: return d.base == REG_PC ? 1 : 0;
+    case addr_mode::indexed:
+    case addr_mode::symbolic:
+    case addr_mode::absolute: return 3;
+    default: return 0;
+  }
+}
+
+int format2_cycles(opcode op, const operand& o, bool cg) {
+  const addr_mode m = o.mode;
+  switch (op) {
+    case opcode::rrc:
+    case opcode::rra:
+    case opcode::swpb:
+    case opcode::sxt:
+      switch (m) {
+        case addr_mode::reg: return 1;
+        case addr_mode::indirect:
+        case addr_mode::indirect_inc: return 3;
+        case addr_mode::indexed:
+        case addr_mode::symbolic:
+        case addr_mode::absolute: return 4;
+        default:
+          throw error("isa: immediate operand for shift/rotate");
+      }
+    case opcode::push:
+      switch (m) {
+        case addr_mode::reg: return 3;
+        case addr_mode::immediate: return cg ? 3 : 4;
+        case addr_mode::indirect: return 4;
+        case addr_mode::indirect_inc: return 5;
+        case addr_mode::indexed:
+        case addr_mode::symbolic:
+        case addr_mode::absolute: return 5;
+      }
+      return 4;
+    case opcode::call:
+      switch (m) {
+        case addr_mode::reg: return 4;
+        case addr_mode::immediate: return cg ? 4 : 5;
+        case addr_mode::indirect: return 4;
+        case addr_mode::indirect_inc: return 5;
+        case addr_mode::indexed:
+        case addr_mode::symbolic:
+        case addr_mode::absolute: return 5;
+      }
+      return 5;
+    default:
+      throw error("isa: not a format-II opcode in cycle model");
+  }
+}
+
+}  // namespace
+
+int cycles(const instruction& ins, bool cg_src) {
+  if (is_jump(ins.op)) return 2;
+  if (ins.op == opcode::reti) return 5;
+  if (is_format2(ins.op)) return format2_cycles(ins.op, ins.dst, cg_src);
+  return 1 + src_extra(ins.src.mode, cg_src) + dst_extra(ins.dst);
+}
+
+}  // namespace dialed::isa

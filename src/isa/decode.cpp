@@ -1,0 +1,184 @@
+#include "common/bytes.h"
+#include "common/error.h"
+#include "isa/isa.h"
+
+namespace dialed::isa {
+
+namespace {
+
+opcode format1_op(std::uint16_t nibble) {
+  switch (nibble) {
+    case 0x4: return opcode::mov;
+    case 0x5: return opcode::add;
+    case 0x6: return opcode::addc;
+    case 0x7: return opcode::subc;
+    case 0x8: return opcode::sub;
+    case 0x9: return opcode::cmp;
+    case 0xa: return opcode::dadd;
+    case 0xb: return opcode::bit;
+    case 0xc: return opcode::bic;
+    case 0xd: return opcode::bis;
+    case 0xe: return opcode::xor_;
+    case 0xf: return opcode::and_;
+    default: throw error("isa: bad format-I opcode nibble");
+  }
+}
+
+opcode format2_op(std::uint16_t bits) {
+  switch (bits) {
+    case 0: return opcode::rrc;
+    case 1: return opcode::swpb;
+    case 2: return opcode::rra;
+    case 3: return opcode::sxt;
+    case 4: return opcode::push;
+    case 5: return opcode::call;
+    case 6: return opcode::reti;
+    default: throw error("isa: bad format-II opcode bits");
+  }
+}
+
+opcode jump_op(std::uint16_t cond) {
+  switch (cond) {
+    case 0: return opcode::jne;
+    case 1: return opcode::jeq;
+    case 2: return opcode::jnc;
+    case 3: return opcode::jc;
+    case 4: return opcode::jn;
+    case 5: return opcode::jge;
+    case 6: return opcode::jl;
+    case 7: return opcode::jmp;
+    default: throw error("isa: bad jump condition");
+  }
+}
+
+struct src_decode {
+  operand op;
+  bool uses_ext = false;
+  bool cg = false;
+};
+
+// Decode a source-style (As) operand; `ext` is the candidate extension word
+// and `ext_addr` its byte address (for symbolic mode).
+src_decode decode_src(std::uint8_t reg, std::uint8_t as, std::uint16_t ext,
+                      std::uint16_t ext_addr) {
+  // Constant generators first.
+  if (reg == REG_CG2) {
+    switch (as) {
+      case 0: return {imm_op(0), false, true};
+      case 1: return {imm_op(1), false, true};
+      case 2: return {imm_op(2), false, true};
+      case 3: return {imm_op(0xffff), false, true};
+    }
+  }
+  if (reg == REG_SR && as >= 2) {
+    return {imm_op(as == 2 ? 4 : 8), false, true};
+  }
+  switch (as) {
+    case 0: return {reg_op(reg), false, false};
+    case 1:
+      if (reg == REG_PC) {
+        return {{addr_mode::symbolic, REG_PC,
+                 static_cast<std::uint16_t>(ext + ext_addr)},
+                true, false};
+      }
+      if (reg == REG_SR) return {abs_op(ext), true, false};
+      return {idx_op(reg, ext), true, false};
+    case 2: return {ind_op(reg), false, false};
+    case 3:
+      if (reg == REG_PC) return {imm_op(ext), true, false};
+      return {ind_inc_op(reg), false, false};
+  }
+  throw error("isa: bad As bits");
+}
+
+operand decode_dst(std::uint8_t reg, std::uint8_t ad, std::uint16_t ext,
+                   std::uint16_t ext_addr, bool* uses_ext) {
+  if (ad == 0) {
+    *uses_ext = false;
+    return reg_op(reg);
+  }
+  *uses_ext = true;
+  if (reg == REG_PC) {
+    return {addr_mode::symbolic, REG_PC,
+            static_cast<std::uint16_t>(ext + ext_addr)};
+  }
+  if (reg == REG_SR) return abs_op(ext);
+  return idx_op(reg, ext);
+}
+
+std::uint16_t word_at(std::span<const std::uint16_t> code, std::size_t i) {
+  if (i >= code.size()) {
+    throw error("isa: truncated instruction stream");
+  }
+  return code[i];
+}
+
+/// Speculative read of a possible extension word; strictness is enforced
+/// after decoding determines whether the word is actually consumed.
+std::uint16_t word_or_zero(std::span<const std::uint16_t> code,
+                           std::size_t i) {
+  return i < code.size() ? code[i] : 0;
+}
+
+}  // namespace
+
+decoded decode(std::span<const std::uint16_t> code, std::uint16_t address) {
+  const std::uint16_t w = word_at(code, 0);
+  decoded out;
+
+  if ((w & 0xe000) == 0x2000) {
+    std::int16_t off = static_cast<std::int16_t>(w & 0x3ff);
+    if (off & 0x200) off -= 0x400;  // sign-extend 10 bits
+    out.ins.op = jump_op((w >> 10) & 7);
+    out.ins.target =
+        static_cast<std::uint16_t>(address + 2 + 2 * off);
+    out.words = 1;
+    return out;
+  }
+
+  if ((w & 0xfc00) == 0x1000) {
+    const opcode op = format2_op((w >> 7) & 7);
+    out.ins.op = op;
+    if (op == opcode::reti) {
+      out.words = 1;
+      return out;
+    }
+    out.ins.byte_op = (w & 0x40) != 0;
+    const auto sd =
+        decode_src(w & 0xf, (w >> 4) & 3, word_or_zero(code, 1),
+                   static_cast<std::uint16_t>(address + 2));
+    if (sd.uses_ext) (void)word_at(code, 1);  // enforce availability
+    out.ins.dst = sd.op;
+    out.words = sd.uses_ext ? 2 : 1;
+    // cycles() needs to know whether a CG was used; expose via cg flag.
+    out.cg_src = sd.cg;
+    return out;
+  }
+
+  const std::uint16_t nibble = w >> 12;
+  if (nibble < 0x4) {
+    throw error("isa: illegal opcode word " + hex16(w) + " at " +
+                hex16(address));
+  }
+  out.ins.op = format1_op(nibble);
+  out.ins.byte_op = (w & 0x40) != 0;
+  const auto sd =
+      decode_src((w >> 8) & 0xf, (w >> 4) & 3, word_or_zero(code, 1),
+                 static_cast<std::uint16_t>(address + 2));
+  if (sd.uses_ext) (void)word_at(code, 1);  // enforce availability
+  out.ins.src = sd.op;
+  out.cg_src = sd.cg;
+  int words = 1 + (sd.uses_ext ? 1 : 0);
+  const bool dst_has_ext = ((w >> 7) & 1) != 0;
+  const std::uint16_t dst_ext_word =
+      dst_has_ext ? word_at(code, static_cast<std::size_t>(words)) : 0;
+  bool dst_ext = false;
+  out.ins.dst =
+      decode_dst(w & 0xf, (w >> 7) & 1, dst_ext_word,
+                 static_cast<std::uint16_t>(address + 2 * words), &dst_ext);
+  if (dst_ext) ++words;
+  out.words = words;
+  return out;
+}
+
+}  // namespace dialed::isa

@@ -1,0 +1,211 @@
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "isa/isa.h"
+
+namespace dialed::isa {
+
+namespace {
+
+// Per-format opcode fields.
+std::uint16_t format1_nibble(opcode op) {
+  switch (op) {
+    case opcode::mov: return 0x4;
+    case opcode::add: return 0x5;
+    case opcode::addc: return 0x6;
+    case opcode::subc: return 0x7;
+    case opcode::sub: return 0x8;
+    case opcode::cmp: return 0x9;
+    case opcode::dadd: return 0xa;
+    case opcode::bit: return 0xb;
+    case opcode::bic: return 0xc;
+    case opcode::bis: return 0xd;
+    case opcode::xor_: return 0xe;
+    case opcode::and_: return 0xf;
+    default: throw error("isa: not a format-I opcode");
+  }
+}
+
+std::uint16_t format2_bits(opcode op) {
+  switch (op) {
+    case opcode::rrc: return 0;
+    case opcode::swpb: return 1;
+    case opcode::rra: return 2;
+    case opcode::sxt: return 3;
+    case opcode::push: return 4;
+    case opcode::call: return 5;
+    case opcode::reti: return 6;
+    default: throw error("isa: not a format-II opcode");
+  }
+}
+
+std::uint16_t jump_cond(opcode op) {
+  switch (op) {
+    case opcode::jne: return 0;
+    case opcode::jeq: return 1;
+    case opcode::jnc: return 2;
+    case opcode::jc: return 3;
+    case opcode::jn: return 4;
+    case opcode::jge: return 5;
+    case opcode::jl: return 6;
+    case opcode::jmp: return 7;
+    default: throw error("isa: not a jump opcode");
+  }
+}
+
+struct src_encoding {
+  std::uint8_t reg;
+  std::uint8_t as;
+  bool ext_word;
+  std::uint16_t ext;
+};
+
+// Encode a source (or format-II) operand. `ext_addr` is the byte address
+// where the extension word would sit (needed for symbolic mode).
+src_encoding encode_src(const operand& o, std::uint16_t ext_addr,
+                        bool allow_cg) {
+  switch (o.mode) {
+    case addr_mode::reg:
+      return {o.base, 0, false, 0};
+    case addr_mode::indexed:
+      if (o.base == REG_CG2) {
+        throw error("isa: r3 cannot be an indexed base");
+      }
+      return {o.base, 1, true, o.ext};
+    case addr_mode::symbolic:
+      return {REG_PC, 1, true,
+              static_cast<std::uint16_t>(o.ext - ext_addr)};
+    case addr_mode::absolute:
+      return {REG_SR, 1, true, o.ext};
+    case addr_mode::indirect:
+      if (o.base == REG_CG2 || o.base == REG_SR) {
+        throw error("isa: @r2/@r3 are constant-generator encodings");
+      }
+      return {o.base, 2, false, 0};
+    case addr_mode::indirect_inc:
+      if (o.base == REG_CG2 || o.base == REG_SR) {
+        throw error("isa: @r2+/@r3+ are constant-generator encodings");
+      }
+      return {o.base, 3, false, 0};
+    case addr_mode::immediate: {
+      if (allow_cg) {
+        if (auto cg = constant_generator(
+                static_cast<std::int16_t>(o.ext))) {
+          return {cg->first, cg->second, false, 0};
+        }
+      }
+      return {REG_PC, 3, true, o.ext};
+    }
+  }
+  throw error("isa: unknown source addressing mode");
+}
+
+struct dst_encoding {
+  std::uint8_t reg;
+  std::uint8_t ad;
+  bool ext_word;
+  std::uint16_t ext;
+};
+
+dst_encoding encode_dst(const operand& o, std::uint16_t ext_addr) {
+  switch (o.mode) {
+    case addr_mode::reg:
+      return {o.base, 0, false, 0};
+    case addr_mode::indexed:
+      return {o.base, 1, true, o.ext};
+    case addr_mode::symbolic:
+      return {REG_PC, 1, true,
+              static_cast<std::uint16_t>(o.ext - ext_addr)};
+    case addr_mode::absolute:
+      return {REG_SR, 1, true, o.ext};
+    default:
+      throw error(
+          "isa: destination must be reg, indexed, symbolic or absolute");
+  }
+}
+
+}  // namespace
+
+int encoded_words(const instruction& ins, bool allow_cg) {
+  if (is_jump(ins.op) || ins.op == opcode::reti) return 1;
+  int words = 1;
+  if (is_format1(ins.op)) {
+    if (ins.src.mode == addr_mode::immediate) {
+      if (!(allow_cg &&
+            constant_generator(static_cast<std::int16_t>(ins.src.ext)))) {
+        ++words;
+      }
+    } else if (mode_needs_ext(ins.src.mode)) {
+      ++words;
+    }
+    if (mode_needs_ext(ins.dst.mode)) ++words;
+    return words;
+  }
+  // Format II.
+  if (ins.dst.mode == addr_mode::immediate) {
+    if (!(allow_cg &&
+          constant_generator(static_cast<std::int16_t>(ins.dst.ext)))) {
+      ++words;
+    }
+  } else if (mode_needs_ext(ins.dst.mode)) {
+    ++words;
+  }
+  return words;
+}
+
+std::vector<std::uint16_t> encode(const instruction& ins,
+                                  std::uint16_t address, bool allow_cg) {
+  std::vector<std::uint16_t> out;
+  if (is_jump(ins.op)) {
+    const std::int32_t delta =
+        static_cast<std::int32_t>(ins.target) - (address + 2);
+    if (delta % 2 != 0) throw error("isa: odd jump offset");
+    const std::int32_t words_off = delta / 2;
+    if (words_off < -512 || words_off > 511) {
+      throw error("isa: jump target out of range from " + hex16(address) +
+                  " to " + hex16(ins.target));
+    }
+    out.push_back(static_cast<std::uint16_t>(
+        0x2000 | (jump_cond(ins.op) << 10) |
+        (static_cast<std::uint16_t>(words_off) & 0x3ff)));
+    return out;
+  }
+
+  if (ins.op == opcode::reti) {
+    out.push_back(0x1300);
+    return out;
+  }
+
+  if (is_format2(ins.op)) {
+    // The single operand uses the source-mode encoding (As bits).
+    const auto se =
+        encode_src(ins.dst, static_cast<std::uint16_t>(address + 2),
+                   allow_cg);
+    if (ins.op == opcode::call && ins.byte_op) {
+      throw error("isa: call has no byte form");
+    }
+    std::uint16_t w = static_cast<std::uint16_t>(
+        0x1000 | (format2_bits(ins.op) << 7) |
+        (ins.byte_op ? 0x40 : 0) | (se.as << 4) | se.reg);
+    out.push_back(w);
+    if (se.ext_word) out.push_back(se.ext);
+    return out;
+  }
+
+  // Format I.
+  const auto se = encode_src(
+      ins.src, static_cast<std::uint16_t>(address + 2), allow_cg);
+  const std::uint16_t dst_ext_addr = static_cast<std::uint16_t>(
+      address + 2 + (se.ext_word ? 2 : 0));
+  const auto de = encode_dst(ins.dst, dst_ext_addr);
+  std::uint16_t w = static_cast<std::uint16_t>(
+      (format1_nibble(ins.op) << 12) | (se.reg << 8) | (de.ad << 7) |
+      (ins.byte_op ? 0x40 : 0) | (se.as << 4) | de.reg);
+  out.push_back(w);
+  if (se.ext_word) out.push_back(se.ext);
+  if (de.ext_word) out.push_back(de.ext);
+  return out;
+}
+
+}  // namespace dialed::isa

@@ -1,0 +1,132 @@
+#include "isa/isa.h"
+
+#include <array>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace dialed::isa {
+
+std::string reg_name(std::uint8_t r) {
+  switch (r) {
+    case REG_PC: return "pc";
+    case REG_SP: return "sp";
+    case REG_SR: return "sr";
+    default: return "r" + std::to_string(r);
+  }
+}
+
+bool is_format1(opcode op) {
+  return op >= opcode::mov && op <= opcode::and_;
+}
+bool is_format2(opcode op) {
+  return op >= opcode::rrc && op <= opcode::reti;
+}
+bool is_jump(opcode op) { return op >= opcode::jne && op <= opcode::jmp; }
+
+namespace {
+struct mnemonic_entry {
+  std::string_view name;
+  opcode op;
+};
+constexpr std::array<mnemonic_entry, 27> mnemonics = {{
+    {"mov", opcode::mov},   {"add", opcode::add},   {"addc", opcode::addc},
+    {"subc", opcode::subc}, {"sub", opcode::sub},   {"cmp", opcode::cmp},
+    {"dadd", opcode::dadd}, {"bit", opcode::bit},   {"bic", opcode::bic},
+    {"bis", opcode::bis},   {"xor", opcode::xor_},  {"and", opcode::and_},
+    {"rrc", opcode::rrc},   {"swpb", opcode::swpb}, {"rra", opcode::rra},
+    {"sxt", opcode::sxt},   {"push", opcode::push}, {"call", opcode::call},
+    {"reti", opcode::reti}, {"jne", opcode::jne},   {"jeq", opcode::jeq},
+    {"jnc", opcode::jnc},   {"jc", opcode::jc},     {"jn", opcode::jn},
+    {"jge", opcode::jge},   {"jl", opcode::jl},     {"jmp", opcode::jmp},
+}};
+}  // namespace
+
+std::string_view mnemonic(opcode op) {
+  for (const auto& e : mnemonics) {
+    if (e.op == op) return e.name;
+  }
+  return "?";
+}
+
+std::optional<opcode> opcode_from_mnemonic(std::string_view m) {
+  // Jump aliases used by compilers/assemblers.
+  if (m == "jnz") return opcode::jne;
+  if (m == "jz") return opcode::jeq;
+  if (m == "jlo") return opcode::jnc;
+  if (m == "jhs") return opcode::jc;
+  for (const auto& e : mnemonics) {
+    if (e.name == m) return e.op;
+  }
+  return std::nullopt;
+}
+
+bool mode_touches_memory(addr_mode m) {
+  switch (m) {
+    case addr_mode::reg:
+    case addr_mode::immediate:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool mode_needs_ext(addr_mode m) {
+  switch (m) {
+    case addr_mode::indexed:
+    case addr_mode::symbolic:
+    case addr_mode::absolute:
+    case addr_mode::immediate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<std::pair<std::uint8_t, std::uint8_t>> constant_generator(
+    std::int32_t value) {
+  switch (value) {
+    case 0: return {{REG_CG2, 0}};
+    case 1: return {{REG_CG2, 1}};
+    case 2: return {{REG_CG2, 2}};
+    case -1: return {{REG_CG2, 3}};
+    case 0xffff: return {{REG_CG2, 3}};
+    case 4: return {{REG_SR, 2}};
+    case 8: return {{REG_SR, 3}};
+    default: return std::nullopt;
+  }
+}
+
+namespace {
+std::string operand_to_string(const operand& o) {
+  switch (o.mode) {
+    case addr_mode::reg: return reg_name(o.base);
+    case addr_mode::indexed:
+      return std::to_string(static_cast<std::int16_t>(o.ext)) + "(" +
+             reg_name(o.base) + ")";
+    case addr_mode::symbolic: return hex16(o.ext);
+    case addr_mode::absolute: return "&" + hex16(o.ext);
+    case addr_mode::indirect: return "@" + reg_name(o.base);
+    case addr_mode::indirect_inc: return "@" + reg_name(o.base) + "+";
+    case addr_mode::immediate: return "#" + hex16(o.ext);
+  }
+  return "?";
+}
+}  // namespace
+
+std::string to_string(const instruction& ins) {
+  std::string out{mnemonic(ins.op)};
+  if (ins.byte_op) out += ".b";
+  if (is_jump(ins.op)) {
+    out += " " + hex16(ins.target);
+  } else if (ins.op == opcode::reti) {
+    // no operands
+  } else if (is_format2(ins.op)) {
+    out += " " + operand_to_string(ins.dst);
+  } else {
+    out += " " + operand_to_string(ins.src) + ", " + operand_to_string(ins.dst);
+  }
+  return out;
+}
+
+}  // namespace dialed::isa

@@ -1,0 +1,56 @@
+#include "logfmt/logfmt.h"
+
+#include "common/error.h"
+
+namespace dialed::logfmt {
+
+log_view::log_view(std::uint16_t or_min, std::uint16_t or_max,
+                   std::span<const std::uint8_t> or_bytes)
+    : or_min_(or_min), or_max_(or_max),
+      bytes_(or_bytes.begin(), or_bytes.end()) {
+  const std::size_t expected =
+      static_cast<std::size_t>(or_max) + 2 - or_min;
+  if (bytes_.size() != expected) {
+    throw error("logfmt: OR snapshot size mismatch (got " +
+                std::to_string(bytes_.size()) + ", expected " +
+                std::to_string(expected) + ")");
+  }
+}
+
+int log_view::capacity() const { return (or_max_ + 2 - or_min_) / 2; }
+
+std::uint16_t log_view::slot(int k) const {
+  if (k < 0 || k >= capacity()) {
+    throw error("logfmt: slot index " + std::to_string(k) + " out of range");
+  }
+  return word_at(static_cast<std::uint16_t>(or_max_ - 2 * k));
+}
+
+std::uint16_t log_view::word_at(std::uint16_t addr) const {
+  if (addr < or_min_ || addr + 1 > or_max_ + 1) {
+    throw error("logfmt: address " + hex16(addr) + " outside the OR");
+  }
+  return load_le16(bytes_, static_cast<std::size_t>(addr - or_min_));
+}
+
+int log_view::used_slots(std::uint16_t final_r4) const {
+  if (final_r4 > or_max_) return 0;
+  return (or_max_ - final_r4) / 2;
+}
+
+int log_view::used_bytes(std::uint16_t final_r4) const {
+  return 2 * used_slots(final_r4);
+}
+
+std::string to_string(entry_kind k) {
+  switch (k) {
+    case entry_kind::saved_sp: return "saved-sp";
+    case entry_kind::entry_arg: return "entry-arg";
+    case entry_kind::cf_destination: return "cf-dest";
+    case entry_kind::data_input: return "data-input";
+    case entry_kind::unknown: return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace dialed::logfmt

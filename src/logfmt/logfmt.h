@@ -1,0 +1,82 @@
+// Model of the OR log layout (paper §III-C, F5): CF-Log and I-Log are one
+// merged stack of 16-bit slots growing DOWN from OR_MAX, with the top
+// pointer held in r4. Slot k lives at address OR_MAX - 2k:
+//
+//   slot 0            saved base stack pointer (DIALED F3, Fig. 4)
+//   slots 1..8        argument registers r8..r15 (r8 first)
+//   slots 9..         interleaved CF destinations and data inputs, in
+//                     execution order (untagged on the device; the verifier
+//                     annotates them during abstract execution)
+#ifndef DIALED_LOGFMT_LOGFMT_H
+#define DIALED_LOGFMT_LOGFMT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace dialed::logfmt {
+
+/// A decoded view over an OR snapshot ([or_min, or_max+1] inclusive).
+class log_view {
+ public:
+  log_view(std::uint16_t or_min, std::uint16_t or_max,
+           std::span<const std::uint8_t> or_bytes);
+
+  std::uint16_t or_min() const { return or_min_; }
+  std::uint16_t or_max() const { return or_max_; }
+
+  /// Total slot capacity of the OR.
+  int capacity() const;
+
+  /// Word value of slot `k` (k=0 at OR_MAX). Throws when out of range.
+  std::uint16_t slot(int k) const;
+
+  /// Word at an absolute OR address.
+  std::uint16_t word_at(std::uint16_t addr) const;
+
+  /// Slot 0: the op's base stack pointer saved at entry.
+  std::uint16_t saved_sp() const { return slot(0); }
+
+  /// Value logged for register r8+i at entry (i in 0..7).
+  std::uint16_t entry_reg(int i) const { return slot(1 + i); }
+
+  /// Value of the i-th C-level argument: arg i is passed in register
+  /// r(15-i), which the entry stub logs as slot 1+(15-i-8) = slot 8-i.
+  std::uint16_t argument(int i) const { return slot(8 - i); }
+
+  /// Number of used slots given the final log pointer r4.
+  int used_slots(std::uint16_t final_r4) const;
+  /// Bytes consumed by the log given the final log pointer r4 (the paper's
+  /// Fig. 6(c) metric).
+  int used_bytes(std::uint16_t final_r4) const;
+
+ private:
+  std::uint16_t or_min_;
+  std::uint16_t or_max_;
+  byte_vec bytes_;
+};
+
+/// Verifier-side annotation of one log slot, reconstructed during abstract
+/// execution (forensics / EXPERIMENTS reporting; not used for the verdict).
+enum class entry_kind : std::uint8_t {
+  saved_sp,
+  entry_arg,
+  cf_destination,
+  data_input,
+  unknown,
+};
+
+std::string to_string(entry_kind k);
+
+struct annotated_entry {
+  int slot = 0;
+  std::uint16_t value = 0;
+  entry_kind kind = entry_kind::unknown;
+  std::uint16_t source_pc = 0;  ///< instruction that produced the entry
+};
+
+}  // namespace dialed::logfmt
+
+#endif  // DIALED_LOGFMT_LOGFMT_H

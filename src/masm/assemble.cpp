@@ -1,0 +1,227 @@
+#include <algorithm>
+
+#include "common/error.h"
+#include "masm/masm.h"
+
+namespace dialed::masm {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw error("masm:" + std::to_string(line) + ": " + msg);
+}
+
+constexpr std::uint16_t default_origin = 0xc000;
+
+std::uint16_t resolve(const expr& e,
+                      const std::map<std::string, std::uint16_t>& symbols,
+                      int line) {
+  std::int32_t v = e.offset;
+  if (!e.sym.empty()) {
+    const auto it = symbols.find(e.sym);
+    if (it == symbols.end()) fail(line, "undefined symbol '" + e.sym + "'");
+    v += it->second;
+  }
+  return static_cast<std::uint16_t>(v & 0xffff);
+}
+
+/// Build the resolved isa::instruction for a statement. In sizing mode
+/// (`symbols == nullptr`) expressions resolve to 0 and CG eligibility is
+/// judged exactly as in the final pass, so sizes are stable.
+struct lowered {
+  isa::instruction ins;
+  bool allow_cg = true;
+};
+
+lowered lower(const stmt& s,
+              const std::map<std::string, std::uint16_t>* symbols) {
+  lowered out;
+  out.ins.op = s.op;
+  out.ins.byte_op = s.byte_op;
+
+  auto lower_operand = [&](const operand_ast& o) -> isa::operand {
+    isa::operand r;
+    r.mode = o.mode;
+    r.base = o.reg;
+    if (isa::mode_needs_ext(o.mode)) {
+      r.ext = symbols ? resolve(o.e, *symbols, s.line)
+                      : static_cast<std::uint16_t>(o.e.offset);
+    }
+    return r;
+  };
+
+  if (isa::is_jump(s.op)) {
+    out.ins.target = symbols ? resolve(s.ops[0].e, *symbols, s.line) : 0;
+    return out;
+  }
+  if (s.op == isa::opcode::reti) return out;
+  if (isa::is_format2(s.op)) {
+    out.ins.dst = lower_operand(s.ops[0]);
+    if (s.ops[0].mode == isa::addr_mode::immediate && !s.ops[0].e.is_literal()) {
+      out.allow_cg = false;  // symbol value unknown in pass 1; keep size fixed
+    }
+    return out;
+  }
+  out.ins.src = lower_operand(s.ops[0]);
+  out.ins.dst = lower_operand(s.ops[1]);
+  if (s.ops[0].mode == isa::addr_mode::immediate && !s.ops[0].e.is_literal()) {
+    out.allow_cg = false;
+  }
+  return out;
+}
+
+struct layout_item {
+  std::size_t stmt_index;
+  std::uint16_t address;
+  int size;
+};
+
+}  // namespace
+
+std::uint16_t image::symbol(const std::string& name) const {
+  const auto it = symbols.find(name);
+  if (it == symbols.end()) {
+    throw error("masm: undefined symbol '" + name + "'");
+  }
+  return it->second;
+}
+
+std::size_t image::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& s : segments) n += s.bytes.size();
+  return n;
+}
+
+image assemble(const module_src& m,
+               const std::map<std::string, std::uint16_t>& predefined) {
+  image img;
+  std::map<std::string, std::uint16_t> symbols = predefined;
+
+  // ---- Pass 1: layout ----
+  std::vector<layout_item> layout;
+  std::uint32_t addr = default_origin;
+  bool segment_open = false;
+
+  auto define = [&](const std::string& name, std::uint16_t value, int line) {
+    if (!symbols.emplace(name, value).second) {
+      fail(line, "symbol '" + name + "' redefined");
+    }
+  };
+
+  for (std::size_t i = 0; i < m.stmts.size(); ++i) {
+    const stmt& s = m.stmts[i];
+    switch (s.k) {
+      case stmt::kind::label:
+        define(s.label, static_cast<std::uint16_t>(addr), s.line);
+        break;
+      case stmt::kind::directive: {
+        if (s.directive == "org") {
+          addr = resolve(s.args.at(0), symbols, s.line);
+          segment_open = false;
+        } else if (s.directive == "equ") {
+          define(s.dir_sym, resolve(s.args.at(0), symbols, s.line), s.line);
+        } else if (s.directive == "word") {
+          if (addr % 2 != 0) fail(s.line, ".word at odd address");
+          layout.push_back({i, static_cast<std::uint16_t>(addr),
+                            static_cast<int>(2 * s.args.size())});
+          addr += 2 * s.args.size();
+          segment_open = true;
+        } else if (s.directive == "byte") {
+          layout.push_back({i, static_cast<std::uint16_t>(addr),
+                            static_cast<int>(s.args.size())});
+          addr += s.args.size();
+          segment_open = true;
+        } else if (s.directive == "space") {
+          const int n = resolve(s.args.at(0), symbols, s.line);
+          layout.push_back({i, static_cast<std::uint16_t>(addr), n});
+          addr += n;
+          segment_open = true;
+        } else if (s.directive == "align") {
+          const int pad = static_cast<int>(addr % 2);
+          if (pad != 0) {
+            layout.push_back({i, static_cast<std::uint16_t>(addr), pad});
+            addr += pad;
+            segment_open = true;
+          }
+        }
+        // .text/.data/.global: ignored.
+        break;
+      }
+      case stmt::kind::instruction: {
+        if (addr % 2 != 0) fail(s.line, "instruction at odd address");
+        const lowered lo = lower(s, nullptr);
+        const int size = 2 * isa::encoded_words(lo.ins, lo.allow_cg);
+        layout.push_back({i, static_cast<std::uint16_t>(addr), size});
+        addr += size;
+        segment_open = true;
+        break;
+      }
+    }
+    if (addr > 0x10000u) fail(s.line, "assembly exceeds the 64KiB space");
+  }
+  (void)segment_open;
+
+  // ---- Pass 2: emit ----
+  segment* cur = nullptr;
+  auto open_segment = [&](std::uint16_t base) {
+    img.segments.push_back(segment{base, {}});
+    cur = &img.segments.back();
+  };
+
+  for (const auto& item : layout) {
+    const stmt& s = m.stmts[item.stmt_index];
+    if (cur == nullptr || cur->end() != item.address) {
+      open_segment(item.address);
+    }
+    if (s.k == stmt::kind::directive) {
+      if (s.directive == "word") {
+        for (const auto& a : s.args) {
+          const std::uint16_t v = resolve(a, symbols, s.line);
+          cur->bytes.push_back(static_cast<std::uint8_t>(v & 0xff));
+          cur->bytes.push_back(static_cast<std::uint8_t>(v >> 8));
+        }
+      } else if (s.directive == "byte") {
+        for (const auto& a : s.args) {
+          cur->bytes.push_back(
+              static_cast<std::uint8_t>(resolve(a, symbols, s.line) & 0xff));
+        }
+      } else if (s.directive == "space" || s.directive == "align") {
+        cur->bytes.insert(cur->bytes.end(), item.size, 0);
+      }
+      continue;
+    }
+    // Instruction.
+    const lowered lo = lower(s, &symbols);
+    const auto words = isa::encode(lo.ins, item.address, lo.allow_cg);
+    if (static_cast<int>(2 * words.size()) != item.size) {
+      fail(s.line, "internal: pass-1/pass-2 size mismatch");
+    }
+    for (const std::uint16_t w : words) {
+      cur->bytes.push_back(static_cast<std::uint8_t>(w & 0xff));
+      cur->bytes.push_back(static_cast<std::uint8_t>(w >> 8));
+    }
+    img.listing.push_back(
+        {item.address, item.size, s.line, to_text(s)});
+  }
+
+  // Overlap check.
+  std::vector<segment> sorted = img.segments;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const segment& a, const segment& b) { return a.base < b.base; });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (!sorted[i - 1].bytes.empty() &&
+        sorted[i].base < sorted[i - 1].end()) {
+      throw error("masm: overlapping segments at " + hex16(sorted[i].base));
+    }
+  }
+
+  img.symbols = std::move(symbols);
+  return img;
+}
+
+image assemble_text(std::string_view text,
+                    const std::map<std::string, std::uint16_t>& predefined) {
+  return assemble(parse(text), predefined);
+}
+
+}  // namespace dialed::masm

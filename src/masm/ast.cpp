@@ -1,0 +1,123 @@
+#include "masm/ast.h"
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace dialed::masm {
+
+operand_ast reg_operand(std::uint8_t r) {
+  return {isa::addr_mode::reg, r, {}};
+}
+operand_ast imm_operand(expr e) {
+  return {isa::addr_mode::immediate, isa::REG_PC, std::move(e)};
+}
+operand_ast abs_operand(expr e) {
+  return {isa::addr_mode::absolute, isa::REG_SR, std::move(e)};
+}
+operand_ast idx_operand(std::uint8_t r, expr e) {
+  return {isa::addr_mode::indexed, r, std::move(e)};
+}
+operand_ast ind_operand(std::uint8_t r, bool post_inc) {
+  return {post_inc ? isa::addr_mode::indirect_inc : isa::addr_mode::indirect,
+          r,
+          {}};
+}
+operand_ast sym_operand(expr e) {
+  return {isa::addr_mode::symbolic, isa::REG_PC, std::move(e)};
+}
+
+stmt make_label(std::string name) {
+  stmt s;
+  s.k = stmt::kind::label;
+  s.label = std::move(name);
+  return s;
+}
+
+stmt make_instr(isa::opcode op, std::vector<operand_ast> ops, bool byte_op) {
+  stmt s;
+  s.k = stmt::kind::instruction;
+  s.op = op;
+  s.byte_op = byte_op;
+  s.ops = std::move(ops);
+  return s;
+}
+
+stmt make_directive(std::string name, std::vector<expr> args,
+                    std::string sym) {
+  stmt s;
+  s.k = stmt::kind::directive;
+  s.directive = std::move(name);
+  s.args = std::move(args);
+  s.dir_sym = std::move(sym);
+  return s;
+}
+
+namespace {
+
+std::string expr_text(const expr& e) {
+  if (e.is_literal()) {
+    if (e.offset < 0) return std::to_string(e.offset);
+    if (e.offset > 9) return hex16(static_cast<std::uint16_t>(e.offset));
+    return std::to_string(e.offset);
+  }
+  std::string out = e.sym;
+  if (e.offset > 0) out += "+" + std::to_string(e.offset);
+  if (e.offset < 0) out += std::to_string(e.offset);
+  return out;
+}
+
+std::string operand_text(const operand_ast& o) {
+  using isa::addr_mode;
+  switch (o.mode) {
+    case addr_mode::reg: return isa::reg_name(o.reg);
+    case addr_mode::indexed:
+      return expr_text(o.e) + "(" + isa::reg_name(o.reg) + ")";
+    case addr_mode::symbolic: return expr_text(o.e);
+    case addr_mode::absolute: return "&" + expr_text(o.e);
+    case addr_mode::indirect: return "@" + isa::reg_name(o.reg);
+    case addr_mode::indirect_inc: return "@" + isa::reg_name(o.reg) + "+";
+    case addr_mode::immediate: return "#" + expr_text(o.e);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_text(const stmt& s) {
+  switch (s.k) {
+    case stmt::kind::label:
+      return s.label + ":";
+    case stmt::kind::directive: {
+      std::string out = "        ." + s.directive;
+      if (!s.dir_sym.empty()) out += " " + s.dir_sym + ",";
+      for (std::size_t i = 0; i < s.args.size(); ++i) {
+        out += (i == 0 && s.dir_sym.empty() ? " " : " ");
+        out += expr_text(s.args[i]);
+        if (i + 1 < s.args.size()) out += ",";
+      }
+      return out;
+    }
+    case stmt::kind::instruction: {
+      std::string out = "        ";
+      out += std::string(isa::mnemonic(s.op));
+      if (s.byte_op) out += ".b";
+      for (std::size_t i = 0; i < s.ops.size(); ++i) {
+        out += (i == 0) ? " " : ", ";
+        out += operand_text(s.ops[i]);
+      }
+      return out;
+    }
+  }
+  throw error("masm: unknown statement kind");
+}
+
+std::string to_text(const module_src& m) {
+  std::string out;
+  for (const auto& s : m.stmts) {
+    out += to_text(s);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dialed::masm

@@ -1,0 +1,94 @@
+// Assembly-source object model. The mini-C compiler emits this (via text),
+// the Tiny-CFA and DIALED instrumentation passes transform it, and the
+// assembler lowers it to a memory image. Emulated mnemonics (ret, br, pop,
+// clr, inc, ...) are canonicalized to core opcodes at parse time, so passes
+// only ever see the 27 native instructions plus directives and labels.
+#ifndef DIALED_MASM_AST_H
+#define DIALED_MASM_AST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace dialed::masm {
+
+/// `sym + offset`; an empty `sym` makes it a plain literal.
+struct expr {
+  std::string sym;
+  std::int32_t offset = 0;
+
+  bool is_literal() const { return sym.empty(); }
+  bool operator==(const expr&) const = default;
+};
+
+inline expr lit(std::int32_t v) { return {"", v}; }
+inline expr symref(std::string s, std::int32_t off = 0) {
+  return {std::move(s), off};
+}
+
+/// Operand before symbol resolution. `e` is meaningful for modes that carry
+/// a value (indexed offset, absolute address, symbolic target, immediate).
+struct operand_ast {
+  isa::addr_mode mode = isa::addr_mode::reg;
+  std::uint8_t reg = 0;
+  expr e{};
+
+  bool operator==(const operand_ast&) const = default;
+};
+
+operand_ast reg_operand(std::uint8_t r);
+operand_ast imm_operand(expr e);
+operand_ast abs_operand(expr e);
+operand_ast idx_operand(std::uint8_t r, expr e);
+operand_ast ind_operand(std::uint8_t r, bool post_inc = false);
+operand_ast sym_operand(expr e);
+
+/// One source statement.
+struct stmt {
+  enum class kind : std::uint8_t { label, instruction, directive };
+  kind k = kind::instruction;
+
+  // kind::label
+  std::string label;
+
+  // kind::instruction (core opcodes only after parsing)
+  isa::opcode op = isa::opcode::mov;
+  bool byte_op = false;
+  std::vector<operand_ast> ops;
+
+  // kind::directive: name without the leading dot ("org", "word", "byte",
+  // "space", "align", "equ"); `dir_sym` holds the .equ name.
+  std::string directive;
+  std::string dir_sym;
+  std::vector<expr> args;
+
+  int line = 0;  ///< 1-based source line (0 for synthesized statements)
+
+  /// Set on statements inserted by an instrumentation pass; later passes
+  /// must not instrument them (paper §IV: the inserted checks/logging are
+  /// trusted-by-attestation, not application code).
+  bool synthetic = false;
+
+  bool operator==(const stmt&) const = default;
+};
+
+stmt make_label(std::string name);
+stmt make_instr(isa::opcode op, std::vector<operand_ast> ops,
+                bool byte_op = false);
+stmt make_directive(std::string name, std::vector<expr> args,
+                    std::string sym = {});
+
+/// A parsed assembly module (translation unit).
+struct module_src {
+  std::vector<stmt> stmts;
+};
+
+/// Render back to assembly text (round-trips through parse()).
+std::string to_text(const module_src& m);
+std::string to_text(const stmt& s);
+
+}  // namespace dialed::masm
+
+#endif  // DIALED_MASM_AST_H

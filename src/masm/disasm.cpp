@@ -1,0 +1,34 @@
+#include "masm/disasm.h"
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace dialed::masm {
+
+std::vector<disasm_entry> disassemble(std::span<const std::uint8_t> bytes,
+                                      std::uint16_t base) {
+  std::vector<disasm_entry> out;
+  std::vector<std::uint16_t> words(bytes.size() / 2);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    words[i] = load_le16(bytes, 2 * i);
+  }
+  std::size_t w = 0;
+  while (w < words.size()) {
+    const std::uint16_t addr = static_cast<std::uint16_t>(base + 2 * w);
+    const auto d = isa::decode(std::span(words).subspan(w), addr);
+    out.push_back({addr, d.ins, 2 * d.words, isa::to_string(d.ins)});
+    w += d.words;
+  }
+  return out;
+}
+
+std::vector<disasm_entry> disassemble(const image& img) {
+  std::vector<disasm_entry> out;
+  for (const auto& seg : img.segments) {
+    auto part = disassemble(seg.bytes, seg.base);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace dialed::masm

@@ -1,0 +1,33 @@
+// Linear disassembler over assembled images; used for listings, debugging,
+// and the verifier's forensic trace rendering.
+#ifndef DIALED_MASM_DISASM_H
+#define DIALED_MASM_DISASM_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+#include "masm/masm.h"
+
+namespace dialed::masm {
+
+struct disasm_entry {
+  std::uint16_t address = 0;
+  isa::instruction ins;
+  int size_bytes = 0;
+  std::string text;
+};
+
+/// Disassemble `bytes` located at `base` until the buffer is exhausted.
+/// Throws dialed::error on illegal encodings.
+std::vector<disasm_entry> disassemble(std::span<const std::uint8_t> bytes,
+                                      std::uint16_t base);
+
+/// Disassemble every segment of an image.
+std::vector<disasm_entry> disassemble(const image& img);
+
+}  // namespace dialed::masm
+
+#endif  // DIALED_MASM_DISASM_H

@@ -1,0 +1,73 @@
+// Two-pass MSP430 assembler and memory-image model.
+//
+// Supported syntax (one statement per line, ';' comments):
+//   label:            .org 0xc000         .equ NAME, expr
+//   mov #1, r15       .word a, b          .byte 1, 2
+//   mov.b @r14+, 2(r5)                    .space 8
+//   jne .L1           .align
+// plus the usual emulated mnemonics (ret, br, pop, nop, clr, inc, dec,
+// incd, decd, tst, inv, rla, rlc, adc, sbc, dint, eint, setc/clrc, jz/jnz/
+// jlo/jhs), which are canonicalized to core instructions at parse time.
+#ifndef DIALED_MASM_MASM_H
+#define DIALED_MASM_MASM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "masm/ast.h"
+
+namespace dialed::masm {
+
+/// Parse assembly text into the statement model. Throws dialed::error with
+/// "masm:<line>: ..." context on the first syntax error.
+module_src parse(std::string_view text);
+
+/// One contiguous run of assembled bytes.
+struct segment {
+  std::uint16_t base = 0;
+  byte_vec bytes;
+
+  std::uint16_t end() const {
+    return static_cast<std::uint16_t>(base + bytes.size());
+  }
+};
+
+/// Per-instruction listing record (address → source statement), consumed by
+/// the verifier's forensics output and by tests.
+struct listing_entry {
+  std::uint16_t address = 0;
+  int size_bytes = 0;
+  int line = 0;
+  std::string text;
+};
+
+/// Assembled module: memory segments plus the symbol table and listing.
+struct image {
+  std::vector<segment> segments;
+  std::map<std::string, std::uint16_t> symbols;
+  std::vector<listing_entry> listing;
+
+  /// Value of a symbol; throws dialed::error when undefined.
+  std::uint16_t symbol(const std::string& name) const;
+
+  /// Total assembled bytes across segments.
+  std::size_t total_bytes() const;
+};
+
+/// Assemble a parsed module. `predefined` symbols (e.g. OR_MIN/OR_MAX,
+/// peripheral addresses) are visible to all expressions.
+image assemble(const module_src& m,
+               const std::map<std::string, std::uint16_t>& predefined = {});
+
+/// Convenience: parse + assemble.
+image assemble_text(
+    std::string_view text,
+    const std::map<std::string, std::uint16_t>& predefined = {});
+
+}  // namespace dialed::masm
+
+#endif  // DIALED_MASM_MASM_H

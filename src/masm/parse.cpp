@@ -1,0 +1,416 @@
+#include <cctype>
+#include <optional>
+
+#include "common/error.h"
+#include "masm/masm.h"
+
+namespace dialed::masm {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw error("masm:" + std::to_string(line) + ": " + msg);
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == '$';
+}
+bool ident_char(char c) {
+  return ident_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+/// Cursor over one source line.
+class line_cursor {
+ public:
+  line_cursor(std::string_view s, int line) : s_(s), line_(line) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+  bool at_end() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!consume(c)) {
+      fail(line_, std::string("expected '") + c + "'");
+    }
+  }
+
+  std::optional<std::string> ident() {
+    skip_ws();
+    if (pos_ >= s_.size() || !ident_start(s_[pos_])) return std::nullopt;
+    std::size_t start = pos_;
+    while (pos_ < s_.size() && ident_char(s_[pos_])) ++pos_;
+    return std::string(s_.substr(start, pos_ - start));
+  }
+
+  std::optional<std::int32_t> number() {
+    skip_ws();
+    bool neg = false;
+    std::size_t p = pos_;
+    if (p < s_.size() && s_[p] == '-') {
+      neg = true;
+      ++p;
+    }
+    if (p >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[p]))) {
+      return std::nullopt;
+    }
+    std::int64_t value = 0;
+    if (s_.substr(p).starts_with("0x") || s_.substr(p).starts_with("0X")) {
+      p += 2;
+      std::size_t digits = 0;
+      while (p < s_.size() &&
+             std::isxdigit(static_cast<unsigned char>(s_[p]))) {
+        const char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(s_[p])));
+        value = value * 16 + (c <= '9' ? c - '0' : c - 'a' + 10);
+        ++p;
+        ++digits;
+      }
+      if (digits == 0) fail(line_, "malformed hex literal");
+    } else {
+      while (p < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[p]))) {
+        value = value * 10 + (s_[p] - '0');
+        ++p;
+      }
+    }
+    pos_ = p;
+    return static_cast<std::int32_t>(neg ? -value : value);
+  }
+
+  int line() const { return line_; }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  int line_;
+};
+
+std::optional<std::uint8_t> parse_reg_name(const std::string& id) {
+  if (id == "pc") return isa::REG_PC;
+  if (id == "sp") return isa::REG_SP;
+  if (id == "sr") return isa::REG_SR;
+  if (id.size() >= 2 && (id[0] == 'r' || id[0] == 'R')) {
+    int n = 0;
+    for (std::size_t i = 1; i < id.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(id[i]))) return std::nullopt;
+      n = n * 10 + (id[i] - '0');
+    }
+    if (n <= 15) return static_cast<std::uint8_t>(n);
+  }
+  return std::nullopt;
+}
+
+// expr := term (('+'|'-') number | '+' ident...)*
+// Practical subset: [ident] [("+"|"-") literal]* ; also literal-only chains.
+expr parse_expr(line_cursor& c) {
+  expr e;
+  if (auto n = c.number()) {
+    e.offset = *n;
+  } else if (auto id = c.ident()) {
+    if (auto r = parse_reg_name(*id)) {
+      fail(c.line(), "register name used where an expression is expected");
+    }
+    e.sym = *id;
+  } else {
+    fail(c.line(), "expected expression");
+  }
+  for (;;) {
+    if (c.consume('+')) {
+      if (auto n = c.number()) {
+        e.offset += *n;
+      } else if (auto id = c.ident()) {
+        if (!e.sym.empty()) fail(c.line(), "at most one symbol per expression");
+        e.sym = *id;
+      } else {
+        fail(c.line(), "expected term after '+'");
+      }
+    } else if (c.peek() == '-') {
+      // A '-' introducing a negative literal term.
+      if (auto n = c.number()) {
+        e.offset += *n;
+      } else {
+        fail(c.line(), "expected number after '-'");
+      }
+    } else {
+      break;
+    }
+  }
+  return e;
+}
+
+operand_ast parse_operand(line_cursor& c) {
+  if (c.consume('#')) return imm_operand(parse_expr(c));
+  if (c.consume('&')) return abs_operand(parse_expr(c));
+  if (c.consume('@')) {
+    auto id = c.ident();
+    if (!id) fail(c.line(), "expected register after '@'");
+    auto r = parse_reg_name(*id);
+    if (!r) fail(c.line(), "expected register after '@'");
+    const bool inc = c.consume('+');
+    return ind_operand(*r, inc);
+  }
+  // Either a register, an indexed expression, or a symbolic reference.
+  // Try a register name first.
+  {
+    line_cursor save = c;
+    if (auto id = c.ident()) {
+      if (auto r = parse_reg_name(*id)) {
+        if (c.peek() != '(') return reg_operand(*r);
+      }
+    }
+    c = save;
+  }
+  expr e = parse_expr(c);
+  if (c.consume('(')) {
+    auto id = c.ident();
+    if (!id) fail(c.line(), "expected register in indexed operand");
+    auto r = parse_reg_name(*id);
+    if (!r) fail(c.line(), "expected register in indexed operand");
+    c.expect(')');
+    return idx_operand(*r, std::move(e));
+  }
+  return sym_operand(std::move(e));
+}
+
+/// Expand one (possibly emulated) mnemonic into a core statement.
+stmt expand(const std::string& mnem, bool byte_op,
+            std::vector<operand_ast> ops, int line) {
+  using isa::opcode;
+  auto need = [&](std::size_t n) {
+    if (ops.size() != n) {
+      fail(line, mnem + " takes " + std::to_string(n) + " operand(s)");
+    }
+  };
+  auto core = [&](opcode op, std::vector<operand_ast> o) {
+    stmt s = make_instr(op, std::move(o), byte_op);
+    s.line = line;
+    return s;
+  };
+  auto sr = reg_operand(isa::REG_SR);
+  auto pc = reg_operand(isa::REG_PC);
+  auto sp_pop = ind_operand(isa::REG_SP, /*post_inc=*/true);
+
+  if (mnem == "nop") {
+    need(0);
+    return core(opcode::mov, {reg_operand(isa::REG_CG2),
+                              reg_operand(isa::REG_CG2)});
+  }
+  if (mnem == "ret") {
+    need(0);
+    return core(opcode::mov, {sp_pop, pc});
+  }
+  if (mnem == "pop") {
+    need(1);
+    return core(opcode::mov, {sp_pop, ops[0]});
+  }
+  if (mnem == "br") {
+    need(1);
+    // `br dst` = mov dst, pc. Accept `br #addr` and `br rN` / `br @rN`.
+    return core(opcode::mov, {ops[0], pc});
+  }
+  if (mnem == "clr") {
+    need(1);
+    return core(opcode::mov, {imm_operand(lit(0)), ops[0]});
+  }
+  if (mnem == "inc") {
+    need(1);
+    return core(opcode::add, {imm_operand(lit(1)), ops[0]});
+  }
+  if (mnem == "incd") {
+    need(1);
+    return core(opcode::add, {imm_operand(lit(2)), ops[0]});
+  }
+  if (mnem == "dec") {
+    need(1);
+    return core(opcode::sub, {imm_operand(lit(1)), ops[0]});
+  }
+  if (mnem == "decd") {
+    need(1);
+    return core(opcode::sub, {imm_operand(lit(2)), ops[0]});
+  }
+  if (mnem == "tst") {
+    need(1);
+    return core(opcode::cmp, {imm_operand(lit(0)), ops[0]});
+  }
+  if (mnem == "inv") {
+    need(1);
+    return core(opcode::xor_, {imm_operand(lit(-1)), ops[0]});
+  }
+  if (mnem == "rla") {
+    need(1);
+    return core(opcode::add, {ops[0], ops[0]});
+  }
+  if (mnem == "rlc") {
+    need(1);
+    return core(opcode::addc, {ops[0], ops[0]});
+  }
+  if (mnem == "adc") {
+    need(1);
+    return core(opcode::addc, {imm_operand(lit(0)), ops[0]});
+  }
+  if (mnem == "sbc") {
+    need(1);
+    return core(opcode::subc, {imm_operand(lit(0)), ops[0]});
+  }
+  if (mnem == "dadc") {
+    need(1);
+    return core(opcode::dadd, {imm_operand(lit(0)), ops[0]});
+  }
+  if (mnem == "dint") {
+    need(0);
+    return core(opcode::bic, {imm_operand(lit(8)), sr});
+  }
+  if (mnem == "eint") {
+    need(0);
+    return core(opcode::bis, {imm_operand(lit(8)), sr});
+  }
+  if (mnem == "setc") {
+    need(0);
+    return core(opcode::bis, {imm_operand(lit(1)), sr});
+  }
+  if (mnem == "clrc") {
+    need(0);
+    return core(opcode::bic, {imm_operand(lit(1)), sr});
+  }
+  if (mnem == "setz") {
+    need(0);
+    return core(opcode::bis, {imm_operand(lit(2)), sr});
+  }
+  if (mnem == "clrz") {
+    need(0);
+    return core(opcode::bic, {imm_operand(lit(2)), sr});
+  }
+  if (mnem == "setn") {
+    need(0);
+    return core(opcode::bis, {imm_operand(lit(4)), sr});
+  }
+  if (mnem == "clrn") {
+    need(0);
+    return core(opcode::bic, {imm_operand(lit(4)), sr});
+  }
+
+  const auto op = isa::opcode_from_mnemonic(mnem);
+  if (!op) fail(line, "unknown mnemonic '" + mnem + "'");
+  if (isa::is_jump(*op)) {
+    need(1);
+    if (ops[0].mode != isa::addr_mode::symbolic &&
+        ops[0].mode != isa::addr_mode::immediate) {
+      fail(line, "jump target must be a label or address");
+    }
+    ops[0].mode = isa::addr_mode::symbolic;
+  } else if (*op == opcode::reti) {
+    need(0);
+  } else if (isa::is_format2(*op)) {
+    need(1);
+  } else {
+    need(2);
+  }
+  return core(*op, std::move(ops));
+}
+
+}  // namespace
+
+module_src parse(std::string_view text) {
+  module_src out;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view raw = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    // Strip comment.
+    if (const auto sc = raw.find(';'); sc != std::string_view::npos) {
+      raw = raw.substr(0, sc);
+    }
+
+    line_cursor c(raw, line_no);
+    if (c.at_end()) continue;
+
+    // Optional label.
+    {
+      line_cursor save = c;
+      if (auto id = c.ident()) {
+        if (c.consume(':')) {
+          stmt s = make_label(*id);
+          s.line = line_no;
+          out.stmts.push_back(std::move(s));
+        } else {
+          c = save;
+        }
+      }
+    }
+    if (c.at_end()) continue;
+
+    if (c.consume('.')) {
+      auto name = c.ident();
+      if (!name) fail(line_no, "expected directive name after '.'");
+      stmt s;
+      s.k = stmt::kind::directive;
+      s.directive = *name;
+      s.line = line_no;
+      if (*name == "equ") {
+        auto sym = c.ident();
+        if (!sym) fail(line_no, ".equ needs a symbol name");
+        s.dir_sym = *sym;
+        c.expect(',');
+        s.args.push_back(parse_expr(c));
+      } else if (*name == "align" || *name == "text" || *name == "data" ||
+                 *name == "global") {
+        // .align takes no argument in this assembler; .text/.data/.global
+        // are accepted and ignored for gcc-style compatibility.
+        while (!c.at_end()) {
+          if (!c.ident() && !c.number() && !c.consume(',')) break;
+        }
+      } else if (*name == "org" || *name == "word" || *name == "byte" ||
+                 *name == "space") {
+        s.args.push_back(parse_expr(c));
+        while (c.consume(',')) s.args.push_back(parse_expr(c));
+      } else {
+        fail(line_no, "unknown directive ." + *name);
+      }
+      if (!c.at_end()) fail(line_no, "trailing characters after directive");
+      out.stmts.push_back(std::move(s));
+      continue;
+    }
+
+    // Instruction.
+    auto mnem = c.ident();
+    if (!mnem) fail(line_no, "expected mnemonic");
+    bool byte_op = false;
+    std::string name = *mnem;
+    if (name.size() > 2 && name.ends_with(".b")) {
+      byte_op = true;
+      name = name.substr(0, name.size() - 2);
+    } else if (name.size() > 2 && name.ends_with(".w")) {
+      name = name.substr(0, name.size() - 2);
+    }
+    std::vector<operand_ast> ops;
+    if (!c.at_end()) {
+      ops.push_back(parse_operand(c));
+      while (c.consume(',')) ops.push_back(parse_operand(c));
+    }
+    if (!c.at_end()) fail(line_no, "trailing characters after instruction");
+    out.stmts.push_back(expand(name, byte_op, std::move(ops), line_no));
+  }
+  return out;
+}
+
+}  // namespace dialed::masm

@@ -1,0 +1,152 @@
+#include "proto/prover.h"
+
+#include "common/error.h"
+
+namespace dialed::proto {
+
+/// Bus watcher measuring the op's own runtime (ER entry → exit) and the
+/// final log pointer, mirroring how the paper isolates the Fig. 6(b)/(c)
+/// quantities from startup and attestation costs.
+class prover_device::op_meter final : public emu::watcher {
+ public:
+  op_meter(emu::machine& m, std::uint16_t er_min, std::uint16_t er_max)
+      : m_(m), er_min_(er_min), er_max_(er_max) {}
+
+  void on_exec(std::uint16_t pc, const isa::instruction&) override {
+    if (!started_ && pc == er_min_) {
+      started_ = true;
+      start_cycles_ = m_.cycles();
+      return;
+    }
+    if (started_ && !ended_ && (pc < er_min_ || pc > er_max_)) {
+      ended_ = true;
+      op_cycles_ = m_.cycles() - start_cycles_;
+      final_r4_ = m_.get_cpu().regs()[isa::REG_LOGPTR];
+    }
+  }
+
+  void reset() {
+    started_ = ended_ = false;
+    start_cycles_ = op_cycles_ = 0;
+    final_r4_ = 0;
+  }
+
+  bool started() const { return started_; }
+  bool ended() const { return ended_; }
+  std::uint64_t op_cycles(std::uint64_t now) const {
+    if (started_ && !ended_) return now - start_cycles_;
+    return op_cycles_;
+  }
+  std::uint16_t final_r4() const { return final_r4_; }
+
+ private:
+  emu::machine& m_;
+  std::uint16_t er_min_;
+  std::uint16_t er_max_;
+  bool started_ = false;
+  bool ended_ = false;
+  std::uint64_t start_cycles_ = 0;
+  std::uint64_t op_cycles_ = 0;
+  std::uint16_t final_r4_ = 0;
+};
+
+prover_device::prover_device(instr::linked_program prog, byte_vec key)
+    : prog_(std::move(prog)), key_(std::move(key)) {
+  machine_ = std::make_unique<emu::machine>(prog_.options.map);
+  rot_ = std::make_unique<rot::root_of_trust>(*machine_);
+  rot_->vrased().provision_key(key_);
+  meter_ = std::make_unique<op_meter>(*machine_, prog_.er_min, prog_.er_max);
+  machine_->get_bus().add_watcher(meter_.get());
+}
+
+prover_device::~prover_device() {
+  machine_->get_bus().remove_watcher(meter_.get());
+}
+
+std::uint64_t prover_device::last_total_cycles() const {
+  return machine_->cycles();
+}
+
+verifier::attestation_report prover_device::invoke(
+    const std::array<std::uint8_t, 16>& challenge, const invocation& inv) {
+  auto& m = *machine_;
+  const auto& map = m.map();
+
+  // Fresh boot for this invocation.
+  m.load(prog_.image);
+  m.reset();
+  m.gpio().clear_history();
+  meter_->reset();
+
+  // Untrusted device software configures METADATA (bounds + challenge) —
+  // modelled as bus writes so the APEX FSM observes them.
+  auto& apex = rot_->apex();
+  auto meta_w16 = [&](std::uint16_t off, std::uint16_t v) {
+    apex.write8(static_cast<std::uint16_t>(map.meta_base + off),
+                static_cast<std::uint8_t>(v & 0xff));
+    apex.write8(static_cast<std::uint16_t>(map.meta_base + off + 1),
+                static_cast<std::uint8_t>(v >> 8));
+  };
+  meta_w16(emu::META_ER_MIN, prog_.er_min);
+  meta_w16(emu::META_ER_MAX, prog_.er_max);
+  meta_w16(emu::META_OR_MIN, map.or_min);
+  meta_w16(emu::META_OR_MAX, map.or_max);
+  for (int i = 0; i < 16; ++i) {
+    apex.write8(
+        static_cast<std::uint16_t>(map.meta_base + emu::META_CHAL + i),
+        challenge[static_cast<std::size_t>(i)]);
+  }
+
+  // Operation inputs.
+  for (int i = 0; i < 8; ++i) {
+    m.mailbox().set_arg(i, inv.args[static_cast<std::size_t>(i)]);
+  }
+  for (const std::uint8_t b : inv.net_rx) m.net().push_rx(b);
+  for (const std::uint16_t s : inv.adc_samples) m.adc().push_sample(s);
+  m.gpio().set_input(inv.gpio_in);
+
+  if (inv.before_run) inv.before_run(m);
+
+  // Run to halt (crt0: init → op → SW-Att → halt).
+  if (inv.on_step) {
+    while (!m.halted() && m.cycles() < inv.max_cycles) {
+      inv.on_step(m, m.get_cpu().pc());
+      if (m.halted()) break;
+      m.run(m.cycles() + 1);  // single step through the run loop
+    }
+  } else {
+    m.run(inv.max_cycles);
+  }
+  if (!m.halted()) {
+    throw error("proto: device did not halt within the cycle budget");
+  }
+
+  // Metrics.
+  op_cycles_ = meter_->op_cycles(m.cycles());
+  log_bytes_ = 0;
+  if (prog_.options.mode != instr::instrumentation::none &&
+      meter_->ended()) {
+    log_bytes_ = static_cast<int>(map.or_max - meter_->final_r4());
+  }
+
+  // Build the report from device memory.
+  verifier::attestation_report rep;
+  rep.er_min = prog_.er_min;
+  rep.er_max = prog_.er_max;
+  rep.or_min = map.or_min;
+  rep.or_max = map.or_max;
+  rep.exec = rot_->apex().exec_flag();
+  rep.challenge = challenge;
+  for (std::uint32_t a = map.or_min;
+       a <= static_cast<std::uint32_t>(map.or_max) + 1; ++a) {
+    rep.or_bytes.push_back(m.get_bus().peek8(static_cast<std::uint16_t>(a)));
+  }
+  for (std::uint16_t i = 0; i < 32; ++i) {
+    rep.mac[i] = m.get_bus().peek8(static_cast<std::uint16_t>(map.mac_base + i));
+  }
+  rep.claimed_result = m.mailbox().result();
+  rep.halt_code = m.halt_code();
+  return rep;
+}
+
+}  // namespace dialed::proto

@@ -1,0 +1,77 @@
+// The prover side of the attestation protocol: an emulated device with the
+// APEX/VRASED root of trust installed, running a linked operation once per
+// challenge and producing the attestation report. Also meters the metrics
+// the paper's Fig. 6 reports: op runtime in cycles and bytes consumed in OR.
+#ifndef DIALED_PROTO_PROVER_H
+#define DIALED_PROTO_PROVER_H
+
+#include <array>
+#include <functional>
+#include <memory>
+
+#include "emu/machine.h"
+#include "instr/oplink.h"
+#include "rot/rot.h"
+#include "verifier/report.h"
+
+namespace dialed::proto {
+
+/// One attested invocation: arguments, environment inputs, and optional
+/// adversarial hooks used by tests/examples to mount attacks.
+struct invocation {
+  std::array<std::uint16_t, 8> args{};
+  std::vector<std::uint8_t> net_rx;        ///< network bytes to enqueue
+  std::vector<std::uint16_t> adc_samples;  ///< ADC samples to enqueue
+  std::uint8_t gpio_in = 0;                ///< P3IN level
+
+  /// Called after load/reset but before the run (e.g. poke memory, patch
+  /// code, pre-fill OR).
+  std::function<void(emu::machine&)> before_run;
+  /// Called on every executed instruction (e.g. raise an interrupt or DMA
+  /// write mid-execution). Return value ignored.
+  std::function<void(emu::machine&, std::uint16_t pc)> on_step;
+
+  std::uint64_t max_cycles = 200'000'000;
+};
+
+class prover_device {
+ public:
+  prover_device(instr::linked_program prog, byte_vec key);
+  ~prover_device();
+
+  prover_device(const prover_device&) = delete;
+  prover_device& operator=(const prover_device&) = delete;
+
+  /// Run one attested invocation under the given 16-byte challenge and
+  /// build the report from device memory.
+  verifier::attestation_report invoke(
+      const std::array<std::uint8_t, 16>& challenge, const invocation& inv);
+
+  emu::machine& machine() { return *machine_; }
+  rot::root_of_trust& rot() { return *rot_; }
+  const instr::linked_program& program() const { return prog_; }
+
+  // ---- metrics of the last invocation (Fig. 6 quantities) ----
+  /// Cycles spent inside the attested op (ER entry to exit), excluding
+  /// crt0 and SW-Att.
+  std::uint64_t last_op_cycles() const { return op_cycles_; }
+  /// Total device cycles including startup and SW-Att.
+  std::uint64_t last_total_cycles() const;
+  /// Bytes consumed in OR by CF-Log + I-Log (0 for uninstrumented runs).
+  int last_log_bytes() const { return log_bytes_; }
+
+ private:
+  class op_meter;
+
+  instr::linked_program prog_;
+  byte_vec key_;
+  std::unique_ptr<emu::machine> machine_;
+  std::unique_ptr<rot::root_of_trust> rot_;
+  std::unique_ptr<op_meter> meter_;
+  std::uint64_t op_cycles_ = 0;
+  int log_bytes_ = 0;
+};
+
+}  // namespace dialed::proto
+
+#endif  // DIALED_PROTO_PROVER_H

@@ -1,0 +1,32 @@
+#include "proto/session.h"
+
+namespace dialed::proto {
+
+verifier_session::verifier_session(instr::linked_program prog, byte_vec key,
+                                   std::uint64_t seed)
+    : verifier_(std::move(prog), std::move(key)), rng_(seed) {}
+
+std::array<std::uint8_t, 16> verifier_session::new_challenge() {
+  std::array<std::uint8_t, 16> chal{};
+  for (auto& b : chal) {
+    b = static_cast<std::uint8_t>(rng_() & 0xff);
+  }
+  outstanding_ = chal;
+  return chal;
+}
+
+verifier::verdict verifier_session::check(
+    const verifier::attestation_report& report) {
+  if (!outstanding_) {
+    verifier::verdict v;
+    v.findings.push_back(
+        {verifier::attack_kind::stale_challenge,
+         "no outstanding challenge: report replayed or unsolicited", 0, 0});
+    return v;
+  }
+  const auto chal = *outstanding_;
+  outstanding_.reset();  // one-time nonce
+  return verifier_.verify(report, chal);
+}
+
+}  // namespace dialed::proto

@@ -1,0 +1,37 @@
+// The verifier side of the challenge-response protocol: nonce management
+// (anti-replay) around the core report verification.
+#ifndef DIALED_PROTO_SESSION_H
+#define DIALED_PROTO_SESSION_H
+
+#include <optional>
+#include <random>
+
+#include "verifier/verifier.h"
+
+namespace dialed::proto {
+
+class verifier_session {
+ public:
+  /// `prog` is Vrf's reference build of the deployed program; `seed` makes
+  /// challenge generation reproducible in tests.
+  verifier_session(instr::linked_program prog, byte_vec key,
+                   std::uint64_t seed = 0x1a2b3c4d5e6f7788ull);
+
+  /// Draw a fresh 16-byte challenge and remember it as outstanding.
+  std::array<std::uint8_t, 16> new_challenge();
+
+  /// Verify a report against the outstanding challenge (which is consumed:
+  /// re-submitting the same report is rejected as a replay).
+  verifier::verdict check(const verifier::attestation_report& report);
+
+  verifier::op_verifier& core() { return verifier_; }
+
+ private:
+  verifier::op_verifier verifier_;
+  std::mt19937_64 rng_;
+  std::optional<std::array<std::uint8_t, 16>> outstanding_;
+};
+
+}  // namespace dialed::proto
+
+#endif  // DIALED_PROTO_SESSION_H

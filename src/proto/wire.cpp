@@ -1,0 +1,84 @@
+#include "proto/wire.h"
+
+namespace dialed::proto {
+
+namespace {
+constexpr std::uint16_t wire_magic = 0xd1a7;
+constexpr std::uint8_t wire_version = 1;
+constexpr std::size_t header_size = 66;
+}  // namespace
+
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) {
+  std::uint16_t crc = 0xffff;
+  for (const std::uint8_t b : data) {
+    crc ^= static_cast<std::uint16_t>(b) << 8;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x8000)
+                ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                : static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+byte_vec encode_report(const verifier::attestation_report& rep) {
+  byte_vec out(header_size);
+  store_le16(out, 0, wire_magic);
+  out[2] = wire_version;
+  out[3] = rep.exec ? 1 : 0;
+  store_le16(out, 4, rep.er_min);
+  store_le16(out, 6, rep.er_max);
+  store_le16(out, 8, rep.or_min);
+  store_le16(out, 10, rep.or_max);
+  store_le16(out, 12, rep.claimed_result);
+  store_le16(out, 14, rep.halt_code);
+  for (int i = 0; i < 16; ++i) {
+    out[16 + static_cast<std::size_t>(i)] =
+        rep.challenge[static_cast<std::size_t>(i)];
+  }
+  for (int i = 0; i < 32; ++i) {
+    out[32 + static_cast<std::size_t>(i)] =
+        rep.mac[static_cast<std::size_t>(i)];
+  }
+  store_le16(out, 64, static_cast<std::uint16_t>(rep.or_bytes.size()));
+  out.insert(out.end(), rep.or_bytes.begin(), rep.or_bytes.end());
+  const std::uint16_t crc = crc16_ccitt(out);
+  out.push_back(static_cast<std::uint8_t>(crc & 0xff));
+  out.push_back(static_cast<std::uint8_t>(crc >> 8));
+  return out;
+}
+
+std::optional<verifier::attestation_report> decode_report(
+    std::span<const std::uint8_t> frame) {
+  if (frame.size() < header_size + 2) return std::nullopt;
+  if (load_le16(frame, 0) != wire_magic) return std::nullopt;
+  if (frame[2] != wire_version) return std::nullopt;
+  const std::size_t or_len = load_le16(frame, 64);
+  if (frame.size() != header_size + or_len + 2) return std::nullopt;
+  const std::uint16_t crc =
+      crc16_ccitt(frame.subspan(0, header_size + or_len));
+  if (crc != load_le16(frame, header_size + or_len)) return std::nullopt;
+
+  verifier::attestation_report rep;
+  rep.exec = (frame[3] & 1) != 0;
+  rep.er_min = load_le16(frame, 4);
+  rep.er_max = load_le16(frame, 6);
+  rep.or_min = load_le16(frame, 8);
+  rep.or_max = load_le16(frame, 10);
+  rep.claimed_result = load_le16(frame, 12);
+  rep.halt_code = load_le16(frame, 14);
+  for (int i = 0; i < 16; ++i) {
+    rep.challenge[static_cast<std::size_t>(i)] =
+        frame[16 + static_cast<std::size_t>(i)];
+  }
+  for (int i = 0; i < 32; ++i) {
+    rep.mac[static_cast<std::size_t>(i)] =
+        frame[32 + static_cast<std::size_t>(i)];
+  }
+  rep.or_bytes.assign(frame.begin() + header_size,
+                      frame.begin() + static_cast<std::ptrdiff_t>(
+                                          header_size + or_len));
+  return rep;
+}
+
+}  // namespace dialed::proto

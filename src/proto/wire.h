@@ -1,0 +1,44 @@
+// Wire format for attestation reports — the bytes Prv actually sends over
+// its network link. Little-endian fixed header + variable OR payload,
+// framed with a magic, a version, and a CRC-16 so transport corruption is
+// distinguished from security failures (a corrupted frame is re-requested;
+// a bad MAC is an attack signal).
+//
+//   offset  size  field
+//   0       2     magic 0xD1A7
+//   2       1     version (1)
+//   3       1     flags: bit0 = EXEC claim
+//   4       2     er_min        6   2  er_max
+//   8       2     or_min        10  2  or_max
+//   12      2     claimed_result
+//   14      2     halt_code
+//   16      16    challenge
+//   32      32    MAC
+//   64      2     or_bytes length
+//   66      n     or_bytes
+//   66+n    2     CRC-16/CCITT over bytes [0, 66+n)
+#ifndef DIALED_PROTO_WIRE_H
+#define DIALED_PROTO_WIRE_H
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "verifier/report.h"
+
+namespace dialed::proto {
+
+/// Serialize a report into a transmission frame.
+byte_vec encode_report(const verifier::attestation_report& rep);
+
+/// Parse and validate a frame. Returns nullopt on any framing problem
+/// (magic/version/length/CRC) — the caller should treat it as a transport
+/// error, not as an attestation failure.
+std::optional<verifier::attestation_report> decode_report(
+    std::span<const std::uint8_t> frame);
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xffff) used by the framing.
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data);
+
+}  // namespace dialed::proto
+
+#endif  // DIALED_PROTO_WIRE_H

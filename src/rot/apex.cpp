@@ -1,0 +1,133 @@
+#include "rot/apex.h"
+
+namespace dialed::rot {
+
+std::string to_string(apex_violation v) {
+  switch (v) {
+    case apex_violation::pc_escape: return "pc-escape";
+    case apex_violation::irq_in_exec: return "irq-in-exec";
+    case apex_violation::dma_in_exec: return "dma-in-exec";
+    case apex_violation::code_write: return "code-write";
+    case apex_violation::or_write_outside: return "or-write-outside-exec";
+    case apex_violation::meta_write: return "meta-write";
+  }
+  return "?";
+}
+
+std::uint8_t apex_monitor::read8(std::uint16_t addr) {
+  const std::uint16_t off = addr - map_.meta_base;
+  auto word_byte = [&](std::uint16_t v) {
+    return static_cast<std::uint8_t>((off % 2) ? (v >> 8) : (v & 0xff));
+  };
+  switch (off & ~1u) {
+    case emu::META_ER_MIN: return word_byte(er_min_);
+    case emu::META_ER_MAX: return word_byte(er_max_);
+    case emu::META_OR_MIN: return word_byte(or_min_);
+    case emu::META_OR_MAX: return word_byte(or_max_);
+    case emu::META_EXEC: return word_byte(exec_ ? 1 : 0);
+    default:
+      if (off >= emu::META_CHAL &&
+          off < emu::META_CHAL + emu::META_CHAL_SIZE) {
+        return chal_[off - emu::META_CHAL];
+      }
+      return 0;
+  }
+}
+
+void apex_monitor::write8(std::uint16_t addr, std::uint8_t value) {
+  const std::uint16_t off = addr - map_.meta_base;
+  auto set_word_byte = [&](std::uint16_t& v) {
+    if (off % 2) {
+      v = static_cast<std::uint16_t>((v & 0x00ff) | (value << 8));
+    } else {
+      v = static_cast<std::uint16_t>((v & 0xff00) | value);
+    }
+  };
+  if ((off & ~1u) == emu::META_EXEC) {
+    return;  // EXEC is read-only to software; silently ignored as in APEX
+  }
+  if (off >= emu::META_CHAL && off < emu::META_CHAL + emu::META_CHAL_SIZE) {
+    // The challenge may be (re)written freely: it is bound by the MAC at
+    // attestation time, so tampering only makes verification fail.
+    chal_[off - emu::META_CHAL] = value;
+    return;
+  }
+  switch (off & ~1u) {
+    case emu::META_ER_MIN: set_word_byte(er_min_); break;
+    case emu::META_ER_MAX: set_word_byte(er_max_); break;
+    case emu::META_OR_MIN: set_word_byte(or_min_); break;
+    case emu::META_OR_MAX: set_word_byte(or_max_); break;
+    default: return;
+  }
+  // Changing the attested bounds invalidates any proof in flight or already
+  // produced; reconfiguring while idle is the normal setup path.
+  if (state_ != state::idle) {
+    violate(apex_violation::meta_write, addr);
+  }
+  exec_ = false;
+}
+
+void apex_monitor::violate(apex_violation v, std::uint16_t addr) {
+  violations_.push_back({v, addr});
+  exec_ = false;
+  if (state_ == state::running) state_ = state::idle;
+  if (state_ == state::complete) state_ = state::idle;
+}
+
+void apex_monitor::on_exec(std::uint16_t pc, const isa::instruction&) {
+  if (pc == er_min_ && er_min_ != 0) {
+    // Legal entry: a fresh execution begins (EXEC only set at completion).
+    state_ = state::running;
+    exec_ = false;
+  } else if (state_ == state::running && !in_er(pc)) {
+    violate(apex_violation::pc_escape, pc);
+    return;
+  }
+  if (state_ == state::running && pc == er_max_) {
+    // The final instruction is retiring: the run was clean end-to-end.
+    state_ = state::complete;
+    exec_ = true;
+  }
+}
+
+void apex_monitor::on_access(const emu::bus_access& a) {
+  if (!a.write) return;
+  if (state_ == state::running && a.dma) {
+    violate(apex_violation::dma_in_exec, a.addr);
+    return;
+  }
+  if (in_er(a.addr) && er_min_ != 0) {
+    // Program-memory modification. While idle it merely means the *next*
+    // attestation hashes different code (caught by the MAC); during or
+    // after a run it defeats the proof.
+    if (state_ != state::idle) {
+      violate(apex_violation::code_write, a.addr);
+    }
+    exec_ = false;
+    return;
+  }
+  if (in_or(a.addr) && or_min_ != 0) {
+    const bool by_execution = state_ == state::running && !a.dma;
+    if (by_execution) return;
+    // OR writes while a completed proof exists tamper with the attested
+    // output; while idle (e.g. crt0 zeroing OR before the run) they only
+    // keep EXEC at 0.
+    if (state_ == state::complete || state_ == state::running) {
+      violate(apex_violation::or_write_outside, a.addr);
+    }
+    exec_ = false;
+  }
+}
+
+void apex_monitor::on_irq(std::uint16_t vector) {
+  if (state_ == state::running) {
+    violate(apex_violation::irq_in_exec, vector);
+  }
+}
+
+void apex_monitor::on_reset() {
+  state_ = state::idle;
+  exec_ = false;
+}
+
+}  // namespace dialed::rot

@@ -1,0 +1,93 @@
+// APEX Proof-of-Execution monitor (Nunes et al., USENIX Security'20),
+// reproduced as a cycle-level hardware FSM over the emulator's bus signals.
+//
+// The monitor owns the METADATA register block (ER/OR bounds, challenge and
+// the software-read-only EXEC flag) and maintains EXEC according to APEX's
+// properties: EXEC=1 only if the code in ER=[er_min, er_max] ran from its
+// first to its last instruction with no PC escape, no interrupt, no DMA
+// activity, no write into ER, and OR was written only by that execution.
+// Any violation — before, during or after the run — clears EXEC.
+#ifndef DIALED_ROT_APEX_H
+#define DIALED_ROT_APEX_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "emu/bus.h"
+#include "emu/memmap.h"
+
+namespace dialed::rot {
+
+enum class apex_violation : std::uint8_t {
+  pc_escape,         ///< PC left ER before reaching er_max
+  irq_in_exec,       ///< interrupt serviced while ER was executing
+  dma_in_exec,       ///< DMA transfer while ER was executing
+  code_write,        ///< write into ER (any time)
+  or_write_outside,  ///< OR written while ER was not executing
+  meta_write,        ///< ER/OR bounds modified (any time)
+};
+
+std::string to_string(apex_violation v);
+
+class apex_monitor final : public emu::watcher, public emu::mmio_device {
+ public:
+  explicit apex_monitor(const emu::memory_map& map) : map_(map) {}
+
+  enum class state : std::uint8_t { idle, running, complete };
+
+  // --- mmio_device over the METADATA block -------------------------------
+  bool owns(std::uint16_t addr) const override {
+    return addr >= map_.meta_base && addr < map_.meta_base + 32;
+  }
+  std::uint8_t read8(std::uint16_t addr) override;
+  void write8(std::uint16_t addr, std::uint8_t value) override;
+
+  // --- watcher (the hardware signals) -------------------------------------
+  void on_exec(std::uint16_t pc, const isa::instruction& ins) override;
+  void on_access(const emu::bus_access& a) override;
+  void on_irq(std::uint16_t vector) override;
+  void on_reset() override;
+
+  // --- monitored state -----------------------------------------------------
+  state fsm() const { return state_; }
+  bool exec_flag() const { return exec_; }
+  std::uint16_t er_min() const { return er_min_; }
+  std::uint16_t er_max() const { return er_max_; }
+  std::uint16_t or_min() const { return or_min_; }
+  std::uint16_t or_max() const { return or_max_; }
+  std::array<std::uint8_t, emu::META_CHAL_SIZE> challenge() const {
+    return chal_;
+  }
+
+  struct violation_record {
+    apex_violation kind;
+    std::uint16_t addr;
+  };
+  const std::vector<violation_record>& violations() const {
+    return violations_;
+  }
+
+ private:
+  bool in_er(std::uint16_t a) const { return a >= er_min_ && a <= er_max_; }
+  bool in_or(std::uint16_t a) const {
+    // or_max is the address of the top log slot (a word), hence +1.
+    return a >= or_min_ && a <= static_cast<std::uint16_t>(or_max_ + 1);
+  }
+  void violate(apex_violation v, std::uint16_t addr);
+
+  emu::memory_map map_;
+  state state_ = state::idle;
+  bool exec_ = false;
+  std::uint16_t er_min_ = 0;
+  std::uint16_t er_max_ = 0;
+  std::uint16_t or_min_ = 0;
+  std::uint16_t or_max_ = 0;
+  std::array<std::uint8_t, emu::META_CHAL_SIZE> chal_{};
+  std::vector<violation_record> violations_;
+};
+
+}  // namespace dialed::rot
+
+#endif  // DIALED_ROT_APEX_H

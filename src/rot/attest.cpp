@@ -1,0 +1,29 @@
+#include "rot/attest.h"
+
+#include <array>
+
+namespace dialed::rot {
+
+crypto::hmac_sha256::mac compute_attestation_mac(
+    std::span<const std::uint8_t> key, const attest_input& in) {
+  // KDF: bind the session challenge into a one-time key (VRASED design).
+  const auto derived = crypto::hmac_sha256::compute(key, in.challenge);
+
+  crypto::hmac_sha256 mac(derived);
+  std::array<std::uint8_t, 9> header{};
+  header[0] = static_cast<std::uint8_t>(in.er_min & 0xff);
+  header[1] = static_cast<std::uint8_t>(in.er_min >> 8);
+  header[2] = static_cast<std::uint8_t>(in.er_max & 0xff);
+  header[3] = static_cast<std::uint8_t>(in.er_max >> 8);
+  header[4] = static_cast<std::uint8_t>(in.or_min & 0xff);
+  header[5] = static_cast<std::uint8_t>(in.or_min >> 8);
+  header[6] = static_cast<std::uint8_t>(in.or_max & 0xff);
+  header[7] = static_cast<std::uint8_t>(in.or_max >> 8);
+  header[8] = in.exec ? 1 : 0;
+  mac.update(header);
+  mac.update(in.er_bytes);
+  mac.update(in.or_bytes);
+  return mac.finish();
+}
+
+}  // namespace dialed::rot

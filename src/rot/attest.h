@@ -1,0 +1,36 @@
+// The exact byte serialization covered by the attestation MAC. Shared
+// between the device-side SW-Att (src/rot/vrased) and the verifier, so both
+// compute the MAC over identical inputs:
+//
+//   KDF:  k' = HMAC-SHA256(K, chal)
+//   MAC   = HMAC-SHA256(k', er_min‖er_max‖or_min‖or_max‖exec‖ER‖OR)
+//
+// with bounds little-endian, `exec` one byte, ER/OR raw memory snapshots.
+#ifndef DIALED_ROT_ATTEST_H
+#define DIALED_ROT_ATTEST_H
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/hmac.h"
+
+namespace dialed::rot {
+
+struct attest_input {
+  std::uint16_t er_min = 0;
+  std::uint16_t er_max = 0;
+  std::uint16_t or_min = 0;
+  std::uint16_t or_max = 0;
+  bool exec = false;
+  std::span<const std::uint8_t> challenge;  ///< 16 bytes
+  std::span<const std::uint8_t> er_bytes;   ///< [er_min, er_max] inclusive
+  std::span<const std::uint8_t> or_bytes;   ///< [or_min, or_max+1] inclusive
+};
+
+/// Compute the attestation MAC with the device master key `key`.
+crypto::hmac_sha256::mac compute_attestation_mac(
+    std::span<const std::uint8_t> key, const attest_input& in);
+
+}  // namespace dialed::rot
+
+#endif  // DIALED_ROT_ATTEST_H

@@ -1,0 +1,13 @@
+#include "rot/rot.h"
+
+namespace dialed::rot {
+
+root_of_trust::root_of_trust(emu::machine& m) {
+  apex_ = std::make_unique<apex_monitor>(m.map());
+  m.get_bus().add_device(apex_.get());
+  m.get_bus().add_watcher(apex_.get());
+  vrased_ = std::make_unique<vrased_rot>(m, *apex_);
+  vrased_->install();
+}
+
+}  // namespace dialed::rot

@@ -1,0 +1,32 @@
+// Convenience wrapper wiring the full root of trust (APEX + VRASED) onto an
+// emulated machine — the hardware platform the paper assumes (§II-C).
+#ifndef DIALED_ROT_ROT_H
+#define DIALED_ROT_ROT_H
+
+#include <memory>
+
+#include "emu/machine.h"
+#include "rot/apex.h"
+#include "rot/vrased.h"
+
+namespace dialed::rot {
+
+class root_of_trust {
+ public:
+  /// Installs the APEX METADATA device + FSM and the VRASED key device,
+  /// monitor and SW-Att ROM handler on `m`. Non-owning reference to `m`.
+  explicit root_of_trust(emu::machine& m);
+
+  apex_monitor& apex() { return *apex_; }
+  const apex_monitor& apex() const { return *apex_; }
+  vrased_rot& vrased() { return *vrased_; }
+  const vrased_rot& vrased() const { return *vrased_; }
+
+ private:
+  std::unique_ptr<apex_monitor> apex_;
+  std::unique_ptr<vrased_rot> vrased_;
+};
+
+}  // namespace dialed::rot
+
+#endif  // DIALED_ROT_ROT_H

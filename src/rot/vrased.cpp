@@ -1,0 +1,117 @@
+#include "rot/vrased.h"
+
+#include "common/error.h"
+#include "rot/apex.h"
+#include "rot/attest.h"
+
+namespace dialed::rot {
+
+std::string to_string(vrased_violation v) {
+  switch (v) {
+    case vrased_violation::key_read_outside_swatt:
+      return "key-read-outside-swatt";
+    case vrased_violation::key_write: return "key-write";
+    case vrased_violation::srom_mid_entry: return "srom-mid-entry";
+  }
+  return "?";
+}
+
+vrased_rot::vrased_rot(emu::machine& m, apex_monitor& apex)
+    : machine_(m), apex_(apex), map_(m.map()) {
+  key_.assign(map_.key_size, 0);
+}
+
+void vrased_rot::install() {
+  machine_.get_bus().add_device(this);
+  machine_.get_bus().add_watcher(this);
+  machine_.add_rom_handler(map_.srom_start, [this] { run_swatt(); });
+}
+
+void vrased_rot::provision_key(std::span<const std::uint8_t> key) {
+  if (key.size() != map_.key_size) {
+    throw error("rot: key must be exactly " + std::to_string(map_.key_size) +
+                " bytes");
+  }
+  key_.assign(key.begin(), key.end());
+}
+
+std::uint8_t vrased_rot::read8(std::uint16_t addr) {
+  if (!swatt_active_) {
+    violations_.push_back(
+        {vrased_violation::key_read_outside_swatt, addr});
+    return 0;  // the hardware gates the key bus to zero
+  }
+  return key_[addr - map_.key_base];
+}
+
+void vrased_rot::write8(std::uint16_t addr, std::uint8_t) {
+  violations_.push_back({vrased_violation::key_write, addr});
+  // Key memory is write-protected after provisioning; the write is dropped.
+}
+
+void vrased_rot::on_exec(std::uint16_t pc, const isa::instruction&) {
+  if (map_.in_srom(pc) && pc != map_.srom_start) {
+    // VRASED resets the MCU when SW-Att is entered anywhere but its first
+    // instruction; we model the reset as a forced fault halt.
+    violations_.push_back({vrased_violation::srom_mid_entry, pc});
+    machine_.force_halt(emu::HALT_FAULT);
+  }
+}
+
+void vrased_rot::run_swatt() {
+  swatt_active_ = true;
+  ++swatt_runs_;
+
+  auto& bus = machine_.get_bus();
+  const std::uint16_t er_min = apex_.er_min();
+  const std::uint16_t er_max = apex_.er_max();
+  const std::uint16_t or_min = apex_.or_min();
+  const std::uint16_t or_max = apex_.or_max();
+
+  // Snapshot the attested regions exactly as SW-Att would read them. ER
+  // covers [er_min, er_max+1]: er_max is the address of the final (one
+  // word) instruction, so the range includes both of its bytes.
+  byte_vec er_bytes;
+  for (std::uint32_t a = er_min;
+       a <= static_cast<std::uint32_t>(er_max) + 1 && er_min != 0; ++a) {
+    er_bytes.push_back(bus.peek8(static_cast<std::uint16_t>(a)));
+  }
+  byte_vec or_bytes;
+  for (std::uint32_t a = or_min;
+       a <= static_cast<std::uint32_t>(or_max) + 1 && or_min != 0; ++a) {
+    or_bytes.push_back(bus.peek8(static_cast<std::uint16_t>(a)));
+  }
+  const auto chal = apex_.challenge();
+
+  attest_input in;
+  in.er_min = er_min;
+  in.er_max = er_max;
+  in.or_min = or_min;
+  in.or_max = or_max;
+  in.exec = apex_.exec_flag();
+  in.challenge = chal;
+  in.er_bytes = er_bytes;
+  in.or_bytes = or_bytes;
+  const auto mac = compute_attestation_mac(key_, in);
+
+  for (std::size_t i = 0; i < mac.size() && i < map_.mac_size; ++i) {
+    bus.poke8(static_cast<std::uint16_t>(map_.mac_base + i), mac[i]);
+  }
+
+  // Charge the modelled runtime of the ROM routine.
+  const std::uint64_t cost =
+      cost_.base_cycles +
+      cost_.cycles_per_byte * (er_bytes.size() + or_bytes.size());
+  machine_.get_cpu().add_cycles(cost);
+  last_swatt_cycles_ = cost;
+
+  // Emulate the final `ret` of the ROM routine.
+  auto& regs = machine_.get_cpu().regs();
+  const std::uint16_t ret_addr = bus.peek16(regs[isa::REG_SP]);
+  regs[isa::REG_SP] = static_cast<std::uint16_t>(regs[isa::REG_SP] + 2);
+  regs[isa::REG_PC] = ret_addr;
+
+  swatt_active_ = false;
+}
+
+}  // namespace dialed::rot

@@ -1,0 +1,257 @@
+#include "verifier/cfa_check.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "logfmt/logfmt.h"
+
+namespace dialed::verifier {
+
+namespace {
+
+constexpr std::uint64_t max_walk_steps = 5'000'000;
+
+class cfa_walker {
+ public:
+  cfa_walker(const instr::linked_program& prog,
+             const attestation_report& report)
+      : prog_(prog),
+        report_(report),
+        log_(report.or_min, report.or_max, report.or_bytes) {
+    // Flatten the image for decoding.
+    mem_.assign(0x10000, 0);
+    for (const auto& seg : prog.image.segments) {
+      std::uint32_t a = seg.base;
+      for (const std::uint8_t b : seg.bytes) {
+        mem_[a++ & 0xffff] = b;
+      }
+    }
+    // Classify stub labels by address.
+    for (const auto& [name, addr] : prog.image.symbols) {
+      if (name.rfind(".Lstub_cfa_taken", 0) == 0) {
+        taken_labels_.insert(addr);
+      }
+    }
+  }
+
+  cfa_result run() {
+    std::uint16_t pc = prog_.er_min;
+    std::uint64_t steps = 0;
+    result_.path.push_back(pc);
+
+    while (pc != prog_.op_return_addr) {
+      if (++steps > max_walk_steps) {
+        fail(attack_kind::replay_divergence,
+             "CF-Log walk exceeded the step budget", pc);
+        break;
+      }
+      if (pc < prog_.er_min || pc > prog_.er_max) {
+        fail(attack_kind::control_flow_attack,
+             "reconstructed path left ER at " + hex16(pc), pc);
+        break;
+      }
+      isa::decoded d{};
+      try {
+        const std::array<std::uint16_t, 3> words = {
+            word_at(pc), word_at(static_cast<std::uint16_t>(pc + 2)),
+            word_at(static_cast<std::uint16_t>(pc + 4))};
+        d = isa::decode(words, pc);
+      } catch (const error& e) {
+        fail(attack_kind::replay_divergence,
+             std::string("undecodable instruction on path: ") + e.what(),
+             pc);
+        break;
+      }
+      const std::uint16_t next =
+          static_cast<std::uint16_t>(pc + 2 * d.words);
+
+      if (!step(d.ins, pc, next)) break;
+      if (pc_ != next) result_.path.push_back(pc_);
+      pc = pc_;
+    }
+
+    result_.ok = result_.findings.empty() && pc == prog_.op_return_addr;
+    result_.entries_consumed = cursor_;
+    return std::move(result_);
+  }
+
+ private:
+  std::uint16_t word_at(std::uint16_t a) const {
+    return static_cast<std::uint16_t>(mem_[a] | (mem_[a + 1] << 8));
+  }
+
+  void fail(attack_kind k, std::string detail, std::uint16_t pc) {
+    result_.findings.push_back({k, std::move(detail), pc, 0});
+  }
+
+  bool consume(std::uint16_t* out, std::uint16_t pc) {
+    if (cursor_ >= log_.capacity()) {
+      fail(attack_kind::replay_divergence, "CF-Log exhausted mid-walk", pc);
+      return false;
+    }
+    *out = log_.slot(cursor_++);
+    return true;
+  }
+
+  bool is_log_push(const isa::instruction& ins) const {
+    return ins.op == isa::opcode::mov &&
+           ins.dst.mode == isa::addr_mode::indexed &&
+           ins.dst.base == isa::REG_LOGPTR && ins.dst.ext == 0;
+  }
+
+  /// Process one instruction; sets pc_ to the successor. Returns false to
+  /// stop the walk.
+  bool step(const isa::instruction& ins, std::uint16_t pc,
+            std::uint16_t next) {
+    pc_ = next;
+
+    if (is_log_push(ins)) {
+      std::uint16_t e = 0;
+      if (!consume(&e, pc)) return false;
+      last_entry_ = e;
+      if (ins.src.mode == isa::addr_mode::immediate && ins.src.ext != e) {
+        fail(attack_kind::replay_divergence,
+             "CF-Log entry " + hex16(e) + " does not match the logged " +
+                 "destination " + hex16(ins.src.ext),
+             pc);
+        return false;
+      }
+      if (ins.src.mode == isa::addr_mode::indirect &&
+          ins.src.base == isa::REG_SP) {
+        // Return-target push: validate against the shadow call stack.
+        if (!shadow_.empty()) {
+          if (shadow_.back() != e) {
+            fail(attack_kind::control_flow_attack,
+                 "return destination " + hex16(e) +
+                     " does not match the call site's return address " +
+                     hex16(shadow_.back()),
+                 pc);
+            // keep walking along the attacker's path for forensics
+          }
+          shadow_.pop_back();
+        } else if (e != prog_.op_return_addr) {
+          fail(attack_kind::control_flow_attack,
+               "final return redirected to " + hex16(e), pc);
+        }
+        pending_ret_target_ = e;
+        has_pending_ret_ = true;
+      }
+      return true;
+    }
+
+    if (isa::is_jump(ins.op)) {
+      if (ins.op == isa::opcode::jmp) {
+        pc_ = ins.target;
+        return true;
+      }
+      // Conditional. Application conditionals were rewritten to target a
+      // ".Lstub_cfa_taken*" label; everything else is a check stub that
+      // converges at its target on non-aborting runs.
+      if (taken_labels_.count(ins.target) == 0) {
+        pc_ = ins.target;
+        return true;
+      }
+      return resolve_app_conditional(ins, pc, next);
+    }
+
+    if (ins.op == isa::opcode::call) {
+      std::uint16_t dest = 0;
+      if (ins.dst.mode == isa::addr_mode::immediate) {
+        dest = ins.dst.ext;
+      } else {
+        dest = last_entry_;  // indirect call: the stub logged the target
+      }
+      shadow_.push_back(next);
+      pc_ = dest;
+      return true;
+    }
+
+    // ret == mov @sp+, pc  /  br == mov <src>, pc
+    if (ins.op == isa::opcode::mov && ins.dst.mode == isa::addr_mode::reg &&
+        ins.dst.base == isa::REG_PC) {
+      if (ins.src.mode == isa::addr_mode::immediate) {
+        pc_ = ins.src.ext;  // br #label (trampoline / stub arm)
+        return true;
+      }
+      if (has_pending_ret_) {
+        pc_ = pending_ret_target_;
+        has_pending_ret_ = false;
+        return true;
+      }
+      // Indirect branch: the stub logged the destination.
+      pc_ = last_entry_;
+      return true;
+    }
+
+    return true;  // ordinary instruction: fall through
+  }
+
+  /// An application conditional: peek the next entry and match it against
+  /// the push in the fall-through arm, else the taken arm.
+  bool resolve_app_conditional(const isa::instruction& ins, std::uint16_t pc,
+                               std::uint16_t next) {
+    std::uint16_t e = 0;
+    if (!consume(&e, pc)) return false;
+    const auto arm_push = [&](std::uint16_t arm_pc)
+        -> std::optional<std::pair<std::uint16_t, std::uint16_t>> {
+      // The arm begins with `mov #dest, 0(r4)`; returns {dest, arm_pc}.
+      try {
+        const std::array<std::uint16_t, 3> words = {
+            word_at(arm_pc), word_at(static_cast<std::uint16_t>(arm_pc + 2)),
+            word_at(static_cast<std::uint16_t>(arm_pc + 4))};
+        const auto d = isa::decode(words, arm_pc);
+        if (is_log_push(d.ins) &&
+            d.ins.src.mode == isa::addr_mode::immediate) {
+          return {{d.ins.src.ext, arm_pc}};
+        }
+      } catch (const error&) {
+      }
+      return std::nullopt;
+    };
+    const auto fall = arm_push(next);
+    const auto taken = arm_push(ins.target);
+    if (fall && e == fall->first) {
+      pc_ = e;  // the fall arm logs the convergence label and jumps to it
+      return true;
+    }
+    if (taken && e == taken->first) {
+      pc_ = e;  // the taken arm logs the original destination
+      return true;
+    }
+    fail(attack_kind::replay_divergence,
+         "CF-Log entry " + hex16(e) +
+             " matches neither outcome of the conditional at " + hex16(pc),
+         pc);
+    return false;
+  }
+
+  const instr::linked_program& prog_;
+  const attestation_report& report_;
+  logfmt::log_view log_;
+  std::vector<std::uint8_t> mem_;
+  std::set<std::uint16_t> taken_labels_;
+  std::vector<std::uint16_t> shadow_;
+  cfa_result result_;
+  std::uint16_t pc_ = 0;
+  std::uint16_t last_entry_ = 0;
+  std::uint16_t pending_ret_target_ = 0;
+  bool has_pending_ret_ = false;
+  int cursor_ = 0;
+};
+
+}  // namespace
+
+cfa_result check_cfa_log(const instr::linked_program& prog,
+                         const attestation_report& report) {
+  if (prog.options.mode != instr::instrumentation::tinycfa) {
+    throw error(
+        "verifier: check_cfa_log requires a Tiny-CFA-instrumented program "
+        "(DIALED programs are verified by abstract execution)");
+  }
+  return cfa_walker(prog, report).run();
+}
+
+}  // namespace dialed::verifier

@@ -1,0 +1,45 @@
+// Standalone Tiny-CFA verification (paper §II-C): reconstruct the exact
+// control-flow path of the attested run from CF-Log alone, without data.
+//
+// The walker interprets the *instrumented* binary structurally:
+//  * every `mov <src>, 0(r4)` is a log push — it consumes the next OR slot
+//    and, for immediate sources, must match it exactly;
+//  * rewritten application conditionals (branches to ".Lstub_cfa_taken*"
+//    labels) are resolved by matching the next slot against the push in
+//    each arm;
+//  * synthetic check conditionals (overflow/write checks) converge at
+//    their target on every non-aborting run, so the walker jumps there;
+//  * returns compare the logged destination against a shadow call stack —
+//    a mismatch is precisely a control-flow attack (paper Fig. 1).
+//
+// Only CFA-mode programs are walkable: DIALED's dynamic input checks make
+// log consumption data-dependent, which is what the full abstract executor
+// (replay.h) handles.
+#ifndef DIALED_VERIFIER_CFA_CHECK_H
+#define DIALED_VERIFIER_CFA_CHECK_H
+
+#include <vector>
+
+#include "instr/oplink.h"
+#include "verifier/report.h"
+
+namespace dialed::verifier {
+
+struct cfa_result {
+  bool ok = false;
+  std::vector<finding> findings;
+  /// Reconstructed instruction-block path (entry points of each straight
+  /// run the walker followed).
+  std::vector<std::uint16_t> path;
+  int entries_consumed = 0;
+};
+
+/// Walk `report`'s CF-Log against the known Tiny-CFA-instrumented binary.
+/// Requires prog.options.mode == instrumentation::tinycfa; throws
+/// dialed::error otherwise.
+cfa_result check_cfa_log(const instr::linked_program& prog,
+                         const attestation_report& report);
+
+}  // namespace dialed::verifier
+
+#endif  // DIALED_VERIFIER_CFA_CHECK_H

@@ -1,0 +1,501 @@
+#include "verifier/replay.h"
+
+#include <bitset>
+#include <map>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace dialed::verifier {
+
+std::uint16_t replay_state::global(const std::string& name) const {
+  const auto it = prog_.global_addrs.find(name);
+  if (it == prog_.global_addrs.end()) {
+    throw error("verifier: unknown global '" + name + "'");
+  }
+  return m_.get_bus().peek16(it->second);
+}
+
+namespace {
+
+constexpr std::uint64_t max_replay_instructions = 20'000'000;
+
+struct site_info {
+  std::string object;
+  bool is_global = false;
+  std::uint16_t global_base = 0;
+  int local_offset_adj = 0;
+  int size_bytes = 0;
+};
+
+class replay_engine final : public emu::watcher {
+ public:
+  replay_engine(const instr::linked_program& prog,
+                const attestation_report& report,
+                const std::vector<std::shared_ptr<policy>>& policies)
+      : prog_(prog),
+        report_(report),
+        policies_(policies),
+        m_(prog.options.map, emu::machine::peripheral_set::halt_only),
+        state_(m_, prog),
+        log_(report.or_min, report.or_max, report.or_bytes) {}
+
+  replay_result run();
+
+  // --- emu::watcher ---
+  void on_access(const emu::bus_access& a) override {
+    if (!a.write) return;
+    if (a.addr < prog_.options.map.ram_start) {
+      result_.io_trace.push_back(
+          {a.addr, a.value, current_pc_, current_write_taint_});
+      // Peripheral space: a write drives the device (FIFO ack, conversion
+      // trigger, output latch) — it does NOT define the value of the next
+      // read. Invalidate so subsequent reads are fed from the I-Log, which
+      // is exactly where the device logged them.
+      for (int i = 0; i < (a.byte ? 1 : 2); ++i) {
+        known_[static_cast<std::uint16_t>(a.addr + i)] = false;
+      }
+    } else {
+      mark_known(a.addr, a.byte ? 1 : 2);
+    }
+    if (a.addr >= report_.or_min && a.addr <= report_.or_max + 1) {
+      annotate_or_write(a);
+    }
+    for (const auto& p : policies_) {
+      p->on_write(state_, a.addr, a.value, current_pc_, result_.findings);
+    }
+  }
+
+ private:
+  void mark_known(std::uint16_t addr, int n) {
+    for (int i = 0; i < n; ++i) {
+      known_[static_cast<std::uint16_t>(addr + i)] = true;
+    }
+  }
+
+  void add_finding(attack_kind k, std::string detail, std::uint16_t pc = 0,
+                   std::uint16_t addr = 0) {
+    if (result_.findings.size() < 200) {
+      result_.findings.push_back({k, std::move(detail), pc, addr});
+    }
+  }
+
+  std::uint16_t reg(int i) { return m_.get_cpu().regs()[i]; }
+
+  // ---- I-Log feeding ----
+  void feed_unknown(std::uint16_t ea, int width, std::uint16_t pc) {
+    auto& bus = m_.get_bus();
+    bool any_unknown = false;
+    for (int i = 0; i < width; ++i) {
+      if (!known_[static_cast<std::uint16_t>(ea + i)]) any_unknown = true;
+    }
+    if (!any_unknown) return;
+
+    const std::uint16_t r1 = reg(isa::REG_SP);
+    const bool outside_stack = ea < r1 || ea > saved_sp_;
+    if (!outside_stack) {
+      add_finding(attack_kind::uninitialized_read,
+                  "op read uninitialized stack memory at " + hex16(ea), pc,
+                  ea);
+      for (int i = 0; i < width; ++i) {
+        const std::uint16_t b = static_cast<std::uint16_t>(ea + i);
+        if (!known_[b]) {
+          bus.poke8(b, 0);
+          known_[b] = true;
+        }
+      }
+      return;
+    }
+
+    // Outside the op's stack: the device logged this read; the next I-Log
+    // slot — at the replay's current r4 — holds the value it saw.
+    const std::uint16_t r4 = reg(isa::REG_LOGPTR);
+    if (r4 < report_.or_min || r4 > report_.or_max) {
+      add_finding(attack_kind::replay_divergence,
+                  "log pointer " + hex16(r4) + " outside the OR during feed",
+                  pc, ea);
+      for (int i = 0; i < width; ++i) {
+        const std::uint16_t b = static_cast<std::uint16_t>(ea + i);
+        bus.poke8(b, 0);
+        known_[b] = true;
+      }
+      return;
+    }
+    const std::uint16_t slot = log_.word_at(r4);
+    for (int i = 0; i < width; ++i) {
+      const std::uint16_t b = static_cast<std::uint16_t>(ea + i);
+      if (!known_[b]) {
+        const std::uint8_t v = static_cast<std::uint8_t>(
+            (i == 0) ? (slot & 0xff) : (slot >> 8));
+        bus.poke8(b, v);
+        known_[b] = true;
+        mem_taint_[b] = true;  // I-Log-fed values are input-derived
+      }
+    }
+  }
+
+  /// Pre-execution feeding: resolve every memory address the instruction is
+  /// about to read and make the bytes known.
+  void feed_for(const isa::instruction& ins, std::uint16_t pc) {
+    using isa::addr_mode;
+    using isa::opcode;
+    const auto& regs = m_.get_cpu().regs();
+    auto ea_of = [&](const isa::operand& o)
+        -> std::optional<std::uint16_t> {
+      switch (o.mode) {
+        case addr_mode::indexed:
+          return static_cast<std::uint16_t>(regs[o.base] + o.ext);
+        case addr_mode::symbolic:
+        case addr_mode::absolute:
+          return o.ext;
+        case addr_mode::indirect:
+        case addr_mode::indirect_inc:
+          return regs[o.base];
+        default:
+          return std::nullopt;
+      }
+    };
+    const int width = ins.byte_op ? 1 : 2;
+
+    if (isa::is_jump(ins.op)) return;
+    if (ins.op == opcode::reti) {
+      feed_unknown(regs[isa::REG_SP], 2, pc);
+      feed_unknown(static_cast<std::uint16_t>(regs[isa::REG_SP] + 2), 2, pc);
+      return;
+    }
+    if (isa::is_format2(ins.op)) {
+      if (const auto ea = ea_of(ins.dst)) {
+        feed_unknown(*ea, ins.op == opcode::call ? 2 : width, pc);
+      }
+      return;
+    }
+    if (const auto ea = ea_of(ins.src)) feed_unknown(*ea, width, pc);
+    if (ins.op != isa::opcode::mov) {
+      if (const auto ea = ea_of(ins.dst)) feed_unknown(*ea, width, pc);
+    }
+  }
+
+  // ---- OR annotation (forensics) ----
+  void annotate_or_write(const emu::bus_access& a) {
+    const int slot = (report_.or_max - a.addr) / 2;
+    logfmt::entry_kind kind = logfmt::entry_kind::unknown;
+    using isa::addr_mode;
+    const isa::operand& src = current_ins_.src;
+    if (current_ins_.op == isa::opcode::mov) {
+      if (src.mode == addr_mode::indirect &&
+          src.base == isa::REG_SCRATCH) {
+        kind = logfmt::entry_kind::data_input;
+      } else if (src.mode == addr_mode::absolute ||
+                 src.mode == addr_mode::symbolic ||
+                 src.mode == addr_mode::indexed) {
+        kind = logfmt::entry_kind::data_input;
+      } else if (src.mode == addr_mode::reg) {
+        if (src.base == isa::REG_SP) {
+          kind = logfmt::entry_kind::saved_sp;
+        } else if (src.base >= 8) {
+          kind = slot >= 1 && slot <= 8 ? logfmt::entry_kind::entry_arg
+                                        : logfmt::entry_kind::cf_destination;
+        } else {
+          kind = logfmt::entry_kind::cf_destination;
+        }
+      } else if (src.mode == addr_mode::indirect &&
+                 src.base == isa::REG_SP) {
+        kind = logfmt::entry_kind::cf_destination;  // ret target
+      } else if (src.mode == addr_mode::immediate) {
+        kind = logfmt::entry_kind::cf_destination;
+      }
+    }
+    // Two-stage byte logging rewrites the same slot (clear, then mov.b):
+    // keep the latest classification.
+    if (!result_.annotated_log.empty() &&
+        result_.annotated_log.back().slot == slot) {
+      result_.annotated_log.back() = {slot, a.value, kind, current_pc_};
+      return;
+    }
+    result_.annotated_log.push_back({slot, a.value, kind, current_pc_});
+  }
+
+  // ---- detectors ----
+  void check_site(std::uint16_t pc) {
+    const auto it = sites_.find(pc);
+    if (it == sites_.end()) return;
+    const site_info& s = it->second;
+    const std::uint16_t ea = reg(15);
+    std::uint16_t lo, hi;
+    if (s.is_global) {
+      lo = s.global_base;
+      hi = static_cast<std::uint16_t>(lo + s.size_bytes);
+    } else {
+      lo = static_cast<std::uint16_t>(reg(isa::REG_SP) + s.local_offset_adj);
+      hi = static_cast<std::uint16_t>(lo + s.size_bytes);
+    }
+    if (ea < lo || ea >= hi) {
+      add_finding(attack_kind::data_only_attack,
+                  "out-of-bounds access to '" + s.object + "': address " +
+                      hex16(ea) + " outside [" + hex16(lo) + ", " +
+                      hex16(hi) + ")",
+                  pc, ea);
+    }
+  }
+
+  // ---- taint tracking (value provenance from attested inputs) ----
+  bool reg_taint_[16] = {};
+  std::bitset<0x10000> mem_taint_;
+  bool current_write_taint_ = false;
+
+  void taint_bytes(std::uint16_t addr, int n, bool t) {
+    for (int i = 0; i < n; ++i) {
+      mem_taint_[static_cast<std::uint16_t>(addr + i)] = t;
+    }
+  }
+  bool bytes_tainted(std::uint16_t addr, int n) const {
+    for (int i = 0; i < n; ++i) {
+      if (mem_taint_[static_cast<std::uint16_t>(addr + i)]) return true;
+    }
+    return false;
+  }
+
+  /// Taint of a source operand's value (address-taint of the base register
+  /// is included, so attacker-chosen indices taint what they select).
+  bool operand_taint(const isa::operand& o, int width) {
+    using isa::addr_mode;
+    const auto& regs = m_.get_cpu().regs();
+    switch (o.mode) {
+      case addr_mode::reg: return reg_taint_[o.base];
+      case addr_mode::immediate: return false;
+      case addr_mode::indexed:
+        return reg_taint_[o.base] ||
+               bytes_tainted(static_cast<std::uint16_t>(regs[o.base] + o.ext),
+                             width);
+      case addr_mode::symbolic:
+      case addr_mode::absolute:
+        return bytes_tainted(o.ext, width);
+      case addr_mode::indirect:
+      case addr_mode::indirect_inc:
+        return reg_taint_[o.base] || bytes_tainted(regs[o.base], width);
+    }
+    return false;
+  }
+
+  /// Pre-step taint propagation for the instruction about to execute;
+  /// uses the same effective addresses the CPU will use.
+  void propagate_taint(const isa::instruction& ins) {
+    using isa::addr_mode;
+    using isa::opcode;
+    current_write_taint_ = false;
+    const auto& regs = m_.get_cpu().regs();
+    const int width = ins.byte_op ? 1 : 2;
+    auto dst_ea = [&](const isa::operand& o) -> std::optional<std::uint16_t> {
+      switch (o.mode) {
+        case addr_mode::indexed:
+          return static_cast<std::uint16_t>(regs[o.base] + o.ext);
+        case addr_mode::symbolic:
+        case addr_mode::absolute:
+          return o.ext;
+        default:
+          return std::nullopt;
+      }
+    };
+
+    if (isa::is_jump(ins.op) || ins.op == opcode::reti) return;
+
+    if (isa::is_format2(ins.op)) {
+      if (ins.op == opcode::push) {
+        const bool t = operand_taint(ins.dst, width);
+        taint_bytes(static_cast<std::uint16_t>(regs[isa::REG_SP] - 2), 2, t);
+        current_write_taint_ = t;
+      } else if (ins.op != opcode::call) {
+        // rra/rrc/swpb/sxt: in-place transform keeps its own taint.
+      }
+      return;
+    }
+
+    // Format I.
+    const bool src_t = operand_taint(ins.src, width);
+    const bool reads_dst =
+        ins.op != opcode::mov;
+    const bool dst_t = reads_dst ? operand_taint(ins.dst, width) : false;
+    const bool result_t = src_t || dst_t;
+    if (ins.op == opcode::cmp || ins.op == opcode::bit) return;
+
+    if (ins.dst.mode == addr_mode::reg) {
+      reg_taint_[ins.dst.base] = result_t;
+    } else if (const auto ea = dst_ea(ins.dst)) {
+      taint_bytes(*ea, width, result_t);
+      current_write_taint_ = result_t;
+    }
+  }
+
+  const instr::linked_program& prog_;
+  const attestation_report& report_;
+  const std::vector<std::shared_ptr<policy>>& policies_;
+  emu::machine m_;
+  replay_state state_;
+  logfmt::log_view log_;
+  std::bitset<0x10000> known_;
+  std::uint16_t saved_sp_ = 0;
+  std::uint16_t current_pc_ = 0;
+  isa::instruction current_ins_{};
+  std::map<std::uint16_t, site_info> sites_;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> ra_stack_;
+  std::vector<bool> call_taint_stack_;
+  replay_result result_;
+};
+
+replay_result replay_engine::run() {
+  // ---- setup ----
+  m_.load(prog_.image);
+  for (const auto& seg : prog_.image.segments) {
+    mark_known(seg.base, static_cast<int>(seg.bytes.size()));
+  }
+  m_.get_bus().add_watcher(this);
+
+  saved_sp_ = log_.saved_sp();
+  auto& regs = m_.get_cpu().regs();
+  regs.fill(0);
+  regs[isa::REG_PC] = report_.er_min;
+  regs[isa::REG_SP] = saved_sp_;
+  regs[isa::REG_LOGPTR] = report_.or_max;
+  for (int i = 0; i < 8; ++i) {
+    regs[static_cast<std::size_t>(8 + i)] = log_.entry_reg(i);
+    reg_taint_[8 + i] = true;  // the op's arguments are attested inputs
+  }
+  // The caller's pushed return address (which the final `ret` consumes and
+  // Tiny-CFA logs): the crt0 continuation after `call #__er_start`.
+  const std::uint16_t ret_sentinel = prog_.op_return_addr;
+  m_.get_bus().poke16(saved_sp_, ret_sentinel);
+  mark_known(saved_sp_, 2);
+
+  // Resolve the compiler's access sites to code addresses.
+  for (const auto& s : prog_.compile_info.access_sites) {
+    site_info info;
+    info.object = s.object;
+    info.is_global = s.is_global;
+    info.local_offset_adj = s.local_offset_adj;
+    info.size_bytes = s.size_bytes;
+    if (s.is_global) {
+      info.global_base = prog_.global_addrs.at(s.object);
+    }
+    sites_[prog_.image.symbol(s.label)] = info;
+  }
+
+  // ---- main loop ----
+  for (;;) {
+    if (m_.halted()) {
+      if (m_.halt_code() == emu::HALT_ABORT) {
+        add_finding(attack_kind::instrumentation_abort,
+                    "replayed instrumentation aborted (F5 check or log "
+                    "overflow)",
+                    current_pc_);
+      } else {
+        add_finding(attack_kind::replay_divergence,
+                    "replay halted unexpectedly with code " +
+                        std::to_string(m_.halt_code()),
+                    current_pc_);
+      }
+      break;
+    }
+    const std::uint16_t pc = m_.get_cpu().pc();
+    if (pc == ret_sentinel) {
+      result_.completed = true;
+      result_.final_r15 = reg(15);
+      result_.final_r4 = reg(isa::REG_LOGPTR);
+      result_.result_tainted = reg_taint_[15];
+      for (const auto& p : policies_) {
+        p->on_finish(state_, result_.findings);
+      }
+      break;
+    }
+    if (result_.instructions >= max_replay_instructions) {
+      add_finding(attack_kind::replay_divergence,
+                  "replay exceeded the instruction budget", pc);
+      break;
+    }
+
+    check_site(pc);
+
+    try {
+      // Decode (for feeding) without executing.
+      std::array<std::uint16_t, 3> words = {
+          m_.get_bus().peek16(pc),
+          m_.get_bus().peek16(static_cast<std::uint16_t>(pc + 2)),
+          m_.get_bus().peek16(static_cast<std::uint16_t>(pc + 4))};
+      const auto d = isa::decode(words, pc);
+      current_pc_ = pc;
+      current_ins_ = d.ins;
+      feed_for(d.ins, pc);
+      propagate_taint(d.ins);
+
+      // Return-address witness: `ret` must pop what the call pushed.
+      const bool is_ret = d.ins.op == isa::opcode::mov &&
+                          d.ins.src.mode == isa::addr_mode::indirect_inc &&
+                          d.ins.src.base == isa::REG_SP &&
+                          d.ins.dst.mode == isa::addr_mode::reg &&
+                          d.ins.dst.base == isa::REG_PC;
+      if (is_ret) {
+        const std::uint16_t sp = reg(isa::REG_SP);
+        const std::uint16_t actual = m_.get_bus().peek16(sp);
+        if (!ra_stack_.empty() && ra_stack_.back().first == sp) {
+          if (ra_stack_.back().second != actual) {
+            add_finding(attack_kind::control_flow_attack,
+                        "return address at " + hex16(sp) +
+                            " was corrupted: expected " +
+                            hex16(ra_stack_.back().second) + ", found " +
+                            hex16(actual),
+                        pc, sp);
+          }
+          ra_stack_.pop_back();
+        } else if (ra_stack_.empty() && actual != ret_sentinel) {
+          add_finding(attack_kind::control_flow_attack,
+                      "final return address corrupted to " + hex16(actual),
+                      pc, sp);
+        }
+      }
+
+      if (is_ret && !call_taint_stack_.empty()) {
+        // Function-level implicit-flow approximation: a call's return
+        // value is input-derived if any argument register was (explicit
+        // dataflow alone misses loop-steered helpers like __mulhi).
+        reg_taint_[15] = reg_taint_[15] || call_taint_stack_.back();
+        call_taint_stack_.pop_back();
+      }
+
+      const auto info = m_.get_cpu().step();
+      ++result_.instructions;
+
+      if (info.ins.op == isa::opcode::call && !info.serviced_irq) {
+        const std::uint16_t sp = reg(isa::REG_SP);
+        ra_stack_.emplace_back(sp, m_.get_bus().peek16(sp));
+        bool arg_taint = false;
+        for (int r = 8; r <= 15; ++r) {
+          arg_taint = arg_taint || reg_taint_[r];
+        }
+        call_taint_stack_.push_back(arg_taint);
+      }
+    } catch (const error& e) {
+      add_finding(attack_kind::replay_divergence,
+                  std::string("replay fault: ") + e.what(), pc);
+      break;
+    }
+  }
+
+  for (std::uint32_t a = report_.or_min;
+       a <= static_cast<std::uint32_t>(report_.or_max) + 1; ++a) {
+    result_.replay_or_bytes.push_back(
+        m_.get_bus().peek8(static_cast<std::uint16_t>(a)));
+  }
+  m_.get_bus().remove_watcher(this);
+  return std::move(result_);
+}
+
+}  // namespace
+
+replay_result replay_operation(
+    const instr::linked_program& prog, const attestation_report& report,
+    const std::vector<std::shared_ptr<policy>>& policies) {
+  replay_engine engine(prog, report, policies);
+  return engine.run();
+}
+
+}  // namespace dialed::verifier

@@ -1,0 +1,98 @@
+// The abstract executor (paper §III-A): Vrf re-executes the known
+// instrumented binary locally. Reads from addresses outside the op's
+// current stack — peripherals, globals, network buffers — are fed from the
+// attested I-Log, so the replay reconstructs the device execution exactly,
+// including any memory-safety attack the inputs triggered. Detectors run on
+// the replayed execution:
+//
+//  * return-address witness   — every call records the pushed return
+//    address; the matching ret must pop the same value, otherwise a
+//    control-flow attack (paper Fig. 1) corrupted the stack.
+//  * access-site bounds       — at each compiler-recorded array access the
+//    effective address must fall inside the object's extent; a violation is
+//    a data-only attack (paper Fig. 2), detected with no code annotations.
+//  * OR equality              — the replay re-produces the CF/I-Log; any
+//    byte difference from the attested OR means the logs are inconsistent
+//    with the known binary (tamper/divergence).
+//  * app policies             — optional safety assertions over the replay.
+#ifndef DIALED_VERIFIER_REPLAY_H
+#define DIALED_VERIFIER_REPLAY_H
+
+#include <bitset>
+#include <functional>
+#include <memory>
+
+#include "emu/machine.h"
+#include "instr/oplink.h"
+#include "logfmt/logfmt.h"
+#include "verifier/report.h"
+
+namespace dialed::verifier {
+
+/// Read-only view of the replay for policies.
+class replay_state {
+ public:
+  explicit replay_state(emu::machine& m,
+                        const instr::linked_program& prog)
+      : m_(m), prog_(prog) {}
+
+  std::uint16_t reg(int i) const { return m_.get_cpu().regs()[i]; }
+  std::uint16_t word_at(std::uint16_t addr) const {
+    return m_.get_bus().peek16(addr);
+  }
+  /// Current value of a compiled global variable.
+  std::uint16_t global(const std::string& name) const;
+
+ private:
+  emu::machine& m_;
+  const instr::linked_program& prog_;
+};
+
+/// App-specific safety policy, evaluated over the replayed execution.
+class policy {
+ public:
+  virtual ~policy() = default;
+  virtual std::string name() const = 0;
+  /// Called on every replayed memory write (after it took effect).
+  virtual void on_write(const replay_state& st, std::uint16_t addr,
+                        std::uint16_t value, std::uint16_t pc,
+                        std::vector<finding>& out) {
+    (void)st; (void)addr; (void)value; (void)pc; (void)out;
+  }
+  /// Called once when the op's final return retires.
+  virtual void on_finish(const replay_state& st, std::vector<finding>& out) {
+    (void)st;
+    (void)out;
+  }
+};
+
+struct replay_result {
+  bool completed = false;  ///< reached the op's final return
+  std::uint16_t final_r15 = 0;
+  std::uint16_t final_r4 = 0;
+  std::uint64_t instructions = 0;
+  std::vector<finding> findings;
+  std::vector<logfmt::annotated_entry> annotated_log;
+
+  /// The OR as re-produced by the replay ([or_min, or_max+1]); byte-equal
+  /// to the attested OR over the consumed region iff the logs are
+  /// consistent with the known binary.
+  byte_vec replay_or_bytes;
+
+  /// Peripheral writes observed during replay, with taint provenance
+  /// (sources: the logged entry arguments and every I-Log-fed value).
+  std::vector<io_event> io_trace;
+  /// Whether the op's returned value derives from attested inputs.
+  bool result_tainted = false;
+};
+
+/// Replay one attested invocation of `prog` against `report`'s logs.
+/// `policies` may be empty. Throws only on internal errors; attack
+/// conditions come back as findings.
+replay_result replay_operation(
+    const instr::linked_program& prog, const attestation_report& report,
+    const std::vector<std::shared_ptr<policy>>& policies);
+
+}  // namespace dialed::verifier
+
+#endif  // DIALED_VERIFIER_REPLAY_H

@@ -1,0 +1,104 @@
+// The attestation report a prover returns for one attested invocation, and
+// the verifier's verdict structure.
+#ifndef DIALED_VERIFIER_REPORT_H
+#define DIALED_VERIFIER_REPORT_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/hmac.h"
+#include "logfmt/logfmt.h"
+
+namespace dialed::verifier {
+
+/// Everything Prv ships back: the claimed configuration, the OR snapshot
+/// (CF-Log + I-Log), the EXEC claim and the VRASED MAC binding them all.
+struct attestation_report {
+  std::uint16_t er_min = 0;
+  std::uint16_t er_max = 0;
+  std::uint16_t or_min = 0;
+  std::uint16_t or_max = 0;
+  bool exec = false;
+  std::array<std::uint8_t, 16> challenge{};
+  byte_vec or_bytes;  ///< [or_min, or_max+1]
+  crypto::hmac_sha256::mac mac{};
+
+  // Unattested device claims (useful for diagnosis; never trusted).
+  std::uint16_t claimed_result = 0;
+  std::uint16_t halt_code = 0;
+};
+
+enum class attack_kind : std::uint8_t {
+  none,
+  mac_invalid,           ///< MAC mismatch: code/OR/EXEC/challenge forged
+  exec_cleared,          ///< EXEC=0: APEX detected an execution violation
+  instrumentation_abort, ///< device aborted via the F5/log-overflow checks
+  replay_divergence,     ///< replayed OR differs from the attested OR
+  control_flow_attack,   ///< corrupted return address / CF target observed
+  data_only_attack,      ///< out-of-bounds object access during replay
+  policy_violation,      ///< app-specific safety policy failed
+  uninitialized_read,    ///< op consumed an uninitialized stack value
+  stale_challenge,       ///< challenge does not match the outstanding nonce
+  bounds_mismatch,       ///< report's ER/OR bounds differ from expected
+  result_forged,         ///< claimed result differs from the replayed output
+};
+
+std::string to_string(attack_kind k);
+
+struct finding {
+  attack_kind kind = attack_kind::none;
+  std::string detail;
+  std::uint16_t pc = 0;
+  std::uint16_t addr = 0;
+};
+
+/// One replayed write into peripheral space, with input-taint provenance:
+/// `tainted` means the written value (or the address selecting it) derives
+/// from attested inputs — i.e. it was attacker-influencable.
+struct io_event {
+  std::uint16_t addr = 0;
+  std::uint16_t value = 0;
+  std::uint16_t pc = 0;
+  bool tainted = false;
+};
+
+struct verdict {
+  bool accepted = false;
+  std::vector<finding> findings;
+
+  /// The trustworthy op output derived from replay (r15 at the op's final
+  /// return) — the value Vrf should use instead of the device's claim.
+  std::uint16_t replayed_result = 0;
+
+  // Replay statistics.
+  std::uint64_t replay_instructions = 0;
+  int log_slots_consumed = 0;
+  int log_bytes = 0;
+
+  /// Verifier-side annotation of the attested log (forensics).
+  std::vector<logfmt::annotated_entry> annotated_log;
+
+  /// Replayed peripheral writes with input-taint provenance; populated by
+  /// the abstract executor (DIALED-mode verification only).
+  std::vector<io_event> io_trace;
+  /// Whether the replayed result derives from attested inputs.
+  bool result_tainted = false;
+
+  bool has(attack_kind k) const {
+    for (const auto& f : findings) {
+      if (f.kind == k) return true;
+    }
+    return false;
+  }
+};
+
+/// Human-readable multi-line report of a verdict (status, findings, replay
+/// statistics, peripheral-write provenance) for operator consoles/logs.
+std::string render(const verdict& v);
+
+}  // namespace dialed::verifier
+
+#endif  // DIALED_VERIFIER_REPORT_H

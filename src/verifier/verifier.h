@@ -1,0 +1,48 @@
+// Vrf-side verification of one attestation report (paper §III):
+//   1. the ER/OR bounds must match the deployed program,
+//   2. the MAC must verify against the KNOWN binary's ER bytes, the
+//      received OR, the challenge — and EXEC = 1 (a device whose execution
+//      was violated cannot produce this MAC),
+//   3. the operation is abstractly executed from the attested logs; the
+//      replayed OR must byte-match the attested OR, and the detectors
+//      (return-address witness, access-site bounds, app policies) classify
+//      any runtime attack the inputs triggered.
+#ifndef DIALED_VERIFIER_VERIFIER_H
+#define DIALED_VERIFIER_VERIFIER_H
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "instr/oplink.h"
+#include "verifier/replay.h"
+#include "verifier/report.h"
+
+namespace dialed::verifier {
+
+class op_verifier {
+ public:
+  /// `prog` is Vrf's reference copy of the deployed program; `key` the
+  /// device master key shared at provisioning.
+  op_verifier(instr::linked_program prog, byte_vec key);
+
+  /// Register an app-specific safety policy evaluated during replay.
+  void add_policy(std::shared_ptr<policy> p);
+
+  /// Verify a report. If `expected_challenge` is given, the report must
+  /// carry exactly that nonce (anti-replay).
+  verdict verify(const attestation_report& report,
+                 std::optional<std::array<std::uint8_t, 16>>
+                     expected_challenge = std::nullopt) const;
+
+  const instr::linked_program& program() const { return prog_; }
+
+ private:
+  instr::linked_program prog_;
+  byte_vec key_;
+  std::vector<std::shared_ptr<policy>> policies_;
+};
+
+}  // namespace dialed::verifier
+
+#endif  // DIALED_VERIFIER_VERIFIER_H

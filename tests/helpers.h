@@ -1,0 +1,68 @@
+// Shared test utilities: tiny assembly/mini-C runners over the emulator.
+#ifndef DIALED_TESTS_HELPERS_H
+#define DIALED_TESTS_HELPERS_H
+
+#include <string>
+
+#include "apps/apps.h"
+#include "emu/machine.h"
+#include "instr/oplink.h"
+#include "masm/masm.h"
+#include "proto/prover.h"
+#include "proto/session.h"
+
+namespace dialed::test {
+
+inline byte_vec test_key() { return byte_vec(32, 0x5a); }
+
+/// Assemble a raw program (must include its own .org/halt) and run it.
+/// Returns the machine for state inspection.
+inline std::unique_ptr<emu::machine> run_asm(const std::string& body,
+                                             std::uint64_t max_cycles =
+                                                 1'000'000) {
+  emu::memory_map map;
+  const std::string text = "        .org 0xc000\n__start:\n" + body +
+                           "\n        .org RESET_VECTOR\n"
+                           "        .word __start\n";
+  auto img = masm::assemble_text(text, map.predefined_symbols());
+  auto m = std::make_unique<emu::machine>(map);
+  m->load(img);
+  m->reset();
+  m->run(max_cycles);
+  return m;
+}
+
+/// Compile a mini-C op, link at the given instrumentation level.
+inline instr::linked_program build_op(
+    const std::string& source, const std::string& entry = "op",
+    instr::instrumentation mode = instr::instrumentation::none,
+    const instr::pass_options& popts = {}) {
+  instr::link_options lo;
+  lo.entry = entry;
+  lo.mode = mode;
+  lo.pass_opts = popts;
+  return instr::build_operation(source, lo);
+}
+
+/// Run an op to completion and return its result (the RESULT mailbox).
+inline std::uint16_t run_op(const instr::linked_program& prog,
+                            const proto::invocation& inv) {
+  proto::prover_device dev(prog, test_key());
+  std::array<std::uint8_t, 16> chal{};
+  const auto rep = dev.invoke(chal, inv);
+  return rep.claimed_result;
+}
+
+/// Compile+run a mini-C `op` with up to 4 arguments; returns the result.
+inline std::uint16_t eval_op(const std::string& source,
+                             std::uint16_t a0 = 0, std::uint16_t a1 = 0,
+                             std::uint16_t a2 = 0, std::uint16_t a3 = 0) {
+  const auto prog = build_op(source);
+  proto::invocation inv;
+  inv.args = {a0, a1, a2, a3, 0, 0, 0, 0};
+  return run_op(prog, inv);
+}
+
+}  // namespace dialed::test
+
+#endif  // DIALED_TESTS_HELPERS_H

@@ -1,0 +1,268 @@
+// The evaluation applications and the paper's Fig. 1 / Fig. 2 operations:
+// device-level behaviour, instrumented-equivalence, and attack effects.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "helpers.h"
+
+namespace dialed::apps {
+namespace {
+
+using test::test_key;
+
+std::array<std::uint8_t, 16> chal0() { return {}; }
+
+// ---------------------------------------------------------------------------
+// SyringePump behaviour
+// ---------------------------------------------------------------------------
+
+struct pump_case {
+  char cmd;
+  std::uint8_t ul;
+  std::uint16_t max_steps;
+  std::uint16_t expected_moved;
+};
+
+class syringe_pump : public ::testing::TestWithParam<pump_case> {};
+
+TEST_P(syringe_pump, moves_the_commanded_steps_with_bounds) {
+  const auto& c = GetParam();
+  auto app = evaluation_apps()[0];
+  const auto prog = build_app(app, instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  proto::invocation inv;
+  inv.args[0] = c.max_steps;
+  inv.net_rx = {static_cast<std::uint8_t>(c.cmd), c.ul};
+  const auto rep = dev.invoke(chal0(), inv);
+  EXPECT_EQ(rep.claimed_result, c.expected_moved);
+  EXPECT_TRUE(rep.exec);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    commands, syringe_pump,
+    ::testing::Values(pump_case{'+', 5, 64, 10},   // 5ul * 2 steps/ul
+                      pump_case{'+', 40, 30, 30},  // clamped to max_steps
+                      pump_case{'-', 5, 64, 0},    // plunger already at 0
+                      pump_case{'?', 5, 64, 0}));  // unknown command
+
+TEST(syringe_pump_device, gpio_pulses_once_per_step) {
+  auto app = evaluation_apps()[0];
+  const auto prog = build_app(app, instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  proto::invocation inv;
+  inv.args[0] = 64;
+  inv.net_rx = {'+', 3};  // 6 steps
+  dev.invoke(chal0(), inv);
+  // Each step writes the pattern then 0: two GPIO writes per step.
+  EXPECT_EQ(dev.machine().gpio().history().size(), 12u);
+}
+
+// ---------------------------------------------------------------------------
+// FireSensor behaviour
+// ---------------------------------------------------------------------------
+
+TEST(fire_sensor_device, below_threshold_no_alarm) {
+  auto app = evaluation_apps()[1];
+  const auto prog = build_app(app, instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  proto::invocation inv;
+  inv.args[0] = 100;          // threshold
+  inv.adc_samples = {80};     // avg = 80/8 = 10 < 100
+  const auto rep = dev.invoke(chal0(), inv);
+  EXPECT_EQ(rep.claimed_result, 10);
+  EXPECT_EQ(dev.machine().gpio().output(), 0);
+}
+
+TEST(fire_sensor_device, above_threshold_raises_alarm) {
+  auto app = evaluation_apps()[1];
+  const auto prog = build_app(app, instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  proto::invocation inv;
+  inv.args[0] = 10;
+  inv.adc_samples = {1000};   // avg = 125 > 10
+  const auto rep = dev.invoke(chal0(), inv);
+  EXPECT_EQ(rep.claimed_result, 125);
+  EXPECT_EQ(dev.machine().gpio().output(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// UltrasonicRanger behaviour
+// ---------------------------------------------------------------------------
+
+struct ranger_case {
+  std::uint16_t samples;
+  std::vector<std::uint16_t> echoes;
+  std::uint16_t expected_cm;
+};
+
+class ranger : public ::testing::TestWithParam<ranger_case> {};
+
+TEST_P(ranger, averages_and_converts_to_cm) {
+  const auto& c = GetParam();
+  auto app = evaluation_apps()[2];
+  const auto prog = build_app(app, instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  proto::invocation inv;
+  inv.args[0] = c.samples;
+  inv.adc_samples = c.echoes;
+  const auto rep = dev.invoke(chal0(), inv);
+  EXPECT_EQ(rep.claimed_result, c.expected_cm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    readings, ranger,
+    ::testing::Values(
+        ranger_case{1, {580}, 10},
+        ranger_case{4, {1180, 1160, 1220, 1200}, 20},
+        ranger_case{2, {58, 58}, 1},
+        // sample count clamped to [1, 8]
+        ranger_case{0, {580}, 10}));
+
+// ---------------------------------------------------------------------------
+// Cross-app instrumentation equivalence (the paper's implicit soundness
+// requirement: instrumentation must not change app behaviour)
+// ---------------------------------------------------------------------------
+
+class app_equivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(app_equivalence, all_modes_produce_identical_results) {
+  const auto app = evaluation_apps()[static_cast<std::size_t>(GetParam())];
+  std::uint16_t results[3];
+  int i = 0;
+  for (const auto mode :
+       {instr::instrumentation::none, instr::instrumentation::tinycfa,
+        instr::instrumentation::dialed}) {
+    const auto prog = build_app(app, mode);
+    proto::prover_device dev(prog, test_key());
+    results[i++] = dev.invoke(chal0(), app.representative_input)
+                       .claimed_result;
+  }
+  EXPECT_EQ(results[0], results[1]) << app.name;
+  EXPECT_EQ(results[0], results[2]) << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(apps, app_equivalence, ::testing::Values(0, 1, 2));
+
+// ---------------------------------------------------------------------------
+// Fig. 1: control-flow attack on the device
+// ---------------------------------------------------------------------------
+
+TEST(fig1_device, benign_dose_respects_safety_check) {
+  const auto prog = build_app(fig1_app(), instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  const auto rep = dev.invoke(chal0(), fig1_benign(5));
+  EXPECT_EQ(rep.claimed_result, 5);
+  EXPECT_TRUE(rep.exec);
+  // Actuation happened (dose < 10): P3OUT went 1 then 0.
+  const auto& h = dev.machine().gpio().history();
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0].value, 1);
+}
+
+TEST(fig1_device, benign_overdose_request_blocked_by_check) {
+  const auto prog = build_app(fig1_app(), instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  const auto rep = dev.invoke(chal0(), fig1_benign(12));
+  EXPECT_EQ(rep.claimed_result, 12);
+  // dose >= 10: the if-guard blocks actuation entirely.
+  EXPECT_TRUE(dev.machine().gpio().history().empty());
+}
+
+TEST(fig1_device, attack_actuates_despite_check_with_exec_set) {
+  const auto prog = build_app(fig1_app(), instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  const auto rep = dev.invoke(chal0(), fig1_attack(prog, 15));
+  // The attack injected with dose 15 — actuation happened...
+  const auto& h = dev.machine().gpio().history();
+  ASSERT_GE(h.size(), 2u);
+  EXPECT_EQ(h[0].value, 1);
+  // ...and neither APEX nor the code itself noticed anything:
+  EXPECT_TRUE(rep.exec);
+  EXPECT_EQ(rep.halt_code, emu::HALT_CLEAN);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2: data-only attack on the device
+// ---------------------------------------------------------------------------
+
+TEST(fig2_device, benign_update_actuates_port1) {
+  const auto prog = build_app(fig2_app(), instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  const auto rep = dev.invoke(chal0(), fig2_benign(1, 3));
+  EXPECT_EQ(rep.claimed_result, 5);  // default settings dose
+  const auto& h = dev.machine().gpio().history();
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0].value, 1);  // actuation via set = 0x1
+}
+
+TEST(fig2_device, attack_silently_disables_actuation) {
+  const auto prog = build_app(fig2_app(), instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  const auto rep = dev.invoke(chal0(), fig2_attack());
+  EXPECT_EQ(rep.claimed_result, 5);  // same dose, same control flow
+  EXPECT_TRUE(rep.exec);
+  const auto& h = dev.machine().gpio().history();
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0].value, 0);  // `set` was clobbered: no injection!
+}
+
+TEST(fig2_device, settings_global_is_adjacent_to_set) {
+  // The layout property the attack relies on (paper Fig. 2).
+  const auto prog = build_app(fig2_app(), instr::instrumentation::dialed);
+  const auto s = prog.global_addrs.at("settings");
+  const auto set = prog.global_addrs.at("set");
+  EXPECT_EQ(set, s + 16);
+}
+
+TEST(fig2_cfa_blindspot, cflog_identical_between_benign_and_attack) {
+  // The paper's central claim: the Fig. 2 attack changes no control flow,
+  // so a CFA-only log cannot distinguish it from a benign run.
+  const auto prog = build_app(fig2_app(), instr::instrumentation::tinycfa);
+  proto::prover_device dev(prog, test_key());
+  // benign(1, 3) keeps the dosage at 5, exactly like the attack does.
+  const auto benign = dev.invoke(chal0(), fig2_benign(1, 3));
+  const auto attack = dev.invoke(chal0(), fig2_attack());
+  EXPECT_EQ(benign.or_bytes, attack.or_bytes);
+  EXPECT_TRUE(benign.exec);
+  EXPECT_TRUE(attack.exec);
+}
+
+TEST(fig2_dfa_distinguishes, ilog_differs_between_benign_and_attack) {
+  const auto prog = build_app(fig2_app(), instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  const auto benign = dev.invoke(chal0(), fig2_benign(0, 3));
+  const auto attack = dev.invoke(chal0(), fig2_attack());
+  EXPECT_NE(benign.or_bytes, attack.or_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// App registry
+// ---------------------------------------------------------------------------
+
+TEST(registry, three_evaluation_apps_with_distinct_names) {
+  const auto apps = evaluation_apps();
+  ASSERT_EQ(apps.size(), 3u);
+  EXPECT_EQ(apps[0].name, "SyringePump");
+  EXPECT_EQ(apps[1].name, "FireSensor");
+  EXPECT_EQ(apps[2].name, "UltrasonicRanger");
+  for (const auto& a : apps) {
+    EXPECT_EQ(a.entry, "op");
+    EXPECT_FALSE(a.source.empty());
+  }
+}
+
+TEST(registry, all_apps_build_at_all_levels) {
+  for (const auto& app : evaluation_apps()) {
+    for (const auto mode :
+         {instr::instrumentation::none, instr::instrumentation::tinycfa,
+          instr::instrumentation::dialed}) {
+      const auto prog = build_app(app, mode);
+      EXPECT_GT(prog.code_size(), 0u) << app.name;
+      EXPECT_EQ(prog.er_min, 0xe000u);
+      EXPECT_GT(prog.er_max, prog.er_min);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dialed::apps

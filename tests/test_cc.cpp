@@ -1,0 +1,428 @@
+// Mini-C compiler: front-end diagnostics and, mainly, end-to-end semantic
+// tests that compile snippets, run them on the emulated MCU and check the
+// returned value against the C semantics.
+#include <gtest/gtest.h>
+
+#include "cc/compiler.h"
+#include "common/error.h"
+#include "helpers.h"
+
+namespace dialed::cc {
+namespace {
+
+using test::eval_op;
+
+// ---------------------------------------------------------------------------
+// Arithmetic and operators (golden-behavior sweep)
+// ---------------------------------------------------------------------------
+
+struct binop_case {
+  std::string op;
+  std::int16_t a;
+  std::int16_t b;
+  std::int16_t expected;
+};
+
+class binop_eval : public ::testing::TestWithParam<binop_case> {};
+
+TEST_P(binop_eval, computes_c_semantics) {
+  const auto& c = GetParam();
+  const std::string src =
+      "int op(int a, int b) { return a " + c.op + " b; }";
+  const auto r = eval_op(src, static_cast<std::uint16_t>(c.a),
+                         static_cast<std::uint16_t>(c.b));
+  EXPECT_EQ(static_cast<std::int16_t>(r), c.expected)
+      << c.a << " " << c.op << " " << c.b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    arithmetic, binop_eval,
+    ::testing::Values(binop_case{"+", 40, 2, 42},
+                      binop_case{"+", 32000, 1000, -32536},  // wraps
+                      binop_case{"-", 10, 25, -15},
+                      binop_case{"*", 7, 6, 42},
+                      binop_case{"*", -7, 6, -42},
+                      binop_case{"*", 300, 300, static_cast<std::int16_t>(
+                                                    90000 & 0xffff)},
+                      binop_case{"/", 42, 6, 7},
+                      binop_case{"/", -42, 6, -7},
+                      binop_case{"/", 42, -6, -7},
+                      binop_case{"/", 7, 2, 3},
+                      binop_case{"%", 42, 5, 2},
+                      binop_case{"%", -42, 5, -2},
+                      binop_case{"&", 0x0ff0, 0x00ff, 0x00f0},
+                      binop_case{"|", 0x0f00, 0x00f0, 0x0ff0},
+                      binop_case{"^", 0x0ff0, 0x0f0f, 0x00ff},
+                      binop_case{"<<", 3, 4, 48},
+                      binop_case{">>", 0x0100, 4, 0x0010}));
+
+INSTANTIATE_TEST_SUITE_P(
+    comparisons, binop_eval,
+    ::testing::Values(binop_case{"==", 5, 5, 1}, binop_case{"==", 5, 6, 0},
+                      binop_case{"!=", 5, 6, 1}, binop_case{"!=", 5, 5, 0},
+                      binop_case{"<", -1, 1, 1}, binop_case{"<", 1, -1, 0},
+                      binop_case{"<=", 5, 5, 1}, binop_case{"<=", 6, 5, 0},
+                      binop_case{">", 9, 3, 1}, binop_case{">", -9, 3, 0},
+                      binop_case{">=", 3, 3, 1}, binop_case{">=", 2, 3, 0},
+                      binop_case{"&&", 2, 3, 1}, binop_case{"&&", 2, 0, 0},
+                      binop_case{"||", 0, 3, 1}, binop_case{"||", 0, 0, 0}));
+
+TEST(expr, unary_operators) {
+  EXPECT_EQ(static_cast<std::int16_t>(
+                eval_op("int op(int a) { return -a; }", 42)),
+            -42);
+  EXPECT_EQ(eval_op("int op(int a) { return ~a; }", 0x00ff), 0xff00);
+  EXPECT_EQ(eval_op("int op(int a) { return !a; }", 0), 1);
+  EXPECT_EQ(eval_op("int op(int a) { return !a; }", 7), 0);
+}
+
+TEST(expr, precedence_and_parens) {
+  EXPECT_EQ(eval_op("int op(int a) { return 2 + 3 * 4; }", 0), 14);
+  EXPECT_EQ(eval_op("int op(int a) { return (2 + 3) * 4; }", 0), 20);
+  EXPECT_EQ(eval_op("int op(int a) { return 10 - 2 - 3; }", 0), 5);
+}
+
+TEST(expr, short_circuit_does_not_evaluate_rhs) {
+  // If && evaluated its rhs, the division by zero helper would corrupt the
+  // result; division by zero yields garbage but the guard prevents it.
+  const auto r = eval_op(
+      "int op(int a) { if (a != 0 && 10 / a > 1) { return 1; } return 0; }",
+      0);
+  EXPECT_EQ(r, 0);
+}
+
+TEST(expr, compound_assignment_and_incdec) {
+  EXPECT_EQ(eval_op("int op(int a) { a += 5; a *= 2; a -= 4; return a; }", 3),
+            12);
+  EXPECT_EQ(eval_op("int op(int a) { int b = a++; return a * 100 + b; }", 4),
+            504);
+  EXPECT_EQ(eval_op("int op(int a) { int b = ++a; return a * 100 + b; }", 4),
+            505);
+  EXPECT_EQ(eval_op("int op(int a) { a--; --a; return a; }", 10), 8);
+}
+
+// ---------------------------------------------------------------------------
+// Control flow
+// ---------------------------------------------------------------------------
+
+TEST(stmt, if_else_chains) {
+  const std::string src =
+      "int op(int a) {"
+      "  if (a < 0) { return 1; }"
+      "  else if (a == 0) { return 2; }"
+      "  else { return 3; }"
+      "}";
+  EXPECT_EQ(eval_op(src, static_cast<std::uint16_t>(-5)), 1);
+  EXPECT_EQ(eval_op(src, 0), 2);
+  EXPECT_EQ(eval_op(src, 5), 3);
+}
+
+TEST(stmt, while_loop_sum) {
+  const auto r = eval_op(
+      "int op(int n) { int s = 0; while (n > 0) { s = s + n; n = n - 1; }"
+      " return s; }",
+      10);
+  EXPECT_EQ(r, 55);
+}
+
+TEST(stmt, for_loop_with_break_continue) {
+  const auto r = eval_op(
+      "int op(int n) {"
+      "  int s = 0; int i;"
+      "  for (i = 0; i < n; i++) {"
+      "    if (i == 3) { continue; }"
+      "    if (i == 7) { break; }"
+      "    s = s + i;"
+      "  }"
+      "  return s;"
+      "}",
+      100);
+  EXPECT_EQ(r, 0 + 1 + 2 + 4 + 5 + 6);
+}
+
+TEST(stmt, do_while_runs_body_at_least_once) {
+  const std::string src =
+      "int op(int n) { int c = 0;"
+      "  do { c = c + 1; n = n - 1; } while (n > 0);"
+      "  return c; }";
+  EXPECT_EQ(eval_op(src, 5), 5);
+  EXPECT_EQ(eval_op(src, 0), 1);  // body executes before the test
+}
+
+TEST(stmt, do_while_break_and_continue) {
+  const auto r = eval_op(
+      "int op(int n) { int c = 0; int i = 0;"
+      "  do {"
+      "    i = i + 1;"
+      "    if (i == 2) { continue; }"
+      "    if (i == 5) { break; }"
+      "    c = c + i;"
+      "  } while (i < n);"
+      "  return c; }",
+      100);
+  EXPECT_EQ(r, 1 + 3 + 4);
+}
+
+TEST(stmt, nested_loops) {
+  const auto r = eval_op(
+      "int op(int n) {"
+      "  int s = 0; int i; int j;"
+      "  for (i = 1; i <= n; i++) {"
+      "    for (j = 1; j <= i; j++) { s = s + 1; }"
+      "  }"
+      "  return s;"
+      "}",
+      5);
+  EXPECT_EQ(r, 15);
+}
+
+// ---------------------------------------------------------------------------
+// Functions, recursion, calling convention
+// ---------------------------------------------------------------------------
+
+TEST(functions, recursion_factorial) {
+  const auto r = eval_op(
+      "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }"
+      "int op(int n) { return fact(n); }",
+      7);
+  EXPECT_EQ(r, 5040);
+}
+
+TEST(functions, fibonacci_double_recursion) {
+  const auto r = eval_op(
+      "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }"
+      "int op(int n) { return fib(n); }",
+      12);
+  EXPECT_EQ(r, 144);
+}
+
+TEST(functions, eight_arguments) {
+  const std::string src =
+      "int f(int a, int b, int c, int d, int e, int f2, int g, int h) {"
+      "  return a + b*2 + c*3 + d*4 + e*5 + f2*6 + g*7 + h*8; }"
+      "int op(int x) { return f(1, 2, 3, 4, 5, 6, 7, 8); }";
+  EXPECT_EQ(eval_op(src, 0), 1 + 4 + 9 + 16 + 25 + 36 + 49 + 64);
+}
+
+TEST(functions, void_function_side_effect) {
+  const auto r = eval_op(
+      "int acc = 0;"
+      "void bump(int k) { acc = acc + k; }"
+      "int op(int n) { bump(n); bump(n); return acc; }",
+      21);
+  EXPECT_EQ(r, 42);
+}
+
+TEST(functions, call_in_expression_preserves_temporaries) {
+  const auto r = eval_op(
+      "int id(int x) { return x; }"
+      "int op(int a) { return id(1) + id(2) * id(3) + a; }",
+      10);
+  EXPECT_EQ(r, 17);
+}
+
+// ---------------------------------------------------------------------------
+// Arrays, pointers, globals
+// ---------------------------------------------------------------------------
+
+TEST(memory, local_array_sum) {
+  const auto r = eval_op(
+      "int op(int n) {"
+      "  int a[5]; int i; int s = 0;"
+      "  for (i = 0; i < 5; i++) { a[i] = i * n; }"
+      "  for (i = 0; i < 5; i++) { s = s + a[i]; }"
+      "  return s;"
+      "}",
+      3);
+  EXPECT_EQ(r, (0 + 1 + 2 + 3 + 4) * 3);
+}
+
+TEST(memory, global_array_and_initializers) {
+  const auto r = eval_op(
+      "int table[4] = {10, 20, 30, 40};"
+      "int op(int i) { return table[i]; }",
+      2);
+  EXPECT_EQ(r, 30);
+}
+
+TEST(memory, global_scalar_init_and_update) {
+  const auto r = eval_op(
+      "int counter = 5;"
+      "int op(int k) { counter = counter + k; return counter; }",
+      10);
+  EXPECT_EQ(r, 15);
+}
+
+TEST(memory, pointer_deref_and_addr) {
+  const auto r = eval_op(
+      "int op(int a) { int x = a; int *p = &x; *p = *p + 1; return x; }", 41);
+  EXPECT_EQ(r, 42);
+}
+
+TEST(memory, pointer_arithmetic_scales_by_element) {
+  const auto r = eval_op(
+      "int op(int n) {"
+      "  int a[4]; a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;"
+      "  int *p = a; p = p + 2; return *p;"
+      "}",
+      0);
+  EXPECT_EQ(r, 3);
+}
+
+TEST(memory, array_parameter_decays_to_pointer) {
+  const auto r = eval_op(
+      "int sum(int *v, int n) { int s = 0; int i;"
+      "  for (i = 0; i < n; i++) { s = s + v[i]; } return s; }"
+      "int op(int x) { int a[3]; a[0] = x; a[1] = x; a[2] = x;"
+      "  return sum(a, 3); }",
+      7);
+  EXPECT_EQ(r, 21);
+}
+
+TEST(memory, char_arrays_are_byte_addressed) {
+  const auto r = eval_op(
+      "char buf[4];"
+      "int op(int x) { buf[0] = 1; buf[1] = 2; buf[2] = 3; buf[3] = 4;"
+      "  return buf[0] + buf[1] * 256 + buf[3]; }",
+      0);
+  EXPECT_EQ(r, 1 + 2 * 256 + 4);
+}
+
+TEST(memory, char_truncates_to_byte) {
+  const auto r = eval_op(
+      "char c;"
+      "int op(int x) { c = x; return c; }",
+      0x1ff);
+  EXPECT_EQ(r, 0xff);
+}
+
+TEST(memory, memcpy_builtin) {
+  const auto r = eval_op(
+      "int src[3] = {7, 8, 9}; int dst[3];"
+      "int op(int x) { memcpy(dst, src, 6); return dst[0] + dst[1] + dst[2]; }",
+      0);
+  EXPECT_EQ(r, 24);
+}
+
+// ---------------------------------------------------------------------------
+// Access sites (the verifier's bounds metadata)
+// ---------------------------------------------------------------------------
+
+TEST(debug_info, access_sites_recorded_for_named_arrays) {
+  const auto cr = compile(
+      "int g[4];"
+      "int op(int i) { int loc[2]; loc[0] = 1; g[i] = 2; return loc[i]; }");
+  int global_sites = 0, local_sites = 0;
+  for (const auto& s : cr.access_sites) {
+    if (s.is_global) {
+      ++global_sites;
+      EXPECT_EQ(s.object, "g");
+      EXPECT_EQ(s.size_bytes, 8);
+    } else {
+      ++local_sites;
+      EXPECT_EQ(s.object, "loc");
+      EXPECT_EQ(s.size_bytes, 4);
+    }
+  }
+  EXPECT_EQ(global_sites, 1);
+  EXPECT_EQ(local_sites, 2);
+}
+
+TEST(debug_info, pointer_bases_have_no_sites) {
+  const auto cr = compile("int op(int *p, int i) { return p[i]; }");
+  EXPECT_TRUE(cr.access_sites.empty());
+}
+
+TEST(debug_info, function_frames_reported) {
+  const auto cr = compile(
+      "int op(int a, int b) { int x; int arr[3]; return a; }");
+  ASSERT_EQ(cr.functions.size(), 1u);
+  const auto& f = cr.functions[0];
+  EXPECT_EQ(f.name, "op");
+  EXPECT_EQ(f.num_params, 2);
+  ASSERT_EQ(f.locals.size(), 4u);
+  EXPECT_EQ(f.locals[0].name, "a");
+  EXPECT_EQ(f.locals[0].frame_offset, 0);
+  EXPECT_EQ(f.locals[2].name, "x");
+  EXPECT_EQ(f.locals[3].name, "arr");
+  EXPECT_EQ(f.locals[3].size_bytes, 6);
+  EXPECT_EQ(f.frame_size, 2 + 2 + 2 + 6);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime helpers
+// ---------------------------------------------------------------------------
+
+TEST(runtime, helpers_tracked_and_emitted_with_deps) {
+  const auto cr = compile("int op(int a, int b) { return a / b; }");
+  EXPECT_TRUE(cr.helpers.count("__divhi"));
+  const auto text = runtime_asm(cr.helpers);
+  EXPECT_NE(text.find("__divhi:"), std::string::npos);
+  EXPECT_NE(text.find("__udivhi:"), std::string::npos);  // dependency
+}
+
+TEST(runtime, unknown_helper_rejected) {
+  EXPECT_THROW(runtime_asm({"__nonsense"}), error);
+}
+
+TEST(runtime, division_by_zero_does_not_hang) {
+  // C leaves it undefined; ours returns garbage but must terminate.
+  const auto r = eval_op("int op(int a) { return a / 0 + 1; }", 5);
+  (void)r;
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+struct diag_case {
+  std::string source;
+  std::string fragment;
+};
+
+class diagnostics : public ::testing::TestWithParam<diag_case> {};
+
+TEST_P(diagnostics, reports_error_with_context) {
+  try {
+    compile(GetParam().source);
+    FAIL() << "expected cc error";
+  } catch (const error& e) {
+    EXPECT_NE(std::string(e.what()).find(GetParam().fragment),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    errors, diagnostics,
+    ::testing::Values(
+        diag_case{"int op(int a) { return b; }", "undefined variable"},
+        diag_case{"int op(int a) { missing(); return 0; }",
+                  "undefined function"},
+        diag_case{"int f(int a) { return a; } int op(int a) { return f(); }",
+                  "wrong number of arguments"},
+        diag_case{"int op(int a) { 5 = a; return 0; }", "not assignable"},
+        diag_case{"int op(int a) { int a; return a; }", "redefined"},
+        diag_case{"int op(int a) { return *a; }", "non-pointer"},
+        diag_case{"int op(int a) { break; return 0; }", "outside a loop"},
+        diag_case{"int op(int a) { return a +; }", "expected expression"},
+        diag_case{"int op(int a) { if a { return 1; } return 0; }",
+                  "expected '('"},
+        diag_case{"int g; int g; int op(int a) { return 0; }",
+                  "global redefined"}));
+
+TEST(lexer, character_literals_and_comments) {
+  const auto r = eval_op(
+      "/* block comment */"
+      "int op(int a) { // line comment\n  return 'A' + a; }",
+      1);
+  EXPECT_EQ(r, 66);
+}
+
+TEST(lexer, hex_literals) {
+  EXPECT_EQ(eval_op("int op(int a) { return 0xff + a; }", 1), 0x100);
+}
+
+}  // namespace
+}  // namespace dialed::cc

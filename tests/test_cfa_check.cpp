@@ -1,0 +1,155 @@
+// Standalone Tiny-CFA verification: path reconstruction from CF-Log alone.
+// Establishes the paper's layering claim operationally — CFA catches the
+// Fig. 1 control-flow attack, and is provably blind to the Fig. 2
+// data-only attack, which is exactly why DIALED exists.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "helpers.h"
+#include "verifier/cfa_check.h"
+#include "verifier/verifier.h"
+
+namespace dialed::verifier {
+namespace {
+
+using test::build_op;
+using test::test_key;
+
+attestation_report run_once(const instr::linked_program& prog,
+                            const proto::invocation& inv) {
+  proto::prover_device dev(prog, test_key());
+  std::array<std::uint8_t, 16> chal{};
+  return dev.invoke(chal, inv);
+}
+
+proto::invocation args(std::uint16_t a0, std::uint16_t a1 = 0) {
+  proto::invocation inv;
+  inv.args[0] = a0;
+  inv.args[1] = a1;
+  return inv;
+}
+
+TEST(cfa_walk, straight_line_op_reconstructs) {
+  const auto prog = build_op("int op(int a, int b) { return a + b; }", "op",
+                             instr::instrumentation::tinycfa);
+  const auto rep = run_once(prog, args(1, 2));
+  const auto r = check_cfa_log(prog, rep);
+  EXPECT_TRUE(r.ok);
+  EXPECT_GT(r.entries_consumed, 0);
+  EXPECT_FALSE(r.path.empty());
+  EXPECT_EQ(r.path.front(), prog.er_min);
+}
+
+TEST(cfa_walk, loop_path_length_tracks_trip_count) {
+  const auto prog = build_op(
+      "int op(int n) { int s = 0; int i;"
+      "  for (i = 0; i < n; i++) { s = s + i; } return s; }",
+      "op", instr::instrumentation::tinycfa);
+  const auto r2 = check_cfa_log(prog, run_once(prog, args(2)));
+  const auto r8 = check_cfa_log(prog, run_once(prog, args(8)));
+  ASSERT_TRUE(r2.ok);
+  ASSERT_TRUE(r8.ok);
+  EXPECT_GT(r8.entries_consumed, r2.entries_consumed);
+}
+
+TEST(cfa_walk, calls_and_returns_balanced) {
+  const auto prog = build_op(
+      "int leaf(int x) { return x * 2; }"
+      "int mid(int x) { return leaf(x) + 1; }"
+      "int op(int a) { return mid(a) + leaf(a); }",
+      "op", instr::instrumentation::tinycfa);
+  const auto r = check_cfa_log(prog, run_once(prog, args(5)));
+  EXPECT_TRUE(r.ok) << (r.findings.empty() ? "" : r.findings[0].detail);
+}
+
+TEST(cfa_walk, works_in_optimized_cf_mode) {
+  instr::pass_options opts;
+  opts.optimized_cf = true;
+  const auto prog = build_op(
+      "int leaf(int x) { return x + 1; }"
+      "int op(int n) { int s = 0; int i;"
+      "  for (i = 0; i < n; i++) { s = leaf(s); } return s; }",
+      "op", instr::instrumentation::tinycfa, opts);
+  const auto r = check_cfa_log(prog, run_once(prog, args(4)));
+  EXPECT_TRUE(r.ok) << (r.findings.empty() ? "" : r.findings[0].detail);
+}
+
+TEST(cfa_walk, rejects_dialed_mode_programs) {
+  const auto prog = build_op("int op(int a) { return a; }", "op",
+                             instr::instrumentation::dialed);
+  const auto rep = run_once(prog, args(1));
+  EXPECT_THROW(check_cfa_log(prog, rep), error);
+}
+
+TEST(cfa_walk, tampered_cf_entry_detected) {
+  const auto prog = build_op(
+      "int op(int n) { if (n > 3) { return 1; } return 2; }", "op",
+      instr::instrumentation::tinycfa);
+  auto rep = run_once(prog, args(5));
+  ASSERT_TRUE(check_cfa_log(prog, rep).ok);
+  // Flip a bit in the first CF entry (slot 0 is at or_max).
+  rep.or_bytes[rep.or_bytes.size() - 2] ^= 0x02;
+  const auto r = check_cfa_log(prog, rep);
+  EXPECT_FALSE(r.ok);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's central narrative, at the CFA layer
+// ---------------------------------------------------------------------------
+
+TEST(cfa_story, fig1_attack_detected_by_cfa_alone) {
+  const auto prog =
+      apps::build_app(apps::fig1_app(), instr::instrumentation::tinycfa);
+  proto::prover_device dev(prog, test_key());
+  std::array<std::uint8_t, 16> chal{};
+
+  const auto benign = dev.invoke(chal, apps::fig1_benign(5));
+  EXPECT_TRUE(check_cfa_log(prog, benign).ok);
+
+  const auto attacked = dev.invoke(chal, apps::fig1_attack(prog, 15));
+  ASSERT_TRUE(attacked.exec);  // APEX saw nothing wrong
+  const auto r = check_cfa_log(prog, attacked);
+  EXPECT_FALSE(r.ok);
+  bool cf_attack = false;
+  for (const auto& f : r.findings) {
+    if (f.kind == attack_kind::control_flow_attack) cf_attack = true;
+  }
+  EXPECT_TRUE(cf_attack);
+}
+
+TEST(cfa_story, fig2_attack_invisible_to_cfa) {
+  const auto prog =
+      apps::build_app(apps::fig2_app(), instr::instrumentation::tinycfa);
+  proto::prover_device dev(prog, test_key());
+  std::array<std::uint8_t, 16> chal{};
+  const auto attacked = dev.invoke(chal, apps::fig2_attack());
+  const auto r = check_cfa_log(prog, attacked);
+  // The data-only attack's path is perfectly valid: CFA accepts it.
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(cfa_story, op_verifier_integrates_the_walker) {
+  const auto prog =
+      apps::build_app(apps::fig1_app(), instr::instrumentation::tinycfa);
+  proto::prover_device dev(prog, test_key());
+  op_verifier vrf(prog, test_key());
+  std::array<std::uint8_t, 16> chal{};
+
+  EXPECT_TRUE(vrf.verify(dev.invoke(chal, apps::fig1_benign(4))).accepted);
+  const auto v = vrf.verify(dev.invoke(chal, apps::fig1_attack(prog, 15)));
+  EXPECT_FALSE(v.accepted);
+  EXPECT_TRUE(v.has(attack_kind::control_flow_attack));
+}
+
+TEST(cfa_story, evaluation_apps_walk_cleanly) {
+  for (const auto& app : apps::evaluation_apps()) {
+    const auto prog = apps::build_app(app, instr::instrumentation::tinycfa);
+    const auto rep = run_once(prog, app.representative_input);
+    const auto r = check_cfa_log(prog, rep);
+    EXPECT_TRUE(r.ok) << app.name << ": "
+                      << (r.findings.empty() ? "" : r.findings[0].detail);
+  }
+}
+
+}  // namespace
+}  // namespace dialed::verifier

@@ -1,0 +1,209 @@
+// SHA-256 (FIPS 180-4 / NIST CAVP vectors) and HMAC-SHA256 (RFC 4231).
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace dialed::crypto {
+namespace {
+
+byte_vec bytes_of(const std::string& s) {
+  return byte_vec(s.begin(), s.end());
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256 known-answer tests
+// ---------------------------------------------------------------------------
+
+struct sha_vector {
+  std::string message;
+  std::string digest_hex;
+};
+
+class sha256_kat : public ::testing::TestWithParam<sha_vector> {};
+
+TEST_P(sha256_kat, matches_reference_digest) {
+  const auto& v = GetParam();
+  const auto d = sha256::hash(bytes_of(v.message));
+  EXPECT_EQ(to_hex(d), v.digest_hex);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    nist, sha256_kat,
+    ::testing::Values(
+        sha_vector{"",
+                   "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+                   "7852b855"},
+        sha_vector{"abc",
+                   "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+                   "f20015ad"},
+        sha_vector{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                   "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+                   "19db06c1"},
+        sha_vector{"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                   "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+                   "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac4503"
+                   "7afee9d1"},
+        sha_vector{"The quick brown fox jumps over the lazy dog",
+                   "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf"
+                   "37c9e592"}));
+
+TEST(sha256, million_a) {
+  sha256 h;
+  const byte_vec chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(sha256, reset_restores_initial_state) {
+  sha256 h;
+  h.update(bytes_of("garbage"));
+  h.reset();
+  h.update(bytes_of("abc"));
+  EXPECT_EQ(to_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// Incremental hashing must be chunking-invariant.
+class sha256_chunking : public ::testing::TestWithParam<int> {};
+
+TEST_P(sha256_chunking, incremental_equals_oneshot) {
+  const int chunk = GetParam();
+  byte_vec msg(257);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  const auto expect = sha256::hash(msg);
+  sha256 h;
+  for (std::size_t pos = 0; pos < msg.size();
+       pos += static_cast<std::size_t>(chunk)) {
+    const std::size_t n =
+        std::min<std::size_t>(static_cast<std::size_t>(chunk),
+                              msg.size() - pos);
+    h.update(std::span(msg).subspan(pos, n));
+  }
+  EXPECT_EQ(h.finish(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(chunks, sha256_chunking,
+                         ::testing::Values(1, 2, 3, 7, 31, 63, 64, 65, 128,
+                                           255));
+
+// Boundary lengths around the padding edge (55/56/63/64 bytes).
+class sha256_lengths : public ::testing::TestWithParam<int> {};
+
+TEST_P(sha256_lengths, consistent_with_prefix_property) {
+  // hash(m) must differ from hash(m || 0x00) — trivial but catches padding
+  // bugs at block boundaries.
+  const int n = GetParam();
+  byte_vec msg(static_cast<std::size_t>(n), 0xab);
+  byte_vec ext = msg;
+  ext.push_back(0x00);
+  EXPECT_NE(sha256::hash(msg), sha256::hash(ext));
+}
+
+INSTANTIATE_TEST_SUITE_P(boundaries, sha256_lengths,
+                         ::testing::Values(0, 1, 54, 55, 56, 57, 63, 64, 65,
+                                           119, 120, 127, 128));
+
+// ---------------------------------------------------------------------------
+// HMAC-SHA256 (RFC 4231)
+// ---------------------------------------------------------------------------
+
+TEST(hmac, rfc4231_case1) {
+  const byte_vec key(20, 0x0b);
+  const auto mac = hmac_sha256::compute(key, bytes_of("Hi There"));
+  EXPECT_EQ(to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(hmac, rfc4231_case2) {
+  const auto mac = hmac_sha256::compute(
+      bytes_of("Jefe"), bytes_of("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(hmac, rfc4231_case3) {
+  const byte_vec key(20, 0xaa);
+  const byte_vec data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256::compute(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(hmac, rfc4231_case6_long_key) {
+  const byte_vec key(131, 0xaa);
+  const auto mac = hmac_sha256::compute(
+      key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(hmac, rfc4231_case7_long_key_and_data) {
+  const byte_vec key(131, 0xaa);
+  const auto mac = hmac_sha256::compute(
+      key, bytes_of("This is a test using a larger than block-size key and a "
+                    "larger than block-size data. The key needs to be hashed "
+                    "before being used by the HMAC algorithm."));
+  EXPECT_EQ(to_hex(mac),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(hmac, incremental_equals_oneshot) {
+  const byte_vec key = from_hex("000102030405060708090a0b0c0d0e0f");
+  byte_vec data(300);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  hmac_sha256 h(key);
+  h.update(std::span(data).subspan(0, 100));
+  h.update(std::span(data).subspan(100, 150));
+  h.update(std::span(data).subspan(250));
+  EXPECT_EQ(h.finish(), hmac_sha256::compute(key, data));
+}
+
+TEST(hmac, different_keys_different_macs) {
+  const byte_vec k1(32, 0x01), k2(32, 0x02);
+  const auto data = bytes_of("same message");
+  EXPECT_NE(hmac_sha256::compute(k1, data), hmac_sha256::compute(k2, data));
+}
+
+TEST(hmac, equal_is_constant_time_comparison_api) {
+  hmac_sha256::mac a{}, b{};
+  EXPECT_TRUE(hmac_sha256::equal(a, b));
+  b[31] = 1;
+  EXPECT_FALSE(hmac_sha256::equal(a, b));
+  b[31] = 0;
+  b[0] = 0x80;
+  EXPECT_FALSE(hmac_sha256::equal(a, b));
+}
+
+// ---------------------------------------------------------------------------
+// hex helpers
+// ---------------------------------------------------------------------------
+
+TEST(bytes, hex_round_trip) {
+  const byte_vec v = {0x00, 0x01, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(to_hex(v), "0001deadbeefff");
+  EXPECT_EQ(from_hex("0001deadbeefff"), v);
+  EXPECT_EQ(from_hex("0001DEADBEEFFF"), v);
+}
+
+TEST(bytes, from_hex_rejects_malformed) {
+  EXPECT_THROW(from_hex("abc"), error);
+  EXPECT_THROW(from_hex("zz"), error);
+}
+
+TEST(bytes, le16_round_trip) {
+  byte_vec buf(4, 0);
+  store_le16(buf, 1, 0xbeef);
+  EXPECT_EQ(buf[1], 0xef);
+  EXPECT_EQ(buf[2], 0xbe);
+  EXPECT_EQ(load_le16(buf, 1), 0xbeef);
+}
+
+}  // namespace
+}  // namespace dialed::crypto

@@ -1,0 +1,211 @@
+// End-to-end: the full DIALED pipeline (compile -> instrument -> link ->
+// execute under APEX -> SW-Att -> verify/abstract-execute) across mixed
+// benign and adversarial rounds — the deployment loop of paper §III.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "helpers.h"
+#include "proto/session.h"
+
+namespace dialed {
+namespace {
+
+using test::test_key;
+
+TEST(e2e, fig1_full_story) {
+  const auto prog =
+      apps::build_app(apps::fig1_app(), instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  proto::verifier_session vrf(prog, test_key());
+  vrf.core().add_policy(apps::dose_actuation_policy());
+
+  // Round 1: benign command, accepted; Vrf learns the true dose.
+  auto v1 = vrf.check(dev.invoke(vrf.new_challenge(), apps::fig1_benign(5)));
+  EXPECT_TRUE(v1.accepted);
+  EXPECT_EQ(v1.replayed_result, 5);
+
+  // Round 2: the paper's control-flow attack.
+  auto v2 = vrf.check(
+      dev.invoke(vrf.new_challenge(), apps::fig1_attack(prog, 15)));
+  EXPECT_FALSE(v2.accepted);
+  EXPECT_TRUE(v2.has(verifier::attack_kind::control_flow_attack));
+  EXPECT_TRUE(v2.has(verifier::attack_kind::policy_violation));
+  EXPECT_FALSE(v2.has(verifier::attack_kind::data_only_attack));
+
+  // Round 3: the device recovers; a fresh benign round is accepted again.
+  auto v3 = vrf.check(dev.invoke(vrf.new_challenge(), apps::fig1_benign(3)));
+  EXPECT_TRUE(v3.accepted);
+}
+
+TEST(e2e, fig2_full_story) {
+  const auto prog =
+      apps::build_app(apps::fig2_app(), instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  proto::verifier_session vrf(prog, test_key());
+
+  auto v1 = vrf.check(dev.invoke(vrf.new_challenge(), apps::fig2_benign(1, 3)));
+  EXPECT_TRUE(v1.accepted);
+
+  auto v2 = vrf.check(dev.invoke(vrf.new_challenge(), apps::fig2_attack()));
+  EXPECT_FALSE(v2.accepted);
+  EXPECT_TRUE(v2.has(verifier::attack_kind::data_only_attack));
+  // Control flow was untouched — exactly the CFA blind spot.
+  EXPECT_FALSE(v2.has(verifier::attack_kind::control_flow_attack));
+}
+
+TEST(e2e, every_evaluation_app_verifies_at_dialed_level) {
+  for (const auto& app : apps::evaluation_apps()) {
+    const auto prog = apps::build_app(app, instr::instrumentation::dialed);
+    proto::prover_device dev(prog, test_key());
+    proto::verifier_session vrf(prog, test_key());
+    for (int round = 0; round < 3; ++round) {
+      const auto v =
+          vrf.check(dev.invoke(vrf.new_challenge(), app.representative_input));
+      EXPECT_TRUE(v.accepted) << app.name << " round " << round;
+    }
+  }
+}
+
+TEST(e2e, sensor_values_reconstructed_from_ilog) {
+  // The verifier learns the sensed value itself from the attested logs —
+  // the PoX-style "authenticated sensing" use case.
+  auto app = apps::evaluation_apps()[2];  // UltrasonicRanger
+  const auto prog = apps::build_app(app, instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  proto::verifier_session vrf(prog, test_key());
+  proto::invocation inv;
+  inv.args[0] = 2;
+  inv.adc_samples = {2320, 2320};  // 40 cm
+  const auto v = vrf.check(dev.invoke(vrf.new_challenge(), inv));
+  ASSERT_TRUE(v.accepted);
+  EXPECT_EQ(v.replayed_result, 40);
+}
+
+TEST(e2e, spoofed_sensor_claim_detected) {
+  // A compromised device cannot claim a different result than its inputs
+  // produce: the mailbox result is not attested, the replay output is.
+  auto app = apps::evaluation_apps()[1];  // FireSensor
+  const auto prog = apps::build_app(app, instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  proto::verifier_session vrf(prog, test_key());
+  proto::invocation inv;
+  inv.args[0] = 50;
+  inv.adc_samples = {800};  // avg 100 -> alarm
+  auto rep = dev.invoke(vrf.new_challenge(), inv);
+  rep.claimed_result = 0;  // "all quiet here"
+  const auto v = vrf.check(rep);
+  EXPECT_FALSE(v.accepted);
+  EXPECT_TRUE(v.has(verifier::attack_kind::result_forged));
+  EXPECT_EQ(v.replayed_result, 100);
+}
+
+TEST(e2e, post_execution_log_tamper_detected) {
+  const auto prog =
+      apps::build_app(apps::fig2_app(), instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  proto::verifier_session vrf(prog, test_key());
+  proto::invocation inv = apps::fig2_benign(1, 2);
+  const auto chal = vrf.new_challenge();
+  auto rep = dev.invoke(chal, inv);
+  // Attacker rewrites an I-Log slot after attestation (in transit).
+  rep.or_bytes[rep.or_bytes.size() - 24] ^= 0x40;
+  const auto v = vrf.check(rep);
+  EXPECT_FALSE(v.accepted);
+  EXPECT_TRUE(v.has(verifier::attack_kind::mac_invalid));
+}
+
+TEST(e2e, abort_report_rejected_with_abort_hint) {
+  // Overflow the OR: the device aborts before attestation; Vrf must reject
+  // and can tell the operator the instrumentation tripped.
+  const auto prog = test::build_op(
+      "int op(int n) { int s = 0; int i;"
+      "  for (i = 0; i < n; i++) { s = s + 1; } return s; }",
+      "op", instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  proto::verifier_session vrf(prog, test_key());
+  proto::invocation inv;
+  inv.args[0] = 5000;
+  const auto v = vrf.check(dev.invoke(vrf.new_challenge(), inv));
+  EXPECT_FALSE(v.accepted);
+  EXPECT_TRUE(v.has(verifier::attack_kind::instrumentation_abort) ||
+              v.has(verifier::attack_kind::mac_invalid));
+}
+
+TEST(e2e, cross_app_isolation_of_verifiers) {
+  // A report from app A must not verify against app B's reference build.
+  const auto prog_a =
+      apps::build_app(apps::fig1_app(), instr::instrumentation::dialed);
+  const auto prog_b =
+      apps::build_app(apps::fig2_app(), instr::instrumentation::dialed);
+  proto::prover_device dev_a(prog_a, test_key());
+  proto::verifier_session vrf_b(prog_b, test_key());
+  const auto chal = vrf_b.new_challenge();
+  const auto rep = dev_a.invoke(chal, apps::fig1_benign(2));
+  const auto v = vrf_b.check(rep);
+  EXPECT_FALSE(v.accepted);
+}
+
+class e2e_ablation
+    : public ::testing::TestWithParam<instr::pass_options> {};
+
+TEST_P(e2e_ablation, benign_verifies_and_fig2_attack_detected) {
+  // Every instrumentation configuration must stay sound end-to-end: the
+  // replay executes whatever binary was deployed, so ablations change
+  // cost, never verification correctness.
+  const auto prog = apps::build_app(
+      apps::fig2_app(), instr::instrumentation::dialed, GetParam());
+  proto::prover_device dev(prog, test_key());
+  proto::verifier_session vrf(prog, test_key());
+
+  const auto v1 =
+      vrf.check(dev.invoke(vrf.new_challenge(), apps::fig2_benign(1, 3)));
+  EXPECT_TRUE(v1.accepted);
+  EXPECT_EQ(v1.replayed_result, 5);
+
+  const auto v2 = vrf.check(dev.invoke(vrf.new_challenge(), apps::fig2_attack()));
+  EXPECT_FALSE(v2.accepted);
+  EXPECT_TRUE(v2.has(verifier::attack_kind::data_only_attack));
+}
+
+instr::pass_options opt_default() { return {}; }
+instr::pass_options opt_cf() {
+  instr::pass_options o;
+  o.optimized_cf = true;
+  return o;
+}
+instr::pass_options opt_logall() {
+  instr::pass_options o;
+  o.log_all_reads = true;
+  return o;
+}
+instr::pass_options opt_dynamic() {
+  instr::pass_options o;
+  o.static_read_filter = false;
+  o.static_write_filter = false;
+  return o;
+}
+
+INSTANTIATE_TEST_SUITE_P(configs, e2e_ablation,
+                         ::testing::Values(opt_default(), opt_cf(),
+                                           opt_logall(), opt_dynamic()));
+
+TEST(e2e, hundred_round_soak) {
+  const auto prog = test::build_op(
+      "int op(int a, int b) { int s = 0; int i;"
+      "  for (i = 0; i < a; i++) { s = s + b; } return s; }",
+      "op", instr::instrumentation::dialed);
+  proto::prover_device dev(prog, test_key());
+  proto::verifier_session vrf(prog, test_key());
+  for (std::uint16_t r = 0; r < 100; ++r) {
+    proto::invocation inv;
+    inv.args[0] = static_cast<std::uint16_t>(r % 7);
+    inv.args[1] = static_cast<std::uint16_t>(r * 3);
+    const auto v = vrf.check(dev.invoke(vrf.new_challenge(), inv));
+    ASSERT_TRUE(v.accepted) << "round " << r;
+    ASSERT_EQ(v.replayed_result,
+              static_cast<std::uint16_t>((r % 7) * (r * 3)));
+  }
+}
+
+}  // namespace
+}  // namespace dialed

@@ -1,0 +1,207 @@
+// Differential ALU testing: each arithmetic/logic instruction is executed
+// on the emulated CPU over a grid of operand values (word and byte, both
+// carry-in states) and compared — result and all four flags — against an
+// independent reference model written straight from the MSP430 family
+// user's guide semantics.
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+
+namespace dialed::emu {
+namespace {
+
+struct alu_out {
+  std::uint16_t result = 0;
+  bool c = false, z = false, n = false, v = false;
+  bool writes_back = true;
+  bool sets_flags = true;
+};
+
+/// Reference semantics (independent of src/emu/cpu.cpp).
+alu_out reference(const std::string& op, std::uint32_t src, std::uint32_t dst,
+                  bool byte, bool carry_in) {
+  const std::uint32_t mask = byte ? 0xff : 0xffff;
+  const std::uint32_t sign = byte ? 0x80 : 0x8000;
+  src &= mask;
+  dst &= mask;
+  alu_out o;
+  auto nz = [&](std::uint32_t r) {
+    o.n = (r & sign) != 0;
+    o.z = (r & mask) == 0;
+  };
+  if (op == "add" || op == "addc") {
+    const std::uint32_t cin = (op == "addc" && carry_in) ? 1 : 0;
+    const std::uint32_t full = dst + src + cin;
+    o.result = static_cast<std::uint16_t>(full & mask);
+    o.c = full > mask;
+    o.v = ((dst ^ o.result) & (src ^ o.result) & sign) != 0;
+    nz(o.result);
+  } else if (op == "sub" || op == "subc" || op == "cmp") {
+    const std::uint32_t cin = (op == "subc") ? (carry_in ? 1 : 0) : 1;
+    const std::uint32_t full = dst + ((~src) & mask) + cin;
+    o.result = static_cast<std::uint16_t>(full & mask);
+    o.c = full > mask;
+    o.v = ((dst ^ src) & (dst ^ o.result) & sign) != 0;
+    nz(o.result);
+    o.writes_back = op != "cmp";
+  } else if (op == "and" || op == "bit") {
+    o.result = static_cast<std::uint16_t>(dst & src);
+    nz(o.result);
+    o.c = !o.z;
+    o.v = false;
+    o.writes_back = op != "bit";
+  } else if (op == "xor") {
+    o.result = static_cast<std::uint16_t>((dst ^ src) & mask);
+    nz(o.result);
+    o.c = !o.z;
+    o.v = (dst & sign) != 0 && (src & sign) != 0;
+  } else if (op == "bis") {
+    o.result = static_cast<std::uint16_t>(dst | src);
+    o.sets_flags = false;
+  } else if (op == "bic") {
+    o.result = static_cast<std::uint16_t>(dst & ~src & mask);
+    o.sets_flags = false;
+  } else if (op == "dadd") {
+    std::uint32_t carry = carry_in ? 1 : 0;
+    std::uint32_t out = 0;
+    const int nibbles = byte ? 2 : 4;
+    for (int i = 0; i < nibbles; ++i) {
+      std::uint32_t t =
+          ((dst >> (4 * i)) & 0xf) + ((src >> (4 * i)) & 0xf) + carry;
+      carry = t > 9 ? 1 : 0;
+      if (t > 9) t += 6;
+      out |= (t & 0xf) << (4 * i);
+    }
+    o.result = static_cast<std::uint16_t>(out & mask);
+    o.c = carry != 0;
+    nz(o.result);
+    o.v = false;  // undefined in hardware; the emulator leaves it clear
+  }
+  return o;
+}
+
+struct grid_case {
+  std::string op;
+  bool byte;
+  bool carry_in;
+};
+
+class alu_grid : public ::testing::TestWithParam<grid_case> {};
+
+TEST_P(alu_grid, matches_reference_over_value_grid) {
+  const auto& c = GetParam();
+  static const std::uint16_t values[] = {0x0000, 0x0001, 0x0002, 0x007f,
+                                         0x0080, 0x00ff, 0x0100, 0x7fff,
+                                         0x8000, 0xffff, 0x1234, 0xabcd};
+  const std::string mnem = c.op + (c.byte ? ".b" : "");
+  for (const std::uint16_t src : values) {
+    for (const std::uint16_t dst : values) {
+      const std::string body =
+          "        mov #" + std::to_string(dst) + ", r10\n" +
+          "        mov #" + std::to_string(src) + ", r11\n" +
+          (c.carry_in ? "        setc\n" : "        clrc\n") +
+          "        " + mnem + " r11, r10\n" +
+          "        mov sr, r12\n" +
+          "        mov #1, &HALT_PORT\n";
+      auto m = test::run_asm(body);
+      ASSERT_TRUE(m->halted());
+      const auto ref = reference(c.op, src, dst, c.byte, c.carry_in);
+      const auto& regs = m->get_cpu().regs();
+      const std::uint16_t sr = regs[12];
+      const std::string ctx = mnem + " #" + std::to_string(src) + ", #" +
+                              std::to_string(dst) +
+                              (c.carry_in ? " (C=1)" : " (C=0)");
+      if (ref.writes_back) {
+        const std::uint16_t expect =
+            c.byte ? static_cast<std::uint16_t>(ref.result & 0xff)
+                   : ref.result;
+        ASSERT_EQ(regs[10], expect) << ctx;
+      } else {
+        // cmp/bit never write back: the register keeps its full value,
+        // even in byte mode.
+        ASSERT_EQ(regs[10], dst) << ctx;
+      }
+      if (ref.sets_flags) {
+        ASSERT_EQ((sr & isa::SR_C) != 0, ref.c) << ctx << " carry";
+        ASSERT_EQ((sr & isa::SR_Z) != 0, ref.z) << ctx << " zero";
+        ASSERT_EQ((sr & isa::SR_N) != 0, ref.n) << ctx << " negative";
+        ASSERT_EQ((sr & isa::SR_V) != 0, ref.v) << ctx << " overflow";
+      } else {
+        // bic/bis leave flags untouched: C must still be the carry-in.
+        ASSERT_EQ((sr & isa::SR_C) != 0, c.carry_in) << ctx;
+      }
+    }
+  }
+}
+
+std::vector<grid_case> grid_cases() {
+  std::vector<grid_case> out;
+  for (const char* op : {"add", "addc", "sub", "subc", "cmp", "and", "bit",
+                         "xor", "bis", "bic", "dadd"}) {
+    for (const bool byte : {false, true}) {
+      for (const bool cin : {false, true}) {
+        out.push_back({op, byte, cin});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ops, alu_grid, ::testing::ValuesIn(grid_cases()),
+    [](const auto& info) {
+      return info.param.op + (info.param.byte ? "_b" : "_w") +
+             (info.param.carry_in ? "_c1" : "_c0");
+    });
+
+// Single-operand shifts/rotates against reference semantics.
+class shift_grid : public ::testing::TestWithParam<bool> {};
+
+TEST_P(shift_grid, rra_rrc_match_reference) {
+  const bool byte = GetParam();
+  static const std::uint16_t values[] = {0x0000, 0x0001, 0x0081, 0x00fe,
+                                         0x8000, 0x8001, 0x7ffe, 0xffff};
+  const std::uint32_t mask = byte ? 0xff : 0xffff;
+  const std::uint32_t sign = byte ? 0x80 : 0x8000;
+  for (const std::uint16_t v0 : values) {
+    for (const bool cin : {false, true}) {
+      const std::uint32_t v = v0 & mask;
+      // RRA: arithmetic right shift, C = old bit0.
+      {
+        const std::string body =
+            "        mov #" + std::to_string(v0) + ", r10\n" +
+            (cin ? "        setc\n" : "        clrc\n") +
+            std::string("        rra") + (byte ? ".b" : "") + " r10\n" +
+            "        mov sr, r12\n        mov #1, &HALT_PORT\n";
+        auto m = test::run_asm(body);
+        const std::uint16_t expect =
+            static_cast<std::uint16_t>(((v >> 1) | (v & sign)) & mask);
+        ASSERT_EQ(m->get_cpu().regs()[10], expect) << "rra " << v0;
+        ASSERT_EQ((m->get_cpu().regs()[12] & isa::SR_C) != 0, (v & 1) != 0);
+      }
+      // RRC: rotate right through carry.
+      {
+        const std::string body =
+            "        mov #" + std::to_string(v0) + ", r10\n" +
+            (cin ? "        setc\n" : "        clrc\n") +
+            std::string("        rrc") + (byte ? ".b" : "") + " r10\n" +
+            "        mov sr, r12\n        mov #1, &HALT_PORT\n";
+        auto m = test::run_asm(body);
+        const std::uint16_t expect = static_cast<std::uint16_t>(
+            ((v >> 1) | (cin ? sign : 0)) & mask);
+        ASSERT_EQ(m->get_cpu().regs()[10], expect)
+            << "rrc " << v0 << " cin=" << cin;
+        ASSERT_EQ((m->get_cpu().regs()[12] & isa::SR_C) != 0, (v & 1) != 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(widths, shift_grid, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? std::string("byte")
+                                             : std::string("word");
+                         });
+
+}  // namespace
+}  // namespace dialed::emu

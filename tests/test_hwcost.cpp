@@ -1,0 +1,116 @@
+// Table I reproduction: published numbers, structural model validation, and
+// the paper's headline ratios.
+#include <gtest/gtest.h>
+
+#include "hwcost/hwcost.h"
+
+namespace dialed::hwcost {
+namespace {
+
+const technique& row(const std::string& name) {
+  static const auto rows = table1_techniques();
+  for (const auto& t : rows) {
+    if (t.name == name) return t;
+  }
+  throw std::runtime_error("missing row " + name);
+}
+
+TEST(table1, row_order_matches_paper) {
+  const auto rows = table1_techniques();
+  ASSERT_EQ(rows.size(), 7u);
+  EXPECT_EQ(rows[0].name, "C-FLAT");
+  EXPECT_EQ(rows[1].name, "OAT");
+  EXPECT_EQ(rows[2].name, "Atrium");
+  EXPECT_EQ(rows[3].name, "LO-FAT");
+  EXPECT_EQ(rows[4].name, "LiteHAX");
+  EXPECT_EQ(rows[5].name, "Tiny-CFA");
+  EXPECT_EQ(rows[6].name, "DIALED");
+}
+
+TEST(table1, functionality_matrix_matches_paper) {
+  EXPECT_TRUE(row("C-FLAT").supports_cfa);
+  EXPECT_FALSE(row("C-FLAT").supports_dfa);
+  EXPECT_TRUE(row("OAT").supports_dfa);
+  EXPECT_FALSE(row("Atrium").supports_dfa);
+  EXPECT_FALSE(row("LO-FAT").supports_dfa);
+  EXPECT_TRUE(row("LiteHAX").supports_dfa);
+  EXPECT_FALSE(row("Tiny-CFA").supports_dfa);
+  EXPECT_TRUE(row("DIALED").supports_cfa);
+  EXPECT_TRUE(row("DIALED").supports_dfa);
+}
+
+TEST(table1, trustzone_rows_have_no_lut_numbers) {
+  EXPECT_TRUE(row("C-FLAT").trustzone);
+  EXPECT_TRUE(row("OAT").trustzone);
+  EXPECT_FALSE(row("C-FLAT").published_luts.has_value());
+  EXPECT_FALSE(row("OAT").published_luts.has_value());
+}
+
+TEST(table1, published_numbers_match_paper) {
+  EXPECT_EQ(row("Atrium").published_luts, 10640);
+  EXPECT_EQ(row("Atrium").published_regs, 15960);
+  EXPECT_EQ(row("LO-FAT").published_luts, 3192);
+  EXPECT_EQ(row("LO-FAT").published_regs, 4256);
+  EXPECT_EQ(row("LiteHAX").published_luts, 1596);
+  EXPECT_EQ(row("LiteHAX").published_regs, 2128);
+  EXPECT_EQ(row("Tiny-CFA").published_luts, 302);
+  EXPECT_EQ(row("Tiny-CFA").published_regs, 44);
+  EXPECT_EQ(row("DIALED").published_luts, 302);
+  EXPECT_EQ(row("DIALED").published_regs, 44);
+}
+
+TEST(table1, overhead_percentages_match_paper) {
+  const auto base = msp430_baseline();
+  EXPECT_NEAR(overhead_percent(302, base.luts), 16.0, 0.5);
+  EXPECT_NEAR(overhead_percent(44, base.registers), 6.0, 0.5);
+  EXPECT_NEAR(overhead_percent(1596, base.luts), 84.0, 0.5);
+  EXPECT_NEAR(overhead_percent(2128, base.registers), 308.0, 0.5);
+  EXPECT_NEAR(overhead_percent(10640, base.luts), 559.0, 0.5);
+  EXPECT_NEAR(overhead_percent(15960, base.registers), 2310.0, 2.0);
+  EXPECT_NEAR(overhead_percent(3192, base.luts), 168.0, 0.5);
+  EXPECT_NEAR(overhead_percent(4256, base.registers), 616.0, 0.5);
+}
+
+TEST(model, structural_estimates_track_published_synthesis) {
+  // One shared parameter set must land within 6% of every published row.
+  for (const auto& t : table1_techniques()) {
+    if (!t.structure || !t.published_luts) continue;
+    const auto m = estimate(*t.structure);
+    EXPECT_NEAR(m.luts, *t.published_luts, 0.06 * *t.published_luts)
+        << t.name;
+    EXPECT_NEAR(m.registers, *t.published_regs,
+                0.06 * *t.published_regs)
+        << t.name;
+  }
+}
+
+TEST(model, dialed_hardware_is_pure_monitor_logic) {
+  const auto& d = row("DIALED");
+  ASSERT_TRUE(d.structure.has_value());
+  EXPECT_EQ(d.structure->hash_cores, 0);
+  EXPECT_EQ(d.structure->hash_cores_lite, 0);
+  EXPECT_EQ(d.structure->branch_monitors, 0);
+  EXPECT_GT(d.structure->comparators16, 0);
+}
+
+TEST(ratios, dialed_vs_litehax_headline_claims) {
+  // Paper: "≈5× lower LUTs and ≈50× lower registers than LiteHAX".
+  const double luts = ratio_vs_dialed_luts(row("LiteHAX"));
+  const double regs = ratio_vs_dialed_regs(row("LiteHAX"));
+  EXPECT_NEAR(luts, 5.0, 0.5);
+  EXPECT_NEAR(regs, 50.0, 2.5);
+}
+
+TEST(render, table_contains_all_rows_and_ratios) {
+  const auto text = render_table1();
+  for (const char* name :
+       {"MSP430", "C-FLAT", "OAT", "Atrium", "LO-FAT", "LiteHAX",
+        "Tiny-CFA", "DIALED"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("ARM-TrustZone"), std::string::npos);
+  EXPECT_NE(text.find("fewer LUTs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dialed::hwcost

@@ -1,0 +1,89 @@
+// OR log layout model.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "logfmt/logfmt.h"
+
+namespace dialed::logfmt {
+namespace {
+
+byte_vec make_or(std::uint16_t or_min, std::uint16_t or_max) {
+  return byte_vec(static_cast<std::size_t>(or_max) + 2 - or_min, 0);
+}
+
+void set_slot(byte_vec& bytes, std::uint16_t or_min, std::uint16_t or_max,
+              int slot, std::uint16_t value) {
+  const std::size_t off =
+      static_cast<std::size_t>(or_max - 2 * slot - or_min);
+  store_le16(bytes, off, value);
+}
+
+TEST(log_view, slots_count_down_from_or_max) {
+  const std::uint16_t lo = 0x600, hi = 0xdfe;
+  auto bytes = make_or(lo, hi);
+  set_slot(bytes, lo, hi, 0, 0x1100);
+  set_slot(bytes, lo, hi, 1, 0x2200);
+  set_slot(bytes, lo, hi, 5, 0x5500);
+  log_view v(lo, hi, bytes);
+  EXPECT_EQ(v.slot(0), 0x1100);
+  EXPECT_EQ(v.slot(1), 0x2200);
+  EXPECT_EQ(v.slot(5), 0x5500);
+  EXPECT_EQ(v.saved_sp(), 0x1100);
+}
+
+TEST(log_view, entry_registers_and_arguments) {
+  const std::uint16_t lo = 0x600, hi = 0xdfe;
+  auto bytes = make_or(lo, hi);
+  set_slot(bytes, lo, hi, 0, 0x11f6);            // saved sp
+  for (int i = 0; i < 8; ++i) {                  // r8..r15
+    set_slot(bytes, lo, hi, 1 + i, static_cast<std::uint16_t>(0x800 + i));
+  }
+  log_view v(lo, hi, bytes);
+  EXPECT_EQ(v.entry_reg(0), 0x800);  // r8
+  EXPECT_EQ(v.entry_reg(7), 0x807);  // r15
+  // C argument 0 travels in r15, argument 1 in r14...
+  EXPECT_EQ(v.argument(0), 0x807);
+  EXPECT_EQ(v.argument(1), 0x806);
+  EXPECT_EQ(v.argument(7), 0x800);
+}
+
+TEST(log_view, used_slots_and_bytes) {
+  const std::uint16_t lo = 0x600, hi = 0xdfe;
+  log_view v(lo, hi, make_or(lo, hi));
+  EXPECT_EQ(v.used_slots(hi), 0);
+  EXPECT_EQ(v.used_slots(static_cast<std::uint16_t>(hi - 2)), 1);
+  EXPECT_EQ(v.used_bytes(static_cast<std::uint16_t>(hi - 18)), 18);
+  EXPECT_EQ(v.capacity(), (hi + 2 - lo) / 2);
+}
+
+TEST(log_view, rejects_wrong_snapshot_size) {
+  byte_vec bytes(10, 0);
+  EXPECT_THROW(log_view(0x600, 0xdfe, bytes), error);
+}
+
+TEST(log_view, slot_bounds_checked) {
+  const std::uint16_t lo = 0x600, hi = 0x60e;  // 8 slots
+  log_view v(lo, hi, make_or(lo, hi));
+  EXPECT_NO_THROW(v.slot(7));
+  EXPECT_THROW(v.slot(8), error);
+  EXPECT_THROW(v.slot(-1), error);
+}
+
+TEST(log_view, word_at_bounds_checked) {
+  const std::uint16_t lo = 0x600, hi = 0x60e;
+  log_view v(lo, hi, make_or(lo, hi));
+  EXPECT_NO_THROW(v.word_at(0x600));
+  EXPECT_NO_THROW(v.word_at(0x60e));
+  EXPECT_THROW(v.word_at(0x5fe), error);
+  EXPECT_THROW(v.word_at(0x610), error);
+}
+
+TEST(entry_kind, printable) {
+  EXPECT_EQ(to_string(entry_kind::saved_sp), "saved-sp");
+  EXPECT_EQ(to_string(entry_kind::entry_arg), "entry-arg");
+  EXPECT_EQ(to_string(entry_kind::cf_destination), "cf-dest");
+  EXPECT_EQ(to_string(entry_kind::data_input), "data-input");
+}
+
+}  // namespace
+}  // namespace dialed::logfmt

@@ -1,0 +1,270 @@
+// Assembler: parsing, emulated-mnemonic canonicalization, two-pass layout,
+// symbols/expressions, directives, and the disassembler round-trip.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "masm/disasm.h"
+#include "masm/masm.h"
+
+namespace dialed::masm {
+namespace {
+
+image asm_at(const std::string& body,
+             const std::map<std::string, std::uint16_t>& pre = {}) {
+  return assemble_text("        .org 0xc000\n" + body, pre);
+}
+
+const segment& only_segment(const image& img) {
+  EXPECT_EQ(img.segments.size(), 1u);
+  return img.segments.front();
+}
+
+// ---------------------------------------------------------------------------
+// Parsing + encoding basics
+// ---------------------------------------------------------------------------
+
+TEST(parse, simple_mov_immediate) {
+  const auto img = asm_at("        mov #0x1234, r15\n");
+  const auto& seg = only_segment(img);
+  ASSERT_EQ(seg.bytes.size(), 4u);
+  EXPECT_EQ(load_le16(seg.bytes, 0), 0x403f);  // mov #N, r15
+  EXPECT_EQ(load_le16(seg.bytes, 2), 0x1234);
+}
+
+TEST(parse, addressing_mode_zoo) {
+  const auto img = asm_at(
+      "        mov r4, r5\n"
+      "        mov @r6, 4(r7)\n"
+      "        mov @r8+, &0x0200\n"
+      "        mov.b 2(r9), r10\n"
+      "        cmp #-1, r11\n");
+  EXPECT_GT(only_segment(img).bytes.size(), 0u);
+}
+
+TEST(parse, labels_resolve_forward_and_backward) {
+  const auto img = asm_at(
+      "start:  mov #1, r15\n"
+      "        jmp end\n"
+      "mid:    mov #2, r15\n"
+      "end:    jmp start\n");
+  EXPECT_EQ(img.symbol("start"), 0xc000);
+  EXPECT_EQ(img.symbol("mid"), 0xc004);
+  EXPECT_EQ(img.symbol("end"), 0xc006);
+}
+
+TEST(parse, comments_and_blank_lines_ignored) {
+  const auto img = asm_at(
+      "\n"
+      "        ; full-line comment\n"
+      "        mov #1, r15   ; trailing comment\n"
+      "\n");
+  EXPECT_EQ(only_segment(img).bytes.size(), 2u);  // CG immediate
+}
+
+TEST(parse, reports_unknown_mnemonic_with_line) {
+  try {
+    asm_at("        frobnicate r1\n");
+    FAIL() << "expected error";
+  } catch (const error& e) {
+    EXPECT_NE(std::string(e.what()).find("masm:2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(parse, rejects_wrong_operand_count) {
+  EXPECT_THROW(asm_at("        mov r1\n"), error);
+  EXPECT_THROW(asm_at("        ret r1\n"), error);
+  EXPECT_THROW(asm_at("        push\n"), error);
+}
+
+// ---------------------------------------------------------------------------
+// Emulated mnemonics canonicalize to core encodings
+// ---------------------------------------------------------------------------
+
+struct emu_case {
+  std::string emulated;
+  std::string core;
+};
+
+class emulated_mnemonics : public ::testing::TestWithParam<emu_case> {};
+
+TEST_P(emulated_mnemonics, same_encoding_as_core_form) {
+  const auto& c = GetParam();
+  const auto a = asm_at("        " + c.emulated + "\n");
+  const auto b = asm_at("        " + c.core + "\n");
+  EXPECT_EQ(only_segment(a).bytes, only_segment(b).bytes)
+      << c.emulated << " vs " << c.core;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    table, emulated_mnemonics,
+    ::testing::Values(emu_case{"ret", "mov @sp+, pc"},
+                      emu_case{"pop r7", "mov @sp+, r7"},
+                      emu_case{"br #0xc000", "mov #0xc000, pc"},
+                      emu_case{"clr r5", "mov #0, r5"},
+                      emu_case{"inc r5", "add #1, r5"},
+                      emu_case{"incd r5", "add #2, r5"},
+                      emu_case{"dec r5", "sub #1, r5"},
+                      emu_case{"decd r5", "sub #2, r5"},
+                      emu_case{"tst r5", "cmp #0, r5"},
+                      emu_case{"inv r5", "xor #-1, r5"},
+                      emu_case{"rla r5", "add r5, r5"},
+                      emu_case{"rlc r5", "addc r5, r5"},
+                      emu_case{"adc r5", "addc #0, r5"},
+                      emu_case{"sbc r5", "subc #0, r5"},
+                      emu_case{"dint", "bic #8, sr"},
+                      emu_case{"eint", "bis #8, sr"},
+                      emu_case{"setc", "bis #1, sr"},
+                      emu_case{"clrc", "bic #1, sr"},
+                      emu_case{"nop", "mov r3, r3"},
+                      emu_case{"jz 0xc002", "jeq 0xc002"},
+                      emu_case{"jlo 0xc002", "jnc 0xc002"}));
+
+// ---------------------------------------------------------------------------
+// Directives, symbols, segments
+// ---------------------------------------------------------------------------
+
+TEST(directives, word_byte_space_align) {
+  const auto img = asm_at(
+      "data:   .word 0x1234, label\n"
+      "        .byte 1, 2, 3\n"
+      "        .align\n"
+      "        .space 4\n"
+      "label:  mov #1, r15\n");
+  const auto& seg = only_segment(img);
+  EXPECT_EQ(load_le16(seg.bytes, 0), 0x1234);
+  EXPECT_EQ(load_le16(seg.bytes, 2), img.symbol("label"));
+  EXPECT_EQ(seg.bytes[4], 1);
+  EXPECT_EQ(seg.bytes[7], 0);  // align pad (after the three .byte values)
+  EXPECT_EQ(img.symbol("label"), 0xc000 + 2 + 2 + 3 + 1 + 4);
+}
+
+TEST(directives, equ_defines_symbols) {
+  const auto img = asm_at(
+      "        .equ MAGIC, 0x55aa\n"
+      "        mov #MAGIC, r15\n");
+  const auto& seg = only_segment(img);
+  EXPECT_EQ(load_le16(seg.bytes, 2), 0x55aa);
+}
+
+TEST(directives, org_opens_new_segments) {
+  const auto img = assemble_text(
+      "        .org 0xc000\n"
+      "        mov #3, r15\n"
+      "        .org 0xfffe\n"
+      "        .word 0xc000\n");
+  ASSERT_EQ(img.segments.size(), 2u);
+  EXPECT_EQ(img.segments[0].base, 0xc000);
+  EXPECT_EQ(img.segments[1].base, 0xfffe);
+}
+
+TEST(symbols, predefined_are_visible) {
+  const auto img = asm_at("        mov #EXTERNAL, r15\n",
+                          {{"EXTERNAL", 0x0beb}});
+  EXPECT_EQ(load_le16(only_segment(img).bytes, 2), 0x0beb);
+}
+
+TEST(symbols, undefined_symbol_is_an_error) {
+  EXPECT_THROW(asm_at("        mov #missing, r15\n"), error);
+}
+
+TEST(symbols, duplicate_label_is_an_error) {
+  EXPECT_THROW(asm_at("a:      nop\na:      nop\n"), error);
+}
+
+TEST(symbols, expression_with_offset) {
+  const auto img = asm_at(
+      "base:   .word 0\n"
+      "        mov #base+6, r15\n"
+      "        mov &base+2, r14\n");
+  const auto& seg = only_segment(img);
+  EXPECT_EQ(load_le16(seg.bytes, 4), 0xc006);
+}
+
+TEST(segments, overlap_is_an_error) {
+  EXPECT_THROW(assemble_text("        .org 0xc000\n"
+                             "        .space 16\n"
+                             "        .org 0xc004\n"
+                             "        .word 1\n"),
+               error);
+}
+
+TEST(layout, symbolic_immediates_never_use_constant_generator) {
+  // `#ONE` must keep its extension word even though ONE == 1, so pass-1
+  // sizes are stable.
+  const auto img = asm_at(
+      "        .equ ONE, 1\n"
+      "        mov #ONE, r15\n");
+  EXPECT_EQ(only_segment(img).bytes.size(), 4u);
+}
+
+TEST(layout, instruction_at_odd_address_is_an_error) {
+  EXPECT_THROW(asm_at("        .byte 1\n        mov #1, r15\n"), error);
+}
+
+TEST(listing, records_addresses_and_text) {
+  const auto img = asm_at(
+      "        mov #0x1234, r15\n"
+      "        ret\n");
+  ASSERT_EQ(img.listing.size(), 2u);
+  EXPECT_EQ(img.listing[0].address, 0xc000);
+  EXPECT_EQ(img.listing[0].size_bytes, 4);
+  EXPECT_EQ(img.listing[1].address, 0xc004);
+  EXPECT_NE(img.listing[1].text.find("mov"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// to_text round-trip and disassembler
+// ---------------------------------------------------------------------------
+
+TEST(roundtrip, to_text_reparses_to_same_image) {
+  const std::string src =
+      "        .org 0xc000\n"
+      "entry:  mov #0x1234, r15\n"
+      "        add @r14+, r15\n"
+      "        cmp #0, r15\n"
+      "        jeq entry\n"
+      "        push r11\n"
+      "        call #entry\n"
+      "        ret\n";
+  const auto img1 = assemble_text(src);
+  const auto text = to_text(parse(src));
+  // Labels survive; .org directives survive; encodings must match.
+  const auto img2 = assemble_text(text);
+  ASSERT_EQ(img1.segments.size(), img2.segments.size());
+  EXPECT_EQ(img1.segments[0].bytes, img2.segments[0].bytes);
+}
+
+TEST(disasm, linear_decode_of_assembled_code) {
+  const auto img = asm_at(
+      "        mov #0x1234, r15\n"
+      "        add r14, r15\n"
+      "        ret\n");
+  const auto entries = disassemble(img);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].address, 0xc000);
+  EXPECT_EQ(entries[0].size_bytes, 4);
+  EXPECT_NE(entries[0].text.find("mov"), std::string::npos);
+  EXPECT_EQ(entries[2].text, "mov @sp+, pc");  // ret canonical form
+}
+
+TEST(disasm, roundtrip_property_over_program) {
+  // Disassembling and re-rendering every instruction must preserve sizes.
+  const auto img = asm_at(
+      "loop:   mov.b @r15+, 3(r14)\n"
+      "        xor #0x00ff, r13\n"
+      "        bit #1, r13\n"
+      "        jne loop\n"
+      "        swpb r12\n"
+      "        sxt r12\n"
+      "        rra r12\n"
+      "        rrc r12\n"
+      "        reti\n");
+  const auto entries = disassemble(img);
+  std::size_t total = 0;
+  for (const auto& e : entries) total += static_cast<std::size_t>(e.size_bytes);
+  EXPECT_EQ(total, only_segment(img).bytes.size());
+}
+
+}  // namespace
+}  // namespace dialed::masm

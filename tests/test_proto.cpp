@@ -1,0 +1,150 @@
+// Challenge-response protocol: nonce freshness, replay rejection, metering.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "helpers.h"
+#include "proto/session.h"
+
+namespace dialed::proto {
+namespace {
+
+using test::build_op;
+using test::test_key;
+
+constexpr const char* adder = "int op(int a, int b) { return a + b; }";
+
+invocation args(std::uint16_t a0, std::uint16_t a1 = 0) {
+  invocation inv;
+  inv.args[0] = a0;
+  inv.args[1] = a1;
+  return inv;
+}
+
+TEST(session, round_trip_accepts_fresh_report) {
+  const auto prog = build_op(adder, "op", instr::instrumentation::dialed);
+  prover_device dev(prog, test_key());
+  verifier_session vrf(prog, test_key());
+  const auto chal = vrf.new_challenge();
+  const auto rep = dev.invoke(chal, args(20, 22));
+  const auto v = vrf.check(rep);
+  EXPECT_TRUE(v.accepted);
+  EXPECT_EQ(v.replayed_result, 42);
+}
+
+TEST(session, replayed_report_rejected) {
+  const auto prog = build_op(adder, "op", instr::instrumentation::dialed);
+  prover_device dev(prog, test_key());
+  verifier_session vrf(prog, test_key());
+  const auto chal = vrf.new_challenge();
+  const auto rep = dev.invoke(chal, args(1, 2));
+  EXPECT_TRUE(vrf.check(rep).accepted);
+  // Same report again: the nonce was consumed.
+  const auto v = vrf.check(rep);
+  EXPECT_FALSE(v.accepted);
+  EXPECT_TRUE(v.has(verifier::attack_kind::stale_challenge));
+}
+
+TEST(session, old_report_for_new_challenge_rejected) {
+  const auto prog = build_op(adder, "op", instr::instrumentation::dialed);
+  prover_device dev(prog, test_key());
+  verifier_session vrf(prog, test_key());
+  const auto chal1 = vrf.new_challenge();
+  const auto rep1 = dev.invoke(chal1, args(1, 2));
+  (void)vrf.new_challenge();  // Vrf moved on; rep1 is now stale
+  const auto v = vrf.check(rep1);
+  EXPECT_FALSE(v.accepted);
+  EXPECT_TRUE(v.has(verifier::attack_kind::stale_challenge));
+}
+
+TEST(session, challenges_are_distinct) {
+  const auto prog = build_op(adder, "op", instr::instrumentation::dialed);
+  verifier_session vrf(prog, test_key());
+  const auto c1 = vrf.new_challenge();
+  const auto c2 = vrf.new_challenge();
+  EXPECT_NE(c1, c2);
+}
+
+TEST(session, deterministic_under_seed) {
+  const auto prog = build_op(adder, "op", instr::instrumentation::dialed);
+  verifier_session a(prog, test_key(), 42);
+  verifier_session b(prog, test_key(), 42);
+  EXPECT_EQ(a.new_challenge(), b.new_challenge());
+}
+
+TEST(metering, op_cycles_exclude_startup_and_swatt) {
+  const auto prog = build_op(adder, "op", instr::instrumentation::dialed);
+  prover_device dev(prog, test_key());
+  std::array<std::uint8_t, 16> chal{};
+  dev.invoke(chal, args(1, 2));
+  EXPECT_GT(dev.last_op_cycles(), 0u);
+  EXPECT_LT(dev.last_op_cycles(), dev.last_total_cycles());
+  // SW-Att alone costs far more than this trivial op.
+  EXPECT_LT(dev.last_op_cycles(), dev.last_total_cycles() / 10);
+}
+
+TEST(metering, log_bytes_zero_for_uninstrumented_op) {
+  const auto prog = build_op(adder, "op", instr::instrumentation::none);
+  prover_device dev(prog, test_key());
+  std::array<std::uint8_t, 16> chal{};
+  dev.invoke(chal, args(1, 2));
+  EXPECT_EQ(dev.last_log_bytes(), 0);
+}
+
+TEST(metering, runtime_scales_with_workload) {
+  const auto prog = build_op(
+      "int op(int n) { int s = 0; int i;"
+      "  for (i = 0; i < n; i++) { s = s + i; } return s; }",
+      "op", instr::instrumentation::none);
+  prover_device dev(prog, test_key());
+  std::array<std::uint8_t, 16> chal{};
+  dev.invoke(chal, args(5));
+  const auto small = dev.last_op_cycles();
+  dev.invoke(chal, args(50));
+  const auto large = dev.last_op_cycles();
+  EXPECT_GT(large, small * 5);
+}
+
+TEST(metering, log_grows_with_control_flow) {
+  const auto prog = build_op(
+      "int op(int n) { int s = 0; int i;"
+      "  for (i = 0; i < n; i++) { s = s + i; } return s; }",
+      "op", instr::instrumentation::tinycfa);
+  prover_device dev(prog, test_key());
+  std::array<std::uint8_t, 16> chal{};
+  dev.invoke(chal, args(2));
+  const auto small = dev.last_log_bytes();
+  dev.invoke(chal, args(20));
+  const auto large = dev.last_log_bytes();
+  EXPECT_GT(large, small);
+}
+
+TEST(device, consecutive_invocations_are_independent) {
+  const auto prog = build_op(
+      "int acc = 0;"
+      "int op(int a) { acc = acc + a; return acc; }",
+      "op", instr::instrumentation::dialed);
+  prover_device dev(prog, test_key());
+  verifier_session vrf(prog, test_key());
+  // Globals are re-initialized by crt0 on every boot: acc restarts at 0.
+  for (int round = 0; round < 3; ++round) {
+    const auto chal = vrf.new_challenge();
+    const auto rep = dev.invoke(chal, args(10));
+    const auto v = vrf.check(rep);
+    EXPECT_TRUE(v.accepted) << "round " << round;
+    EXPECT_EQ(v.replayed_result, 10);
+  }
+}
+
+TEST(device, cycle_budget_exhaustion_throws) {
+  const auto prog = build_op(
+      "int op(int n) { while (1) { n = n + 1; } return n; }", "op",
+      instr::instrumentation::none);
+  prover_device dev(prog, test_key());
+  std::array<std::uint8_t, 16> chal{};
+  invocation inv;
+  inv.max_cycles = 100'000;
+  EXPECT_THROW(dev.invoke(chal, inv), error);
+}
+
+}  // namespace
+}  // namespace dialed::proto

@@ -1,0 +1,356 @@
+// Root of trust: the APEX EXEC-flag FSM (every violation class), METADATA
+// semantics, VRASED key isolation and the SW-Att model.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "helpers.h"
+#include "rot/attest.h"
+#include "rot/rot.h"
+
+namespace dialed::rot {
+namespace {
+
+/// Fixture: a machine with the RoT installed and a tiny two-instruction ER
+///   er_min: mov #0x77, r15
+///   er_max: ret
+/// called from a crt that then halts.
+class apex_fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    map_ = emu::memory_map{};
+    const std::string text =
+        "        .org 0xc000\n"
+        "__start:\n"
+        "        mov #STACK_INIT, sp\n"
+        "        call #0xe000\n"
+        "        mov #1, &HALT_PORT\n"
+        "        .org 0xe000\n"
+        "er_entry:\n"
+        "        mov #0x77, r15\n"
+        "er_exit:\n"
+        "        ret\n"
+        "        .org RESET_VECTOR\n"
+        "        .word __start\n";
+    img_ = masm::assemble_text(text, map_.predefined_symbols());
+    m_ = std::make_unique<emu::machine>(map_);
+    rt_ = std::make_unique<root_of_trust>(*m_);
+    rt_->vrased().provision_key(test::test_key());
+    m_->load(img_);
+    set_meta(0xe000, img_.symbol("er_exit"));
+    m_->reset();
+  }
+
+  void set_meta(std::uint16_t er_min, std::uint16_t er_max) {
+    auto w16 = [&](std::uint16_t off, std::uint16_t v) {
+      rt_->apex().write8(static_cast<std::uint16_t>(map_.meta_base + off),
+                         static_cast<std::uint8_t>(v & 0xff));
+      rt_->apex().write8(
+          static_cast<std::uint16_t>(map_.meta_base + off + 1),
+          static_cast<std::uint8_t>(v >> 8));
+    };
+    w16(emu::META_ER_MIN, er_min);
+    w16(emu::META_ER_MAX, er_max);
+    w16(emu::META_OR_MIN, map_.or_min);
+    w16(emu::META_OR_MAX, map_.or_max);
+  }
+
+  emu::memory_map map_;
+  masm::image img_;
+  std::unique_ptr<emu::machine> m_;
+  std::unique_ptr<root_of_trust> rt_;
+};
+
+TEST_F(apex_fixture, clean_run_sets_exec) {
+  m_->run(100'000);
+  ASSERT_TRUE(m_->halted());
+  EXPECT_TRUE(rt_->apex().exec_flag());
+  EXPECT_EQ(rt_->apex().fsm(), apex_monitor::state::complete);
+  EXPECT_TRUE(rt_->apex().violations().empty());
+}
+
+TEST_F(apex_fixture, exec_is_read_only_to_software) {
+  m_->run(100'000);
+  ASSERT_TRUE(rt_->apex().exec_flag());
+  // A software write to the EXEC word is silently ignored.
+  m_->get_bus().write16(
+      static_cast<std::uint16_t>(map_.meta_base + emu::META_EXEC), 0);
+  EXPECT_TRUE(rt_->apex().exec_flag());
+  EXPECT_EQ(m_->get_bus().read16(static_cast<std::uint16_t>(
+                map_.meta_base + emu::META_EXEC)),
+            1);
+}
+
+TEST_F(apex_fixture, irq_during_execution_clears_exec) {
+  // Run until the first ER instruction has executed (FSM in RUNNING).
+  while (!m_->halted() && m_->get_cpu().pc() != 0xe000) {
+    m_->get_cpu().step();
+  }
+  m_->get_cpu().step();  // executes at er_min -> state == running
+  ASSERT_EQ(rt_->apex().fsm(), apex_monitor::state::running);
+  // Adversarial software can set GIE; APEX watches the irq service itself.
+  m_->get_cpu().regs()[isa::REG_SR] |= isa::SR_GIE;
+  m_->get_cpu().request_interrupt(0);
+  m_->get_cpu().step();  // services the interrupt inside ER
+  EXPECT_FALSE(rt_->apex().exec_flag());
+  ASSERT_FALSE(rt_->apex().violations().empty());
+  EXPECT_EQ(rt_->apex().violations()[0].kind, apex_violation::irq_in_exec);
+}
+
+TEST_F(apex_fixture, dma_during_execution_clears_exec) {
+  while (!m_->halted() && m_->get_cpu().pc() != 0xe000) {
+    m_->get_cpu().step();
+  }
+  m_->get_cpu().step();  // state == running
+  ASSERT_EQ(rt_->apex().fsm(), apex_monitor::state::running);
+  m_->dma_write16(0x0300, 0xdead);  // any DMA during RUNNING violates
+  m_->run(100'000);
+  EXPECT_FALSE(rt_->apex().exec_flag());
+  ASSERT_FALSE(rt_->apex().violations().empty());
+  EXPECT_EQ(rt_->apex().violations()[0].kind, apex_violation::dma_in_exec);
+}
+
+TEST_F(apex_fixture, code_write_after_completion_clears_exec) {
+  m_->run(100'000);
+  ASSERT_TRUE(rt_->apex().exec_flag());
+  m_->get_bus().write16(0xe000, 0x4303);  // patch ER
+  EXPECT_FALSE(rt_->apex().exec_flag());
+  EXPECT_EQ(rt_->apex().violations().back().kind,
+            apex_violation::code_write);
+}
+
+TEST_F(apex_fixture, or_write_after_completion_clears_exec) {
+  m_->run(100'000);
+  ASSERT_TRUE(rt_->apex().exec_flag());
+  m_->get_bus().write16(map_.or_max, 0xbeef);
+  EXPECT_FALSE(rt_->apex().exec_flag());
+  EXPECT_EQ(rt_->apex().violations().back().kind,
+            apex_violation::or_write_outside);
+}
+
+TEST_F(apex_fixture, or_write_while_idle_is_silent_but_exec_stays_low) {
+  m_->get_bus().write16(map_.or_min, 0x1234);  // e.g. crt0 zeroing
+  EXPECT_FALSE(rt_->apex().exec_flag());
+  EXPECT_TRUE(rt_->apex().violations().empty());
+}
+
+TEST_F(apex_fixture, meta_rewrite_after_completion_clears_exec) {
+  m_->run(100'000);
+  ASSERT_TRUE(rt_->apex().exec_flag());
+  set_meta(0xe000, 0xe004);  // move the bounds
+  EXPECT_FALSE(rt_->apex().exec_flag());
+}
+
+TEST_F(apex_fixture, challenge_bytes_stored_and_readable) {
+  for (int i = 0; i < 16; ++i) {
+    rt_->apex().write8(
+        static_cast<std::uint16_t>(map_.meta_base + emu::META_CHAL + i),
+        static_cast<std::uint8_t>(0xa0 + i));
+  }
+  const auto chal = rt_->apex().challenge();
+  EXPECT_EQ(chal[0], 0xa0);
+  EXPECT_EQ(chal[15], 0xaf);
+  EXPECT_EQ(rt_->apex().read8(static_cast<std::uint16_t>(
+                map_.meta_base + emu::META_CHAL + 3)),
+            0xa3);
+}
+
+TEST(apex_escape, pc_leaving_er_before_er_max_clears_exec) {
+  // ER whose first instruction branches OUT of ER before reaching er_max.
+  emu::memory_map map;
+  const std::string text =
+      "        .org 0xc000\n"
+      "__start:\n"
+      "        mov #STACK_INIT, sp\n"
+      "        call #0xe000\n"
+      "back:   mov #1, &HALT_PORT\n"
+      "        .org 0xe000\n"
+      "        br #back\n"   // escapes immediately
+      "        nop\n"
+      "er_exit: ret\n"
+      "        .org RESET_VECTOR\n"
+      "        .word __start\n";
+  auto img = masm::assemble_text(text, map.predefined_symbols());
+  emu::machine m(map);
+  root_of_trust rt(m);
+  m.load(img);
+  auto& apex = rt.apex();
+  auto w16 = [&](std::uint16_t off, std::uint16_t v) {
+    apex.write8(static_cast<std::uint16_t>(map.meta_base + off),
+                static_cast<std::uint8_t>(v & 0xff));
+    apex.write8(static_cast<std::uint16_t>(map.meta_base + off + 1),
+                static_cast<std::uint8_t>(v >> 8));
+  };
+  w16(emu::META_ER_MIN, 0xe000);
+  w16(emu::META_ER_MAX, img.symbol("er_exit"));
+  m.reset();
+  m.run(100'000);
+  EXPECT_TRUE(m.halted());
+  EXPECT_FALSE(apex.exec_flag());
+  ASSERT_FALSE(apex.violations().empty());
+  EXPECT_EQ(apex.violations()[0].kind, apex_violation::pc_escape);
+}
+
+TEST(apex_entry, mid_er_entry_never_sets_exec) {
+  // Jumping into the middle of ER and running to er_max must not set EXEC.
+  emu::memory_map map;
+  const std::string text =
+      "        .org 0xc000\n"
+      "__start:\n"
+      "        mov #STACK_INIT, sp\n"
+      "        call #0xe004\n"  // skips er_min
+      "        mov #1, &HALT_PORT\n"
+      "        .org 0xe000\n"
+      "        mov #0x11, r14\n"
+      "        mov #0x22, r15\n"
+      "er_exit: ret\n"
+      "        .org RESET_VECTOR\n"
+      "        .word __start\n";
+  auto img = masm::assemble_text(text, map.predefined_symbols());
+  emu::machine m(map);
+  root_of_trust rt(m);
+  m.load(img);
+  auto w16 = [&](std::uint16_t off, std::uint16_t v) {
+    rt.apex().write8(static_cast<std::uint16_t>(map.meta_base + off),
+                     static_cast<std::uint8_t>(v & 0xff));
+    rt.apex().write8(static_cast<std::uint16_t>(map.meta_base + off + 1),
+                     static_cast<std::uint8_t>(v >> 8));
+  };
+  w16(emu::META_ER_MIN, 0xe000);
+  w16(emu::META_ER_MAX, img.symbol("er_exit"));
+  m.reset();
+  m.run(100'000);
+  EXPECT_TRUE(m.halted());
+  EXPECT_FALSE(rt.apex().exec_flag());
+}
+
+// ---------------------------------------------------------------------------
+// VRASED
+// ---------------------------------------------------------------------------
+
+class vrased_fixture : public apex_fixture {};
+
+TEST_F(vrased_fixture, key_unreadable_outside_swatt) {
+  const auto v = m_->get_bus().read8(map_.key_base);
+  EXPECT_EQ(v, 0);  // gated to zero
+  ASSERT_FALSE(rt_->vrased().violations().empty());
+  EXPECT_EQ(rt_->vrased().violations()[0].kind,
+            vrased_violation::key_read_outside_swatt);
+}
+
+TEST_F(vrased_fixture, key_write_protected) {
+  m_->get_bus().write8(map_.key_base, 0xff);
+  EXPECT_EQ(rt_->vrased().key()[0], 0x5a);  // unchanged
+  EXPECT_EQ(rt_->vrased().violations().back().kind,
+            vrased_violation::key_write);
+}
+
+TEST_F(vrased_fixture, key_provisioning_requires_exact_size) {
+  EXPECT_THROW(rt_->vrased().provision_key(byte_vec(16, 1)), error);
+}
+
+TEST_F(vrased_fixture, srom_mid_entry_forces_fault) {
+  // Jump into the middle of the secure ROM.
+  m_->get_cpu().regs()[isa::REG_PC] =
+      static_cast<std::uint16_t>(map_.srom_start + 4);
+  m_->get_bus().poke16(static_cast<std::uint16_t>(map_.srom_start + 4),
+                       0x4303);  // nop so decode succeeds
+  m_->get_cpu().step();
+  EXPECT_TRUE(m_->halted());
+  EXPECT_EQ(m_->halt_code(), emu::HALT_FAULT);
+  EXPECT_EQ(rt_->vrased().violations().back().kind,
+            vrased_violation::srom_mid_entry);
+}
+
+TEST_F(vrased_fixture, swatt_mac_matches_host_computation) {
+  // Run the op, then have the device attest; recompute on the host.
+  for (int i = 0; i < 16; ++i) {
+    rt_->apex().write8(
+        static_cast<std::uint16_t>(map_.meta_base + emu::META_CHAL + i),
+        static_cast<std::uint8_t>(i));
+  }
+  m_->run(100'000);
+  ASSERT_TRUE(m_->halted());
+
+  // Invoke SW-Att via its ROM entry.
+  auto& regs = m_->get_cpu().regs();
+  m_->clear_halt();
+  regs[isa::REG_SP] = static_cast<std::uint16_t>(map_.stack_init - 8);
+  m_->get_bus().poke16(regs[isa::REG_SP], 0xc004);  // fake return address
+  regs[isa::REG_PC] = map_.srom_start;
+  m_->run(m_->cycles() + 10'000'000);
+  EXPECT_EQ(rt_->vrased().swatt_runs(), 1u);
+  EXPECT_GT(rt_->vrased().last_swatt_cycles(), 0u);
+
+  byte_vec er, orr;
+  for (std::uint32_t a = 0xe000; a <= img_.symbol("er_exit") + 1u; ++a) {
+    er.push_back(m_->get_bus().peek8(static_cast<std::uint16_t>(a)));
+  }
+  for (std::uint32_t a = map_.or_min; a <= map_.or_max + 1u; ++a) {
+    orr.push_back(m_->get_bus().peek8(static_cast<std::uint16_t>(a)));
+  }
+  const auto chal = rt_->apex().challenge();
+  attest_input in;
+  in.er_min = 0xe000;
+  in.er_max = img_.symbol("er_exit");
+  in.or_min = map_.or_min;
+  in.or_max = map_.or_max;
+  in.exec = rt_->apex().exec_flag();
+  in.challenge = chal;
+  in.er_bytes = er;
+  in.or_bytes = orr;
+  const auto expected = compute_attestation_mac(test::test_key(), in);
+
+  crypto::hmac_sha256::mac device_mac{};
+  for (std::uint16_t i = 0; i < 32; ++i) {
+    device_mac[i] =
+        m_->get_bus().peek8(static_cast<std::uint16_t>(map_.mac_base + i));
+  }
+  EXPECT_TRUE(crypto::hmac_sha256::equal(device_mac, expected));
+}
+
+TEST(attest, mac_depends_on_every_field) {
+  const auto key = test::test_key();
+  byte_vec er = {1, 2, 3, 4};
+  byte_vec orr = {5, 6};
+  std::array<std::uint8_t, 16> chal{};
+  attest_input base;
+  base.er_min = 0xe000;
+  base.er_max = 0xe002;
+  base.or_min = 0x600;
+  base.or_max = 0xdfe;
+  base.exec = true;
+  base.challenge = chal;
+  base.er_bytes = er;
+  base.or_bytes = orr;
+  const auto m0 = compute_attestation_mac(key, base);
+
+  auto in = base;
+  in.exec = false;
+  EXPECT_FALSE(crypto::hmac_sha256::equal(compute_attestation_mac(key, in), m0));
+
+  in = base;
+  in.er_min = 0xe002;
+  EXPECT_FALSE(crypto::hmac_sha256::equal(compute_attestation_mac(key, in), m0));
+
+  byte_vec er2 = {1, 2, 3, 5};
+  in = base;
+  in.er_bytes = er2;
+  EXPECT_FALSE(crypto::hmac_sha256::equal(compute_attestation_mac(key, in), m0));
+
+  std::array<std::uint8_t, 16> chal2{};
+  chal2[0] = 1;
+  in = base;
+  in.challenge = chal2;
+  EXPECT_FALSE(crypto::hmac_sha256::equal(compute_attestation_mac(key, in), m0));
+}
+
+TEST(swatt_cost, scales_with_attested_bytes) {
+  swatt_cost_model c;
+  EXPECT_GT(c.cycles_per_byte, 0u);
+  const auto small = c.base_cycles + c.cycles_per_byte * 100;
+  const auto large = c.base_cycles + c.cycles_per_byte * 1000;
+  EXPECT_GT(large, small);
+}
+
+}  // namespace
+}  // namespace dialed::rot

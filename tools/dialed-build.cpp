@@ -1,0 +1,119 @@
+// dialed-build: command-line front end of the toolchain.
+//
+//   dialed-build <source.c> [--entry op] [--mode none|tinycfa|dialed]
+//                [--asm] [--disasm] [--sites] [--optimized-cf] [--log-all]
+//
+// Compiles a mini-C translation unit, instruments and links it, and prints
+// the layout summary (plus optional listings) — what a firmware engineer
+// would run before flashing a device.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "instr/oplink.h"
+#include "masm/disasm.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: dialed-build <source.c> [--entry NAME] "
+               "[--mode none|tinycfa|dialed] [--asm] [--disasm] [--sites] "
+               "[--optimized-cf] [--log-all]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dialed;
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  std::string path;
+  instr::link_options lo;
+  lo.entry = "op";
+  lo.mode = instr::instrumentation::dialed;
+  bool show_asm = false, show_disasm = false, show_sites = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--entry" && i + 1 < argc) {
+      lo.entry = argv[++i];
+    } else if (arg == "--mode" && i + 1 < argc) {
+      const std::string m = argv[++i];
+      if (m == "none") lo.mode = instr::instrumentation::none;
+      else if (m == "tinycfa") lo.mode = instr::instrumentation::tinycfa;
+      else if (m == "dialed") lo.mode = instr::instrumentation::dialed;
+      else { usage(); return 2; }
+    } else if (arg == "--asm") {
+      show_asm = true;
+    } else if (arg == "--disasm") {
+      show_disasm = true;
+    } else if (arg == "--sites") {
+      show_sites = true;
+    } else if (arg == "--optimized-cf") {
+      lo.pass_opts.optimized_cf = true;
+    } else if (arg == "--log-all") {
+      lo.pass_opts.log_all_reads = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "dialed-build: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+
+  try {
+    const auto prog = instr::build_operation(ss.str(), lo);
+    std::printf("entry:      %s (%s)\n", lo.entry.c_str(),
+                to_string(lo.mode).c_str());
+    std::printf("ER:         [0x%04x, 0x%04x], %zu bytes\n", prog.er_min,
+                prog.er_max, prog.code_size());
+    std::printf("OR:         [0x%04x, 0x%04x]\n", prog.options.map.or_min,
+                prog.options.map.or_max);
+    std::printf("image:      %zu bytes across %zu segments\n",
+                prog.image.total_bytes(), prog.image.segments.size());
+    std::printf("globals:\n");
+    for (const auto& [name, addr] : prog.global_addrs) {
+      std::printf("  0x%04x  %s\n", addr, name.c_str());
+    }
+    if (show_sites) {
+      std::printf("access sites (bounds metadata for Vrf):\n");
+      for (const auto& s : prog.compile_info.access_sites) {
+        std::printf("  %-16s %-10s %s, %d bytes\n", s.label.c_str(),
+                    s.object.c_str(), s.is_global ? "global" : "local",
+                    s.size_bytes);
+      }
+    }
+    if (show_asm) {
+      std::printf("---- instrumented ER assembly ----\n%s",
+                  prog.er_asm_text.c_str());
+    }
+    if (show_disasm) {
+      std::printf("---- ER disassembly ----\n");
+      for (const auto& e :
+           masm::disassemble(prog.er_bytes(), prog.er_min)) {
+        std::printf("  0x%04x  %s\n", e.address, e.text.c_str());
+      }
+    }
+    return 0;
+  } catch (const error& e) {
+    std::fprintf(stderr, "dialed-build: %s\n", e.what());
+    return 1;
+  }
+}
