@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "apps/apps.h"
+#include "fleet/registry.h"
 #include "masm/disasm.h"
 #include "proto/prover.h"
 #include "verifier/verifier.h"
@@ -31,11 +32,15 @@ void dump_log(const verifier::verdict& v, int max_entries) {
 }  // namespace
 
 int main() {
-  const byte_vec key(32, 0x77);
+  // Provision the device fleet-style so the forensic record is tied to a
+  // stable device id and its KDF-derived key.
+  fleet::device_registry registry(byte_vec(32, 0x77));
   const auto prog =
       apps::build_app(apps::fig2_app(), instr::instrumentation::dialed);
-  proto::prover_device dev(prog, key);
-  verifier::op_verifier vrf(prog, key);
+  const auto id = registry.provision(prog);
+  const auto& record = *registry.find(id);
+  proto::prover_device dev(prog, record.key);  // burned in at the factory
+  verifier::op_verifier vrf(prog, record.key);
 
   std::printf("=== Deployed operation ===\n");
   std::printf("ER [0x%04x, 0x%04x], %zu bytes; globals:\n", prog.er_min,

@@ -40,6 +40,10 @@ void actuation_trace(emu::machine& m) {
 }  // namespace
 
 int main() {
+  // A bedside device is a one-verifier/one-prover deployment, so this
+  // example keeps the single-device `verifier_session` — now a thin
+  // adapter over fleet::verifier_hub (see src/proto/session.h); use the
+  // hub directly when serving more than one pump.
   const byte_vec key(32, 0x99);
 
   std::printf("=== Fig. 1: control-flow attack ===\n");

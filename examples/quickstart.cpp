@@ -3,15 +3,18 @@
 //   1. Write an embedded operation in mini-C.
 //   2. Compile + instrument (Tiny-CFA + DIALED) + link it into an MSP430
 //      program whose attested ER is guarded by the APEX/VRASED monitors.
-//   3. Run one attested invocation on the emulated device.
-//   4. Verify the report: MAC, EXEC, and abstract execution of the logs.
+//   3. Provision the device into a fleet registry (per-device key derived
+//      from a master key) and run one attested invocation.
+//   4. Ship the report as a wire v2 frame and verify it through the hub:
+//      MAC, EXEC, and abstract execution of the logs.
 //
 // Build & run:  ./examples/quickstart
 #include <cstdio>
 
+#include "fleet/verifier_hub.h"
 #include "instr/oplink.h"
 #include "proto/prover.h"
-#include "proto/session.h"
+#include "proto/wire.h"
 
 int main() {
   using namespace dialed;
@@ -45,32 +48,46 @@ int main() {
   std::printf("built op: ER=[0x%04x,0x%04x], %zu bytes of attested code\n",
               prog.er_min, prog.er_max, prog.code_size());
 
-  // 3. Provision a device and a verifier with the shared key.
-  const byte_vec key(32, 0xd1);
-  proto::prover_device device(prog, key);
-  proto::verifier_session vrf(prog, key);
+  // 3. Provision the device: the verifier keeps ONE fleet master key and
+  //    derives this device's K_dev = HMAC(K_master, device_id); the
+  //    factory burns the derived key into the device.
+  fleet::device_registry registry(byte_vec(32, 0xd1));
+  const auto id = registry.provision(prog);
+  fleet::verifier_hub hub(registry);
+  proto::prover_device device(prog, registry.derive_key(id));
 
   // One attested invocation: average 4 samples.
   proto::invocation inv;
   inv.args[0] = 4;
   inv.adc_samples = {300, 310, 290, 300};
-  const auto challenge = vrf.new_challenge();
-  const auto report = device.invoke(challenge, inv);
+  const auto grant = hub.challenge(id);
+  const auto report = device.invoke(grant.nonce, inv);
 
-  std::printf("device: result=%u, EXEC=%d, op took %llu MCU cycles, "
+  std::printf("device %u: result=%u, EXEC=%d, op took %llu MCU cycles, "
               "log used %d bytes\n",
-              report.claimed_result, report.exec ? 1 : 0,
+              id, report.claimed_result, report.exec ? 1 : 0,
               static_cast<unsigned long long>(device.last_op_cycles()),
               device.last_log_bytes());
 
-  // 4. Verify: MAC + EXEC + abstract execution of CF-Log/I-Log.
-  const auto verdict = vrf.check(report);
+  // 4. Ship the report as a wire v2 frame (device id + challenge sequence
+  //    in the header) and verify: MAC + EXEC + abstract execution.
+  proto::frame_info info;
+  info.device_id = id;
+  info.seq = grant.seq;
+  const auto frame = proto::encode_frame(info, report);
+  const auto result = hub.submit(frame);
+  if (result.error != proto::proto_error::none) {
+    std::printf("protocol error: %s\n",
+                proto::to_string(result.error).c_str());
+    return 1;
+  }
+  const auto& verdict = result.verdict;
   std::printf("verifier: %s — replayed result %u over %llu instructions, "
-              "%d log slots\n",
+              "%d log slots (%zu-byte v2 frame)\n",
               verdict.accepted ? "ACCEPTED" : "REJECTED",
               verdict.replayed_result,
               static_cast<unsigned long long>(verdict.replay_instructions),
-              verdict.log_slots_consumed);
+              verdict.log_slots_consumed, frame.size());
   for (const auto& f : verdict.findings) {
     std::printf("  finding: %s — %s\n",
                 verifier::to_string(f.kind).c_str(), f.detail.c_str());

@@ -37,6 +37,24 @@ constexpr void store_le16(std::span<std::uint8_t> bytes, std::size_t offset,
   bytes[offset + 1] = static_cast<std::uint8_t>(v >> 8);
 }
 
+/// Little-endian 32-bit load from `bytes[offset..offset+3]`.
+constexpr std::uint32_t load_le32(std::span<const std::uint8_t> bytes,
+                                  std::size_t offset) {
+  return static_cast<std::uint32_t>(bytes[offset]) |
+         (static_cast<std::uint32_t>(bytes[offset + 1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[offset + 2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[offset + 3]) << 24);
+}
+
+/// Little-endian 32-bit store to `bytes[offset..offset+3]`.
+constexpr void store_le32(std::span<std::uint8_t> bytes, std::size_t offset,
+                          std::uint32_t v) {
+  bytes[offset] = static_cast<std::uint8_t>(v & 0xff);
+  bytes[offset + 1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  bytes[offset + 2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  bytes[offset + 3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+}
+
 }  // namespace dialed
 
 #endif  // DIALED_COMMON_BYTES_H

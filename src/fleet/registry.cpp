@@ -1,0 +1,70 @@
+#include "fleet/registry.h"
+
+#include "common/error.h"
+#include "crypto/hmac.h"
+
+namespace dialed::fleet {
+
+device_registry::device_registry(byte_vec master_key)
+    : master_(std::move(master_key)) {
+  if (master_.empty()) {
+    throw error("fleet: master key must not be empty");
+  }
+}
+
+byte_vec device_registry::derive_key(device_id id) const {
+  std::array<std::uint8_t, 4> msg{};
+  store_le32(msg, 0, id);
+  const auto mac = crypto::hmac_sha256::compute(master_, msg);
+  return byte_vec(mac.begin(), mac.end());
+}
+
+device_id device_registry::provision(instr::linked_program prog) {
+  while (devices_.count(next_id_) != 0) ++next_id_;
+  return provision(next_id_++, std::move(prog));
+}
+
+device_id device_registry::provision(device_id id,
+                                     instr::linked_program prog) {
+  if (id == 0) {
+    throw error("fleet: device id 0 is reserved");
+  }
+  if (devices_.count(id) != 0) {
+    throw error("fleet: device id " + std::to_string(id) +
+                " already provisioned");
+  }
+  device_record rec;
+  rec.id = id;
+  rec.key = derive_key(id);
+  rec.program =
+      std::make_shared<const instr::linked_program>(std::move(prog));
+  devices_.emplace(id, std::move(rec));
+  return id;
+}
+
+device_id device_registry::enroll(instr::linked_program prog,
+                                  byte_vec device_key) {
+  while (devices_.count(next_id_) != 0) ++next_id_;
+  const device_id id = next_id_++;
+  device_record rec;
+  rec.id = id;
+  rec.key = std::move(device_key);
+  rec.program =
+      std::make_shared<const instr::linked_program>(std::move(prog));
+  devices_.emplace(id, std::move(rec));
+  return id;
+}
+
+const device_record* device_registry::find(device_id id) const {
+  const auto it = devices_.find(id);
+  return it == devices_.end() ? nullptr : &it->second;
+}
+
+std::vector<device_id> device_registry::ids() const {
+  std::vector<device_id> out;
+  out.reserve(devices_.size());
+  for (const auto& [id, rec] : devices_) out.push_back(id);
+  return out;
+}
+
+}  // namespace dialed::fleet

@@ -1,0 +1,67 @@
+// Fleet device registry: the verifier-side book of provisioned devices.
+//
+// Each device gets a stable 32-bit id and a per-device attestation key
+// derived from the fleet master key with an HMAC-based KDF:
+//
+//   K_dev = HMAC-SHA256(K_master, LE32(device_id))
+//
+// so the verifier stores ONE secret for the whole fleet, the factory can
+// derive any device's key at provisioning time, and compromising one
+// device never reveals another's key (cross-device isolation). Devices
+// enrolled with a factory pre-shared key (the v1 single-device protocol)
+// bypass the KDF via `enroll`.
+#ifndef DIALED_FLEET_REGISTRY_H
+#define DIALED_FLEET_REGISTRY_H
+
+#include <map>
+#include <memory>
+
+#include "instr/oplink.h"
+
+namespace dialed::fleet {
+
+using device_id = std::uint32_t;
+
+struct device_record {
+  device_id id = 0;
+  byte_vec key;  ///< K_dev — what the factory burns into the device
+  /// Vrf's reference build of the deployed program (shared: records are
+  /// cheap to copy and many devices may run the same image).
+  std::shared_ptr<const instr::linked_program> program;
+};
+
+class device_registry {
+ public:
+  explicit device_registry(byte_vec master_key);
+
+  /// Provision a new device running `prog`: assigns the next free id and
+  /// derives its key from the master key.
+  device_id provision(instr::linked_program prog);
+
+  /// Provision with an explicit id (device ids often come from an external
+  /// inventory). Throws dialed::error if the id is 0 or already taken.
+  device_id provision(device_id id, instr::linked_program prog);
+
+  /// Enroll a device that already owns a key (no KDF) — the migration path
+  /// for v1 single-device deployments. Auto-assigns the id.
+  device_id enroll(instr::linked_program prog, byte_vec device_key);
+
+  /// nullptr when the id was never provisioned.
+  const device_record* find(device_id id) const;
+
+  /// The KDF, exposed so provisioning tooling can derive K_dev without a
+  /// registry instance's record (e.g. to burn keys at the factory).
+  byte_vec derive_key(device_id id) const;
+
+  std::size_t size() const { return devices_.size(); }
+  std::vector<device_id> ids() const;
+
+ private:
+  byte_vec master_;
+  device_id next_id_ = 1;
+  std::map<device_id, device_record> devices_;
+};
+
+}  // namespace dialed::fleet
+
+#endif  // DIALED_FLEET_REGISTRY_H

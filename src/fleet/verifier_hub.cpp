@@ -1,0 +1,174 @@
+#include "fleet/verifier_hub.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dialed::fleet {
+
+verifier_hub::verifier_hub(const device_registry& registry, hub_config cfg)
+    : registry_(registry), cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.max_outstanding == 0) cfg_.max_outstanding = 1;
+}
+
+verifier_hub::device_state* verifier_hub::state_for(device_id id) {
+  if (registry_.find(id) == nullptr) return nullptr;
+  return &states_[id];
+}
+
+void verifier_hub::retire(device_state& st, std::size_t index,
+                          nonce_fate fate) {
+  const auto it =
+      st.outstanding.begin() + static_cast<std::ptrdiff_t>(index);
+  st.retired.push_back({it->nonce, fate});
+  while (st.retired.size() > cfg_.retired_memory) st.retired.pop_front();
+  st.outstanding.erase(it);
+}
+
+void verifier_hub::expire_stale(device_state& st) {
+  if (cfg_.challenge_ttl == 0) return;
+  // Outstanding is ordered by issue time, so expired entries are a prefix.
+  while (!st.outstanding.empty() &&
+         now_ - st.outstanding.front().issued_at > cfg_.challenge_ttl) {
+    retire(st, 0, nonce_fate::expired);
+  }
+}
+
+challenge_grant verifier_hub::challenge(device_id id) {
+  challenge_grant grant;
+  grant.device = id;
+  device_state* st = state_for(id);
+  if (st == nullptr) {
+    grant.error = proto_error::unknown_device;
+    return grant;
+  }
+  expire_stale(*st);
+  // Capacity eviction is an explicit, observable event: the grant notes it
+  // and a late report for the evicted nonce gets challenge_superseded.
+  if (st->outstanding.size() >= cfg_.max_outstanding) {
+    retire(*st, 0, nonce_fate::superseded);
+    grant.note = proto_error::challenge_superseded;
+  }
+  challenge_entry entry;
+  for (auto& b : entry.nonce) {
+    b = static_cast<std::uint8_t>(rng_() & 0xff);
+  }
+  entry.seq = st->next_seq++;
+  entry.issued_at = now_;
+  st->outstanding.push_back(entry);
+  grant.seq = entry.seq;
+  grant.nonce = entry.nonce;
+  return grant;
+}
+
+verifier::op_verifier& verifier_hub::core(device_id id) {
+  const device_record* rec = registry_.find(id);
+  if (rec == nullptr) {
+    throw error("fleet: unknown device " + std::to_string(id));
+  }
+  device_state& st = states_[id];
+  if (!st.verifier) {
+    st.verifier =
+        std::make_unique<verifier::op_verifier>(*rec->program, rec->key);
+  }
+  return *st.verifier;
+}
+
+attest_result verifier_hub::verify_report(
+    device_id id, std::uint32_t seq,
+    const verifier::attestation_report& report) {
+  return verify_impl(id, seq, /*check_seq=*/true, report);
+}
+
+attest_result verifier_hub::verify_report(
+    device_id id, const verifier::attestation_report& report) {
+  return verify_impl(id, 0, /*check_seq=*/false, report);
+}
+
+attest_result verifier_hub::verify_impl(
+    device_id id, std::uint32_t seq, bool check_seq,
+    const verifier::attestation_report& report) {
+  attest_result r;
+  r.device = id;
+  r.seq = seq;
+  device_state* st = state_for(id);
+  if (st == nullptr) {
+    r.error = proto_error::unknown_device;
+    return r;
+  }
+  expire_stale(*st);
+
+  const auto match =
+      std::find_if(st->outstanding.begin(), st->outstanding.end(),
+                   [&](const challenge_entry& e) {
+                     return e.nonce == report.challenge;
+                   });
+  if (match == st->outstanding.end()) {
+    // Classify the miss from the retired-nonce history (newest wins: a
+    // nonce can only be retired once, so any hit is authoritative).
+    for (auto it = st->retired.rbegin(); it != st->retired.rend(); ++it) {
+      if (it->nonce != report.challenge) continue;
+      switch (it->fate) {
+        case nonce_fate::consumed:
+          r.error = proto_error::replayed_report;
+          break;
+        case nonce_fate::superseded:
+          r.error = proto_error::challenge_superseded;
+          break;
+        case nonce_fate::expired:
+          r.error = proto_error::challenge_expired;
+          break;
+      }
+      return r;
+    }
+    r.error = proto_error::stale_nonce;
+    return r;
+  }
+  if (check_seq && seq != match->seq) {
+    r.error = proto_error::sequence_mismatch;
+    return r;
+  }
+
+  // Consume the nonce BEFORE verification: even a rejected report burns
+  // its challenge (one report per nonce, §III anti-replay).
+  const auto nonce = match->nonce;
+  r.seq = match->seq;
+  retire(*st, static_cast<std::size_t>(match - st->outstanding.begin()),
+         nonce_fate::consumed);
+  r.verdict = core(id).verify(report, nonce);
+  return r;
+}
+
+attest_result verifier_hub::submit(std::span<const std::uint8_t> frame) {
+  const proto_error err = proto::decode_frame_into(frame, scratch_);
+  if (err != proto_error::none) {
+    attest_result r;
+    r.error = err;
+    return r;
+  }
+  if (scratch_.info.version != proto::wire_v2) {
+    // A v1 frame names no device; the hub cannot route it.
+    attest_result r;
+    r.error = proto_error::unknown_device;
+    return r;
+  }
+  return verify_report(scratch_.info.device_id, scratch_.info.seq,
+                       scratch_.report);
+}
+
+std::vector<attest_result> verifier_hub::verify_batch(
+    std::span<const byte_vec> frames) {
+  std::vector<attest_result> out;
+  out.reserve(frames.size());
+  for (const auto& f : frames) {
+    out.push_back(submit(f));
+  }
+  return out;
+}
+
+std::size_t verifier_hub::outstanding(device_id id) const {
+  const auto it = states_.find(id);
+  return it == states_.end() ? 0 : it->second.outstanding.size();
+}
+
+}  // namespace dialed::fleet

@@ -1,0 +1,163 @@
+// Fleet verifier hub: the many-device generalization of the paper's §III
+// one-verifier/one-prover protocol. One hub serves every provisioned
+// device, with a per-device challenge table (many concurrently outstanding
+// challenges), expiry on a monotonic tick clock, and per-device
+// anti-replay bookkeeping.
+//
+// Protocol (wire v2; v1 layout documented beside it in src/proto/wire.h):
+//
+//      Vrf hub                                       Prv (device d)
+//        |                                                |
+//        |  challenge(d) -> grant {nonce, seq}            |
+//        |----------- nonce, seq ------------------------>|
+//        |                                                | run attested op,
+//        |                                                | SW-Att MACs with
+//        |                                                | K_dev over nonce
+//        |<---------- wire v2 frame ----------------------|
+//        |   [magic|ver=2|flags|device_id|seq|bounds|     |
+//        |    result|halt|nonce|MAC|or_len|OR|CRC16]      |
+//        |  submit(frame) -> attest_result                |
+//        |    - frame damaged        -> transport error   |
+//        |    - device_id unknown    -> unknown_device    |
+//        |    - seq != grant seq     -> sequence_mismatch |
+//        |    - nonce consumed       -> replayed_report   |
+//        |    - nonce evicted        -> challenge_superseded
+//        |    - nonce past TTL       -> challenge_expired |
+//        |    - nonce never issued   -> stale_nonce       |
+//        |    - else: full §III verification -> verdict   |
+//
+// Challenge lifecycle: issued -> (consumed | superseded | expired), with a
+// bounded per-device memory of retired nonces so a late report gets the
+// precise typed error instead of a generic rejection.
+#ifndef DIALED_FLEET_VERIFIER_HUB_H
+#define DIALED_FLEET_VERIFIER_HUB_H
+
+#include <deque>
+#include <random>
+
+#include "fleet/registry.h"
+#include "proto/wire.h"
+#include "verifier/verifier.h"
+
+namespace dialed::fleet {
+
+using proto::proto_error;
+
+struct hub_config {
+  /// Outstanding challenges a device may hold at once; issuing beyond this
+  /// evicts (supersedes) the oldest. 1 reproduces the v1 session behavior.
+  std::uint32_t max_outstanding = 8;
+  /// Challenge TTL in hub ticks; 0 = challenges never expire.
+  std::uint64_t challenge_ttl = 0;
+  /// Retired nonces remembered per device (replay/supersede/expiry
+  /// classification window).
+  std::size_t retired_memory = 64;
+  /// Makes challenge generation reproducible in tests.
+  std::uint64_t seed = 0x1a2b3c4d5e6f7788ull;
+};
+
+/// The issuance half of the protocol: what the hub hands the transport to
+/// forward to device `device_id`.
+struct challenge_grant {
+  proto_error error = proto_error::none;  ///< unknown_device
+  /// challenge_superseded when issuing this grant evicted the device's
+  /// oldest outstanding challenge (the explicit signal the v1 session
+  /// swallowed); the grant itself is still valid.
+  proto_error note = proto_error::none;
+  device_id device = 0;
+  std::uint32_t seq = 0;
+  std::array<std::uint8_t, 16> nonce{};
+  bool ok() const { return error == proto_error::none; }
+};
+
+/// The rich result of one submitted report: a typed protocol error (if the
+/// report never reached verification) plus the full §III verdict.
+struct attest_result {
+  proto_error error = proto_error::none;
+  device_id device = 0;
+  std::uint32_t seq = 0;
+  verifier::verdict verdict;  ///< meaningful only when error == none
+  bool accepted() const {
+    return error == proto_error::none && verdict.accepted;
+  }
+};
+
+class verifier_hub {
+ public:
+  explicit verifier_hub(const device_registry& registry,
+                        hub_config cfg = {});
+
+  /// Draw a fresh challenge for a device. Many challenges may be
+  /// outstanding per device (up to cfg.max_outstanding).
+  challenge_grant challenge(device_id id);
+
+  /// Decode a wire frame (any supported version) and verify it. v1 frames
+  /// carry no device id and are rejected with unknown_device — route them
+  /// through a proto::verifier_session instead.
+  attest_result submit(std::span<const std::uint8_t> frame);
+
+  /// Verify an already-decoded report for a device, requiring the frame's
+  /// sequence number to match the one its challenge was issued with.
+  attest_result verify_report(device_id id, std::uint32_t seq,
+                              const verifier::attestation_report& report);
+
+  /// Sequence-unchecked variant for v1 adapters that predate sequence
+  /// numbers. Deliberately NOT reachable from `submit`: skipping the seq
+  /// check must be a caller decision, never an in-band wire value.
+  attest_result verify_report(device_id id,
+                              const verifier::attestation_report& report);
+
+  /// Verify a batch of independent frames, reusing one decode scratch
+  /// buffer and the per-device cached verifiers across the whole batch.
+  std::vector<attest_result> verify_batch(std::span<const byte_vec> frames);
+
+  /// Advance the monotonic clock; challenges older than cfg.challenge_ttl
+  /// ticks are retired as expired.
+  void tick(std::uint64_t n = 1) { now_ += n; }
+  std::uint64_t now() const { return now_; }
+
+  /// Per-device verifier core, e.g. to attach app policies. Throws
+  /// dialed::error for an unknown device.
+  verifier::op_verifier& core(device_id id);
+
+  std::size_t outstanding(device_id id) const;
+
+ private:
+  enum class nonce_fate : std::uint8_t { consumed, superseded, expired };
+
+  struct challenge_entry {
+    std::array<std::uint8_t, 16> nonce{};
+    std::uint32_t seq = 0;
+    std::uint64_t issued_at = 0;
+  };
+
+  struct retired_nonce {
+    std::array<std::uint8_t, 16> nonce{};
+    nonce_fate fate = nonce_fate::consumed;
+  };
+
+  struct device_state {
+    std::deque<challenge_entry> outstanding;  ///< ordered by issue time
+    std::deque<retired_nonce> retired;        ///< bounded history
+    std::unique_ptr<verifier::op_verifier> verifier;  ///< built lazily
+    std::uint32_t next_seq = 1;
+  };
+
+  device_state* state_for(device_id id);
+  void retire(device_state& st, std::size_t index, nonce_fate fate);
+  void expire_stale(device_state& st);
+  attest_result verify_impl(device_id id, std::uint32_t seq,
+                            bool check_seq,
+                            const verifier::attestation_report& report);
+
+  const device_registry& registry_;
+  hub_config cfg_;
+  std::mt19937_64 rng_;
+  std::uint64_t now_ = 0;
+  std::map<device_id, device_state> states_;
+  proto::decoded_frame scratch_;  ///< reused by submit/verify_batch
+};
+
+}  // namespace dialed::fleet
+
+#endif  // DIALED_FLEET_VERIFIER_HUB_H

@@ -2,31 +2,40 @@
 
 namespace dialed::proto {
 
+namespace {
+
+fleet::hub_config single_device_config(std::uint64_t seed) {
+  fleet::hub_config cfg;
+  cfg.max_outstanding = 1;  // v1 semantics: a new challenge evicts the old
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
 verifier_session::verifier_session(instr::linked_program prog, byte_vec key,
                                    std::uint64_t seed)
-    : verifier_(std::move(prog), std::move(key)), rng_(seed) {}
+    : registry_(key), hub_(registry_, single_device_config(seed)) {
+  id_ = registry_.enroll(std::move(prog), std::move(key));
+}
 
 std::array<std::uint8_t, 16> verifier_session::new_challenge() {
-  std::array<std::uint8_t, 16> chal{};
-  for (auto& b : chal) {
-    b = static_cast<std::uint8_t>(rng_() & 0xff);
-  }
-  outstanding_ = chal;
-  return chal;
+  // The grant's challenge_superseded note is intentionally dropped here —
+  // the documented v1 behavior this adapter preserves.
+  return hub_.challenge(id_).nonce;
 }
 
 verifier::verdict verifier_session::check(
     const verifier::attestation_report& report) {
-  if (!outstanding_) {
-    verifier::verdict v;
-    v.findings.push_back(
-        {verifier::attack_kind::stale_challenge,
-         "no outstanding challenge: report replayed or unsolicited", 0, 0});
-    return v;
-  }
-  const auto chal = *outstanding_;
-  outstanding_.reset();  // one-time nonce
-  return verifier_.verify(report, chal);
+  auto result = hub_.verify_report(id_, report);
+  if (result.error == proto_error::none) return std::move(result.verdict);
+  verifier::verdict v;
+  v.findings.push_back(
+      {verifier::attack_kind::stale_challenge,
+       "challenge not outstanding (" + to_string(result.error) +
+           "): report replayed, superseded or unsolicited",
+       0, 0});
+  return v;
 }
 
 }  // namespace dialed::proto

@@ -1,12 +1,20 @@
-// The verifier side of the challenge-response protocol: nonce management
-// (anti-replay) around the core report verification.
+// The v1 single-device verifier session, now a thin adapter over the
+// fleet layer: one private device_registry entry (enrolled with the raw
+// pre-shared key, no KDF) and a verifier_hub configured for exactly one
+// outstanding challenge.
+//
+// v1 behavior, preserved deliberately: `new_challenge` SUPERSEDES a
+// still-outstanding challenge without telling the caller — the hub reports
+// the eviction explicitly (challenge_grant::note = challenge_superseded,
+// and a late report gets proto_error::challenge_superseded), but this
+// adapter swallows the note and folds every protocol error into a
+// stale_challenge finding, because that is the v1 contract callers and
+// tests were written against. Fleet code should use fleet::verifier_hub
+// directly and get the typed errors.
 #ifndef DIALED_PROTO_SESSION_H
 #define DIALED_PROTO_SESSION_H
 
-#include <optional>
-#include <random>
-
-#include "verifier/verifier.h"
+#include "fleet/verifier_hub.h"
 
 namespace dialed::proto {
 
@@ -17,19 +25,35 @@ class verifier_session {
   verifier_session(instr::linked_program prog, byte_vec key,
                    std::uint64_t seed = 0x1a2b3c4d5e6f7788ull);
 
-  /// Draw a fresh 16-byte challenge and remember it as outstanding.
+  // hub_ holds a reference to registry_, so the object must not move.
+  verifier_session(const verifier_session&) = delete;
+  verifier_session& operator=(const verifier_session&) = delete;
+  verifier_session(verifier_session&&) = delete;
+  verifier_session& operator=(verifier_session&&) = delete;
+
+  /// Draw a fresh 16-byte challenge and remember it as outstanding. Any
+  /// previous outstanding challenge is superseded (see file comment).
   std::array<std::uint8_t, 16> new_challenge();
 
-  /// Verify a report against the outstanding challenge (which is consumed:
-  /// re-submitting the same report is rejected as a replay).
+  /// Verify a report against the outstanding challenge. A report carrying
+  /// the outstanding nonce consumes it (re-submitting the same report is
+  /// rejected as a replay); protocol errors surface as a stale_challenge
+  /// finding (v1 contract). One deliberate deviation from v1: a report
+  /// whose challenge does NOT match the outstanding nonce no longer burns
+  /// that nonce — garbage/unsolicited reports cannot invalidate a live
+  /// challenge, so the genuine device's answer still verifies.
   verifier::verdict check(const verifier::attestation_report& report);
 
-  verifier::op_verifier& core() { return verifier_; }
+  verifier::op_verifier& core() { return hub_.core(id_); }
+
+  /// The underlying fleet plumbing, for callers migrating to the hub API.
+  fleet::verifier_hub& hub() { return hub_; }
+  fleet::device_id id() const { return id_; }
 
  private:
-  verifier::op_verifier verifier_;
-  std::mt19937_64 rng_;
-  std::optional<std::array<std::uint8_t, 16>> outstanding_;
+  fleet::device_registry registry_;
+  fleet::verifier_hub hub_;
+  fleet::device_id id_;
 };
 
 }  // namespace dialed::proto

@@ -1,12 +1,38 @@
 #include "proto/wire.h"
 
+#include "common/error.h"
+
 namespace dialed::proto {
 
 namespace {
+
 constexpr std::uint16_t wire_magic = 0xd1a7;
-constexpr std::uint8_t wire_version = 1;
-constexpr std::size_t header_size = 66;
+constexpr std::size_t v1_header_size = 66;
+constexpr std::size_t v2_header_size = 74;
+
+constexpr std::size_t header_size(std::uint8_t version) {
+  return version == wire_v1 ? v1_header_size : v2_header_size;
+}
+
 }  // namespace
+
+std::string to_string(proto_error e) {
+  switch (e) {
+    case proto_error::none: return "none";
+    case proto_error::truncated: return "truncated";
+    case proto_error::bad_magic: return "bad_magic";
+    case proto_error::bad_version: return "bad_version";
+    case proto_error::bad_length: return "bad_length";
+    case proto_error::bad_crc: return "bad_crc";
+    case proto_error::unknown_device: return "unknown_device";
+    case proto_error::stale_nonce: return "stale_nonce";
+    case proto_error::replayed_report: return "replayed_report";
+    case proto_error::challenge_expired: return "challenge_expired";
+    case proto_error::challenge_superseded: return "challenge_superseded";
+    case proto_error::sequence_mismatch: return "sequence_mismatch";
+  }
+  return "?";
+}
 
 std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) {
   std::uint16_t crc = 0xffff;
@@ -21,26 +47,35 @@ std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) {
   return crc;
 }
 
-byte_vec encode_report(const verifier::attestation_report& rep) {
-  byte_vec out(header_size);
+byte_vec encode_frame(const frame_info& info,
+                      const verifier::attestation_report& rep) {
+  if (info.version != wire_v1 && info.version != wire_v2) {
+    throw error("wire: cannot encode unknown version " +
+                std::to_string(info.version));
+  }
+  const std::size_t hdr = header_size(info.version);
+  byte_vec out(hdr);
   store_le16(out, 0, wire_magic);
-  out[2] = wire_version;
+  out[2] = info.version;
   out[3] = rep.exec ? 1 : 0;
-  store_le16(out, 4, rep.er_min);
-  store_le16(out, 6, rep.er_max);
-  store_le16(out, 8, rep.or_min);
-  store_le16(out, 10, rep.or_max);
-  store_le16(out, 12, rep.claimed_result);
-  store_le16(out, 14, rep.halt_code);
-  for (int i = 0; i < 16; ++i) {
-    out[16 + static_cast<std::size_t>(i)] =
-        rep.challenge[static_cast<std::size_t>(i)];
+  // Bounds and claims land at version-dependent offsets: v2 inserts the
+  // 8-byte (device_id, seq) pair after the flags byte.
+  std::size_t off = 4;
+  if (info.version == wire_v2) {
+    store_le32(out, 4, info.device_id);
+    store_le32(out, 8, info.seq);
+    off = 12;
   }
-  for (int i = 0; i < 32; ++i) {
-    out[32 + static_cast<std::size_t>(i)] =
-        rep.mac[static_cast<std::size_t>(i)];
-  }
-  store_le16(out, 64, static_cast<std::uint16_t>(rep.or_bytes.size()));
+  store_le16(out, off + 0, rep.er_min);
+  store_le16(out, off + 2, rep.er_max);
+  store_le16(out, off + 4, rep.or_min);
+  store_le16(out, off + 6, rep.or_max);
+  store_le16(out, off + 8, rep.claimed_result);
+  store_le16(out, off + 10, rep.halt_code);
+  for (std::size_t i = 0; i < 16; ++i) out[off + 12 + i] = rep.challenge[i];
+  for (std::size_t i = 0; i < 32; ++i) out[off + 28 + i] = rep.mac[i];
+  store_le16(out, off + 60,
+             static_cast<std::uint16_t>(rep.or_bytes.size()));
   out.insert(out.end(), rep.or_bytes.begin(), rep.or_bytes.end());
   const std::uint16_t crc = crc16_ccitt(out);
   out.push_back(static_cast<std::uint8_t>(crc & 0xff));
@@ -48,37 +83,63 @@ byte_vec encode_report(const verifier::attestation_report& rep) {
   return out;
 }
 
+proto_error decode_frame_into(std::span<const std::uint8_t> frame,
+                              decoded_frame& out) {
+  if (frame.size() < 3) return proto_error::truncated;
+  if (load_le16(frame, 0) != wire_magic) return proto_error::bad_magic;
+  const std::uint8_t version = frame[2];
+  if (version != wire_v1 && version != wire_v2) {
+    return proto_error::bad_version;
+  }
+  const std::size_t hdr = header_size(version);
+  if (frame.size() < hdr + 2) return proto_error::truncated;
+  const std::size_t len_off = hdr - 2;
+  const std::size_t or_len = load_le16(frame, len_off);
+  if (frame.size() != hdr + or_len + 2) return proto_error::bad_length;
+  const std::uint16_t crc = crc16_ccitt(frame.subspan(0, hdr + or_len));
+  if (crc != load_le16(frame, hdr + or_len)) return proto_error::bad_crc;
+
+  out.info.version = version;
+  out.info.device_id = 0;
+  out.info.seq = 0;
+  std::size_t off = 4;
+  if (version == wire_v2) {
+    out.info.device_id = load_le32(frame, 4);
+    out.info.seq = load_le32(frame, 8);
+    off = 12;
+  }
+  auto& rep = out.report;
+  rep.exec = (frame[3] & 1) != 0;
+  rep.er_min = load_le16(frame, off + 0);
+  rep.er_max = load_le16(frame, off + 2);
+  rep.or_min = load_le16(frame, off + 4);
+  rep.or_max = load_le16(frame, off + 6);
+  rep.claimed_result = load_le16(frame, off + 8);
+  rep.halt_code = load_le16(frame, off + 10);
+  for (std::size_t i = 0; i < 16; ++i) rep.challenge[i] = frame[off + 12 + i];
+  for (std::size_t i = 0; i < 32; ++i) rep.mac[i] = frame[off + 28 + i];
+  rep.or_bytes.assign(frame.begin() + static_cast<std::ptrdiff_t>(hdr),
+                      frame.begin() + static_cast<std::ptrdiff_t>(hdr + or_len));
+  return proto_error::none;
+}
+
+decode_result decode_frame(std::span<const std::uint8_t> frame) {
+  decode_result r;
+  r.error = decode_frame_into(frame, r.frame);
+  return r;
+}
+
+byte_vec encode_report(const verifier::attestation_report& rep) {
+  frame_info info;
+  info.version = wire_v1;
+  return encode_frame(info, rep);
+}
+
 std::optional<verifier::attestation_report> decode_report(
     std::span<const std::uint8_t> frame) {
-  if (frame.size() < header_size + 2) return std::nullopt;
-  if (load_le16(frame, 0) != wire_magic) return std::nullopt;
-  if (frame[2] != wire_version) return std::nullopt;
-  const std::size_t or_len = load_le16(frame, 64);
-  if (frame.size() != header_size + or_len + 2) return std::nullopt;
-  const std::uint16_t crc =
-      crc16_ccitt(frame.subspan(0, header_size + or_len));
-  if (crc != load_le16(frame, header_size + or_len)) return std::nullopt;
-
-  verifier::attestation_report rep;
-  rep.exec = (frame[3] & 1) != 0;
-  rep.er_min = load_le16(frame, 4);
-  rep.er_max = load_le16(frame, 6);
-  rep.or_min = load_le16(frame, 8);
-  rep.or_max = load_le16(frame, 10);
-  rep.claimed_result = load_le16(frame, 12);
-  rep.halt_code = load_le16(frame, 14);
-  for (int i = 0; i < 16; ++i) {
-    rep.challenge[static_cast<std::size_t>(i)] =
-        frame[16 + static_cast<std::size_t>(i)];
-  }
-  for (int i = 0; i < 32; ++i) {
-    rep.mac[static_cast<std::size_t>(i)] =
-        frame[32 + static_cast<std::size_t>(i)];
-  }
-  rep.or_bytes.assign(frame.begin() + header_size,
-                      frame.begin() + static_cast<std::ptrdiff_t>(
-                                          header_size + or_len));
-  return rep;
+  auto r = decode_frame(frame);
+  if (!r.ok()) return std::nullopt;
+  return std::move(r.frame.report);
 }
 
 }  // namespace dialed::proto

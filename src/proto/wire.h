@@ -1,8 +1,10 @@
-// Wire format for attestation reports — the bytes Prv actually sends over
+// Wire formats for attestation reports — the bytes Prv actually sends over
 // its network link. Little-endian fixed header + variable OR payload,
 // framed with a magic, a version, and a CRC-16 so transport corruption is
 // distinguished from security failures (a corrupted frame is re-requested;
 // a bad MAC is an attack signal).
+//
+// v1 — the original single-device format (no device identity):
 //
 //   offset  size  field
 //   0       2     magic 0xD1A7
@@ -17,22 +19,82 @@
 //   64      2     or_bytes length
 //   66      n     or_bytes
 //   66+n    2     CRC-16/CCITT over bytes [0, 66+n)
+//
+// v2 — the fleet format: identical trailer, but the header additionally
+// carries the 32-bit device id (hub routing + per-device key selection)
+// and the 32-bit challenge sequence number (anti-replay bookkeeping):
+//
+//   offset  size  field
+//   0       2     magic 0xD1A7
+//   2       1     version (2)
+//   3       1     flags: bit0 = EXEC claim
+//   4       4     device_id (LE32)
+//   8       4     seq (LE32)
+//   12      2     er_min        14  2  er_max
+//   16      2     or_min        18  2  or_max
+//   20      2     claimed_result
+//   22      2     halt_code
+//   24      16    challenge
+//   40      32    MAC
+//   72      2     or_bytes length
+//   74      n     or_bytes
+//   74+n    2     CRC-16/CCITT over bytes [0, 74+n)
+//
+// The codec API is versioned: `encode_frame` emits whichever version the
+// frame_info names, `decode_frame` dispatches on the version byte, and the
+// v1 helpers `encode_report`/`decode_report` are kept for single-device
+// callers and old captured frames.
 #ifndef DIALED_PROTO_WIRE_H
 #define DIALED_PROTO_WIRE_H
 
 #include <optional>
 
 #include "common/bytes.h"
+#include "proto/errors.h"
 #include "verifier/report.h"
 
 namespace dialed::proto {
 
-/// Serialize a report into a transmission frame.
+constexpr std::uint8_t wire_v1 = 1;
+constexpr std::uint8_t wire_v2 = 2;
+
+/// Per-frame routing metadata. `device_id` and `seq` are carried only by
+/// v2 frames; a v1 decode leaves them zero.
+struct frame_info {
+  std::uint8_t version = wire_v2;
+  std::uint32_t device_id = 0;
+  std::uint32_t seq = 0;
+};
+
+struct decoded_frame {
+  frame_info info;
+  verifier::attestation_report report;
+};
+
+struct decode_result {
+  proto_error error = proto_error::none;
+  decoded_frame frame;  ///< meaningful only when error == none
+  bool ok() const { return error == proto_error::none; }
+};
+
+/// Serialize a report into a transmission frame of the requested version.
+/// Throws dialed::error for an unknown version.
+byte_vec encode_frame(const frame_info& info,
+                      const verifier::attestation_report& rep);
+
+/// Parse and validate a frame of any supported version.
+decode_result decode_frame(std::span<const std::uint8_t> frame);
+
+/// Parse into caller-owned storage, reusing `out.report.or_bytes`'s
+/// capacity — the allocation-free path `verify_batch` runs on.
+proto_error decode_frame_into(std::span<const std::uint8_t> frame,
+                              decoded_frame& out);
+
+/// v1 compatibility: serialize with no device identity.
 byte_vec encode_report(const verifier::attestation_report& rep);
 
-/// Parse and validate a frame. Returns nullopt on any framing problem
-/// (magic/version/length/CRC) — the caller should treat it as a transport
-/// error, not as an attestation failure.
+/// v1-era convenience: nullopt on ANY framing problem (the typed error is
+/// available from decode_frame). Accepts v1 and v2 frames.
 std::optional<verifier::attestation_report> decode_report(
     std::span<const std::uint8_t> frame);
 

@@ -1,0 +1,366 @@
+// Fleet layer: device registry (KDF, provisioning), verifier hub
+// (challenge tables, expiry, anti-replay, typed errors) and the
+// multi-device end-to-end protocol over wire v2.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "fleet/verifier_hub.h"
+#include "helpers.h"
+#include "proto/wire.h"
+
+namespace dialed::fleet {
+namespace {
+
+using test::build_op;
+
+constexpr const char* adder = "int op(int a, int b) { return a + b; }";
+
+byte_vec master_key() { return byte_vec(32, 0x42); }
+
+instr::linked_program adder_prog() {
+  return build_op(adder, "op", instr::instrumentation::dialed);
+}
+
+proto::invocation args(std::uint16_t a0, std::uint16_t a1 = 0) {
+  proto::invocation inv;
+  inv.args[0] = a0;
+  inv.args[1] = a1;
+  return inv;
+}
+
+byte_vec frame_for(device_id id, const challenge_grant& grant,
+                   const verifier::attestation_report& rep) {
+  proto::frame_info info;
+  info.device_id = id;
+  info.seq = grant.seq;
+  return proto::encode_frame(info, rep);
+}
+
+// ---------------------------------------------------------------------------
+// Registry / KDF
+// ---------------------------------------------------------------------------
+
+TEST(registry, kdf_is_deterministic_and_id_dependent) {
+  device_registry a(master_key());
+  device_registry b(master_key());
+  EXPECT_EQ(a.derive_key(7), b.derive_key(7));
+  EXPECT_NE(a.derive_key(7), a.derive_key(8));
+  EXPECT_EQ(a.derive_key(7).size(), 32u);
+  device_registry other(byte_vec(32, 0x43));
+  EXPECT_NE(a.derive_key(7), other.derive_key(7));
+}
+
+TEST(registry, provision_assigns_stable_ids_and_derived_keys) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id1 = reg.provision(prog);
+  const auto id2 = reg.provision(prog);
+  EXPECT_NE(id1, id2);
+  ASSERT_NE(reg.find(id1), nullptr);
+  EXPECT_EQ(reg.find(id1)->key, reg.derive_key(id1));
+  EXPECT_EQ(reg.find(id2)->key, reg.derive_key(id2));
+  EXPECT_EQ(reg.find(9999), nullptr);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(registry, explicit_ids_rejected_when_taken_or_zero) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  EXPECT_EQ(reg.provision(17, prog), 17u);
+  EXPECT_THROW(reg.provision(17, prog), error);
+  EXPECT_THROW(reg.provision(0, prog), error);
+  // Auto-assignment walks past explicitly taken ids.
+  device_registry reg2(master_key());
+  reg2.provision(1, prog);
+  reg2.provision(2, prog);
+  const auto id = reg2.provision(prog);
+  EXPECT_EQ(reg2.find(id)->id, id);
+  EXPECT_NE(id, 1u);
+  EXPECT_NE(id, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Hub: challenge lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(hub, unknown_device_is_a_typed_error) {
+  device_registry reg(master_key());
+  verifier_hub hub(reg);
+  EXPECT_EQ(hub.challenge(5).error, proto_error::unknown_device);
+  verifier::attestation_report rep;
+  EXPECT_EQ(hub.verify_report(5, rep).error, proto_error::unknown_device);
+}
+
+TEST(hub, accepts_fresh_report_and_rejects_replay) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id = reg.provision(prog);
+  verifier_hub hub(reg);
+  proto::prover_device dev(prog, reg.derive_key(id));
+
+  const auto grant = hub.challenge(id);
+  ASSERT_TRUE(grant.ok());
+  const auto rep = dev.invoke(grant.nonce, args(20, 22));
+  const auto r = hub.verify_report(id, grant.seq, rep);
+  EXPECT_EQ(r.error, proto_error::none);
+  EXPECT_TRUE(r.accepted());
+  EXPECT_EQ(r.verdict.replayed_result, 42);
+  // The nonce is consumed: an identical report is a typed replay error.
+  const auto replay = hub.verify_report(id, grant.seq, rep);
+  EXPECT_EQ(replay.error, proto_error::replayed_report);
+  EXPECT_FALSE(replay.accepted());
+}
+
+TEST(hub, many_outstanding_challenges_complete_out_of_order) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id = reg.provision(prog);
+  verifier_hub hub(reg);
+  proto::prover_device dev(prog, reg.derive_key(id));
+
+  const auto g1 = hub.challenge(id);
+  const auto g2 = hub.challenge(id);
+  const auto g3 = hub.challenge(id);
+  EXPECT_EQ(hub.outstanding(id), 3u);
+  EXPECT_LT(g1.seq, g2.seq);
+  EXPECT_LT(g2.seq, g3.seq);
+
+  // Answer newest first: per-challenge consumption, not strict ordering.
+  const auto r3 = hub.verify_report(id, g3.seq, dev.invoke(g3.nonce, args(3)));
+  const auto r1 = hub.verify_report(id, g1.seq, dev.invoke(g1.nonce, args(1)));
+  const auto r2 = hub.verify_report(id, g2.seq, dev.invoke(g2.nonce, args(2)));
+  EXPECT_TRUE(r1.accepted());
+  EXPECT_TRUE(r2.accepted());
+  EXPECT_TRUE(r3.accepted());
+  EXPECT_EQ(r1.verdict.replayed_result, 1);
+  EXPECT_EQ(r2.verdict.replayed_result, 2);
+  EXPECT_EQ(r3.verdict.replayed_result, 3);
+  EXPECT_EQ(hub.outstanding(id), 0u);
+}
+
+TEST(hub, capacity_eviction_is_explicit_challenge_superseded) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id = reg.provision(prog);
+  hub_config cfg;
+  cfg.max_outstanding = 2;
+  verifier_hub hub(reg, cfg);
+  proto::prover_device dev(prog, reg.derive_key(id));
+
+  const auto g1 = hub.challenge(id);
+  const auto g2 = hub.challenge(id);
+  EXPECT_EQ(g1.note, proto_error::none);
+  EXPECT_EQ(g2.note, proto_error::none);
+  const auto rep1 = dev.invoke(g1.nonce, args(1));  // answer g1... too late:
+  const auto g3 = hub.challenge(id);                // g3 evicts g1
+  EXPECT_EQ(g3.note, proto_error::challenge_superseded);
+  const auto r1 = hub.verify_report(id, g1.seq, rep1);
+  EXPECT_EQ(r1.error, proto_error::challenge_superseded);
+  // g2 and g3 still verify.
+  EXPECT_TRUE(hub.verify_report(id, g2.seq, dev.invoke(g2.nonce, args(2)))
+                  .accepted());
+  EXPECT_TRUE(hub.verify_report(id, g3.seq, dev.invoke(g3.nonce, args(3)))
+                  .accepted());
+}
+
+TEST(hub, challenges_expire_on_the_tick_clock) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id = reg.provision(prog);
+  hub_config cfg;
+  cfg.challenge_ttl = 10;
+  verifier_hub hub(reg, cfg);
+  proto::prover_device dev(prog, reg.derive_key(id));
+
+  const auto g1 = hub.challenge(id);
+  const auto rep1 = dev.invoke(g1.nonce, args(1));
+  hub.tick(5);
+  const auto g2 = hub.challenge(id);  // younger: survives the cutoff
+  hub.tick(6);                        // g1 is now 11 ticks old, g2 only 6
+  const auto r1 = hub.verify_report(id, g1.seq, rep1);
+  EXPECT_EQ(r1.error, proto_error::challenge_expired);
+  const auto r2 = hub.verify_report(id, g2.seq, dev.invoke(g2.nonce, args(2)));
+  EXPECT_TRUE(r2.accepted());
+}
+
+TEST(hub, sequence_mismatch_is_detected) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id = reg.provision(prog);
+  verifier_hub hub(reg);
+  proto::prover_device dev(prog, reg.derive_key(id));
+
+  const auto g1 = hub.challenge(id);
+  const auto g2 = hub.challenge(id);
+  // A frame carrying g1's nonce but claiming g2's seq is inconsistent.
+  const auto rep = dev.invoke(g1.nonce, args(1));
+  EXPECT_EQ(hub.verify_report(id, g2.seq, rep).error,
+            proto_error::sequence_mismatch);
+  // A wire seq of 0 is NOT a skip token: it must mismatch too.
+  EXPECT_EQ(hub.verify_report(id, 0, rep).error,
+            proto_error::sequence_mismatch);
+  // Only the explicit sequence-unchecked overload (v1 adapters) skips.
+  EXPECT_TRUE(hub.verify_report(id, rep).accepted());
+}
+
+TEST(hub, never_issued_nonce_is_stale) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id = reg.provision(prog);
+  verifier_hub hub(reg);
+  proto::prover_device dev(prog, reg.derive_key(id));
+  std::array<std::uint8_t, 16> bogus{};
+  bogus.fill(0xee);
+  const auto rep = dev.invoke(bogus, args(1));
+  EXPECT_EQ(hub.verify_report(id, rep).error, proto_error::stale_nonce);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-device isolation
+// ---------------------------------------------------------------------------
+
+TEST(hub, report_mac_from_device_a_rejected_for_device_b) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id_a = reg.provision(prog);
+  const auto id_b = reg.provision(prog);
+  ASSERT_NE(reg.derive_key(id_a), reg.derive_key(id_b));
+  verifier_hub hub(reg);
+  proto::prover_device dev_a(prog, reg.derive_key(id_a));
+
+  // Device A answers a challenge issued to B (same program, wrong key):
+  // the MAC cannot verify under K_dev(B).
+  const auto grant_b = hub.challenge(id_b);
+  const auto rep = dev_a.invoke(grant_b.nonce, args(20, 22));
+  const auto r = hub.verify_report(id_b, grant_b.seq, rep);
+  EXPECT_EQ(r.error, proto_error::none);  // protocol-level fine...
+  EXPECT_FALSE(r.accepted());             // ...but cryptographically rejected
+  EXPECT_TRUE(r.verdict.has(verifier::attack_kind::mac_invalid));
+}
+
+TEST(hub, frame_rerouted_to_another_device_rejected) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id_a = reg.provision(prog);
+  const auto id_b = reg.provision(prog);
+  verifier_hub hub(reg);
+  proto::prover_device dev_a(prog, reg.derive_key(id_a));
+
+  const auto grant_a = hub.challenge(id_a);
+  const auto rep = dev_a.invoke(grant_a.nonce, args(20, 22));
+  // An attacker rewrites the frame header to claim device B's identity.
+  proto::frame_info forged;
+  forged.device_id = id_b;
+  forged.seq = grant_a.seq;
+  const auto r = hub.submit(proto::encode_frame(forged, rep));
+  // B never saw this nonce — typed protocol error, no MAC work done.
+  EXPECT_EQ(r.error, proto_error::stale_nonce);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a three-device fleet over wire v2
+// ---------------------------------------------------------------------------
+
+TEST(hub, three_device_fleet_end_to_end) {
+  device_registry reg(master_key());
+  const auto prog_add = adder_prog();
+  const auto prog_mul =
+      build_op("int op(int a, int b) { return a * b; }", "op",
+               instr::instrumentation::dialed);
+  const auto id1 = reg.provision(prog_add);
+  const auto id2 = reg.provision(prog_mul);
+  const auto id3 = reg.provision(prog_add);
+  verifier_hub hub(reg);
+
+  proto::prover_device dev1(prog_add, reg.derive_key(id1));
+  proto::prover_device dev2(prog_mul, reg.derive_key(id2));
+  proto::prover_device dev3(prog_add, reg.derive_key(id3));
+
+  // All three challenges outstanding concurrently before any report.
+  const auto g1 = hub.challenge(id1);
+  const auto g2 = hub.challenge(id2);
+  const auto g3 = hub.challenge(id3);
+  ASSERT_TRUE(g1.ok() && g2.ok() && g3.ok());
+
+  const auto f1 = frame_for(id1, g1, dev1.invoke(g1.nonce, args(6, 7)));
+  const auto f2 = frame_for(id2, g2, dev2.invoke(g2.nonce, args(6, 7)));
+  const auto f3 = frame_for(id3, g3, dev3.invoke(g3.nonce, args(40, 2)));
+
+  // Submit out of order, as fleet traffic arrives.
+  const auto r2 = hub.submit(f2);
+  const auto r1 = hub.submit(f1);
+  const auto r3 = hub.submit(f3);
+  EXPECT_TRUE(r1.accepted());
+  EXPECT_TRUE(r2.accepted());
+  EXPECT_TRUE(r3.accepted());
+  EXPECT_EQ(r1.verdict.replayed_result, 13);
+  EXPECT_EQ(r2.verdict.replayed_result, 42);
+  EXPECT_EQ(r3.verdict.replayed_result, 42);
+  EXPECT_EQ(r1.device, id1);
+  EXPECT_EQ(r2.device, id2);
+
+  // A frame replayed across challenges is rejected with a typed error.
+  EXPECT_EQ(hub.submit(f2).error, proto_error::replayed_report);
+}
+
+TEST(hub, batch_verification_matches_individual_submits) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id1 = reg.provision(prog);
+  const auto id2 = reg.provision(prog);
+  verifier_hub hub(reg);
+  proto::prover_device dev1(prog, reg.derive_key(id1));
+  proto::prover_device dev2(prog, reg.derive_key(id2));
+
+  std::vector<byte_vec> frames;
+  std::vector<std::uint16_t> expect;
+  for (int round = 0; round < 3; ++round) {
+    const auto g1 = hub.challenge(id1);
+    const auto g2 = hub.challenge(id2);
+    const auto a = static_cast<std::uint16_t>(10 * (round + 1));
+    frames.push_back(frame_for(id1, g1, dev1.invoke(g1.nonce, args(a, 1))));
+    frames.push_back(frame_for(id2, g2, dev2.invoke(g2.nonce, args(a, 2))));
+    expect.push_back(static_cast<std::uint16_t>(a + 1));
+    expect.push_back(static_cast<std::uint16_t>(a + 2));
+  }
+  // One corrupted frame in the middle must not poison the batch.
+  frames.insert(frames.begin() + 3, byte_vec(20, 0));
+  expect.insert(expect.begin() + 3, 0);
+
+  const auto results = hub.verify_batch(frames);
+  ASSERT_EQ(results.size(), frames.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i == 3) {
+      EXPECT_EQ(results[i].error, proto_error::bad_magic);
+      continue;
+    }
+    EXPECT_TRUE(results[i].accepted()) << "frame " << i;
+    EXPECT_EQ(results[i].verdict.replayed_result, expect[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adapter (v1 session) over the hub
+// ---------------------------------------------------------------------------
+
+TEST(adapter, session_reports_superseded_via_hub_but_stale_via_v1_api) {
+  const auto prog = adder_prog();
+  proto::prover_device dev(prog, test::test_key());
+  proto::verifier_session vrf(prog, test::test_key());
+  const auto c1 = vrf.new_challenge();
+  const auto rep1 = dev.invoke(c1, args(1, 2));
+  (void)vrf.new_challenge();  // supersedes c1 (v1 semantics)
+  // The v1 API folds it into a stale_challenge finding...
+  const auto v = vrf.check(rep1);
+  EXPECT_FALSE(v.accepted);
+  EXPECT_TRUE(v.has(verifier::attack_kind::stale_challenge));
+  // ...but the underlying hub reports the precise typed error.
+  const auto c3 = vrf.new_challenge();
+  const auto rep3 = dev.invoke(c3, args(1, 2));
+  (void)vrf.new_challenge();
+  const auto r = vrf.hub().verify_report(vrf.id(), rep3);
+  EXPECT_EQ(r.error, proto_error::challenge_superseded);
+}
+
+}  // namespace
+}  // namespace dialed::fleet

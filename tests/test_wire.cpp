@@ -84,6 +84,114 @@ TEST(wire, crc16_known_answer) {
 }
 
 // ---------------------------------------------------------------------------
+// Versioned codec: wire v2, typed errors, v1<->v2 interplay
+// ---------------------------------------------------------------------------
+
+TEST(wire_v2, round_trip_carries_device_id_and_seq) {
+  const auto rep = sample_report();
+  frame_info info;
+  info.device_id = 0xdeadbeef;
+  info.seq = 40'000'001;
+  const auto frame = encode_frame(info, rep);
+  const auto r = decode_frame(frame);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.frame.info.version, wire_v2);
+  EXPECT_EQ(r.frame.info.device_id, 0xdeadbeefu);
+  EXPECT_EQ(r.frame.info.seq, 40'000'001u);
+  EXPECT_EQ(r.frame.report.challenge, rep.challenge);
+  EXPECT_EQ(r.frame.report.mac, rep.mac);
+  EXPECT_EQ(r.frame.report.or_bytes, rep.or_bytes);
+  EXPECT_EQ(r.frame.report.claimed_result, rep.claimed_result);
+}
+
+TEST(wire_v2, truncation_at_every_boundary_is_a_typed_error) {
+  const auto rep = sample_report();
+  frame_info info;
+  info.device_id = 7;
+  info.seq = 1;
+  const auto frame = encode_frame(info, rep);
+  constexpr std::size_t v2_header = 74;
+  ASSERT_GT(frame.size(), v2_header + 2);
+  // Every proper prefix must fail with a typed transport error — never
+  // crash, never parse.
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const auto cut = std::span<const std::uint8_t>(frame).subspan(0, len);
+    const auto r = decode_frame(cut);
+    ASSERT_FALSE(r.ok()) << "prefix length " << len;
+    EXPECT_TRUE(is_transport_error(r.error)) << "prefix length " << len;
+    if (len < v2_header + 2) {
+      EXPECT_EQ(r.error, proto_error::truncated) << "prefix length " << len;
+    } else {
+      EXPECT_EQ(r.error, proto_error::bad_length) << "prefix length " << len;
+    }
+  }
+}
+
+TEST(wire_v2, typed_magic_version_and_crc_errors) {
+  const auto frame = encode_frame(frame_info{}, sample_report());
+  auto bad = frame;
+  bad[0] ^= 0xff;
+  EXPECT_EQ(decode_frame(bad).error, proto_error::bad_magic);
+  bad = frame;
+  bad[2] = 9;
+  EXPECT_EQ(decode_frame(bad).error, proto_error::bad_version);
+  bad = frame;
+  bad[80] ^= 0x01;  // flip a payload bit: CRC catches it
+  EXPECT_EQ(decode_frame(bad).error, proto_error::bad_crc);
+  EXPECT_THROW(encode_frame(frame_info{.version = 9}, sample_report()),
+               error);
+}
+
+TEST(wire_v2, cross_decode_v1_and_v2) {
+  const auto rep = sample_report();
+  // A v1 frame decodes through the versioned codec with no identity.
+  const auto v1_frame = encode_report(rep);
+  const auto r1 = decode_frame(v1_frame);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.frame.info.version, wire_v1);
+  EXPECT_EQ(r1.frame.info.device_id, 0u);
+  EXPECT_EQ(r1.frame.info.seq, 0u);
+  EXPECT_EQ(r1.frame.report.or_bytes, rep.or_bytes);
+  // A v2 frame decodes through the v1-era convenience helper.
+  frame_info info;
+  info.device_id = 3;
+  info.seq = 5;
+  const auto v2_frame = encode_frame(info, rep);
+  const auto back = decode_report(v2_frame);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->mac, rep.mac);
+}
+
+TEST(wire_v2, version_confusion_is_a_typed_error_not_a_crash) {
+  const auto rep = sample_report();
+  // A v2 frame relabeled v1: offsets shift, the CRC (or length) must trip.
+  auto v2_as_v1 = encode_frame(frame_info{.device_id = 9}, rep);
+  v2_as_v1[2] = wire_v1;
+  const auto r1 = decode_frame(v2_as_v1);
+  EXPECT_FALSE(r1.ok());
+  EXPECT_TRUE(is_transport_error(r1.error));
+  // A v1 frame relabeled v2 likewise.
+  auto v1_as_v2 = encode_report(rep);
+  v1_as_v2[2] = wire_v2;
+  const auto r2 = decode_frame(v1_as_v2);
+  EXPECT_FALSE(r2.ok());
+  EXPECT_TRUE(is_transport_error(r2.error));
+}
+
+TEST(wire_v2, decode_into_reuses_caller_storage) {
+  const auto rep = sample_report();
+  frame_info info;
+  info.device_id = 2;
+  const auto frame = encode_frame(info, rep);
+  decoded_frame scratch;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(decode_frame_into(frame, scratch), proto_error::none);
+    EXPECT_EQ(scratch.report.or_bytes, rep.or_bytes);
+    EXPECT_EQ(scratch.info.device_id, 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Taint provenance over the replay
 // ---------------------------------------------------------------------------
 

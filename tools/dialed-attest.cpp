@@ -1,9 +1,11 @@
 // dialed-attest: run one attested invocation of a mini-C operation on the
-// emulated device and verify the report — the full protocol from the
-// command line.
+// emulated device and verify the report — the full fleet protocol from the
+// command line. The operation's device is provisioned into a one-entry
+// fleet registry (per-device key derived from a master key), attested via
+// the verifier hub, and the report travels as a wire v2 frame.
 //
-//   dialed-attest <source.c> [--entry op] [--args a,b,...] [--net b,b,...]
-//                 [--adc s,s,...] [--hex-frame] [--trace]
+//   dialed-attest <source.c> [--entry op] [--device-id N] [--args a,b,...]
+//                 [--net b,b,...] [--adc s,s,...] [--hex-frame] [--trace]
 //
 // Exit code 0 = verified, 1 = rejected, 2 = usage error.
 #include <cstdio>
@@ -11,18 +13,45 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "fleet/verifier_hub.h"
 #include "proto/prover.h"
-#include "proto/session.h"
 #include "proto/wire.h"
 
 namespace {
 
-std::vector<std::uint32_t> parse_list(const std::string& s) {
+// Throws dialed::error on malformed or out-of-range numbers so main can
+// report a usage error (exit 2) instead of dying on an uncaught
+// std::invalid_argument from std::stoul. `max` is the flag's value range
+// (16-bit args/ADC samples, 8-bit net bytes, 32-bit device ids) so
+// oversized values fail loudly instead of silently truncating at the
+// use site.
+std::vector<std::uint32_t> parse_list(const std::string& s,
+                                      std::uint32_t max = 0xffffffffu) {
   std::vector<std::uint32_t> out;
   std::stringstream ss(s);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    out.push_back(static_cast<std::uint32_t>(std::stoul(item, nullptr, 0)));
+    try {
+      // stoul happily parses negatives (wrapping them into unsigned
+      // long) and values beyond 32 bits; reject both explicitly.
+      if (!item.empty() && item[0] == '-') {
+        throw dialed::error("negative value: " + item);
+      }
+      std::size_t used = 0;
+      const unsigned long v = std::stoul(item, &used, 0);
+      if (used != item.size()) {
+        throw dialed::error("trailing junk in number: " + item);
+      }
+      if (v > max) {
+        throw dialed::error("value out of range (max " +
+                            std::to_string(max) + "): " + item);
+      }
+      out.push_back(static_cast<std::uint32_t>(v));
+    } catch (const dialed::error&) {
+      throw;
+    } catch (const std::exception&) {
+      throw dialed::error("not a number: '" + item + "'");
+    }
   }
   return out;
 }
@@ -30,8 +59,8 @@ std::vector<std::uint32_t> parse_list(const std::string& s) {
 void usage() {
   std::fprintf(stderr,
                "usage: dialed-attest <source.c> [--entry NAME] "
-               "[--args a,b,...] [--net b,b,...] [--adc s,s,...] "
-               "[--hex-frame] [--trace]\n");
+               "[--device-id N] [--args a,b,...] [--net b,b,...] "
+               "[--adc s,s,...] [--hex-frame] [--trace]\n");
 }
 
 }  // namespace
@@ -45,35 +74,48 @@ int main(int argc, char** argv) {
   std::string path;
   std::string entry = "op";
   proto::invocation inv;
+  fleet::device_id device_id = 1;
   bool hex_frame = false, trace = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--entry" && i + 1 < argc) {
-      entry = argv[++i];
-    } else if (arg == "--args" && i + 1 < argc) {
-      const auto vals = parse_list(argv[++i]);
-      for (std::size_t k = 0; k < vals.size() && k < 8; ++k) {
-        inv.args[k] = static_cast<std::uint16_t>(vals[k]);
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--entry" && i + 1 < argc) {
+        entry = argv[++i];
+      } else if (arg == "--device-id" && i + 1 < argc) {
+        const auto vals = parse_list(argv[++i]);
+        if (vals.size() != 1 || vals[0] == 0) {
+          throw error("--device-id needs one nonzero id");
+        }
+        device_id = vals[0];
+      } else if (arg == "--args" && i + 1 < argc) {
+        const auto vals = parse_list(argv[++i], 0xffff);
+        for (std::size_t k = 0; k < vals.size() && k < 8; ++k) {
+          inv.args[k] = static_cast<std::uint16_t>(vals[k]);
+        }
+      } else if (arg == "--net" && i + 1 < argc) {
+        for (const auto v : parse_list(argv[++i], 0xff)) {
+          inv.net_rx.push_back(static_cast<std::uint8_t>(v));
+        }
+      } else if (arg == "--adc" && i + 1 < argc) {
+        for (const auto v : parse_list(argv[++i], 0xffff)) {
+          inv.adc_samples.push_back(static_cast<std::uint16_t>(v));
+        }
+      } else if (arg == "--hex-frame") {
+        hex_frame = true;
+      } else if (arg == "--trace") {
+        trace = true;
+      } else if (!arg.empty() && arg[0] == '-') {
+        usage();
+        return 2;
+      } else {
+        path = arg;
       }
-    } else if (arg == "--net" && i + 1 < argc) {
-      for (const auto v : parse_list(argv[++i])) {
-        inv.net_rx.push_back(static_cast<std::uint8_t>(v));
-      }
-    } else if (arg == "--adc" && i + 1 < argc) {
-      for (const auto v : parse_list(argv[++i])) {
-        inv.adc_samples.push_back(static_cast<std::uint16_t>(v));
-      }
-    } else if (arg == "--hex-frame") {
-      hex_frame = true;
-    } else if (arg == "--trace") {
-      trace = true;
-    } else if (!arg.empty() && arg[0] == '-') {
-      usage();
-      return 2;
-    } else {
-      path = arg;
     }
+  } catch (const error& e) {
+    std::fprintf(stderr, "dialed-attest: %s\n", e.what());
+    usage();
+    return 2;
   }
   if (path.empty()) {
     usage();
@@ -94,30 +136,37 @@ int main(int argc, char** argv) {
     lo.mode = instr::instrumentation::dialed;
     const auto prog = instr::build_operation(ss.str(), lo);
 
-    const byte_vec key(32, 0xAB);
-    proto::prover_device dev(prog, key);
-    proto::verifier_session vrf(prog, key);
+    // Fleet-side provisioning: the hub holds only the master key; the
+    // device is burned with the derived K_dev.
+    fleet::device_registry registry(byte_vec(32, 0xAB));
+    registry.provision(device_id, prog);
+    fleet::verifier_hub hub(registry);
+    proto::prover_device dev(prog, registry.derive_key(device_id));
 
-    const auto chal = vrf.new_challenge();
-    const auto rep = dev.invoke(chal, inv);
+    const auto grant = hub.challenge(device_id);
+    const auto rep = dev.invoke(grant.nonce, inv);
     // Ship the report through the wire format, as a real deployment would.
-    const auto frame = proto::encode_report(rep);
+    proto::frame_info info;
+    info.device_id = device_id;
+    info.seq = grant.seq;
+    const auto frame = proto::encode_frame(info, rep);
     if (hex_frame) {
       std::printf("frame (%zu bytes): %s\n", frame.size(),
                   to_hex(frame).c_str());
     }
-    const auto parsed = proto::decode_report(frame);
-    if (!parsed) {
-      std::fprintf(stderr, "dialed-attest: frame corrupted in transit\n");
+    const auto result = hub.submit(frame);
+    if (result.error != proto::proto_error::none) {
+      std::fprintf(stderr, "dialed-attest: protocol error: %s\n",
+                   proto::to_string(result.error).c_str());
       return 1;
     }
-    const auto v = vrf.check(*parsed);
+    const auto& v = result.verdict;
 
-    std::printf("device:   result=%u, EXEC=%d, op=%llu cycles, log=%dB, "
-                "frame=%zuB\n",
-                rep.claimed_result, rep.exec ? 1 : 0,
+    std::printf("device:   id=%u result=%u, EXEC=%d, op=%llu cycles, "
+                "log=%dB, frame=%zuB (wire v2, seq %u)\n",
+                device_id, rep.claimed_result, rep.exec ? 1 : 0,
                 static_cast<unsigned long long>(dev.last_op_cycles()),
-                dev.last_log_bytes(), frame.size());
+                dev.last_log_bytes(), frame.size(), grant.seq);
     std::printf("verifier: %s (replayed result %u, %llu instructions)\n",
                 v.accepted ? "ACCEPTED" : "REJECTED", v.replayed_result,
                 static_cast<unsigned long long>(v.replay_instructions));
