@@ -120,45 +120,36 @@ BENCHMARK(BM_verifier_replay_scaling)
     ->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
-void BM_fleet_verify_batch(benchmark::State& state) {
-  // Hub-side fleet throughput: verify a batch of independent wire v2
-  // reports from `range(0)` devices x 4 rounds. Frames are produced once
-  // (device emulation is the slow part and is not what this measures);
-  // each iteration re-arms a hub with the same challenge RNG seed so the
-  // pre-built frames' nonces are outstanding again, then times only
-  // verify_batch: decode + per-device key MAC + abstract execution.
-  const auto n_devices = static_cast<std::uint32_t>(state.range(0));
-  constexpr int rounds = 4;
-  const std::uint64_t seed = 0xfee1f1ee7ull;
-
-  dialed::instr::link_options lo;
-  lo.entry = "op";
-  lo.mode = dialed::instr::instrumentation::dialed;
-  const auto prog = dialed::instr::build_operation(
-      "int g = 3;"
-      "int op(int n) { int s = 0; int i;"
-      "  for (i = 0; i < n; i++) { s = s + g + i; } return s; }",
-      lo);
-
-  dialed::fleet::device_registry reg(bench_key());
-  std::vector<dialed::fleet::device_id> ids;
-  for (std::uint32_t d = 0; d < n_devices; ++d) {
-    ids.push_back(reg.provision(prog));
-  }
+// Shared scaffolding for the fleet verify_batch benchmarks: `n_devices`
+// provisioned devices x `rounds` wire v2 frames each. Frames are produced
+// once (device emulation is the slow part and is not what these measure);
+// each iteration re-arms a hub with the same challenge RNG seed so the
+// pre-built frames' nonces are outstanding again, then times only
+// verify_batch: decode + per-device key MAC + abstract execution.
+struct fleet_batch_bench {
+  dialed::fleet::device_registry reg{bench_key()};
   dialed::fleet::hub_config cfg;
-  cfg.seed = seed;
-  cfg.max_outstanding = rounds;
-
-  const auto issue_all = [&](dialed::fleet::verifier_hub& hub) {
-    std::vector<dialed::fleet::challenge_grant> grants;
-    for (int r = 0; r < rounds; ++r) {
-      for (const auto id : ids) grants.push_back(hub.challenge(id));
-    }
-    return grants;
-  };
-
+  std::vector<dialed::fleet::device_id> ids;
   std::vector<dialed::byte_vec> frames;
-  {
+  static constexpr int rounds = 4;
+
+  explicit fleet_batch_bench(std::uint32_t n_devices) {
+    cfg.seed = 0xfee1f1ee7ull;
+    cfg.max_outstanding = rounds;
+    cfg.sequential_batch = true;  // callers override for parallel runs
+
+    dialed::instr::link_options lo;
+    lo.entry = "op";
+    lo.mode = dialed::instr::instrumentation::dialed;
+    const auto prog = dialed::instr::build_operation(
+        "int g = 3;"
+        "int op(int n) { int s = 0; int i;"
+        "  for (i = 0; i < n; i++) { s = s + g + i; } return s; }",
+        lo);
+    for (std::uint32_t d = 0; d < n_devices; ++d) {
+      ids.push_back(reg.provision(prog));
+    }
+
     dialed::fleet::verifier_hub setup_hub(reg, cfg);
     const auto grants = issue_all(setup_hub);
     std::size_t g = 0;
@@ -176,32 +167,71 @@ void BM_fleet_verify_batch(benchmark::State& state) {
     }
   }
 
-  for (auto _ : state) {
-    state.PauseTiming();
-    dialed::fleet::verifier_hub hub(reg, cfg);
-    issue_all(hub);  // identical seed + order -> identical nonces
-    for (const auto id : ids) hub.core(id);  // build verifiers untimed
-    state.ResumeTiming();
-    const auto results = hub.verify_batch(frames);
-    const bool all_ok =
-        std::all_of(results.begin(), results.end(),
-                    [](const auto& r) { return r.accepted(); });
-    if (!all_ok) {
-      state.SkipWithError("batch report rejected");
-      break;
+  std::vector<dialed::fleet::challenge_grant> issue_all(
+      dialed::fleet::verifier_hub& hub) const {
+    std::vector<dialed::fleet::challenge_grant> grants;
+    for (int r = 0; r < rounds; ++r) {
+      for (const auto id : ids) grants.push_back(hub.challenge(id));
     }
-    benchmark::DoNotOptimize(results);
+    return grants;
   }
-  state.counters["reports_per_s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) *
-          static_cast<double>(frames.size()),
-      benchmark::Counter::kIsRate);
+
+  void run(benchmark::State& state) {
+    for (auto _ : state) {
+      state.PauseTiming();
+      dialed::fleet::verifier_hub hub(reg, cfg);
+      issue_all(hub);  // identical seed + order -> identical nonces
+      for (const auto id : ids) hub.core(id);  // build verifiers untimed
+      state.ResumeTiming();
+      const auto results = hub.verify_batch(frames);
+      const bool all_ok =
+          std::all_of(results.begin(), results.end(),
+                      [](const auto& r) { return r.accepted(); });
+      if (!all_ok) {
+        state.SkipWithError("batch report rejected");
+        break;
+      }
+      benchmark::DoNotOptimize(results);
+    }
+    state.counters["reports_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(frames.size()),
+        benchmark::Counter::kIsRate);
+  }
+};
+
+void BM_fleet_verify_batch(benchmark::State& state) {
+  // The sequential baseline: one thread, `range(0)` devices x 4 rounds.
+  fleet_batch_bench bench(static_cast<std::uint32_t>(state.range(0)));
+  bench.run(state);
 }
 BENCHMARK(BM_fleet_verify_batch)
     ->Arg(2)
     ->Arg(8)
     ->Arg(32)
     ->Unit(benchmark::kMillisecond);
+
+void BM_fleet_verify_batch_parallel(benchmark::State& state) {
+  // Thread-scaling sweep over the same workload: 32 devices x 4 rounds
+  // (128 frames/batch), `range(0)` = total verify threads. 1 means the
+  // strictly sequential inline path (the baseline the speedup is measured
+  // against); w > 1 means a pool of w-1 workers plus the calling thread.
+  const auto total_threads = static_cast<std::uint32_t>(state.range(0));
+  fleet_batch_bench bench(32);
+  if (total_threads > 1) {
+    bench.cfg.sequential_batch = false;
+    bench.cfg.workers = total_threads - 1;
+  }
+  bench.run(state);
+  state.counters["threads"] = total_threads;
+}
+BENCHMARK(BM_fleet_verify_batch_parallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_swatt_device_cost(benchmark::State& state) {
   // The modelled on-device cost of SW-Att in MCU cycles (context output).

@@ -1,0 +1,96 @@
+#include "common/thread_pool.h"
+
+namespace dialed {
+
+thread_pool::thread_pool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::size_t thread_pool::hardware_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 1;
+}
+
+void thread_pool::drain_batch() noexcept {
+  // n_ and body_ are stable for the whole batch: they are written under
+  // mu_ before the epoch bump and read only by threads that synchronized
+  // on that bump (workers) or wrote them (the caller).
+  for (std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+       i < n_; i = next_.fetch_add(1, std::memory_order_relaxed)) {
+    try {
+      (*body_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(err_mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void thread_pool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+    seen = epoch_;
+    lk.unlock();
+    drain_batch();
+    lk.lock();
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void thread_pool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    // Same exception contract as the pooled path: drain every index,
+    // rethrow the first failure afterwards.
+    std::exception_ptr first;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lk(run_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    n_ = n;
+    body_ = &body;
+    next_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    active_ = threads_.size();
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  drain_batch();  // the calling thread is a worker too
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return active_ == 0; });
+    body_ = nullptr;
+  }
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace dialed

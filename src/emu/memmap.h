@@ -18,7 +18,11 @@ struct memory_map {
 
   // APEX output region OR (inside RAM). `or_max` is the address of the
   // topmost 16-bit log slot; the merged CF-Log/I-Log stack grows down from
-  // it (paper §III-C, F5).
+  // it (paper §III-C, F5). Because that topmost SLOT spans bytes
+  // [or_max, or_max+1], every OR snapshot — what SW-Att MACs, what the
+  // prover ships in or_bytes, what the verifier replays — covers
+  // [or_min, or_max+1] inclusive: or_max - or_min + 2 bytes. See the
+  // layout note in src/proto/wire.h.
   std::uint16_t or_min = 0x0600;
   std::uint16_t or_max = 0x0dfe;
 

@@ -1,5 +1,7 @@
 #include "fleet/registry.h"
 
+#include <mutex>
+
 #include "common/error.h"
 #include "crypto/hmac.h"
 
@@ -19,9 +21,21 @@ byte_vec device_registry::derive_key(device_id id) const {
   return byte_vec(mac.begin(), mac.end());
 }
 
-device_id device_registry::provision(instr::linked_program prog) {
+device_id device_registry::reserve_free_id_locked() {
   while (devices_.count(next_id_) != 0) ++next_id_;
-  return provision(next_id_++, std::move(prog));
+  return next_id_++;
+}
+
+device_id device_registry::provision(instr::linked_program prog) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  const device_id id = reserve_free_id_locked();
+  device_record rec;
+  rec.id = id;
+  rec.key = derive_key(id);
+  rec.program =
+      std::make_shared<const instr::linked_program>(std::move(prog));
+  devices_.emplace(id, std::move(rec));
+  return id;
 }
 
 device_id device_registry::provision(device_id id,
@@ -29,6 +43,7 @@ device_id device_registry::provision(device_id id,
   if (id == 0) {
     throw error("fleet: device id 0 is reserved");
   }
+  std::unique_lock<std::shared_mutex> lk(mu_);
   if (devices_.count(id) != 0) {
     throw error("fleet: device id " + std::to_string(id) +
                 " already provisioned");
@@ -44,8 +59,8 @@ device_id device_registry::provision(device_id id,
 
 device_id device_registry::enroll(instr::linked_program prog,
                                   byte_vec device_key) {
-  while (devices_.count(next_id_) != 0) ++next_id_;
-  const device_id id = next_id_++;
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  const device_id id = reserve_free_id_locked();
   device_record rec;
   rec.id = id;
   rec.key = std::move(device_key);
@@ -56,11 +71,18 @@ device_id device_registry::enroll(instr::linked_program prog,
 }
 
 const device_record* device_registry::find(device_id id) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   const auto it = devices_.find(id);
   return it == devices_.end() ? nullptr : &it->second;
 }
 
+std::size_t device_registry::size() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return devices_.size();
+}
+
 std::vector<device_id> device_registry::ids() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   std::vector<device_id> out;
   out.reserve(devices_.size());
   for (const auto& [id, rec] : devices_) out.push_back(id);

@@ -10,11 +10,20 @@
 // device never reveals another's key (cross-device isolation). Devices
 // enrolled with a factory pre-shared key (the v1 single-device protocol)
 // bypass the KDF via `enroll`.
+//
+// Threading model: provisioning (`provision`/`enroll`) takes a writer
+// lock; lookups (`find`/`size`/`ids`) take a reader lock and may run
+// concurrently — the verifier hub's sharded hot path does exactly that.
+// Records are immutable once provisioned and never erased, and std::map
+// nodes are address-stable, so a `device_record*` returned by `find`
+// stays valid (and safely readable) for the registry's lifetime even
+// while other threads keep provisioning.
 #ifndef DIALED_FLEET_REGISTRY_H
 #define DIALED_FLEET_REGISTRY_H
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 
 #include "instr/oplink.h"
 
@@ -46,18 +55,23 @@ class device_registry {
   /// for v1 single-device deployments. Auto-assigns the id.
   device_id enroll(instr::linked_program prog, byte_vec device_key);
 
-  /// nullptr when the id was never provisioned.
+  /// nullptr when the id was never provisioned. Safe for concurrent
+  /// readers; the returned pointer never dangles (see file comment).
   const device_record* find(device_id id) const;
 
   /// The KDF, exposed so provisioning tooling can derive K_dev without a
   /// registry instance's record (e.g. to burn keys at the factory).
+  /// Touches only the immutable master key — lock-free.
   byte_vec derive_key(device_id id) const;
 
-  std::size_t size() const { return devices_.size(); }
+  std::size_t size() const;
   std::vector<device_id> ids() const;
 
  private:
-  byte_vec master_;
+  device_id reserve_free_id_locked();
+
+  byte_vec master_;  ///< immutable after construction
+  mutable std::shared_mutex mu_;
   device_id next_id_ = 1;
   std::map<device_id, device_record> devices_;
 };

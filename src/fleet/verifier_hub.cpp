@@ -6,14 +6,47 @@
 
 namespace dialed::fleet {
 
-verifier_hub::verifier_hub(const device_registry& registry, hub_config cfg)
-    : registry_(registry), cfg_(cfg), rng_(cfg.seed) {
-  if (cfg_.max_outstanding == 0) cfg_.max_outstanding = 1;
+namespace {
+
+/// splitmix64 finalizer — decorrelates per-shard RNG seeds and spreads
+/// (typically sequential) device ids across shards.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
 }
 
-verifier_hub::device_state* verifier_hub::state_for(device_id id) {
-  if (registry_.find(id) == nullptr) return nullptr;
-  return &states_[id];
+constexpr std::uint32_t default_shards = 16;
+
+}  // namespace
+
+verifier_hub::verifier_hub(const device_registry& registry, hub_config cfg)
+    : registry_(registry), cfg_(cfg) {
+  if (cfg_.max_outstanding == 0) cfg_.max_outstanding = 1;
+  if (cfg_.shards == 0) cfg_.shards = default_shards;
+  shards_.reserve(cfg_.shards);
+  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+    auto sh = std::make_unique<shard>();
+    sh->rng.seed(cfg_.seed ^ mix64(s));
+    shards_.push_back(std::move(sh));
+  }
+  if (!cfg_.sequential_batch) {
+    const std::size_t workers = cfg_.workers != 0
+                                    ? cfg_.workers
+                                    : thread_pool::hardware_workers();
+    pool_ = std::make_unique<thread_pool>(workers);
+  }
+}
+
+verifier_hub::~verifier_hub() = default;
+
+verifier_hub::shard& verifier_hub::shard_for(device_id id) {
+  return *shards_[mix64(id) % shards_.size()];
+}
+
+const verifier_hub::shard& verifier_hub::shard_for(device_id id) const {
+  return *shards_[mix64(id) % shards_.size()];
 }
 
 void verifier_hub::retire(device_state& st, std::size_t index,
@@ -25,11 +58,11 @@ void verifier_hub::retire(device_state& st, std::size_t index,
   st.outstanding.erase(it);
 }
 
-void verifier_hub::expire_stale(device_state& st) {
+void verifier_hub::expire_stale(device_state& st, std::uint64_t now) {
   if (cfg_.challenge_ttl == 0) return;
   // Outstanding is ordered by issue time, so expired entries are a prefix.
   while (!st.outstanding.empty() &&
-         now_ - st.outstanding.front().issued_at > cfg_.challenge_ttl) {
+         now - st.outstanding.front().issued_at > cfg_.challenge_ttl) {
     retire(st, 0, nonce_fate::expired);
   }
 }
@@ -37,41 +70,57 @@ void verifier_hub::expire_stale(device_state& st) {
 challenge_grant verifier_hub::challenge(device_id id) {
   challenge_grant grant;
   grant.device = id;
-  device_state* st = state_for(id);
-  if (st == nullptr) {
+  if (registry_.find(id) == nullptr) {
     grant.error = proto_error::unknown_device;
     return grant;
   }
-  expire_stale(*st);
+  shard& sh = shard_for(id);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  device_state& st = sh.states[id];
+  expire_stale(st, now());
   // Capacity eviction is an explicit, observable event: the grant notes it
   // and a late report for the evicted nonce gets challenge_superseded.
-  if (st->outstanding.size() >= cfg_.max_outstanding) {
-    retire(*st, 0, nonce_fate::superseded);
+  if (st.outstanding.size() >= cfg_.max_outstanding) {
+    retire(st, 0, nonce_fate::superseded);
     grant.note = proto_error::challenge_superseded;
   }
   challenge_entry entry;
-  for (auto& b : entry.nonce) {
-    b = static_cast<std::uint8_t>(rng_() & 0xff);
+  // Fill the 16-byte nonce from two full 64-bit draws of the shard's own
+  // generator (word-at-a-time; no cross-shard RNG sharing to race on).
+  for (std::size_t w = 0; w < entry.nonce.size(); w += 8) {
+    std::uint64_t v = sh.rng();
+    for (std::size_t b = 0; b < 8; ++b) {
+      entry.nonce[w + b] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
   }
-  entry.seq = st->next_seq++;
-  entry.issued_at = now_;
-  st->outstanding.push_back(entry);
+  entry.seq = st.next_seq++;
+  entry.issued_at = now();
+  st.outstanding.push_back(entry);
   grant.seq = entry.seq;
   grant.nonce = entry.nonce;
   return grant;
 }
 
-verifier::op_verifier& verifier_hub::core(device_id id) {
+verifier::op_verifier* verifier_hub::core_locked(shard& sh, device_id id) {
   const device_record* rec = registry_.find(id);
-  if (rec == nullptr) {
-    throw error("fleet: unknown device " + std::to_string(id));
-  }
-  device_state& st = states_[id];
+  if (rec == nullptr) return nullptr;
+  device_state& st = sh.states[id];
   if (!st.verifier) {
     st.verifier =
         std::make_unique<verifier::op_verifier>(*rec->program, rec->key);
   }
-  return *st.verifier;
+  return st.verifier.get();
+}
+
+verifier::op_verifier& verifier_hub::core(device_id id) {
+  shard& sh = shard_for(id);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  verifier::op_verifier* core = core_locked(sh, id);
+  if (core == nullptr) {
+    throw error("fleet: unknown device " + std::to_string(id));
+  }
+  return *core;
 }
 
 attest_result verifier_hub::verify_report(
@@ -91,84 +140,122 @@ attest_result verifier_hub::verify_impl(
   attest_result r;
   r.device = id;
   r.seq = seq;
-  device_state* st = state_for(id);
-  if (st == nullptr) {
-    r.error = proto_error::unknown_device;
-    return r;
-  }
-  expire_stale(*st);
 
-  const auto match =
-      std::find_if(st->outstanding.begin(), st->outstanding.end(),
-                   [&](const challenge_entry& e) {
-                     return e.nonce == report.challenge;
-                   });
-  if (match == st->outstanding.end()) {
-    // Classify the miss from the retired-nonce history (newest wins: a
-    // nonce can only be retired once, so any hit is authoritative).
-    for (auto it = st->retired.rbegin(); it != st->retired.rend(); ++it) {
-      if (it->nonce != report.challenge) continue;
-      switch (it->fate) {
-        case nonce_fate::consumed:
-          r.error = proto_error::replayed_report;
-          break;
-        case nonce_fate::superseded:
-          r.error = proto_error::challenge_superseded;
-          break;
-        case nonce_fate::expired:
-          r.error = proto_error::challenge_expired;
-          break;
-      }
+  // Phase 1 (under the shard lock): nonce bookkeeping. Match the
+  // challenge, classify misses, check the sequence number and CONSUME the
+  // nonce, capturing the verifier core pointer for phase 2.
+  verifier::op_verifier* core = nullptr;
+  std::array<std::uint8_t, 16> nonce{};
+  {
+    shard& sh = shard_for(id);
+    std::lock_guard<std::mutex> lk(sh.mu);
+    if (registry_.find(id) == nullptr) {
+      r.error = proto_error::unknown_device;
       return r;
     }
-    r.error = proto_error::stale_nonce;
-    return r;
-  }
-  if (check_seq && seq != match->seq) {
-    r.error = proto_error::sequence_mismatch;
-    return r;
+    device_state& st = sh.states[id];
+    expire_stale(st, now());
+
+    const auto match =
+        std::find_if(st.outstanding.begin(), st.outstanding.end(),
+                     [&](const challenge_entry& e) {
+                       return e.nonce == report.challenge;
+                     });
+    if (match == st.outstanding.end()) {
+      // Classify the miss from the retired-nonce history (newest wins: a
+      // nonce can only be retired once, so any hit is authoritative).
+      for (auto it = st.retired.rbegin(); it != st.retired.rend(); ++it) {
+        if (it->nonce != report.challenge) continue;
+        switch (it->fate) {
+          case nonce_fate::consumed:
+            r.error = proto_error::replayed_report;
+            break;
+          case nonce_fate::superseded:
+            r.error = proto_error::challenge_superseded;
+            break;
+          case nonce_fate::expired:
+            r.error = proto_error::challenge_expired;
+            break;
+        }
+        return r;
+      }
+      r.error = proto_error::stale_nonce;
+      return r;
+    }
+    if (check_seq && seq != match->seq) {
+      r.error = proto_error::sequence_mismatch;
+      return r;
+    }
+
+    // Consume the nonce BEFORE verification: even a rejected report burns
+    // its challenge (one report per nonce, §III anti-replay). Under
+    // concurrency this is also the duplicate-submit tiebreak — exactly
+    // one submitter finds the nonce outstanding.
+    nonce = match->nonce;
+    r.seq = match->seq;
+    retire(st, static_cast<std::size_t>(match - st.outstanding.begin()),
+           nonce_fate::consumed);
+    core = core_locked(sh, id);
   }
 
-  // Consume the nonce BEFORE verification: even a rejected report burns
-  // its challenge (one report per nonce, §III anti-replay).
-  const auto nonce = match->nonce;
-  r.seq = match->seq;
-  retire(*st, static_cast<std::size_t>(match - st->outstanding.begin()),
-         nonce_fate::consumed);
-  r.verdict = core(id).verify(report, nonce);
+  // Phase 2 (no locks held): the expensive MAC + abstract-execution
+  // verification. op_verifier::verify is const and reentrant.
+  r.verdict = core->verify(report, nonce);
   return r;
 }
 
 attest_result verifier_hub::submit(std::span<const std::uint8_t> frame) {
-  const proto_error err = proto::decode_frame_into(frame, scratch_);
+  // Reentrancy: one decode scratch per thread, so concurrent submits
+  // (and verify_batch workers) never share a buffer but batches still
+  // reuse or_bytes capacity across frames.
+  static thread_local proto::decoded_frame scratch;
+  const proto_error err = proto::decode_frame_into(frame, scratch);
   if (err != proto_error::none) {
     attest_result r;
     r.error = err;
     return r;
   }
-  if (scratch_.info.version != proto::wire_v2) {
+  if (scratch.info.version != proto::wire_v2) {
     // A v1 frame names no device; the hub cannot route it.
     attest_result r;
     r.error = proto_error::unknown_device;
     return r;
   }
-  return verify_report(scratch_.info.device_id, scratch_.info.seq,
-                       scratch_.report);
+  return verify_report(scratch.info.device_id, scratch.info.seq,
+                       scratch.report);
 }
 
 std::vector<attest_result> verifier_hub::verify_batch(
     std::span<const byte_vec> frames) {
-  std::vector<attest_result> out;
-  out.reserve(frames.size());
-  for (const auto& f : frames) {
-    out.push_back(submit(f));
+  std::vector<attest_result> out(frames.size());
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      out[i] = submit(frames[i]);
+    }
+    return out;
   }
+  // Fan out across the pool; each worker writes only its own slot, so the
+  // results land in input order with no post-hoc reordering.
+  pool_->parallel_for(frames.size(),
+                      [&](std::size_t i) { out[i] = submit(frames[i]); });
   return out;
 }
 
 std::size_t verifier_hub::outstanding(device_id id) const {
-  const auto it = states_.find(id);
-  return it == states_.end() ? 0 : it->second.outstanding.size();
+  const shard& sh = shard_for(id);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  const auto it = sh.states.find(id);
+  if (it == sh.states.end()) return 0;
+  const auto& entries = it->second.outstanding;
+  if (cfg_.challenge_ttl == 0) return entries.size();
+  // Count only live entries: expiry is swept lazily on the challenge /
+  // verify paths, but a dead challenge must never be reported as
+  // outstanding in the meantime.
+  const std::uint64_t t = now();
+  return static_cast<std::size_t>(std::count_if(
+      entries.begin(), entries.end(), [&](const challenge_entry& e) {
+        return t - e.issued_at <= cfg_.challenge_ttl;
+      }));
 }
 
 }  // namespace dialed::fleet

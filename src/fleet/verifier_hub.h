@@ -29,12 +29,50 @@
 // Challenge lifecycle: issued -> (consumed | superseded | expired), with a
 // bounded per-device memory of retired nonces so a late report gets the
 // precise typed error instead of a generic rejection.
+//
+// Threading model
+// ---------------
+// The hub is internally sharded: per-device state (challenge table,
+// retired-nonce history, cached op_verifier) lives in one of
+// `hub_config::shards` shards selected by a hash of the device id, each
+// with its own mutex and its own challenge-nonce RNG stream. All public
+// entry points are safe to call concurrently from any number of threads:
+//
+//   - `challenge` / `submit` / `verify_report` take only the owning
+//     shard's lock, so traffic for different shards never contends.
+//   - Nonce bookkeeping (match, seq check, consume) happens under the
+//     shard lock; the expensive cryptographic/replay verification runs
+//     OUTSIDE it, so one slow report does not stall its shard. The nonce
+//     is consumed before the lock is dropped — the §III one-report-per-
+//     nonce rule holds even when the same frame is submitted twice
+//     concurrently (exactly one submitter sees the nonce; the other gets
+//     replayed_report).
+//   - `verify_batch` fans the frames out over an internal worker pool
+//     (`hub_config::workers` threads; the caller participates too) and
+//     returns results in input order.
+//   - `tick`/`now` use an atomic clock and may race freely.
+//   - `core(id)` construction is serialized by the shard lock; the
+//     returned op_verifier is verify-const and safe for concurrent
+//     `verify` calls — with one caveat: attached policies' hooks
+//     (on_write/on_finish) run during replay on whichever thread is
+//     verifying, and two reports for the SAME device may verify
+//     concurrently, so a policy that keeps internal mutable state must
+//     synchronize it itself (the built-in policies are stateless).
+//     Mutating the core (add_policy) while traffic is in flight is NOT
+//     synchronized either — attach policies before serving.
+//
+// The one external requirement: the device_registry must outlive the hub,
+// and concurrent `provision`/`enroll` calls are the registry's own
+// (shared_mutex) problem — records, once provisioned, are immutable.
 #ifndef DIALED_FLEET_VERIFIER_HUB_H
 #define DIALED_FLEET_VERIFIER_HUB_H
 
+#include <atomic>
 #include <deque>
+#include <mutex>
 #include <random>
 
+#include "common/thread_pool.h"
 #include "fleet/registry.h"
 #include "proto/wire.h"
 #include "verifier/verifier.h"
@@ -52,8 +90,20 @@ struct hub_config {
   /// Retired nonces remembered per device (replay/supersede/expiry
   /// classification window).
   std::size_t retired_memory = 64;
-  /// Makes challenge generation reproducible in tests.
+  /// Makes challenge generation reproducible in tests. Shard s draws its
+  /// nonces from an independent stream seeded with `seed ^ splitmix(s)`.
   std::uint64_t seed = 0x1a2b3c4d5e6f7788ull;
+  /// Device-state shards (each its own lock + RNG). 0 = pick a default.
+  /// 1 reproduces the old fully-serialized hub.
+  std::uint32_t shards = 0;
+  /// Worker threads for verify_batch fan-out; the calling thread always
+  /// participates as one more worker. 0 = hardware concurrency - 1;
+  /// 1 worker thread still means 2-way parallelism. Use
+  /// `sequential_batch = true` for a strictly single-threaded hub.
+  std::uint32_t workers = 0;
+  /// Forces verify_batch to run inline on the calling thread (no pool is
+  /// created). The single-device v1 adapter sets this.
+  bool sequential_batch = false;
 };
 
 /// The issuance half of the protocol: what the hub hands the transport to
@@ -86,14 +136,17 @@ class verifier_hub {
  public:
   explicit verifier_hub(const device_registry& registry,
                         hub_config cfg = {});
+  ~verifier_hub();
 
   /// Draw a fresh challenge for a device. Many challenges may be
-  /// outstanding per device (up to cfg.max_outstanding).
+  /// outstanding per device (up to cfg.max_outstanding). Thread-safe.
   challenge_grant challenge(device_id id);
 
   /// Decode a wire frame (any supported version) and verify it. v1 frames
   /// carry no device id and are rejected with unknown_device — route them
-  /// through a proto::verifier_session instead.
+  /// through a proto::verifier_session instead. Thread-safe, reentrant:
+  /// decoding uses a thread-local scratch frame, so concurrent submits
+  /// never share a buffer.
   attest_result submit(std::span<const std::uint8_t> frame);
 
   /// Verify an already-decoded report for a device, requiring the frame's
@@ -107,20 +160,32 @@ class verifier_hub {
   attest_result verify_report(device_id id,
                               const verifier::attestation_report& report);
 
-  /// Verify a batch of independent frames, reusing one decode scratch
-  /// buffer and the per-device cached verifiers across the whole batch.
+  /// Verify a batch of independent frames in parallel on the hub's worker
+  /// pool (per-shard locking; crypto/replay outside the locks). Results
+  /// are returned in input order regardless of completion order.
   std::vector<attest_result> verify_batch(std::span<const byte_vec> frames);
 
   /// Advance the monotonic clock; challenges older than cfg.challenge_ttl
-  /// ticks are retired as expired.
-  void tick(std::uint64_t n = 1) { now_ += n; }
-  std::uint64_t now() const { return now_; }
+  /// ticks are retired as expired. Thread-safe.
+  void tick(std::uint64_t n = 1) {
+    now_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t now() const { return now_.load(std::memory_order_relaxed); }
 
   /// Per-device verifier core, e.g. to attach app policies. Throws
-  /// dialed::error for an unknown device.
+  /// dialed::error for an unknown device. Construction is thread-safe;
+  /// mutating the returned core concurrently with verification is not.
   verifier::op_verifier& core(device_id id);
 
+  /// Outstanding challenges for a device, EXCLUDING entries already past
+  /// cfg.challenge_ttl (they are dead — merely not yet swept into the
+  /// retired history by a challenge/verify on that device).
   std::size_t outstanding(device_id id) const;
+
+  /// Worker threads backing verify_batch (0 = inline/sequential).
+  std::size_t batch_workers() const {
+    return pool_ ? pool_->workers() : 0;
+  }
 
  private:
   enum class nonce_fate : std::uint8_t { consumed, superseded, expired };
@@ -139,23 +204,36 @@ class verifier_hub {
   struct device_state {
     std::deque<challenge_entry> outstanding;  ///< ordered by issue time
     std::deque<retired_nonce> retired;        ///< bounded history
-    std::unique_ptr<verifier::op_verifier> verifier;  ///< built lazily
+    /// Built lazily under the shard lock; verified outside it. The
+    /// pointee's address is stable (map node + unique_ptr).
+    std::unique_ptr<verifier::op_verifier> verifier;
     std::uint32_t next_seq = 1;
   };
 
-  device_state* state_for(device_id id);
+  /// One lock domain: a slice of the fleet's devices plus the RNG stream
+  /// their nonces are drawn from.
+  struct shard {
+    mutable std::mutex mu;
+    std::map<device_id, device_state> states;
+    std::mt19937_64 rng;
+  };
+
+  shard& shard_for(device_id id);
+  const shard& shard_for(device_id id) const;
   void retire(device_state& st, std::size_t index, nonce_fate fate);
-  void expire_stale(device_state& st);
+  void expire_stale(device_state& st, std::uint64_t now);
+  /// Looks up (or lazily builds) the device's verifier core. Caller must
+  /// hold the shard lock. Returns nullptr for an unknown device.
+  verifier::op_verifier* core_locked(shard& sh, device_id id);
   attest_result verify_impl(device_id id, std::uint32_t seq,
                             bool check_seq,
                             const verifier::attestation_report& report);
 
   const device_registry& registry_;
   hub_config cfg_;
-  std::mt19937_64 rng_;
-  std::uint64_t now_ = 0;
-  std::map<device_id, device_state> states_;
-  proto::decoded_frame scratch_;  ///< reused by submit/verify_batch
+  std::atomic<std::uint64_t> now_{0};
+  std::vector<std::unique_ptr<shard>> shards_;
+  std::unique_ptr<thread_pool> pool_;  ///< null when sequential_batch
 };
 
 }  // namespace dialed::fleet

@@ -137,6 +137,12 @@ verifier::attestation_report prover_device::invoke(
   rep.or_max = map.or_max;
   rep.exec = rot_->apex().exec_flag();
   rep.challenge = challenge;
+  // The snapshot bound is or_max + 1 INCLUSIVE on purpose: or_max is the
+  // address of the topmost 16-bit log slot, whose high byte lives at
+  // or_max + 1. SW-Att MACs the same [or_min, or_max+1] range
+  // (src/rot/vrased.cpp) and the verifier replays it — trimming the loop
+  // to or_max would drop that byte and break every MAC. The layout is
+  // documented in src/proto/wire.h and src/emu/memmap.h.
   for (std::uint32_t a = map.or_min;
        a <= static_cast<std::uint32_t>(map.or_max) + 1; ++a) {
     rep.or_bytes.push_back(m.get_bus().peek8(static_cast<std::uint16_t>(a)));

@@ -47,14 +47,20 @@ std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) {
   return crc;
 }
 
-byte_vec encode_frame(const frame_info& info,
-                      const verifier::attestation_report& rep) {
+proto_error encode_frame_into(const frame_info& info,
+                              const verifier::attestation_report& rep,
+                              byte_vec& out) {
+  out.clear();
   if (info.version != wire_v1 && info.version != wire_v2) {
-    throw error("wire: cannot encode unknown version " +
-                std::to_string(info.version));
+    return proto_error::bad_version;
+  }
+  if (rep.or_bytes.size() > max_or_bytes) {
+    // The length field is 16 bits; a larger OR used to be silently
+    // truncated here, emitting a frame whose length/CRC never validate.
+    return proto_error::bad_length;
   }
   const std::size_t hdr = header_size(info.version);
-  byte_vec out(hdr);
+  out.resize(hdr);
   store_le16(out, 0, wire_magic);
   out[2] = info.version;
   out[3] = rep.exec ? 1 : 0;
@@ -80,6 +86,23 @@ byte_vec encode_frame(const frame_info& info,
   const std::uint16_t crc = crc16_ccitt(out);
   out.push_back(static_cast<std::uint8_t>(crc & 0xff));
   out.push_back(static_cast<std::uint8_t>(crc >> 8));
+  return proto_error::none;
+}
+
+byte_vec encode_frame(const frame_info& info,
+                      const verifier::attestation_report& rep) {
+  byte_vec out;
+  const proto_error err = encode_frame_into(info, rep, out);
+  if (err != proto_error::none) {
+    throw error("wire: cannot encode frame (" + to_string(err) +
+                "): " + (err == proto_error::bad_version
+                             ? "unknown version " +
+                                   std::to_string(info.version)
+                             : "OR payload of " +
+                                   std::to_string(rep.or_bytes.size()) +
+                                   " bytes exceeds the 16-bit length "
+                                   "field"));
+  }
   return out;
 }
 

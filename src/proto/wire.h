@@ -44,6 +44,19 @@
 // frame_info names, `decode_frame` dispatches on the version byte, and the
 // v1 helpers `encode_report`/`decode_report` are kept for single-device
 // callers and old captured frames.
+//
+// OR payload layout (shared contract with src/emu/memmap.h and the §III
+// MAC): `or_max` is the ADDRESS OF THE TOPMOST 16-BIT LOG SLOT, so the
+// slot occupies bytes [or_max, or_max+1] and the attested snapshot spans
+// [or_min, or_max+1] INCLUSIVE — `or_bytes` carries
+// `or_max - or_min + 2` bytes, one more than the naive `or_max - or_min
+// + 1`. SW-Att MACs exactly that range (src/rot/attest.h), the prover
+// snapshots it, and the verifier replays it; an encoder that drops the
+// final byte produces a frame whose MAC can never verify.
+//
+// The or_bytes length field is 16 bits: an OR snapshot larger than
+// `max_or_bytes` is unencodable and is rejected with bad_length (it used
+// to be silently truncated, yielding a frame that could never decode).
 #ifndef DIALED_PROTO_WIRE_H
 #define DIALED_PROTO_WIRE_H
 
@@ -77,10 +90,22 @@ struct decode_result {
   bool ok() const { return error == proto_error::none; }
 };
 
+/// Largest OR payload a frame can carry (16-bit length field).
+constexpr std::size_t max_or_bytes = 0xffff;
+
 /// Serialize a report into a transmission frame of the requested version.
-/// Throws dialed::error for an unknown version.
+/// Throws dialed::error for an unknown version or an OR payload larger
+/// than max_or_bytes (see encode_frame_into for the non-throwing path).
 byte_vec encode_frame(const frame_info& info,
                       const verifier::attestation_report& rep);
+
+/// Non-throwing encode into caller-owned storage (capacity is reused).
+/// Returns bad_version for an unknown version and bad_length for an OR
+/// payload that cannot fit the 16-bit length field; `out` is left empty
+/// on error.
+proto_error encode_frame_into(const frame_info& info,
+                              const verifier::attestation_report& rep,
+                              byte_vec& out);
 
 /// Parse and validate a frame of any supported version.
 decode_result decode_frame(std::span<const std::uint8_t> frame);

@@ -3,6 +3,10 @@
 // multi-device end-to-end protocol over wire v2.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <set>
+#include <thread>
+
 #include "common/error.h"
 #include "fleet/verifier_hub.h"
 #include "helpers.h"
@@ -337,6 +341,195 @@ TEST(hub, batch_verification_matches_individual_submits) {
     EXPECT_TRUE(results[i].accepted()) << "frame " << i;
     EXPECT_EQ(results[i].verdict.replayed_result, expect[i]);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: the sharded hub under multi-threaded traffic
+// ---------------------------------------------------------------------------
+
+// A cheap, wire-valid frame for hammering the hub's locking: the challenge
+// nonce/device/seq are real, the rest of the report is default garbage, so
+// the nonce bookkeeping (the part under the shard locks) runs in full but
+// verification exits early with bounds_mismatch — error == none either way.
+byte_vec dummy_frame(device_id id, const challenge_grant& grant) {
+  verifier::attestation_report rep;
+  rep.challenge = grant.nonce;
+  proto::frame_info info;
+  info.device_id = id;
+  info.seq = grant.seq;
+  return proto::encode_frame(info, rep);
+}
+
+TEST(hub_concurrency, hammered_challenge_submit_never_loses_or_dupes_nonces) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  std::vector<device_id> ids;
+  for (int d = 0; d < 6; ++d) ids.push_back(reg.provision(prog));
+
+  constexpr int threads = 8;
+  constexpr int iterations = 40;
+  hub_config cfg;
+  cfg.max_outstanding = threads * 2;  // headroom: no supersede noise
+  // The duplicate-submit check below needs the consumed nonce still in the
+  // retired history; between a thread's two submits the OTHER 7 threads
+  // can retire up to 7 * iterations entries on the same device, so the
+  // window must exceed threads * iterations to be schedule-proof.
+  cfg.retired_memory = threads * iterations * 2;
+  cfg.workers = 2;
+  verifier_hub hub(reg, cfg);
+
+  // Every thread hits EVERY device each iteration — maximal overlap on the
+  // shard locks and the per-device tables.
+  std::atomic<int> failures{0};
+  std::vector<std::vector<std::array<std::uint8_t, 16>>> nonces(threads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < iterations; ++i) {
+        for (const auto id : ids) {
+          const auto grant = hub.challenge(id);
+          if (!grant.ok() || grant.note != proto_error::none) {
+            ++failures;
+            continue;
+          }
+          nonces[t].push_back(grant.nonce);
+          const auto frame = dummy_frame(id, grant);
+          // Exactly one submit consumes the nonce...
+          const auto first = hub.submit(frame);
+          if (first.error != proto_error::none ||
+              first.device != id || first.seq != grant.seq) {
+            ++failures;
+          }
+          // ...and the duplicate is a typed replay, never a second verify.
+          const auto second = hub.submit(frame);
+          if (second.error != proto_error::replayed_report) ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every issued nonce was consumed: nothing left outstanding anywhere.
+  for (const auto id : ids) EXPECT_EQ(hub.outstanding(id), 0u);
+
+  // No generator collisions across shard RNG streams or threads.
+  std::set<std::array<std::uint8_t, 16>> unique;
+  std::size_t total = 0;
+  for (const auto& per_thread : nonces) {
+    total += per_thread.size();
+    unique.insert(per_thread.begin(), per_thread.end());
+  }
+  EXPECT_EQ(unique.size(), total);
+  EXPECT_EQ(total,
+            static_cast<std::size_t>(threads) * iterations * ids.size());
+}
+
+TEST(hub_concurrency, parallel_batch_results_are_order_stable) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  std::vector<device_id> ids;
+  for (int d = 0; d < 4; ++d) ids.push_back(reg.provision(prog));
+
+  hub_config cfg;
+  cfg.max_outstanding = 64;
+  cfg.workers = 4;
+  verifier_hub hub(reg, cfg);
+
+  // 4 devices x 32 rounds, interleaved round-robin so adjacent batch
+  // entries hit different shards.
+  std::vector<byte_vec> frames;
+  std::vector<std::pair<device_id, std::uint32_t>> expect;
+  for (int round = 0; round < 32; ++round) {
+    for (const auto id : ids) {
+      const auto grant = hub.challenge(id);
+      ASSERT_TRUE(grant.ok());
+      frames.push_back(dummy_frame(id, grant));
+      expect.emplace_back(id, grant.seq);
+    }
+  }
+
+  const auto results = hub.verify_batch(frames);
+  ASSERT_EQ(results.size(), frames.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].error, proto_error::none) << "slot " << i;
+    EXPECT_EQ(results[i].device, expect[i].first) << "slot " << i;
+    EXPECT_EQ(results[i].seq, expect[i].second) << "slot " << i;
+  }
+  // Re-submitting the whole batch: every slot is a replay, still in order.
+  const auto replays = hub.verify_batch(frames);
+  for (std::size_t i = 0; i < replays.size(); ++i) {
+    EXPECT_EQ(replays[i].error, proto_error::replayed_report);
+    EXPECT_EQ(replays[i].device, expect[i].first);
+  }
+}
+
+TEST(hub_concurrency, parallel_batch_verdicts_match_sequential_hub) {
+  // Real (cryptographically valid) reports through both a sequential and a
+  // parallel hub armed with the same seed: byte-identical accept verdicts,
+  // input order preserved.
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id1 = reg.provision(prog);
+  const auto id2 = reg.provision(prog);
+  hub_config seq_cfg;
+  seq_cfg.sequential_batch = true;
+  hub_config par_cfg;
+  par_cfg.workers = 4;
+  verifier_hub seq_hub(reg, seq_cfg);
+  verifier_hub par_hub(reg, par_cfg);
+  proto::prover_device dev1(prog, reg.derive_key(id1));
+  proto::prover_device dev2(prog, reg.derive_key(id2));
+
+  // Same seed + same issue order => identical grants from both hubs.
+  std::vector<byte_vec> frames;
+  std::vector<std::uint16_t> expect;
+  for (int round = 0; round < 3; ++round) {
+    const auto g1 = seq_hub.challenge(id1);
+    const auto g2 = seq_hub.challenge(id2);
+    ASSERT_EQ(par_hub.challenge(id1).nonce, g1.nonce);
+    ASSERT_EQ(par_hub.challenge(id2).nonce, g2.nonce);
+    const auto a = static_cast<std::uint16_t>(10 * (round + 1));
+    frames.push_back(frame_for(id1, g1, dev1.invoke(g1.nonce, args(a, 1))));
+    frames.push_back(frame_for(id2, g2, dev2.invoke(g2.nonce, args(a, 2))));
+    expect.push_back(static_cast<std::uint16_t>(a + 1));
+    expect.push_back(static_cast<std::uint16_t>(a + 2));
+  }
+  const auto seq_results = seq_hub.verify_batch(frames);
+  const auto par_results = par_hub.verify_batch(frames);
+  ASSERT_EQ(seq_results.size(), par_results.size());
+  for (std::size_t i = 0; i < seq_results.size(); ++i) {
+    EXPECT_TRUE(seq_results[i].accepted()) << "slot " << i;
+    EXPECT_TRUE(par_results[i].accepted()) << "slot " << i;
+    EXPECT_EQ(par_results[i].verdict.replayed_result, expect[i]);
+    EXPECT_EQ(seq_results[i].verdict.replayed_result, expect[i]);
+  }
+}
+
+TEST(hub_concurrency, outstanding_count_is_expiry_aware) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id = reg.provision(prog);
+  hub_config cfg;
+  cfg.challenge_ttl = 10;
+  verifier_hub hub(reg, cfg);
+  proto::prover_device dev(prog, reg.derive_key(id));
+
+  const auto g1 = hub.challenge(id);
+  const auto rep1 = dev.invoke(g1.nonce, args(1));
+  hub.tick(5);
+  const auto g2 = hub.challenge(id);
+  EXPECT_EQ(hub.outstanding(id), 2u);
+  // g1 dies at age 11. No challenge/verify runs on this device in
+  // between, so only the lazily-swept table holds it — the count must
+  // still exclude it.
+  hub.tick(6);
+  EXPECT_EQ(hub.outstanding(id), 1u);
+  hub.tick(5);  // now g2 (age 11) is dead too
+  EXPECT_EQ(hub.outstanding(id), 0u);
+  // The late report still gets its precise typed error.
+  EXPECT_EQ(hub.verify_report(id, g1.seq, rep1).error,
+            proto_error::challenge_expired);
 }
 
 // ---------------------------------------------------------------------------

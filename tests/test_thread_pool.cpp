@@ -1,0 +1,111 @@
+// The common worker pool behind fleet::verifier_hub::verify_batch:
+// completion of every index, result slot isolation, exception transport,
+// reuse across batches and the 0-worker inline degradation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace dialed {
+namespace {
+
+TEST(thread_pool, runs_every_index_exactly_once) {
+  thread_pool pool(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  constexpr std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(thread_pool, results_land_in_their_own_slots) {
+  thread_pool pool(3);
+  constexpr std::size_t n = 4096;
+  std::vector<std::size_t> out(n, 0);
+  pool.parallel_for(n, [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], i * i);
+}
+
+TEST(thread_pool, reusable_across_many_batches) {
+  thread_pool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(100, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 5000u);
+}
+
+TEST(thread_pool, zero_workers_degrades_to_inline_loop) {
+  thread_pool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  std::vector<int> out(64, 0);
+  // No pool threads exist, so the body observably runs on this thread.
+  const auto me = std::this_thread::get_id();
+  pool.parallel_for(out.size(), [&](std::size_t i) {
+    ASSERT_EQ(std::this_thread::get_id(), me);
+    out[i] = 1;
+  });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 64);
+}
+
+TEST(thread_pool, first_exception_is_rethrown_and_batch_drains) {
+  thread_pool pool(4);
+  constexpr std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  EXPECT_THROW(
+      pool.parallel_for(n,
+                        [&](std::size_t i) {
+                          hits[i].fetch_add(1, std::memory_order_relaxed);
+                          if (i % 97 == 0) throw error("boom");
+                        }),
+      error);
+  // A throwing index must not abort the rest of the batch.
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+  // ...and the pool is still usable afterwards.
+  std::atomic<int> ok{0};
+  pool.parallel_for(10, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(thread_pool, inline_fallback_honors_the_same_exception_contract) {
+  // The 0-worker degradation must drain the whole batch too, not abort at
+  // the first throw.
+  thread_pool pool(0);
+  std::vector<int> hits(100, 0);
+  EXPECT_THROW(pool.parallel_for(hits.size(),
+                                 [&](std::size_t i) {
+                                   hits[i] = 1;
+                                   if (i == 3) throw error("boom");
+                                 }),
+               error);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(thread_pool, concurrent_parallel_for_callers_are_serialized) {
+  thread_pool pool(2);
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        pool.parallel_for(64, [&](std::size_t) {
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4u * 20u * 64u);
+}
+
+}  // namespace
+}  // namespace dialed

@@ -191,6 +191,45 @@ TEST(wire_v2, decode_into_reuses_caller_storage) {
   }
 }
 
+TEST(wire_v2, oversize_or_is_rejected_not_truncated) {
+  // Regression: the 16-bit or_bytes length field used to be filled with a
+  // silent cast, so a 65536-byte OR encoded as length 0 — a frame that
+  // could never decode. It must be a typed bad_length error instead.
+  verifier::attestation_report rep;
+  rep.or_bytes.assign(max_or_bytes + 1, 0xab);
+  frame_info info;
+  info.device_id = 7;
+  byte_vec out;
+  EXPECT_EQ(encode_frame_into(info, rep, out), proto_error::bad_length);
+  EXPECT_TRUE(out.empty());
+  EXPECT_THROW(encode_frame(info, rep), error);
+  // v1 has the same length field; same rejection.
+  info.version = wire_v1;
+  EXPECT_EQ(encode_frame_into(info, rep, out), proto_error::bad_length);
+
+  // The boundary case still encodes and round-trips: exactly max_or_bytes.
+  rep.or_bytes.resize(max_or_bytes);
+  info.version = wire_v2;
+  ASSERT_EQ(encode_frame_into(info, rep, out), proto_error::none);
+  const auto back = decode_frame(out);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.frame.report.or_bytes.size(), max_or_bytes);
+  EXPECT_EQ(back.frame.report.or_bytes, rep.or_bytes);
+}
+
+TEST(wire_v2, encode_frame_into_reuses_and_clears_storage) {
+  const auto rep = sample_report();
+  frame_info info;
+  info.device_id = 5;
+  byte_vec out(500, 0xff);  // stale garbage the encoder must not keep
+  ASSERT_EQ(encode_frame_into(info, rep, out), proto_error::none);
+  EXPECT_EQ(out, encode_frame(info, rep));
+  // An unknown version is typed too, and leaves out empty.
+  info.version = 9;
+  EXPECT_EQ(encode_frame_into(info, rep, out), proto_error::bad_version);
+  EXPECT_TRUE(out.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Taint provenance over the replay
 // ---------------------------------------------------------------------------

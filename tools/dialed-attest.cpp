@@ -140,7 +140,12 @@ int main(int argc, char** argv) {
     // device is burned with the derived K_dev.
     fleet::device_registry registry(byte_vec(32, 0xAB));
     registry.provision(device_id, prog);
-    fleet::verifier_hub hub(registry);
+    // One device, one report: no point spinning up the hub's batch
+    // worker pool for a CLI invocation.
+    fleet::hub_config hub_cfg;
+    hub_cfg.shards = 1;
+    hub_cfg.sequential_batch = true;
+    fleet::verifier_hub hub(registry, hub_cfg);
     proto::prover_device dev(prog, registry.derive_key(device_id));
 
     const auto grant = hub.challenge(device_id);
