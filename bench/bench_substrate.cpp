@@ -131,11 +131,12 @@ struct fleet_batch_bench {
   dialed::fleet::hub_config cfg;
   std::vector<dialed::fleet::device_id> ids;
   std::vector<dialed::byte_vec> frames;
-  static constexpr int rounds = 4;
+  int rounds = 4;
 
-  explicit fleet_batch_bench(std::uint32_t n_devices) {
+  explicit fleet_batch_bench(std::uint32_t n_devices, int n_rounds = 4)
+      : rounds(n_rounds) {
     cfg.seed = 0xfee1f1ee7ull;
-    cfg.max_outstanding = rounds;
+    cfg.max_outstanding = static_cast<std::uint32_t>(rounds);
     cfg.sequential_batch = true;  // callers override for parallel runs
 
     dialed::instr::link_options lo;
@@ -181,7 +182,9 @@ struct fleet_batch_bench {
       state.PauseTiming();
       dialed::fleet::verifier_hub hub(reg, cfg);
       issue_all(hub);  // identical seed + order -> identical nonces
-      for (const auto id : ids) hub.core(id);  // build verifiers untimed
+      // (No per-device verifier warmup needed anymore: every device
+      // verifies off the registry's shared firmware artifact, interned
+      // once at provisioning.)
       state.ResumeTiming();
       const auto results = hub.verify_batch(frames);
       const bool all_ok =
@@ -209,6 +212,43 @@ BENCHMARK(BM_fleet_verify_batch)
     ->Arg(2)
     ->Arg(8)
     ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_fleet_verify_batch_one_firmware(benchmark::State& state) {
+  // The fleet's dominant shape: MANY devices, ONE firmware image. All
+  // `range(0)` devices intern to a single shared firmware_artifact, so
+  // per-device verifier memory is O(firmwares) + a per-device record —
+  // the counters report the before/after memory model:
+  //   bytes_per_device_dedicated — the pre-catalog design (every device
+  //     cached an op_verifier owning its own linked_program copy);
+  //   bytes_per_device_shared    — the catalog design (one artifact,
+  //     amortized over the fleet, plus the per-device record).
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  fleet_batch_bench bench(n, /*n_rounds=*/1);
+  bench.run(state);
+
+  const auto* rec = bench.reg.find(bench.ids[0]);
+  const double artifact_bytes =
+      static_cast<double>(rec->firmware->footprint_bytes());
+  const double program_bytes = static_cast<double>(
+      dialed::verifier::firmware_artifact::program_footprint_bytes(
+          rec->firmware->program()));
+  const double record_bytes =
+      static_cast<double>(sizeof(dialed::fleet::device_record)) +
+      static_cast<double>(rec->key.capacity());
+  state.counters["devices"] = n;
+  state.counters["firmwares"] =
+      static_cast<double>(bench.reg.catalog()->size());
+  state.counters["artifact_bytes"] = artifact_bytes;
+  state.counters["bytes_per_device_shared"] =
+      artifact_bytes / n + record_bytes;
+  state.counters["bytes_per_device_dedicated"] =
+      program_bytes + record_bytes;
+}
+BENCHMARK(BM_fleet_verify_batch_one_firmware)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
 void BM_fleet_verify_batch_parallel(benchmark::State& state) {

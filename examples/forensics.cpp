@@ -40,9 +40,12 @@ int main() {
   const auto id = registry.provision(prog);
   const auto& record = *registry.find(id);
   proto::prover_device dev(prog, record.key);  // burned in at the factory
-  verifier::op_verifier vrf(prog, record.key);
+  // The verifier context shares the registry's interned firmware artifact
+  // — the same immutable precomputation every device on this image uses.
+  verifier::op_verifier vrf(record.firmware, record.key);
 
   std::printf("=== Deployed operation ===\n");
+  std::printf("firmware %s\n", record.firmware->id_hex().c_str());
   std::printf("ER [0x%04x, 0x%04x], %zu bytes; globals:\n", prog.er_min,
               prog.er_max, prog.code_size());
   for (const auto& [name, addr] : prog.global_addrs) {

@@ -55,6 +55,12 @@ int main() {
   const auto id = registry.provision(prog);
   fleet::verifier_hub hub(registry);
   proto::prover_device device(prog, registry.derive_key(id));
+  // Provisioning interned the image into the registry's firmware catalog:
+  // every further device on this image shares ONE verifier artifact.
+  std::printf("provisioned device %u on firmware %.16s... (%zu distinct "
+              "firmware(s) in the catalog)\n",
+              id, registry.find(id)->firmware->id_hex().c_str(),
+              registry.catalog()->size());
 
   // One attested invocation: average 4 samples.
   proto::invocation inv;

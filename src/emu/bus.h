@@ -71,6 +71,10 @@ class bus {
   void poke8(std::uint16_t addr, std::uint8_t value);
   void poke16(std::uint16_t addr, std::uint16_t value);
 
+  /// Zero all backing memory (devices and watchers are untouched) — the
+  /// state a freshly constructed bus starts in. Part of machine::recycle.
+  void clear_memory() { mem_.fill(0); }
+
   /// Device and watcher registration (non-owning).
   void add_device(mmio_device* dev) { devices_.push_back(dev); }
   void add_watcher(watcher* w) { watchers_.push_back(w); }

@@ -287,7 +287,11 @@ void cpu::execute(const isa::instruction& ins) {
   }
 }
 
-cpu::step_info cpu::step() {
+cpu::step_info cpu::step() { return step_impl(nullptr); }
+
+cpu::step_info cpu::step(const isa::decoded& pre) { return step_impl(&pre); }
+
+cpu::step_info cpu::step_impl(const isa::decoded* pre) {
   // Interrupt servicing (before fetching the next instruction).
   if (pending_irq_ && flag(isa::SR_GIE)) {
     const int index = *pending_irq_;
@@ -305,16 +309,20 @@ cpu::step_info cpu::step() {
   }
 
   const std::uint16_t pc = regs_[isa::REG_PC];
-  std::array<std::uint16_t, 3> words = {
-      bus_.peek16(pc), bus_.peek16(static_cast<std::uint16_t>(pc + 2)),
-      bus_.peek16(static_cast<std::uint16_t>(pc + 4))};
-  const auto d = isa::decode(words, pc);
-  regs_[isa::REG_PC] = static_cast<std::uint16_t>(pc + 2 * d.words);
-  bus_.notify_exec(pc, d.ins);
-  execute(d.ins);
-  const int cyc = isa::cycles(d.ins, d.cg_src);
+  isa::decoded local;
+  if (pre == nullptr) {
+    std::array<std::uint16_t, 3> words = {
+        bus_.peek16(pc), bus_.peek16(static_cast<std::uint16_t>(pc + 2)),
+        bus_.peek16(static_cast<std::uint16_t>(pc + 4))};
+    local = isa::decode(words, pc);
+    pre = &local;
+  }
+  regs_[isa::REG_PC] = static_cast<std::uint16_t>(pc + 2 * pre->words);
+  bus_.notify_exec(pc, pre->ins);
+  execute(pre->ins);
+  const int cyc = isa::cycles(pre->ins, pre->cg_src);
   cycles_ += cyc;
-  return {pc, d.ins, cyc, false};
+  return {pc, pre->ins, cyc, false};
 }
 
 }  // namespace dialed::emu

@@ -20,6 +20,16 @@ class cpu {
   /// Load PC from the reset vector; clears registers and the cycle count.
   void reset();
 
+  /// Return to the just-constructed state (all registers, the cycle count
+  /// and any pending interrupt cleared) WITHOUT touching the bus — unlike
+  /// reset(), no reset vector is fetched and no watcher is notified. Part
+  /// of machine::recycle.
+  void hard_clear() {
+    regs_.fill(0);
+    cycles_ = 0;
+    pending_irq_.reset();
+  }
+
   struct step_info {
     std::uint16_t pc = 0;       ///< address of the executed instruction
     isa::instruction ins{};     ///< decoded instruction (undefined for irq)
@@ -29,6 +39,12 @@ class cpu {
 
   /// Service a pending interrupt (if GIE) or execute one instruction.
   step_info step();
+
+  /// Same as step(), but `pre` must be the decode of the bytes currently at
+  /// PC — the caller already decoded them (e.g. from a firmware artifact's
+  /// instruction index) and the fetch/decode is skipped. A pending
+  /// interrupt still preempts the instruction exactly as in step().
+  step_info step(const isa::decoded& pre);
 
   std::array<std::uint16_t, 16>& regs() { return regs_; }
   const std::array<std::uint16_t, 16>& regs() const { return regs_; }
@@ -53,6 +69,7 @@ class cpu {
     std::uint16_t addr = 0;
   };
 
+  step_info step_impl(const isa::decoded* pre);
   std::uint16_t read_operand(const isa::operand& op, bool byte,
                              operand_ref* ref);
   std::uint16_t read_ref(const operand_ref& ref, bool byte);

@@ -39,6 +39,12 @@ void machine::reset() {
   cpu_.reset();
 }
 
+void machine::recycle() {
+  bus_.clear_memory();
+  halt_code_.reset();
+  cpu_.hard_clear();
+}
+
 machine::run_result machine::run(std::uint64_t max_cycles) {
   while (!halted()) {
     if (cpu_.cycles() >= max_cycles) return run_result::cycle_limit;

@@ -41,6 +41,14 @@ class machine {
   /// Reset the CPU through the reset vector.
   void reset();
 
+  /// Return the machine to its just-constructed state: memory zeroed, CPU
+  /// registers/cycles cleared, halt latch released. Installed devices and
+  /// ROM handlers survive; bus watchers registered by callers are NOT
+  /// removed (callers own their registration). This is what lets the
+  /// verifier keep one machine per thread and reuse it across replays
+  /// instead of constructing a fresh machine per report.
+  void recycle();
+
   enum class run_result { halted, cycle_limit };
 
   /// Run until a halt-port write or until `max_cycles` total CPU cycles.

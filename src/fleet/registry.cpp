@@ -2,16 +2,28 @@
 
 #include <mutex>
 
-#include "common/error.h"
 #include "crypto/hmac.h"
 
 namespace dialed::fleet {
 
-device_registry::device_registry(byte_vec master_key)
-    : master_(std::move(master_key)) {
-  if (master_.empty()) {
-    throw error("fleet: master key must not be empty");
+std::string to_string(registry_error_kind k) {
+  switch (k) {
+    case registry_error_kind::reserved_id: return "reserved_id";
+    case registry_error_kind::duplicate_id: return "duplicate_id";
+    case registry_error_kind::empty_key: return "empty_key";
+    case registry_error_kind::empty_master_key: return "empty_master_key";
   }
+  return "unknown";
+}
+
+device_registry::device_registry(byte_vec master_key,
+                                 std::shared_ptr<firmware_catalog> catalog)
+    : master_(std::move(master_key)), catalog_(std::move(catalog)) {
+  if (master_.empty()) {
+    throw registry_error(registry_error_kind::empty_master_key,
+                         "fleet: master key must not be empty");
+  }
+  if (catalog_ == nullptr) catalog_ = std::make_shared<firmware_catalog>();
 }
 
 byte_vec device_registry::derive_key(device_id id) const {
@@ -22,51 +34,79 @@ byte_vec device_registry::derive_key(device_id id) const {
 }
 
 device_id device_registry::reserve_free_id_locked() {
-  while (devices_.count(next_id_) != 0) ++next_id_;
+  while (devices_.count(next_id_) != 0 ||
+         reserved_.count(next_id_) != 0) {
+    ++next_id_;
+  }
   return next_id_++;
 }
 
-device_id device_registry::provision(instr::linked_program prog) {
-  std::unique_lock<std::shared_mutex> lk(mu_);
-  const device_id id = reserve_free_id_locked();
+device_record device_registry::make_record(
+    device_id id, byte_vec key, firmware_catalog::artifact_ptr fw) {
   device_record rec;
   rec.id = id;
-  rec.key = derive_key(id);
-  rec.program =
-      std::make_shared<const instr::linked_program>(std::move(prog));
-  devices_.emplace(id, std::move(rec));
+  rec.key = std::move(key);
+  rec.firmware = std::move(fw);
+  // Alias into the artifact — record.program shares its control block and
+  // costs no copy.
+  rec.program = std::shared_ptr<const instr::linked_program>(
+      rec.firmware, &rec.firmware->program());
+  return rec;
+}
+
+device_id device_registry::provision(instr::linked_program prog) {
+  // Intern before taking the registry lock: a first-seen image builds its
+  // artifact, and that must not stall concurrent find() readers.
+  auto fw = catalog_->intern(std::move(prog));
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  const device_id id = reserve_free_id_locked();
+  devices_.emplace(id, make_record(id, derive_key(id), std::move(fw)));
   return id;
 }
 
 device_id device_registry::provision(device_id id,
                                      instr::linked_program prog) {
   if (id == 0) {
-    throw error("fleet: device id 0 is reserved");
+    throw registry_error(registry_error_kind::reserved_id,
+                         "fleet: device id 0 is reserved");
+  }
+  // Claim the id BEFORE interning, so a duplicate provisioning — even a
+  // racing one — is rejected without polluting the (possibly shared)
+  // catalog with an artifact no device references. The intern itself
+  // still runs unlocked.
+  {
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    if (devices_.count(id) != 0 || !reserved_.insert(id).second) {
+      throw registry_error(registry_error_kind::duplicate_id,
+                           "fleet: device id " + std::to_string(id) +
+                               " already provisioned");
+    }
+  }
+  firmware_catalog::artifact_ptr fw;
+  try {
+    fw = catalog_->intern(std::move(prog));
+  } catch (...) {
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    reserved_.erase(id);
+    throw;
   }
   std::unique_lock<std::shared_mutex> lk(mu_);
-  if (devices_.count(id) != 0) {
-    throw error("fleet: device id " + std::to_string(id) +
-                " already provisioned");
-  }
-  device_record rec;
-  rec.id = id;
-  rec.key = derive_key(id);
-  rec.program =
-      std::make_shared<const instr::linked_program>(std::move(prog));
-  devices_.emplace(id, std::move(rec));
+  reserved_.erase(id);
+  devices_.emplace(id, make_record(id, derive_key(id), std::move(fw)));
   return id;
 }
 
 device_id device_registry::enroll(instr::linked_program prog,
                                   byte_vec device_key) {
+  if (device_key.empty()) {
+    throw registry_error(registry_error_kind::empty_key,
+                         "fleet: enroll requires a non-empty device key");
+  }
+  auto fw = catalog_->intern(std::move(prog));
   std::unique_lock<std::shared_mutex> lk(mu_);
   const device_id id = reserve_free_id_locked();
-  device_record rec;
-  rec.id = id;
-  rec.key = std::move(device_key);
-  rec.program =
-      std::make_shared<const instr::linked_program>(std::move(prog));
-  devices_.emplace(id, std::move(rec));
+  devices_.emplace(
+      id, make_record(id, std::move(device_key), std::move(fw)));
   return id;
 }
 

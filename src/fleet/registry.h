@@ -11,6 +11,16 @@
 // enrolled with a factory pre-shared key (the v1 single-device protocol)
 // bypass the KDF via `enroll`.
 //
+// Firmware sharing: every provisioned program is interned into a
+// fleet::firmware_catalog (owned by default, injectable so several
+// registries can share one), and the record carries the resulting
+// shared immutable verifier::firmware_artifact. A fleet of N devices on
+// F firmware images costs O(F) verifier memory — record.program is an
+// alias into the shared artifact, not a per-device copy.
+//
+// Misuse is rejected with a typed `registry_error` (duplicate or reserved
+// device ids, empty keys) rather than silently overwriting or accepting.
+//
 // Threading model: provisioning (`provision`/`enroll`) takes a writer
 // lock; lookups (`find`/`size`/`ids`) take a reader lock and may run
 // concurrently — the verifier hub's sharded hot path does exactly that.
@@ -23,36 +33,74 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <shared_mutex>
 
+#include "common/error.h"
+#include "fleet/firmware_catalog.h"
 #include "instr/oplink.h"
 
 namespace dialed::fleet {
 
 using device_id = std::uint32_t;
 
+/// What a provisioning call rejected.
+enum class registry_error_kind : std::uint8_t {
+  reserved_id,       ///< device id 0 is reserved
+  duplicate_id,      ///< id already provisioned (re-provisioning never
+                     ///< silently overwrites a record)
+  empty_key,         ///< enroll() with an empty device key
+  empty_master_key,  ///< registry constructed with an empty master key
+};
+
+std::string to_string(registry_error_kind k);
+
+/// Typed provisioning failure; still a dialed::error so existing
+/// catch-all handlers keep working.
+class registry_error : public error {
+ public:
+  registry_error(registry_error_kind kind, const std::string& what_arg)
+      : error(what_arg), kind_(kind) {}
+  registry_error_kind kind() const { return kind_; }
+
+ private:
+  registry_error_kind kind_;
+};
+
 struct device_record {
   device_id id = 0;
   byte_vec key;  ///< K_dev — what the factory burns into the device
-  /// Vrf's reference build of the deployed program (shared: records are
-  /// cheap to copy and many devices may run the same image).
+  /// The shared per-firmware verifier artifact (one per distinct image,
+  /// interned via the catalog; immutable and safe to verify on from any
+  /// thread).
+  std::shared_ptr<const verifier::firmware_artifact> firmware;
+  /// Vrf's reference build of the deployed program — an alias into
+  /// `firmware` (same control block, zero extra copies).
   std::shared_ptr<const instr::linked_program> program;
 };
 
 class device_registry {
  public:
-  explicit device_registry(byte_vec master_key);
+  /// `catalog` lets several registries (or a registry plus provisioning
+  /// tooling) share one interning domain; by default the registry owns a
+  /// fresh catalog. Throws registry_error(empty_master_key) on an empty
+  /// key.
+  explicit device_registry(byte_vec master_key,
+                           std::shared_ptr<firmware_catalog> catalog =
+                               nullptr);
 
   /// Provision a new device running `prog`: assigns the next free id and
   /// derives its key from the master key.
   device_id provision(instr::linked_program prog);
 
   /// Provision with an explicit id (device ids often come from an external
-  /// inventory). Throws dialed::error if the id is 0 or already taken.
+  /// inventory). Throws registry_error(reserved_id) for id 0 and
+  /// registry_error(duplicate_id) when the id is already provisioned.
   device_id provision(device_id id, instr::linked_program prog);
 
   /// Enroll a device that already owns a key (no KDF) — the migration path
-  /// for v1 single-device deployments. Auto-assigns the id.
+  /// for v1 single-device deployments. Auto-assigns the id. Throws
+  /// registry_error(empty_key) on an empty device key.
   device_id enroll(instr::linked_program prog, byte_vec device_key);
 
   /// nullptr when the id was never provisioned. Safe for concurrent
@@ -67,13 +115,27 @@ class device_registry {
   std::size_t size() const;
   std::vector<device_id> ids() const;
 
+  /// The interning domain this registry provisions through.
+  const std::shared_ptr<firmware_catalog>& catalog() const {
+    return catalog_;
+  }
+
  private:
   device_id reserve_free_id_locked();
+  device_record make_record(device_id id, byte_vec key,
+                            firmware_catalog::artifact_ptr fw);
 
   byte_vec master_;  ///< immutable after construction
+  std::shared_ptr<firmware_catalog> catalog_;
   mutable std::shared_mutex mu_;
   device_id next_id_ = 1;
   std::map<device_id, device_record> devices_;
+  /// Explicit ids claimed by an in-flight provision(id, prog): the
+  /// duplicate check happens BEFORE the (unlocked, expensive) catalog
+  /// intern, and the reservation makes that check-then-intern atomic —
+  /// a racing provision of the same id loses immediately instead of
+  /// interning an artifact no device will reference.
+  std::set<device_id> reserved_;
 };
 
 }  // namespace dialed::fleet

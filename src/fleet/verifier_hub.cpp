@@ -56,6 +56,35 @@ void verifier_hub::retire(device_state& st, std::size_t index,
   st.retired.push_back({it->nonce, fate});
   while (st.retired.size() > cfg_.retired_memory) st.retired.pop_front();
   st.outstanding.erase(it);
+  if (fate == nonce_fate::expired) {
+    stats_.challenges_expired.fetch_add(1, std::memory_order_relaxed);
+  } else if (fate == nonce_fate::superseded) {
+    stats_.challenges_superseded.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void verifier_hub::count_rejected(proto_error e) {
+  stats_.rejected_by_error[static_cast<std::size_t>(e)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+hub_stats verifier_hub::stats() const {
+  hub_stats s;
+  s.challenges_issued =
+      stats_.challenges_issued.load(std::memory_order_relaxed);
+  s.challenges_expired =
+      stats_.challenges_expired.load(std::memory_order_relaxed);
+  s.challenges_superseded =
+      stats_.challenges_superseded.load(std::memory_order_relaxed);
+  s.reports_accepted =
+      stats_.reports_accepted.load(std::memory_order_relaxed);
+  s.reports_rejected_verdict =
+      stats_.reports_rejected_verdict.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < s.rejected_by_error.size(); ++i) {
+    s.rejected_by_error[i] =
+        stats_.rejected_by_error[i].load(std::memory_order_relaxed);
+  }
+  return s;
 }
 
 void verifier_hub::expire_stale(device_state& st, std::uint64_t now) {
@@ -99,6 +128,7 @@ challenge_grant verifier_hub::challenge(device_id id) {
   st.outstanding.push_back(entry);
   grant.seq = entry.seq;
   grant.nonce = entry.nonce;
+  stats_.challenges_issued.fetch_add(1, std::memory_order_relaxed);
   return grant;
 }
 
@@ -106,11 +136,13 @@ verifier::op_verifier* verifier_hub::core_locked(shard& sh, device_id id) {
   const device_record* rec = registry_.find(id);
   if (rec == nullptr) return nullptr;
   device_state& st = sh.states[id];
-  if (!st.verifier) {
-    st.verifier =
-        std::make_unique<verifier::op_verifier>(*rec->program, rec->key);
+  if (!st.ctx) {
+    // Cheap: the firmware artifact is shared, the context adds only the
+    // device key (and, later, attached policies).
+    st.ctx =
+        std::make_unique<verifier::op_verifier>(rec->firmware, rec->key);
   }
-  return st.verifier.get();
+  return st.ctx.get();
 }
 
 verifier::op_verifier& verifier_hub::core(device_id id) {
@@ -143,14 +175,18 @@ attest_result verifier_hub::verify_impl(
 
   // Phase 1 (under the shard lock): nonce bookkeeping. Match the
   // challenge, classify misses, check the sequence number and CONSUME the
-  // nonce, capturing the verifier core pointer for phase 2.
-  verifier::op_verifier* core = nullptr;
+  // nonce, capturing the registry record (and the optional per-device
+  // policy context) for phase 2.
+  const device_record* rec = nullptr;
+  verifier::op_verifier* ctx = nullptr;
   std::array<std::uint8_t, 16> nonce{};
   {
     shard& sh = shard_for(id);
     std::lock_guard<std::mutex> lk(sh.mu);
-    if (registry_.find(id) == nullptr) {
+    rec = registry_.find(id);
+    if (rec == nullptr) {
       r.error = proto_error::unknown_device;
+      count_rejected(r.error);
       return r;
     }
     device_state& st = sh.states[id];
@@ -177,13 +213,16 @@ attest_result verifier_hub::verify_impl(
             r.error = proto_error::challenge_expired;
             break;
         }
+        count_rejected(r.error);
         return r;
       }
       r.error = proto_error::stale_nonce;
+      count_rejected(r.error);
       return r;
     }
     if (check_seq && seq != match->seq) {
       r.error = proto_error::sequence_mismatch;
+      count_rejected(r.error);
       return r;
     }
 
@@ -195,12 +234,27 @@ attest_result verifier_hub::verify_impl(
     r.seq = match->seq;
     retire(st, static_cast<std::size_t>(match - st.outstanding.begin()),
            nonce_fate::consumed);
-    core = core_locked(sh, id);
+    ctx = st.ctx.get();  // only if core(id) attached policies earlier
   }
 
   // Phase 2 (no locks held): the expensive MAC + abstract-execution
-  // verification. op_verifier::verify is const and reentrant.
-  r.verdict = core->verify(report, nonce);
+  // verification, straight off the record's shared per-firmware artifact
+  // (immutable, reentrant) — or through the device's policy context when
+  // one was materialized. The record pointer is stable and its key/
+  // firmware immutable, so reading them unlocked is safe.
+  if (ctx != nullptr) {
+    r.verdict = ctx->verify(report, nonce);
+  } else {
+    static const std::vector<std::shared_ptr<verifier::policy>>
+        no_policies;
+    r.verdict = rec->firmware->verify(report, rec->key, no_policies, nonce);
+  }
+  if (r.verdict.accepted) {
+    stats_.reports_accepted.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.reports_rejected_verdict.fetch_add(1,
+                                              std::memory_order_relaxed);
+  }
   return r;
 }
 
@@ -213,12 +267,14 @@ attest_result verifier_hub::submit(std::span<const std::uint8_t> frame) {
   if (err != proto_error::none) {
     attest_result r;
     r.error = err;
+    count_rejected(r.error);
     return r;
   }
   if (scratch.info.version != proto::wire_v2) {
     // A v1 frame names no device; the hub cannot route it.
     attest_result r;
     r.error = proto_error::unknown_device;
+    count_rejected(r.error);
     return r;
   }
   return verify_report(scratch.info.device_id, scratch.info.seq,

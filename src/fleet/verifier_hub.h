@@ -30,10 +30,22 @@
 // bounded per-device memory of retired nonces so a late report gets the
 // precise typed error instead of a generic rejection.
 //
+// Firmware sharing (the catalog refactor)
+// ---------------------------------------
+// The hub holds NO per-device verifier state on the hot path: each
+// registry record carries a shared immutable verifier::firmware_artifact
+// (interned by fleet::firmware_catalog, one per distinct image), and
+// verify runs straight off that artifact with the record's device key.
+// Verifier memory is O(firmwares), not O(devices), and the §III replay
+// executes on a per-thread recycled emu::machine instead of constructing
+// one per report. Only core(id) — the policy-attachment surface —
+// materializes a cheap per-device op_verifier context (shared artifact
+// pointer + key + policies).
+//
 // Threading model
 // ---------------
 // The hub is internally sharded: per-device state (challenge table,
-// retired-nonce history, cached op_verifier) lives in one of
+// retired-nonce history, optional policy context) lives in one of
 // `hub_config::shards` shards selected by a hash of the device id, each
 // with its own mutex and its own challenge-nonce RNG stream. All public
 // entry points are safe to call concurrently from any number of threads:
@@ -50,7 +62,7 @@
 //   - `verify_batch` fans the frames out over an internal worker pool
 //     (`hub_config::workers` threads; the caller participates too) and
 //     returns results in input order.
-//   - `tick`/`now` use an atomic clock and may race freely.
+//   - `tick`/`now`/`stats` use atomics and may race freely.
 //   - `core(id)` construction is serialized by the shard lock; the
 //     returned op_verifier is verify-const and safe for concurrent
 //     `verify` calls — with one caveat: attached policies' hooks
@@ -67,6 +79,7 @@
 #ifndef DIALED_FLEET_VERIFIER_HUB_H
 #define DIALED_FLEET_VERIFIER_HUB_H
 
+#include <array>
 #include <atomic>
 #include <deque>
 #include <mutex>
@@ -118,6 +131,34 @@ struct challenge_grant {
   std::uint32_t seq = 0;
   std::array<std::uint8_t, 16> nonce{};
   bool ok() const { return error == proto_error::none; }
+};
+
+/// Monotonic per-hub counters (the ROADMAP "hub metrics" item, minimal
+/// form): a consistent-enough snapshot assembled from relaxed atomics —
+/// counts never go backwards, but a snapshot taken while traffic is in
+/// flight may be mid-update across fields.
+struct hub_stats {
+  std::uint64_t challenges_issued = 0;
+  std::uint64_t challenges_expired = 0;    ///< retired past their TTL
+  std::uint64_t challenges_superseded = 0; ///< evicted by capacity
+  /// Reports that passed protocol checks AND the full §III verdict.
+  std::uint64_t reports_accepted = 0;
+  /// Reports that reached verification but failed the §III verdict.
+  std::uint64_t reports_rejected_verdict = 0;
+  /// Histogram of submissions that never reached verification, indexed by
+  /// proto_error (transport damage, unknown device, nonce bookkeeping).
+  /// Index 0 (proto_error::none) is always 0.
+  std::array<std::uint64_t, proto::proto_error_count> rejected_by_error{};
+
+  std::uint64_t reports_rejected_protocol() const {
+    std::uint64_t n = 0;
+    for (const auto v : rejected_by_error) n += v;
+    return n;
+  }
+  std::uint64_t reports_submitted() const {
+    return reports_accepted + reports_rejected_verdict +
+           reports_rejected_protocol();
+  }
 };
 
 /// The rich result of one submitted report: a typed protocol error (if the
@@ -172,9 +213,12 @@ class verifier_hub {
   }
   std::uint64_t now() const { return now_.load(std::memory_order_relaxed); }
 
-  /// Per-device verifier core, e.g. to attach app policies. Throws
+  /// Per-device verifier context, e.g. to attach app policies. Devices
+  /// without one verify straight off the shared per-firmware artifact;
+  /// calling core() materializes the (cheap: artifact pointer + key)
+  /// per-device context, which verification then uses instead. Throws
   /// dialed::error for an unknown device. Construction is thread-safe;
-  /// mutating the returned core concurrently with verification is not.
+  /// mutating the returned context concurrently with verification is not.
   verifier::op_verifier& core(device_id id);
 
   /// Outstanding challenges for a device, EXCLUDING entries already past
@@ -186,6 +230,9 @@ class verifier_hub {
   std::size_t batch_workers() const {
     return pool_ ? pool_->workers() : 0;
   }
+
+  /// Snapshot of the hub's monotonic counters. Thread-safe, lock-free.
+  hub_stats stats() const;
 
  private:
   enum class nonce_fate : std::uint8_t { consumed, superseded, expired };
@@ -204,9 +251,12 @@ class verifier_hub {
   struct device_state {
     std::deque<challenge_entry> outstanding;  ///< ordered by issue time
     std::deque<retired_nonce> retired;        ///< bounded history
-    /// Built lazily under the shard lock; verified outside it. The
-    /// pointee's address is stable (map node + unique_ptr).
-    std::unique_ptr<verifier::op_verifier> verifier;
+    /// Per-device POLICY context, materialized only by core(id) — the
+    /// plain hot path verifies straight off the registry record's shared
+    /// firmware artifact and never allocates here. Built under the shard
+    /// lock, verified outside it; the pointee's address is stable (map
+    /// node + unique_ptr).
+    std::unique_ptr<verifier::op_verifier> ctx;
     std::uint32_t next_seq = 1;
   };
 
@@ -218,11 +268,24 @@ class verifier_hub {
     std::mt19937_64 rng;
   };
 
+  /// Relaxed atomics behind stats(); written from any verify/challenge
+  /// thread.
+  struct counters {
+    std::atomic<std::uint64_t> challenges_issued{0};
+    std::atomic<std::uint64_t> challenges_expired{0};
+    std::atomic<std::uint64_t> challenges_superseded{0};
+    std::atomic<std::uint64_t> reports_accepted{0};
+    std::atomic<std::uint64_t> reports_rejected_verdict{0};
+    std::array<std::atomic<std::uint64_t>, proto::proto_error_count>
+        rejected_by_error{};
+  };
+
   shard& shard_for(device_id id);
   const shard& shard_for(device_id id) const;
   void retire(device_state& st, std::size_t index, nonce_fate fate);
   void expire_stale(device_state& st, std::uint64_t now);
-  /// Looks up (or lazily builds) the device's verifier core. Caller must
+  void count_rejected(proto_error e);
+  /// Looks up (or lazily builds) the device's policy context. Caller must
   /// hold the shard lock. Returns nullptr for an unknown device.
   verifier::op_verifier* core_locked(shard& sh, device_id id);
   attest_result verify_impl(device_id id, std::uint32_t seq,
@@ -234,6 +297,7 @@ class verifier_hub {
   std::atomic<std::uint64_t> now_{0};
   std::vector<std::unique_ptr<shard>> shards_;
   std::unique_ptr<thread_pool> pool_;  ///< null when sequential_batch
+  mutable counters stats_;
 };
 
 }  // namespace dialed::fleet

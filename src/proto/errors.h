@@ -6,6 +6,7 @@
 #ifndef DIALED_PROTO_ERRORS_H
 #define DIALED_PROTO_ERRORS_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -29,6 +30,11 @@ enum class proto_error : std::uint8_t {
   challenge_superseded,  ///< challenge was evicted by newer ones
   sequence_mismatch,     ///< frame's seq differs from the challenge's seq
 };
+
+/// Number of proto_error values — sizes histogram arrays indexed by the
+/// enum (e.g. fleet::hub_stats). Keep in sync with the last enumerator.
+inline constexpr std::size_t proto_error_count =
+    static_cast<std::size_t>(proto_error::sequence_mismatch) + 1;
 
 /// True for errors produced by the framing layer (re-request the frame);
 /// false for challenge/device bookkeeping failures (a protocol signal).

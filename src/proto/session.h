@@ -1,7 +1,9 @@
 // The v1 single-device verifier session, now a thin adapter over the
 // fleet layer: one private device_registry entry (enrolled with the raw
 // pre-shared key, no KDF) and a verifier_hub configured for exactly one
-// outstanding challenge.
+// outstanding challenge. Enrollment interns the program into the
+// registry's firmware catalog, so even the v1 surface verifies off a
+// shared immutable firmware_artifact (see artifact()).
 //
 // v1 behavior, preserved deliberately: `new_challenge` SUPERSEDES a
 // still-outstanding challenge without telling the caller — the hub reports
@@ -45,6 +47,12 @@ class verifier_session {
   verifier::verdict check(const verifier::attestation_report& report);
 
   verifier::op_verifier& core() { return hub_.core(id_); }
+
+  /// The session's interned per-firmware artifact (shared, immutable).
+  const std::shared_ptr<const verifier::firmware_artifact>& artifact()
+      const {
+    return registry_.find(id_)->firmware;
+  }
 
   /// The underlying fleet plumbing, for callers migrating to the hub API.
   fleet::verifier_hub& hub() { return hub_; }

@@ -1,12 +1,11 @@
 #include "verifier/cfa_check.h"
 
-#include <map>
 #include <optional>
-#include <set>
 
 #include "common/bytes.h"
 #include "common/error.h"
 #include "logfmt/logfmt.h"
+#include "verifier/firmware_artifact.h"
 
 namespace dialed::verifier {
 
@@ -16,26 +15,12 @@ constexpr std::uint64_t max_walk_steps = 5'000'000;
 
 class cfa_walker {
  public:
-  cfa_walker(const instr::linked_program& prog,
-             const attestation_report& report)
-      : prog_(prog),
+  cfa_walker(const firmware_artifact& fw, const attestation_report& report)
+      : fw_(fw),
+        prog_(fw.program()),
         report_(report),
-        log_(report.or_min, report.or_max, report.or_bytes) {
-    // Flatten the image for decoding.
-    mem_.assign(0x10000, 0);
-    for (const auto& seg : prog.image.segments) {
-      std::uint32_t a = seg.base;
-      for (const std::uint8_t b : seg.bytes) {
-        mem_[a++ & 0xffff] = b;
-      }
-    }
-    // Classify stub labels by address.
-    for (const auto& [name, addr] : prog.image.symbols) {
-      if (name.rfind(".Lstub_cfa_taken", 0) == 0) {
-        taken_labels_.insert(addr);
-      }
-    }
-  }
+        mem_(fw.flat_image()),
+        log_(report.or_min, report.or_max, report.or_bytes) {}
 
   cfa_result run() {
     std::uint16_t pc = prog_.er_min;
@@ -55,10 +40,7 @@ class cfa_walker {
       }
       isa::decoded d{};
       try {
-        const std::array<std::uint16_t, 3> words = {
-            word_at(pc), word_at(static_cast<std::uint16_t>(pc + 2)),
-            word_at(static_cast<std::uint16_t>(pc + 4))};
-        d = isa::decode(words, pc);
+        d = decode_at(pc);
       } catch (const error& e) {
         fail(attack_kind::replay_divergence,
              std::string("undecodable instruction on path: ") + e.what(),
@@ -80,7 +62,20 @@ class cfa_walker {
 
  private:
   std::uint16_t word_at(std::uint16_t a) const {
-    return static_cast<std::uint16_t>(mem_[a] | (mem_[a + 1] << 8));
+    return static_cast<std::uint16_t>(
+        mem_[a] | (mem_[static_cast<std::uint16_t>(a + 1)] << 8));
+  }
+
+  /// Decode through the artifact's instruction index; the walk never
+  /// mutates memory, so the index is always usable. Outside its range,
+  /// decode from the flattened image (identical bytes, identical result
+  /// or error).
+  isa::decoded decode_at(std::uint16_t pc) const {
+    if (const isa::decoded* d = fw_.decoded_at(pc)) return *d;
+    const std::array<std::uint16_t, 3> words = {
+        word_at(pc), word_at(static_cast<std::uint16_t>(pc + 2)),
+        word_at(static_cast<std::uint16_t>(pc + 4))};
+    return isa::decode(words, pc);
   }
 
   void fail(attack_kind k, std::string detail, std::uint16_t pc) {
@@ -150,7 +145,7 @@ class cfa_walker {
       // Conditional. Application conditionals were rewritten to target a
       // ".Lstub_cfa_taken*" label; everything else is a check stub that
       // converges at its target on non-aborting runs.
-      if (taken_labels_.count(ins.target) == 0) {
+      if (!fw_.is_taken_label(ins.target)) {
         pc_ = ins.target;
         return true;
       }
@@ -199,10 +194,7 @@ class cfa_walker {
         -> std::optional<std::pair<std::uint16_t, std::uint16_t>> {
       // The arm begins with `mov #dest, 0(r4)`; returns {dest, arm_pc}.
       try {
-        const std::array<std::uint16_t, 3> words = {
-            word_at(arm_pc), word_at(static_cast<std::uint16_t>(arm_pc + 2)),
-            word_at(static_cast<std::uint16_t>(arm_pc + 4))};
-        const auto d = isa::decode(words, arm_pc);
+        const auto d = decode_at(arm_pc);
         if (is_log_push(d.ins) &&
             d.ins.src.mode == isa::addr_mode::immediate) {
           return {{d.ins.src.ext, arm_pc}};
@@ -228,11 +220,11 @@ class cfa_walker {
     return false;
   }
 
+  const firmware_artifact& fw_;
   const instr::linked_program& prog_;
   const attestation_report& report_;
+  const std::vector<std::uint8_t>& mem_;  ///< artifact's flattened image
   logfmt::log_view log_;
-  std::vector<std::uint8_t> mem_;
-  std::set<std::uint16_t> taken_labels_;
   std::vector<std::uint16_t> shadow_;
   cfa_result result_;
   std::uint16_t pc_ = 0;
@@ -244,14 +236,20 @@ class cfa_walker {
 
 }  // namespace
 
-cfa_result check_cfa_log(const instr::linked_program& prog,
+cfa_result check_cfa_log(const firmware_artifact& fw,
                          const attestation_report& report) {
-  if (prog.options.mode != instr::instrumentation::tinycfa) {
+  if (fw.program().options.mode != instr::instrumentation::tinycfa) {
     throw error(
         "verifier: check_cfa_log requires a Tiny-CFA-instrumented program "
         "(DIALED programs are verified by abstract execution)");
   }
-  return cfa_walker(prog, report).run();
+  return cfa_walker(fw, report).run();
+}
+
+cfa_result check_cfa_log(const instr::linked_program& prog,
+                         const attestation_report& report) {
+  const firmware_artifact fw(prog);
+  return check_cfa_log(fw, report);
 }
 
 }  // namespace dialed::verifier

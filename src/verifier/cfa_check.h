@@ -25,6 +25,8 @@
 
 namespace dialed::verifier {
 
+class firmware_artifact;  // firmware_artifact.h
+
 struct cfa_result {
   bool ok = false;
   std::vector<finding> findings;
@@ -34,9 +36,18 @@ struct cfa_result {
   int entries_consumed = 0;
 };
 
-/// Walk `report`'s CF-Log against the known Tiny-CFA-instrumented binary.
-/// Requires prog.options.mode == instrumentation::tinycfa; throws
-/// dialed::error otherwise.
+/// Walk `report`'s CF-Log against the known Tiny-CFA-instrumented binary,
+/// using the artifact's precomputed flattened image, stub-label set and
+/// decoded-instruction index (the walker never mutates memory, so the
+/// index is always valid). Requires mode == instrumentation::tinycfa;
+/// throws dialed::error otherwise. Const over the artifact — safe from
+/// many threads at once.
+cfa_result check_cfa_log(const firmware_artifact& fw,
+                         const attestation_report& report);
+
+/// Convenience for one-shot callers (tests/tools): builds a throwaway
+/// artifact for `prog` first. Fleet code verifies through a shared
+/// artifact instead.
 cfa_result check_cfa_log(const instr::linked_program& prog,
                          const attestation_report& report);
 

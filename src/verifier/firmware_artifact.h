@@ -1,0 +1,152 @@
+// Immutable, content-addressed, per-FIRMWARE verifier state (the fleet
+// refactor's tentpole). At fleet scale most devices run one of a handful of
+// firmware images; everything the §III verification pipeline can derive
+// from the image alone — rather than from a particular device or report —
+// is precomputed ONCE here and shared by every device on that firmware:
+//
+//   * the canonical ER byte range the attestation MAC covers,
+//   * the decoded-instruction index over [er_min, er_max] (the abstract
+//     executor and the Tiny-CFA walker previously re-decoded every
+//     instruction of every report),
+//   * the compiler's access-site bounds table resolved to code addresses,
+//   * the flattened 64 KiB image, the ".Lstub_cfa_taken*" label set and
+//     the log-push site map the CF-Log walker interprets.
+//
+// Thread-safety contract: a firmware_artifact is deeply immutable after
+// construction — every member is written only by the constructor and only
+// read afterwards, so any number of threads may call verify()/accessors
+// concurrently with no synchronization. Share it as
+// shared_ptr<const firmware_artifact> (what firmware_catalog::intern and
+// device_registry hand out) and never cast the const away.
+//
+// Content addressing: id() is a SHA-256 over every verification-relevant
+// input (image bytes + symbols, ER/crt layout, memory map, globals,
+// access sites, instrumentation mode/entry). Two independently built
+// programs with identical inputs intern to the same artifact.
+#ifndef DIALED_VERIFIER_FIRMWARE_ARTIFACT_H
+#define DIALED_VERIFIER_FIRMWARE_ARTIFACT_H
+
+#include <array>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "instr/oplink.h"
+#include "isa/isa.h"
+#include "verifier/report.h"
+
+namespace dialed::verifier {
+
+class policy;  // replay.h
+
+/// Content address of a firmware image (SHA-256).
+using firmware_id = std::array<std::uint8_t, 32>;
+
+/// One compiler-recorded array access, resolved to its code address: at
+/// this site r15 holds the effective address of an access into `object`,
+/// whose extent the abstract executor checks (paper Fig. 2 detection).
+struct bounds_site {
+  std::string object;
+  bool is_global = false;
+  std::uint16_t global_base = 0;  ///< globals: extent base
+  int local_offset_adj = 0;       ///< locals: extent base = r1 + this
+  int size_bytes = 0;
+};
+
+class firmware_artifact {
+ public:
+  /// Build the shared artifact for `prog` (the usual entry point; use
+  /// fleet::firmware_catalog::intern to also deduplicate by id).
+  /// `precomputed_id` as in the constructor.
+  static std::shared_ptr<const firmware_artifact> build(
+      instr::linked_program prog,
+      const firmware_id* precomputed_id = nullptr);
+
+  /// The content address of `prog` without building an artifact — what
+  /// the catalog keys its dedup map on.
+  static firmware_id fingerprint(const instr::linked_program& prog);
+
+  /// `precomputed_id`, when given, must be fingerprint(prog) — lets a
+  /// caller that already hashed the program for a dedup lookup (the
+  /// catalog) skip the second canonical SHA-256 pass.
+  explicit firmware_artifact(instr::linked_program prog,
+                             const firmware_id* precomputed_id = nullptr);
+
+  firmware_artifact(const firmware_artifact&) = delete;
+  firmware_artifact& operator=(const firmware_artifact&) = delete;
+
+  const instr::linked_program& program() const { return prog_; }
+  /// Computed lazily (thread-safe) unless the constructor got a
+  /// precomputed id — one-shot artifacts that are never interned skip the
+  /// canonical SHA-256 pass entirely.
+  const firmware_id& id() const;
+  std::string id_hex() const;
+
+  /// Bytes of [er_min, er_max+1] — the exact range the attestation MAC
+  /// covers, precomputed so verify() never re-extracts it per report.
+  std::span<const std::uint8_t> er_bytes() const { return er_bytes_; }
+
+  /// Access-site bounds table keyed by code address.
+  const std::map<std::uint16_t, bounds_site>& sites() const {
+    return sites_;
+  }
+
+  /// Flattened 64 KiB image (what the bus holds right after load) — the
+  /// CF-Log walker reads code through this instead of re-flattening.
+  const std::vector<std::uint8_t>& flat_image() const { return flat_; }
+
+  /// True when `addr` is a ".Lstub_cfa_taken*" label (an instrumented
+  /// application conditional's taken arm).
+  bool is_taken_label(std::uint16_t addr) const;
+
+  /// Predecoded instruction at `pc`, or nullptr when pc is outside
+  /// [er_min, er_max] / unaligned / not decodable as laid out in the
+  /// image. Callers fall back to a live decode (identical bytes, so
+  /// identical result or identical error) — and MUST do so for every pc
+  /// once replayed code has been overwritten (see replay.cpp's dirty
+  /// tracking).
+  const isa::decoded* decoded_at(std::uint16_t pc) const;
+
+  /// Full §III verification of one report against this firmware, under a
+  /// given device key. `policies` may be empty; `expected_challenge`
+  /// enforces anti-replay. Const, reentrant, and safe to call from many
+  /// threads at once.
+  verdict verify(const attestation_report& report,
+                 std::span<const std::uint8_t> key,
+                 const std::vector<std::shared_ptr<policy>>& policies,
+                 std::optional<std::array<std::uint8_t, 16>>
+                     expected_challenge = std::nullopt) const;
+
+  /// Approximate heap+object footprint of this artifact (metrics: fleet
+  /// verifier memory is artifacts * this, not devices * program).
+  std::size_t footprint_bytes() const;
+
+  /// Approximate footprint of a standalone linked_program copy — the
+  /// per-DEVICE cost of the pre-catalog design, kept for the before/after
+  /// memory accounting in bench/ROADMAP.
+  static std::size_t program_footprint_bytes(
+      const instr::linked_program& prog);
+
+ private:
+  instr::linked_program prog_;
+  /// Lazy content id (see id()); `mutable` only for the once-guarded
+  /// fill — observably the artifact stays deeply immutable.
+  mutable std::once_flag id_once_;
+  mutable firmware_id id_{};
+  bool id_precomputed_ = false;
+  byte_vec er_bytes_;
+  std::vector<std::uint8_t> flat_;
+  std::map<std::uint16_t, bounds_site> sites_;
+  std::vector<std::uint16_t> taken_labels_;  ///< sorted
+  /// Decode cache over [er_min, er_max]: entry (pc - er_min)/2; a parallel
+  /// validity bitmap marks addresses that do not decode as laid out.
+  std::vector<isa::decoded> decoded_;
+  std::vector<std::uint8_t> decoded_valid_;
+};
+
+}  // namespace dialed::verifier
+
+#endif  // DIALED_VERIFIER_FIRMWARE_ARTIFACT_H

@@ -6,6 +6,7 @@
 
 #include "common/bytes.h"
 #include "common/error.h"
+#include "verifier/firmware_artifact.h"
 
 namespace dialed::verifier {
 
@@ -21,24 +22,82 @@ namespace {
 
 constexpr std::uint64_t max_replay_instructions = 20'000'000;
 
-struct site_info {
-  std::string object;
-  bool is_global = false;
-  std::uint16_t global_base = 0;
-  int local_offset_adj = 0;
-  int size_bytes = 0;
+// ---------------------------------------------------------------------------
+// Per-thread reusable replay machine. Constructing an emu::machine per
+// report (64 KiB bus + peripherals on the heap) was a fixed cost on every
+// verify; instead each thread — including the hub's verify_batch pool
+// workers — keeps ONE machine and recycles it (memory zeroed, CPU/halt
+// cleared: exactly the just-constructed state) between replays. The slot
+// is re-keyed when a firmware with a different memory map comes through,
+// and a busy flag falls back to a throwaway machine on (impossible today)
+// same-thread reentry rather than corrupting a replay in flight.
+// ---------------------------------------------------------------------------
+struct machine_slot {
+  bool busy = false;
+  emu::memory_map map;
+  std::unique_ptr<emu::machine> machine;
+};
+
+machine_slot& thread_machine_slot() {
+  static thread_local machine_slot slot;
+  return slot;
+}
+
+class machine_lease {
+ public:
+  explicit machine_lease(const emu::memory_map& map) {
+    machine_slot& slot = thread_machine_slot();
+    if (!slot.busy) {
+      if (slot.machine == nullptr || !(slot.map == map)) {
+        slot.machine = std::make_unique<emu::machine>(
+            map, emu::machine::peripheral_set::halt_only);
+        slot.map = map;
+      } else {
+        slot.machine->recycle();
+      }
+      slot.busy = true;
+      cached_ = true;
+      m_ = slot.machine.get();
+    } else {
+      owned_ = std::make_unique<emu::machine>(
+          map, emu::machine::peripheral_set::halt_only);
+      m_ = owned_.get();
+    }
+  }
+  ~machine_lease() {
+    if (cached_) thread_machine_slot().busy = false;
+  }
+  machine_lease(const machine_lease&) = delete;
+  machine_lease& operator=(const machine_lease&) = delete;
+
+  emu::machine& machine() { return *m_; }
+
+ private:
+  emu::machine* m_ = nullptr;
+  std::unique_ptr<emu::machine> owned_;
+  bool cached_ = false;
+};
+
+/// Removes the engine's bus watcher even when a replay throws, so the
+/// recycled machine never keeps a dangling watcher pointer.
+struct watcher_guard {
+  emu::bus& bus;
+  emu::watcher* w;
+  ~watcher_guard() { bus.remove_watcher(w); }
 };
 
 class replay_engine final : public emu::watcher {
  public:
-  replay_engine(const instr::linked_program& prog,
+  replay_engine(const firmware_artifact& fw,
                 const attestation_report& report,
-                const std::vector<std::shared_ptr<policy>>& policies)
-      : prog_(prog),
+                const std::vector<std::shared_ptr<policy>>& policies,
+                emu::machine& m)
+      : fw_(fw),
+        prog_(fw.program()),
         report_(report),
         policies_(policies),
-        m_(prog.options.map, emu::machine::peripheral_set::halt_only),
-        state_(m_, prog),
+        m_(m),
+        state_(m_, prog_),
         log_(report.or_min, report.or_max, report.or_bytes) {}
 
   replay_result run();
@@ -46,6 +105,7 @@ class replay_engine final : public emu::watcher {
   // --- emu::watcher ---
   void on_access(const emu::bus_access& a) override {
     if (!a.write) return;
+    mark_code_dirty(a.addr, a.byte ? 1 : 2);
     if (a.addr < prog_.options.map.ram_start) {
       result_.io_trace.push_back(
           {a.addr, a.value, current_pc_, current_write_taint_});
@@ -74,6 +134,27 @@ class replay_engine final : public emu::watcher {
     }
   }
 
+  /// The artifact's decode cache reads the bytes an instruction in
+  /// [er_min, er_max] may fetch ([er_min, er_max+5]). Any write landing
+  /// there — a code-overwriting attack being replayed — retires the cache
+  /// for the rest of this replay; decoding falls back to the live bus.
+  void mark_code_dirty(std::uint16_t addr, int n) {
+    if (code_dirty_) return;
+    const std::uint32_t lo = addr;
+    const std::uint32_t hi = lo + static_cast<std::uint32_t>(n);
+    if (hi > prog_.er_min &&
+        lo <= static_cast<std::uint32_t>(prog_.er_max) + 5) {
+      code_dirty_ = true;
+    }
+  }
+
+  /// Unobserved poke used when feeding values into the replayed memory;
+  /// still has to honor the decode-cache invalidation rule above.
+  void feed_poke(std::uint16_t addr, std::uint8_t value) {
+    m_.get_bus().poke8(addr, value);
+    mark_code_dirty(addr, 1);
+  }
+
   void add_finding(attack_kind k, std::string detail, std::uint16_t pc = 0,
                    std::uint16_t addr = 0) {
     if (result_.findings.size() < 200) {
@@ -85,7 +166,6 @@ class replay_engine final : public emu::watcher {
 
   // ---- I-Log feeding ----
   void feed_unknown(std::uint16_t ea, int width, std::uint16_t pc) {
-    auto& bus = m_.get_bus();
     bool any_unknown = false;
     for (int i = 0; i < width; ++i) {
       if (!known_[static_cast<std::uint16_t>(ea + i)]) any_unknown = true;
@@ -101,7 +181,7 @@ class replay_engine final : public emu::watcher {
       for (int i = 0; i < width; ++i) {
         const std::uint16_t b = static_cast<std::uint16_t>(ea + i);
         if (!known_[b]) {
-          bus.poke8(b, 0);
+          feed_poke(b, 0);
           known_[b] = true;
         }
       }
@@ -117,7 +197,7 @@ class replay_engine final : public emu::watcher {
                   pc, ea);
       for (int i = 0; i < width; ++i) {
         const std::uint16_t b = static_cast<std::uint16_t>(ea + i);
-        bus.poke8(b, 0);
+        feed_poke(b, 0);
         known_[b] = true;
       }
       return;
@@ -128,7 +208,7 @@ class replay_engine final : public emu::watcher {
       if (!known_[b]) {
         const std::uint8_t v = static_cast<std::uint8_t>(
             (i == 0) ? (slot & 0xff) : (slot >> 8));
-        bus.poke8(b, v);
+        feed_poke(b, v);
         known_[b] = true;
         mem_taint_[b] = true;  // I-Log-fed values are input-derived
       }
@@ -218,9 +298,10 @@ class replay_engine final : public emu::watcher {
 
   // ---- detectors ----
   void check_site(std::uint16_t pc) {
-    const auto it = sites_.find(pc);
-    if (it == sites_.end()) return;
-    const site_info& s = it->second;
+    const auto& sites = fw_.sites();
+    const auto it = sites.find(pc);
+    if (it == sites.end()) return;
+    const bounds_site& s = it->second;
     const std::uint16_t ea = reg(15);
     std::uint16_t lo, hi;
     if (s.is_global) {
@@ -327,17 +408,20 @@ class replay_engine final : public emu::watcher {
     }
   }
 
+  const firmware_artifact& fw_;
   const instr::linked_program& prog_;
   const attestation_report& report_;
   const std::vector<std::shared_ptr<policy>>& policies_;
-  emu::machine m_;
+  emu::machine& m_;
   replay_state state_;
   logfmt::log_view log_;
   std::bitset<0x10000> known_;
+  /// Replayed code overwrote bytes the decode cache covers; decode live
+  /// from the bus for the rest of the run.
+  bool code_dirty_ = false;
   std::uint16_t saved_sp_ = 0;
   std::uint16_t current_pc_ = 0;
   isa::instruction current_ins_{};
-  std::map<std::uint16_t, site_info> sites_;
   std::vector<std::pair<std::uint16_t, std::uint16_t>> ra_stack_;
   std::vector<bool> call_taint_stack_;
   replay_result result_;
@@ -350,6 +434,7 @@ replay_result replay_engine::run() {
     mark_known(seg.base, static_cast<int>(seg.bytes.size()));
   }
   m_.get_bus().add_watcher(this);
+  watcher_guard guard{m_.get_bus(), this};
 
   saved_sp_ = log_.saved_sp();
   auto& regs = m_.get_cpu().regs();
@@ -365,20 +450,8 @@ replay_result replay_engine::run() {
   // Tiny-CFA logs): the crt0 continuation after `call #__er_start`.
   const std::uint16_t ret_sentinel = prog_.op_return_addr;
   m_.get_bus().poke16(saved_sp_, ret_sentinel);
+  mark_code_dirty(saved_sp_, 2);  // adversarial saved SP may alias code
   mark_known(saved_sp_, 2);
-
-  // Resolve the compiler's access sites to code addresses.
-  for (const auto& s : prog_.compile_info.access_sites) {
-    site_info info;
-    info.object = s.object;
-    info.is_global = s.is_global;
-    info.local_offset_adj = s.local_offset_adj;
-    info.size_bytes = s.size_bytes;
-    if (s.is_global) {
-      info.global_base = prog_.global_addrs.at(s.object);
-    }
-    sites_[prog_.image.symbol(s.label)] = info;
-  }
 
   // ---- main loop ----
   for (;;) {
@@ -416,12 +489,22 @@ replay_result replay_engine::run() {
     check_site(pc);
 
     try {
-      // Decode (for feeding) without executing.
-      std::array<std::uint16_t, 3> words = {
-          m_.get_bus().peek16(pc),
-          m_.get_bus().peek16(static_cast<std::uint16_t>(pc + 2)),
-          m_.get_bus().peek16(static_cast<std::uint16_t>(pc + 4))};
-      const auto d = isa::decode(words, pc);
+      // Decode (for feeding) without executing — through the artifact's
+      // predecoded index while the code bytes are pristine, live from the
+      // bus once an attack overwrote them (identical bytes -> identical
+      // decode, so the cache can never change a verdict).
+      const isa::decoded* dp =
+          code_dirty_ ? nullptr : fw_.decoded_at(pc);
+      isa::decoded live;
+      if (dp == nullptr) {
+        std::array<std::uint16_t, 3> words = {
+            m_.get_bus().peek16(pc),
+            m_.get_bus().peek16(static_cast<std::uint16_t>(pc + 2)),
+            m_.get_bus().peek16(static_cast<std::uint16_t>(pc + 4))};
+        live = isa::decode(words, pc);
+        dp = &live;
+      }
+      const isa::decoded& d = *dp;
       current_pc_ = pc;
       current_ins_ = d.ins;
       feed_for(d.ins, pc);
@@ -461,7 +544,17 @@ replay_result replay_engine::run() {
         call_taint_stack_.pop_back();
       }
 
-      const auto info = m_.get_cpu().step();
+      // Cached decode with the window still pristine -> the instruction
+      // bytes cannot have changed since decoding; skip the CPU's
+      // re-fetch. Otherwise keep the historical re-fetch inside step():
+      // feeding may legally mutate fetchable bytes (an attacker-steered
+      // operand landing in the instruction's own ext-word window, or a pc
+      // outside the pristine ER), and the device executed the post-feed
+      // bytes. code_dirty_ may have been set by THIS iteration's
+      // feed_for, so it is re-checked here, not where dp was chosen.
+      const auto info = (dp == &live || code_dirty_)
+                            ? m_.get_cpu().step()
+                            : m_.get_cpu().step(d);
       ++result_.instructions;
 
       if (info.ins.op == isa::opcode::call && !info.serviced_irq) {
@@ -485,16 +578,16 @@ replay_result replay_engine::run() {
     result_.replay_or_bytes.push_back(
         m_.get_bus().peek8(static_cast<std::uint16_t>(a)));
   }
-  m_.get_bus().remove_watcher(this);
   return std::move(result_);
 }
 
 }  // namespace
 
 replay_result replay_operation(
-    const instr::linked_program& prog, const attestation_report& report,
+    const firmware_artifact& fw, const attestation_report& report,
     const std::vector<std::shared_ptr<policy>>& policies) {
-  replay_engine engine(prog, report, policies);
+  machine_lease lease(fw.program().options.map);
+  replay_engine engine(fw, report, policies, lease.machine());
   return engine.run();
 }
 

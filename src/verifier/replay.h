@@ -29,6 +29,8 @@
 
 namespace dialed::verifier {
 
+class firmware_artifact;  // firmware_artifact.h
+
 /// Read-only view of the replay for policies.
 class replay_state {
  public:
@@ -86,11 +88,18 @@ struct replay_result {
   bool result_tainted = false;
 };
 
-/// Replay one attested invocation of `prog` against `report`'s logs.
-/// `policies` may be empty. Throws only on internal errors; attack
+/// Replay one attested invocation of `fw`'s program against `report`'s
+/// logs. `policies` may be empty. Throws only on internal errors; attack
 /// conditions come back as findings.
+///
+/// The replay executes on a per-THREAD reusable emu::machine (recycled
+/// between reports, constructed only when a thread first replays — or
+/// replays a firmware with a different memory map), and decodes through
+/// the artifact's predecoded instruction index, falling back to live
+/// decode once replayed code has been overwritten. Safe to call from many
+/// threads concurrently; each thread has its own machine.
 replay_result replay_operation(
-    const instr::linked_program& prog, const attestation_report& report,
+    const firmware_artifact& fw, const attestation_report& report,
     const std::vector<std::shared_ptr<policy>>& policies);
 
 }  // namespace dialed::verifier

@@ -1,14 +1,14 @@
 #include "verifier/verifier.h"
 
-#include "common/error.h"
-#include "emu/memmap.h"
-#include "rot/attest.h"
-#include "verifier/cfa_check.h"
-
 namespace dialed::verifier {
 
 op_verifier::op_verifier(instr::linked_program prog, byte_vec key)
-    : prog_(std::move(prog)), key_(std::move(key)) {}
+    : fw_(firmware_artifact::build(std::move(prog))),
+      key_(std::move(key)) {}
+
+op_verifier::op_verifier(std::shared_ptr<const firmware_artifact> fw,
+                         byte_vec key)
+    : fw_(std::move(fw)), key_(std::move(key)) {}
 
 void op_verifier::add_policy(std::shared_ptr<policy> p) {
   policies_.push_back(std::move(p));
@@ -17,139 +17,12 @@ void op_verifier::add_policy(std::shared_ptr<policy> p) {
 verdict op_verifier::verify(
     const attestation_report& report,
     std::optional<std::array<std::uint8_t, 16>> expected_challenge) const {
-  verdict v;
+  return fw_->verify(report, key_, policies_, expected_challenge);
+}
 
-  // ---- 1. configuration ----
-  const auto& map = prog_.options.map;
-  if (report.er_min != prog_.er_min || report.er_max != prog_.er_max ||
-      report.or_min != map.or_min || report.or_max != map.or_max) {
-    v.findings.push_back(
-        {attack_kind::bounds_mismatch,
-         "report attests different ER/OR bounds than the deployed program",
-         0, report.er_min});
-    return v;
-  }
-  if (expected_challenge && report.challenge != *expected_challenge) {
-    v.findings.push_back({attack_kind::stale_challenge,
-                          "challenge does not match the outstanding nonce",
-                          0, 0});
-    return v;
-  }
-
-  // ---- 2. MAC + EXEC ----
-  const byte_vec er = prog_.er_bytes();
-  rot::attest_input in;
-  in.er_min = report.er_min;
-  in.er_max = report.er_max;
-  in.or_min = report.or_min;
-  in.or_max = report.or_max;
-  in.exec = true;  // Vrf only ever accepts proofs of violation-free runs
-  in.challenge = report.challenge;
-  in.er_bytes = er;
-  in.or_bytes = report.or_bytes;
-  const auto expected_mac = rot::compute_attestation_mac(key_, in);
-  if (!crypto::hmac_sha256::equal(expected_mac, report.mac)) {
-    // Distinguish an authentic EXEC=0 report from an outright forgery —
-    // purely diagnostic; both are rejected.
-    in.exec = false;
-    const auto mac_exec0 = rot::compute_attestation_mac(key_, in);
-    if (crypto::hmac_sha256::equal(mac_exec0, report.mac)) {
-      v.findings.push_back(
-          {attack_kind::exec_cleared,
-           report.halt_code == emu::HALT_ABORT
-               ? "EXEC=0 and the device aborted: the instrumentation "
-                 "detected an illegal write or log overflow"
-               : "EXEC=0: APEX observed an execution violation "
-                 "(code write, PC escape, interrupt or DMA)",
-           0, 0});
-      if (report.halt_code == emu::HALT_ABORT) {
-        v.findings.push_back({attack_kind::instrumentation_abort,
-                              "device halted with HALT_ABORT", 0, 0});
-      }
-    } else {
-      v.findings.push_back(
-          {attack_kind::mac_invalid,
-           "MAC verification failed: modified code, forged logs, wrong key "
-           "or tampered challenge",
-           0, 0});
-      if (report.halt_code == emu::HALT_ABORT) {
-        // The device never reached SW-Att: its instrumentation aborted the
-        // run (illegal write into the log region or log overflow).
-        v.findings.push_back({attack_kind::instrumentation_abort,
-                              "device halted with HALT_ABORT before "
-                              "attestation",
-                              0, 0});
-      }
-    }
-    return v;
-  }
-
-  // ---- 3a. CFA-only verification (Tiny-CFA deployments) ----
-  if (prog_.options.mode == instr::instrumentation::tinycfa) {
-    // Without DIALED's I-Log the execution cannot be replayed, but the
-    // control-flow path can still be reconstructed and checked from
-    // CF-Log alone (Tiny-CFA's own guarantee; catches Fig. 1, blind to
-    // Fig. 2 — the paper's motivation for DIALED).
-    auto cfa = check_cfa_log(prog_, report);
-    v.findings.insert(v.findings.end(), cfa.findings.begin(),
-                      cfa.findings.end());
-    v.log_slots_consumed = cfa.entries_consumed;
-    v.log_bytes = 2 * cfa.entries_consumed;
-    v.accepted = cfa.ok;
-    return v;
-  }
-  if (prog_.options.mode != instr::instrumentation::dialed) {
-    // Uninstrumented: the MAC and EXEC guarantees above are all this
-    // configuration can offer.
-    v.accepted = true;
-    return v;
-  }
-
-  replay_result rr = replay_operation(prog_, report, policies_);
-  v.findings.insert(v.findings.end(), rr.findings.begin(),
-                    rr.findings.end());
-  v.replay_instructions = rr.instructions;
-  v.annotated_log = std::move(rr.annotated_log);
-  v.io_trace = std::move(rr.io_trace);
-  v.result_tainted = rr.result_tainted;
-
-  if (!rr.completed) {
-    if (rr.findings.empty()) {
-      v.findings.push_back({attack_kind::replay_divergence,
-                            "replay did not reach the op's return", 0, 0});
-    }
-    return v;
-  }
-
-  v.replayed_result = rr.final_r15;
-  logfmt::log_view log(report.or_min, report.or_max, report.or_bytes);
-  v.log_slots_consumed = log.used_slots(rr.final_r4);
-  v.log_bytes = log.used_bytes(rr.final_r4);
-
-  // Replayed OR must byte-match the attested OR over the consumed region.
-  const std::size_t lo = static_cast<std::size_t>(rr.final_r4) + 2 -
-                         report.or_min;
-  for (std::size_t i = lo; i < report.or_bytes.size(); ++i) {
-    if (report.or_bytes[i] != rr.replay_or_bytes[i]) {
-      v.findings.push_back(
-          {attack_kind::replay_divergence,
-           "attested OR differs from the replayed OR at " +
-               hex16(static_cast<std::uint16_t>(report.or_min + i)),
-           0, static_cast<std::uint16_t>(report.or_min + i)});
-      break;
-    }
-  }
-
-  if (report.claimed_result != rr.final_r15) {
-    v.findings.push_back(
-        {attack_kind::result_forged,
-         "device claimed result " + hex16(report.claimed_result) +
-             " but the attested execution produced " + hex16(rr.final_r15),
-         0, 0});
-  }
-
-  v.accepted = v.findings.empty();
-  return v;
+std::size_t op_verifier::context_footprint_bytes() const {
+  return sizeof(*this) + key_.capacity() +
+         policies_.capacity() * sizeof(policies_[0]);
 }
 
 }  // namespace dialed::verifier

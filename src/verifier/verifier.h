@@ -7,6 +7,19 @@
 //      replayed OR must byte-match the attested OR, and the detectors
 //      (return-address witness, access-site bounds, app policies) classify
 //      any runtime attack the inputs triggered.
+//
+// Since the firmware-catalog refactor the heavy lifting lives in
+// verifier::firmware_artifact (firmware_artifact.h): one immutable,
+// shareable precomputation per firmware IMAGE. op_verifier is now only the
+// cheap per-device context — a shared_ptr to the artifact plus the device
+// key and any attached policies — so a fleet of N devices on F firmwares
+// costs O(F) verifier memory, not O(N).
+//
+// Thread-safety: verify() is const and reentrant; one op_verifier may
+// serve concurrent verifies. add_policy() is NOT synchronized against
+// in-flight verifies — attach policies before serving traffic. Policies
+// themselves run on whichever thread is verifying and must synchronize any
+// internal mutable state (the built-in policies are stateless).
 #ifndef DIALED_VERIFIER_VERIFIER_H
 #define DIALED_VERIFIER_VERIFIER_H
 
@@ -15,6 +28,7 @@
 #include <vector>
 
 #include "instr/oplink.h"
+#include "verifier/firmware_artifact.h"
 #include "verifier/replay.h"
 #include "verifier/report.h"
 
@@ -23,8 +37,13 @@ namespace dialed::verifier {
 class op_verifier {
  public:
   /// `prog` is Vrf's reference copy of the deployed program; `key` the
-  /// device master key shared at provisioning.
+  /// device master key shared at provisioning. Builds a private artifact —
+  /// fleet callers share one via the artifact constructor instead.
   op_verifier(instr::linked_program prog, byte_vec key);
+
+  /// Share `fw` (typically from fleet::firmware_catalog::intern) across
+  /// every device running that firmware; this context adds only the key.
+  op_verifier(std::shared_ptr<const firmware_artifact> fw, byte_vec key);
 
   /// Register an app-specific safety policy evaluated during replay.
   void add_policy(std::shared_ptr<policy> p);
@@ -35,10 +54,20 @@ class op_verifier {
                  std::optional<std::array<std::uint8_t, 16>>
                      expected_challenge = std::nullopt) const;
 
-  const instr::linked_program& program() const { return prog_; }
+  const instr::linked_program& program() const { return fw_->program(); }
+
+  /// The shared per-firmware artifact this verifier runs on.
+  const std::shared_ptr<const firmware_artifact>& artifact() const {
+    return fw_;
+  }
+
+  /// Approximate footprint of this context alone — EXCLUDING the shared
+  /// artifact (count that once per firmware, via artifact's
+  /// footprint_bytes).
+  std::size_t context_footprint_bytes() const;
 
  private:
-  instr::linked_program prog_;
+  std::shared_ptr<const firmware_artifact> fw_;
   byte_vec key_;
   std::vector<std::shared_ptr<policy>> policies_;
 };

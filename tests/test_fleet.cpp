@@ -83,6 +83,50 @@ TEST(registry, explicit_ids_rejected_when_taken_or_zero) {
   EXPECT_NE(id, 2u);
 }
 
+TEST(registry, misuse_raises_typed_errors) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  reg.provision(9, prog);
+
+  // Duplicate re-provisioning never silently overwrites the record.
+  const auto* before = reg.find(9);
+  try {
+    reg.provision(9, build_op("int op(int x) { return x; }", "op",
+                              instr::instrumentation::dialed));
+    FAIL() << "duplicate id accepted";
+  } catch (const registry_error& e) {
+    EXPECT_EQ(e.kind(), registry_error_kind::duplicate_id);
+  }
+  EXPECT_EQ(reg.find(9), before);
+  EXPECT_EQ(reg.size(), 1u);
+  // The rejected program must not pollute the catalog either.
+  EXPECT_EQ(reg.catalog()->size(), 1u);
+
+  try {
+    reg.provision(0, prog);
+    FAIL() << "reserved id accepted";
+  } catch (const registry_error& e) {
+    EXPECT_EQ(e.kind(), registry_error_kind::reserved_id);
+  }
+
+  // Empty keys are rejected instead of silently enrolling an
+  // unattestable device.
+  try {
+    reg.enroll(prog, byte_vec{});
+    FAIL() << "empty device key accepted";
+  } catch (const registry_error& e) {
+    EXPECT_EQ(e.kind(), registry_error_kind::empty_key);
+  }
+  EXPECT_EQ(reg.size(), 1u);
+
+  try {
+    device_registry bad(byte_vec{});
+    FAIL() << "empty master key accepted";
+  } catch (const registry_error& e) {
+    EXPECT_EQ(e.kind(), registry_error_kind::empty_master_key);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Hub: challenge lifecycle
 // ---------------------------------------------------------------------------
@@ -530,6 +574,112 @@ TEST(hub_concurrency, outstanding_count_is_expiry_aware) {
   // The late report still gets its precise typed error.
   EXPECT_EQ(hub.verify_report(id, g1.seq, rep1).error,
             proto_error::challenge_expired);
+}
+
+TEST(hub_concurrency, many_devices_one_firmware_verify_in_parallel) {
+  // The fleet's dominant shape under the firmware catalog: every device
+  // shares ONE immutable artifact, verified concurrently by the batch
+  // pool (TSan checks the shared-artifact reads + per-thread machines).
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  std::vector<device_id> ids;
+  for (int d = 0; d < 12; ++d) ids.push_back(reg.provision(prog));
+  EXPECT_EQ(reg.catalog()->size(), 1u);
+  const auto* shared_fw = reg.find(ids[0])->firmware.get();
+  for (const auto id : ids) {
+    ASSERT_EQ(reg.find(id)->firmware.get(), shared_fw);
+  }
+
+  hub_config cfg;
+  cfg.max_outstanding = 8;
+  cfg.workers = 4;
+  verifier_hub hub(reg, cfg);
+
+  // Real (cryptographically valid) frames: the parallel workers all run
+  // full MAC + replay against the one shared artifact.
+  std::vector<byte_vec> frames;
+  std::vector<std::uint16_t> expect;
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t d = 0; d < ids.size(); ++d) {
+      const auto grant = hub.challenge(ids[d]);
+      ASSERT_TRUE(grant.ok());
+      proto::prover_device dev(prog, reg.derive_key(ids[d]));
+      const auto a = static_cast<std::uint16_t>(100 * round + d);
+      frames.push_back(
+          frame_for(ids[d], grant, dev.invoke(grant.nonce, args(a, 1))));
+      expect.push_back(static_cast<std::uint16_t>(a + 1));
+    }
+  }
+
+  const auto results = hub.verify_batch(frames);
+  ASSERT_EQ(results.size(), frames.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].accepted()) << "frame " << i;
+    EXPECT_EQ(results[i].verdict.replayed_result, expect[i]) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hub metrics
+// ---------------------------------------------------------------------------
+
+TEST(hub, stats_count_accepts_rejects_and_challenge_lifecycle) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id = reg.provision(prog);
+  hub_config cfg;
+  cfg.challenge_ttl = 10;
+  cfg.max_outstanding = 2;
+  verifier_hub hub(reg, cfg);
+  proto::prover_device dev(prog, reg.derive_key(id));
+
+  EXPECT_EQ(hub.stats().reports_submitted(), 0u);
+
+  // Accept one report, replay it (typed rejection), feed garbage
+  // (transport rejection), and verify a forged result (verdict
+  // rejection).
+  const auto g1 = hub.challenge(id);
+  const auto rep1 = dev.invoke(g1.nonce, args(20, 22));
+  EXPECT_TRUE(hub.verify_report(id, g1.seq, rep1).accepted());
+  EXPECT_EQ(hub.verify_report(id, g1.seq, rep1).error,
+            proto_error::replayed_report);
+  EXPECT_EQ(hub.submit(byte_vec(16, 0)).error, proto_error::bad_magic);
+
+  const auto g2 = hub.challenge(id);
+  auto forged = dev.invoke(g2.nonce, args(1, 2));
+  forged.claimed_result = 0x1234;
+  const auto r = hub.verify_report(id, g2.seq, forged);
+  EXPECT_EQ(r.error, proto_error::none);
+  EXPECT_FALSE(r.accepted());
+
+  // Expire a challenge on the tick clock; the sweep happens lazily on the
+  // next challenge for that device.
+  hub.challenge(id);
+  hub.tick(11);
+  const auto g4 = hub.challenge(id);
+  ASSERT_TRUE(g4.ok());
+
+  // Fill the table (max_outstanding = 2) and overflow it: the eviction
+  // must show up as a superseded challenge.
+  hub.challenge(id);
+  const auto g6 = hub.challenge(id);
+  EXPECT_EQ(g6.note, proto_error::challenge_superseded);
+
+  const auto s = hub.stats();
+  EXPECT_EQ(s.challenges_issued, 6u);
+  EXPECT_EQ(s.challenges_expired, 1u);
+  EXPECT_EQ(s.challenges_superseded, 1u);
+  EXPECT_EQ(s.reports_accepted, 1u);
+  EXPECT_EQ(s.reports_rejected_verdict, 1u);
+  EXPECT_EQ(s.rejected_by_error[static_cast<std::size_t>(
+                proto_error::replayed_report)],
+            1u);
+  EXPECT_EQ(
+      s.rejected_by_error[static_cast<std::size_t>(proto_error::bad_magic)],
+      1u);
+  EXPECT_EQ(s.reports_rejected_protocol(), 2u);
+  EXPECT_EQ(s.reports_submitted(), 4u);
+  EXPECT_EQ(s.rejected_by_error[0], 0u);  // proto_error::none never counts
 }
 
 // ---------------------------------------------------------------------------

@@ -5,9 +5,16 @@
 // the verifier hub, and the report travels as a wire v2 frame.
 //
 //   dialed-attest <source.c> [--entry op] [--device-id N] [--args a,b,...]
-//                 [--net b,b,...] [--adc s,s,...] [--hex-frame] [--trace]
+//                 [--net b,b,...] [--adc s,s,...] [--repeat K]
+//                 [--workers N] [--hex-frame] [--trace]
 //
-// Exit code 0 = verified, 1 = rejected, 2 = usage error.
+// --repeat K runs K attested invocations (K challenges outstanding at
+// once, K wire frames) and verifies them as one batch; --workers N fans
+// the batch out over N hub worker threads (default 0 = strictly
+// sequential) — the shared-firmware-artifact batch path, exercisable from
+// the command line.
+//
+// Exit code 0 = every report verified, 1 = any rejected, 2 = usage error.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -60,7 +67,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: dialed-attest <source.c> [--entry NAME] "
                "[--device-id N] [--args a,b,...] [--net b,b,...] "
-               "[--adc s,s,...] [--hex-frame] [--trace]\n");
+               "[--adc s,s,...] [--repeat K] [--workers N] "
+               "[--hex-frame] [--trace]\n");
 }
 
 }  // namespace
@@ -75,6 +83,8 @@ int main(int argc, char** argv) {
   std::string entry = "op";
   proto::invocation inv;
   fleet::device_id device_id = 1;
+  std::uint32_t repeat = 1;
+  std::uint32_t workers = 0;
   bool hex_frame = false, trace = false;
 
   try {
@@ -101,6 +111,18 @@ int main(int argc, char** argv) {
         for (const auto v : parse_list(argv[++i], 0xffff)) {
           inv.adc_samples.push_back(static_cast<std::uint16_t>(v));
         }
+      } else if (arg == "--repeat" && i + 1 < argc) {
+        const auto vals = parse_list(argv[++i], 100000);
+        if (vals.size() != 1 || vals[0] == 0) {
+          throw error("--repeat needs one nonzero count");
+        }
+        repeat = vals[0];
+      } else if (arg == "--workers" && i + 1 < argc) {
+        const auto vals = parse_list(argv[++i], 1024);
+        if (vals.size() != 1) {
+          throw error("--workers needs one value");
+        }
+        workers = vals[0];
       } else if (arg == "--hex-frame") {
         hex_frame = true;
       } else if (arg == "--trace") {
@@ -137,56 +159,109 @@ int main(int argc, char** argv) {
     const auto prog = instr::build_operation(ss.str(), lo);
 
     // Fleet-side provisioning: the hub holds only the master key; the
-    // device is burned with the derived K_dev.
+    // device is burned with the derived K_dev. The registry interns the
+    // program into its firmware catalog — the shared-artifact path every
+    // batch report verifies on.
     fleet::device_registry registry(byte_vec(32, 0xAB));
     registry.provision(device_id, prog);
-    // One device, one report: no point spinning up the hub's batch
-    // worker pool for a CLI invocation.
     fleet::hub_config hub_cfg;
-    hub_cfg.shards = 1;
-    hub_cfg.sequential_batch = true;
+    hub_cfg.max_outstanding = repeat;  // all K challenges live at once
+    if (workers == 0) {
+      // Strictly sequential: no point spinning up the hub's batch worker
+      // pool for a plain CLI invocation.
+      hub_cfg.shards = 1;
+      hub_cfg.sequential_batch = true;
+    } else {
+      hub_cfg.workers = workers;
+    }
     fleet::verifier_hub hub(registry, hub_cfg);
     proto::prover_device dev(prog, registry.derive_key(device_id));
 
-    const auto grant = hub.challenge(device_id);
-    const auto rep = dev.invoke(grant.nonce, inv);
-    // Ship the report through the wire format, as a real deployment would.
-    proto::frame_info info;
-    info.device_id = device_id;
-    info.seq = grant.seq;
-    const auto frame = proto::encode_frame(info, rep);
-    if (hex_frame) {
-      std::printf("frame (%zu bytes): %s\n", frame.size(),
-                  to_hex(frame).c_str());
-    }
-    const auto result = hub.submit(frame);
-    if (result.error != proto::proto_error::none) {
-      std::fprintf(stderr, "dialed-attest: protocol error: %s\n",
-                   proto::to_string(result.error).c_str());
-      return 1;
-    }
-    const auto& v = result.verdict;
-
-    std::printf("device:   id=%u result=%u, EXEC=%d, op=%llu cycles, "
-                "log=%dB, frame=%zuB (wire v2, seq %u)\n",
-                device_id, rep.claimed_result, rep.exec ? 1 : 0,
-                static_cast<unsigned long long>(dev.last_op_cycles()),
-                dev.last_log_bytes(), frame.size(), grant.seq);
-    std::printf("verifier: %s (replayed result %u, %llu instructions)\n",
-                v.accepted ? "ACCEPTED" : "REJECTED", v.replayed_result,
-                static_cast<unsigned long long>(v.replay_instructions));
-    for (const auto& f : v.findings) {
-      std::printf("  %-20s %s\n", verifier::to_string(f.kind).c_str(),
-                  f.detail.c_str());
-    }
-    if (trace) {
-      std::printf("peripheral writes (replayed, with provenance):\n");
-      for (const auto& e : v.io_trace) {
-        std::printf("  pc=0x%04x [0x%04x] <- 0x%04x %s\n", e.pc, e.addr,
-                    e.value, e.tainted ? "(input-derived)" : "(constant)");
+    // Run one attested invocation per challenge and ship each report
+    // through the wire format, as a real deployment would (max_outstanding
+    // keeps all K challenges live at once).
+    std::vector<byte_vec> frames;
+    for (std::uint32_t k = 0; k < repeat; ++k) {
+      const auto grant = hub.challenge(device_id);
+      const auto rep = dev.invoke(grant.nonce, inv);
+      proto::frame_info info;
+      info.device_id = device_id;
+      info.seq = grant.seq;
+      frames.push_back(proto::encode_frame(info, rep));
+      if (k == 0) {
+        std::printf("device:   id=%u result=%u, EXEC=%d, op=%llu cycles, "
+                    "log=%dB, frame=%zuB (wire v2, seq %u)\n",
+                    device_id, rep.claimed_result, rep.exec ? 1 : 0,
+                    static_cast<unsigned long long>(dev.last_op_cycles()),
+                    dev.last_log_bytes(), frames.back().size(), grant.seq);
+        if (hex_frame) {
+          std::printf("frame (%zu bytes): %s\n", frames.back().size(),
+                      to_hex(frames.back()).c_str());
+        }
       }
     }
-    return v.accepted ? 0 : 1;
+
+    const auto results = hub.verify_batch(frames);
+    std::size_t accepted = 0;
+    for (const auto& r : results) {
+      if (r.accepted()) ++accepted;
+    }
+
+    // Report the first result in detail (the single-invocation contract),
+    // then the batch summary when --repeat was given.
+    const auto& first = results.front();
+    if (first.error != proto::proto_error::none) {
+      std::fprintf(stderr, "dialed-attest: protocol error: %s\n",
+                   proto::to_string(first.error).c_str());
+    } else {
+      const auto& v = first.verdict;
+      std::printf("verifier: %s (replayed result %u, %llu instructions)\n",
+                  v.accepted ? "ACCEPTED" : "REJECTED", v.replayed_result,
+                  static_cast<unsigned long long>(v.replay_instructions));
+      for (const auto& f : v.findings) {
+        std::printf("  %-20s %s\n", verifier::to_string(f.kind).c_str(),
+                    f.detail.c_str());
+      }
+      if (trace) {
+        std::printf("peripheral writes (replayed, with provenance):\n");
+        for (const auto& e : v.io_trace) {
+          std::printf("  pc=0x%04x [0x%04x] <- 0x%04x %s\n", e.pc, e.addr,
+                      e.value,
+                      e.tainted ? "(input-derived)" : "(constant)");
+        }
+      }
+    }
+    if (repeat > 1) {
+      // Diagnostics for every rejected report beyond the detailed first
+      // one — a failing batch must name which report failed and why.
+      for (std::size_t i = 1; i < results.size(); ++i) {
+        const auto& r = results[i];
+        if (r.accepted()) continue;
+        if (r.error != proto::proto_error::none) {
+          std::fprintf(stderr,
+                       "dialed-attest: report %zu: protocol error: %s\n",
+                       i, proto::to_string(r.error).c_str());
+          continue;
+        }
+        std::fprintf(stderr, "dialed-attest: report %zu: REJECTED\n", i);
+        for (const auto& f : r.verdict.findings) {
+          std::fprintf(stderr, "  %-20s %s\n",
+                       verifier::to_string(f.kind).c_str(),
+                       f.detail.c_str());
+        }
+      }
+      const auto stats = hub.stats();
+      std::printf("batch:    %zu/%zu reports accepted (%zu worker "
+                  "thread(s) + caller, firmware %.16s...)\n",
+                  accepted, results.size(), hub.batch_workers(),
+                  registry.find(device_id)->firmware->id_hex().c_str());
+      std::printf("hub:      issued=%llu accepted=%llu rejected=%llu\n",
+                  static_cast<unsigned long long>(stats.challenges_issued),
+                  static_cast<unsigned long long>(stats.reports_accepted),
+                  static_cast<unsigned long long>(
+                      stats.reports_submitted() - stats.reports_accepted));
+    }
+    return accepted == results.size() ? 0 : 1;
   } catch (const error& e) {
     std::fprintf(stderr, "dialed-attest: %s\n", e.what());
     return 1;
