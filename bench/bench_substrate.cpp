@@ -4,12 +4,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <filesystem>
 
 #include "bench_common.h"
 #include "crypto/hmac.h"
 #include "fleet/verifier_hub.h"
 #include "masm/masm.h"
 #include "proto/wire.h"
+#include "store/fleet_store.h"
 #include "verifier/verifier.h"
 
 namespace {
@@ -272,6 +274,73 @@ BENCHMARK(BM_fleet_verify_batch_parallel)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+void BM_fleet_store_wal_append(benchmark::State& state) {
+  // Durability tax on the hot path: one journaled verdict per iteration
+  // (the retire+verdict pair is what every verified report appends). No
+  // fsync — the default process-crash durability mode the hub runs with.
+  namespace fs = std::filesystem;
+  const auto dir =
+      fs::temp_directory_path() / "dialed-bench-store-append";
+  fs::remove_all(dir);
+  dialed::store::fleet_store::options opts;
+  opts.master_key = bench_key();
+  opts.hub.sequential_batch = true;
+  auto st = dialed::store::fleet_store::open(dir.string(), opts);
+  const auto id = st.registry->provision(dialed::apps::build_app(
+      dialed::apps::evaluation_apps()[1],
+      dialed::instr::instrumentation::dialed));
+  const dialed::fleet::nonce16 nonce{};
+  for (auto _ : state) {
+    st.store->on_retire(id, nonce, dialed::fleet::nonce_fate::consumed);
+    st.store->on_verdict(id, dialed::proto::proto_error::none, true);
+  }
+  state.counters["journaled_reports_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["wal_bytes_per_report"] =
+      static_cast<double>(st.store->wal_bytes()) /
+      static_cast<double>(std::max<std::uint64_t>(
+          1, st.store->wal_records() / 2));
+  st.hub.reset();
+  st.registry.reset();
+  st.store.reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_fleet_store_wal_append);
+
+void BM_fleet_store_reopen(benchmark::State& state) {
+  // Crash-recovery latency: reopen a store holding `range(0)` devices on
+  // one firmware (snapshot load + program parse + artifact rebuild +
+  // re-intern + hub restore).
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "dialed-bench-store-open";
+  fs::remove_all(dir);
+  dialed::store::fleet_store::options opts;
+  opts.master_key = bench_key();
+  opts.hub.sequential_batch = true;
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  {
+    auto st = dialed::store::fleet_store::open(dir.string(), opts);
+    const auto prog = dialed::apps::build_app(
+        dialed::apps::evaluation_apps()[1],
+        dialed::instr::instrumentation::dialed);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      (void)st.registry->provision(prog);
+      (void)st.hub->challenge(i + 1);
+    }
+    st.store->compact();
+  }
+  for (auto _ : state) {
+    auto st = dialed::store::fleet_store::open(dir.string(), opts);
+    benchmark::DoNotOptimize(st.hub->outstanding(1));
+  }
+  state.counters["devices"] = n;
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_fleet_store_reopen)
+    ->Arg(8)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_swatt_device_cost(benchmark::State& state) {
   // The modelled on-device cost of SW-Att in MCU cycles (context output).

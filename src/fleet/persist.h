@@ -1,0 +1,137 @@
+// The persistence surface of the fleet layer: the event-sink interface the
+// registry and verifier hub emit durable state changes through, and the
+// plain-data structs a store hands back to reconstruct that state after a
+// restart. Deliberately dependency-free in the store direction — the
+// fleet layer knows only this interface; src/store/ implements it, so the
+// hub's hot path never includes file-format headers.
+//
+// Event model (what must survive a crash for the hub to stay sound):
+//
+//   on_provision  — a device joined the registry (id, key, firmware).
+//   on_challenge  — a nonce was issued (the hub now owes it an answer).
+//   on_retire     — a nonce left the outstanding set: consumed by a
+//                   report, superseded by capacity eviction, or expired.
+//                   Emitted UNDER the owning shard lock, before the
+//                   expensive verification runs — so a report accepted an
+//                   instant before a crash is already consumed on disk
+//                   and replays as consumed, never as fresh.
+//   on_verdict    — a submission's outcome, for the stats counters only
+//                   (the security-relevant consumption already traveled
+//                   in on_retire).
+//   on_tick       — the monotonic clock advanced (challenge expiry).
+//
+// Threading: on_challenge/on_retire arrive under a shard lock and
+// on_provision under the registry's writer lock, possibly concurrently
+// from different shards — implementations serialize internally (the WAL
+// appender's mutex). Causality is preserved per thread: a retire for a
+// nonce is always appended after the challenge that issued it.
+#ifndef DIALED_FLEET_PERSIST_H
+#define DIALED_FLEET_PERSIST_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "proto/errors.h"
+
+namespace dialed::fleet {
+
+using device_id = std::uint32_t;
+using nonce16 = std::array<std::uint8_t, 16>;
+
+/// How a nonce left the outstanding set (persisted as one byte).
+enum class nonce_fate : std::uint8_t {
+  consumed,    ///< a report (accepted or not) burned it
+  superseded,  ///< evicted by newer challenges (capacity)
+  expired,     ///< outlived cfg.challenge_ttl
+};
+
+/// Checked decode of a persisted fate byte; a byte naming no fate means
+/// the record is corrupt and the caller must fail closed.
+constexpr bool nonce_fate_from_u8(std::uint8_t v, nonce_fate& out) {
+  if (v > static_cast<std::uint8_t>(nonce_fate::expired)) return false;
+  out = static_cast<nonce_fate>(v);
+  return true;
+}
+
+/// Per-device accept/reject/replay counters (the ROADMAP "per-device
+/// breakdown" metrics item). Persisted through the snapshot and rebuilt
+/// by WAL verdict replay.
+struct device_counters {
+  std::uint64_t accepted = 0;
+  /// Reached full verification but failed the §III verdict.
+  std::uint64_t rejected_verdict = 0;
+  /// Classified as replayed_report — the interesting security signal.
+  std::uint64_t replayed = 0;
+  /// Every other protocol rejection attributable to this (provisioned)
+  /// device: stale/expired/superseded nonces, sequence mismatches.
+  std::uint64_t rejected_protocol = 0;
+
+  std::uint64_t total() const {
+    return accepted + rejected_verdict + replayed + rejected_protocol;
+  }
+};
+
+/// Snapshot of one device's anti-replay state, as dumped by
+/// verifier_hub::dump_devices and re-injected by verifier_hub::restore.
+struct device_restore {
+  struct outstanding_challenge {
+    nonce16 nonce{};
+    std::uint32_t seq = 0;
+    std::uint64_t issued_at = 0;
+  };
+  struct retired_nonce {
+    nonce16 nonce{};
+    nonce_fate fate = nonce_fate::consumed;
+  };
+
+  device_id id = 0;
+  std::uint32_t next_seq = 1;
+  std::vector<outstanding_challenge> outstanding;  ///< oldest first
+  std::vector<retired_nonce> retired;              ///< oldest first
+  device_counters counters;
+};
+
+struct device_record;  // registry.h
+
+/// Event sink for durable state changes. All methods must be cheap-ish
+/// and exception-safe from the caller's perspective is NOT provided:
+/// a throwing sink (e.g. disk full) propagates out of the provisioning /
+/// challenge / verify call — persistence failure must be loud, a hub that
+/// silently stops journaling is a hub that forgets replays on restart.
+class persist_sink {
+ public:
+  virtual ~persist_sink() = default;
+
+  /// Under the registry writer lock; `rec` is the fully-built record.
+  virtual void on_provision(const device_record& rec) = 0;
+
+  /// Under the owning shard lock.
+  virtual void on_challenge(device_id id, std::uint32_t seq,
+                            const nonce16& nonce,
+                            std::uint64_t issued_at) = 0;
+
+  /// Under the owning shard lock.
+  virtual void on_retire(device_id id, const nonce16& nonce,
+                         nonce_fate fate) = 0;
+
+  /// Stats only; the security-relevant consumption already traveled in
+  /// on_retire (same thread, earlier). May arrive WITH or WITHOUT the
+  /// shard lock held (reject paths journal under it, accept paths after
+  /// dropping it) — implementations must not call back into the hub.
+  /// Only fires for devices with hub state: rejections of
+  /// unauthenticated garbage (transport damage, unknown ids) are counted
+  /// in memory and persist at snapshot time — an attacker spraying junk
+  /// frames must not buy a disk append per frame.
+  virtual void on_verdict(device_id id, proto::proto_error error,
+                          bool accepted) = 0;
+
+  /// From tick(); `now` is the post-increment clock value.
+  virtual void on_tick(std::uint64_t now) = 0;
+};
+
+}  // namespace dialed::fleet
+
+#endif  // DIALED_FLEET_PERSIST_H

@@ -60,7 +60,12 @@ device_id device_registry::provision(instr::linked_program prog) {
   auto fw = catalog_->intern(std::move(prog));
   std::unique_lock<std::shared_mutex> lk(mu_);
   const device_id id = reserve_free_id_locked();
-  devices_.emplace(id, make_record(id, derive_key(id), std::move(fw)));
+  device_record rec = make_record(id, derive_key(id), std::move(fw));
+  // Journal BEFORE inserting (mirroring verifier_hub::retire): if the
+  // append throws, the device must not exist in memory either — a live
+  // device the WAL never heard of poisons the next recovery.
+  if (sink_ != nullptr) sink_->on_provision(rec);
+  devices_.emplace(id, std::move(rec));
   return id;
 }
 
@@ -92,7 +97,9 @@ device_id device_registry::provision(device_id id,
   }
   std::unique_lock<std::shared_mutex> lk(mu_);
   reserved_.erase(id);
-  devices_.emplace(id, make_record(id, derive_key(id), std::move(fw)));
+  device_record rec = make_record(id, derive_key(id), std::move(fw));
+  if (sink_ != nullptr) sink_->on_provision(rec);  // journal-then-insert
+  devices_.emplace(id, std::move(rec));
   return id;
 }
 
@@ -105,9 +112,41 @@ device_id device_registry::enroll(instr::linked_program prog,
   auto fw = catalog_->intern(std::move(prog));
   std::unique_lock<std::shared_mutex> lk(mu_);
   const device_id id = reserve_free_id_locked();
-  devices_.emplace(
-      id, make_record(id, std::move(device_key), std::move(fw)));
+  device_record rec =
+      make_record(id, std::move(device_key), std::move(fw));
+  if (sink_ != nullptr) sink_->on_provision(rec);  // journal-then-insert
+  devices_.emplace(id, std::move(rec));
   return id;
+}
+
+void device_registry::restore_device(device_id id, byte_vec key,
+                                     firmware_catalog::artifact_ptr fw) {
+  if (id == 0) {
+    throw registry_error(registry_error_kind::reserved_id,
+                         "fleet: device id 0 is reserved");
+  }
+  if (key.empty()) {
+    throw registry_error(registry_error_kind::empty_key,
+                         "fleet: restored device " + std::to_string(id) +
+                             " has an empty key");
+  }
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  if (devices_.count(id) != 0) {
+    throw registry_error(registry_error_kind::duplicate_id,
+                         "fleet: device id " + std::to_string(id) +
+                             " restored twice");
+  }
+  devices_.emplace(id, make_record(id, std::move(key), std::move(fw)));
+}
+
+device_id device_registry::next_id() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return next_id_;
+}
+
+void device_registry::set_next_id(device_id id) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  next_id_ = id;
 }
 
 const device_record* device_registry::find(device_id id) const {

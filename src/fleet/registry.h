@@ -38,11 +38,10 @@
 
 #include "common/error.h"
 #include "fleet/firmware_catalog.h"
+#include "fleet/persist.h"
 #include "instr/oplink.h"
 
 namespace dialed::fleet {
-
-using device_id = std::uint32_t;
 
 /// What a provisioning call rejected.
 enum class registry_error_kind : std::uint8_t {
@@ -120,6 +119,30 @@ class device_registry {
     return catalog_;
   }
 
+  // ---- persistence surface (src/store/fleet_store) --------------------
+
+  /// Journal every future provision/enroll through `sink` (nullptr to
+  /// detach). Set before serving traffic; the sink must outlive the
+  /// registry. Sink callbacks run under the registry writer lock.
+  void set_sink(persist_sink* sink) { sink_ = sink; }
+
+  /// Re-inject a persisted device: the key comes from the snapshot (no
+  /// KDF — enrolled devices have non-derived keys) and the firmware is
+  /// an already-interned catalog artifact. Never journals. Throws
+  /// registry_error on reserved/duplicate ids and empty keys, exactly
+  /// like the live paths — a snapshot that trips these is corrupt.
+  void restore_device(device_id id, byte_vec key,
+                      firmware_catalog::artifact_ptr fw);
+
+  /// The auto-assignment cursor, persisted so ids never regress across a
+  /// restart (a reused id would alias two devices' histories).
+  device_id next_id() const;
+  void set_next_id(device_id id);
+
+  /// The fleet master key, exposed ONLY so the store can persist it —
+  /// handle like the secret it is.
+  const byte_vec& master_key() const { return master_; }
+
  private:
   device_id reserve_free_id_locked();
   device_record make_record(device_id id, byte_vec key,
@@ -127,6 +150,7 @@ class device_registry {
 
   byte_vec master_;  ///< immutable after construction
   std::shared_ptr<firmware_catalog> catalog_;
+  persist_sink* sink_ = nullptr;
   mutable std::shared_mutex mu_;
   device_id next_id_ = 1;
   std::map<device_id, device_record> devices_;

@@ -49,10 +49,14 @@ const verifier_hub::shard& verifier_hub::shard_for(device_id id) const {
   return *shards_[mix64(id) % shards_.size()];
 }
 
-void verifier_hub::retire(device_state& st, std::size_t index,
-                          nonce_fate fate) {
+void verifier_hub::retire(device_id id, device_state& st,
+                          std::size_t index, nonce_fate fate) {
   const auto it =
       st.outstanding.begin() + static_cast<std::ptrdiff_t>(index);
+  // Journal BEFORE mutating, still under the shard lock: if the append
+  // throws (disk full), the in-memory state stays consistent with what
+  // the log can replay.
+  if (cfg_.sink != nullptr) cfg_.sink->on_retire(id, it->nonce, fate);
   st.retired.push_back({it->nonce, fate});
   while (st.retired.size() > cfg_.retired_memory) st.retired.pop_front();
   st.outstanding.erase(it);
@@ -63,12 +67,29 @@ void verifier_hub::retire(device_state& st, std::size_t index,
   }
 }
 
-void verifier_hub::count_rejected(proto_error e) {
-  stats_.rejected_by_error[static_cast<std::size_t>(e)].fetch_add(
+attest_result verifier_hub::rejected(attest_result r, device_state* st) {
+  stats_.rejected_by_error[static_cast<std::size_t>(r.error)].fetch_add(
       1, std::memory_order_relaxed);
+  if (st != nullptr) {
+    auto& c = st->counters;
+    if (r.error == proto_error::replayed_report) {
+      c.replayed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      c.rejected_protocol.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Journal only rejections attributable to a provisioned device: a
+  // garbage frame (bad magic, unknown id) must cost the attacker a
+  // decode, not a serialized disk append — unauthenticated traffic gets
+  // no write amplification. The in-memory histogram still counts these;
+  // they persist at snapshot time rather than per event.
+  if (cfg_.sink != nullptr && st != nullptr) {
+    cfg_.sink->on_verdict(r.device, r.error, false);
+  }
+  return r;
 }
 
-hub_stats verifier_hub::stats() const {
+hub_stats verifier_hub::stats(bool include_per_device) const {
   hub_stats s;
   s.challenges_issued =
       stats_.challenges_issued.load(std::memory_order_relaxed);
@@ -84,15 +105,27 @@ hub_stats verifier_hub::stats() const {
     s.rejected_by_error[i] =
         stats_.rejected_by_error[i].load(std::memory_order_relaxed);
   }
+  if (include_per_device) {
+    for (const auto& shp : shards_) {
+      std::lock_guard<std::mutex> lk(shp->mu);
+      for (const auto& [id, st] : shp->states) {
+        s.per_device.emplace(id, st.counters.snapshot());
+      }
+    }
+  }
   return s;
 }
 
-void verifier_hub::expire_stale(device_state& st, std::uint64_t now) {
+void verifier_hub::expire_stale(device_id id, device_state& st,
+                                std::uint64_t now) {
   if (cfg_.challenge_ttl == 0) return;
-  // Outstanding is ordered by issue time, so expired entries are a prefix.
+  // Outstanding is ordered by issue time, so expired entries are a
+  // prefix. The issued_at <= now guard keeps the unsigned subtraction
+  // honest if a restore ever left an issue stamp ahead of the clock.
   while (!st.outstanding.empty() &&
+         st.outstanding.front().issued_at <= now &&
          now - st.outstanding.front().issued_at > cfg_.challenge_ttl) {
-    retire(st, 0, nonce_fate::expired);
+    retire(id, st, 0, nonce_fate::expired);
   }
 }
 
@@ -106,11 +139,14 @@ challenge_grant verifier_hub::challenge(device_id id) {
   shard& sh = shard_for(id);
   std::lock_guard<std::mutex> lk(sh.mu);
   device_state& st = sh.states[id];
-  expire_stale(st, now());
+  expire_stale(id, st, now());
   // Capacity eviction is an explicit, observable event: the grant notes it
   // and a late report for the evicted nonce gets challenge_superseded.
-  if (st.outstanding.size() >= cfg_.max_outstanding) {
-    retire(st, 0, nonce_fate::superseded);
+  // A loop, not an if: a hub restored from a store written under a larger
+  // max_outstanding may start over the cap, and the invariant must be
+  // re-established, not chased one entry per grant.
+  while (st.outstanding.size() >= cfg_.max_outstanding) {
+    retire(id, st, 0, nonce_fate::superseded);
     grant.note = proto_error::challenge_superseded;
   }
   challenge_entry entry;
@@ -125,6 +161,12 @@ challenge_grant verifier_hub::challenge(device_id id) {
   }
   entry.seq = st.next_seq++;
   entry.issued_at = now();
+  // Journal the issuance before handing the nonce out (still under the
+  // shard lock): a grant the store never heard of could not be classified
+  // after a restart.
+  if (cfg_.sink != nullptr) {
+    cfg_.sink->on_challenge(id, entry.seq, entry.nonce, entry.issued_at);
+  }
   st.outstanding.push_back(entry);
   grant.seq = entry.seq;
   grant.nonce = entry.nonce;
@@ -176,9 +218,12 @@ attest_result verifier_hub::verify_impl(
   // Phase 1 (under the shard lock): nonce bookkeeping. Match the
   // challenge, classify misses, check the sequence number and CONSUME the
   // nonce, capturing the registry record (and the optional per-device
-  // policy context) for phase 2.
+  // policy context) for phase 2. The consumption is journaled under the
+  // same lock — a crash after this point replays the nonce as consumed,
+  // so the report cannot be re-submitted against the restarted hub.
   const device_record* rec = nullptr;
   verifier::op_verifier* ctx = nullptr;
+  device_state* stp = nullptr;
   std::array<std::uint8_t, 16> nonce{};
   {
     shard& sh = shard_for(id);
@@ -186,11 +231,10 @@ attest_result verifier_hub::verify_impl(
     rec = registry_.find(id);
     if (rec == nullptr) {
       r.error = proto_error::unknown_device;
-      count_rejected(r.error);
-      return r;
+      return rejected(r, nullptr);
     }
     device_state& st = sh.states[id];
-    expire_stale(st, now());
+    expire_stale(id, st, now());
 
     const auto match =
         std::find_if(st.outstanding.begin(), st.outstanding.end(),
@@ -213,17 +257,14 @@ attest_result verifier_hub::verify_impl(
             r.error = proto_error::challenge_expired;
             break;
         }
-        count_rejected(r.error);
-        return r;
+        return rejected(r, &st);
       }
       r.error = proto_error::stale_nonce;
-      count_rejected(r.error);
-      return r;
+      return rejected(r, &st);
     }
     if (check_seq && seq != match->seq) {
       r.error = proto_error::sequence_mismatch;
-      count_rejected(r.error);
-      return r;
+      return rejected(r, &st);
     }
 
     // Consume the nonce BEFORE verification: even a rejected report burns
@@ -232,9 +273,11 @@ attest_result verifier_hub::verify_impl(
     // one submitter finds the nonce outstanding.
     nonce = match->nonce;
     r.seq = match->seq;
-    retire(st, static_cast<std::size_t>(match - st.outstanding.begin()),
+    retire(id, st,
+           static_cast<std::size_t>(match - st.outstanding.begin()),
            nonce_fate::consumed);
     ctx = st.ctx.get();  // only if core(id) attached policies earlier
+    stp = &st;  // map nodes are address-stable; see threading note below
   }
 
   // Phase 2 (no locks held): the expensive MAC + abstract-execution
@@ -249,11 +292,19 @@ attest_result verifier_hub::verify_impl(
         no_policies;
     r.verdict = rec->firmware->verify(report, rec->key, no_policies, nonce);
   }
+  // stp stays valid unlocked: std::map nodes are address-stable and
+  // device states are never erased; the counters are atomics.
   if (r.verdict.accepted) {
     stats_.reports_accepted.fetch_add(1, std::memory_order_relaxed);
+    stp->counters.accepted.fetch_add(1, std::memory_order_relaxed);
   } else {
     stats_.reports_rejected_verdict.fetch_add(1,
                                               std::memory_order_relaxed);
+    stp->counters.rejected_verdict.fetch_add(1,
+                                             std::memory_order_relaxed);
+  }
+  if (cfg_.sink != nullptr) {
+    cfg_.sink->on_verdict(id, proto_error::none, r.verdict.accepted);
   }
   return r;
 }
@@ -267,15 +318,13 @@ attest_result verifier_hub::submit(std::span<const std::uint8_t> frame) {
   if (err != proto_error::none) {
     attest_result r;
     r.error = err;
-    count_rejected(r.error);
-    return r;
+    return rejected(r, nullptr);
   }
   if (scratch.info.version != proto::wire_v2) {
     // A v1 frame names no device; the hub cannot route it.
     attest_result r;
     r.error = proto_error::unknown_device;
-    count_rejected(r.error);
-    return r;
+    return rejected(r, nullptr);
   }
   return verify_report(scratch.info.device_id, scratch.info.seq,
                        scratch.report);
@@ -294,6 +343,88 @@ std::vector<attest_result> verifier_hub::verify_batch(
   // results land in input order with no post-hoc reordering.
   pool_->parallel_for(frames.size(),
                       [&](std::size_t i) { out[i] = submit(frames[i]); });
+  return out;
+}
+
+void verifier_hub::restore(std::uint64_t now,
+                           std::span<const device_restore> devices,
+                           const hub_stats& counters) {
+  now_.store(now, std::memory_order_relaxed);
+  stats_.challenges_issued.store(counters.challenges_issued,
+                                 std::memory_order_relaxed);
+  stats_.challenges_expired.store(counters.challenges_expired,
+                                  std::memory_order_relaxed);
+  stats_.challenges_superseded.store(counters.challenges_superseded,
+                                     std::memory_order_relaxed);
+  stats_.reports_accepted.store(counters.reports_accepted,
+                                std::memory_order_relaxed);
+  stats_.reports_rejected_verdict.store(counters.reports_rejected_verdict,
+                                        std::memory_order_relaxed);
+  for (std::size_t i = 0; i < counters.rejected_by_error.size(); ++i) {
+    stats_.rejected_by_error[i].store(counters.rejected_by_error[i],
+                                      std::memory_order_relaxed);
+  }
+  // Reseed the nonce streams against the restored issuance epoch: with a
+  // fixed cfg.seed, a plainly-reseeded restart would re-draw exactly the
+  // pre-crash nonce sequence.
+  const std::uint64_t epoch = counters.challenges_issued;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->rng.seed(cfg_.seed ^ mix64(s) ^ mix64(~epoch));
+  }
+  for (const auto& d : devices) {
+    shard& sh = shard_for(d.id);
+    std::lock_guard<std::mutex> lk(sh.mu);
+    device_state& st = sh.states[d.id];
+    st.outstanding.clear();
+    st.retired.clear();
+    for (const auto& c : d.outstanding) {
+      st.outstanding.push_back({c.nonce, c.seq, c.issued_at});
+    }
+    // A persisted history longer than this hub's window keeps the newest
+    // entries (the deque is oldest-first).
+    const std::size_t keep = std::min(d.retired.size(),
+                                      cfg_.retired_memory);
+    for (std::size_t i = d.retired.size() - keep; i < d.retired.size();
+         ++i) {
+      st.retired.push_back({d.retired[i].nonce, d.retired[i].fate});
+    }
+    st.next_seq = d.next_seq;
+    st.counters.accepted.store(d.counters.accepted,
+                               std::memory_order_relaxed);
+    st.counters.rejected_verdict.store(d.counters.rejected_verdict,
+                                       std::memory_order_relaxed);
+    st.counters.replayed.store(d.counters.replayed,
+                               std::memory_order_relaxed);
+    st.counters.rejected_protocol.store(d.counters.rejected_protocol,
+                                        std::memory_order_relaxed);
+  }
+}
+
+std::vector<device_restore> verifier_hub::dump_devices() const {
+  std::vector<device_restore> out;
+  for (const auto& shp : shards_) {
+    std::lock_guard<std::mutex> lk(shp->mu);
+    for (const auto& [id, st] : shp->states) {
+      device_restore d;
+      d.id = id;
+      d.next_seq = st.next_seq;
+      d.outstanding.reserve(st.outstanding.size());
+      for (const auto& e : st.outstanding) {
+        d.outstanding.push_back({e.nonce, e.seq, e.issued_at});
+      }
+      d.retired.reserve(st.retired.size());
+      for (const auto& e : st.retired) {
+        d.retired.push_back({e.nonce, e.fate});
+      }
+      d.counters = st.counters.snapshot();
+      out.push_back(std::move(d));
+    }
+  }
+  // Shard iteration order is hash order; snapshots should be canonical.
+  std::sort(out.begin(), out.end(),
+            [](const device_restore& a, const device_restore& b) {
+              return a.id < b.id;
+            });
   return out;
 }
 

@@ -86,6 +86,7 @@
 #include <random>
 
 #include "common/thread_pool.h"
+#include "fleet/persist.h"
 #include "fleet/registry.h"
 #include "proto/wire.h"
 #include "verifier/verifier.h"
@@ -117,6 +118,12 @@ struct hub_config {
   /// Forces verify_batch to run inline on the calling thread (no pool is
   /// created). The single-device v1 adapter sets this.
   bool sequential_batch = false;
+  /// Durability sink (src/store/fleet_store): challenge issuance, nonce
+  /// retirement and verdicts are journaled through it — issuance and
+  /// retirement UNDER the owning shard lock, so the on-disk order matches
+  /// the order the hub committed to. nullptr = no persistence. Must
+  /// outlive the hub.
+  persist_sink* sink = nullptr;
 };
 
 /// The issuance half of the protocol: what the hub hands the transport to
@@ -133,10 +140,11 @@ struct challenge_grant {
   bool ok() const { return error == proto_error::none; }
 };
 
-/// Monotonic per-hub counters (the ROADMAP "hub metrics" item, minimal
-/// form): a consistent-enough snapshot assembled from relaxed atomics —
-/// counts never go backwards, but a snapshot taken while traffic is in
-/// flight may be mid-update across fields.
+/// Monotonic per-hub counters (the ROADMAP "hub metrics" item): a
+/// consistent-enough snapshot assembled from relaxed atomics — counts
+/// never go backwards, but a snapshot taken while traffic is in flight
+/// may be mid-update across fields. The per_device breakdown is gathered
+/// under the shard locks (briefly, one shard at a time).
 struct hub_stats {
   std::uint64_t challenges_issued = 0;
   std::uint64_t challenges_expired = 0;    ///< retired past their TTL
@@ -149,6 +157,11 @@ struct hub_stats {
   /// proto_error (transport damage, unknown device, nonce bookkeeping).
   /// Index 0 (proto_error::none) is always 0.
   std::array<std::uint64_t, proto::proto_error_count> rejected_by_error{};
+  /// Per-device accept/reject/replay breakdown. Only devices that have
+  /// hub state appear; submissions for unknown device ids are deliberately
+  /// NOT attributed (an attacker spraying bogus ids must not grow this
+  /// map). Persisted through the fleet store snapshot.
+  std::map<device_id, device_counters> per_device;
 
   std::uint64_t reports_rejected_protocol() const {
     std::uint64_t n = 0;
@@ -207,9 +220,12 @@ class verifier_hub {
   std::vector<attest_result> verify_batch(std::span<const byte_vec> frames);
 
   /// Advance the monotonic clock; challenges older than cfg.challenge_ttl
-  /// ticks are retired as expired. Thread-safe.
+  /// ticks are retired as expired. Thread-safe. Journaled (concurrent
+  /// ticks may journal out of order; replay keeps the maximum).
   void tick(std::uint64_t n = 1) {
-    now_.fetch_add(n, std::memory_order_relaxed);
+    const std::uint64_t now =
+        now_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (cfg_.sink != nullptr) cfg_.sink->on_tick(now);
   }
   std::uint64_t now() const { return now_.load(std::memory_order_relaxed); }
 
@@ -231,12 +247,33 @@ class verifier_hub {
     return pool_ ? pool_->workers() : 0;
   }
 
-  /// Snapshot of the hub's monotonic counters. Thread-safe, lock-free.
-  hub_stats stats() const;
+  /// Snapshot of the hub's monotonic counters. Thread-safe; the hub-level
+  /// fields are lock-free, the per-device breakdown briefly takes each
+  /// shard lock in turn. Pass include_per_device = false for the cheap
+  /// lock-free hub-level scalars only (the store's snapshot writer does —
+  /// it gets the per-device rows from dump_devices() anyway).
+  hub_stats stats(bool include_per_device = true) const;
+
+  // ---- persistence surface (src/store/fleet_store) --------------------
+
+  /// Re-inject persisted state: the clock, hub-level counters, and every
+  /// device's challenge table / retired-nonce history / per-device
+  /// counters (retired histories longer than cfg.retired_memory keep only
+  /// the newest entries). Call once, before serving traffic — NOT
+  /// thread-safe against concurrent hub use, and never journals to the
+  /// sink. Also reseeds each shard's nonce stream with
+  /// `counters.challenges_issued` as an epoch, so a restarted hub never
+  /// re-draws the pre-crash nonce sequence a fixed seed would repeat.
+  void restore(std::uint64_t now,
+               std::span<const device_restore> devices,
+               const hub_stats& counters);
+
+  /// Dump every device's anti-replay state for a snapshot (shard locks
+  /// taken one at a time; concurrent traffic lands in the WAL instead —
+  /// see fleet_store::compact's quiescence contract).
+  std::vector<device_restore> dump_devices() const;
 
  private:
-  enum class nonce_fate : std::uint8_t { consumed, superseded, expired };
-
   struct challenge_entry {
     std::array<std::uint8_t, 16> nonce{};
     std::uint32_t seq = 0;
@@ -248,9 +285,31 @@ class verifier_hub {
     nonce_fate fate = nonce_fate::consumed;
   };
 
+  /// Per-device counters, written with relaxed atomics: the accept/reject
+  /// bumps happen AFTER the shard lock is dropped (phase 2 of
+  /// verify_impl), racing only with stats()/dump_devices readers.
+  struct atomic_device_counters {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected_verdict{0};
+    std::atomic<std::uint64_t> replayed{0};
+    std::atomic<std::uint64_t> rejected_protocol{0};
+
+    device_counters snapshot() const {
+      device_counters c;
+      c.accepted = accepted.load(std::memory_order_relaxed);
+      c.rejected_verdict =
+          rejected_verdict.load(std::memory_order_relaxed);
+      c.replayed = replayed.load(std::memory_order_relaxed);
+      c.rejected_protocol =
+          rejected_protocol.load(std::memory_order_relaxed);
+      return c;
+    }
+  };
+
   struct device_state {
     std::deque<challenge_entry> outstanding;  ///< ordered by issue time
     std::deque<retired_nonce> retired;        ///< bounded history
+    atomic_device_counters counters;
     /// Per-device POLICY context, materialized only by core(id) — the
     /// plain hot path verifies straight off the registry record's shared
     /// firmware artifact and never allocates here. Built under the shard
@@ -282,9 +341,13 @@ class verifier_hub {
 
   shard& shard_for(device_id id);
   const shard& shard_for(device_id id) const;
-  void retire(device_state& st, std::size_t index, nonce_fate fate);
-  void expire_stale(device_state& st, std::uint64_t now);
-  void count_rejected(proto_error e);
+  void retire(device_id id, device_state& st, std::size_t index,
+              nonce_fate fate);
+  void expire_stale(device_id id, device_state& st, std::uint64_t now);
+  /// Bump the hub histogram (and the per-device protocol/replay counter
+  /// when `st` is known), then journal the verdict. Returns `r` so reject
+  /// paths read `return rejected(...)`.
+  attest_result rejected(attest_result r, device_state* st);
   /// Looks up (or lazily builds) the device's policy context. Caller must
   /// hold the shard lock. Returns nullptr for an unknown device.
   verifier::op_verifier* core_locked(shard& sh, device_id id);

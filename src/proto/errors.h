@@ -36,6 +36,16 @@ enum class proto_error : std::uint8_t {
 inline constexpr std::size_t proto_error_count =
     static_cast<std::size_t>(proto_error::sequence_mismatch) + 1;
 
+/// Checked decode of a persisted error byte (the fleet store journals
+/// verdicts as one byte). A byte naming no proto_error means the record
+/// is corrupt and the caller must fail closed — never cast the byte
+/// directly, a garbage value would silently index out of histogram range.
+constexpr bool proto_error_from_u8(std::uint8_t v, proto_error& out) {
+  if (v >= proto_error_count) return false;
+  out = static_cast<proto_error>(v);
+  return true;
+}
+
 /// True for errors produced by the framing layer (re-request the frame);
 /// false for challenge/device bookkeeping failures (a protocol signal).
 constexpr bool is_transport_error(proto_error e) {

@@ -1,0 +1,99 @@
+// Binary codec primitives for the durable fleet store: a little-endian,
+// length-prefixed writer/reader pair, a CRC-32 (the file-integrity guard —
+// the wire's CRC-16 is sized for radio frames, state files get the full
+// 32 bits), and the canonical serialization of an instr::linked_program.
+//
+// Encoding rules (matching the firmware fingerprint hasher, so the two
+// stay cross-checkable): every multi-byte scalar is little-endian; every
+// string/byte-run is u32-length-prefixed; containers are u32-count-
+// prefixed with elements in iteration order. The reader is fully
+// bounds-checked: any read past the end of the buffer throws
+// store_error(truncated_record) instead of returning garbage — corrupt
+// state must fail closed, never load partially.
+#ifndef DIALED_STORE_CODEC_H
+#define DIALED_STORE_CODEC_H
+
+#include <span>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/store_error.h"
+#include "instr/oplink.h"
+
+namespace dialed::store {
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xffffffff) — guards both
+/// the snapshot file and every WAL record payload.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Append-only little-endian serializer over a caller-visible byte_vec.
+class writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// u32 length prefix + raw bytes.
+  void bytes(std::span<const std::uint8_t> b);
+  void str(const std::string& s);
+  /// Fixed-size run, NO length prefix (e.g. 16-byte nonces, 32-byte ids).
+  void raw(std::span<const std::uint8_t> b);
+
+  const byte_vec& data() const { return out_; }
+  byte_vec take() { return std::move(out_); }
+
+ private:
+  byte_vec out_;
+};
+
+/// Bounds-checked deserializer over a borrowed span. `context` names the
+/// file/record being decoded so a truncation error is diagnosable.
+class reader {
+ public:
+  explicit reader(std::span<const std::uint8_t> data,
+                  std::string context = "record")
+      : data_(data), context_(std::move(context)) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  bool boolean();
+  byte_vec bytes();
+  std::string str();
+  /// Read exactly `n` bytes (fixed-size runs).
+  std::span<const std::uint8_t> raw(std::size_t n);
+  /// A container count: like u32, but additionally checked against the
+  /// bytes remaining (each element needs >= `min_element_bytes`), so a
+  /// corrupt count fails as truncated_record instead of driving a
+  /// multi-gigabyte reserve.
+  std::uint32_t count(std::size_t min_element_bytes = 1);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> need(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+/// Serialize a complete linked_program — image segments, symbol table,
+/// listing, layout scalars, compile_result metadata and link options —
+/// such that read_program(write_program(p)) round-trips byte-identically
+/// and in particular re-fingerprints to the same firmware content id.
+void write_program(writer& w, const instr::linked_program& prog);
+
+/// Inverse of write_program. Throws store_error on truncation or
+/// undecodable enum values.
+instr::linked_program read_program(reader& r);
+
+}  // namespace dialed::store
+
+#endif  // DIALED_STORE_CODEC_H

@@ -1,0 +1,157 @@
+// Durable fleet state: snapshot + write-ahead-log persistence for the
+// device registry, the firmware catalog, and the verifier hub's
+// anti-replay state. This closes the attestation-vs-state gap a restart
+// used to open: without it, a crashed hub forgot every consumed nonce,
+// so a report accepted seconds before the crash verified again afterwards
+// — a textbook replay through state loss (cf. the TOCTOU-on-DICE line of
+// attacks; SAFE^d keeps its attestation state durable for the same
+// reason).
+//
+// What is persisted
+// -----------------
+//   * the device registry: ids, per-device key material, the firmware
+//     content id each device runs, and the id-assignment cursor;
+//   * the firmware catalog: content id -> full linked_program image, so
+//     artifacts re-intern BY CONTENT ID on load (one artifact per image,
+//     shared by every device on it — the PR 3 invariant survives
+//     restarts);
+//   * per-device anti-replay state: outstanding challenges (nonce, seq,
+//     issue tick), the retired-nonce history with fates, the seq
+//     high-water mark, and the hub clock — so a restarted hub classifies
+//     a pre-crash report as replayed_report instead of accepting it;
+//   * hub-level and per-device stats counters.
+//
+// Files in the state directory
+// ----------------------------
+//   snapshot.dls   versioned, CRC-32-guarded binary snapshot ("DLFS"
+//                  magic). Atomically replaced via .tmp + rename.
+//   wal-<G>.log    append-only log of every state change since snapshot
+//                  generation G (see src/store/wal.h for framing/torn-
+//                  tail semantics). The snapshot names the generation it
+//                  covers, so a WAL from an older generation can never be
+//                  double-applied on top of a newer snapshot.
+//
+// Lifecycle
+// ---------
+//   auto st = store::fleet_store::open(dir, {.master_key = K});
+//   st.registry->provision(...);       // journaled
+//   st.hub->challenge(id); ...         // journaled
+//   st.store->compact();               // snapshot + fresh WAL generation
+//
+// open() replays snapshot + WAL into a fresh {catalog, registry, hub}
+// triple wired to the store as its persistence sink, verifying every
+// firmware image re-hashes to its recorded content id. Corrupt state
+// fails closed with a typed store_error; only a torn FINAL WAL record —
+// the expected crash signature — is dropped (and truncated) cleanly.
+//
+// Concurrency contract
+// --------------------
+// WAL appends are fully concurrent (the registry's writer lock and every
+// hub shard feed one internally-locked appender). compact() however
+// assembles a point-in-time state from three separately-locked
+// structures, so it requires QUIESCENCE: no in-flight provision /
+// challenge / submit / tick while it runs. open() compacts before any
+// traffic exists; call sites that compact later (CLI exit, maintenance
+// windows) must drain traffic first. Online compaction is an open item,
+// as is an advisory lock on the state dir — one process per directory is
+// the caller's responsibility today.
+#ifndef DIALED_STORE_FLEET_STORE_H
+#define DIALED_STORE_FLEET_STORE_H
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "fleet/verifier_hub.h"
+#include "store/wal.h"
+
+namespace dialed::store {
+
+class fleet_store;
+
+/// The reopened fleet: a catalog/registry/hub triple wired to its store.
+/// Member order is the destruction contract — the hub and registry hold a
+/// sink pointer into the store, so they are declared after it and
+/// destroyed before it.
+struct fleet_state {
+  std::shared_ptr<fleet::firmware_catalog> catalog;
+  std::unique_ptr<fleet_store> store;
+  std::unique_ptr<fleet::device_registry> registry;
+  std::unique_ptr<fleet::verifier_hub> hub;
+};
+
+class fleet_store final : public fleet::persist_sink {
+ public:
+  struct options {
+    /// Fleet master key. Required when the state dir is fresh; on reopen
+    /// an empty key means "use the persisted one" and a non-empty key
+    /// must MATCH the persisted one (store_error(master_key_mismatch)
+    /// otherwise — silently proceeding would derive wrong device keys).
+    byte_vec master_key;
+    /// Configuration for the reopened hub (shards, TTL, workers...).
+    /// The store installs itself as cfg.sink.
+    fleet::hub_config hub{};
+    /// fsync every WAL append (power-loss durability) instead of only
+    /// flushing to the OS (process-crash durability, the default).
+    bool sync_every_append = false;
+    /// Rewrite the snapshot and reset the WAL at open() when the WAL is
+    /// non-empty or no snapshot exists yet. Keeps reopen cost bounded and
+    /// makes the master key durable from the first open.
+    bool compact_on_open = true;
+  };
+
+  static constexpr const char* snapshot_file = "snapshot.dls";
+
+  /// Load (or initialize) the state directory and materialize the fleet.
+  /// Throws store_error on any corruption (fail closed) and
+  /// registry_error(empty_master_key) on a fresh dir with no key.
+  static fleet_state open(const std::string& dir, options opts);
+
+  /// Rewrite the snapshot from the live {registry, catalog, hub} and
+  /// start a fresh WAL generation. QUIESCENT ONLY — see file comment.
+  void compact();
+
+  /// Observability: current WAL size (records/bytes since the snapshot).
+  std::uint64_t wal_records() const { return wal_->records(); }
+  std::uint64_t wal_bytes() const { return wal_->bytes(); }
+  std::uint64_t generation() const { return generation_; }
+  const std::string& directory() const { return dir_; }
+
+  // ---- fleet::persist_sink -------------------------------------------
+  void on_provision(const fleet::device_record& rec) override;
+  void on_challenge(fleet::device_id id, std::uint32_t seq,
+                    const fleet::nonce16& nonce,
+                    std::uint64_t issued_at) override;
+  void on_retire(fleet::device_id id, const fleet::nonce16& nonce,
+                 fleet::nonce_fate fate) override;
+  void on_verdict(fleet::device_id id, proto::proto_error error,
+                  bool accepted) override;
+  void on_tick(std::uint64_t now) override;
+
+ private:
+  fleet_store(std::string dir, options opts);
+
+  std::string wal_path(std::uint64_t generation) const;
+  void write_snapshot();
+
+  std::string dir_;
+  options opts_;
+  std::uint64_t generation_ = 0;
+  std::unique_ptr<wal_writer> wal_;
+
+  /// Firmware ids already durable (snapshot or an earlier WAL record) —
+  /// on_provision appends each program image at most once.
+  std::mutex fw_mu_;
+  std::set<verifier::firmware_id> persisted_firmware_;
+
+  /// Borrowed views of the live objects, for compact(). Set by open();
+  /// fleet_state's member order guarantees they outlive this store.
+  std::shared_ptr<fleet::firmware_catalog> catalog_;
+  fleet::device_registry* registry_ = nullptr;
+  fleet::verifier_hub* hub_ = nullptr;
+};
+
+}  // namespace dialed::store
+
+#endif  // DIALED_STORE_FLEET_STORE_H

@@ -1,0 +1,121 @@
+// Append-only write-ahead log for the fleet store.
+//
+// On-disk framing, one record after another:
+//
+//   offset  size  field
+//   0       4     payload length n (LE32)
+//   4       4     CRC-32 over the n payload bytes
+//   8       n     payload (first payload byte is the record type)
+//
+// Crash semantics — the load-bearing distinction:
+//
+//   * TORN TAIL: the FINAL record is incomplete — fewer than 8 header
+//     bytes remain, or the declared payload runs past end-of-file, or the
+//     payload reaches exactly end-of-file but its CRC does not match
+//     (the crash hit mid-write). That is the expected signature of a
+//     crash during append; the reader reports the torn bytes and the
+//     store drops them cleanly (truncating the file on reopen).
+//   * CORRUPT BODY: a record whose CRC fails (or whose payload is
+//     undecodable) while MORE well-formed bytes follow it. That is not a
+//     torn write — it is corruption in the middle of the history, and
+//     replaying anything after it would resurrect state the log cannot
+//     vouch for. The reader fails closed with store_error(crc_mismatch).
+//
+// Known limitation: the length field itself is only guarded by the
+// payload CRC indirectly. A shrunk length fails closed (the CRC is then
+// checked over the wrong byte range, mid-log), but a corrupted length
+// that points PAST end-of-file is indistinguishable from a mid-append
+// crash and is treated as a torn tail — dropping any records after the
+// flip. Compaction keeps logs short, and the snapshot (whole-file CRC)
+// carries the bulk of the state; closing this fully needs fixed-size
+// block framing (ROADMAP open item).
+//
+// Writers serialize appends behind an internal mutex, so the registry's
+// provisioning lock and every hub shard can emit records concurrently.
+// Each append is flushed to the OS before returning; `sync_every_append`
+// additionally fsyncs (durability against power loss, at a per-record
+// cost — the default trusts the OS page cache, which survives process
+// crashes, the failure mode the tests exercise).
+#ifndef DIALED_STORE_WAL_H
+#define DIALED_STORE_WAL_H
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/store_error.h"
+
+namespace dialed::store {
+
+/// One decoded WAL record: the payload with the framing stripped.
+struct wal_record {
+  byte_vec payload;
+};
+
+struct wal_read_result {
+  std::vector<wal_record> records;
+  /// Byte offset of the first torn byte (== file size when the log ends
+  /// cleanly). Reopening truncates the file to this length.
+  std::uint64_t valid_bytes = 0;
+  bool torn_tail = false;
+};
+
+/// Parse an entire WAL image. Throws store_error(crc_mismatch /
+/// truncated_record) for corruption that is NOT a torn tail (see file
+/// comment).
+wal_read_result read_wal(std::span<const std::uint8_t> data);
+
+/// Appender over a WAL file. Opens (creating if missing) and, when the
+/// existing tail is torn, truncates it to `valid_bytes` first so the next
+/// append lands on a clean boundary.
+class wal_writer {
+ public:
+  /// `truncate_to`: length the existing file is cut to before appending
+  /// (pass wal_read_result::valid_bytes); `existing_records` the number of
+  /// records already in it. Throws store_error(io_error).
+  wal_writer(std::string path, std::uint64_t truncate_to,
+             std::uint64_t existing_records, bool sync_every_append);
+  ~wal_writer();
+
+  wal_writer(const wal_writer&) = delete;
+  wal_writer& operator=(const wal_writer&) = delete;
+
+  /// Frame `payload` and append it. Thread-safe. Throws
+  /// store_error(io_error) when the write or flush fails; a failed
+  /// append rolls the file back to the last record boundary and POISONS
+  /// the writer (every later append throws io_error immediately) so a
+  /// half-written record can never get live records appended after it.
+  /// Reopen the store (or reset_to) to recover.
+  void append(std::span<const std::uint8_t> payload);
+
+  /// Replace the log with an empty one at `path` (compaction commit —
+  /// typically the next WAL generation's filename). Thread-safe against
+  /// append, but see fleet_store::compact's quiescence contract.
+  void reset_to(std::string path);
+
+  /// Permanently fail this writer: every later append throws io_error.
+  /// Used when the store's on-disk naming has moved past this log (a
+  /// compaction that could not switch generations) — appending to a log
+  /// no reopen will ever read must be loud, not silent.
+  void poison();
+
+  std::uint64_t bytes() const;
+  std::uint64_t records() const;
+
+ private:
+  [[noreturn]] void fail_locked(const char* what);
+
+  std::string path_;
+  bool sync_;
+  mutable std::mutex mu_;
+  std::FILE* f_ = nullptr;
+  bool failed_ = false;  ///< poisoned by a failed append (see append)
+  std::uint64_t bytes_ = 0;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace dialed::store
+
+#endif  // DIALED_STORE_WAL_H

@@ -682,6 +682,61 @@ TEST(hub, stats_count_accepts_rejects_and_challenge_lifecycle) {
   EXPECT_EQ(s.rejected_by_error[0], 0u);  // proto_error::none never counts
 }
 
+TEST(hub, stats_break_down_per_device) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id_a = reg.provision(prog);
+  const auto id_b = reg.provision(prog);
+  verifier_hub hub(reg, {});
+  proto::prover_device dev_a(prog, reg.derive_key(id_a));
+  proto::prover_device dev_b(prog, reg.derive_key(id_b));
+
+  // Device A: two accepts, then a replay of the second report.
+  for (int i = 0; i < 2; ++i) {
+    const auto g = hub.challenge(id_a);
+    EXPECT_TRUE(
+        hub.verify_report(id_a, g.seq, dev_a.invoke(g.nonce, args(1, 2)))
+            .accepted());
+  }
+  const auto ga = hub.challenge(id_a);
+  const auto rep_a = dev_a.invoke(ga.nonce, args(3, 4));
+  EXPECT_TRUE(hub.verify_report(id_a, ga.seq, rep_a).accepted());
+  EXPECT_EQ(hub.verify_report(id_a, ga.seq, rep_a).error,
+            proto_error::replayed_report);
+
+  // Device B: one verdict rejection (forged result) and one protocol
+  // rejection (sequence mismatch).
+  const auto gb = hub.challenge(id_b);
+  auto forged = dev_b.invoke(gb.nonce, args(1, 2));
+  forged.claimed_result = 0x1234;
+  EXPECT_FALSE(hub.verify_report(id_b, gb.seq, forged).accepted());
+  const auto gb2 = hub.challenge(id_b);
+  EXPECT_EQ(hub.verify_report(id_b, gb2.seq + 7,
+                              dev_b.invoke(gb2.nonce, args(1, 2)))
+                .error,
+            proto_error::sequence_mismatch);
+
+  // A submission for an unprovisioned id must NOT grow the map.
+  verifier::attestation_report bogus;
+  EXPECT_EQ(hub.verify_report(9999, 1, bogus).error,
+            proto_error::unknown_device);
+
+  const auto s = hub.stats();
+  ASSERT_EQ(s.per_device.size(), 2u);
+  EXPECT_EQ(s.per_device.at(id_a).accepted, 3u);
+  EXPECT_EQ(s.per_device.at(id_a).replayed, 1u);
+  EXPECT_EQ(s.per_device.at(id_a).rejected_verdict, 0u);
+  EXPECT_EQ(s.per_device.at(id_a).rejected_protocol, 0u);
+  EXPECT_EQ(s.per_device.at(id_b).accepted, 0u);
+  EXPECT_EQ(s.per_device.at(id_b).rejected_verdict, 1u);
+  EXPECT_EQ(s.per_device.at(id_b).rejected_protocol, 1u);
+  EXPECT_EQ(s.per_device.at(id_b).total(), 2u);
+  EXPECT_EQ(s.per_device.count(9999), 0u);
+  // The per-device rows sum to the hub-level totals they break down.
+  EXPECT_EQ(s.per_device.at(id_a).total() + s.per_device.at(id_b).total(),
+            s.reports_submitted() - 1);  // minus the unknown-device one
+}
+
 // ---------------------------------------------------------------------------
 // Adapter (v1 session) over the hub
 // ---------------------------------------------------------------------------

@@ -6,7 +6,8 @@
 //
 //   dialed-attest <source.c> [--entry op] [--device-id N] [--args a,b,...]
 //                 [--net b,b,...] [--adc s,s,...] [--repeat K]
-//                 [--workers N] [--hex-frame] [--trace]
+//                 [--workers N] [--state-dir DIR] [--stats-json PATH]
+//                 [--hex-frame] [--trace]
 //
 // --repeat K runs K attested invocations (K challenges outstanding at
 // once, K wire frames) and verifies them as one batch; --workers N fans
@@ -14,15 +15,29 @@
 // sequential) — the shared-firmware-artifact batch path, exercisable from
 // the command line.
 //
+// --state-dir DIR opens (or initializes) a durable fleet store there and
+// resumes it: the device registry, firmware catalog, anti-replay history
+// and stats counters survive across invocations, so a second run reuses
+// the provisioned device and a captured frame from a previous run is
+// rejected as a replay. The demo master key is fixed (0xAB * 32) — real
+// deployments must supply their own.
+//
+// --stats-json PATH writes the hub's counters (including the per-device
+// accept/reject/replay breakdown) as JSON on exit — the minimal
+// exportable metrics endpoint.
+//
 // Exit code 0 = every report verified, 1 = any rejected, 2 = usage error.
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "common/error.h"
 #include "fleet/verifier_hub.h"
 #include "proto/prover.h"
 #include "proto/wire.h"
+#include "store/fleet_store.h"
+#include "verifier/firmware_artifact.h"
 
 namespace {
 
@@ -68,7 +83,45 @@ void usage() {
                "usage: dialed-attest <source.c> [--entry NAME] "
                "[--device-id N] [--args a,b,...] [--net b,b,...] "
                "[--adc s,s,...] [--repeat K] [--workers N] "
+               "[--state-dir DIR] [--stats-json PATH] "
                "[--hex-frame] [--trace]\n");
+}
+
+/// Hub counters (with the per-device breakdown) as a JSON document — the
+/// "exportable metrics endpoint" in its minimal, file-shaped form.
+void write_stats_json(const dialed::fleet::hub_stats& s,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw dialed::error("cannot write stats json: " + path);
+  }
+  const char* sep = "";
+  out << "{\n";
+  out << "  \"challenges_issued\": " << s.challenges_issued << ",\n";
+  out << "  \"challenges_expired\": " << s.challenges_expired << ",\n";
+  out << "  \"challenges_superseded\": " << s.challenges_superseded
+      << ",\n";
+  out << "  \"reports_accepted\": " << s.reports_accepted << ",\n";
+  out << "  \"reports_rejected_verdict\": " << s.reports_rejected_verdict
+      << ",\n";
+  out << "  \"rejected_by_error\": {";
+  for (std::size_t i = 1; i < s.rejected_by_error.size(); ++i) {
+    const auto e = static_cast<dialed::proto::proto_error>(i);
+    out << sep << "\n    \"" << dialed::proto::to_string(e)
+        << "\": " << s.rejected_by_error[i];
+    sep = ",";
+  }
+  out << "\n  },\n";
+  out << "  \"devices\": {";
+  sep = "";
+  for (const auto& [id, c] : s.per_device) {
+    out << sep << "\n    \"" << id << "\": {\"accepted\": " << c.accepted
+        << ", \"rejected_verdict\": " << c.rejected_verdict
+        << ", \"replayed\": " << c.replayed
+        << ", \"rejected_protocol\": " << c.rejected_protocol << "}";
+    sep = ",";
+  }
+  out << "\n  }\n}\n";
 }
 
 }  // namespace
@@ -81,6 +134,8 @@ int main(int argc, char** argv) {
   }
   std::string path;
   std::string entry = "op";
+  std::string state_dir;
+  std::string stats_json;
   proto::invocation inv;
   fleet::device_id device_id = 1;
   std::uint32_t repeat = 1;
@@ -123,6 +178,10 @@ int main(int argc, char** argv) {
           throw error("--workers needs one value");
         }
         workers = vals[0];
+      } else if (arg == "--state-dir" && i + 1 < argc) {
+        state_dir = argv[++i];
+      } else if (arg == "--stats-json" && i + 1 < argc) {
+        stats_json = argv[++i];
       } else if (arg == "--hex-frame") {
         hex_frame = true;
       } else if (arg == "--trace") {
@@ -158,12 +217,6 @@ int main(int argc, char** argv) {
     lo.mode = instr::instrumentation::dialed;
     const auto prog = instr::build_operation(ss.str(), lo);
 
-    // Fleet-side provisioning: the hub holds only the master key; the
-    // device is burned with the derived K_dev. The registry interns the
-    // program into its firmware catalog — the shared-artifact path every
-    // batch report verifies on.
-    fleet::device_registry registry(byte_vec(32, 0xAB));
-    registry.provision(device_id, prog);
     fleet::hub_config hub_cfg;
     hub_cfg.max_outstanding = repeat;  // all K challenges live at once
     if (workers == 0) {
@@ -174,8 +227,55 @@ int main(int argc, char** argv) {
     } else {
       hub_cfg.workers = workers;
     }
-    fleet::verifier_hub hub(registry, hub_cfg);
-    proto::prover_device dev(prog, registry.derive_key(device_id));
+
+    // Fleet-side provisioning: the hub holds only the master key; the
+    // device is burned with the derived K_dev. The registry interns the
+    // program into its firmware catalog — the shared-artifact path every
+    // batch report verifies on. With --state-dir, registry/catalog/hub
+    // are resumed from (and journaled to) the durable store instead of
+    // built fresh.
+    const byte_vec demo_master_key(32, 0xAB);
+    std::optional<fleet::device_registry> local_registry;
+    store::fleet_state persisted;
+    if (state_dir.empty()) {
+      local_registry.emplace(demo_master_key);
+    } else {
+      store::fleet_store::options so;
+      so.master_key = demo_master_key;
+      so.hub = hub_cfg;
+      persisted = store::fleet_store::open(state_dir, so);
+    }
+    fleet::device_registry& registry =
+        local_registry ? *local_registry : *persisted.registry;
+
+    if (const auto* rec = registry.find(device_id)) {
+      // Resumed device: the firmware on disk must be the firmware we are
+      // about to run, or every MAC would fail inscrutably.
+      if (rec->firmware->id() !=
+          verifier::firmware_artifact::fingerprint(prog)) {
+        std::fprintf(stderr,
+                     "dialed-attest: device %u is provisioned with a "
+                     "different firmware (%.16s...) in %s\n",
+                     device_id, rec->firmware->id_hex().c_str(),
+                     state_dir.c_str());
+        return 2;
+      }
+    } else {
+      registry.provision(device_id, prog);
+    }
+
+    std::optional<fleet::verifier_hub> local_hub;
+    if (local_registry) local_hub.emplace(registry, hub_cfg);
+    fleet::verifier_hub& hub = local_hub ? *local_hub : *persisted.hub;
+    if (!state_dir.empty()) {
+      std::printf("state:    %s (generation %llu, %llu WAL records)\n",
+                  state_dir.c_str(),
+                  static_cast<unsigned long long>(
+                      persisted.store->generation()),
+                  static_cast<unsigned long long>(
+                      persisted.store->wal_records()));
+    }
+    proto::prover_device dev(prog, registry.find(device_id)->key);
 
     // Run one attested invocation per challenge and ship each report
     // through the wire format, as a real deployment would (max_outstanding
@@ -260,6 +360,9 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.reports_accepted),
                   static_cast<unsigned long long>(
                       stats.reports_submitted() - stats.reports_accepted));
+    }
+    if (!stats_json.empty()) {
+      write_stats_json(hub.stats(), stats_json);
     }
     return accepted == results.size() ? 0 : 1;
   } catch (const error& e) {
