@@ -275,6 +275,141 @@ BENCHMARK(BM_fleet_verify_batch_parallel)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+void BM_wire_delta_encode(benchmark::State& state) {
+  // Wire v2.1 transport win + encode cost for a steady-state polling
+  // loop: one device, FireSensor firmware, `rounds` reports whose input
+  // drifts slightly between rounds (the high-frequency-polling shape the
+  // delta codec exists for). Each iteration encodes the whole loop the
+  // way the emitter would — round r as a sparse delta against round
+  // r-1's OR — and the counters report mean bytes per report against
+  // the v2 full-frame baseline. The acceptance bar is the ROADMAP's
+  // >= 2x reduction; steady-state polling lands far above it.
+  const auto app = dialed::apps::evaluation_apps()[1];  // FireSensor
+  const auto prog =
+      dialed::apps::build_app(app, dialed::instr::instrumentation::dialed);
+  dialed::proto::prover_device dev(prog, bench_key());
+  constexpr int rounds = 8;
+  std::vector<dialed::verifier::attestation_report> reps;
+  std::array<std::uint8_t, 16> chal{};
+  for (int r = 0; r < rounds; ++r) {
+    chal.fill(static_cast<std::uint8_t>(r + 1));
+    auto inv = app.representative_input;
+    // Drift one ADC sample per round: a real sensor's readings wobble,
+    // so consecutive ORs differ in a few I-Log bytes, not zero.
+    if (!inv.adc_samples.empty()) {
+      inv.adc_samples[0] =
+          static_cast<std::uint16_t>(inv.adc_samples[0] + r);
+    }
+    reps.push_back(dev.invoke(chal, inv));
+  }
+
+  dialed::byte_vec frame;
+  std::uint64_t delta_bytes = 0, full_bytes = 0, frames = 0;
+  for (auto _ : state) {
+    delta_bytes = full_bytes = frames = 0;
+    for (int r = 0; r < rounds; ++r) {
+      dialed::proto::frame_info info;
+      info.device_id = 1;
+      info.seq = static_cast<std::uint32_t>(r + 1);
+      if (r == 0) {
+        // Round 0 has no baseline: both transports ship a full frame.
+        benchmark::DoNotOptimize(
+            dialed::proto::encode_frame_into(info, reps[0], frame));
+        delta_bytes += frame.size();
+        full_bytes += frame.size();
+      } else {
+        benchmark::DoNotOptimize(dialed::proto::encode_delta_frame_into(
+            info, reps[static_cast<std::size_t>(r)],
+            static_cast<std::uint32_t>(r),
+            reps[static_cast<std::size_t>(r - 1)].or_bytes, frame));
+        delta_bytes += frame.size();
+        benchmark::DoNotOptimize(dialed::proto::encode_frame_into(
+            info, reps[static_cast<std::size_t>(r)], frame));
+        full_bytes += frame.size();
+      }
+      ++frames;
+    }
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(rounds) *
+      static_cast<std::int64_t>(reps[0].or_bytes.size()));
+  state.counters["frames"] = static_cast<double>(frames);
+  state.counters["v2_bytes_per_report"] =
+      static_cast<double>(full_bytes) / static_cast<double>(frames);
+  state.counters["v21_bytes_per_report"] =
+      static_cast<double>(delta_bytes) / static_cast<double>(frames);
+  state.counters["compression_x"] =
+      static_cast<double>(full_bytes) / static_cast<double>(delta_bytes);
+  // The wire win must not be bought with a slower encoder than the MCU
+  // link can feed; the bytes/sec rate above reports encode throughput.
+  if (full_bytes < 2 * delta_bytes) {
+    state.SkipWithError("delta compression fell under the 2x bar");
+  }
+}
+BENCHMARK(BM_wire_delta_encode);
+
+void BM_fleet_delta_submit(benchmark::State& state) {
+  // End-to-end verify cost of the delta path: hub baseline resolution +
+  // reconstruction + MAC + abstract execution, vs the same report as a
+  // full v2 frame (BM_fleet_verify_batch is the batch-shaped baseline).
+  dialed::fleet::device_registry reg(bench_key());
+  dialed::instr::link_options lo;
+  lo.entry = "op";
+  lo.mode = dialed::instr::instrumentation::dialed;
+  const auto prog = dialed::instr::build_operation(
+      "int g = 3;"
+      "int op(int n) { int s = 0; int i;"
+      "  for (i = 0; i < n; i++) { s = s + g + i; } return s; }",
+      lo);
+  const auto id = reg.provision(prog);
+  dialed::fleet::hub_config cfg;
+  cfg.seed = 0xfee1f1ee7ull;
+  cfg.sequential_batch = true;
+  cfg.max_outstanding = 2;
+
+  dialed::proto::prover_device dev(prog, reg.derive_key(id));
+  // Two rounds produced once: round 1 primes the baseline each
+  // iteration, round 2 is the timed delta submit.
+  dialed::fleet::verifier_hub setup(reg, cfg);
+  const auto g1 = setup.challenge(id);
+  const auto g2 = setup.challenge(id);
+  dialed::proto::invocation inv;
+  inv.args[0] = 8;
+  const auto rep1 = dev.invoke(g1.nonce, inv);
+  inv.args[0] = 9;
+  const auto rep2 = dev.invoke(g2.nonce, inv);
+  dialed::proto::frame_info i1, i2;
+  i1.device_id = i2.device_id = id;
+  i1.seq = g1.seq;
+  i2.seq = g2.seq;
+  const auto full1 = dialed::proto::encode_frame(i1, rep1);
+  const auto delta2 =
+      dialed::proto::encode_delta_frame(i2, rep2, g1.seq, rep1.or_bytes);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    dialed::fleet::verifier_hub hub(reg, cfg);
+    (void)hub.challenge(id);  // same seed -> same nonces
+    (void)hub.challenge(id);
+    if (!hub.submit(full1).accepted()) {
+      state.SkipWithError("baseline round rejected");
+      break;
+    }
+    state.ResumeTiming();
+    const auto r = hub.submit(delta2);
+    if (!r.accepted()) {
+      state.SkipWithError("delta round rejected");
+      break;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["delta_frame_bytes"] =
+      static_cast<double>(delta2.size());
+  state.counters["full_frame_bytes"] = static_cast<double>(full1.size());
+}
+BENCHMARK(BM_fleet_delta_submit)->Unit(benchmark::kMillisecond);
+
 void BM_fleet_store_wal_append(benchmark::State& state) {
   // Durability tax on the hot path: one journaled verdict per iteration
   // (the retire+verdict pair is what every verified report appends). No

@@ -80,6 +80,10 @@ void sha256::compress(const std::uint8_t* block) {
 }
 
 void sha256::update(std::span<const std::uint8_t> data) {
+  // An empty span may carry a null data() — memcpy's pointer arguments
+  // must never be null even for size 0 (UBSan catches it; found by the
+  // wire fuzz battery hashing zero-length OR baselines).
+  if (data.empty()) return;
   total_bytes_ += data.size();
   std::size_t pos = 0;
   if (buffered_ != 0) {

@@ -18,6 +18,13 @@
 //   on_verdict    — a submission's outcome, for the stats counters only
 //                   (the security-relevant consumption already traveled
 //                   in on_retire).
+//   on_baseline   — an ACCEPTED report's OR became the device's wire
+//                   v2.1 delta baseline. Security state: a hub restarted
+//                   without it would reconstruct the next delta frame
+//                   against the wrong bytes (caught by the baseline hash
+//                   and answered with baseline_mismatch — correct but
+//                   needlessly forcing a full-frame round) or, worse,
+//                   accept nothing until the prover resyncs.
 //   on_tick       — the monotonic clock advanced (challenge expiry).
 //
 // Threading: on_challenge/on_retire arrive under a shard lock and
@@ -87,11 +94,21 @@ struct device_restore {
     nonce_fate fate = nonce_fate::consumed;
   };
 
+  /// The wire v2.1 delta baseline: the OR snapshot of the last ACCEPTED
+  /// report (sequence-stamped). `valid == false` means the device has no
+  /// baseline yet and every delta frame is answered baseline_mismatch.
+  struct or_baseline {
+    bool valid = false;
+    std::uint32_t seq = 0;
+    byte_vec bytes;
+  };
+
   device_id id = 0;
   std::uint32_t next_seq = 1;
   std::vector<outstanding_challenge> outstanding;  ///< oldest first
   std::vector<retired_nonce> retired;              ///< oldest first
   device_counters counters;
+  or_baseline baseline;
 };
 
 struct device_record;  // registry.h
@@ -127,6 +144,14 @@ class persist_sink {
   /// frames must not buy a disk append per frame.
   virtual void on_verdict(device_id id, proto::proto_error error,
                           bool accepted) = 0;
+
+  /// Under the owning shard lock, only for ACCEPTED verdicts: `or_bytes`
+  /// is the full reconstructed OR that round attested, now the device's
+  /// delta baseline for round seq+1 onwards. Emitted BEFORE the matching
+  /// on_verdict (same thread), so replay never sees a baseline-less
+  /// accept.
+  virtual void on_baseline(device_id id, std::uint32_t seq,
+                           std::span<const std::uint8_t> or_bytes) = 0;
 
   /// From tick(); `now` is the post-increment clock value.
   virtual void on_tick(std::uint64_t now) = 0;

@@ -295,6 +295,11 @@ attest_result verifier_hub::verify_impl(
   // stp stays valid unlocked: std::map nodes are address-stable and
   // device states are never erased; the counters are atomics.
   if (r.verdict.accepted) {
+    // This OR is now the proven device state: adopt it as the wire v2.1
+    // delta baseline (accepted verdicts ONLY — a rejected report must
+    // never steer future reconstructions). Re-takes the shard lock and
+    // journals before the verdict record below.
+    if (cfg_.or_baselines) adopt_baseline(id, r.seq, report.or_bytes);
     stats_.reports_accepted.fetch_add(1, std::memory_order_relaxed);
     stp->counters.accepted.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -309,6 +314,64 @@ attest_result verifier_hub::verify_impl(
   return r;
 }
 
+std::optional<attest_result> verifier_hub::reconstruct_delta(
+    device_id id, std::uint32_t seq, const proto::or_delta& delta,
+    verifier::attestation_report& report) {
+  attest_result r;
+  r.device = id;
+  r.seq = seq;
+  // Reconstruction scratch: per thread, like the decode frame — the
+  // baseline bytes are copied out under the shard lock (another thread's
+  // accepted verdict may swap them the instant it is dropped), the splat
+  // happens unlocked.
+  static thread_local byte_vec baseline_copy;
+  {
+    shard& sh = shard_for(id);
+    std::lock_guard<std::mutex> lk(sh.mu);
+    if (registry_.find(id) == nullptr) {
+      r.error = proto_error::unknown_device;
+      return rejected(r, nullptr);
+    }
+    device_state& st = sh.states[id];
+    const or_baseline& b = st.baseline;
+    if (!cfg_.or_baselines || !b.valid || b.seq != delta.baseline_seq ||
+        b.hash != delta.baseline_hash) {
+      // Fresh device, desynced prover, or a restart that lost the
+      // baseline: the typed signal to resend THIS report as a full
+      // frame. Deliberately checked before any nonce bookkeeping — the
+      // challenge stays outstanding for the retry.
+      r.error = proto_error::baseline_mismatch;
+      return rejected(r, &st);
+    }
+    baseline_copy = b.bytes;
+  }
+  if (proto::apply_or_delta(delta, baseline_copy, report.or_bytes) !=
+      proto_error::none) {
+    // Unreachable off the decode path (decode_frame validates segment
+    // structure), but hand-built deltas fail closed as transport damage.
+    r.error = proto_error::bad_length;
+    return rejected(r, nullptr);
+  }
+  return std::nullopt;
+}
+
+void verifier_hub::adopt_baseline(device_id id, std::uint32_t seq,
+                                  const byte_vec& or_bytes) {
+  shard& sh = shard_for(id);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  device_state& st = sh.states[id];
+  // Newest accepted round wins; with concurrent accepts for one device
+  // the table converges on the max seq no matter the interleaving.
+  if (st.baseline.valid && seq <= st.baseline.seq) return;
+  // Journal BEFORE mutating (like retire): a throwing sink leaves the
+  // in-memory baseline consistent with what the log can replay.
+  if (cfg_.sink != nullptr) cfg_.sink->on_baseline(id, seq, or_bytes);
+  st.baseline.valid = true;
+  st.baseline.seq = seq;
+  st.baseline.bytes = or_bytes;
+  st.baseline.hash = proto::or_baseline_hash(seq, or_bytes);
+}
+
 attest_result verifier_hub::submit(std::span<const std::uint8_t> frame) {
   // Reentrancy: one decode scratch per thread, so concurrent submits
   // (and verify_batch workers) never share a buffer but batches still
@@ -320,11 +383,21 @@ attest_result verifier_hub::submit(std::span<const std::uint8_t> frame) {
     r.error = err;
     return rejected(r, nullptr);
   }
-  if (scratch.info.version != proto::wire_v2) {
+  if (scratch.info.version != proto::wire_v2 &&
+      scratch.info.version != proto::wire_v21) {
     // A v1 frame names no device; the hub cannot route it.
     attest_result r;
     r.error = proto_error::unknown_device;
     return rejected(r, nullptr);
+  }
+  if (scratch.delta.present) {
+    // v2.1: rebuild the full OR before anything downstream sees the
+    // report — verification below is byte-for-byte the full-frame path.
+    if (auto rejected_early = reconstruct_delta(
+            scratch.info.device_id, scratch.info.seq, scratch.delta,
+            scratch.report)) {
+      return *rejected_early;
+    }
   }
   return verify_report(scratch.info.device_id, scratch.info.seq,
                        scratch.report);
@@ -389,6 +462,15 @@ void verifier_hub::restore(std::uint64_t now,
       st.retired.push_back({d.retired[i].nonce, d.retired[i].fate});
     }
     st.next_seq = d.next_seq;
+    st.baseline.valid = d.baseline.valid;
+    st.baseline.seq = d.baseline.seq;
+    st.baseline.bytes = d.baseline.bytes;
+    // The hash is derived state: recompute instead of persisting, so the
+    // on-disk format stays independent of the hash construction.
+    st.baseline.hash = d.baseline.valid
+                           ? proto::or_baseline_hash(d.baseline.seq,
+                                                     d.baseline.bytes)
+                           : std::array<std::uint8_t, 8>{};
     st.counters.accepted.store(d.counters.accepted,
                                std::memory_order_relaxed);
     st.counters.rejected_verdict.store(d.counters.rejected_verdict,
@@ -416,6 +498,9 @@ std::vector<device_restore> verifier_hub::dump_devices() const {
       for (const auto& e : st.retired) {
         d.retired.push_back({e.nonce, e.fate});
       }
+      d.baseline.valid = st.baseline.valid;
+      d.baseline.seq = st.baseline.seq;
+      d.baseline.bytes = st.baseline.bytes;
       d.counters = st.counters.snapshot();
       out.push_back(std::move(d));
     }

@@ -19,12 +19,30 @@
 //        |  submit(frame) -> attest_result                |
 //        |    - frame damaged        -> transport error   |
 //        |    - device_id unknown    -> unknown_device    |
+//        |    - v2.1 delta names a baseline the hub does  |
+//        |      not hold             -> baseline_mismatch |
+//        |      (nonce NOT burned: resend as full frame)  |
 //        |    - seq != grant seq     -> sequence_mismatch |
 //        |    - nonce consumed       -> replayed_report   |
-//        |    - nonce evicted        -> challenge_superseded
+//        |    - nonce evicted       -> challenge_superseded
 //        |    - nonce past TTL       -> challenge_expired |
 //        |    - nonce never issued   -> stale_nonce       |
 //        |    - else: full §III verification -> verdict   |
+//
+// Wire v2.1 delta frames (report compression)
+// -------------------------------------------
+// A v2.1 frame carries the OR as a sparse delta against the OR of the
+// last report the hub ACCEPTED for that device — the per-device
+// `or_baseline` (sequence-stamped hash + bytes, updated only on an
+// accepted verdict, journaled through the persist sink so it survives
+// restarts). submit() resolves the baseline under the shard lock,
+// reconstructs the full OR OUTSIDE it, and then verifies exactly as if a
+// full frame had arrived — the MAC covers the reconstructed OR, so a
+// delta that reconstructs the wrong bytes is rejected like any forgery.
+// A delta naming a baseline the hub does not hold (fresh device, stale
+// seq, hash desync, restart that lost state) is answered with the typed
+// baseline_mismatch error WITHOUT consuming the frame's nonce: the
+// prover falls back to a full frame for the same challenge.
 //
 // Challenge lifecycle: issued -> (consumed | superseded | expired), with a
 // bounded per-device memory of retired nonces so a late report gets the
@@ -83,6 +101,7 @@
 #include <atomic>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <random>
 
 #include "common/thread_pool.h"
@@ -118,6 +137,11 @@ struct hub_config {
   /// Forces verify_batch to run inline on the calling thread (no pool is
   /// created). The single-device v1 adapter sets this.
   bool sequential_batch = false;
+  /// Track per-device wire v2.1 delta baselines (the OR of the last
+  /// accepted report, O(or_bytes) memory per device). Off, every v2.1
+  /// frame is rejected baseline_mismatch and no baseline state is kept —
+  /// for fleets that only ever speak full frames.
+  bool or_baselines = true;
   /// Durability sink (src/store/fleet_store): challenge issuance, nonce
   /// retirement and verdicts are journaled through it — issuance and
   /// retirement UNDER the owning shard lock, so the on-disk order matches
@@ -198,9 +222,12 @@ class verifier_hub {
 
   /// Decode a wire frame (any supported version) and verify it. v1 frames
   /// carry no device id and are rejected with unknown_device — route them
-  /// through a proto::verifier_session instead. Thread-safe, reentrant:
-  /// decoding uses a thread-local scratch frame, so concurrent submits
-  /// never share a buffer.
+  /// through a proto::verifier_session instead. v2.1 delta frames are
+  /// reconstructed against the device's or_baseline first (see the file
+  /// comment); a mismatch is the typed baseline_mismatch and leaves the
+  /// challenge outstanding. Thread-safe, reentrant: decoding uses a
+  /// thread-local scratch frame, so concurrent submits never share a
+  /// buffer.
   attest_result submit(std::span<const std::uint8_t> frame);
 
   /// Verify an already-decoded report for a device, requiring the frame's
@@ -306,9 +333,21 @@ class verifier_hub {
     }
   };
 
+  /// The wire v2.1 delta baseline, guarded by the owning shard's mutex:
+  /// written only under the lock (accepted verdicts, restore), read under
+  /// the lock (delta resolution copies the bytes out before unlocking —
+  /// reconstruction itself never holds the lock).
+  struct or_baseline {
+    bool valid = false;
+    std::uint32_t seq = 0;
+    std::array<std::uint8_t, 8> hash{};  ///< proto::or_baseline_hash
+    byte_vec bytes;                      ///< full OR of the accepted round
+  };
+
   struct device_state {
     std::deque<challenge_entry> outstanding;  ///< ordered by issue time
     std::deque<retired_nonce> retired;        ///< bounded history
+    or_baseline baseline;
     atomic_device_counters counters;
     /// Per-device POLICY context, materialized only by core(id) — the
     /// plain hot path verifies straight off the registry record's shared
@@ -354,6 +393,20 @@ class verifier_hub {
   attest_result verify_impl(device_id id, std::uint32_t seq,
                             bool check_seq,
                             const verifier::attestation_report& report);
+  /// v2.1 path: check the frame's baseline reference against the device's
+  /// or_baseline (under the shard lock), copy the baseline bytes out, and
+  /// reconstruct the full OR into report.or_bytes (outside the lock).
+  /// nullopt on success; the fully-bookkept rejection (unknown_device /
+  /// baseline_mismatch) otherwise — in which case NO challenge state was
+  /// touched, so the prover can retry the same nonce with a full frame.
+  std::optional<attest_result> reconstruct_delta(
+      device_id id, std::uint32_t seq, const proto::or_delta& delta,
+      verifier::attestation_report& report);
+  /// Adopt `or_bytes` as the device's delta baseline for round `seq` if
+  /// it is newer than the current one (accepted verdicts only; takes the
+  /// shard lock; journals under it).
+  void adopt_baseline(device_id id, std::uint32_t seq,
+                      const byte_vec& or_bytes);
 
   const device_registry& registry_;
   hub_config cfg_;

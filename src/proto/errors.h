@@ -29,12 +29,14 @@ enum class proto_error : std::uint8_t {
   challenge_expired,     ///< challenge outlived its TTL before the report
   challenge_superseded,  ///< challenge was evicted by newer ones
   sequence_mismatch,     ///< frame's seq differs from the challenge's seq
+  baseline_mismatch,     ///< v2.1 delta names a baseline the hub does not
+                         ///< hold — resend the report as a FULL frame
 };
 
 /// Number of proto_error values — sizes histogram arrays indexed by the
 /// enum (e.g. fleet::hub_stats). Keep in sync with the last enumerator.
 inline constexpr std::size_t proto_error_count =
-    static_cast<std::size_t>(proto_error::sequence_mismatch) + 1;
+    static_cast<std::size_t>(proto_error::baseline_mismatch) + 1;
 
 /// Checked decode of a persisted error byte (the fleet store journals
 /// verdicts as one byte). A byte naming no proto_error means the record

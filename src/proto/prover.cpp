@@ -4,6 +4,56 @@
 
 namespace dialed::proto {
 
+byte_vec delta_emitter::encode(std::uint32_t device_id, std::uint32_t seq,
+                               const verifier::attestation_report& rep) {
+  frame_info info;
+  info.device_id = device_id;
+  info.seq = seq;
+  info.version = wire_v2;
+  // The full frame's size is a closed form, so the steady-state delta
+  // round never materializes (and throws away) a ~OR-sized full frame
+  // just to compare against it.
+  const std::size_t full_size = v2_frame_size(rep.or_bytes.size());
+  ++stats_.frames;
+  stats_.full_bytes += full_size;
+  const auto it = baselines_.find(device_id);
+  if (it != baselines_.end()) {
+    byte_vec delta = encode_delta_frame(info, rep, it->second.seq,
+                                        it->second.bytes);
+    // A churned OR can make the delta LARGER than the snapshot (segment
+    // headers on top of mostly-new bytes); ship whichever is smaller.
+    if (delta.size() < full_size) {
+      ++stats_.delta_frames;
+      stats_.wire_bytes += delta.size();
+      return delta;
+    }
+  }
+  byte_vec full = encode_frame(info, rep);
+  stats_.wire_bytes += full.size();
+  return full;
+}
+
+void delta_emitter::note_result(std::uint32_t device_id, std::uint32_t seq,
+                                const verifier::attestation_report& rep,
+                                proto_error error, bool accepted) {
+  if (error == proto_error::baseline_mismatch) {
+    // The hub does not hold the baseline this mirror assumes (restart,
+    // desync, or it never existed): fall back to full frames until the
+    // next acceptance re-establishes one.
+    baselines_.erase(device_id);
+    return;
+  }
+  if (error != proto_error::none || !accepted) return;
+  // Mirror of the hub's adoption rule: newest accepted round wins.
+  const auto it = baselines_.find(device_id);
+  if (it == baselines_.end()) {
+    baselines_.emplace(device_id, mirror{seq, rep.or_bytes});
+  } else if (seq > it->second.seq) {
+    it->second.seq = seq;
+    it->second.bytes = rep.or_bytes;
+  }
+}
+
 /// Bus watcher measuring the op's own runtime (ER entry → exit) and the
 /// final log pointer, mirroring how the paper isolates the Fig. 6(b)/(c)
 /// quantities from startup and attestation costs.

@@ -7,10 +7,12 @@
 
 #include <array>
 #include <functional>
+#include <map>
 #include <memory>
 
 #include "emu/machine.h"
 #include "instr/oplink.h"
+#include "proto/wire.h"
 #include "rot/rot.h"
 #include "verifier/report.h"
 
@@ -32,6 +34,63 @@ struct invocation {
   std::function<void(emu::machine&, std::uint16_t pc)> on_step;
 
   std::uint64_t max_cycles = 200'000'000;
+};
+
+/// Prover/transport-side state for wire v2.1 delta emission: mirrors, per
+/// device, the OR snapshot of the last report the verifier ACCEPTED (the
+/// hub keeps the same baseline on its side, updated on the same accepted
+/// verdicts, so the two stay in lockstep without extra round trips).
+///
+/// Protocol: encode() emits a v2.1 delta frame when a mirror exists and
+/// the delta is actually smaller than the full v2 frame, else plain v2.
+/// Feed every round's outcome back through note_result(): an acceptance
+/// adopts that round's OR as the new mirror; a baseline_mismatch answer
+/// (the hub lost or never had the baseline — fresh device, restart,
+/// desync) drops the mirror, so re-encoding the SAME report for the SAME
+/// challenge goes out as a full frame — the fallback negotiation.
+///
+/// Not thread-safe: one emitter per transport link (the device end of the
+/// protocol is sequential anyway).
+class delta_emitter {
+ public:
+  /// Cumulative transport accounting: what was actually emitted vs what
+  /// full v2 frames for the same reports would have cost.
+  struct stats {
+    std::uint64_t frames = 0;
+    std::uint64_t delta_frames = 0;   ///< emitted as v2.1
+    std::uint64_t wire_bytes = 0;     ///< bytes actually emitted
+    std::uint64_t full_bytes = 0;     ///< v2-equivalent bytes
+  };
+
+  /// Serialize `rep` for transmission to the hub. Throws dialed::error
+  /// (via encode_frame) if the OR exceeds the 16-bit length field.
+  byte_vec encode(std::uint32_t device_id, std::uint32_t seq,
+                  const verifier::attestation_report& rep);
+
+  /// Report the verifier's answer for a round of device `device_id`
+  /// whose report was `rep` (seq = the round's sequence number).
+  void note_result(std::uint32_t device_id, std::uint32_t seq,
+                   const verifier::attestation_report& rep,
+                   proto_error error, bool accepted);
+
+  bool has_baseline(std::uint32_t device_id) const {
+    return baselines_.count(device_id) != 0;
+  }
+  /// Drop a device's mirror (e.g. the transport knows the hub restarted
+  /// without durable state). Next frame is full.
+  void reset_baseline(std::uint32_t device_id) {
+    baselines_.erase(device_id);
+  }
+  const stats& transport_stats() const { return stats_; }
+
+ private:
+  struct mirror {
+    std::uint32_t seq = 0;
+    byte_vec bytes;
+  };
+
+  std::map<std::uint32_t, mirror> baselines_;
+  stats stats_;
 };
 
 class prover_device {

@@ -29,6 +29,22 @@ std::array<std::uint8_t, 16> verifier_session::new_challenge() {
   return hub_.challenge(id_).nonce;
 }
 
+fleet::attest_result verifier_session::submit_frame(
+    std::span<const std::uint8_t> frame) {
+  // Cheap route sniff (magic + version byte): only a v1 frame — no
+  // identity, predates sequence numbers — needs the adapter's
+  // seq-unchecked path, and only it pays a decode here. Everything else
+  // (v2/v2.1/damaged, so the hub's error histogram sees the damage) goes
+  // straight to the hub, which decodes ONCE into its thread-local
+  // scratch instead of twice per report.
+  if (frame.size() >= 3 && load_le16(frame, 0) == wire_magic &&
+      frame[2] == wire_v1) {
+    const auto decoded = decode_frame(frame);
+    if (decoded.ok()) return hub_.verify_report(id_, decoded.frame.report);
+  }
+  return hub_.submit(frame);
+}
+
 verifier::verdict verifier_session::check(
     const verifier::attestation_report& report) {
   auto result = hub_.verify_report(id_, report);

@@ -46,6 +46,16 @@ class verifier_session {
   /// challenge, so the genuine device's answer still verifies.
   verifier::verdict check(const verifier::attestation_report& report);
 
+  /// Submit a WIRE frame of any supported version — including v2.1 delta
+  /// frames, which verify against the session device's or_baseline (kept
+  /// by the underlying hub; a baseline-less delta is the typed
+  /// baseline_mismatch). Unlike check(), the rich fleet result is
+  /// returned so transports can drive the delta fallback negotiation;
+  /// unlike hub().submit(), v1 frames (no device id) are accepted and
+  /// routed to the session's one device with the sequence check skipped —
+  /// they predate sequence numbers.
+  fleet::attest_result submit_frame(std::span<const std::uint8_t> frame);
+
   verifier::op_verifier& core() { return hub_.core(id_); }
 
   /// The session's interned per-firmware artifact (shared, immutable).

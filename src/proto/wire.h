@@ -40,10 +40,45 @@
 //   74      n     or_bytes
 //   74+n    2     CRC-16/CCITT over bytes [0, 74+n)
 //
+// v2.1 — the delta-compressed fleet format (version byte 3): in
+// high-frequency polling the OR barely changes between rounds, so instead
+// of the full snapshot the prover may ship a sparse range delta against
+// the OR of the last report the hub ACCEPTED for this device (the
+// per-device `or_baseline`, sequence-stamped so both sides agree which
+// round it was). The header is byte-identical to v2 through offset 72,
+// then the or-length/or-bytes trailer is replaced by a delta section:
+//
+//   offset  size  field
+//   0..71         exactly as v2 (magic|ver=3|flags|device_id|seq|bounds|
+//                 result|halt|challenge|MAC)
+//   72      4     baseline_seq (LE32) — seq of the accepted round whose
+//                 OR is the delta baseline
+//   76      8     baseline_hash — first 8 bytes of
+//                 SHA-256(LE32(baseline_seq) || baseline OR bytes); a
+//                 desynced verifier detects the mismatch BEFORE burning
+//                 the nonce and answers with the typed baseline_mismatch
+//                 error, demanding a full frame
+//   84      2     or_full_len — length of the reconstructed OR
+//   86      2     segment count S
+//   88      ...   S segments, each [offset u16 | len u16 | len bytes]:
+//                 replace `len` bytes of the baseline at `offset`.
+//                 Segments are strictly ascending, non-overlapping,
+//                 non-empty and end within or_full_len — anything else is
+//                 a typed bad_length, never a parse.
+//   end     2     CRC-16/CCITT over everything before
+//
+// Reconstruction: start from the baseline bytes, truncate/zero-extend to
+// or_full_len, then splat the segments. The MAC still covers the FULL
+// reconstructed OR — delta encoding is transport compression, not a
+// change to what is attested; a delta that reconstructs the wrong OR
+// fails MAC verification exactly like a forged full frame.
+//
 // The codec API is versioned: `encode_frame` emits whichever version the
 // frame_info names, `decode_frame` dispatches on the version byte, and the
 // v1 helpers `encode_report`/`decode_report` are kept for single-device
-// callers and old captured frames.
+// callers and old captured frames. Delta frames are emitted by
+// `encode_delta_frame_into` and reconstructed by `apply_or_delta` (the
+// hub resolves the baseline; the codec never holds per-device state).
 //
 // OR payload layout (shared contract with src/emu/memmap.h and the §III
 // MAC): `or_max` is the ADDRESS OF THE TOPMOST 16-BIT LOG SLOT, so the
@@ -70,18 +105,60 @@ namespace dialed::proto {
 
 constexpr std::uint8_t wire_v1 = 1;
 constexpr std::uint8_t wire_v2 = 2;
+constexpr std::uint8_t wire_v21 = 3;  ///< v2.1: delta-compressed OR
+
+/// First two frame bytes, little-endian (0xA7 0xD1 on the wire). Public
+/// so routing layers can sniff a frame's version without a full decode.
+constexpr std::uint16_t wire_magic = 0xd1a7;
+
+/// Total encoded size of a FULL v2 frame carrying an n-byte OR (header +
+/// payload + CRC) — what a delta frame's savings are measured against.
+constexpr std::size_t v2_frame_size(std::size_t or_len) {
+  return 74 + or_len + 2;
+}
 
 /// Per-frame routing metadata. `device_id` and `seq` are carried only by
-/// v2 frames; a v1 decode leaves them zero.
+/// v2/v2.1 frames; a v1 decode leaves them zero.
 struct frame_info {
   std::uint8_t version = wire_v2;
   std::uint32_t device_id = 0;
   std::uint32_t seq = 0;
 };
 
+/// One decoded v2.1 delta section: the baseline reference plus the sparse
+/// replacement segments, stored flat (`data` concatenates every segment's
+/// bytes) so repeated decodes reuse capacity instead of allocating per
+/// segment.
+struct or_delta {
+  /// A strictly-validated replacement range: `length` bytes at
+  /// `data[data_pos..]` overwrite the reconstruction at `offset`.
+  struct segment {
+    std::uint16_t offset = 0;
+    std::uint16_t length = 0;
+    std::uint32_t data_pos = 0;
+  };
+
+  bool present = false;  ///< true only after decoding a v2.1 frame
+  std::uint32_t baseline_seq = 0;
+  std::array<std::uint8_t, 8> baseline_hash{};
+  std::uint16_t full_len = 0;  ///< reconstructed OR length
+  std::vector<segment> segments;
+  byte_vec data;  ///< all segment bytes, in segment order
+
+  /// Bytes the delta section occupies on the wire (the frame-size win the
+  /// benches report): fixed delta header + 4 per segment + the data.
+  std::size_t wire_bytes() const {
+    return 16 + segments.size() * 4 + data.size();
+  }
+};
+
 struct decoded_frame {
   frame_info info;
   verifier::attestation_report report;
+  /// v2.1 only: the delta section. When `delta.present`, report.or_bytes
+  /// is EMPTY — the verifier must reconstruct it against its baseline via
+  /// apply_or_delta before anything downstream (MAC!) may run.
+  or_delta delta;
 };
 
 struct decode_result {
@@ -114,6 +191,44 @@ decode_result decode_frame(std::span<const std::uint8_t> frame);
 /// capacity — the allocation-free path `verify_batch` runs on.
 proto_error decode_frame_into(std::span<const std::uint8_t> frame,
                               decoded_frame& out);
+
+// ---- v2.1 delta codec -----------------------------------------------------
+
+/// The sequence-stamped baseline fingerprint both sides compute: the first
+/// 8 bytes of SHA-256(LE32(seq) || or_bytes). Stamping the seq into the
+/// hash means a baseline reused under the wrong round can never pass the
+/// cheap pre-MAC check by byte coincidence.
+std::array<std::uint8_t, 8> or_baseline_hash(
+    std::uint32_t seq, std::span<const std::uint8_t> or_bytes);
+
+/// Serialize `rep` as a v2.1 delta frame against `baseline` (the OR bytes
+/// of the accepted round `baseline_seq`). info.version is ignored — the
+/// frame is always wire_v21. Returns bad_length when the OR exceeds
+/// max_or_bytes; `out` is left empty on error. The encoder coalesces
+/// nearby changed ranges (a 4-byte segment header makes gaps < 4 cheaper
+/// to inline) and splits ranges longer than a u16 can carry.
+proto_error encode_delta_frame_into(const frame_info& info,
+                                    const verifier::attestation_report& rep,
+                                    std::uint32_t baseline_seq,
+                                    std::span<const std::uint8_t> baseline,
+                                    byte_vec& out);
+
+/// Throwing convenience over encode_delta_frame_into.
+byte_vec encode_delta_frame(const frame_info& info,
+                            const verifier::attestation_report& rep,
+                            std::uint32_t baseline_seq,
+                            std::span<const std::uint8_t> baseline);
+
+/// Reconstruct the full OR from a decoded delta and the baseline bytes:
+/// out = baseline truncated/zero-extended to delta.full_len, then every
+/// segment splatted. `out`'s previous contents (possibly longer than
+/// full_len — the scratch-reuse hazard) are fully overwritten, never
+/// leaked into the reconstruction. Returns bad_length if the delta's
+/// segments are structurally inconsistent (decode already rejects such
+/// frames; this re-check keeps hand-built deltas safe too).
+proto_error apply_or_delta(const or_delta& delta,
+                           std::span<const std::uint8_t> baseline,
+                           byte_vec& out);
 
 /// v1 compatibility: serialize with no device identity.
 byte_vec encode_report(const verifier::attestation_report& rep);

@@ -25,7 +25,15 @@ namespace {
 
 constexpr std::array<std::uint8_t, 4> snapshot_magic = {'D', 'L', 'F',
                                                         'S'};
-constexpr std::uint32_t snapshot_version = 1;
+/// v1: PR 4's original format. v2 (wire v2.1) appends a per-device delta
+/// baseline to each hub-state row and grows the proto_error histogram by
+/// the baseline_mismatch bucket. v1 snapshots still load (no baselines,
+/// the new bucket zero); this build always WRITES v2.
+constexpr std::uint32_t snapshot_version_v1 = 1;
+constexpr std::uint32_t snapshot_version = 2;
+/// proto_error_count at the time v1 snapshots were written — their
+/// histogram has exactly this many buckets.
+constexpr std::uint32_t v1_error_buckets = 12;
 
 /// WAL record types (first payload byte).
 enum class rec : std::uint8_t {
@@ -35,6 +43,7 @@ enum class rec : std::uint8_t {
   retire = 4,     ///< device id, nonce, fate
   verdict = 5,    ///< device id, proto_error byte, accepted flag
   tick = 6,       ///< new clock value
+  baseline = 7,   ///< device id, seq, accepted round's full OR bytes
 };
 
 // ---------------------------------------------------------------------------
@@ -249,6 +258,25 @@ void apply_record(state_image& img, std::span<const std::uint8_t> payload,
       img.now = std::max(img.now, r.u64());
       break;
     }
+    case rec::baseline: {
+      const fleet::device_id id = r.u32();
+      const std::uint32_t seq = r.u32();
+      byte_vec bytes = r.bytes();
+      if (img.devices.count(id) == 0) {
+        throw store_error(store_error_kind::bad_record,
+                          "wal: baseline for unprovisioned device " +
+                              std::to_string(id));
+      }
+      auto& b = state_for(img, id).baseline;
+      // Concurrent accepts journal in lock order per shard, but keep the
+      // max-seq rule anyway — it is the live hub's adoption rule too.
+      if (!b.valid || seq > b.seq) {
+        b.valid = true;
+        b.seq = seq;
+        b.bytes = std::move(bytes);
+      }
+      break;
+    }
     default:
       throw store_error(store_error_kind::bad_record,
                         "wal: unknown record type " +
@@ -284,9 +312,16 @@ void write_device_state(writer& w, const fleet::device_restore& d) {
   w.u64(d.counters.rejected_verdict);
   w.u64(d.counters.replayed);
   w.u64(d.counters.rejected_protocol);
+  // v2: the wire v2.1 delta baseline (absent flag + seq + OR bytes).
+  w.boolean(d.baseline.valid);
+  if (d.baseline.valid) {
+    w.u32(d.baseline.seq);
+    w.bytes(d.baseline.bytes);
+  }
 }
 
-fleet::device_restore read_device_state(reader& r) {
+fleet::device_restore read_device_state(reader& r,
+                                        std::uint32_t version) {
   fleet::device_restore d;
   d.id = r.u32();
   d.next_seq = r.u32();
@@ -314,6 +349,11 @@ fleet::device_restore read_device_state(reader& r) {
   d.counters.rejected_verdict = r.u64();
   d.counters.replayed = r.u64();
   d.counters.rejected_protocol = r.u64();
+  if (version >= 2 && r.boolean()) {
+    d.baseline.valid = true;
+    d.baseline.seq = r.u32();
+    d.baseline.bytes = r.bytes();
+  }
   return d;
 }
 
@@ -326,11 +366,12 @@ state_image parse_snapshot(std::span<const std::uint8_t> data,
                       path + ": not a DIALED fleet snapshot");
   }
   const std::uint32_t version = load_le32(data, 4);
-  if (version != snapshot_version) {
+  if (version != snapshot_version_v1 && version != snapshot_version) {
     throw store_error(store_error_kind::bad_version,
                       path + ": snapshot version " +
                           std::to_string(version) +
                           " (this build speaks " +
+                          std::to_string(snapshot_version_v1) + ".." +
                           std::to_string(snapshot_version) + ")");
   }
   const std::uint32_t stored_crc = load_le32(data, data.size() - 4);
@@ -353,15 +394,23 @@ state_image parse_snapshot(std::span<const std::uint8_t> data,
   img.stats.challenges_superseded = r.u64();
   img.stats.reports_accepted = r.u64();
   img.stats.reports_rejected_verdict = r.u64();
+  // v1 snapshots predate baseline_mismatch: their histogram is one
+  // bucket short, and the missing (newest) bucket starts at zero.
   const std::uint32_t nerr = r.count(8);
-  if (nerr != img.stats.rejected_by_error.size()) {
+  const std::uint32_t expected_err =
+      version == snapshot_version_v1
+          ? v1_error_buckets
+          : static_cast<std::uint32_t>(img.stats.rejected_by_error.size());
+  if (nerr != expected_err ||
+      nerr > img.stats.rejected_by_error.size()) {
     throw store_error(store_error_kind::bad_record,
                       path + ": error histogram has " +
                           std::to_string(nerr) + " buckets, expected " +
-                          std::to_string(
-                              img.stats.rejected_by_error.size()));
+                          std::to_string(expected_err));
   }
-  for (auto& v : img.stats.rejected_by_error) v = r.u64();
+  for (std::uint32_t i = 0; i < nerr; ++i) {
+    img.stats.rejected_by_error[i] = r.u64();
+  }
 
   const std::uint32_t nfw = r.count(36);
   for (std::uint32_t i = 0; i < nfw; ++i) {
@@ -396,7 +445,7 @@ state_image parse_snapshot(std::span<const std::uint8_t> data,
 
   const std::uint32_t nstate = r.count(44);
   for (std::uint32_t i = 0; i < nstate; ++i) {
-    auto d = read_device_state(r);
+    auto d = read_device_state(r, version);
     if (img.devices.count(d.id) == 0) {
       throw store_error(store_error_kind::bad_record,
                         path + ": hub state for unprovisioned device " +
@@ -685,6 +734,16 @@ void fleet_store::on_verdict(fleet::device_id id,
   w.u32(id);
   w.u8(static_cast<std::uint8_t>(error));
   w.u8(accepted ? 1 : 0);
+  wal_->append(w.data());
+}
+
+void fleet_store::on_baseline(fleet::device_id id, std::uint32_t seq,
+                              std::span<const std::uint8_t> or_bytes) {
+  writer w;
+  w.u8(static_cast<std::uint8_t>(rec::baseline));
+  w.u32(id);
+  w.u32(seq);
+  w.bytes(or_bytes);
   wal_->append(w.data());
 }
 

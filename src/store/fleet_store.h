@@ -127,6 +127,8 @@ class fleet_store final : public fleet::persist_sink {
                  fleet::nonce_fate fate) override;
   void on_verdict(fleet::device_id id, proto::proto_error error,
                   bool accepted) override;
+  void on_baseline(fleet::device_id id, std::uint32_t seq,
+                   std::span<const std::uint8_t> or_bytes) override;
   void on_tick(std::uint64_t now) override;
 
  private:

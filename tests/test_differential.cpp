@@ -4,12 +4,21 @@
 // host-side reference evaluator with the same 16-bit semantics. On top of
 // result equality, every generated program's report must verify — i.e. the
 // abstract execution must reproduce the run exactly.
+// Second differential axis (wire v2.1): every round of every app is
+// verified TWICE — once as a v2 full frame, once as a v2.1 delta frame —
+// against two identically-seeded hubs, and the complete attest_results
+// must match field for field. Delta encoding is transport compression;
+// any observable verdict difference is a bug.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <optional>
 #include <random>
 #include <string>
 #include <vector>
 
+#include "apps/apps.h"
 #include "helpers.h"
 #include "proto/session.h"
 
@@ -165,6 +174,219 @@ TEST_P(differential, device_matches_host_and_report_verifies) {
 }
 
 INSTANTIATE_TEST_SUITE_P(seeds, differential, ::testing::Range(0, 48));
+
+// ---------------------------------------------------------------------------
+// Wire v2.1 vs v2: verdict-equivalence across the four apps
+// ---------------------------------------------------------------------------
+
+void expect_result_eq(const fleet::attest_result& a,
+                      const fleet::attest_result& b, const char* label,
+                      int round) {
+  ASSERT_EQ(a.error, b.error) << label << " round " << round;
+  EXPECT_EQ(a.device, b.device) << label << " round " << round;
+  EXPECT_EQ(a.seq, b.seq) << label << " round " << round;
+  const auto& va = a.verdict;
+  const auto& vb = b.verdict;
+  EXPECT_EQ(va.accepted, vb.accepted) << label << " round " << round;
+  EXPECT_EQ(va.replayed_result, vb.replayed_result)
+      << label << " round " << round;
+  EXPECT_EQ(va.replay_instructions, vb.replay_instructions)
+      << label << " round " << round;
+  EXPECT_EQ(va.log_slots_consumed, vb.log_slots_consumed)
+      << label << " round " << round;
+  EXPECT_EQ(va.log_bytes, vb.log_bytes) << label << " round " << round;
+  EXPECT_EQ(va.result_tainted, vb.result_tainted)
+      << label << " round " << round;
+  ASSERT_EQ(va.findings.size(), vb.findings.size())
+      << label << " round " << round;
+  for (std::size_t i = 0; i < va.findings.size(); ++i) {
+    EXPECT_EQ(va.findings[i].kind, vb.findings[i].kind) << label;
+    EXPECT_EQ(va.findings[i].detail, vb.findings[i].detail) << label;
+    EXPECT_EQ(va.findings[i].pc, vb.findings[i].pc) << label;
+    EXPECT_EQ(va.findings[i].addr, vb.findings[i].addr) << label;
+  }
+  ASSERT_EQ(va.annotated_log.size(), vb.annotated_log.size()) << label;
+  for (std::size_t i = 0; i < va.annotated_log.size(); ++i) {
+    EXPECT_EQ(va.annotated_log[i].slot, vb.annotated_log[i].slot) << label;
+    EXPECT_EQ(va.annotated_log[i].value, vb.annotated_log[i].value) << label;
+    EXPECT_EQ(va.annotated_log[i].kind, vb.annotated_log[i].kind) << label;
+  }
+  ASSERT_EQ(va.io_trace.size(), vb.io_trace.size()) << label;
+  for (std::size_t i = 0; i < va.io_trace.size(); ++i) {
+    EXPECT_EQ(va.io_trace[i].addr, vb.io_trace[i].addr) << label;
+    EXPECT_EQ(va.io_trace[i].value, vb.io_trace[i].value) << label;
+    EXPECT_EQ(va.io_trace[i].pc, vb.io_trace[i].pc) << label;
+    EXPECT_EQ(va.io_trace[i].tainted, vb.io_trace[i].tainted) << label;
+  }
+}
+
+/// One round for `app` on two lockstep fleets: hub A gets the report as
+/// a v2 full frame, hub B gets it through the delta emitter (v2.1 once a
+/// baseline exists). `mutate_report` lets attack rounds tamper with the
+/// report after the device produced it.
+struct lockstep_fleet {
+  explicit lockstep_fleet(const instr::linked_program& prog)
+      : reg_a(test_key()), reg_b(test_key()) {
+    fleet::hub_config cfg;
+    cfg.sequential_batch = true;
+    cfg.shards = 1;
+    cfg.seed = 0x00d1a1ed5eedull;
+    id_a = reg_a.provision(prog);
+    id_b = reg_b.provision(prog);
+    hub_a.emplace(reg_a, cfg);
+    hub_b.emplace(reg_b, cfg);
+    dev = std::make_unique<proto::prover_device>(prog,
+                                                 reg_a.derive_key(id_a));
+  }
+
+  /// Runs a round; returns {full-frame result, delta-frame result} after
+  /// asserting both fleets issued the identical challenge.
+  std::pair<fleet::attest_result, fleet::attest_result> round(
+      const proto::invocation& inv,
+      const std::function<void(verifier::attestation_report&)>&
+          mutate_report = {}) {
+    const auto ga = hub_a->challenge(id_a);
+    const auto gb = hub_b->challenge(id_b);
+    // Same master key, same provision order, same hub seed: the two
+    // fleets are bit-identical, so the frames are comparable.
+    EXPECT_EQ(ga.nonce, gb.nonce);
+    EXPECT_EQ(ga.seq, gb.seq);
+    auto rep = dev->invoke(ga.nonce, inv);
+    if (mutate_report) mutate_report(rep);
+
+    proto::frame_info info;
+    info.device_id = id_a;
+    info.seq = ga.seq;
+    const auto full = proto::encode_frame(info, rep);
+    const auto delta = emitter.encode(id_b, gb.seq, rep);
+    total_full_bytes += full.size();
+    total_delta_bytes += delta.size();
+
+    const auto ra = hub_a->submit(full);
+    const auto rb = hub_b->submit(delta);
+    emitter.note_result(id_b, gb.seq, rep, rb.error, rb.accepted());
+    return {ra, rb};
+  }
+
+  fleet::device_registry reg_a, reg_b;
+  fleet::device_id id_a = 0, id_b = 0;
+  std::optional<fleet::verifier_hub> hub_a, hub_b;
+  std::unique_ptr<proto::prover_device> dev;
+  proto::delta_emitter emitter;
+  std::size_t total_full_bytes = 0;
+  std::size_t total_delta_bytes = 0;
+};
+
+TEST(differential_wire, delta_frames_match_full_frames_on_all_four_apps) {
+  auto specs = apps::evaluation_apps();  // SyringePump, FireSensor, Ranger
+  specs.push_back(apps::door_lock_app());
+  ASSERT_EQ(specs.size(), 4u);
+  constexpr int rounds = 5;
+  for (const auto& app : specs) {
+    const auto prog = apps::build_app(app, instr::instrumentation::dialed);
+    lockstep_fleet fleet(prog);
+    for (int r = 0; r < rounds; ++r) {
+      const auto [ra, rb] = fleet.round(app.representative_input);
+      expect_result_eq(ra, rb, app.name.c_str(), r);
+      EXPECT_TRUE(ra.accepted()) << app.name << " round " << r;
+    }
+    // Steady-state polling is the delta codec's home turf: the emitter
+    // must have gone v2.1 after round 1 and saved real transport bytes.
+    EXPECT_GE(fleet.emitter.transport_stats().delta_frames,
+              static_cast<std::uint64_t>(rounds - 1))
+        << app.name;
+    EXPECT_LT(fleet.total_delta_bytes, fleet.total_full_bytes) << app.name;
+  }
+}
+
+TEST(differential_wire, attack_and_forged_paths_match_too) {
+  // The finding-heavy paths must classify identically through delta
+  // frames: a forged result claim (every app), the DoorLock overflow
+  // (data-only attack), and rejected rounds must leave BOTH baselines
+  // unchanged so later benign deltas still verify.
+  auto specs = apps::evaluation_apps();
+  specs.push_back(apps::door_lock_app());
+  for (const auto& app : specs) {
+    const auto prog = apps::build_app(app, instr::instrumentation::dialed);
+    lockstep_fleet fleet(prog);
+    // Round 0: benign, establishes the baseline on both sides.
+    {
+      const auto [ra, rb] = fleet.round(app.representative_input);
+      expect_result_eq(ra, rb, app.name.c_str(), 0);
+      ASSERT_TRUE(ra.accepted()) << app.name;
+    }
+    // Round 1: forged result claim — rejected identically (and as a
+    // DELTA frame on hub B: tampering happened after OR capture).
+    {
+      const auto [ra, rb] = fleet.round(
+          app.representative_input,
+          [](verifier::attestation_report& rep) {
+            rep.claimed_result ^= 0x5a5a;
+          });
+      expect_result_eq(ra, rb, app.name.c_str(), 1);
+      EXPECT_FALSE(ra.accepted()) << app.name;
+      EXPECT_TRUE(ra.verdict.has(verifier::attack_kind::result_forged))
+          << app.name;
+    }
+    // Round 2: a tampered OR byte — MAC breaks identically.
+    {
+      const auto [ra, rb] = fleet.round(
+          app.representative_input,
+          [](verifier::attestation_report& rep) {
+            rep.or_bytes[rep.or_bytes.size() / 2] ^= 0x01;
+          });
+      expect_result_eq(ra, rb, app.name.c_str(), 2);
+      EXPECT_FALSE(ra.accepted()) << app.name;
+      EXPECT_TRUE(ra.verdict.has(verifier::attack_kind::mac_invalid))
+          << app.name;
+    }
+    // Round 3: benign again — the rejected rounds must not have moved
+    // either side's baseline, so the delta still reconstructs.
+    {
+      const auto [ra, rb] = fleet.round(app.representative_input);
+      expect_result_eq(ra, rb, app.name.c_str(), 3);
+      EXPECT_TRUE(ra.accepted()) << app.name;
+    }
+  }
+}
+
+TEST(differential_wire, app_attack_payloads_classify_identically) {
+  // Real attack inputs (not post-hoc tampering): the DoorLock PIN
+  // overflow (data-only) and the Fig. 1 syringe-pump stack smash
+  // (control-flow violation, the CFA path) — interleaved with benign
+  // rounds so attack verdicts ride DELTA frames against a live baseline.
+  {
+    const auto app = apps::door_lock_app();
+    const auto prog = apps::build_app(app, instr::instrumentation::dialed);
+    lockstep_fleet fleet(prog);
+    const auto [b0a, b0b] = fleet.round(app.representative_input);
+    expect_result_eq(b0a, b0b, "door-lock-benign", 0);
+    ASSERT_TRUE(b0a.accepted());
+    const auto [ra, rb] =
+        fleet.round(apps::door_lock_attack({9, 9, 9, 9}));
+    expect_result_eq(ra, rb, "door-lock-attack", 1);
+    EXPECT_FALSE(ra.accepted());
+  }
+  {
+    const auto app = apps::fig1_app();
+    const auto prog = apps::build_app(app, instr::instrumentation::dialed);
+    lockstep_fleet fleet(prog);
+    const auto [b0a, b0b] = fleet.round(apps::fig1_benign(5));
+    expect_result_eq(b0a, b0b, "fig1-benign", 0);
+    ASSERT_TRUE(b0a.accepted());
+    const auto [ra, rb] = fleet.round(apps::fig1_attack(prog, 15));
+    expect_result_eq(ra, rb, "fig1-cfa-attack", 1);
+    EXPECT_FALSE(ra.accepted());
+    EXPECT_TRUE(
+        ra.verdict.has(verifier::attack_kind::control_flow_attack) ||
+        ra.verdict.has(verifier::attack_kind::replay_divergence))
+        << "stack smash must surface through the replay";
+    // And the fleet recovers: benign round after the attack.
+    const auto [b1a, b1b] = fleet.round(apps::fig1_benign(3));
+    expect_result_eq(b1a, b1b, "fig1-benign-after", 2);
+    EXPECT_TRUE(b1a.accepted());
+  }
+}
 
 }  // namespace
 }  // namespace dialed

@@ -3,6 +3,7 @@
 // multi-device end-to-end protocol over wire v2.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <thread>
@@ -467,6 +468,220 @@ TEST(hub_concurrency, hammered_challenge_submit_never_loses_or_dupes_nonces) {
   EXPECT_EQ(unique.size(), total);
   EXPECT_EQ(total,
             static_cast<std::size_t>(threads) * iterations * ids.size());
+}
+
+TEST(hub, delta_fallback_negotiation_keeps_the_nonce_alive) {
+  // Wire v2.1 negotiation: a delta frame naming a baseline the hub does
+  // not hold is the typed baseline_mismatch, the challenge SURVIVES, and
+  // the full-frame resend for the same nonce verifies. The delta_emitter
+  // drives exactly this loop.
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id = reg.provision(prog);
+  hub_config cfg;
+  cfg.sequential_batch = true;
+  verifier_hub hub(reg, cfg);
+  proto::prover_device dev(prog, reg.derive_key(id));
+  proto::delta_emitter emitter;
+
+  // A desynced emitter: it believes in a baseline the hub never adopted.
+  const auto g1 = hub.challenge(id);
+  const auto rep1 = dev.invoke(g1.nonce, args(20, 22));
+  emitter.note_result(id, 999, rep1, proto_error::none, true);
+  ASSERT_TRUE(emitter.has_baseline(id));
+
+  const auto delta_frame = emitter.encode(id, g1.seq, rep1);
+  const auto r1 = hub.submit(delta_frame);
+  EXPECT_EQ(r1.error, proto_error::baseline_mismatch);
+  EXPECT_EQ(hub.outstanding(id), 1u);  // NOT burned
+  emitter.note_result(id, g1.seq, rep1, r1.error, false);
+  EXPECT_FALSE(emitter.has_baseline(id));  // mirror dropped
+
+  // The re-encode of the SAME report now goes out full and verifies
+  // against the SAME challenge.
+  const auto full_frame = emitter.encode(id, g1.seq, rep1);
+  const auto r2 = hub.submit(full_frame);
+  ASSERT_TRUE(r2.accepted());
+  emitter.note_result(id, g1.seq, rep1, r2.error, true);
+
+  // Lockstep from here: round 2 rides a delta frame and verifies.
+  const auto g2 = hub.challenge(id);
+  const auto rep2 = dev.invoke(g2.nonce, args(7, 8));
+  const auto frame2 = emitter.encode(id, g2.seq, rep2);
+  EXPECT_LT(frame2.size(), full_frame.size());
+  const auto r3 = hub.submit(frame2);
+  ASSERT_TRUE(r3.accepted());
+  EXPECT_EQ(r3.verdict.replayed_result, 15);
+
+  // The histogram sees the mismatch, attributed to the device.
+  const auto stats = hub.stats();
+  EXPECT_EQ(stats.rejected_by_error[static_cast<std::size_t>(
+                proto_error::baseline_mismatch)],
+            1u);
+  EXPECT_EQ(stats.per_device.at(id).rejected_protocol, 1u);
+}
+
+TEST(hub, baselines_can_be_disabled_per_hub) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id = reg.provision(prog);
+  hub_config cfg;
+  cfg.sequential_batch = true;
+  cfg.or_baselines = false;
+  verifier_hub hub(reg, cfg);
+  proto::prover_device dev(prog, reg.derive_key(id));
+
+  const auto g1 = hub.challenge(id);
+  const auto rep1 = dev.invoke(g1.nonce, args(1, 2));
+  ASSERT_TRUE(hub.submit(frame_for(id, g1, rep1)).accepted());
+  // No baseline was adopted: a byte-perfect delta is still rejected.
+  const auto g2 = hub.challenge(id);
+  const auto rep2 = dev.invoke(g2.nonce, args(3, 4));
+  proto::frame_info info;
+  info.device_id = id;
+  info.seq = g2.seq;
+  const auto r = hub.submit(
+      proto::encode_delta_frame(info, rep2, g1.seq, rep1.or_bytes));
+  EXPECT_EQ(r.error, proto_error::baseline_mismatch);
+  // And none is ever persisted through a dump.
+  for (const auto& d : hub.dump_devices()) {
+    EXPECT_FALSE(d.baseline.valid);
+  }
+}
+
+TEST(hub_concurrency, delta_submit_hammer_keeps_baselines_untorn) {
+  // 8 threads × delta/full/tampered submissions on ONE device (maximal
+  // shard-lock contention on the baseline). Run under TSan in CI. After
+  // the dust settles: the baseline must be EXACTLY the OR of the
+  // newest-seq ACCEPTED round — tampered rounds never steer it, and a
+  // torn write (interleaved bytes of two rounds) would match no round.
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id = reg.provision(prog);
+
+  constexpr int threads = 8;
+  constexpr int rounds_per_thread = 8;
+  constexpr int total_rounds = threads * rounds_per_thread;
+  hub_config cfg;
+  cfg.max_outstanding = total_rounds;
+  cfg.retired_memory = total_rounds * 2;
+  cfg.workers = 2;
+  verifier_hub hub(reg, cfg);
+
+  // Pre-phase (single-threaded: the prover device is not): one grant and
+  // one genuine report per round, args varied so every round's OR is
+  // distinct — a torn baseline cannot masquerade as a valid one.
+  struct round_data {
+    challenge_grant grant;
+    verifier::attestation_report rep;
+    byte_vec full;
+    byte_vec delta_vs_round0;  ///< valid only while round 0 is baseline
+    byte_vec tampered;
+  };
+  proto::prover_device dev(prog, reg.derive_key(id));
+  std::vector<round_data> rounds(total_rounds);
+  for (int r = 0; r < total_rounds; ++r) {
+    auto& rd = rounds[r];
+    rd.grant = hub.challenge(id);
+    rd.rep = dev.invoke(rd.grant.nonce,
+                        args(static_cast<std::uint16_t>(r),
+                             static_cast<std::uint16_t>(r * 3 + 1)));
+    proto::frame_info info;
+    info.device_id = id;
+    info.seq = rd.grant.seq;
+    rd.full = proto::encode_frame(info, rd.rep);
+    auto forged = rd.rep;
+    forged.claimed_result ^= 0xbeef;
+    rd.tampered = proto::encode_frame(info, forged);
+    if (r > 0) {
+      rd.delta_vs_round0 = proto::encode_delta_frame(
+          info, rd.rep, rounds[0].grant.seq, rounds[0].rep.or_bytes);
+    }
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::vector<std::uint32_t>> accepted_seqs(threads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < rounds_per_thread; ++i) {
+        const int r = t * rounds_per_thread + i;
+        const auto& rd = rounds[r];
+        if (r % 5 == 4) {
+          // Tampered round: reaches the verdict, must NOT be accepted
+          // (and must never move the baseline — checked below).
+          const auto res = hub.submit(rd.tampered);
+          if (res.error != proto_error::none || res.verdict.accepted) {
+            ++failures;
+          }
+        } else if (r % 2 == 1) {
+          // Delta against round 0: races the baseline table. Accepted
+          // only while round 0 IS the baseline; otherwise the typed
+          // mismatch keeps the nonce alive for the full-frame fallback.
+          const auto res = hub.submit(rd.delta_vs_round0);
+          if (res.accepted()) {
+            accepted_seqs[t].push_back(res.seq);
+          } else if (res.error == proto_error::baseline_mismatch) {
+            const auto full = hub.submit(rd.full);
+            if (!full.accepted()) {
+              ++failures;
+            } else {
+              accepted_seqs[t].push_back(full.seq);
+            }
+          } else {
+            ++failures;
+          }
+        } else {
+          const auto res = hub.submit(rd.full);
+          if (!res.accepted()) {
+            ++failures;
+          } else {
+            accepted_seqs[t].push_back(res.seq);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Accepted-verdict-only + newest-wins: the surviving baseline is the
+  // max accepted seq's OR, byte for byte.
+  std::uint32_t max_seq = 0;
+  std::size_t n_accepted = 0;
+  for (const auto& per_thread : accepted_seqs) {
+    n_accepted += per_thread.size();
+    for (const auto s : per_thread) max_seq = std::max(max_seq, s);
+  }
+  ASSERT_GT(n_accepted, 0u);
+  const auto dump = hub.dump_devices();
+  ASSERT_EQ(dump.size(), 1u);
+  const auto& baseline = dump[0].baseline;
+  ASSERT_TRUE(baseline.valid);
+  EXPECT_EQ(baseline.seq, max_seq);
+  const auto by_seq = std::find_if(
+      rounds.begin(), rounds.end(), [&](const round_data& rd) {
+        return rd.grant.seq == max_seq;
+      });
+  ASSERT_NE(by_seq, rounds.end());
+  EXPECT_EQ(baseline.bytes, by_seq->rep.or_bytes)
+      << "baseline bytes match no accepted round: torn write";
+  // Tampered rounds (seq % ... the r % 5 == 4 rounds) were never adopted.
+  for (int r = 4; r < total_rounds; r += 5) {
+    EXPECT_NE(baseline.seq, rounds[r].grant.seq);
+  }
+
+  // The post-hammer fleet still polls in lockstep: one more delta round
+  // against the final baseline.
+  const auto g = hub.challenge(id);
+  const auto rep = dev.invoke(g.nonce, args(500, 1));
+  proto::frame_info info;
+  info.device_id = id;
+  info.seq = g.seq;
+  const auto r = hub.submit(proto::encode_delta_frame(
+      info, rep, baseline.seq, baseline.bytes));
+  ASSERT_TRUE(r.accepted());
+  EXPECT_EQ(r.verdict.replayed_result, 501);
 }
 
 TEST(hub_concurrency, parallel_batch_results_are_order_stable) {

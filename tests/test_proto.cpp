@@ -71,6 +71,53 @@ TEST(session, deterministic_under_seed) {
   EXPECT_EQ(a.new_challenge(), b.new_challenge());
 }
 
+TEST(session, submit_frame_speaks_every_wire_version) {
+  // The v1 adapter's typed frame surface: v1 frames route to the session
+  // device seq-unchecked, v2.1 delta frames verify against the hub's
+  // baseline, and the rich result drives the fallback negotiation.
+  const auto prog = build_op(adder, "op", instr::instrumentation::dialed);
+  prover_device dev(prog, test_key());
+  verifier_session vrf(prog, test_key());
+
+  // v1 frame (no identity, no seq) — accepted for the session device.
+  const auto c1 = vrf.new_challenge();
+  const auto rep1 = dev.invoke(c1, args(20, 22));
+  const auto r1 = vrf.submit_frame(encode_report(rep1));
+  ASSERT_TRUE(r1.accepted());
+  EXPECT_EQ(r1.verdict.replayed_result, 42);
+
+  // v2.1 delta frame against the just-accepted baseline.
+  const auto c2 = vrf.new_challenge();
+  const auto rep2 = dev.invoke(c2, args(7, 8));
+  delta_emitter emitter;
+  emitter.note_result(vrf.id(), r1.seq, rep1, proto_error::none, true);
+  const auto frame2 = emitter.encode(vrf.id(), r1.seq + 1, rep2);
+  ASSERT_EQ(frame2[2], wire_v21);
+  const auto r2 = vrf.submit_frame(frame2);
+  ASSERT_TRUE(r2.accepted());
+  EXPECT_EQ(r2.verdict.replayed_result, 15);
+
+  // A desynced delta is the typed error, not a swallowed v1 finding —
+  // and the challenge survives for the full-frame retry.
+  const auto c3 = vrf.new_challenge();
+  const auto rep3 = dev.invoke(c3, args(1, 1));
+  const auto bogus = encode_delta_frame(
+      frame_info{.version = wire_v21, .device_id = vrf.id(),
+                 .seq = r2.seq + 1},
+      rep3, 424242, byte_vec(32, 0x9e));
+  const auto r3 = vrf.submit_frame(bogus);
+  EXPECT_EQ(r3.error, proto_error::baseline_mismatch);
+  const auto r4 = vrf.submit_frame(encode_frame(
+      frame_info{.device_id = vrf.id(), .seq = r2.seq + 1}, rep3));
+  ASSERT_TRUE(r4.accepted());
+  EXPECT_EQ(r4.verdict.replayed_result, 2);
+
+  // Damaged frames come back as typed transport errors.
+  auto torn = encode_report(rep3);
+  torn.resize(torn.size() / 2);
+  EXPECT_EQ(vrf.submit_frame(torn).error, proto_error::bad_length);
+}
+
 TEST(metering, op_cycles_exclude_startup_and_swatt) {
   const auto prog = build_op(adder, "op", instr::instrumentation::dialed);
   prover_device dev(prog, test_key());

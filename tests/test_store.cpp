@@ -215,8 +215,8 @@ TEST_F(store_test, accepted_report_is_replay_after_reopen) {
     ASSERT_TRUE(r.accepted());
     EXPECT_EQ(r.verdict.replayed_result, 42);
     // The store saw every event (2 firmware + 2 provision + 1 challenge
-    // + 1 retire + 1 verdict).
-    EXPECT_EQ(st.store->wal_records(), 7u);
+    // + 1 retire + 1 baseline + 1 verdict).
+    EXPECT_EQ(st.store->wal_records(), 8u);
   }  // "crash": drop every in-memory object
 
   auto st = fleet_store::open(dir(), opts());
@@ -246,6 +246,106 @@ TEST_F(store_test, accepted_report_is_replay_after_reopen) {
     EXPECT_TRUE(r.accepted()) << "device " << id;
     EXPECT_EQ(r.verdict.replayed_result, want);
   }
+}
+
+TEST_F(store_test, delta_baseline_survives_kill_and_reopen) {
+  // Wire v2.1 crash-recovery property: accept a DELTA round, kill the
+  // process (drop every in-memory object), reopen — the next delta
+  // frame still verifies, while a baseline-desynced frame is rejected
+  // with the typed baseline_mismatch (and its challenge survives for
+  // the full-frame fallback), never accepted.
+  fleet::device_id id = 0;
+  std::uint32_t baseline_seq = 0;
+  byte_vec baseline_bytes;
+  {
+    auto st = fleet_store::open(dir(), opts());
+    id = st.registry->provision(prog_for(adder));
+    proto::prover_device dev(*st.registry->find(id)->program,
+                             st.registry->find(id)->key);
+    // Round 1: full frame, establishes the baseline.
+    const auto g1 = st.hub->challenge(id);
+    const auto rep1 = dev.invoke(g1.nonce, args(20, 22));
+    ASSERT_TRUE(st.hub->submit(frame_for(id, g1, rep1)).accepted());
+    // Round 2: a DELTA round, accepted — its OR is now the baseline
+    // that must survive the crash.
+    const auto g2 = st.hub->challenge(id);
+    const auto rep2 = dev.invoke(g2.nonce, args(7, 8));
+    proto::frame_info info;
+    info.device_id = id;
+    info.seq = g2.seq;
+    const auto r2 = st.hub->submit(
+        proto::encode_delta_frame(info, rep2, g1.seq, rep1.or_bytes));
+    ASSERT_TRUE(r2.accepted());
+    EXPECT_EQ(r2.verdict.replayed_result, 15);
+    baseline_seq = g2.seq;
+    baseline_bytes = rep2.or_bytes;
+  }  // "crash"
+
+  auto st = fleet_store::open(dir(), opts());
+  proto::prover_device dev(*st.registry->find(id)->program,
+                           st.registry->find(id)->key);
+  // A baseline-DESYNCED delta (stale seq, wrong bytes) is the typed
+  // error, not an acceptance — and not a burned nonce.
+  const auto g3 = st.hub->challenge(id);
+  const auto rep3 = dev.invoke(g3.nonce, args(2, 3));
+  proto::frame_info info;
+  info.device_id = id;
+  info.seq = g3.seq;
+  const auto desynced = st.hub->submit(proto::encode_delta_frame(
+      info, rep3, baseline_seq + 17, byte_vec(64, 0xcc)));
+  EXPECT_EQ(desynced.error, proto::proto_error::baseline_mismatch);
+  EXPECT_FALSE(desynced.accepted());
+  EXPECT_EQ(st.hub->outstanding(id), 1u);  // challenge survived
+
+  // The RESTORED baseline still reconstructs: the same report as a
+  // delta against the pre-crash round verifies...
+  const auto resent = st.hub->submit(
+      proto::encode_delta_frame(info, rep3, baseline_seq, baseline_bytes));
+  ASSERT_TRUE(resent.accepted());
+  EXPECT_EQ(resent.verdict.replayed_result, 5);
+
+  // ...and the freshly-accepted delta round advanced the baseline: the
+  // next round deltas against ROUND 3, not the pre-crash state.
+  const auto g4 = st.hub->challenge(id);
+  const auto rep4 = dev.invoke(g4.nonce, args(30, 12));
+  info.seq = g4.seq;
+  const auto r4 = st.hub->submit(
+      proto::encode_delta_frame(info, rep4, g3.seq, rep3.or_bytes));
+  ASSERT_TRUE(r4.accepted());
+  EXPECT_EQ(r4.verdict.replayed_result, 42);
+}
+
+TEST_F(store_test, delta_baseline_survives_wal_only_recovery) {
+  // Same property with compact_on_open disabled: the baseline must
+  // replay from the WAL record alone, not just the snapshot section.
+  auto o = opts();
+  o.compact_on_open = false;
+  fleet::device_id id = 0;
+  fleet::challenge_grant g1;
+  byte_vec or1;
+  {
+    auto st = fleet_store::open(dir(), o);
+    id = st.registry->provision(prog_for(adder));
+    proto::prover_device dev(*st.registry->find(id)->program,
+                             st.registry->find(id)->key);
+    g1 = st.hub->challenge(id);
+    const auto rep1 = dev.invoke(g1.nonce, args(1, 2));
+    or1 = rep1.or_bytes;
+    ASSERT_TRUE(st.hub->submit(frame_for(id, g1, rep1)).accepted());
+  }  // crash with the baseline only in wal-0.log
+
+  auto st = fleet_store::open(dir(), o);
+  proto::prover_device dev(*st.registry->find(id)->program,
+                           st.registry->find(id)->key);
+  const auto g2 = st.hub->challenge(id);
+  const auto rep2 = dev.invoke(g2.nonce, args(3, 4));
+  proto::frame_info info;
+  info.device_id = id;
+  info.seq = g2.seq;
+  const auto r = st.hub->submit(
+      proto::encode_delta_frame(info, rep2, g1.seq, or1));
+  ASSERT_TRUE(r.accepted());
+  EXPECT_EQ(r.verdict.replayed_result, 7);
 }
 
 TEST_F(store_test, auto_provision_after_reopen_never_reuses_ids) {
@@ -308,7 +408,7 @@ TEST_F(store_test, kill_after_k_wal_records_recovers_prefix_state) {
     const auto r = st.hub->submit(
         frame_for(id, g, dev.invoke(g.nonce, args(20, 22))));
     ASSERT_TRUE(r.accepted());
-    ASSERT_EQ(st.store->wal_records(), 5u);
+    ASSERT_EQ(st.store->wal_records(), 6u);
   }
   const auto full = [&] {
     std::ifstream in(wal_file(0), std::ios::binary);
@@ -318,7 +418,7 @@ TEST_F(store_test, kill_after_k_wal_records_recovers_prefix_state) {
 
   // Record boundaries from the framing itself.
   const auto parsed = read_wal(full);
-  ASSERT_EQ(parsed.records.size(), 5u);
+  ASSERT_EQ(parsed.records.size(), 6u);
   std::vector<std::size_t> ends;
   std::size_t pos = 0;
   for (const auto& rec : parsed.records) {
@@ -326,8 +426,8 @@ TEST_F(store_test, kill_after_k_wal_records_recovers_prefix_state) {
     ends.push_back(pos);
   }
 
-  const std::size_t outstanding_after[] = {0, 0, 0, 1, 0, 0};
-  for (std::size_t k = 0; k <= 5; ++k) {
+  const std::size_t outstanding_after[] = {0, 0, 0, 1, 0, 0, 0};
+  for (std::size_t k = 0; k <= 6; ++k) {
     fs::remove_all(dir_);
     fs::create_directories(dir_);
     const std::size_t bytes = k == 0 ? 0 : ends[k - 1];
@@ -337,7 +437,8 @@ TEST_F(store_test, kill_after_k_wal_records_recovers_prefix_state) {
     out.close();
 
     auto st = fleet_store::open(dir(), o);
-    // Records: [firmware, provision, challenge, retire, verdict].
+    // Records: [firmware, provision, challenge, retire, baseline,
+    // verdict].
     EXPECT_EQ(st.registry->size(), k >= 2 ? 1u : 0u) << "k=" << k;
     EXPECT_EQ(st.catalog->size(), k >= 1 ? 1u : 0u) << "k=" << k;
     if (k >= 2) {
@@ -346,7 +447,7 @@ TEST_F(store_test, kill_after_k_wal_records_recovers_prefix_state) {
     }
     const auto stats = st.hub->stats();
     EXPECT_EQ(stats.challenges_issued, k >= 3 ? 1u : 0u) << "k=" << k;
-    EXPECT_EQ(stats.reports_accepted, k >= 5 ? 1u : 0u) << "k=" << k;
+    EXPECT_EQ(stats.reports_accepted, k >= 6 ? 1u : 0u) << "k=" << k;
   }
 }
 

@@ -231,6 +231,212 @@ TEST(wire_v2, encode_frame_into_reuses_and_clears_storage) {
 }
 
 // ---------------------------------------------------------------------------
+// Wire v2.1: delta frames
+// ---------------------------------------------------------------------------
+
+verifier::attestation_report synthetic_report(std::size_t or_len,
+                                              std::uint8_t fill) {
+  verifier::attestation_report rep;
+  rep.er_min = 0xc000;
+  rep.er_max = 0xc100;
+  rep.or_min = 0x0600;
+  rep.or_max = static_cast<std::uint16_t>(0x0600 + or_len - 2);
+  rep.exec = true;
+  rep.challenge.fill(0x11);
+  rep.mac.fill(0x22);
+  rep.claimed_result = 42;
+  rep.halt_code = 1;
+  rep.or_bytes.assign(or_len, fill);
+  return rep;
+}
+
+TEST(wire_v21, delta_round_trip_reconstructs_exactly) {
+  auto base_rep = synthetic_report(512, 0xaa);
+  auto rep = base_rep;
+  // Sparse changes: an isolated byte, a short run, and a tail run.
+  rep.or_bytes[3] = 0x01;
+  for (std::size_t i = 100; i < 108; ++i) rep.or_bytes[i] = 0x02;
+  for (std::size_t i = 500; i < 512; ++i) rep.or_bytes[i] = 0x03;
+
+  frame_info info;
+  info.device_id = 9;
+  info.seq = 7;
+  const auto frame =
+      encode_delta_frame(info, rep, /*baseline_seq=*/6, base_rep.or_bytes);
+  // The whole point: far smaller than the full frame.
+  EXPECT_LT(frame.size(), encode_frame(info, rep).size() / 2);
+
+  const auto r = decode_frame(frame);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.frame.info.version, wire_v21);
+  EXPECT_EQ(r.frame.info.device_id, 9u);
+  EXPECT_EQ(r.frame.info.seq, 7u);
+  ASSERT_TRUE(r.frame.delta.present);
+  EXPECT_EQ(r.frame.delta.baseline_seq, 6u);
+  EXPECT_EQ(r.frame.delta.baseline_hash,
+            or_baseline_hash(6, base_rep.or_bytes));
+  EXPECT_TRUE(r.frame.report.or_bytes.empty());
+  EXPECT_EQ(r.frame.report.challenge, rep.challenge);
+  EXPECT_EQ(r.frame.report.mac, rep.mac);
+
+  byte_vec rebuilt;
+  ASSERT_EQ(apply_or_delta(r.frame.delta, base_rep.or_bytes, rebuilt),
+            proto_error::none);
+  EXPECT_EQ(rebuilt, rep.or_bytes);
+}
+
+TEST(wire_v21, identical_or_is_a_header_only_frame) {
+  const auto rep = synthetic_report(2048, 0x5c);
+  frame_info info;
+  info.device_id = 1;
+  info.seq = 2;
+  const auto frame = encode_delta_frame(info, rep, 1, rep.or_bytes);
+  EXPECT_EQ(frame.size(), 90u);  // 88-byte header + CRC, zero segments
+  const auto r = decode_frame(frame);
+  ASSERT_TRUE(r.ok());
+  byte_vec rebuilt;
+  ASSERT_EQ(apply_or_delta(r.frame.delta, rep.or_bytes, rebuilt),
+            proto_error::none);
+  EXPECT_EQ(rebuilt, rep.or_bytes);
+}
+
+TEST(wire_v21, length_changes_reconstruct_exactly) {
+  // Shrinking and growing ORs: the reconstruction truncates or
+  // zero-extends the baseline before splatting segments.
+  const auto baseline = synthetic_report(300, 0x10).or_bytes;
+  for (const std::size_t new_len :
+       {std::size_t{100}, std::size_t{300}, std::size_t{450}}) {
+    auto rep = synthetic_report(new_len, 0x10);
+    if (new_len > 7) rep.or_bytes[7] = 0x99;
+    for (std::size_t i = 300; i < new_len; ++i) {
+      rep.or_bytes[i] = static_cast<std::uint8_t>(i);
+    }
+    const auto frame =
+        encode_delta_frame(frame_info{}, rep, 3, baseline);
+    const auto r = decode_frame(frame);
+    ASSERT_TRUE(r.ok()) << new_len;
+    byte_vec rebuilt;
+    ASSERT_EQ(apply_or_delta(r.frame.delta, baseline, rebuilt),
+              proto_error::none)
+        << new_len;
+    EXPECT_EQ(rebuilt, rep.or_bytes) << new_len;
+  }
+}
+
+TEST(wire_v21, truncation_at_every_boundary_is_a_typed_error) {
+  auto base_rep = synthetic_report(256, 0x40);
+  auto rep = base_rep;
+  rep.or_bytes[10] ^= 0xff;
+  rep.or_bytes[200] ^= 0xff;
+  const auto frame =
+      encode_delta_frame(frame_info{.device_id = 3, .seq = 9}, rep, 8,
+                         base_rep.or_bytes);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const auto cut = std::span<const std::uint8_t>(frame).subspan(0, len);
+    const auto r = decode_frame(cut);
+    ASSERT_FALSE(r.ok()) << "prefix length " << len;
+    EXPECT_TRUE(is_transport_error(r.error)) << "prefix length " << len;
+  }
+}
+
+TEST(wire_v21, malformed_segments_are_bad_length) {
+  auto base_rep = synthetic_report(64, 0x00);
+  auto rep = base_rep;
+  rep.or_bytes[5] = 1;
+  rep.or_bytes[20] = 2;
+  auto frame = encode_delta_frame(frame_info{}, rep, 1, base_rep.or_bytes);
+  const auto refix = [](byte_vec f) {
+    const auto body =
+        std::span<const std::uint8_t>(f).subspan(0, f.size() - 2);
+    const std::uint16_t crc = crc16_ccitt(body);
+    f[f.size() - 2] = static_cast<std::uint8_t>(crc & 0xff);
+    f[f.size() - 1] = static_cast<std::uint8_t>(crc >> 8);
+    return f;
+  };
+  // Without a CRC re-fix, tampering is caught as transport corruption.
+  {
+    auto bad = frame;
+    bad[88] ^= 0x01;  // first segment offset
+    EXPECT_EQ(decode_frame(bad).error, proto_error::bad_crc);
+  }
+  // Segment offset beyond full_len (CRC fixed): a structural lie.
+  {
+    auto bad = frame;
+    store_le16(bad, 88, 1000);  // full_len is 64
+    EXPECT_EQ(decode_frame(refix(bad)).error, proto_error::bad_length);
+  }
+  // Segment length running past the frame.
+  {
+    auto bad = frame;
+    store_le16(bad, 90, 0x4000);
+    EXPECT_EQ(decode_frame(refix(bad)).error, proto_error::bad_length);
+  }
+  // Out-of-order segments (second starts before the first ends).
+  {
+    auto bad = frame;
+    store_le16(bad, 88, 20);  // first segment moved onto the second's
+    EXPECT_EQ(decode_frame(refix(bad)).error, proto_error::bad_length);
+  }
+  // Declared segment count larger than the frame carries.
+  {
+    auto bad = frame;
+    store_le16(bad, 86, 9);
+    EXPECT_EQ(decode_frame(refix(bad)).error, proto_error::bad_length);
+  }
+}
+
+TEST(wire_v21, scratch_reuse_never_leaks_previous_frames) {
+  // Regression for the decode-scratch audit: a LONGER previous frame's
+  // bytes must never survive into a later, shorter decode — neither in
+  // or_bytes nor as a stale delta section.
+  decoded_frame scratch;
+
+  // 1. A long v2 frame fills or_bytes.
+  const auto long_rep = synthetic_report(900, 0x77);
+  ASSERT_EQ(decode_frame_into(
+                encode_frame(frame_info{.device_id = 1}, long_rep), scratch),
+            proto_error::none);
+  ASSERT_EQ(scratch.report.or_bytes.size(), 900u);
+  EXPECT_FALSE(scratch.delta.present);
+
+  // 2. A short v2.1 delta frame into the same scratch: or_bytes must be
+  // EMPTY (not 900 stale bytes) and the delta populated.
+  auto base_rep = synthetic_report(128, 0x10);
+  auto rep = base_rep;
+  rep.or_bytes[64] = 0xfe;
+  ASSERT_EQ(
+      decode_frame_into(encode_delta_frame(frame_info{.device_id = 1,
+                                                      .seq = 2},
+                                           rep, 1, base_rep.or_bytes),
+                        scratch),
+      proto_error::none);
+  EXPECT_TRUE(scratch.report.or_bytes.empty());
+  ASSERT_TRUE(scratch.delta.present);
+  byte_vec rebuilt(4096, 0xdd);  // stale reconstruction scratch too
+  ASSERT_EQ(apply_or_delta(scratch.delta, base_rep.or_bytes, rebuilt),
+            proto_error::none);
+  EXPECT_EQ(rebuilt, rep.or_bytes);
+
+  // 3. Back to a v2 frame: the delta section must read as absent again
+  // (a hub reusing the scratch would otherwise "reconstruct" a full
+  // frame against a baseline).
+  const auto short_rep = synthetic_report(64, 0x33);
+  ASSERT_EQ(decode_frame_into(
+                encode_frame(frame_info{.device_id = 1}, short_rep), scratch),
+            proto_error::none);
+  EXPECT_FALSE(scratch.delta.present);
+  EXPECT_EQ(scratch.report.or_bytes, short_rep.or_bytes);
+}
+
+TEST(wire_v21, baseline_hash_is_sequence_stamped) {
+  const byte_vec bytes(100, 0xab);
+  EXPECT_NE(or_baseline_hash(1, bytes), or_baseline_hash(2, bytes));
+  const byte_vec other(100, 0xac);
+  EXPECT_NE(or_baseline_hash(1, bytes), or_baseline_hash(1, other));
+  EXPECT_EQ(or_baseline_hash(7, bytes), or_baseline_hash(7, bytes));
+}
+
+// ---------------------------------------------------------------------------
 // Taint provenance over the replay
 // ---------------------------------------------------------------------------
 

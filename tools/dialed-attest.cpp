@@ -6,14 +6,23 @@
 //
 //   dialed-attest <source.c> [--entry op] [--device-id N] [--args a,b,...]
 //                 [--net b,b,...] [--adc s,s,...] [--repeat K]
-//                 [--workers N] [--state-dir DIR] [--stats-json PATH]
-//                 [--hex-frame] [--trace]
+//                 [--workers N] [--delta] [--state-dir DIR]
+//                 [--stats-json PATH] [--hex-frame] [--trace]
 //
 // --repeat K runs K attested invocations (K challenges outstanding at
 // once, K wire frames) and verifies them as one batch; --workers N fans
 // the batch out over N hub worker threads (default 0 = strictly
 // sequential) — the shared-firmware-artifact batch path, exercisable from
 // the command line.
+//
+// --delta switches the transport to the wire v2.1 polling loop: rounds
+// run strictly sequentially through a proto::delta_emitter, so every
+// round after the first ships a sparse OR delta against the last
+// ACCEPTED report (with the full-frame fallback when the hub answers
+// baseline_mismatch), and the per-round/total byte savings are printed.
+// Combined with --state-dir the hub's baseline survives across runs —
+// the first round of a SECOND process run is full (the emitter's mirror
+// is per process) but re-syncs the lockstep immediately.
 //
 // --state-dir DIR opens (or initializes) a durable fleet store there and
 // resumes it: the device registry, firmware catalog, anti-replay history
@@ -82,7 +91,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: dialed-attest <source.c> [--entry NAME] "
                "[--device-id N] [--args a,b,...] [--net b,b,...] "
-               "[--adc s,s,...] [--repeat K] [--workers N] "
+               "[--adc s,s,...] [--repeat K] [--workers N] [--delta] "
                "[--state-dir DIR] [--stats-json PATH] "
                "[--hex-frame] [--trace]\n");
 }
@@ -140,7 +149,7 @@ int main(int argc, char** argv) {
   fleet::device_id device_id = 1;
   std::uint32_t repeat = 1;
   std::uint32_t workers = 0;
-  bool hex_frame = false, trace = false;
+  bool delta = false, hex_frame = false, trace = false;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -178,6 +187,8 @@ int main(int argc, char** argv) {
           throw error("--workers needs one value");
         }
         workers = vals[0];
+      } else if (arg == "--delta") {
+        delta = true;
       } else if (arg == "--state-dir" && i + 1 < argc) {
         state_dir = argv[++i];
       } else if (arg == "--stats-json" && i + 1 < argc) {
@@ -200,6 +211,13 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) {
     usage();
+    return 2;
+  }
+  if (delta && workers != 0) {
+    std::fprintf(stderr,
+                 "dialed-attest: --delta is a sequential polling loop "
+                 "(each round's baseline is the previous accepted "
+                 "round); drop --workers\n");
     return 2;
   }
 
@@ -277,31 +295,81 @@ int main(int argc, char** argv) {
     }
     proto::prover_device dev(prog, registry.find(device_id)->key);
 
-    // Run one attested invocation per challenge and ship each report
-    // through the wire format, as a real deployment would (max_outstanding
-    // keeps all K challenges live at once).
-    std::vector<byte_vec> frames;
-    for (std::uint32_t k = 0; k < repeat; ++k) {
-      const auto grant = hub.challenge(device_id);
-      const auto rep = dev.invoke(grant.nonce, inv);
-      proto::frame_info info;
-      info.device_id = device_id;
-      info.seq = grant.seq;
-      frames.push_back(proto::encode_frame(info, rep));
-      if (k == 0) {
-        std::printf("device:   id=%u result=%u, EXEC=%d, op=%llu cycles, "
-                    "log=%dB, frame=%zuB (wire v2, seq %u)\n",
-                    device_id, rep.claimed_result, rep.exec ? 1 : 0,
-                    static_cast<unsigned long long>(dev.last_op_cycles()),
-                    dev.last_log_bytes(), frames.back().size(), grant.seq);
-        if (hex_frame) {
-          std::printf("frame (%zu bytes): %s\n", frames.back().size(),
-                      to_hex(frames.back()).c_str());
+    std::vector<fleet::attest_result> results;
+    if (delta) {
+      // The wire v2.1 polling loop: strictly sequential rounds through a
+      // delta emitter, every accepted round becoming the next round's
+      // baseline; a baseline_mismatch answer (e.g. first run against a
+      // resumed --state-dir hub) falls back to a full frame on the SAME
+      // challenge.
+      proto::delta_emitter emitter;
+      for (std::uint32_t k = 0; k < repeat; ++k) {
+        const auto grant = hub.challenge(device_id);
+        const auto rep = dev.invoke(grant.nonce, inv);
+        byte_vec frame = emitter.encode(device_id, grant.seq, rep);
+        auto res = hub.submit(frame);
+        if (res.error == proto::proto_error::baseline_mismatch) {
+          emitter.note_result(device_id, grant.seq, rep, res.error, false);
+          frame = emitter.encode(device_id, grant.seq, rep);  // now full
+          res = hub.submit(frame);
+        }
+        emitter.note_result(device_id, grant.seq, rep, res.error,
+                            res.accepted());
+        results.push_back(res);
+        if (k == 0 || k + 1 == repeat) {
+          std::printf(
+              "device:   id=%u result=%u, EXEC=%d, op=%llu cycles, "
+              "log=%dB, frame=%zuB (wire %s, seq %u)\n",
+              device_id, rep.claimed_result, rep.exec ? 1 : 0,
+              static_cast<unsigned long long>(dev.last_op_cycles()),
+              dev.last_log_bytes(), frame.size(),
+              frame.size() > 2 && frame[2] == proto::wire_v21
+                  ? "v2.1 delta"
+                  : "v2 full",
+              grant.seq);
+        }
+        if (hex_frame && k == 0) {
+          std::printf("frame (%zu bytes): %s\n", frame.size(),
+                      to_hex(frame).c_str());
         }
       }
+      const auto& es = emitter.transport_stats();
+      std::printf(
+          "wire:     %llu frames (%llu delta), %llu B emitted vs %llu B "
+          "as full v2 (%.1fx smaller)\n",
+          static_cast<unsigned long long>(es.frames),
+          static_cast<unsigned long long>(es.delta_frames),
+          static_cast<unsigned long long>(es.wire_bytes),
+          static_cast<unsigned long long>(es.full_bytes),
+          es.wire_bytes != 0 ? static_cast<double>(es.full_bytes) /
+                                   static_cast<double>(es.wire_bytes)
+                             : 0.0);
+    } else {
+      // Run one attested invocation per challenge and ship each report
+      // through the wire format, as a real deployment would
+      // (max_outstanding keeps all K challenges live at once).
+      std::vector<byte_vec> frames;
+      for (std::uint32_t k = 0; k < repeat; ++k) {
+        const auto grant = hub.challenge(device_id);
+        const auto rep = dev.invoke(grant.nonce, inv);
+        proto::frame_info info;
+        info.device_id = device_id;
+        info.seq = grant.seq;
+        frames.push_back(proto::encode_frame(info, rep));
+        if (k == 0) {
+          std::printf("device:   id=%u result=%u, EXEC=%d, op=%llu cycles, "
+                      "log=%dB, frame=%zuB (wire v2, seq %u)\n",
+                      device_id, rep.claimed_result, rep.exec ? 1 : 0,
+                      static_cast<unsigned long long>(dev.last_op_cycles()),
+                      dev.last_log_bytes(), frames.back().size(), grant.seq);
+          if (hex_frame) {
+            std::printf("frame (%zu bytes): %s\n", frames.back().size(),
+                        to_hex(frames.back()).c_str());
+          }
+        }
+      }
+      results = hub.verify_batch(frames);
     }
-
-    const auto results = hub.verify_batch(frames);
     std::size_t accepted = 0;
     for (const auto& r : results) {
       if (r.accepted()) ++accepted;
