@@ -10,6 +10,8 @@
 #include "crypto/hmac.h"
 #include "fleet/verifier_hub.h"
 #include "masm/masm.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "proto/wire.h"
 #include "store/fleet_store.h"
 #include "verifier/verifier.h"
@@ -272,6 +274,54 @@ BENCHMARK(BM_fleet_verify_batch_parallel)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_net_ingest_loopback(benchmark::State& state) {
+  // The attestation service end to end over a loopback socket: 8 devices
+  // x 8 pre-built rounds pipelined through one TCP connection into the
+  // epoll reactor, batched into verify_batch at `range(0)` = batch_max,
+  // results matched back by (device, seq). What it adds over
+  // BM_fleet_verify_batch is the whole service path: stream framing,
+  // reactor wakeups, the dispatcher handoff, and response writes.
+  fleet_batch_bench bench(8, 8);
+  dialed::net::server_config scfg;
+  scfg.bind_addr = "127.0.0.1";
+  scfg.batching.batch_max = static_cast<std::size_t>(state.range(0));
+  scfg.batching.batch_latency_ms = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    {
+      dialed::fleet::verifier_hub hub(bench.reg, bench.cfg);
+      bench.issue_all(hub);  // identical seed + order -> identical nonces
+      dialed::net::attest_server server(hub, scfg);
+      server.start();
+      dialed::net::attest_client client("127.0.0.1", server.tcp_port());
+      state.ResumeTiming();
+      for (const auto& f : bench.frames) client.send_report(f);
+      std::size_t ok = 0;
+      for (std::size_t i = 0; i < bench.frames.size(); ++i) {
+        if (client.recv_result().accepted) ++ok;
+      }
+      state.PauseTiming();
+      if (ok != bench.frames.size()) {
+        state.SkipWithError("report rejected over loopback");
+        state.ResumeTiming();
+        break;
+      }
+      server.stop();
+    }
+    state.ResumeTiming();
+  }
+  state.counters["reports_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(bench.frames.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_net_ingest_loopback)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

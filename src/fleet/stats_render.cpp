@@ -1,0 +1,127 @@
+#include "fleet/stats_render.h"
+
+#include <sstream>
+
+namespace dialed::fleet {
+
+namespace {
+
+/// One Prometheus family header + sample. Prometheus text format:
+/// `name{label="v"} value\n`, families introduced once by HELP/TYPE.
+void family(std::string& out, const char* name, const char* type,
+            const char* help) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void sample(std::string& out, const char* name, std::uint64_t value,
+            const std::string& labels = {}) {
+  out += name;
+  out += labels;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string render_stats_json(const hub_stats& s) {
+  std::ostringstream out;
+  const char* sep = "";
+  out << "{\n";
+  out << "  \"challenges_issued\": " << s.challenges_issued << ",\n";
+  out << "  \"challenges_expired\": " << s.challenges_expired << ",\n";
+  out << "  \"challenges_superseded\": " << s.challenges_superseded
+      << ",\n";
+  out << "  \"reports_accepted\": " << s.reports_accepted << ",\n";
+  out << "  \"reports_rejected_verdict\": " << s.reports_rejected_verdict
+      << ",\n";
+  out << "  \"verify_batches\": " << s.verify_batches << ",\n";
+  out << "  \"verify_batch_frames\": " << s.verify_batch_frames << ",\n";
+  out << "  \"last_batch_frames\": " << s.last_batch_frames << ",\n";
+  out << "  \"inflight_batches\": " << s.inflight_batches << ",\n";
+  out << "  \"rejected_by_error\": {";
+  for (std::size_t i = 1; i < s.rejected_by_error.size(); ++i) {
+    const auto e = static_cast<proto::proto_error>(i);
+    out << sep << "\n    \"" << proto::to_string(e)
+        << "\": " << s.rejected_by_error[i];
+    sep = ",";
+  }
+  out << "\n  },\n";
+  out << "  \"devices\": {";
+  sep = "";
+  for (const auto& [id, c] : s.per_device) {
+    out << sep << "\n    \"" << id << "\": {\"accepted\": " << c.accepted
+        << ", \"rejected_verdict\": " << c.rejected_verdict
+        << ", \"replayed\": " << c.replayed
+        << ", \"rejected_protocol\": " << c.rejected_protocol << "}";
+    sep = ",";
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+void render_stats_prometheus(const hub_stats& s, std::string& out) {
+  family(out, "dialed_hub_challenges_issued_total", "counter",
+         "Challenges drawn from the hub.");
+  sample(out, "dialed_hub_challenges_issued_total", s.challenges_issued);
+  family(out, "dialed_hub_challenges_expired_total", "counter",
+         "Challenges retired past their TTL.");
+  sample(out, "dialed_hub_challenges_expired_total", s.challenges_expired);
+  family(out, "dialed_hub_challenges_superseded_total", "counter",
+         "Challenges evicted by capacity.");
+  sample(out, "dialed_hub_challenges_superseded_total",
+         s.challenges_superseded);
+  family(out, "dialed_hub_reports_accepted_total", "counter",
+         "Reports that passed protocol checks and the full verdict.");
+  sample(out, "dialed_hub_reports_accepted_total", s.reports_accepted);
+  family(out, "dialed_hub_reports_rejected_verdict_total", "counter",
+         "Reports that reached verification but failed the verdict.");
+  sample(out, "dialed_hub_reports_rejected_verdict_total",
+         s.reports_rejected_verdict);
+  family(out, "dialed_hub_reports_rejected_protocol_total", "counter",
+         "Submissions that never reached verification, by typed error.");
+  for (std::size_t i = 1; i < s.rejected_by_error.size(); ++i) {
+    const auto e = static_cast<proto::proto_error>(i);
+    sample(out, "dialed_hub_reports_rejected_protocol_total",
+           s.rejected_by_error[i],
+           "{reason=\"" + proto::to_string(e) + "\"}");
+  }
+  family(out, "dialed_hub_verify_batches_total", "counter",
+         "verify_batch calls completed.");
+  sample(out, "dialed_hub_verify_batches_total", s.verify_batches);
+  family(out, "dialed_hub_verify_batch_frames_total", "counter",
+         "Frames fanned out through verify_batch.");
+  sample(out, "dialed_hub_verify_batch_frames_total",
+         s.verify_batch_frames);
+  family(out, "dialed_hub_last_batch_frames", "gauge",
+         "Size of the most recent verify_batch call.");
+  sample(out, "dialed_hub_last_batch_frames", s.last_batch_frames);
+  family(out, "dialed_hub_inflight_batches", "gauge",
+         "verify_batch calls running right now.");
+  sample(out, "dialed_hub_inflight_batches", s.inflight_batches);
+  if (!s.per_device.empty()) {
+    family(out, "dialed_hub_device_reports_total", "counter",
+           "Per-device submissions by outcome.");
+    for (const auto& [id, c] : s.per_device) {
+      const std::string dev = "device=\"" + std::to_string(id) + "\"";
+      sample(out, "dialed_hub_device_reports_total", c.accepted,
+             "{" + dev + ",outcome=\"accepted\"}");
+      sample(out, "dialed_hub_device_reports_total", c.rejected_verdict,
+             "{" + dev + ",outcome=\"rejected_verdict\"}");
+      sample(out, "dialed_hub_device_reports_total", c.replayed,
+             "{" + dev + ",outcome=\"replayed\"}");
+      sample(out, "dialed_hub_device_reports_total", c.rejected_protocol,
+             "{" + dev + ",outcome=\"rejected_protocol\"}");
+    }
+  }
+}
+
+}  // namespace dialed::fleet

@@ -1,0 +1,29 @@
+// Render verifier_hub::stats() for export: one set of counters, two
+// serializations. The JSON form is what `dialed-attest --stats-json`
+// writes on exit; the Prometheus text form is what `dialed-serve`'s live
+// /metrics endpoint scrapes. Keeping both renderers in one place (instead
+// of the JSON writer living inside the CLI tool) means a counter added to
+// hub_stats shows up in the file export and on the wire in the same PR —
+// the two views can never drift apart.
+#ifndef DIALED_FLEET_STATS_RENDER_H
+#define DIALED_FLEET_STATS_RENDER_H
+
+#include <string>
+
+#include "fleet/verifier_hub.h"
+
+namespace dialed::fleet {
+
+/// Hub counters (incl. the per-device breakdown and verify_batch gauges)
+/// as a pretty-printed JSON document.
+std::string render_stats_json(const hub_stats& s);
+
+/// Append the hub counters to `out` in Prometheus text exposition format
+/// (one HELP/TYPE header per family, `dialed_hub_` prefix). Appends —
+/// callers with their own metrics (the net server) concatenate families
+/// into one scrape body.
+void render_stats_prometheus(const hub_stats& s, std::string& out);
+
+}  // namespace dialed::fleet
+
+#endif  // DIALED_FLEET_STATS_RENDER_H

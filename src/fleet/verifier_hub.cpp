@@ -105,6 +105,13 @@ hub_stats verifier_hub::stats(bool include_per_device) const {
     s.rejected_by_error[i] =
         stats_.rejected_by_error[i].load(std::memory_order_relaxed);
   }
+  s.verify_batches = stats_.verify_batches.load(std::memory_order_relaxed);
+  s.verify_batch_frames =
+      stats_.verify_batch_frames.load(std::memory_order_relaxed);
+  s.last_batch_frames =
+      stats_.last_batch_frames.load(std::memory_order_relaxed);
+  s.inflight_batches =
+      stats_.inflight_batches.load(std::memory_order_relaxed);
   if (include_per_device) {
     for (const auto& shp : shards_) {
       std::lock_guard<std::mutex> lk(shp->mu);
@@ -406,16 +413,27 @@ attest_result verifier_hub::submit(std::span<const std::uint8_t> frame) {
 std::vector<attest_result> verifier_hub::verify_batch(
     std::span<const byte_vec> frames) {
   std::vector<attest_result> out(frames.size());
-  if (pool_ == nullptr) {
-    for (std::size_t i = 0; i < frames.size(); ++i) {
-      out[i] = submit(frames[i]);
+  stats_.inflight_batches.fetch_add(1, std::memory_order_relaxed);
+  try {
+    if (pool_ == nullptr) {
+      for (std::size_t i = 0; i < frames.size(); ++i) {
+        out[i] = submit(frames[i]);
+      }
+    } else {
+      // Fan out across the pool; each worker writes only its own slot, so
+      // the results land in input order with no post-hoc reordering.
+      pool_->parallel_for(
+          frames.size(), [&](std::size_t i) { out[i] = submit(frames[i]); });
     }
-    return out;
+  } catch (...) {
+    stats_.inflight_batches.fetch_sub(1, std::memory_order_relaxed);
+    throw;
   }
-  // Fan out across the pool; each worker writes only its own slot, so the
-  // results land in input order with no post-hoc reordering.
-  pool_->parallel_for(frames.size(),
-                      [&](std::size_t i) { out[i] = submit(frames[i]); });
+  stats_.inflight_batches.fetch_sub(1, std::memory_order_relaxed);
+  stats_.verify_batches.fetch_add(1, std::memory_order_relaxed);
+  stats_.verify_batch_frames.fetch_add(frames.size(),
+                                       std::memory_order_relaxed);
+  stats_.last_batch_frames.store(frames.size(), std::memory_order_relaxed);
   return out;
 }
 

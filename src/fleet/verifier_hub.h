@@ -181,11 +181,26 @@ struct hub_stats {
   /// proto_error (transport damage, unknown device, nonce bookkeeping).
   /// Index 0 (proto_error::none) is always 0.
   std::array<std::uint64_t, proto::proto_error_count> rejected_by_error{};
+  /// verify_batch instrumentation — the gauges the service front-end's
+  /// adaptive batching is observed (and tuned) through. Process-local:
+  /// batching behavior since THIS boot is what an operator wants, so
+  /// restore() deliberately leaves them at zero.
+  std::uint64_t verify_batches = 0;       ///< verify_batch calls completed
+  std::uint64_t verify_batch_frames = 0;  ///< frames fanned out, total
+  std::uint64_t last_batch_frames = 0;    ///< size of the newest batch
+  std::uint64_t inflight_batches = 0;     ///< gauge: calls running NOW
   /// Per-device accept/reject/replay breakdown. Only devices that have
   /// hub state appear; submissions for unknown device ids are deliberately
   /// NOT attributed (an attacker spraying bogus ids must not grow this
   /// map). Persisted through the fleet store snapshot.
   std::map<device_id, device_counters> per_device;
+
+  /// Mean verify_batch size since boot (0 before the first batch).
+  double mean_batch_frames() const {
+    return verify_batches == 0 ? 0.0
+                               : static_cast<double>(verify_batch_frames) /
+                                     static_cast<double>(verify_batches);
+  }
 
   std::uint64_t reports_rejected_protocol() const {
     std::uint64_t n = 0;
@@ -376,6 +391,11 @@ class verifier_hub {
     std::atomic<std::uint64_t> reports_rejected_verdict{0};
     std::array<std::atomic<std::uint64_t>, proto::proto_error_count>
         rejected_by_error{};
+    // verify_batch gauges (never restored — process-local by design).
+    std::atomic<std::uint64_t> verify_batches{0};
+    std::atomic<std::uint64_t> verify_batch_frames{0};
+    std::atomic<std::uint64_t> last_batch_frames{0};
+    std::atomic<std::uint64_t> inflight_batches{0};
   };
 
   shard& shard_for(device_id id);

@@ -1,0 +1,147 @@
+#include "net/batcher.h"
+
+#include <algorithm>
+
+namespace dialed::net {
+
+namespace {
+
+std::size_t hist_bucket(std::size_t n) {
+  std::size_t b = 0;
+  std::size_t cap = 1;
+  while (b + 1 < batch_hist_buckets && n > cap) {
+    cap <<= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+batcher::batcher(fleet::verifier_hub& hub, batcher_config cfg, reactor& r)
+    : hub_(hub), cfg_(cfg), reactor_(r) {
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+batcher::~batcher() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+}
+
+void batcher::enqueue(std::uint64_t conn_id, byte_vec frame) {
+  if (pending_.frames.empty()) {
+    oldest_ = std::chrono::steady_clock::now();
+  }
+  pending_.conn_ids.push_back(conn_id);
+  pending_.frames.push_back(std::move(frame));
+  backlog_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void batcher::maybe_flush(std::chrono::steady_clock::time_point now) {
+  while (pending_.frames.size() >= cfg_.batch_max) flush_pending();
+  if (pending_.frames.empty()) return;
+  const bool idle = [&] {
+    if (busy_.load(std::memory_order_acquire)) return false;
+    std::lock_guard<std::mutex> lk(mu_);
+    return jobs_.empty();
+  }();
+  const bool deadline =
+      now - oldest_ >= std::chrono::milliseconds(cfg_.batch_latency_ms);
+  if (idle || deadline) flush_pending();
+}
+
+int batcher::timeout_ms(std::chrono::steady_clock::time_point now) const {
+  if (pending_.frames.empty()) return -1;
+  const auto deadline =
+      oldest_ + std::chrono::milliseconds(cfg_.batch_latency_ms);
+  if (deadline <= now) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - now)
+                      .count();
+  // +1: round up so the wakeup lands past the deadline, not just short
+  // of it (a 0.4 ms remainder would otherwise spin).
+  return static_cast<int>(ms) + 1;
+}
+
+void batcher::flush_pending() {
+  if (pending_.frames.empty()) return;
+  batch b;
+  const std::size_t take =
+      std::min(pending_.frames.size(), cfg_.batch_max);
+  if (take == pending_.frames.size()) {
+    b = std::move(pending_);
+    pending_ = {};
+  } else {
+    b.conn_ids.assign(pending_.conn_ids.begin(),
+                      pending_.conn_ids.begin() + static_cast<long>(take));
+    b.frames.assign(std::make_move_iterator(pending_.frames.begin()),
+                    std::make_move_iterator(pending_.frames.begin() +
+                                            static_cast<long>(take)));
+    pending_.conn_ids.erase(
+        pending_.conn_ids.begin(),
+        pending_.conn_ids.begin() + static_cast<long>(take));
+    pending_.frames.erase(
+        pending_.frames.begin(),
+        pending_.frames.begin() + static_cast<long>(take));
+    oldest_ = std::chrono::steady_clock::now();
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_frames_.fetch_add(b.frames.size(), std::memory_order_relaxed);
+  hist_[hist_bucket(b.frames.size())].fetch_add(1,
+                                                std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    jobs_.push_back(std::move(b));
+  }
+  cv_.notify_one();
+}
+
+std::vector<completion> batcher::drain_completions() {
+  std::vector<completion> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out.swap(completions_);
+  }
+  return out;
+}
+
+batcher::stats batcher::snapshot() const {
+  stats s;
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batch_frames = batch_frames_.load(std::memory_order_relaxed);
+  s.backlog = backlog_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < batch_hist_buckets; ++i) {
+    s.batch_size_hist[i] = hist_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void batcher::dispatcher_loop() {
+  for (;;) {
+    batch b;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ with nothing left to verify
+      b = std::move(jobs_.front());
+      jobs_.pop_front();
+      busy_.store(true, std::memory_order_release);
+    }
+    auto results = hub_.verify_batch(b.frames);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        completions_.push_back({b.conn_ids[i], std::move(results[i])});
+      }
+      busy_.store(false, std::memory_order_release);
+    }
+    backlog_.fetch_sub(b.frames.size(), std::memory_order_relaxed);
+    reactor_.wake();
+  }
+}
+
+}  // namespace dialed::net

@@ -1,0 +1,130 @@
+// Adaptive frame batching for the attestation service: arriving report
+// frames are coalesced into verify_batch calls, trading latency against
+// throughput with two knobs —
+//
+//   batch_max        flush when this many frames have accumulated
+//                    (throughput: amortize batch fan-out overhead)
+//   batch_latency_ms flush when the OLDEST pending frame has waited this
+//                    long (latency bound: no frame waits forever for a
+//                    batch to fill)
+//
+// plus the adaptive rule that makes light load fast WITHOUT burning the
+// latency budget: when the verify dispatcher is idle, pending frames
+// flush at the end of the current reactor turn (so frames arriving in
+// one readiness burst still coalesce), and only while a batch is already
+// verifying do new arrivals accumulate toward batch_max/latency. Under
+// load the dispatcher is always busy, so batches grow toward batch_max;
+// idle, a lone frame's latency is one reactor turn.
+//
+// Threading: enqueue/maybe_flush/timeout_ms/drain_completions are
+// reactor-thread-only. One internal dispatcher thread pulls flushed
+// batches and runs hub.verify_batch (which fans out over the hub's own
+// worker pool); finished results come back through drain_completions
+// after the dispatcher wake()s the reactor. The reactor never blocks on
+// verification — that is the point.
+#ifndef DIALED_NET_BATCHER_H
+#define DIALED_NET_BATCHER_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fleet/verifier_hub.h"
+#include "net/reactor.h"
+
+namespace dialed::net {
+
+struct batcher_config {
+  std::size_t batch_max = 64;
+  std::uint32_t batch_latency_ms = 5;
+};
+
+/// One verified frame's way home: which connection gets the response
+/// (conn_id 0 = fire-and-forget ingest, no response owed).
+struct completion {
+  std::uint64_t conn_id = 0;
+  fleet::attest_result result;
+};
+
+/// Batch-size histogram: bucket i counts batches of size in
+/// (2^(i-1), 2^i]; the last bucket is unbounded.
+constexpr std::size_t batch_hist_buckets = 11;
+
+class batcher {
+ public:
+  batcher(fleet::verifier_hub& hub, batcher_config cfg, reactor& r);
+  ~batcher();
+
+  batcher(const batcher&) = delete;
+  batcher& operator=(const batcher&) = delete;
+
+  // ---- reactor thread ------------------------------------------------
+
+  void enqueue(std::uint64_t conn_id, byte_vec frame);
+
+  /// Apply the flush policy; call once per reactor turn.
+  void maybe_flush(std::chrono::steady_clock::time_point now);
+
+  /// Epoll timeout needed to honor the latency bound: ms until the
+  /// oldest pending frame's deadline, or -1 when nothing is pending.
+  int timeout_ms(std::chrono::steady_clock::time_point now) const;
+
+  std::vector<completion> drain_completions();
+
+  /// Frames accepted but not yet verified (pending + queued + in the
+  /// batch being verified) — the ingest-side backpressure signal.
+  std::size_t backlog() const {
+    return backlog_.load(std::memory_order_relaxed);
+  }
+
+  // ---- any thread ----------------------------------------------------
+
+  struct stats {
+    std::uint64_t batches = 0;
+    std::uint64_t batch_frames = 0;
+    std::uint64_t backlog = 0;  ///< gauge
+    std::array<std::uint64_t, batch_hist_buckets> batch_size_hist{};
+  };
+  stats snapshot() const;
+
+ private:
+  struct batch {
+    std::vector<std::uint64_t> conn_ids;
+    std::vector<byte_vec> frames;
+  };
+
+  void flush_pending();
+  void dispatcher_loop();
+
+  fleet::verifier_hub& hub_;
+  batcher_config cfg_;
+  reactor& reactor_;
+
+  // Reactor-thread state.
+  batch pending_;
+  std::chrono::steady_clock::time_point oldest_;
+
+  // Dispatcher handoff.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<batch> jobs_;
+  std::vector<completion> completions_;
+  bool stop_ = false;
+  std::atomic<bool> busy_{false};
+
+  std::atomic<std::size_t> backlog_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batch_frames_{0};
+  std::array<std::atomic<std::uint64_t>, batch_hist_buckets> hist_{};
+
+  std::thread dispatcher_;
+};
+
+}  // namespace dialed::net
+
+#endif  // DIALED_NET_BATCHER_H

@@ -1,0 +1,99 @@
+#include "net/client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+#include "net/listener.h"
+
+namespace dialed::net {
+
+attest_client::attest_client(const std::string& host, std::uint16_t port,
+                             int timeout_ms) {
+  fd_ = connect_tcp(host, port, timeout_ms);
+}
+
+attest_client::~attest_client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+challenge_resp attest_client::get_challenge(std::uint32_t device_id) {
+  byte_vec framed;
+  proto::append_stream_frame(framed, encode_challenge_req({device_id}));
+  write_all(fd_, framed);
+  const auto frame = recv_frame();
+  const auto resp = decode_challenge_resp(frame);
+  if (!resp) throw error("attest_client: expected challenge_resp");
+  return *resp;
+}
+
+attest_resp attest_client::submit_report(
+    std::span<const std::uint8_t> frame) {
+  send_report(frame);
+  return recv_result();
+}
+
+void attest_client::send_report(std::span<const std::uint8_t> frame) {
+  byte_vec framed;
+  proto::append_stream_frame(framed, frame);
+  write_all(fd_, framed);
+}
+
+attest_resp attest_client::recv_result() {
+  const auto frame = recv_frame();
+  const auto resp = decode_attest_resp(frame);
+  if (!resp) throw error("attest_client: expected attest_resp");
+  return *resp;
+}
+
+byte_vec attest_client::recv_frame() {
+  byte_vec frame;
+  for (;;) {
+    if (framer_.next(frame)) return frame;
+    if (framer_.error() != proto::proto_error::none) {
+      throw error("attest_client: poisoned stream (bad length prefix)");
+    }
+    std::uint8_t buf[16 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n == 0) throw error("attest_client: server closed the stream");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw error(std::string("attest_client: recv: ") +
+                  std::strerror(errno));
+    }
+    framer_.feed({buf, static_cast<std::size_t>(n)});
+  }
+}
+
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path, int timeout_ms) {
+  const int fd = connect_tcp(host, port, timeout_ms);
+  std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                    "\r\nConnection: close\r\n\r\n";
+  std::string out;
+  try {
+    write_all(fd, {reinterpret_cast<const std::uint8_t*>(req.data()),
+                   req.size()});
+    char buf[16 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n == 0) break;  // Connection: close delimits the response
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw error(std::string("http_get: recv: ") +
+                    std::strerror(errno));
+      }
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace dialed::net

@@ -1,0 +1,258 @@
+#include "net/connection.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/http_metrics.h"
+
+namespace dialed::net {
+
+connection::connection(int fd, std::uint64_t id, connection_host& host,
+                       reactor& loop, const connection_limits& limits)
+    : fd_(fd), id_(id), host_(host), loop_(loop), limits_(limits) {
+  const auto now = std::chrono::steady_clock::now();
+  last_activity_ = now;
+  last_write_progress_ = now;
+  registered_events_ = EPOLLIN;
+  loop_.add(fd_, registered_events_, this);
+}
+
+connection::~connection() {
+  if (loop_.watching(fd_)) loop_.remove(fd_);
+  ::close(fd_);
+}
+
+void connection::on_event(std::uint32_t events) {
+  if (close_requested_) return;
+  if (events & EPOLLERR) {
+    host_.request_close(*this, close_reason::io_error);
+    return;
+  }
+  if ((events & EPOLLIN) && want_read()) do_read();
+  if (close_requested_) return;
+  if (events & EPOLLOUT) flush_writes();
+  if (close_requested_) return;
+  // HUP with nothing left to read or write: the peer is gone.
+  if ((events & EPOLLHUP) && queued_ == 0) {
+    host_.request_close(*this, close_reason::peer_eof);
+  }
+}
+
+void connection::do_read() {
+  std::uint8_t buf[16 * 1024];
+  while (want_read()) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      bytes_in += static_cast<std::uint64_t>(n);
+      last_activity_ = std::chrono::steady_clock::now();
+      std::span<const std::uint8_t> got(buf, static_cast<std::size_t>(n));
+      if (mode_ == mode::sniffing) {
+        http_buf_.insert(http_buf_.end(), got.begin(), got.end());
+        if (http_buf_.size() < 4) continue;
+        const bool http =
+            std::memcmp(http_buf_.data(), "GET ", 4) == 0 ||
+            std::memcmp(http_buf_.data(), "HEAD", 4) == 0 ||
+            std::memcmp(http_buf_.data(), "POST", 4) == 0 ||
+            std::memcmp(http_buf_.data(), "PUT ", 4) == 0;
+        if (http) {
+          mode_ = mode::http;
+          dispatch_http();
+        } else {
+          mode_ = mode::binary;
+          framer_.feed(http_buf_);
+          http_buf_.clear();
+          http_buf_.shrink_to_fit();
+          dispatch_binary();
+        }
+      } else if (mode_ == mode::binary) {
+        if (!framer_.feed(got)) {
+          host_.request_close(*this, close_reason::framing_error);
+          return;
+        }
+        dispatch_binary();
+      } else {
+        http_buf_.insert(http_buf_.end(), got.begin(), got.end());
+        dispatch_http();
+      }
+      continue;
+    }
+    if (n == 0) {
+      read_closed_ = true;
+      if (queued_ > 0) {
+        // Finish writing what the peer is owed, then close.
+        close_after_flush_ = true;
+        after_flush_why_ = close_reason::peer_eof;
+        update_interest();
+      } else {
+        host_.request_close(*this, close_reason::peer_eof);
+      }
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    host_.request_close(*this, close_reason::io_error);
+    return;
+  }
+}
+
+void connection::dispatch_binary() {
+  while (!close_requested_ && framer_.next(frame_)) {
+    if (is_svc_message(frame_)) {
+      const auto req = decode_challenge_req(frame_);
+      if (!req) {
+        // The only request-direction control message is challenge_req;
+        // anything else under the service magic is a protocol violation.
+        host_.request_close(*this, close_reason::framing_error);
+        return;
+      }
+      host_.on_challenge_req(*this, *req);
+    } else {
+      host_.on_report_frame(*this, std::move(frame_));
+      frame_.clear();
+    }
+  }
+  if (!close_requested_ &&
+      framer_.error() != proto::proto_error::none) {
+    host_.request_close(*this, close_reason::framing_error);
+  }
+}
+
+void connection::dispatch_http() {
+  const auto req =
+      parse_http_request(http_buf_, limits_.http_max_header);
+  if (req.too_large) {
+    send_and_close(render_http_response(431, "text/plain",
+                                        "header too large\n"));
+    return;
+  }
+  if (!req.complete) return;  // keep reading
+  if (req.malformed) {
+    host_.request_close(*this, close_reason::framing_error);
+    return;
+  }
+  send_and_close(host_.handle_http(req));
+}
+
+void connection::send(std::span<const std::uint8_t> bytes) {
+  if (close_requested_ || bytes.empty()) return;
+  out_.emplace_back(bytes.begin(), bytes.end());
+  queued_ += bytes.size();
+  flush_writes();
+}
+
+void connection::send_frame(std::span<const std::uint8_t> frame) {
+  if (close_requested_) return;
+  byte_vec framed;
+  proto::append_stream_frame(framed, frame);
+  queued_ += framed.size();
+  out_.push_back(std::move(framed));
+  flush_writes();
+}
+
+void connection::send_and_close(std::span<const std::uint8_t> bytes) {
+  send(bytes);
+  if (close_requested_) return;
+  close_after_flush_ = true;
+  after_flush_why_ = close_reason::http_done;
+  if (queued_ == 0) {
+    host_.request_close(*this, after_flush_why_);
+  } else {
+    update_interest();
+  }
+}
+
+void connection::send_and_close(const std::string& bytes) {
+  send_and_close(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()));
+}
+
+void connection::flush_writes() {
+  while (!out_.empty()) {
+    const byte_vec& front = out_.front();
+    const ssize_t n = ::send(fd_, front.data() + out_head_,
+                             front.size() - out_head_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_head_ += static_cast<std::size_t>(n);
+      queued_ -= static_cast<std::size_t>(n);
+      bytes_out += static_cast<std::uint64_t>(n);
+      const auto now = std::chrono::steady_clock::now();
+      last_write_progress_ = now;
+      last_activity_ = now;
+      if (out_head_ == front.size()) {
+        out_.pop_front();
+        out_head_ = 0;
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    host_.request_close(*this, close_reason::io_error);
+    return;
+  }
+  if (out_.empty() && close_after_flush_) {
+    host_.request_close(*this, after_flush_why_);
+    return;
+  }
+  // Write-queue watermarks: a peer that won't drain responses must not
+  // keep feeding work.
+  if (!paused_ && queued_ >= limits_.write_high_water) {
+    paused_ = true;
+    ++pause_events;
+  } else if (paused_ && queued_ <= limits_.write_low_water) {
+    paused_ = false;
+  }
+  update_interest();
+}
+
+void connection::pause_ingest() {
+  if (ingest_paused_ || close_requested_) return;
+  ingest_paused_ = true;
+  ++pause_events;
+  update_interest();
+}
+
+void connection::resume_ingest() {
+  if (!ingest_paused_ || close_requested_) return;
+  ingest_paused_ = false;
+  update_interest();
+}
+
+connection::sweep_verdict connection::sweep(
+    std::chrono::steady_clock::time_point now) const {
+  if (close_requested_) return {};
+  if (queued_ > 0 && limits_.write_stall_ms != 0 &&
+      now - last_write_progress_ >=
+          std::chrono::milliseconds(limits_.write_stall_ms)) {
+    return {true, close_reason::write_stalled};
+  }
+  if (limits_.idle_timeout_ms != 0 && queued_ == 0 &&
+      now - last_activity_ >=
+          std::chrono::milliseconds(limits_.idle_timeout_ms)) {
+    return {true, close_reason::idle};
+  }
+  return {};
+}
+
+void connection::update_interest() {
+  if (close_requested_) return;
+  std::uint32_t events = 0;
+  if (want_read()) events |= EPOLLIN;
+  if (!out_.empty()) events |= EPOLLOUT;
+  if (events != registered_events_) {
+    loop_.modify(fd_, events);
+    registered_events_ = events;
+  }
+}
+
+bool connection::want_read() const {
+  return !read_closed_ && !close_requested_ && !close_after_flush_ &&
+         !paused_ && !ingest_paused_;
+}
+
+void connection::mark_close_requested() { close_requested_ = true; }
+
+}  // namespace dialed::net

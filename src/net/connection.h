@@ -1,0 +1,168 @@
+// One accepted TCP connection of the attestation service: a small state
+// machine owned by the server and driven by the reactor.
+//
+// Protocol sniffing: the service multiplexes its binary framing AND the
+// HTTP observability endpoints on one port. The first four bytes decide:
+// "GET "/"HEAD"/"POST"/"PUT " switch the connection to HTTP mode;
+// anything else is the [u32 len | frame] binary stream. The sniff is
+// unambiguous because those ASCII method prefixes, read as a LE32 length
+// prefix, all exceed proto::max_stream_frame_bytes — no legal binary
+// stream can start with them.
+//
+// Write path: responses are queued (deque of buffers + head offset) and
+// flushed with partial-write/EAGAIN handling; EPOLLOUT interest exists
+// only while the queue is non-empty. When the queue crosses
+// `write_high_water` the connection stops reading (EPOLLIN off) — a peer
+// that won't drain its responses must not keep feeding work — and
+// resumes below `write_low_water`. A queue that makes no progress for
+// `write_stall_ms` is a dead peer: the connection is closed.
+//
+// The connection never closes its own fd mid-round; it asks the host to,
+// and the host defers the close(2) to the end of the reactor turn (see
+// reactor.h on fd aliasing).
+#ifndef DIALED_NET_CONNECTION_H
+#define DIALED_NET_CONNECTION_H
+
+#include <chrono>
+#include <deque>
+
+#include "net/framer.h"
+#include "net/http_metrics.h"
+#include "net/reactor.h"
+
+namespace dialed::net {
+
+class connection;
+
+enum class close_reason : std::uint8_t {
+  peer_eof,       ///< orderly shutdown from the peer
+  io_error,       ///< read/write error (reset, broken pipe)
+  framing_error,  ///< poisoned stream / malformed control message
+  http_done,      ///< HTTP response fully written (Connection: close)
+  write_stalled,  ///< peer stopped draining responses
+  idle,           ///< no traffic within the idle timeout
+  server_stop,
+};
+
+/// What the server gives every connection: frame/request dispatch and
+/// deferred close. Implemented by attest_server.
+class connection_host {
+ public:
+  virtual ~connection_host() = default;
+  virtual void on_challenge_req(connection& c, const challenge_req& m) = 0;
+  /// Ownership of the frame bytes moves to the host (into the batcher).
+  virtual void on_report_frame(connection& c, byte_vec frame) = 0;
+  /// Render the full HTTP response (status line through body).
+  virtual std::string handle_http(const http_request& req) = 0;
+  /// Schedule the connection for close at end of the reactor turn.
+  virtual void request_close(connection& c, close_reason why) = 0;
+};
+
+struct connection_limits {
+  std::size_t write_high_water = 256 * 1024;
+  std::size_t write_low_water = 64 * 1024;
+  std::uint32_t write_stall_ms = 5000;
+  std::uint32_t idle_timeout_ms = 0;  ///< 0 = never
+  std::size_t http_max_header = 8 * 1024;
+  /// SO_SNDBUF for accepted sockets (0 = kernel default). Bounding the
+  /// kernel's own buffering is what makes the user-space write queue —
+  /// and therefore the high-water/stall machinery — actually engage
+  /// against slow readers instead of hiding behind auto-tuned wmem.
+  std::size_t sndbuf = 0;
+};
+
+class connection final : public reactor_handler {
+ public:
+  connection(int fd, std::uint64_t id, connection_host& host,
+             reactor& loop, const connection_limits& limits);
+  ~connection() override;  ///< closes the fd
+
+  connection(const connection&) = delete;
+  connection& operator=(const connection&) = delete;
+
+  void on_event(std::uint32_t events) override;
+
+  /// Queue `bytes` and flush as far as the socket allows. Applies the
+  /// write high-water pause when crossed.
+  void send(std::span<const std::uint8_t> bytes);
+
+  /// Queue a response frame with its stream length prefix.
+  void send_frame(std::span<const std::uint8_t> frame);
+
+  /// Send, then close once the queue drains (the HTTP path).
+  void send_and_close(std::span<const std::uint8_t> bytes);
+  void send_and_close(const std::string& bytes);
+
+  /// Called by the host when it accepts a request_close: freezes the
+  /// state machine until the deferred teardown at end of turn.
+  void mark_close_requested();
+
+  int fd() const { return fd_; }
+  std::uint64_t id() const { return id_; }
+  std::size_t queued_bytes() const { return queued_; }
+  bool reading_paused() const { return paused_; }
+  bool close_requested() const { return close_requested_; }
+
+  /// Backpressure from the ingest side (global backlog cap): pause/resume
+  /// EPOLLIN independently of the write-queue watermark.
+  void pause_ingest();
+  void resume_ingest();
+
+  /// Timeout sweep, called by the server; returns the reason to close
+  /// this connection now, if any.
+  struct sweep_verdict {
+    bool close = false;
+    close_reason why = close_reason::idle;
+  };
+  sweep_verdict sweep(std::chrono::steady_clock::time_point now) const;
+
+  // Cumulative per-connection traffic counters, read by the server when
+  // aggregating stats (single-threaded: reactor only).
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t pause_events = 0;  ///< high-water + ingest pauses entered
+  // Portions already folded into the server's atomic totals (server-
+  // managed; lets live connections contribute to /metrics incrementally).
+  std::uint64_t folded_in = 0;
+  std::uint64_t folded_out = 0;
+  std::uint64_t folded_pauses = 0;
+
+ private:
+  enum class mode : std::uint8_t { sniffing, binary, http };
+
+  void do_read();
+  void flush_writes();
+  void dispatch_binary();
+  void dispatch_http();
+  void update_interest();
+  bool want_read() const;
+
+  int fd_;
+  std::uint64_t id_;
+  connection_host& host_;
+  reactor& loop_;
+  const connection_limits& limits_;
+
+  mode mode_ = mode::sniffing;
+  stream_framer framer_;
+  byte_vec http_buf_;   ///< sniff bytes, then HTTP request accumulation
+  byte_vec frame_;      ///< scratch for framer_.next
+  bool read_closed_ = false;
+  bool close_requested_ = false;
+  bool close_after_flush_ = false;
+  close_reason after_flush_why_ = close_reason::http_done;
+  bool paused_ = false;         ///< write-queue high-water pause
+  bool ingest_paused_ = false;  ///< global-backlog pause
+  std::uint32_t registered_events_ = 0;
+
+  std::deque<byte_vec> out_;
+  std::size_t out_head_ = 0;  ///< consumed bytes of out_.front()
+  std::size_t queued_ = 0;
+
+  std::chrono::steady_clock::time_point last_activity_;
+  std::chrono::steady_clock::time_point last_write_progress_;
+};
+
+}  // namespace dialed::net
+
+#endif  // DIALED_NET_CONNECTION_H

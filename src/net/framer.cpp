@@ -1,0 +1,144 @@
+#include "net/framer.h"
+
+#include <algorithm>
+
+namespace dialed::net {
+
+namespace {
+
+constexpr std::size_t challenge_req_size = 7;
+constexpr std::size_t challenge_resp_size = 29;
+constexpr std::size_t attest_resp_size = 13;
+
+byte_vec svc_header(svc_type t, std::size_t size) {
+  byte_vec out(size, 0);
+  store_le16(out, 0, svc_magic);
+  out[2] = static_cast<std::uint8_t>(t);
+  return out;
+}
+
+bool svc_head_matches(std::span<const std::uint8_t> frame, svc_type t,
+                      std::size_t size) {
+  return frame.size() == size && load_le16(frame, 0) == svc_magic &&
+         frame[2] == static_cast<std::uint8_t>(t);
+}
+
+}  // namespace
+
+byte_vec encode_challenge_req(const challenge_req& m) {
+  byte_vec out = svc_header(svc_type::challenge_req, challenge_req_size);
+  store_le32(out, 3, m.device_id);
+  return out;
+}
+
+byte_vec encode_challenge_resp(const challenge_resp& m) {
+  byte_vec out = svc_header(svc_type::challenge_resp, challenge_resp_size);
+  out[3] = static_cast<std::uint8_t>(m.error);
+  out[4] = static_cast<std::uint8_t>(m.note);
+  store_le32(out, 5, m.device_id);
+  store_le32(out, 9, m.seq);
+  std::copy(m.nonce.begin(), m.nonce.end(), out.begin() + 13);
+  return out;
+}
+
+byte_vec encode_attest_resp(const attest_resp& m) {
+  byte_vec out = svc_header(svc_type::attest_resp, attest_resp_size);
+  out[3] = static_cast<std::uint8_t>(m.error);
+  out[4] = m.accepted ? 1 : 0;
+  store_le32(out, 5, m.device_id);
+  store_le32(out, 9, m.seq);
+  return out;
+}
+
+bool is_svc_message(std::span<const std::uint8_t> frame) {
+  return frame.size() >= 3 && load_le16(frame, 0) == svc_magic;
+}
+
+std::optional<challenge_req> decode_challenge_req(
+    std::span<const std::uint8_t> frame) {
+  if (!svc_head_matches(frame, svc_type::challenge_req,
+                        challenge_req_size)) {
+    return std::nullopt;
+  }
+  challenge_req m;
+  m.device_id = load_le32(frame, 3);
+  return m;
+}
+
+std::optional<challenge_resp> decode_challenge_resp(
+    std::span<const std::uint8_t> frame) {
+  if (!svc_head_matches(frame, svc_type::challenge_resp,
+                        challenge_resp_size)) {
+    return std::nullopt;
+  }
+  challenge_resp m;
+  // Error bytes come off the wire: checked decode, garbage fails closed.
+  if (!proto::proto_error_from_u8(frame[3], m.error) ||
+      !proto::proto_error_from_u8(frame[4], m.note)) {
+    return std::nullopt;
+  }
+  m.device_id = load_le32(frame, 5);
+  m.seq = load_le32(frame, 9);
+  std::copy(frame.begin() + 13, frame.begin() + 29, m.nonce.begin());
+  return m;
+}
+
+std::optional<attest_resp> decode_attest_resp(
+    std::span<const std::uint8_t> frame) {
+  if (!svc_head_matches(frame, svc_type::attest_resp, attest_resp_size)) {
+    return std::nullopt;
+  }
+  attest_resp m;
+  if (!proto::proto_error_from_u8(frame[3], m.error) || frame[4] > 1) {
+    return std::nullopt;
+  }
+  m.accepted = frame[4] == 1;
+  m.device_id = load_le32(frame, 5);
+  m.seq = load_le32(frame, 9);
+  return m;
+}
+
+bool stream_framer::feed(std::span<const std::uint8_t> bytes) {
+  if (error_ != proto::proto_error::none) return false;
+  // Check the pending length prefix BEFORE buffering toward it: an
+  // oversized prefix must never cause the buffer to grow, whatever split
+  // the bytes arrive in.
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  const auto head = std::span<const std::uint8_t>(buf_).subspan(pos_);
+  const auto peek = proto::peek_stream_frame(head);
+  if (peek.error != proto::proto_error::none) {
+    error_ = peek.error;
+    buf_.clear();
+    pos_ = 0;
+    return false;
+  }
+  return true;
+}
+
+bool stream_framer::next(byte_vec& frame) {
+  if (error_ != proto::proto_error::none) return false;
+  const auto head = std::span<const std::uint8_t>(buf_).subspan(pos_);
+  const auto peek = proto::peek_stream_frame(head);
+  if (peek.error != proto::proto_error::none) {
+    // A later frame in an already-buffered burst can carry the poison.
+    error_ = peek.error;
+    buf_.clear();
+    pos_ = 0;
+    return false;
+  }
+  if (!peek.complete) {
+    // Compact once the consumed prefix dominates, so long-lived
+    // connections don't grow the buffer without bound.
+    if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(pos_));
+      pos_ = 0;
+    }
+    return false;
+  }
+  frame.assign(head.begin() + proto::stream_header_bytes,
+               head.begin() + static_cast<long>(peek.need));
+  pos_ += peek.need;
+  return true;
+}
+
+}  // namespace dialed::net

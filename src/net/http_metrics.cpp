@@ -1,0 +1,181 @@
+#include "net/http_metrics.h"
+
+#include <algorithm>
+
+namespace dialed::net {
+
+namespace {
+
+void family(std::string& out, const char* name, const char* type,
+            const char* help) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void sample(std::string& out, const char* name, std::uint64_t value,
+            const std::string& labels = {}) {
+  out += name;
+  out += labels;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
+http_request parse_http_request(std::span<const std::uint8_t> buf,
+                                std::size_t max_header) {
+  http_request req;
+  static constexpr char term[] = "\r\n\r\n";
+  const auto end = std::search(buf.begin(), buf.end(), term, term + 4);
+  if (end == buf.end()) {
+    req.too_large = buf.size() >= max_header;
+    return req;
+  }
+  req.complete = true;
+  // Request line: METHOD SP PATH SP VERSION
+  const auto eol =
+      std::find(buf.begin(), buf.end(), static_cast<std::uint8_t>('\r'));
+  std::string line(buf.begin(), eol);
+  const auto sp1 = line.find(' ');
+  const auto sp2 = sp1 == std::string::npos ? std::string::npos
+                                            : line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) {
+    req.malformed = true;
+    return req;
+  }
+  req.method = line.substr(0, sp1);
+  req.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Scrapers may append a query string; route on the bare path.
+  if (const auto q = req.path.find('?'); q != std::string::npos) {
+    req.path.resize(q);
+  }
+  return req;
+}
+
+std::string render_http_response(int status,
+                                 const std::string& content_type,
+                                 const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    status_text(status) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string render_metrics_body(const fleet::hub_stats& hub,
+                                const server_stats& net) {
+  std::string out;
+  out.reserve(4096);
+  fleet::render_stats_prometheus(hub, out);
+
+  family(out, "dialed_net_connections_accepted_total", "counter",
+         "TCP connections accepted.");
+  sample(out, "dialed_net_connections_accepted_total",
+         net.connections_accepted);
+  family(out, "dialed_net_connections_open", "gauge",
+         "TCP connections currently open.");
+  sample(out, "dialed_net_connections_open", net.connections_open);
+  family(out, "dialed_net_frames_total", "counter",
+         "Report frames ingested, by transport.");
+  sample(out, "dialed_net_frames_total", net.tcp_frames,
+         "{transport=\"tcp\"}");
+  sample(out, "dialed_net_frames_total", net.udp_datagrams,
+         "{transport=\"udp\"}");
+  family(out, "dialed_net_challenge_requests_total", "counter",
+         "Challenge requests served.");
+  sample(out, "dialed_net_challenge_requests_total", net.challenge_reqs);
+  family(out, "dialed_net_http_requests_total", "counter",
+         "HTTP requests served.");
+  sample(out, "dialed_net_http_requests_total", net.http_requests);
+  family(out, "dialed_net_responses_total", "counter",
+         "Binary responses written back.");
+  sample(out, "dialed_net_responses_total", net.responses_sent);
+  family(out, "dialed_net_framing_errors_total", "counter",
+         "Connections dropped for unrecoverable framing.");
+  sample(out, "dialed_net_framing_errors_total", net.framing_errors);
+  family(out, "dialed_net_dropped_results_total", "counter",
+         "Verify results whose connection had already closed.");
+  sample(out, "dialed_net_dropped_results_total", net.dropped_conn_gone);
+  family(out, "dialed_net_backpressure_pauses_total", "counter",
+         "Times a connection's reads were paused at the write high-water "
+         "mark or the ingest backlog cap.");
+  sample(out, "dialed_net_backpressure_pauses_total",
+         net.backpressure_pauses);
+  family(out, "dialed_net_connections_closed_total", "counter",
+         "Connections closed, by cause (subset: stalled, idle).");
+  sample(out, "dialed_net_connections_closed_total", net.connections_closed,
+         "{cause=\"any\"}");
+  sample(out, "dialed_net_connections_closed_total", net.closed_stalled,
+         "{cause=\"write_stalled\"}");
+  sample(out, "dialed_net_connections_closed_total", net.closed_idle,
+         "{cause=\"idle\"}");
+  family(out, "dialed_net_bytes_total", "counter",
+         "Socket bytes, by direction.");
+  sample(out, "dialed_net_bytes_total", net.bytes_in,
+         "{direction=\"in\"}");
+  sample(out, "dialed_net_bytes_total", net.bytes_out,
+         "{direction=\"out\"}");
+  family(out, "dialed_net_ingest_backlog", "gauge",
+         "Frames accepted but not yet verified.");
+  sample(out, "dialed_net_ingest_backlog", net.batching.backlog);
+  family(out, "dialed_net_batches_total", "counter",
+         "Batches flushed to verify_batch.");
+  sample(out, "dialed_net_batches_total", net.batching.batches);
+  family(out, "dialed_net_batch_frames_total", "counter",
+         "Frames flushed to verify_batch.");
+  sample(out, "dialed_net_batch_frames_total", net.batching.batch_frames);
+  // Batch-size histogram in Prometheus cumulative-bucket form.
+  family(out, "dialed_net_batch_size", "histogram",
+         "verify_batch sizes (frames per flushed batch).");
+  std::uint64_t cum = 0;
+  std::size_t bound = 1;
+  for (std::size_t i = 0; i < batch_hist_buckets; ++i) {
+    cum += net.batching.batch_size_hist[i];
+    const std::string le =
+        i + 1 == batch_hist_buckets ? "+Inf" : std::to_string(bound);
+    sample(out, "dialed_net_batch_size_bucket", cum,
+           "{le=\"" + le + "\"}");
+    bound <<= 1;
+  }
+  sample(out, "dialed_net_batch_size_sum", net.batching.batch_frames);
+  sample(out, "dialed_net_batch_size_count", net.batching.batches);
+  return out;
+}
+
+std::string render_healthz_body(bool has_store, bool store_ok,
+                                std::uint64_t wal_records,
+                                std::uint64_t generation) {
+  std::string out = "{\"hub\": \"ok\", \"store\": ";
+  if (!has_store) {
+    out += "\"none\"";
+  } else {
+    out += store_ok ? "\"ok\"" : "\"degraded\"";
+    out += ", \"wal_records\": " + std::to_string(wal_records) +
+           ", \"generation\": " + std::to_string(generation);
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dialed::net

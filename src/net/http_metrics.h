@@ -1,0 +1,78 @@
+// The observability face of the attestation service: a deliberately tiny
+// HTTP/1.x server-side — just enough to answer Prometheus scrapes and
+// load-balancer health checks on the same reactor (and port) the binary
+// protocol runs on. Two endpoints:
+//
+//   GET /metrics   hub counters (fleet/stats_render) + the net server's
+//                  own counters/gauges/histogram, Prometheus text format
+//   GET /healthz   hub + store liveness as a one-line JSON body
+//
+// Requests are parsed from the connection's buffer (method + path only;
+// headers are skipped), responses always carry Connection: close and the
+// connection is torn down after the write — scrapes are one-shot, keeping
+// the server free of keep-alive state.
+#ifndef DIALED_NET_HTTP_METRICS_H
+#define DIALED_NET_HTTP_METRICS_H
+
+#include <string>
+
+#include "fleet/stats_render.h"
+#include "net/batcher.h"
+
+namespace dialed::net {
+
+/// Net-side counters, snapshotted by attest_server::stats(). Everything
+/// here is maintained by the reactor thread and read via atomics (see
+/// server.h); this is the plain-data view.
+struct server_stats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t connections_open = 0;  ///< gauge
+  std::uint64_t tcp_frames = 0;        ///< report frames ingested via TCP
+  std::uint64_t udp_datagrams = 0;     ///< datagrams ingested via UDP
+  std::uint64_t challenge_reqs = 0;
+  std::uint64_t http_requests = 0;
+  std::uint64_t responses_sent = 0;    ///< attest/challenge responses
+  std::uint64_t framing_errors = 0;    ///< poisoned streams, bad messages
+  std::uint64_t dropped_conn_gone = 0; ///< results whose conn had closed
+  std::uint64_t backpressure_pauses = 0;
+  std::uint64_t closed_stalled = 0;
+  std::uint64_t closed_idle = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  batcher::stats batching;
+};
+
+struct http_request {
+  bool complete = false;   ///< header terminator seen
+  bool too_large = false;  ///< header exceeded the cap before terminating
+  bool malformed = false;  ///< request line did not parse
+  std::string method;
+  std::string path;
+};
+
+/// Parse the head of `buf` as an HTTP request. Returns complete=false
+/// while the blank line hasn't arrived (keep reading), too_large once
+/// `max_header` bytes arrived without one.
+http_request parse_http_request(std::span<const std::uint8_t> buf,
+                                std::size_t max_header);
+
+/// A full HTTP/1.1 response (status line, minimal headers incl.
+/// Content-Length and Connection: close, then body).
+std::string render_http_response(int status,
+                                 const std::string& content_type,
+                                 const std::string& body);
+
+/// The /metrics body: hub families + dialed_net_* families.
+std::string render_metrics_body(const fleet::hub_stats& hub,
+                                const server_stats& net);
+
+/// The /healthz body. `store_ok` false renders "degraded" (and the
+/// endpoint answers 503); without a store the store field reads "none".
+std::string render_healthz_body(bool has_store, bool store_ok,
+                                std::uint64_t wal_records,
+                                std::uint64_t generation);
+
+}  // namespace dialed::net
+
+#endif  // DIALED_NET_HTTP_METRICS_H

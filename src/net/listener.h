@@ -1,0 +1,51 @@
+// Socket plumbing for the attestation service: non-blocking TCP listen
+// sockets, the connectionless UDP ingest socket, and the small helpers
+// (local port discovery, full-write loops) the rest of src/net leans on.
+// Everything throws dialed::error with the errno string on failure —
+// socket setup problems are configuration errors, not traffic.
+#ifndef DIALED_NET_LISTENER_H
+#define DIALED_NET_LISTENER_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace dialed::net {
+
+/// Create a non-blocking, CLOEXEC TCP listen socket bound to addr:port
+/// (port 0 = kernel-assigned ephemeral; SO_REUSEADDR set). Returns the
+/// fd; the caller owns it.
+int listen_tcp(const std::string& addr, std::uint16_t port,
+               int backlog = 128);
+
+/// Create a non-blocking, CLOEXEC UDP socket bound to addr:port
+/// (port 0 = ephemeral).
+int bind_udp(const std::string& addr, std::uint16_t port);
+
+/// The port a bound socket actually landed on (resolves ephemeral 0).
+std::uint16_t local_port(int fd);
+
+/// Accept one pending connection: non-blocking, CLOEXEC, TCP_NODELAY.
+/// Returns -1 when the queue is drained (EAGAIN) or on a transient
+/// per-connection error (ECONNABORTED etc. — the listener stays up).
+int accept_connection(int listen_fd);
+
+/// Blocking connect to host:port with TCP_NODELAY (the client library's
+/// entry point). `timeout_ms` bounds the connect; 0 = OS default.
+int connect_tcp(const std::string& host, std::uint16_t port,
+                int timeout_ms = 0);
+
+/// Create an unconnected UDP socket for send_udp_to (client side).
+int udp_socket();
+
+/// Send one datagram to host:port (fire-and-forget ingest).
+void send_udp_to(int fd, const std::string& host, std::uint16_t port,
+                 std::span<const std::uint8_t> datagram);
+
+/// Write the whole buffer to a BLOCKING fd (client side; loops over
+/// partial writes, throws on error).
+void write_all(int fd, std::span<const std::uint8_t> bytes);
+
+}  // namespace dialed::net
+
+#endif  // DIALED_NET_LISTENER_H

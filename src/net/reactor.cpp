@@ -1,0 +1,107 @@
+#include "net/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+
+namespace dialed::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw error(std::string("net: ") + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+reactor::reactor() {
+  epfd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) throw_errno("epoll_create1");
+  wakefd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wakefd_ < 0) {
+    ::close(epfd_);
+    throw_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakefd_;
+  if (epoll_ctl(epfd_, EPOLL_CTL_ADD, wakefd_, &ev) != 0) {
+    ::close(wakefd_);
+    ::close(epfd_);
+    throw_errno("epoll_ctl(wakefd)");
+  }
+}
+
+reactor::~reactor() {
+  if (wakefd_ >= 0) ::close(wakefd_);
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void reactor::add(int fd, std::uint32_t events, reactor_handler* h) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(ADD)");
+  }
+  handlers_[fd] = h;
+}
+
+void reactor::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(MOD)");
+  }
+}
+
+void reactor::remove(int fd) {
+  // DEL before close: the fd must leave the interest list while it is
+  // still a valid descriptor.
+  (void)epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+int reactor::poll(int timeout_ms) {
+  std::array<epoll_event, 64> events;
+  int n;
+  do {
+    n = epoll_wait(epfd_, events.data(), static_cast<int>(events.size()),
+                   timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw_errno("epoll_wait");
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[static_cast<std::size_t>(i)].data.fd;
+    if (fd == wakefd_) {
+      std::uint64_t v;
+      while (::read(wakefd_, &v, sizeof v) > 0) {
+      }
+      woke_ = true;
+      continue;
+    }
+    // A handler earlier in this round may have deregistered this fd.
+    const auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;
+    it->second->on_event(events[static_cast<std::size_t>(i)].events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void reactor::wake() {
+  const std::uint64_t one = 1;
+  // write(2) is async-signal-safe; a full counter (EAGAIN) already means
+  // a wake is pending, so the result is deliberately ignored.
+  [[maybe_unused]] const auto r = ::write(wakefd_, &one, sizeof one);
+}
+
+}  // namespace dialed::net

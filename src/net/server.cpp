@@ -1,0 +1,303 @@
+#include "net/server.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "common/error.h"
+
+namespace dialed::net {
+
+namespace {
+
+constexpr auto relaxed = std::memory_order_relaxed;
+
+}  // namespace
+
+attest_server::attest_server(fleet::verifier_hub& hub, server_config cfg,
+                             store::fleet_store* store)
+    : hub_(hub),
+      cfg_(cfg),
+      store_(store),
+      batcher_(hub, cfg.batching, loop_) {
+  listen_fd_ = listen_tcp(cfg_.bind_addr, cfg_.tcp_port);
+  tcp_port_ = local_port(listen_fd_);
+  if (cfg_.enable_udp) {
+    udp_fd_ = bind_udp(cfg_.bind_addr, cfg_.udp_port);
+    udp_port_ = local_port(udp_fd_);
+  }
+  accept_handler_.srv = this;
+  accept_handler_.fn = &attest_server::on_accept;
+  udp_handler_.srv = this;
+  udp_handler_.fn = &attest_server::on_udp;
+  sweeps_enabled_ =
+      cfg_.limits.write_stall_ms != 0 || cfg_.limits.idle_timeout_ms != 0;
+}
+
+attest_server::~attest_server() {
+  stop();
+  conns_by_id_.clear();
+  conns_.clear();  // destructors deregister + close
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (udp_fd_ >= 0) ::close(udp_fd_);
+}
+
+void attest_server::run() {
+  loop_.add(listen_fd_, EPOLLIN, &accept_handler_);
+  if (udp_fd_ >= 0) loop_.add(udp_fd_, EPOLLIN, &udp_handler_);
+  last_sweep_ = std::chrono::steady_clock::now();
+  running_.store(true, std::memory_order_release);
+
+  while (!stop_flag_.load(std::memory_order_acquire)) {
+    auto now = std::chrono::steady_clock::now();
+    int timeout = batcher_.timeout_ms(now);
+    if (sweeps_enabled_) {
+      const int sweep_ms = static_cast<int>(cfg_.sweep_interval_ms);
+      if (timeout < 0 || timeout > sweep_ms) timeout = sweep_ms;
+    }
+    loop_.poll(timeout);
+    (void)loop_.take_wake();  // cross-thread work runs every turn anyway
+
+    deliver_completions();
+    now = std::chrono::steady_clock::now();
+    batcher_.maybe_flush(now);
+    check_backpressure();
+    if (now - last_sweep_ >=
+        std::chrono::milliseconds(cfg_.sweep_interval_ms)) {
+      sweep(now);
+      last_sweep_ = now;
+    }
+    process_doomed();
+  }
+
+  // Shutdown: tear every connection down; in-flight verifications finish
+  // in the batcher destructor, their responses intentionally dropped.
+  for (auto& [fd, c] : conns_) {
+    if (!c->close_requested()) request_close(*c, close_reason::server_stop);
+  }
+  process_doomed();
+  loop_.remove(listen_fd_);
+  if (udp_fd_ >= 0) loop_.remove(udp_fd_);
+  running_.store(false, std::memory_order_release);
+}
+
+void attest_server::start() {
+  thread_ = std::thread([this] { run(); });
+  while (!running_.load(std::memory_order_acquire) &&
+         !stop_flag_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+}
+
+void attest_server::stop() {
+  request_stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void attest_server::request_stop() {
+  stop_flag_.store(true, std::memory_order_release);
+  loop_.wake();
+}
+
+server_stats attest_server::stats() const {
+  server_stats s;
+  s.connections_accepted = connections_accepted_.load(relaxed);
+  s.connections_closed = connections_closed_.load(relaxed);
+  s.connections_open = connections_open_.load(relaxed);
+  s.tcp_frames = tcp_frames_.load(relaxed);
+  s.udp_datagrams = udp_datagrams_.load(relaxed);
+  s.challenge_reqs = challenge_reqs_.load(relaxed);
+  s.http_requests = http_requests_.load(relaxed);
+  s.responses_sent = responses_sent_.load(relaxed);
+  s.framing_errors = framing_errors_.load(relaxed);
+  s.dropped_conn_gone = dropped_conn_gone_.load(relaxed);
+  s.backpressure_pauses = backpressure_pauses_.load(relaxed);
+  s.closed_stalled = closed_stalled_.load(relaxed);
+  s.closed_idle = closed_idle_.load(relaxed);
+  s.bytes_in = bytes_in_.load(relaxed);
+  s.bytes_out = bytes_out_.load(relaxed);
+  s.batching = batcher_.snapshot();
+  return s;
+}
+
+// ---- connection_host --------------------------------------------------
+
+void attest_server::on_challenge_req(connection& c,
+                                     const challenge_req& m) {
+  challenge_reqs_.fetch_add(1, relaxed);
+  const auto grant = hub_.challenge(m.device_id);
+  challenge_resp resp;
+  resp.error = grant.error;
+  resp.note = grant.note;
+  resp.device_id = m.device_id;
+  resp.seq = grant.seq;
+  resp.nonce = grant.nonce;
+  const auto encoded = encode_challenge_resp(resp);
+  c.send_frame(encoded);
+  responses_sent_.fetch_add(1, relaxed);
+}
+
+void attest_server::on_report_frame(connection& c, byte_vec frame) {
+  tcp_frames_.fetch_add(1, relaxed);
+  batcher_.enqueue(c.id(), std::move(frame));
+  check_backpressure();
+}
+
+std::string attest_server::handle_http(const http_request& req) {
+  http_requests_.fetch_add(1, relaxed);
+  if (req.method != "GET" && req.method != "HEAD") {
+    return render_http_response(405, "text/plain",
+                                "method not allowed\n");
+  }
+  if (req.path == "/metrics") {
+    // Fold live traffic first so a scrape sees current bytes.
+    for (auto& [fd, c] : conns_) fold_traffic(*c);
+    return render_http_response(
+        200, "text/plain; version=0.0.4",
+        render_metrics_body(hub_.stats(), stats()));
+  }
+  if (req.path == "/healthz") {
+    const bool has_store = store_ != nullptr;
+    const std::string body = render_healthz_body(
+        has_store, /*store_ok=*/has_store,
+        has_store ? store_->wal_records() : 0,
+        has_store ? store_->generation() : 0);
+    return render_http_response(200, "application/json", body);
+  }
+  return render_http_response(404, "text/plain", "not found\n");
+}
+
+void attest_server::request_close(connection& c, close_reason why) {
+  if (c.close_requested()) return;
+  c.mark_close_requested();
+  fold_traffic(c);
+  if (loop_.watching(c.fd())) loop_.remove(c.fd());
+  doomed_.push_back(c.fd());
+  connections_closed_.fetch_add(1, relaxed);
+  switch (why) {
+    case close_reason::framing_error:
+      framing_errors_.fetch_add(1, relaxed);
+      break;
+    case close_reason::write_stalled:
+      closed_stalled_.fetch_add(1, relaxed);
+      break;
+    case close_reason::idle:
+      closed_idle_.fetch_add(1, relaxed);
+      break;
+    default:
+      break;
+  }
+}
+
+// ---- internals --------------------------------------------------------
+
+void attest_server::on_accept(std::uint32_t) {
+  for (;;) {
+    const int fd = accept_connection(listen_fd_);
+    if (fd < 0) return;
+    if (conns_.size() >= cfg_.max_connections) {
+      ::close(fd);  // shed load: the client sees a reset
+      continue;
+    }
+    if (cfg_.limits.sndbuf != 0) {
+      const int v = static_cast<int>(cfg_.limits.sndbuf);
+      (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &v, sizeof v);
+    }
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<connection>(fd, id, *this, loop_,
+                                             cfg_.limits);
+    if (ingest_paused_) conn->pause_ingest();
+    conns_by_id_[id] = conn.get();
+    conns_[fd] = std::move(conn);
+    connections_accepted_.fetch_add(1, relaxed);
+    connections_open_.fetch_add(1, relaxed);
+  }
+}
+
+void attest_server::on_udp(std::uint32_t) {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(udp_fd_, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient error: wait for the next event
+    }
+    if (n == 0) continue;
+    bytes_in_.fetch_add(static_cast<std::uint64_t>(n), relaxed);
+    // One raw wire frame per datagram; the datagram boundary IS the
+    // framing. Fire-and-forget: conn_id 0 means no response is owed.
+    // Past the global cap the datagram is dropped — that is what
+    // fire-and-forget buys.
+    if (batcher_.backlog() >= cfg_.max_pending_frames) continue;
+    udp_datagrams_.fetch_add(1, relaxed);
+    batcher_.enqueue(0, byte_vec(buf, buf + n));
+  }
+}
+
+void attest_server::deliver_completions() {
+  for (auto& done : batcher_.drain_completions()) {
+    if (done.conn_id == 0) continue;  // UDP fire-and-forget
+    const auto it = conns_by_id_.find(done.conn_id);
+    if (it == conns_by_id_.end() || it->second->close_requested()) {
+      dropped_conn_gone_.fetch_add(1, relaxed);
+      continue;
+    }
+    attest_resp resp;
+    resp.error = done.result.error;
+    resp.accepted = done.result.accepted();
+    resp.device_id = done.result.device;
+    resp.seq = done.result.seq;
+    const auto encoded = encode_attest_resp(resp);
+    it->second->send_frame(encoded);
+    responses_sent_.fetch_add(1, relaxed);
+  }
+}
+
+void attest_server::check_backpressure() {
+  const std::size_t backlog = batcher_.backlog();
+  if (!ingest_paused_ && backlog >= cfg_.max_pending_frames) {
+    ingest_paused_ = true;
+    for (auto& [fd, c] : conns_) {
+      if (!c->close_requested()) c->pause_ingest();
+    }
+  } else if (ingest_paused_ && backlog <= cfg_.max_pending_frames / 2) {
+    ingest_paused_ = false;
+    for (auto& [fd, c] : conns_) {
+      if (!c->close_requested()) c->resume_ingest();
+    }
+  }
+}
+
+void attest_server::sweep(std::chrono::steady_clock::time_point now) {
+  for (auto& [fd, c] : conns_) {
+    fold_traffic(*c);
+    if (c->close_requested()) continue;
+    const auto verdict = c->sweep(now);
+    if (verdict.close) request_close(*c, verdict.why);
+  }
+}
+
+void attest_server::fold_traffic(connection& c) {
+  bytes_in_.fetch_add(c.bytes_in - c.folded_in, relaxed);
+  bytes_out_.fetch_add(c.bytes_out - c.folded_out, relaxed);
+  backpressure_pauses_.fetch_add(c.pause_events - c.folded_pauses,
+                                 relaxed);
+  c.folded_in = c.bytes_in;
+  c.folded_out = c.bytes_out;
+  c.folded_pauses = c.pause_events;
+}
+
+void attest_server::process_doomed() {
+  for (const int fd : doomed_) {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    conns_by_id_.erase(it->second->id());
+    conns_.erase(it);  // ~connection deregisters (no-op here) + close(2)
+    connections_open_.fetch_sub(1, relaxed);
+  }
+  doomed_.clear();
+}
+
+}  // namespace dialed::net

@@ -387,6 +387,36 @@ decode_result decode_frame(std::span<const std::uint8_t> frame) {
   return r;
 }
 
+void append_stream_frame(byte_vec& out,
+                         std::span<const std::uint8_t> frame) {
+  if (frame.size() > max_stream_frame_bytes) {
+    throw error("wire: stream frame larger than max_stream_frame_bytes (" +
+                std::to_string(frame.size()) + " bytes)");
+  }
+  const std::size_t at = out.size();
+  out.resize(at + stream_header_bytes + frame.size());
+  store_le32(out, at, static_cast<std::uint32_t>(frame.size()));
+  std::copy(frame.begin(), frame.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(at) +
+                static_cast<std::ptrdiff_t>(stream_header_bytes));
+}
+
+stream_peek peek_stream_frame(std::span<const std::uint8_t> buf) {
+  stream_peek p;
+  if (buf.size() < stream_header_bytes) {
+    p.need = stream_header_bytes;
+    return p;
+  }
+  p.frame_len = load_le32(buf, 0);
+  if (p.frame_len > max_stream_frame_bytes) {
+    p.error = proto_error::bad_length;
+    return p;
+  }
+  p.need = stream_header_bytes + p.frame_len;
+  p.complete = buf.size() >= p.need;
+  return p;
+}
+
 byte_vec encode_report(const verifier::attestation_report& rep) {
   frame_info info;
   info.version = wire_v1;

@@ -230,6 +230,54 @@ proto_error apply_or_delta(const or_delta& delta,
                            std::span<const std::uint8_t> baseline,
                            byte_vec& out);
 
+// ---- length-prefixed stream framing (the TCP transport) -------------------
+//
+// Datagram links hand the codec whole frames; a TCP byte stream does not.
+// The service front-end (src/net/) therefore carries every frame — report
+// frames and its own small service messages alike — as
+//
+//   [u32 len (LE) | len frame bytes]
+//
+// and reassembles arbitrary stream splits before decode_frame_into ever
+// sees the bytes. The length prefix is attacker-controlled, so it is
+// capped at max_stream_frame_bytes: a garbage prefix yields a typed
+// bad_length instead of an unbounded allocation.
+
+/// Upper bound on a length prefix the stream transport will honor. Sized
+/// above the largest legal encoded frame — a pathological v2.1 delta with
+/// 65535 one-byte segments costs 72 + 16 + 4*65535 + 65535 + 2 bytes
+/// (~320 KiB) — and far below anything a hostile prefix could use to
+/// balloon the reassembly buffer.
+constexpr std::size_t max_stream_frame_bytes = 512 * 1024;
+static_assert(max_stream_frame_bytes >=
+              72 + 16 + 4 * 65535ull + max_or_bytes + 2);
+
+/// Bytes of the [u32 len] prefix.
+constexpr std::size_t stream_header_bytes = 4;
+
+/// Append `frame` to `out` with its length prefix. Throws dialed::error
+/// for a frame larger than max_stream_frame_bytes (encoders never produce
+/// one; a caller that does has corrupted memory, not a frame).
+void append_stream_frame(byte_vec& out, std::span<const std::uint8_t> frame);
+
+/// What peeking at the head of a reassembly buffer found.
+struct stream_peek {
+  /// bad_length: the prefix names a frame larger than
+  /// max_stream_frame_bytes — the stream is unrecoverable (there is no
+  /// resync point), the transport must drop the connection.
+  proto_error error = proto_error::none;
+  bool complete = false;     ///< a whole frame is buffered
+  std::uint32_t frame_len = 0;  ///< prefix value, when >= 4 bytes buffered
+  /// Prefix + frame bytes to consume when `complete`; otherwise the total
+  /// buffered size a complete frame would need (the framer's read target).
+  std::size_t need = stream_header_bytes;
+};
+
+/// Inspect `buf` (the head of a stream reassembly buffer) for one
+/// length-prefixed frame. Never consumes; the caller slices
+/// [stream_header_bytes, need) out as the frame when `complete`.
+stream_peek peek_stream_frame(std::span<const std::uint8_t> buf);
+
 /// v1 compatibility: serialize with no device identity.
 byte_vec encode_report(const verifier::attestation_report& rep);
 

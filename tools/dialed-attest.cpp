@@ -42,7 +42,9 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "fleet/stats_render.h"
 #include "fleet/verifier_hub.h"
+#include "net/client.h"
 #include "proto/prover.h"
 #include "proto/wire.h"
 #include "store/fleet_store.h"
@@ -93,44 +95,128 @@ void usage() {
                "[--device-id N] [--args a,b,...] [--net b,b,...] "
                "[--adc s,s,...] [--repeat K] [--workers N] [--delta] "
                "[--state-dir DIR] [--stats-json PATH] "
+               "[--connect HOST:PORT] [--scrape] "
                "[--hex-frame] [--trace]\n");
 }
 
+/// "HOST:PORT" for --connect. Throws dialed::error on anything else.
+std::pair<std::string, std::uint16_t> parse_host_port(
+    const std::string& s) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) {
+    throw dialed::error("--connect needs HOST:PORT, got '" + s + "'");
+  }
+  const auto port = parse_list(s.substr(colon + 1), 0xffff);
+  if (port.size() != 1 || port[0] == 0) {
+    throw dialed::error("--connect needs a nonzero port in '" + s + "'");
+  }
+  return {s.substr(0, colon), static_cast<std::uint16_t>(port[0])};
+}
+
 /// Hub counters (with the per-device breakdown) as a JSON document — the
-/// "exportable metrics endpoint" in its minimal, file-shaped form.
+/// "exportable metrics endpoint" in its minimal, file-shaped form. The
+/// rendering itself lives in fleet/stats_render so this file export and
+/// dialed-serve's /metrics can never drift apart.
 void write_stats_json(const dialed::fleet::hub_stats& s,
                       const std::string& path) {
   std::ofstream out(path);
   if (!out) {
     throw dialed::error("cannot write stats json: " + path);
   }
-  const char* sep = "";
-  out << "{\n";
-  out << "  \"challenges_issued\": " << s.challenges_issued << ",\n";
-  out << "  \"challenges_expired\": " << s.challenges_expired << ",\n";
-  out << "  \"challenges_superseded\": " << s.challenges_superseded
-      << ",\n";
-  out << "  \"reports_accepted\": " << s.reports_accepted << ",\n";
-  out << "  \"reports_rejected_verdict\": " << s.reports_rejected_verdict
-      << ",\n";
-  out << "  \"rejected_by_error\": {";
-  for (std::size_t i = 1; i < s.rejected_by_error.size(); ++i) {
-    const auto e = static_cast<dialed::proto::proto_error>(i);
-    out << sep << "\n    \"" << dialed::proto::to_string(e)
-        << "\": " << s.rejected_by_error[i];
-    sep = ",";
+  out << dialed::fleet::render_stats_json(s);
+}
+
+/// --connect mode: the same attested rounds, but the verifier hub lives
+/// in a dialed-serve process across a socket. The device key is derived
+/// locally from the shared demo master key (the HMAC KDF needs no
+/// provisioning round-trip); rounds run sequentially so --delta keeps its
+/// lockstep, with the full-frame fallback on the SAME challenge when the
+/// server answers baseline_mismatch (the nonce survives by design).
+int run_connected(const std::string& host, std::uint16_t port,
+                  const dialed::instr::linked_program& prog,
+                  const dialed::proto::invocation& inv,
+                  dialed::fleet::device_id device_id, std::uint32_t repeat,
+                  bool delta, bool hex_frame, bool scrape) {
+  using namespace dialed;
+  const byte_vec demo_master_key(32, 0xAB);
+  const fleet::device_registry key_source(demo_master_key);
+  proto::prover_device dev(prog, key_source.derive_key(device_id));
+  net::attest_client client(host, port);
+
+  std::size_t accepted = 0;
+  proto::delta_emitter emitter;
+  for (std::uint32_t k = 0; k < repeat; ++k) {
+    const auto grant = client.get_challenge(device_id);
+    if (grant.error != proto::proto_error::none) {
+      std::fprintf(stderr, "dialed-attest: challenge refused: %s\n",
+                   proto::to_string(grant.error).c_str());
+      return 1;
+    }
+    const auto rep = dev.invoke(grant.nonce, inv);
+    byte_vec frame;
+    if (delta) {
+      frame = emitter.encode(device_id, grant.seq, rep);
+    } else {
+      proto::frame_info info;
+      info.device_id = device_id;
+      info.seq = grant.seq;
+      frame = proto::encode_frame(info, rep);
+    }
+    if (hex_frame && k == 0) {
+      std::printf("frame (%zu bytes): %s\n", frame.size(),
+                  to_hex(frame).c_str());
+    }
+    auto res = client.submit_report(frame);
+    if (delta && res.error == proto::proto_error::baseline_mismatch) {
+      // Delta desync (e.g. the server restarted without our baseline):
+      // fall back to a full frame on the same still-alive nonce.
+      emitter.note_result(device_id, grant.seq, rep, res.error, false);
+      frame = emitter.encode(device_id, grant.seq, rep);  // now full
+      res = client.submit_report(frame);
+    }
+    if (delta) {
+      emitter.note_result(device_id, grant.seq, rep, res.error,
+                          res.accepted);
+    }
+    if (res.accepted) {
+      ++accepted;
+    } else {
+      std::fprintf(stderr, "dialed-attest: round %u: %s\n", k,
+                   res.error != proto::proto_error::none
+                       ? proto::to_string(res.error).c_str()
+                       : "REJECTED");
+    }
+    if (k == 0 || k + 1 == repeat) {
+      std::printf("round %u:  seq=%u frame=%zuB (%s) -> %s\n", k,
+                  grant.seq, frame.size(),
+                  frame.size() > 2 && frame[2] == proto::wire_v21
+                      ? "wire v2.1 delta"
+                      : "wire v2 full",
+                  res.accepted ? "ACCEPTED" : "rejected");
+    }
   }
-  out << "\n  },\n";
-  out << "  \"devices\": {";
-  sep = "";
-  for (const auto& [id, c] : s.per_device) {
-    out << sep << "\n    \"" << id << "\": {\"accepted\": " << c.accepted
-        << ", \"rejected_verdict\": " << c.rejected_verdict
-        << ", \"replayed\": " << c.replayed
-        << ", \"rejected_protocol\": " << c.rejected_protocol << "}";
-    sep = ",";
+  if (delta) {
+    const auto& es = emitter.transport_stats();
+    std::printf(
+        "wire:     %llu frames (%llu delta), %llu B emitted vs %llu B "
+        "as full v2 (%.1fx smaller)\n",
+        static_cast<unsigned long long>(es.frames),
+        static_cast<unsigned long long>(es.delta_frames),
+        static_cast<unsigned long long>(es.wire_bytes),
+        static_cast<unsigned long long>(es.full_bytes),
+        es.wire_bytes != 0 ? static_cast<double>(es.full_bytes) /
+                                 static_cast<double>(es.wire_bytes)
+                           : 0.0);
   }
-  out << "\n  }\n}\n";
+  std::printf("remote:   %zu/%u reports accepted by %s:%u\n", accepted,
+              repeat, host.c_str(), port);
+  if (scrape) {
+    std::printf("---- GET /healthz ----\n%s",
+                net::http_get(host, port, "/healthz").c_str());
+    std::printf("---- GET /metrics ----\n%s",
+                net::http_get(host, port, "/metrics").c_str());
+  }
+  return accepted == repeat ? 0 : 1;
 }
 
 }  // namespace
@@ -145,11 +231,12 @@ int main(int argc, char** argv) {
   std::string entry = "op";
   std::string state_dir;
   std::string stats_json;
+  std::string connect;
   proto::invocation inv;
   fleet::device_id device_id = 1;
   std::uint32_t repeat = 1;
   std::uint32_t workers = 0;
-  bool delta = false, hex_frame = false, trace = false;
+  bool delta = false, hex_frame = false, trace = false, scrape = false;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -193,6 +280,10 @@ int main(int argc, char** argv) {
         state_dir = argv[++i];
       } else if (arg == "--stats-json" && i + 1 < argc) {
         stats_json = argv[++i];
+      } else if (arg == "--connect" && i + 1 < argc) {
+        connect = argv[++i];
+      } else if (arg == "--scrape") {
+        scrape = true;
       } else if (arg == "--hex-frame") {
         hex_frame = true;
       } else if (arg == "--trace") {
@@ -220,6 +311,27 @@ int main(int argc, char** argv) {
                  "round); drop --workers\n");
     return 2;
   }
+  if (!connect.empty() &&
+      (!state_dir.empty() || !stats_json.empty() || workers != 0)) {
+    std::fprintf(stderr,
+                 "dialed-attest: --state-dir/--stats-json/--workers are "
+                 "server-side in --connect mode (run dialed-serve with "
+                 "them)\n");
+    return 2;
+  }
+  if (scrape && connect.empty()) {
+    std::fprintf(stderr, "dialed-attest: --scrape needs --connect\n");
+    return 2;
+  }
+  std::pair<std::string, std::uint16_t> remote;
+  if (!connect.empty()) {
+    try {
+      remote = parse_host_port(connect);
+    } catch (const error& e) {
+      std::fprintf(stderr, "dialed-attest: %s\n", e.what());
+      return 2;  // a bad HOST:PORT is a usage error, not a runtime one
+    }
+  }
 
   std::ifstream in(path);
   if (!in) {
@@ -234,6 +346,11 @@ int main(int argc, char** argv) {
     lo.entry = entry;
     lo.mode = instr::instrumentation::dialed;
     const auto prog = instr::build_operation(ss.str(), lo);
+
+    if (!connect.empty()) {
+      return run_connected(remote.first, remote.second, prog, inv,
+                           device_id, repeat, delta, hex_frame, scrape);
+    }
 
     fleet::hub_config hub_cfg;
     hub_cfg.max_outstanding = repeat;  // all K challenges live at once

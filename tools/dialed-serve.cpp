@@ -1,0 +1,245 @@
+// dialed-serve: the DIALED attestation service. Builds the operation from
+// mini-C source, provisions a fleet of devices for it, and serves the
+// challenge/report protocol over TCP (length-prefixed frames) and UDP
+// (fire-and-forget datagrams) from one epoll reactor thread, with
+// adaptive verify batching and live Prometheus metrics on the same port:
+//
+//   dialed-serve <source.c> [--entry NAME] [--devices N] [--bind ADDR]
+//                [--port P] [--udp-port P] [--no-udp]
+//                [--batch-max N] [--batch-latency-ms MS] [--workers N]
+//                [--max-outstanding N] [--max-pending N]
+//                [--idle-timeout-ms MS] [--state-dir DIR]
+//
+// Devices 1..N are provisioned from the fleet demo master key (0xAB*32 —
+// real deployments must supply their own), so any dialed-attest --connect
+// client that derives K_dev from the same key can attest. With
+// --state-dir the registry/catalog/hub are resumed from (and journaled
+// to) a durable fleet store: a report accepted before a crash is
+// rejected as a replay after the restart.
+//
+// Prints "listening: tcp=PORT udp=PORT" once serving (PORT resolves
+// --port 0 to the kernel's pick, for scripts and tests). SIGINT/SIGTERM
+// shut down cleanly: the handler only calls the async-signal-safe
+// request_stop().
+//
+// Observability on the TCP port: GET /metrics (Prometheus text),
+// GET /healthz (hub + store liveness JSON).
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "common/error.h"
+#include "net/server.h"
+#include "verifier/firmware_artifact.h"
+
+namespace {
+
+dialed::net::attest_server* g_server = nullptr;
+
+extern "C" void handle_signal(int) {
+  // Async-signal-safe: an atomic store plus an eventfd write(2).
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+std::uint32_t parse_u32(const std::string& s, std::uint32_t max) {
+  try {
+    if (!s.empty() && s[0] == '-') throw dialed::error("negative: " + s);
+    std::size_t used = 0;
+    const unsigned long v = std::stoul(s, &used, 0);
+    if (used != s.size() || v > max) {
+      throw dialed::error("value out of range: " + s);
+    }
+    return static_cast<std::uint32_t>(v);
+  } catch (const dialed::error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw dialed::error("not a number: '" + s + "'");
+  }
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: dialed-serve <source.c> [--entry NAME] [--devices N] "
+      "[--bind ADDR] [--port P] [--udp-port P] [--no-udp] "
+      "[--batch-max N] [--batch-latency-ms MS] [--workers N] "
+      "[--max-outstanding N] [--max-pending N] [--idle-timeout-ms MS] "
+      "[--state-dir DIR]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dialed;
+  std::string path;
+  std::string entry = "op";
+  std::string state_dir;
+  std::uint32_t devices = 4;
+  std::uint32_t workers = 0;
+  std::uint32_t max_outstanding = 64;
+  net::server_config cfg;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw error(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--entry") {
+        entry = next();
+      } else if (arg == "--devices") {
+        devices = parse_u32(next(), 100000);
+        if (devices == 0) throw error("--devices needs a nonzero count");
+      } else if (arg == "--bind") {
+        cfg.bind_addr = next();
+      } else if (arg == "--port") {
+        cfg.tcp_port = static_cast<std::uint16_t>(parse_u32(next(), 0xffff));
+      } else if (arg == "--udp-port") {
+        cfg.udp_port = static_cast<std::uint16_t>(parse_u32(next(), 0xffff));
+      } else if (arg == "--no-udp") {
+        cfg.enable_udp = false;
+      } else if (arg == "--batch-max") {
+        cfg.batching.batch_max = parse_u32(next(), 100000);
+        if (cfg.batching.batch_max == 0) {
+          throw error("--batch-max needs a nonzero count");
+        }
+      } else if (arg == "--batch-latency-ms") {
+        cfg.batching.batch_latency_ms = parse_u32(next(), 60000);
+      } else if (arg == "--workers") {
+        workers = parse_u32(next(), 1024);
+      } else if (arg == "--max-outstanding") {
+        max_outstanding = parse_u32(next(), 100000);
+        if (max_outstanding == 0) {
+          throw error("--max-outstanding needs a nonzero count");
+        }
+      } else if (arg == "--max-pending") {
+        cfg.max_pending_frames = parse_u32(next(), 1000000);
+      } else if (arg == "--idle-timeout-ms") {
+        cfg.limits.idle_timeout_ms = parse_u32(next(), 3600000);
+      } else if (arg == "--state-dir") {
+        state_dir = next();
+      } else if (!arg.empty() && arg[0] == '-') {
+        usage();
+        return 2;
+      } else {
+        path = arg;
+      }
+    }
+  } catch (const error& e) {
+    std::fprintf(stderr, "dialed-serve: %s\n", e.what());
+    usage();
+    return 2;
+  }
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "dialed-serve: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+
+  try {
+    instr::link_options lo;
+    lo.entry = entry;
+    lo.mode = instr::instrumentation::dialed;
+    const auto prog = instr::build_operation(ss.str(), lo);
+
+    fleet::hub_config hub_cfg;
+    hub_cfg.max_outstanding = max_outstanding;
+    hub_cfg.workers = workers;
+
+    const byte_vec demo_master_key(32, 0xAB);
+    std::optional<fleet::device_registry> local_registry;
+    std::optional<fleet::verifier_hub> local_hub;
+    store::fleet_state persisted;
+    if (state_dir.empty()) {
+      local_registry.emplace(demo_master_key);
+    } else {
+      store::fleet_store::options so;
+      so.master_key = demo_master_key;
+      so.hub = hub_cfg;
+      persisted = store::fleet_store::open(state_dir, so);
+    }
+    fleet::device_registry& registry =
+        local_registry ? *local_registry : *persisted.registry;
+
+    const auto fw_id = verifier::firmware_artifact::fingerprint(prog);
+    std::uint32_t provisioned = 0, resumed = 0;
+    for (std::uint32_t id = 1; id <= devices; ++id) {
+      if (const auto* rec = registry.find(id)) {
+        if (rec->firmware->id() != fw_id) {
+          std::fprintf(stderr,
+                       "dialed-serve: device %u is provisioned with a "
+                       "different firmware (%.16s...) in %s\n",
+                       id, rec->firmware->id_hex().c_str(),
+                       state_dir.c_str());
+          return 2;
+        }
+        ++resumed;
+      } else {
+        registry.provision(id, prog);
+        ++provisioned;
+      }
+    }
+
+    if (local_registry) local_hub.emplace(registry, hub_cfg);
+    fleet::verifier_hub& hub = local_hub ? *local_hub : *persisted.hub;
+
+    net::attest_server server(hub, cfg,
+                              state_dir.empty() ? nullptr
+                                                : persisted.store.get());
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    std::printf("fleet:    %u device(s) (%u provisioned, %u resumed), "
+                "firmware %.16s...\n",
+                devices, provisioned, resumed,
+                registry.find(1)->firmware->id_hex().c_str());
+    if (!state_dir.empty()) {
+      std::printf("state:    %s (generation %llu, %llu WAL records)\n",
+                  state_dir.c_str(),
+                  static_cast<unsigned long long>(
+                      persisted.store->generation()),
+                  static_cast<unsigned long long>(
+                      persisted.store->wal_records()));
+    }
+    std::printf("batching: max=%zu latency=%ums workers=%zu\n",
+                cfg.batching.batch_max, cfg.batching.batch_latency_ms,
+                hub.batch_workers());
+    std::printf("listening: tcp=%u udp=%u\n",
+                static_cast<unsigned>(server.tcp_port()),
+                cfg.enable_udp ? static_cast<unsigned>(server.udp_port())
+                               : 0u);
+    std::fflush(stdout);
+
+    server.run();
+    g_server = nullptr;
+
+    const auto net = server.stats();
+    const auto hs = hub.stats();
+    std::printf("served:   %llu conns, %llu tcp + %llu udp frames, "
+                "%llu accepted, %llu rejected, %llu batches "
+                "(mean %.1f frames)\n",
+                static_cast<unsigned long long>(net.connections_accepted),
+                static_cast<unsigned long long>(net.tcp_frames),
+                static_cast<unsigned long long>(net.udp_datagrams),
+                static_cast<unsigned long long>(hs.reports_accepted),
+                static_cast<unsigned long long>(hs.reports_submitted() -
+                                                hs.reports_accepted),
+                static_cast<unsigned long long>(hs.verify_batches),
+                hs.mean_batch_frames());
+    return 0;
+  } catch (const error& e) {
+    std::fprintf(stderr, "dialed-serve: %s\n", e.what());
+    return 1;
+  }
+}
