@@ -8,12 +8,14 @@
 
 #include "bench_common.h"
 #include "crypto/hmac.h"
+#include "fleet/partition.h"
 #include "fleet/verifier_hub.h"
 #include "masm/masm.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "proto/wire.h"
 #include "store/fleet_store.h"
+#include "store/ship.h"
 #include "verifier/verifier.h"
 
 namespace {
@@ -526,6 +528,121 @@ BENCHMARK(BM_fleet_store_reopen)
     ->Arg(8)
     ->Arg(64)
     ->Unit(benchmark::kMillisecond);
+
+void BM_partition_router_overhead(benchmark::State& state) {
+  // Routing tax on the sequential submit path: the same pre-built frames
+  // pushed through a bare hub (Arg 0) or a partition_router over N hubs
+  // (Arg N) — peek + ring lookup + virtual dispatch is all the router
+  // adds. Frames are replays, the CHEAPEST submit the hub resolves, so
+  // the measured overhead is the worst-case ratio; accepted rounds
+  // (emulated replay verification) bury it entirely.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto fleet = dialed::fleet::partitioned_fleet::create(
+      std::max<std::size_t>(1, n), bench_key());
+  const auto prog = dialed::apps::build_app(
+      dialed::apps::evaluation_apps()[1],
+      dialed::instr::instrumentation::dialed);
+
+  std::vector<byte_vec> frames;
+  for (dialed::fleet::device_id id = 1; frames.size() < 8; ++id) {
+    const auto p = fleet.index_of(id);
+    fleet.provision(id, prog);
+    dialed::proto::prover_device dev(
+        *fleet.registry_of(p).find(id)->program,
+        fleet.registry_of(p).find(id)->key);
+    const auto g = fleet.router().challenge(id);
+    dialed::proto::frame_info info;
+    info.device_id = id;
+    info.seq = g.seq;
+    const auto frame = dialed::proto::encode_frame(
+        info, dev.invoke(g.nonce, dialed::apps::evaluation_apps()[1]
+                                      .representative_input));
+    if (!fleet.router().submit(frame).accepted()) {
+      state.SkipWithError("setup round rejected");
+      return;
+    }
+    frames.push_back(frame);
+  }
+
+  dialed::fleet::hub_like& target =
+      n == 0 ? static_cast<dialed::fleet::hub_like&>(fleet.hub_of(0))
+             : fleet.router();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(target.submit(frames[i]));
+    i = (i + 1) % frames.size();
+  }
+  state.counters["submits_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_partition_router_overhead)->Arg(0)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_wal_ship_apply(benchmark::State& state) {
+  // Follower apply throughput: records/s a warm standby validates,
+  // applies to its image, and appends to its own WAL. The stream is one
+  // real attestation round's records (challenge, retire, baseline,
+  // verdict) captured off a live store and replayed in a loop — each
+  // cycle is a legal continuation, so the follower never desyncs.
+  namespace fs = std::filesystem;
+  struct capture_sink final : dialed::store::ship_sink {
+    std::uint64_t gen = 0;
+    byte_vec snapshot;
+    std::vector<byte_vec> records;
+    void on_snapshot(std::uint64_t g,
+                     std::span<const std::uint8_t> s) override {
+      gen = g;
+      snapshot.assign(s.begin(), s.end());
+    }
+    void on_record(std::uint64_t,
+                   std::span<const std::uint8_t> p) override {
+      records.emplace_back(p.begin(), p.end());
+    }
+  };
+
+  const auto dir = fs::temp_directory_path() / "dialed-bench-ship";
+  fs::remove_all(dir);
+  dialed::store::fleet_store::options opts;
+  opts.master_key = bench_key();
+  opts.hub.sequential_batch = true;
+  capture_sink cap;
+  {
+    auto st = dialed::store::fleet_store::open((dir / "p").string(), opts);
+    const auto app = dialed::apps::evaluation_apps()[1];
+    const auto prog = dialed::apps::build_app(
+        app, dialed::instr::instrumentation::dialed);
+    const auto id = st.registry->provision(prog);
+    st.store->attach_shipper(&cap);  // snapshot covers the provision
+    dialed::proto::prover_device dev(*st.registry->find(id)->program,
+                                     st.registry->find(id)->key);
+    const auto g = st.hub->challenge(id);
+    dialed::proto::frame_info info;
+    info.device_id = id;
+    info.seq = g.seq;
+    const auto frame = dialed::proto::encode_frame(
+        info, dev.invoke(g.nonce, app.representative_input));
+    if (!st.hub->submit(frame).accepted() || cap.records.empty()) {
+      state.SkipWithError("capture round failed");
+      fs::remove_all(dir);
+      return;
+    }
+  }
+
+  dialed::store::follower_config fcfg;
+  fcfg.retired_memory = 64;  // bound the validation image's nonce ring
+  dialed::store::wal_follower follower((dir / "standby").string(), fcfg);
+  follower.on_snapshot(cap.gen, cap.snapshot);
+  for (auto _ : state) {
+    for (const auto& p : cap.records) follower.on_record(cap.gen, p);
+  }
+  if (const auto err = follower.error()) {
+    state.SkipWithError(err->what());
+  }
+  state.counters["records_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * cap.records.size()),
+      benchmark::Counter::kIsRate);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_wal_ship_apply);
 
 void BM_swatt_device_cost(benchmark::State& state) {
   // The modelled on-device cost of SW-Att in MCU cycles (context output).

@@ -1,0 +1,154 @@
+// The hub surface, extracted as an interface: everything the transport
+// layer (net/server, net/batcher), the tools, and the stats renderers
+// need from "a verifier hub" — issuing challenges, verifying submitted
+// frames, the tick clock, and counters. Two implementations:
+//
+//   * fleet::verifier_hub     one hub, one shard set, one store;
+//   * fleet::partition_router N hubs behind a consistent-hash ring
+//                             (src/fleet/partition.h), each typically
+//                             backed by its own fleet_store.
+//
+// Callers written against hub_like run unmodified on either — that is
+// the point: `dialed-serve --partitions N` is the same server binary
+// speaking to the same batcher, just handed a router instead of a hub.
+//
+// The value types (challenge_grant, hub_stats, attest_result) live here
+// rather than in verifier_hub.h so the router does not need the concrete
+// hub's header to describe its results.
+//
+// Threading: implementations must keep verifier_hub's contract — every
+// method here is safe to call concurrently from any number of threads.
+#ifndef DIALED_FLEET_HUB_LIKE_H
+#define DIALED_FLEET_HUB_LIKE_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "fleet/persist.h"
+#include "proto/errors.h"
+#include "verifier/verifier.h"
+
+namespace dialed::fleet {
+
+using proto::proto_error;
+
+/// The issuance half of the protocol: what the hub hands the transport to
+/// forward to device `device_id`.
+struct challenge_grant {
+  proto_error error = proto_error::none;  ///< unknown_device
+  /// challenge_superseded when issuing this grant evicted the device's
+  /// oldest outstanding challenge (the explicit signal the v1 session
+  /// swallowed); the grant itself is still valid.
+  proto_error note = proto_error::none;
+  device_id device = 0;
+  std::uint32_t seq = 0;
+  std::array<std::uint8_t, 16> nonce{};
+  bool ok() const { return error == proto_error::none; }
+};
+
+/// Monotonic per-hub counters (the ROADMAP "hub metrics" item): a
+/// consistent-enough snapshot assembled from relaxed atomics — counts
+/// never go backwards, but a snapshot taken while traffic is in flight
+/// may be mid-update across fields. The per_device breakdown is gathered
+/// under the shard locks (briefly, one shard at a time).
+struct hub_stats {
+  std::uint64_t challenges_issued = 0;
+  std::uint64_t challenges_expired = 0;    ///< retired past their TTL
+  std::uint64_t challenges_superseded = 0; ///< evicted by capacity
+  /// Reports that passed protocol checks AND the full §III verdict.
+  std::uint64_t reports_accepted = 0;
+  /// Reports that reached verification but failed the §III verdict.
+  std::uint64_t reports_rejected_verdict = 0;
+  /// Histogram of submissions that never reached verification, indexed by
+  /// proto_error (transport damage, unknown device, nonce bookkeeping).
+  /// Index 0 (proto_error::none) is always 0.
+  std::array<std::uint64_t, proto::proto_error_count> rejected_by_error{};
+  /// verify_batch instrumentation — the gauges the service front-end's
+  /// adaptive batching is observed (and tuned) through. Process-local:
+  /// batching behavior since THIS boot is what an operator wants, so
+  /// restore() deliberately leaves them at zero.
+  std::uint64_t verify_batches = 0;       ///< verify_batch calls completed
+  std::uint64_t verify_batch_frames = 0;  ///< frames fanned out, total
+  std::uint64_t last_batch_frames = 0;    ///< size of the newest batch
+  std::uint64_t inflight_batches = 0;     ///< gauge: calls running NOW
+  /// Per-device accept/reject/replay breakdown. Only devices that have
+  /// hub state appear; submissions for unknown device ids are deliberately
+  /// NOT attributed (an attacker spraying bogus ids must not grow this
+  /// map). Persisted through the fleet store snapshot.
+  std::map<device_id, device_counters> per_device;
+
+  /// Mean verify_batch size since boot (0 before the first batch).
+  double mean_batch_frames() const {
+    return verify_batches == 0 ? 0.0
+                               : static_cast<double>(verify_batch_frames) /
+                                     static_cast<double>(verify_batches);
+  }
+
+  std::uint64_t reports_rejected_protocol() const {
+    std::uint64_t n = 0;
+    for (const auto v : rejected_by_error) n += v;
+    return n;
+  }
+  std::uint64_t reports_submitted() const {
+    return reports_accepted + reports_rejected_verdict +
+           reports_rejected_protocol();
+  }
+};
+
+/// The rich result of one submitted report: a typed protocol error (if the
+/// report never reached verification) plus the full §III verdict.
+struct attest_result {
+  proto_error error = proto_error::none;
+  device_id device = 0;
+  std::uint32_t seq = 0;
+  verifier::verdict verdict;  ///< meaningful only when error == none
+  bool accepted() const {
+    return error == proto_error::none && verdict.accepted;
+  }
+};
+
+class hub_like {
+ public:
+  virtual ~hub_like() = default;
+
+  /// Draw a fresh challenge for a device. Thread-safe.
+  virtual challenge_grant challenge(device_id id) = 0;
+
+  /// Decode a wire frame (any supported version) and verify it.
+  /// Thread-safe, reentrant.
+  virtual attest_result submit(std::span<const std::uint8_t> frame) = 0;
+
+  /// Verify a batch of independent frames in parallel; results come back
+  /// in input order regardless of completion order.
+  virtual std::vector<attest_result> verify_batch(
+      std::span<const byte_vec> frames) = 0;
+
+  /// Advance the monotonic clock by `n` ticks. Thread-safe.
+  virtual void tick(std::uint64_t n) = 0;
+  void tick() { tick(1); }
+
+  virtual std::uint64_t now() const = 0;
+
+  /// Outstanding (non-expired) challenges for a device.
+  virtual std::size_t outstanding(device_id id) const = 0;
+
+  /// Worker threads backing verify_batch (0 = inline/sequential).
+  virtual std::size_t batch_workers() const = 0;
+
+  /// Snapshot of the monotonic counters; pass include_per_device = false
+  /// for the cheap lock-free hub-level scalars only.
+  virtual hub_stats stats(bool include_per_device = true) const = 0;
+
+  /// Per-partition counter snapshots, for labeled /metrics families.
+  /// Empty for an unpartitioned hub (the default); a router returns one
+  /// entry per partition, in partition-index order.
+  virtual std::vector<hub_stats> partition_stats() const { return {}; }
+};
+
+}  // namespace dialed::fleet
+
+#endif  // DIALED_FLEET_HUB_LIKE_H

@@ -1,0 +1,322 @@
+#include "fleet/partition.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <thread>
+
+#include "common/error.h"
+#include "proto/wire.h"
+#include "store/codec.h"
+#include "store/state_image.h"
+
+namespace dialed::fleet {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed, and stable across builds —
+/// the ring must be a pure function of (seed, vnodes, N) forever, so no
+/// std::hash (whose value is implementation-defined).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::array<std::uint8_t, 4> manifest_magic = {'D', 'L', 'P',
+                                                        'M'};
+constexpr std::uint32_t manifest_version = 1;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// partition_router
+// ---------------------------------------------------------------------------
+
+partition_router::partition_router(std::vector<hub_like*> partitions,
+                                   router_config cfg)
+    : cfg_(cfg), parts_(partitions.size()) {
+  if (partitions.empty()) {
+    throw error("partition_router: at least one partition required");
+  }
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    parts_[i].store(partitions[i], std::memory_order_release);
+  }
+  ring_.reserve(partitions.size() * cfg_.vnodes);
+  for (std::uint32_t p = 0; p < partitions.size(); ++p) {
+    const std::uint64_t pmix = mix64(cfg_.seed ^ mix64(p));
+    for (std::uint32_t v = 0; v < cfg_.vnodes; ++v) {
+      ring_.emplace_back(mix64(pmix ^ v), p);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t partition_router::index_of(device_id id) const {
+  if (parts_.size() == 1) return 0;
+  const std::uint64_t h = mix64(cfg_.seed ^ mix64(id));
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), h,
+      [](std::uint64_t v, const auto& e) { return v < e.first; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->second;
+}
+
+hub_like* partition_router::replace(std::size_t idx, hub_like* hub) {
+  return parts_[idx].exchange(hub, std::memory_order_acq_rel);
+}
+
+challenge_grant partition_router::challenge(device_id id) {
+  return at(index_of(id))->challenge(id);
+}
+
+attest_result partition_router::submit(
+    std::span<const std::uint8_t> frame) {
+  // Route on the sniffed header id; a frame too damaged to sniff goes to
+  // partition 0, whose decoder rejects it with the same typed error a
+  // bare hub would (a lying-but-sniffable header reaches a partition
+  // that does not know the device: unknown_device, again hub-identical).
+  const auto id = proto::peek_device_id(frame);
+  return at(id ? index_of(*id) : 0)->submit(frame);
+}
+
+std::vector<attest_result> partition_router::verify_batch(
+    std::span<const byte_vec> frames) {
+  if (frames.empty()) return {};
+
+  std::vector<std::size_t> owner(frames.size());
+  std::vector<std::size_t> load(parts_.size(), 0);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const auto id = proto::peek_device_id(frames[i]);
+    owner[i] = id ? index_of(*id) : 0;
+    ++load[owner[i]];
+  }
+
+  // Single-partition batch (the common case under per-connection
+  // batching): pass the span straight through, zero copies.
+  const std::size_t first = owner[0];
+  if (load[first] == frames.size()) {
+    return at(first)->verify_batch(frames);
+  }
+
+  // Scatter: each involved partition verifies its slice on its own
+  // worker pool, partitions in parallel with each other; results land
+  // back at their original indices.
+  std::vector<std::vector<byte_vec>> slice(parts_.size());
+  std::vector<std::vector<std::size_t>> positions(parts_.size());
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    slice[p].reserve(load[p]);
+    positions[p].reserve(load[p]);
+  }
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    slice[owner[i]].push_back(frames[i]);
+    positions[owner[i]].push_back(i);
+  }
+
+  std::vector<attest_result> out(frames.size());
+  std::vector<std::thread> workers;
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    if (slice[p].empty()) continue;
+    workers.emplace_back([this, p, &slice, &positions, &out] {
+      const auto results = at(p)->verify_batch(slice[p]);
+      for (std::size_t j = 0; j < results.size(); ++j) {
+        out[positions[p][j]] = results[j];
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  return out;
+}
+
+void partition_router::tick(std::uint64_t n) {
+  for (std::size_t p = 0; p < parts_.size(); ++p) at(p)->tick(n);
+}
+
+std::uint64_t partition_router::now() const {
+  std::uint64_t now = 0;
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    now = std::max(now, at(p)->now());
+  }
+  return now;
+}
+
+std::size_t partition_router::outstanding(device_id id) const {
+  return at(index_of(id))->outstanding(id);
+}
+
+std::size_t partition_router::batch_workers() const {
+  return at(0)->batch_workers();
+}
+
+hub_stats partition_router::stats(bool include_per_device) const {
+  hub_stats total;
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    const auto s = at(p)->stats(include_per_device);
+    total.challenges_issued += s.challenges_issued;
+    total.challenges_expired += s.challenges_expired;
+    total.challenges_superseded += s.challenges_superseded;
+    total.reports_accepted += s.reports_accepted;
+    total.reports_rejected_verdict += s.reports_rejected_verdict;
+    for (std::size_t i = 0; i < s.rejected_by_error.size(); ++i) {
+      total.rejected_by_error[i] += s.rejected_by_error[i];
+    }
+    total.verify_batches += s.verify_batches;
+    total.verify_batch_frames += s.verify_batch_frames;
+    total.last_batch_frames =
+        std::max(total.last_batch_frames, s.last_batch_frames);
+    total.inflight_batches += s.inflight_batches;
+    // Disjoint by routing, so merge is insertion.
+    for (const auto& [id, c] : s.per_device) {
+      total.per_device.emplace(id, c);
+    }
+  }
+  return total;
+}
+
+std::vector<hub_stats> partition_router::partition_stats() const {
+  std::vector<hub_stats> out;
+  out.reserve(parts_.size());
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    out.push_back(at(p)->stats(/*include_per_device=*/false));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// partitioned_fleet
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void check_or_write_manifest(const std::string& dir, std::size_t n,
+                             const router_config& rcfg) {
+  const fs::path path = fs::path(dir) / partitioned_fleet::manifest_file;
+  if (const auto data = store::read_file(path)) {
+    if (data->size() < 8 ||
+        !std::equal(manifest_magic.begin(), manifest_magic.end(),
+                    data->begin())) {
+      throw store_error(store_error_kind::bad_magic,
+                        path.string() +
+                            ": not a DIALED partition manifest");
+    }
+    const std::uint32_t stored_crc = load_le32(*data, data->size() - 4);
+    const std::span<const std::uint8_t> guarded(data->data(),
+                                                data->size() - 4);
+    if (store::crc32(guarded) != stored_crc) {
+      throw store_error(store_error_kind::crc_mismatch,
+                        path.string() + ": manifest CRC mismatch");
+    }
+    store::reader r(guarded.subspan(4), path.string());
+    const std::uint32_t version = r.u32();
+    if (version != manifest_version) {
+      throw store_error(store_error_kind::bad_version,
+                        path.string() + ": manifest version " +
+                            std::to_string(version));
+    }
+    const std::uint32_t parts = r.u32();
+    const std::uint32_t vnodes = r.u32();
+    const std::uint64_t seed = r.u64();
+    if (parts != n || vnodes != rcfg.vnodes || seed != rcfg.seed) {
+      // Placement is anti-replay-load-bearing: a device re-hashed onto a
+      // partition that never saw its consumed nonces would accept their
+      // replays. Refuse, loudly.
+      throw store_error(
+          store_error_kind::partition_mismatch,
+          path.string() + ": fleet was partitioned as " +
+              std::to_string(parts) + "x (vnodes " +
+              std::to_string(vnodes) + ", seed " + std::to_string(seed) +
+              "), reopened as " + std::to_string(n) + "x (vnodes " +
+              std::to_string(rcfg.vnodes) + ", seed " +
+              std::to_string(rcfg.seed) +
+              ") — re-partitioning would strand anti-replay state");
+    }
+    return;
+  }
+  store::writer w;
+  w.raw(manifest_magic);
+  w.u32(manifest_version);
+  w.u32(static_cast<std::uint32_t>(n));
+  w.u32(rcfg.vnodes);
+  w.u64(rcfg.seed);
+  w.u32(store::crc32(w.data()));
+  store::write_file_atomic(path, w.data());
+}
+
+}  // namespace
+
+partitioned_fleet partitioned_fleet::create(std::size_t n,
+                                            byte_vec master_key,
+                                            hub_config hub_cfg,
+                                            router_config rcfg) {
+  if (n == 0) throw error("partitioned_fleet: zero partitions");
+  partitioned_fleet f;
+  f.partitions_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    store::fleet_state st;
+    st.catalog = std::make_shared<firmware_catalog>();
+    st.registry =
+        std::make_unique<device_registry>(master_key, st.catalog);
+    st.hub = std::make_unique<verifier_hub>(*st.registry, hub_cfg);
+    f.partitions_.push_back(std::move(st));
+  }
+  std::vector<hub_like*> hubs;
+  hubs.reserve(n);
+  for (auto& p : f.partitions_) hubs.push_back(p.hub.get());
+  f.router_ = std::make_unique<partition_router>(std::move(hubs), rcfg);
+  return f;
+}
+
+partitioned_fleet partitioned_fleet::open(const std::string& dir,
+                                          std::size_t n,
+                                          store::fleet_store::options opts,
+                                          router_config rcfg) {
+  if (n == 0) throw error("partitioned_fleet: zero partitions");
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw store_error(store_error_kind::io_error,
+                      dir + ": create: " + ec.message());
+  }
+  check_or_write_manifest(dir, n, rcfg);
+
+  partitioned_fleet f;
+  f.partitions_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string pdir =
+        (fs::path(dir) / ("p" + std::to_string(i))).string();
+    f.partitions_.push_back(store::fleet_store::open(pdir, opts));
+  }
+  std::vector<hub_like*> hubs;
+  hubs.reserve(n);
+  for (auto& p : f.partitions_) hubs.push_back(p.hub.get());
+  f.router_ = std::make_unique<partition_router>(std::move(hubs), rcfg);
+  return f;
+}
+
+std::vector<store::fleet_store*> partitioned_fleet::stores() {
+  std::vector<store::fleet_store*> out;
+  out.reserve(partitions_.size());
+  for (auto& p : partitions_) out.push_back(p.store.get());
+  return out;
+}
+
+std::size_t partitioned_fleet::provision(device_id id,
+                                         instr::linked_program prog) {
+  const std::size_t p = router_->index_of(id);
+  partitions_[p].registry->provision(id, std::move(prog));
+  return p;
+}
+
+store::fleet_state partitioned_fleet::release_partition(std::size_t i) {
+  return std::move(partitions_[i]);
+}
+
+void partitioned_fleet::install_partition(std::size_t i,
+                                          store::fleet_state st) {
+  partitions_[i] = std::move(st);
+  router_->replace(i, partitions_[i].hub.get());
+}
+
+}  // namespace dialed::fleet

@@ -32,6 +32,27 @@ void sample(std::string& out, const char* name, std::uint64_t value,
 
 }  // namespace
 
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string render_stats_json(const hub_stats& s) {
   std::ostringstream out;
   const char* sep = "";
@@ -92,7 +113,8 @@ void render_stats_prometheus(const hub_stats& s, std::string& out) {
     const auto e = static_cast<proto::proto_error>(i);
     sample(out, "dialed_hub_reports_rejected_protocol_total",
            s.rejected_by_error[i],
-           "{reason=\"" + proto::to_string(e) + "\"}");
+           "{reason=\"" + escape_label_value(proto::to_string(e)) +
+               "\"}");
   }
   family(out, "dialed_hub_verify_batches_total", "counter",
          "verify_batch calls completed.");
@@ -122,6 +144,37 @@ void render_stats_prometheus(const hub_stats& s, std::string& out) {
              "{" + dev + ",outcome=\"rejected_protocol\"}");
     }
   }
+}
+
+void render_partition_prometheus(std::span<const hub_stats> parts,
+                                 std::string& out) {
+  if (parts.empty()) return;
+  const auto each = [&](const char* name, const char* type,
+                        const char* help, auto value_of) {
+    family(out, name, type, help);
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      sample(out, name, value_of(parts[i]),
+             "{partition=\"" +
+                 escape_label_value(std::to_string(i)) + "\"}");
+    }
+  };
+  each("dialed_partition_challenges_issued_total", "counter",
+       "Challenges drawn, per hub partition.",
+       [](const hub_stats& s) { return s.challenges_issued; });
+  each("dialed_partition_reports_accepted_total", "counter",
+       "Accepted reports, per hub partition.",
+       [](const hub_stats& s) { return s.reports_accepted; });
+  each("dialed_partition_reports_rejected_total", "counter",
+       "Rejected reports (verdict + protocol), per hub partition.",
+       [](const hub_stats& s) {
+         return s.reports_rejected_verdict + s.reports_rejected_protocol();
+       });
+  each("dialed_partition_reports_replayed_total", "counter",
+       "Replayed reports caught, per hub partition.",
+       [](const hub_stats& s) {
+         return s.rejected_by_error[static_cast<std::size_t>(
+             proto::proto_error::replayed_report)];
+       });
 }
 
 }  // namespace dialed::fleet

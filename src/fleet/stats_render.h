@@ -8,9 +8,10 @@
 #ifndef DIALED_FLEET_STATS_RENDER_H
 #define DIALED_FLEET_STATS_RENDER_H
 
+#include <span>
 #include <string>
 
-#include "fleet/verifier_hub.h"
+#include "fleet/hub_like.h"
 
 namespace dialed::fleet {
 
@@ -18,11 +19,26 @@ namespace dialed::fleet {
 /// as a pretty-printed JSON document.
 std::string render_stats_json(const hub_stats& s);
 
+/// Escape a Prometheus label VALUE per the text exposition format:
+/// backslash, double-quote and newline become \\, \" and \n (the only
+/// three escapes the format defines — everything else passes through).
+/// Every renderer here routes label values through this; callers
+/// assembling their own labels should too.
+std::string escape_label_value(const std::string& v);
+
 /// Append the hub counters to `out` in Prometheus text exposition format
 /// (one HELP/TYPE header per family, `dialed_hub_` prefix). Appends —
 /// callers with their own metrics (the net server) concatenate families
 /// into one scrape body.
 void render_stats_prometheus(const hub_stats& s, std::string& out);
+
+/// Append the per-partition families (`dialed_partition_` prefix, one
+/// sample per partition labeled partition="i") for a partitioned hub —
+/// `parts` is hub_like::partition_stats(), in partition-index order.
+/// Empty input appends nothing, so unpartitioned scrape bodies are
+/// unchanged.
+void render_partition_prometheus(std::span<const hub_stats> parts,
+                                 std::string& out);
 
 }  // namespace dialed::fleet
 

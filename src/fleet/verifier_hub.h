@@ -105,6 +105,7 @@
 #include <random>
 
 #include "common/thread_pool.h"
+#include "fleet/hub_like.h"
 #include "fleet/persist.h"
 #include "fleet/registry.h"
 #include "proto/wire.h"
@@ -150,90 +151,18 @@ struct hub_config {
   persist_sink* sink = nullptr;
 };
 
-/// The issuance half of the protocol: what the hub hands the transport to
-/// forward to device `device_id`.
-struct challenge_grant {
-  proto_error error = proto_error::none;  ///< unknown_device
-  /// challenge_superseded when issuing this grant evicted the device's
-  /// oldest outstanding challenge (the explicit signal the v1 session
-  /// swallowed); the grant itself is still valid.
-  proto_error note = proto_error::none;
-  device_id device = 0;
-  std::uint32_t seq = 0;
-  std::array<std::uint8_t, 16> nonce{};
-  bool ok() const { return error == proto_error::none; }
-};
+// challenge_grant, hub_stats, and attest_result moved to
+// fleet/hub_like.h — shared with the partition router.
 
-/// Monotonic per-hub counters (the ROADMAP "hub metrics" item): a
-/// consistent-enough snapshot assembled from relaxed atomics — counts
-/// never go backwards, but a snapshot taken while traffic is in flight
-/// may be mid-update across fields. The per_device breakdown is gathered
-/// under the shard locks (briefly, one shard at a time).
-struct hub_stats {
-  std::uint64_t challenges_issued = 0;
-  std::uint64_t challenges_expired = 0;    ///< retired past their TTL
-  std::uint64_t challenges_superseded = 0; ///< evicted by capacity
-  /// Reports that passed protocol checks AND the full §III verdict.
-  std::uint64_t reports_accepted = 0;
-  /// Reports that reached verification but failed the §III verdict.
-  std::uint64_t reports_rejected_verdict = 0;
-  /// Histogram of submissions that never reached verification, indexed by
-  /// proto_error (transport damage, unknown device, nonce bookkeeping).
-  /// Index 0 (proto_error::none) is always 0.
-  std::array<std::uint64_t, proto::proto_error_count> rejected_by_error{};
-  /// verify_batch instrumentation — the gauges the service front-end's
-  /// adaptive batching is observed (and tuned) through. Process-local:
-  /// batching behavior since THIS boot is what an operator wants, so
-  /// restore() deliberately leaves them at zero.
-  std::uint64_t verify_batches = 0;       ///< verify_batch calls completed
-  std::uint64_t verify_batch_frames = 0;  ///< frames fanned out, total
-  std::uint64_t last_batch_frames = 0;    ///< size of the newest batch
-  std::uint64_t inflight_batches = 0;     ///< gauge: calls running NOW
-  /// Per-device accept/reject/replay breakdown. Only devices that have
-  /// hub state appear; submissions for unknown device ids are deliberately
-  /// NOT attributed (an attacker spraying bogus ids must not grow this
-  /// map). Persisted through the fleet store snapshot.
-  std::map<device_id, device_counters> per_device;
-
-  /// Mean verify_batch size since boot (0 before the first batch).
-  double mean_batch_frames() const {
-    return verify_batches == 0 ? 0.0
-                               : static_cast<double>(verify_batch_frames) /
-                                     static_cast<double>(verify_batches);
-  }
-
-  std::uint64_t reports_rejected_protocol() const {
-    std::uint64_t n = 0;
-    for (const auto v : rejected_by_error) n += v;
-    return n;
-  }
-  std::uint64_t reports_submitted() const {
-    return reports_accepted + reports_rejected_verdict +
-           reports_rejected_protocol();
-  }
-};
-
-/// The rich result of one submitted report: a typed protocol error (if the
-/// report never reached verification) plus the full §III verdict.
-struct attest_result {
-  proto_error error = proto_error::none;
-  device_id device = 0;
-  std::uint32_t seq = 0;
-  verifier::verdict verdict;  ///< meaningful only when error == none
-  bool accepted() const {
-    return error == proto_error::none && verdict.accepted;
-  }
-};
-
-class verifier_hub {
+class verifier_hub : public hub_like {
  public:
   explicit verifier_hub(const device_registry& registry,
                         hub_config cfg = {});
-  ~verifier_hub();
+  ~verifier_hub() override;
 
   /// Draw a fresh challenge for a device. Many challenges may be
   /// outstanding per device (up to cfg.max_outstanding). Thread-safe.
-  challenge_grant challenge(device_id id);
+  challenge_grant challenge(device_id id) override;
 
   /// Decode a wire frame (any supported version) and verify it. v1 frames
   /// carry no device id and are rejected with unknown_device — route them
@@ -243,7 +172,7 @@ class verifier_hub {
   /// challenge outstanding. Thread-safe, reentrant: decoding uses a
   /// thread-local scratch frame, so concurrent submits never share a
   /// buffer.
-  attest_result submit(std::span<const std::uint8_t> frame);
+  attest_result submit(std::span<const std::uint8_t> frame) override;
 
   /// Verify an already-decoded report for a device, requiring the frame's
   /// sequence number to match the one its challenge was issued with.
@@ -259,17 +188,21 @@ class verifier_hub {
   /// Verify a batch of independent frames in parallel on the hub's worker
   /// pool (per-shard locking; crypto/replay outside the locks). Results
   /// are returned in input order regardless of completion order.
-  std::vector<attest_result> verify_batch(std::span<const byte_vec> frames);
+  std::vector<attest_result> verify_batch(
+      std::span<const byte_vec> frames) override;
 
   /// Advance the monotonic clock; challenges older than cfg.challenge_ttl
   /// ticks are retired as expired. Thread-safe. Journaled (concurrent
   /// ticks may journal out of order; replay keeps the maximum).
-  void tick(std::uint64_t n = 1) {
+  void tick(std::uint64_t n) override {
     const std::uint64_t now =
         now_.fetch_add(n, std::memory_order_relaxed) + n;
     if (cfg_.sink != nullptr) cfg_.sink->on_tick(now);
   }
-  std::uint64_t now() const { return now_.load(std::memory_order_relaxed); }
+  using hub_like::tick;  // keep the zero-arg tick() visible here
+  std::uint64_t now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
 
   /// Per-device verifier context, e.g. to attach app policies. Devices
   /// without one verify straight off the shared per-firmware artifact;
@@ -282,10 +215,10 @@ class verifier_hub {
   /// Outstanding challenges for a device, EXCLUDING entries already past
   /// cfg.challenge_ttl (they are dead — merely not yet swept into the
   /// retired history by a challenge/verify on that device).
-  std::size_t outstanding(device_id id) const;
+  std::size_t outstanding(device_id id) const override;
 
   /// Worker threads backing verify_batch (0 = inline/sequential).
-  std::size_t batch_workers() const {
+  std::size_t batch_workers() const override {
     return pool_ ? pool_->workers() : 0;
   }
 
@@ -294,7 +227,7 @@ class verifier_hub {
   /// shard lock in turn. Pass include_per_device = false for the cheap
   /// lock-free hub-level scalars only (the store's snapshot writer does —
   /// it gets the per-device rows from dump_devices() anyway).
-  hub_stats stats(bool include_per_device = true) const;
+  hub_stats stats(bool include_per_device = true) const override;
 
   // ---- persistence surface (src/store/fleet_store) --------------------
 

@@ -18,7 +18,7 @@ std::size_t hist_bucket(std::size_t n) {
 
 }  // namespace
 
-batcher::batcher(fleet::verifier_hub& hub, batcher_config cfg, reactor& r)
+batcher::batcher(fleet::hub_like& hub, batcher_config cfg, reactor& r)
     : hub_(hub), cfg_(cfg), reactor_(r) {
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }

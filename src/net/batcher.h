@@ -34,7 +34,7 @@
 #include <thread>
 #include <vector>
 
-#include "fleet/verifier_hub.h"
+#include "fleet/hub_like.h"
 #include "net/reactor.h"
 
 namespace dialed::net {
@@ -57,7 +57,7 @@ constexpr std::size_t batch_hist_buckets = 11;
 
 class batcher {
  public:
-  batcher(fleet::verifier_hub& hub, batcher_config cfg, reactor& r);
+  batcher(fleet::hub_like& hub, batcher_config cfg, reactor& r);
   ~batcher();
 
   batcher(const batcher&) = delete;
@@ -101,7 +101,7 @@ class batcher {
   void flush_pending();
   void dispatcher_loop();
 
-  fleet::verifier_hub& hub_;
+  fleet::hub_like& hub_;
   batcher_config cfg_;
   reactor& reactor_;
 

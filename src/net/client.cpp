@@ -14,6 +14,7 @@ namespace dialed::net {
 attest_client::attest_client(const std::string& host, std::uint16_t port,
                              int timeout_ms) {
   fd_ = connect_tcp(host, port, timeout_ms);
+  if (timeout_ms > 0) set_io_timeout(fd_, timeout_ms);
 }
 
 attest_client::~attest_client() {
@@ -61,6 +62,10 @@ byte_vec attest_client::recv_frame() {
     if (n == 0) throw error("attest_client: server closed the stream");
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw timeout_error(
+            "attest_client: recv: timed out waiting for the server");
+      }
       throw error(std::string("attest_client: recv: ") +
                   std::strerror(errno));
     }
@@ -71,6 +76,7 @@ byte_vec attest_client::recv_frame() {
 std::string http_get(const std::string& host, std::uint16_t port,
                      const std::string& path, int timeout_ms) {
   const int fd = connect_tcp(host, port, timeout_ms);
+  if (timeout_ms > 0) set_io_timeout(fd, timeout_ms);
   std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
                     "\r\nConnection: close\r\n\r\n";
   std::string out;
@@ -83,6 +89,9 @@ std::string http_get(const std::string& host, std::uint16_t port,
       if (n == 0) break;  // Connection: close delimits the response
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          throw timeout_error("http_get: recv: timed out");
+        }
         throw error(std::string("http_get: recv: ") +
                     std::strerror(errno));
       }

@@ -12,6 +12,10 @@
 //
 // Errors are thrown as dialed::error (socket failure, peer close,
 // protocol violation) — a client with a broken stream cannot limp on.
+// Every blocking operation is DEADLINED: `timeout_ms` bounds the connect
+// AND each subsequent read/write (net::timeout_error on expiry), so a
+// dead or wedged host fails the call in bounded time instead of hanging
+// it forever.
 #ifndef DIALED_NET_CLIENT_H
 #define DIALED_NET_CLIENT_H
 
@@ -23,7 +27,9 @@ namespace dialed::net {
 
 class attest_client {
  public:
-  /// Connects immediately (throws dialed::error on failure/timeout).
+  /// Connects immediately (throws dialed::error on failure,
+  /// net::timeout_error on deadline). `timeout_ms` also bounds every
+  /// later read/write on the connection; 0 = unbounded.
   attest_client(const std::string& host, std::uint16_t port,
                 int timeout_ms = 5000);
   ~attest_client();

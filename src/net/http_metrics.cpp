@@ -83,11 +83,13 @@ std::string render_http_response(int status,
   return out;
 }
 
-std::string render_metrics_body(const fleet::hub_stats& hub,
-                                const server_stats& net) {
+std::string render_metrics_body(
+    const fleet::hub_stats& hub, const server_stats& net,
+    std::span<const fleet::hub_stats> partitions) {
   std::string out;
   out.reserve(4096);
   fleet::render_stats_prometheus(hub, out);
+  fleet::render_partition_prometheus(partitions, out);
 
   family(out, "dialed_net_connections_accepted_total", "counter",
          "TCP connections accepted.");

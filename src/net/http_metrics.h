@@ -14,6 +14,7 @@
 #ifndef DIALED_NET_HTTP_METRICS_H
 #define DIALED_NET_HTTP_METRICS_H
 
+#include <span>
 #include <string>
 
 #include "fleet/stats_render.h"
@@ -63,9 +64,13 @@ std::string render_http_response(int status,
                                  const std::string& content_type,
                                  const std::string& body);
 
-/// The /metrics body: hub families + dialed_net_* families.
-std::string render_metrics_body(const fleet::hub_stats& hub,
-                                const server_stats& net);
+/// The /metrics body: hub families + dialed_net_* families. A non-empty
+/// `partitions` (one hub_stats per partition, from
+/// hub_like::partition_stats) additionally renders the labeled
+/// dialed_partition_* families.
+std::string render_metrics_body(
+    const fleet::hub_stats& hub, const server_stats& net,
+    std::span<const fleet::hub_stats> partitions = {});
 
 /// The /healthz body. `store_ok` false renders "degraded" (and the
 /// endpoint answers 503); without a store the store field reads "none".

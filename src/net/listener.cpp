@@ -8,10 +8,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <sys/time.h>
+
 #include <cerrno>
 #include <cstring>
-
-#include "common/error.h"
 
 namespace dialed::net {
 
@@ -140,8 +140,9 @@ int connect_tcp(const std::string& host, std::uint16_t port,
         soerr != 0) {
       ::close(fd);
       if (r == 0) {
-        throw error("net: connect " + host + ":" + std::to_string(port) +
-                    ": timed out");
+        throw timeout_error("net: connect " + host + ":" +
+                            std::to_string(port) + ": timed out after " +
+                            std::to_string(timeout_ms) + "ms");
       }
       errno = soerr != 0 ? soerr : errno;
       throw_errno("connect " + host + ":" + std::to_string(port));
@@ -155,6 +156,16 @@ int connect_tcp(const std::string& host, std::uint16_t port,
   }
   set_nodelay(fd);
   return fd;
+}
+
+void set_io_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<long>(timeout_ms % 1000) * 1000;
+  if (setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0 ||
+      setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv) != 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO/SO_SNDTIMEO)");
+  }
 }
 
 int udp_socket() {
@@ -181,6 +192,9 @@ void write_all(int fd, std::span<const std::uint8_t> bytes) {
                           MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw timeout_error("net: send: timed out");
+      }
       throw_errno("send");
     }
     off += static_cast<std::size_t>(n);

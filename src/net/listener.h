@@ -10,7 +10,17 @@
 #include <span>
 #include <string>
 
+#include "common/error.h"
+
 namespace dialed::net {
+
+/// A blocking socket operation exceeded its deadline. Typed so callers
+/// (dialed-attest, tests) can tell "the host is dead/slow" from protocol
+/// or transport failures and report it as such instead of hanging.
+class timeout_error : public error {
+ public:
+  using error::error;
+};
 
 /// Create a non-blocking, CLOEXEC TCP listen socket bound to addr:port
 /// (port 0 = kernel-assigned ephemeral; SO_REUSEADDR set). Returns the
@@ -31,9 +41,15 @@ std::uint16_t local_port(int fd);
 int accept_connection(int listen_fd);
 
 /// Blocking connect to host:port with TCP_NODELAY (the client library's
-/// entry point). `timeout_ms` bounds the connect; 0 = OS default.
+/// entry point). `timeout_ms` bounds the connect (timeout_error on
+/// expiry); 0 = OS default.
 int connect_tcp(const std::string& host, std::uint16_t port,
                 int timeout_ms = 0);
+
+/// Bound every subsequent blocking read/write on `fd` to `timeout_ms`
+/// (SO_RCVTIMEO/SO_SNDTIMEO). 0 clears the bound. Reads and writes that
+/// expire surface as timeout_error from recv paths and write_all.
+void set_io_timeout(int fd, int timeout_ms);
 
 /// Create an unconnected UDP socket for send_udp_to (client side).
 int udp_socket();
@@ -43,7 +59,8 @@ void send_udp_to(int fd, const std::string& host, std::uint16_t port,
                  std::span<const std::uint8_t> datagram);
 
 /// Write the whole buffer to a BLOCKING fd (client side; loops over
-/// partial writes, throws on error).
+/// partial writes, throws on error — timeout_error when an fd bounded by
+/// set_io_timeout expires mid-write).
 void write_all(int fd, std::span<const std::uint8_t> bytes);
 
 }  // namespace dialed::net

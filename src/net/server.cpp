@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 
 #include "common/error.h"
@@ -16,11 +17,11 @@ constexpr auto relaxed = std::memory_order_relaxed;
 
 }  // namespace
 
-attest_server::attest_server(fleet::verifier_hub& hub, server_config cfg,
-                             store::fleet_store* store)
+attest_server::attest_server(fleet::hub_like& hub, server_config cfg,
+                             std::vector<store::fleet_store*> stores)
     : hub_(hub),
       cfg_(cfg),
-      store_(store),
+      stores_(std::move(stores)),
       batcher_(hub, cfg.batching, loop_) {
   listen_fd_ = listen_tcp(cfg_.bind_addr, cfg_.tcp_port);
   tcp_port_ = local_port(listen_fd_);
@@ -154,16 +155,27 @@ std::string attest_server::handle_http(const http_request& req) {
   if (req.path == "/metrics") {
     // Fold live traffic first so a scrape sees current bytes.
     for (auto& [fd, c] : conns_) fold_traffic(*c);
+    const auto parts = hub_.partition_stats();
     return render_http_response(
         200, "text/plain; version=0.0.4",
-        render_metrics_body(hub_.stats(), stats()));
+        render_metrics_body(hub_.stats(), stats(), parts));
   }
   if (req.path == "/healthz") {
-    const bool has_store = store_ != nullptr;
+    // With several backing stores (one per partition) the depth fields
+    // aggregate: records sum, generation is the maximum.
+    bool has_store = !stores_.empty();
+    std::uint64_t wal_records = 0, generation = 0;
+    for (const auto* st : stores_) {
+      if (st == nullptr) {
+        has_store = false;
+        break;
+      }
+      wal_records += st->wal_records();
+      generation = std::max(generation, st->generation());
+    }
     const std::string body = render_healthz_body(
         has_store, /*store_ok=*/has_store,
-        has_store ? store_->wal_records() : 0,
-        has_store ? store_->generation() : 0);
+        has_store ? wal_records : 0, has_store ? generation : 0);
     return render_http_response(200, "application/json", body);
   }
   return render_http_response(404, "text/plain", "not found\n");

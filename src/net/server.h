@@ -61,11 +61,14 @@ struct server_config {
 
 class attest_server final : public connection_host {
  public:
-  /// `store` (optional) powers /healthz depth; the hub must already be
-  /// wired to it as its persist sink by the caller. Both must outlive
-  /// the server. Binds the sockets immediately (throws dialed::error).
-  attest_server(fleet::verifier_hub& hub, server_config cfg,
-                store::fleet_store* store = nullptr);
+  /// `hub` is any hub_like — a bare verifier_hub or a partition_router
+  /// (the server is how `--partitions N` serves unmodified). `stores`
+  /// (optional) powers /healthz depth — one entry per backing store, in
+  /// partition order; the hub(s) must already be wired to them as their
+  /// persist sinks by the caller. All must outlive the server. Binds the
+  /// sockets immediately (throws dialed::error).
+  attest_server(fleet::hub_like& hub, server_config cfg,
+                std::vector<store::fleet_store*> stores = {});
   ~attest_server();  ///< stops and joins if still running
 
   attest_server(const attest_server&) = delete;
@@ -113,9 +116,9 @@ class attest_server final : public connection_host {
   void fold_traffic(connection& c);
   void process_doomed();
 
-  fleet::verifier_hub& hub_;
+  fleet::hub_like& hub_;
   server_config cfg_;
-  store::fleet_store* store_;
+  std::vector<store::fleet_store*> stores_;
 
   int listen_fd_ = -1;
   int udp_fd_ = -1;

@@ -111,6 +111,22 @@ constexpr std::uint8_t wire_v21 = 3;  ///< v2.1: delta-compressed OR
 /// so routing layers can sniff a frame's version without a full decode.
 constexpr std::uint16_t wire_magic = 0xd1a7;
 
+/// Sniff the device id out of a frame header without decoding it: v2 and
+/// v2.1 carry it LE32 at offset 4, right after magic/version/flags.
+/// nullopt for anything else (short, wrong magic, v1 — which has no id on
+/// the wire). This is a ROUTING hint only: the full decode downstream
+/// still authenticates the frame, so a lying header merely routes the
+/// frame to a partition that rejects it with the same typed error the
+/// sender would get anywhere.
+inline std::optional<std::uint32_t> peek_device_id(
+    std::span<const std::uint8_t> frame) {
+  if (frame.size() < 8 || load_le16(frame, 0) != wire_magic) {
+    return std::nullopt;
+  }
+  if (frame[2] != wire_v2 && frame[2] != wire_v21) return std::nullopt;
+  return load_le32(frame, 4);
+}
+
 /// Total encoded size of a FULL v2 frame carrying an n-byte OR (header +
 /// payload + CRC) — what a delta frame's savings are measured against.
 constexpr std::size_t v2_frame_size(std::size_t or_len) {

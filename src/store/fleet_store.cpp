@@ -1,16 +1,10 @@
 #include "store/fleet_store.h"
 
-#include <unistd.h>
-
-#include <algorithm>
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <optional>
+#include <vector>
 
 #include "store/codec.h"
+#include "store/ship.h"
 #include "verifier/firmware_artifact.h"
 
 namespace dialed::store {
@@ -19,455 +13,25 @@ namespace fs = std::filesystem;
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// On-disk constants
-// ---------------------------------------------------------------------------
-
-constexpr std::array<std::uint8_t, 4> snapshot_magic = {'D', 'L', 'F',
-                                                        'S'};
-/// v1: PR 4's original format. v2 (wire v2.1) appends a per-device delta
-/// baseline to each hub-state row and grows the proto_error histogram by
-/// the baseline_mismatch bucket. v1 snapshots still load (no baselines,
-/// the new bucket zero); this build always WRITES v2.
-constexpr std::uint32_t snapshot_version_v1 = 1;
-constexpr std::uint32_t snapshot_version = 2;
-/// proto_error_count at the time v1 snapshots were written — their
-/// histogram has exactly this many buckets.
-constexpr std::uint32_t v1_error_buckets = 12;
-
-/// WAL record types (first payload byte).
-enum class rec : std::uint8_t {
-  firmware = 1,   ///< content id + full linked_program image
-  provision = 2,  ///< device id, key, firmware content id
-  challenge = 3,  ///< device id, seq, nonce, issue tick
-  retire = 4,     ///< device id, nonce, fate
-  verdict = 5,    ///< device id, proto_error byte, accepted flag
-  tick = 6,       ///< new clock value
-  baseline = 7,   ///< device id, seq, accepted round's full OR bytes
-};
-
-// ---------------------------------------------------------------------------
-// File helpers
-// ---------------------------------------------------------------------------
-
-std::optional<byte_vec> read_file(const fs::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  if (!in) return std::nullopt;
-  byte_vec data((std::istreambuf_iterator<char>(in)),
-                std::istreambuf_iterator<char>());
-  if (in.bad()) {
-    throw store_error(store_error_kind::io_error,
-                      p.string() + ": read failed");
-  }
-  return data;
-}
-
-/// tmp + fsync + rename, so a crash mid-write never leaves a half
-/// snapshot under the real name.
-void write_file_atomic(const fs::path& p, std::span<const std::uint8_t> b) {
-  const fs::path tmp = p.string() + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    throw store_error(store_error_kind::io_error,
-                      tmp.string() + ": open: " + std::strerror(errno));
-  }
-  const bool wrote = std::fwrite(b.data(), 1, b.size(), f) == b.size() &&
-                     std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
-  std::fclose(f);
-  if (!wrote) {
-    throw store_error(store_error_kind::io_error,
-                      tmp.string() + ": write: " + std::strerror(errno));
-  }
-  std::error_code ec;
-  fs::rename(tmp, p, ec);
-  if (ec) {
-    throw store_error(store_error_kind::io_error,
-                      p.string() + ": rename: " + ec.message());
-  }
-}
-
-// ---------------------------------------------------------------------------
-// The state image: plain data the snapshot parser and the WAL replay both
-// apply into, materialized into live objects at the end of open().
-// ---------------------------------------------------------------------------
-
-struct image_device {
-  byte_vec key;
-  verifier::firmware_id fw{};
-};
-
-struct state_image {
-  byte_vec master_key;
-  fleet::device_id next_id = 1;
-  std::uint64_t now = 0;
-  std::uint64_t wal_generation = 0;
-  fleet::hub_stats stats;  ///< hub-level counters (per_device unused)
-  std::map<verifier::firmware_id, instr::linked_program> firmwares;
-  std::map<fleet::device_id, image_device> devices;
-  std::map<fleet::device_id, fleet::device_restore> states;
-};
-
-verifier::firmware_id read_fw_id(reader& r) {
-  verifier::firmware_id id{};
-  const auto s = r.raw(id.size());
-  std::copy(s.begin(), s.end(), id.begin());
-  return id;
-}
-
-fleet::nonce16 read_nonce(reader& r) {
-  fleet::nonce16 n{};
-  const auto s = r.raw(n.size());
-  std::copy(s.begin(), s.end(), n.begin());
-  return n;
-}
-
-// ---------------------------------------------------------------------------
-// WAL replay
-// ---------------------------------------------------------------------------
-
-fleet::device_restore& state_for(state_image& img, fleet::device_id id) {
-  auto& st = img.states[id];
-  st.id = id;
-  return st;
-}
-
-void apply_record(state_image& img, std::span<const std::uint8_t> payload,
-                  std::size_t record_index,
-                  std::size_t retired_memory) {
-  reader r(payload, "wal record " + std::to_string(record_index));
-  const std::uint8_t type = r.u8();
-  switch (static_cast<rec>(type)) {
-    case rec::firmware: {
-      const auto id = read_fw_id(r);
-      const byte_vec blob = r.bytes();
-      reader pr(blob, "wal firmware image");
-      img.firmwares[id] = read_program(pr);
-      break;
-    }
-    case rec::provision: {
-      const fleet::device_id id = r.u32();
-      image_device dev;
-      dev.key = r.bytes();
-      dev.fw = read_fw_id(r);
-      if (img.firmwares.count(dev.fw) == 0) {
-        throw store_error(store_error_kind::unknown_firmware,
-                          "wal: device " + std::to_string(id) +
-                              " references an unpersisted firmware id");
-      }
-      if (!img.devices.emplace(id, std::move(dev)).second) {
-        throw store_error(store_error_kind::bad_record,
-                          "wal: device " + std::to_string(id) +
-                              " provisioned twice");
-      }
-      img.next_id = std::max(img.next_id, id + 1);
-      break;
-    }
-    case rec::challenge: {
-      const fleet::device_id id = r.u32();
-      const std::uint32_t seq = r.u32();
-      const auto nonce = read_nonce(r);
-      const std::uint64_t issued_at = r.u64();
-      if (img.devices.count(id) == 0) {
-        throw store_error(store_error_kind::bad_record,
-                          "wal: challenge for unprovisioned device " +
-                              std::to_string(id));
-      }
-      auto& st = state_for(img, id);
-      st.outstanding.push_back({nonce, seq, issued_at});
-      st.next_seq = std::max(st.next_seq, seq + 1);
-      // tick() journals outside the shard locks, so a challenge that read
-      // the advanced clock can beat its tick record into the log (or the
-      // tick record can be the torn tail). The clock must never restore
-      // BEHIND an issue stamp — unsigned expiry math would treat the
-      // challenge as ~2^64 ticks old and expire it on the spot.
-      img.now = std::max(img.now, issued_at);
-      ++img.stats.challenges_issued;
-      break;
-    }
-    case rec::retire: {
-      const fleet::device_id id = r.u32();
-      const auto nonce = read_nonce(r);
-      fleet::nonce_fate fate{};
-      if (!fleet::nonce_fate_from_u8(r.u8(), fate)) {
-        throw store_error(store_error_kind::bad_record,
-                          "wal: invalid nonce fate byte");
-      }
-      auto& st = state_for(img, id);
-      const auto it = std::find_if(
-          st.outstanding.begin(), st.outstanding.end(),
-          [&](const auto& e) { return e.nonce == nonce; });
-      if (it == st.outstanding.end()) {
-        throw store_error(store_error_kind::bad_record,
-                          "wal: retire of a nonce never outstanding "
-                          "(device " +
-                              std::to_string(id) + ")");
-      }
-      st.outstanding.erase(it);
-      st.retired.push_back({nonce, fate});
-      if (retired_memory != 0 && st.retired.size() > retired_memory) {
-        st.retired.erase(st.retired.begin());
-      }
-      if (fate == fleet::nonce_fate::expired) {
-        ++img.stats.challenges_expired;
-      } else if (fate == fleet::nonce_fate::superseded) {
-        ++img.stats.challenges_superseded;
-      }
-      break;
-    }
-    case rec::verdict: {
-      const fleet::device_id id = r.u32();
-      proto::proto_error err{};
-      if (!proto::proto_error_from_u8(r.u8(), err)) {
-        throw store_error(store_error_kind::bad_record,
-                          "wal: invalid proto_error byte");
-      }
-      const bool accepted = r.boolean();
-      const bool known = img.devices.count(id) != 0;
-      if (err == proto::proto_error::none) {
-        if (!known) {
-          throw store_error(store_error_kind::bad_record,
-                            "wal: verdict for unprovisioned device " +
-                                std::to_string(id));
-        }
-        auto& c = state_for(img, id).counters;
-        if (accepted) {
-          ++img.stats.reports_accepted;
-          ++c.accepted;
-        } else {
-          ++img.stats.reports_rejected_verdict;
-          ++c.rejected_verdict;
-        }
-      } else {
-        ++img.stats.rejected_by_error[static_cast<std::size_t>(err)];
-        // Unknown device ids are deliberately not attributed (matching
-        // the live hub: an id-spraying attacker must not grow the map).
-        if (known) {
-          auto& c = state_for(img, id).counters;
-          if (err == proto::proto_error::replayed_report) {
-            ++c.replayed;
-          } else {
-            ++c.rejected_protocol;
-          }
-        }
-      }
-      break;
-    }
-    case rec::tick: {
-      // Concurrent ticks may journal out of order; keep the maximum so
-      // the clock never regresses (expiry must stay monotonic).
-      img.now = std::max(img.now, r.u64());
-      break;
-    }
-    case rec::baseline: {
-      const fleet::device_id id = r.u32();
-      const std::uint32_t seq = r.u32();
-      byte_vec bytes = r.bytes();
-      if (img.devices.count(id) == 0) {
-        throw store_error(store_error_kind::bad_record,
-                          "wal: baseline for unprovisioned device " +
-                              std::to_string(id));
-      }
-      auto& b = state_for(img, id).baseline;
-      // Concurrent accepts journal in lock order per shard, but keep the
-      // max-seq rule anyway — it is the live hub's adoption rule too.
-      if (!b.valid || seq > b.seq) {
-        b.valid = true;
-        b.seq = seq;
-        b.bytes = std::move(bytes);
-      }
-      break;
-    }
-    default:
-      throw store_error(store_error_kind::bad_record,
-                        "wal: unknown record type " +
-                            std::to_string(type));
-  }
-  if (!r.done()) {
-    throw store_error(store_error_kind::bad_record,
-                      "wal: record " + std::to_string(record_index) +
-                          " has " + std::to_string(r.remaining()) +
-                          " trailing bytes");
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Snapshot codec
-// ---------------------------------------------------------------------------
-
-void write_device_state(writer& w, const fleet::device_restore& d) {
-  w.u32(d.id);
-  w.u32(d.next_seq);
-  w.u32(static_cast<std::uint32_t>(d.outstanding.size()));
-  for (const auto& c : d.outstanding) {
-    w.raw(c.nonce);
-    w.u32(c.seq);
-    w.u64(c.issued_at);
-  }
-  w.u32(static_cast<std::uint32_t>(d.retired.size()));
-  for (const auto& n : d.retired) {
-    w.raw(n.nonce);
-    w.u8(static_cast<std::uint8_t>(n.fate));
-  }
-  w.u64(d.counters.accepted);
-  w.u64(d.counters.rejected_verdict);
-  w.u64(d.counters.replayed);
-  w.u64(d.counters.rejected_protocol);
-  // v2: the wire v2.1 delta baseline (absent flag + seq + OR bytes).
-  w.boolean(d.baseline.valid);
-  if (d.baseline.valid) {
-    w.u32(d.baseline.seq);
-    w.bytes(d.baseline.bytes);
-  }
-}
-
-fleet::device_restore read_device_state(reader& r,
-                                        std::uint32_t version) {
-  fleet::device_restore d;
-  d.id = r.u32();
-  d.next_seq = r.u32();
-  const std::uint32_t nout = r.count(28);
-  d.outstanding.reserve(nout);
-  for (std::uint32_t i = 0; i < nout; ++i) {
-    fleet::device_restore::outstanding_challenge c;
-    c.nonce = read_nonce(r);
-    c.seq = r.u32();
-    c.issued_at = r.u64();
-    d.outstanding.push_back(c);
-  }
-  const std::uint32_t nret = r.count(17);
-  d.retired.reserve(nret);
-  for (std::uint32_t i = 0; i < nret; ++i) {
-    fleet::device_restore::retired_nonce n;
-    n.nonce = read_nonce(r);
-    if (!fleet::nonce_fate_from_u8(r.u8(), n.fate)) {
-      throw store_error(store_error_kind::bad_record,
-                        "snapshot: invalid nonce fate byte");
-    }
-    d.retired.push_back(n);
-  }
-  d.counters.accepted = r.u64();
-  d.counters.rejected_verdict = r.u64();
-  d.counters.replayed = r.u64();
-  d.counters.rejected_protocol = r.u64();
-  if (version >= 2 && r.boolean()) {
-    d.baseline.valid = true;
-    d.baseline.seq = r.u32();
-    d.baseline.bytes = r.bytes();
-  }
-  return d;
-}
-
-state_image parse_snapshot(std::span<const std::uint8_t> data,
-                           const std::string& path) {
-  if (data.size() < 12 ||
-      !std::equal(snapshot_magic.begin(), snapshot_magic.end(),
-                  data.begin())) {
-    throw store_error(store_error_kind::bad_magic,
-                      path + ": not a DIALED fleet snapshot");
-  }
-  const std::uint32_t version = load_le32(data, 4);
-  if (version != snapshot_version_v1 && version != snapshot_version) {
-    throw store_error(store_error_kind::bad_version,
-                      path + ": snapshot version " +
-                          std::to_string(version) +
-                          " (this build speaks " +
-                          std::to_string(snapshot_version_v1) + ".." +
-                          std::to_string(snapshot_version) + ")");
-  }
-  const std::uint32_t stored_crc = load_le32(data, data.size() - 4);
-  const auto guarded = data.subspan(0, data.size() - 4);
-  if (crc32(guarded) != stored_crc) {
-    throw store_error(store_error_kind::crc_mismatch,
-                      path + ": snapshot CRC mismatch — corrupt at "
-                             "rest, refusing to load");
-  }
-
-  state_image img;
-  reader r(guarded.subspan(8), "snapshot");
-  img.master_key = r.bytes();
-  img.next_id = r.u32();
-  img.now = r.u64();
-  img.wal_generation = r.u64();
-
-  img.stats.challenges_issued = r.u64();
-  img.stats.challenges_expired = r.u64();
-  img.stats.challenges_superseded = r.u64();
-  img.stats.reports_accepted = r.u64();
-  img.stats.reports_rejected_verdict = r.u64();
-  // v1 snapshots predate baseline_mismatch: their histogram is one
-  // bucket short, and the missing (newest) bucket starts at zero.
-  const std::uint32_t nerr = r.count(8);
-  const std::uint32_t expected_err =
-      version == snapshot_version_v1
-          ? v1_error_buckets
-          : static_cast<std::uint32_t>(img.stats.rejected_by_error.size());
-  if (nerr != expected_err ||
-      nerr > img.stats.rejected_by_error.size()) {
-    throw store_error(store_error_kind::bad_record,
-                      path + ": error histogram has " +
-                          std::to_string(nerr) + " buckets, expected " +
-                          std::to_string(expected_err));
-  }
-  for (std::uint32_t i = 0; i < nerr; ++i) {
-    img.stats.rejected_by_error[i] = r.u64();
-  }
-
-  const std::uint32_t nfw = r.count(36);
-  for (std::uint32_t i = 0; i < nfw; ++i) {
-    const auto id = read_fw_id(r);
-    const byte_vec blob = r.bytes();
-    reader pr(blob, "snapshot firmware image");
-    img.firmwares[id] = read_program(pr);
-    if (!pr.done()) {
-      throw store_error(store_error_kind::bad_record,
-                        path + ": firmware image has trailing bytes");
-    }
-  }
-
-  const std::uint32_t ndev = r.count(40);
-  for (std::uint32_t i = 0; i < ndev; ++i) {
-    const fleet::device_id id = r.u32();
-    image_device dev;
-    dev.key = r.bytes();
-    dev.fw = read_fw_id(r);
-    if (img.firmwares.count(dev.fw) == 0) {
-      throw store_error(store_error_kind::unknown_firmware,
-                        path + ": device " + std::to_string(id) +
-                            " references a firmware id missing from "
-                            "the snapshot");
-    }
-    if (!img.devices.emplace(id, std::move(dev)).second) {
-      throw store_error(store_error_kind::bad_record,
-                        path + ": device " + std::to_string(id) +
-                            " appears twice");
-    }
-  }
-
-  const std::uint32_t nstate = r.count(44);
-  for (std::uint32_t i = 0; i < nstate; ++i) {
-    auto d = read_device_state(r, version);
-    if (img.devices.count(d.id) == 0) {
-      throw store_error(store_error_kind::bad_record,
-                        path + ": hub state for unprovisioned device " +
-                            std::to_string(d.id));
-    }
-    const auto id = d.id;
-    img.states.emplace(id, std::move(d));
-  }
-
-  if (!r.done()) {
-    throw store_error(store_error_kind::bad_record,
-                      path + ": snapshot has " +
-                          std::to_string(r.remaining()) +
-                          " trailing bytes");
-  }
-  return img;
-}
-
 byte_vec serialize_program(const instr::linked_program& prog) {
   writer w;
   write_program(w, prog);
   return w.take();
+}
+
+/// "wal-<G>.log" -> G; nullopt for anything else.
+std::optional<std::uint64_t> wal_name_generation(const std::string& name) {
+  if (name.rfind("wal-", 0) != 0 || !name.ends_with(".log")) {
+    return std::nullopt;
+  }
+  const std::string digits = name.substr(4, name.size() - 8);
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t g = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    g = g * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return g;
 }
 
 }  // namespace
@@ -509,31 +73,62 @@ fleet_state fleet_store::open(const std::string& dir, options opts) {
     img.master_key = opts.master_key;
   }
 
-  // 2. WAL replay on top (only the snapshot's own generation — an older
-  // log would double-apply events the snapshot already contains).
+  // 2. WAL chain replay: generation G (the snapshot's), then G+1, ... —
+  // an online compaction that crashed after rolling the log but before
+  // publishing the snapshot leaves two consecutive logs, and both hold
+  // live history. Only the NEWEST log may end in a torn record; a torn
+  // log with a successor was complete when the successor was created,
+  // so damage there is corruption, not a crash signature.
   std::unique_ptr<fleet_store> store(
       new fleet_store(dir, std::move(opts)));
-  store->generation_ = img.wal_generation;
-  const std::string wal_file = store->wal_path(img.wal_generation);
-  std::uint64_t wal_valid = 0;
-  std::uint64_t wal_count = 0;
-  bool had_wal_records = false;
-  if (const auto data = read_file(wal_file)) {
+  const std::uint64_t chain_start = img.wal_generation;
+  std::uint64_t chain_end = chain_start;
+  std::uint64_t tail_valid = 0;
+  std::uint64_t tail_count = 0;
+  std::uint64_t replayed = 0;
+  for (std::uint64_t g = chain_start;; ++g) {
+    const auto data = read_file(store->wal_path(g));
+    if (!data) {
+      if (g == chain_start && !fs::exists(store->wal_path(g + 1))) {
+        break;  // fresh directory: no log yet
+      }
+      throw store_error(store_error_kind::crc_mismatch,
+                        store->wal_path(g) +
+                            ": missing from the WAL chain — a later "
+                            "generation exists but this one is gone");
+    }
     const auto parsed = read_wal(*data);
+    const bool has_next = fs::exists(store->wal_path(g + 1));
+    if (parsed.torn_tail && has_next) {
+      throw store_error(
+          store_error_kind::crc_mismatch,
+          store->wal_path(g) +
+              ": torn record mid-chain — only the newest WAL "
+              "generation may end torn");
+    }
     for (std::size_t i = 0; i < parsed.records.size(); ++i) {
-      apply_record(img, parsed.records[i].payload, i,
+      apply_record(img, parsed.records[i].payload, replayed + i,
                    store->opts_.hub.retired_memory);
     }
-    wal_valid = parsed.valid_bytes;
-    wal_count = parsed.records.size();
-    had_wal_records = wal_count > 0;
+    replayed += parsed.records.size();
+    chain_end = g;
+    tail_valid = parsed.valid_bytes;
+    tail_count = parsed.records.size();
+    if (!has_next) break;
   }
+  const bool had_wal_records = replayed > 0;
+  store->generation_.store(chain_end, std::memory_order_relaxed);
+  img.wal_generation = chain_end;
 
   // 3. Materialize: catalog (re-intern every image, verifying content
-  // ids), registry, hub — then wire the store in as their sink.
+  // ids), registry, hub — then wire the store in as their sink. The
+  // image is COPIED into live objects, not consumed: it becomes the
+  // store's mirror, kept in lockstep with the journal from here on.
   fleet_state st;
   st.catalog = std::make_shared<fleet::firmware_catalog>();
-  for (auto& [id, prog] : img.firmwares) {
+  for (const auto& [id, blob] : img.firmwares) {
+    reader pr(blob, "firmware image");
+    auto prog = read_program(pr);
     if (verifier::firmware_artifact::fingerprint(prog) != id) {
       throw store_error(
           store_error_kind::firmware_mismatch,
@@ -542,11 +137,10 @@ fleet_state fleet_store::open(const std::string& dir, options opts) {
     }
     st.catalog->intern(std::move(prog));
   }
-  img.firmwares.clear();
 
   st.registry = std::make_unique<fleet::device_registry>(img.master_key,
                                                          st.catalog);
-  for (auto& [id, dev] : img.devices) {
+  for (const auto& [id, dev] : img.devices) {
     auto fw = st.catalog->find(dev.fw);
     // Unreachable after the parse-time checks, but fail closed anyway.
     if (fw == nullptr) {
@@ -554,15 +148,13 @@ fleet_state fleet_store::open(const std::string& dir, options opts) {
                         "device " + std::to_string(id) +
                             " references a missing firmware artifact");
     }
-    st.registry->restore_device(id, std::move(dev.key), std::move(fw));
+    st.registry->restore_device(id, byte_vec(dev.key), std::move(fw));
   }
   st.registry->set_next_id(img.next_id);
 
   store->wal_ = std::make_unique<wal_writer>(
-      wal_file, wal_valid, wal_count, store->opts_.sync_every_append);
-  for (const auto& fid : st.catalog->ids()) {
-    store->persisted_firmware_.insert(fid);
-  }
+      store->wal_path(chain_end), tail_valid, tail_count,
+      store->opts_.sync_every_append);
 
   auto hub_cfg = store->opts_.hub;
   hub_cfg.sink = store.get();
@@ -570,31 +162,32 @@ fleet_state fleet_store::open(const std::string& dir, options opts) {
   if (had_snapshot || had_wal_records) {
     std::vector<fleet::device_restore> devices;
     devices.reserve(img.states.size());
-    for (auto& [id, d] : img.states) devices.push_back(std::move(d));
+    for (const auto& [id, d] : img.states) devices.push_back(d);
     st.hub->restore(img.now, devices, img.stats);
   }
   st.registry->set_sink(store.get());
 
-  store->catalog_ = st.catalog;
-  store->registry_ = st.registry.get();
+  store->mirror_ = std::move(img);
   store->hub_ = st.hub.get();
   st.store = std::move(store);
 
-  // 4. Bound reopen cost: fold the replayed WAL into a fresh snapshot
-  // while nothing is in flight yet.
-  if (st.store->opts_.compact_on_open &&
-      (had_wal_records || !had_snapshot)) {
-    st.store->compact();
-  }
+  // 4. Bound reopen cost: fold the replayed chain into a fresh snapshot.
+  // Also folds a multi-file chain (interrupted compaction) back to one.
+  const bool compacted = st.store->opts_.compact_on_open &&
+                         (had_wal_records || !had_snapshot ||
+                          chain_end != chain_start);
+  if (compacted) st.store->compact();
 
-  // Best-effort hygiene: logs from other generations are unreadable by
-  // design (they would double-apply) — a crash mid-compaction can leave
-  // one behind, so sweep them now.
+  // Best-effort hygiene: logs outside [snapshot generation, current
+  // generation] can never be replayed again — a crash mid-compaction
+  // can leave one behind, so sweep them now.
+  const std::uint64_t keep_min =
+      compacted ? st.store->generation() : chain_start;
+  const std::uint64_t keep_max = st.store->generation();
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    const auto name = entry.path().filename().string();
-    if (name.rfind("wal-", 0) == 0 && name.ends_with(".log") &&
-        entry.path().string() !=
-            st.store->wal_path(st.store->generation_)) {
+    const auto g =
+        wal_name_generation(entry.path().filename().string());
+    if (g && (*g < keep_min || *g > keep_max)) {
       std::error_code rm_ec;
       fs::remove(entry.path(), rm_ec);
     }
@@ -602,81 +195,86 @@ fleet_state fleet_store::open(const std::string& dir, options opts) {
   return st;
 }
 
-void fleet_store::write_snapshot() {
-  writer w;
-  w.raw(snapshot_magic);
-  w.u32(snapshot_version);
-  w.bytes(registry_->master_key());
-  w.u32(registry_->next_id());
-  w.u64(hub_->now());
-  w.u64(generation_);
-
-  // Hub-level scalars only: the per-device rows ride in dump_devices()
-  // below, no point assembling (and discarding) the map under locks.
-  const auto stats = hub_->stats(/*include_per_device=*/false);
-  w.u64(stats.challenges_issued);
-  w.u64(stats.challenges_expired);
-  w.u64(stats.challenges_superseded);
-  w.u64(stats.reports_accepted);
-  w.u64(stats.reports_rejected_verdict);
-  w.u32(static_cast<std::uint32_t>(stats.rejected_by_error.size()));
-  for (const auto v : stats.rejected_by_error) w.u64(v);
-
-  const auto fw_ids = catalog_->ids();
-  w.u32(static_cast<std::uint32_t>(fw_ids.size()));
-  for (const auto& id : fw_ids) {
-    w.raw(id);
-    w.bytes(serialize_program(catalog_->find(id)->program()));
+void fleet_store::merge_live_stats_locked() {
+  if (hub_ != nullptr) {
+    merge_live_stats(mirror_, hub_->stats(/*include_per_device=*/false));
   }
-
-  const auto dev_ids = registry_->ids();
-  w.u32(static_cast<std::uint32_t>(dev_ids.size()));
-  for (const auto id : dev_ids) {
-    const auto* rec = registry_->find(id);
-    w.u32(id);
-    w.bytes(rec->key);
-    w.raw(rec->firmware->id());
-  }
-
-  const auto states = hub_->dump_devices();
-  w.u32(static_cast<std::uint32_t>(states.size()));
-  for (const auto& d : states) write_device_state(w, d);
-
-  w.u32(crc32(w.data()));
-  write_file_atomic(fs::path(dir_) / snapshot_file, w.data());
 }
 
 void fleet_store::compact() {
-  // New generation first, THEN the snapshot that names it, THEN the old
-  // log's removal: a crash at any point leaves either the old snapshot +
-  // old WAL (pre-compaction state) or the new snapshot + an empty new
-  // WAL — never a snapshot paired with a log it already contains.
-  const std::uint64_t old_gen = generation_;
-  ++generation_;
-  try {
-    write_snapshot();
-  } catch (...) {
-    generation_ = old_gen;
-    throw;
+  std::lock_guard<std::mutex> compact_lk(compact_mu_);
+
+  // Serialization point: under the journal lock the mirror is exactly
+  // the journal's replay, so the snapshot and the new generation's
+  // first record cut the history at the same instant. Traffic resumes
+  // the moment the lock drops — the file I/O below runs outside it.
+  byte_vec snap;
+  std::uint64_t old_gen = 0;
+  std::uint64_t new_gen = 0;
+  {
+    std::lock_guard<std::mutex> lk(log_mu_);
+    old_gen = generation_.load(std::memory_order_relaxed);
+    new_gen = old_gen + 1;
+    merge_live_stats_locked();
+    snap = serialize_snapshot(mirror_, new_gen);
+    // Roll BEFORE publishing the snapshot: a crash (or a failed write)
+    // between the two leaves snapshot(G) + wal-G + wal-(G+1) — a chain
+    // open() replays in full. The reverse order could pair a new
+    // snapshot with an old log and double-apply it. reset_to leaves the
+    // writer untouched on failure, so a throw here aborts the compact
+    // with the store exactly as it was.
+    wal_->reset_to(wal_path(new_gen));
+    generation_.store(new_gen, std::memory_order_relaxed);
+    mirror_.wal_generation = new_gen;
+    if (shipper_ != nullptr) shipper_->on_snapshot(new_gen, snap);
   }
+
+  write_file_atomic(fs::path(dir_) / snapshot_file, snap);
+  std::error_code ec;
+  fs::remove(wal_path(old_gen), ec);  // best-effort cleanup
+}
+
+void fleet_store::attach_shipper(ship_sink* s) {
+  std::lock_guard<std::mutex> compact_lk(compact_mu_);
+  std::lock_guard<std::mutex> lk(log_mu_);
+  shipper_ = s;
+  if (s == nullptr) return;
+  // Bootstrap: a full snapshot of the current state, cut at the same
+  // instant the follower starts seeing records. Named with the CURRENT
+  // generation — records already in wal-<G> are inside this snapshot,
+  // and the follower only appends what is shipped after it.
+  merge_live_stats_locked();
+  const byte_vec snap = serialize_snapshot(
+      mirror_, generation_.load(std::memory_order_relaxed));
+  s->on_snapshot(generation_.load(std::memory_order_relaxed), snap);
+}
+
+// ---------------------------------------------------------------------------
+// Journaling
+// ---------------------------------------------------------------------------
+
+void fleet_store::journal_locked(std::span<const std::uint8_t> payload) {
+  wal_->append(payload);
   try {
-    wal_->reset_to(wal_path(generation_));
+    apply_record(mirror_, payload,
+                 static_cast<std::size_t>(wal_->records() - 1),
+                 opts_.hub.retired_memory);
   } catch (...) {
-    // The on-disk snapshot already names the new generation; the old log
-    // will never be read again. Appending to it anyway would silently
-    // drop every future event on the floor at the next open — poison the
-    // writer so traffic fails loudly until the store is reopened.
+    // The journal accepted a record its own replay refuses: the mirror
+    // (and every follower) has diverged from the log. Poison the writer
+    // so the store fails loudly instead of compacting divergent state.
     wal_->poison();
     throw;
   }
-  {
-    std::lock_guard<std::mutex> lk(fw_mu_);
-    for (const auto& fid : catalog_->ids()) {
-      persisted_firmware_.insert(fid);
-    }
+  if (shipper_ != nullptr) {
+    shipper_->on_record(generation_.load(std::memory_order_relaxed),
+                        payload);
   }
-  std::error_code ec;
-  fs::remove(wal_path(old_gen), ec);  // best-effort cleanup
+}
+
+void fleet_store::journal(std::span<const std::uint8_t> payload) {
+  std::lock_guard<std::mutex> lk(log_mu_);
+  journal_locked(payload);
 }
 
 // ---------------------------------------------------------------------------
@@ -684,24 +282,24 @@ void fleet_store::compact() {
 // ---------------------------------------------------------------------------
 
 void fleet_store::on_provision(const fleet::device_record& rec) {
-  // First device on a firmware image journals the image itself — under
-  // fw_mu_ so the dedup set and the image-before-device WAL order hold
-  // even against a concurrent compact's set refresh.
-  std::lock_guard<std::mutex> lk(fw_mu_);
+  // First device on a firmware image journals the image itself — the
+  // mirror's firmware table IS the dedup set, and one lock hold keeps
+  // the image-before-device WAL order atomic against everything else.
+  std::lock_guard<std::mutex> lk(log_mu_);
   const auto& fid = rec.firmware->id();
-  if (persisted_firmware_.insert(fid).second) {
+  if (mirror_.firmwares.count(fid) == 0) {
     writer w;
     w.u8(static_cast<std::uint8_t>(rec::firmware));
     w.raw(fid);
     w.bytes(serialize_program(rec.firmware->program()));
-    wal_->append(w.data());
+    journal_locked(w.data());
   }
   writer w;
   w.u8(static_cast<std::uint8_t>(rec::provision));
   w.u32(rec.id);
   w.bytes(rec.key);
   w.raw(fid);
-  wal_->append(w.data());
+  journal_locked(w.data());
 }
 
 void fleet_store::on_challenge(fleet::device_id id, std::uint32_t seq,
@@ -713,7 +311,7 @@ void fleet_store::on_challenge(fleet::device_id id, std::uint32_t seq,
   w.u32(seq);
   w.raw(nonce);
   w.u64(issued_at);
-  wal_->append(w.data());
+  journal(w.data());
 }
 
 void fleet_store::on_retire(fleet::device_id id,
@@ -724,7 +322,7 @@ void fleet_store::on_retire(fleet::device_id id,
   w.u32(id);
   w.raw(nonce);
   w.u8(static_cast<std::uint8_t>(fate));
-  wal_->append(w.data());
+  journal(w.data());
 }
 
 void fleet_store::on_verdict(fleet::device_id id,
@@ -734,7 +332,7 @@ void fleet_store::on_verdict(fleet::device_id id,
   w.u32(id);
   w.u8(static_cast<std::uint8_t>(error));
   w.u8(accepted ? 1 : 0);
-  wal_->append(w.data());
+  journal(w.data());
 }
 
 void fleet_store::on_baseline(fleet::device_id id, std::uint32_t seq,
@@ -744,14 +342,14 @@ void fleet_store::on_baseline(fleet::device_id id, std::uint32_t seq,
   w.u32(id);
   w.u32(seq);
   w.bytes(or_bytes);
-  wal_->append(w.data());
+  journal(w.data());
 }
 
 void fleet_store::on_tick(std::uint64_t now) {
   writer w;
   w.u8(static_cast<std::uint8_t>(rec::tick));
   w.u64(now);
-  wal_->append(w.data());
+  journal(w.data());
 }
 
 }  // namespace dialed::store

@@ -28,8 +28,13 @@
 //   wal-<G>.log    append-only log of every state change since snapshot
 //                  generation G (see src/store/wal.h for framing/torn-
 //                  tail semantics). The snapshot names the generation it
-//                  covers, so a WAL from an older generation can never be
-//                  double-applied on top of a newer snapshot.
+//                  covers; open() replays the CHAIN of consecutive
+//                  generations G, G+1, ... (an online compaction that
+//                  crashed between rolling the log and publishing the
+//                  snapshot leaves two logs — both replay, in order, and
+//                  nothing is lost). Only the newest log in the chain may
+//                  end in a torn record; a torn or missing log mid-chain
+//                  is corruption and fails closed.
 //
 // Lifecycle
 // ---------
@@ -38,37 +43,41 @@
 //   st.hub->challenge(id); ...         // journaled
 //   st.store->compact();               // snapshot + fresh WAL generation
 //
-// open() replays snapshot + WAL into a fresh {catalog, registry, hub}
-// triple wired to the store as its persistence sink, verifying every
+// open() replays snapshot + WAL chain into a fresh {catalog, registry,
+// hub} triple wired to the store as its persistence sink, verifying every
 // firmware image re-hashes to its recorded content id. Corrupt state
 // fails closed with a typed store_error; only a torn FINAL WAL record —
 // the expected crash signature — is dropped (and truncated) cleanly.
 //
 // Concurrency contract
 // --------------------
-// WAL appends are fully concurrent (the registry's writer lock and every
-// hub shard feed one internally-locked appender). compact() however
-// assembles a point-in-time state from three separately-locked
-// structures, so it requires QUIESCENCE: no in-flight provision /
-// challenge / submit / tick while it runs. open() compacts before any
-// traffic exists; call sites that compact later (CLI exit, maintenance
-// windows) must drain traffic first. Online compaction is an open item,
-// as is an advisory lock on the state dir — one process per directory is
-// the caller's responsibility today.
+// Appends are fully concurrent: the registry's writer lock and every hub
+// shard feed one store-level journal lock, which (1) appends the record,
+// (2) applies it to an in-memory MIRROR of the durable state (the mirror
+// equals replay(log) by construction), and (3) forwards it to the
+// attached shipper, all in one critical section. compact() is ONLINE:
+// it serializes the mirror under that same lock — never the registry's
+// or the hub's locks — rolls the WAL to the next generation, and writes
+// the snapshot file outside the lock, so provision/challenge/submit/tick
+// traffic keeps flowing throughout. An advisory lock on the state dir is
+// still an open item — one process per directory is the caller's
+// responsibility today.
 #ifndef DIALED_STORE_FLEET_STORE_H
 #define DIALED_STORE_FLEET_STORE_H
 
+#include <atomic>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 
 #include "fleet/verifier_hub.h"
+#include "store/state_image.h"
 #include "store/wal.h"
 
 namespace dialed::store {
 
 class fleet_store;
+class ship_sink;  // store/ship.h
 
 /// The reopened fleet: a catalog/registry/hub triple wired to its store.
 /// Member order is the destruction contract — the hub and registry hold a
@@ -108,14 +117,29 @@ class fleet_store final : public fleet::persist_sink {
   /// registry_error(empty_master_key) on a fresh dir with no key.
   static fleet_state open(const std::string& dir, options opts);
 
-  /// Rewrite the snapshot from the live {registry, catalog, hub} and
-  /// start a fresh WAL generation. QUIESCENT ONLY — see file comment.
+  /// ONLINE compaction: serialize the mirror as a snapshot naming the
+  /// next WAL generation, roll the log, publish the snapshot file, drop
+  /// the old log. Safe under full concurrent traffic (see file comment);
+  /// concurrent compact() calls serialize against each other. Throws
+  /// store_error(io_error) when the roll or the snapshot write fails —
+  /// a failed roll leaves the store exactly as it was, a failed snapshot
+  /// write leaves a two-log chain that the next open (or the next
+  /// successful compact) folds up.
   void compact();
+
+  /// Attach (or detach, with nullptr) a shipping sink. The sink
+  /// immediately receives a full snapshot of the current state, then
+  /// every subsequent record and every compaction snapshot, in journal
+  /// order — delivered under the journal lock, so implementations must
+  /// be fast and MUST NOT call back into this store.
+  void attach_shipper(ship_sink* s);
 
   /// Observability: current WAL size (records/bytes since the snapshot).
   std::uint64_t wal_records() const { return wal_->records(); }
   std::uint64_t wal_bytes() const { return wal_->bytes(); }
-  std::uint64_t generation() const { return generation_; }
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
   const std::string& directory() const { return dir_; }
 
   // ---- fleet::persist_sink -------------------------------------------
@@ -135,23 +159,36 @@ class fleet_store final : public fleet::persist_sink {
   fleet_store(std::string dir, options opts);
 
   std::string wal_path(std::uint64_t generation) const;
-  void write_snapshot();
+  /// Append + mirror-apply + ship one record. Requires log_mu_. A record
+  /// the mirror refuses poisons the writer (the journal and the mirror
+  /// must never diverge) and rethrows.
+  void journal_locked(std::span<const std::uint8_t> payload);
+  /// Take log_mu_ and journal one record.
+  void journal(std::span<const std::uint8_t> payload);
+  /// Fold the live hub's unattributed rejection counters into the
+  /// mirror (they are deliberately not journaled). Requires log_mu_.
+  void merge_live_stats_locked();
 
   std::string dir_;
   options opts_;
-  std::uint64_t generation_ = 0;
+  std::atomic<std::uint64_t> generation_{0};
   std::unique_ptr<wal_writer> wal_;
 
-  /// Firmware ids already durable (snapshot or an earlier WAL record) —
-  /// on_provision appends each program image at most once.
-  std::mutex fw_mu_;
-  std::set<verifier::firmware_id> persisted_firmware_;
+  /// Orders append -> mirror apply -> ship as one atomic step, and
+  /// freezes all three for compact()'s serialization point.
+  mutable std::mutex log_mu_;
+  /// Live replay of the journal: what a reopen RIGHT NOW would
+  /// materialize (modulo unattributed stats, merged in at compact).
+  state_image mirror_;
+  ship_sink* shipper_ = nullptr;
 
-  /// Borrowed views of the live objects, for compact(). Set by open();
-  /// fleet_state's member order guarantees they outlive this store.
-  std::shared_ptr<fleet::firmware_catalog> catalog_;
-  fleet::device_registry* registry_ = nullptr;
-  fleet::verifier_hub* hub_ = nullptr;
+  /// Serializes whole compact() bodies (two interleaved compactions
+  /// would race on the snapshot tmp file and the old-log removal).
+  std::mutex compact_mu_;
+
+  /// Borrowed view of the live hub, for the stats merge. Set by open();
+  /// fleet_state's member order guarantees it outlives this store.
+  const fleet::verifier_hub* hub_ = nullptr;
 };
 
 }  // namespace dialed::store

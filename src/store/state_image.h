@@ -1,0 +1,140 @@
+// The fleet's durable state as plain data: the struct the snapshot
+// parser and the WAL replay both apply into, extracted from
+// fleet_store.cpp so three consumers share one codec —
+//
+//   * fleet_store::open()   replays snapshot + WAL chain into an image,
+//                           then materializes live objects from it;
+//   * fleet_store's MIRROR  a live image kept record-for-record in sync
+//                           with the WAL, so compact() can serialize a
+//                           point-in-time snapshot WITHOUT quiescing the
+//                           hub (the mirror equals replay(log) by
+//                           construction);
+//   * store::wal_follower   a warm standby applying shipped records into
+//                           its own image, validating each one exactly
+//                           like a restart would.
+//
+// apply_record is the single source of truth for record semantics: every
+// validation a restart performs (unknown firmware, double provision,
+// retire of a never-outstanding nonce, trailing bytes) happens here, so
+// followers and mirrors fail closed on the same inputs a reopen would.
+//
+// Firmware images are kept as their SERIALIZED blobs, not parsed
+// programs: the image is a persistence artifact, and blobs make
+// serialize_snapshot allocation-free per firmware while parse validation
+// still runs at apply/parse time (and the content-id fingerprint check at
+// materialize time, where the artifact is actually built).
+#ifndef DIALED_STORE_STATE_IMAGE_H
+#define DIALED_STORE_STATE_IMAGE_H
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/store_error.h"
+#include "fleet/hub_like.h"
+#include "fleet/persist.h"
+#include "verifier/firmware_artifact.h"
+
+namespace dialed::store {
+
+// ---------------------------------------------------------------------------
+// On-disk constants
+// ---------------------------------------------------------------------------
+
+inline constexpr std::array<std::uint8_t, 4> snapshot_magic = {'D', 'L',
+                                                               'F', 'S'};
+/// v1: PR 4's original format. v2 (wire v2.1) appends a per-device delta
+/// baseline to each hub-state row and grows the proto_error histogram by
+/// the baseline_mismatch bucket. v1 snapshots still load (no baselines,
+/// the new bucket zero); this build always WRITES v2.
+inline constexpr std::uint32_t snapshot_version_v1 = 1;
+inline constexpr std::uint32_t snapshot_version = 2;
+/// proto_error_count at the time v1 snapshots were written — their
+/// histogram has exactly this many buckets.
+inline constexpr std::uint32_t v1_error_buckets = 12;
+
+/// WAL record types (first payload byte).
+enum class rec : std::uint8_t {
+  firmware = 1,   ///< content id + full linked_program image
+  provision = 2,  ///< device id, key, firmware content id
+  challenge = 3,  ///< device id, seq, nonce, issue tick
+  retire = 4,     ///< device id, nonce, fate
+  verdict = 5,    ///< device id, proto_error byte, accepted flag
+  tick = 6,       ///< new clock value
+  baseline = 7,   ///< device id, seq, accepted round's full OR bytes
+};
+
+// ---------------------------------------------------------------------------
+// File helpers (shared by fleet_store and wal_follower)
+// ---------------------------------------------------------------------------
+
+/// Whole-file read; nullopt when the file does not exist, io_error on a
+/// failed read of an existing file.
+std::optional<byte_vec> read_file(const std::filesystem::path& p);
+
+/// tmp + fsync + rename, so a crash mid-write never leaves a half
+/// snapshot under the real name.
+void write_file_atomic(const std::filesystem::path& p,
+                       std::span<const std::uint8_t> b);
+
+// ---------------------------------------------------------------------------
+// The state image
+// ---------------------------------------------------------------------------
+
+struct image_device {
+  byte_vec key;
+  verifier::firmware_id fw{};
+};
+
+struct state_image {
+  byte_vec master_key;
+  fleet::device_id next_id = 1;
+  std::uint64_t now = 0;
+  std::uint64_t wal_generation = 0;
+  fleet::hub_stats stats;  ///< hub-level counters (per_device unused)
+  /// Serialized linked_program blobs, keyed by content id. Parse-checked
+  /// on the way in; fingerprint-checked when materialized into a catalog.
+  std::map<verifier::firmware_id, byte_vec> firmwares;
+  std::map<fleet::device_id, image_device> devices;
+  std::map<fleet::device_id, fleet::device_restore> states;
+};
+
+/// Apply one WAL record payload. Throws store_error(bad_record /
+/// unknown_firmware / truncated_record) on anything a replay would
+/// refuse; on throw the image may hold the record's partial effects and
+/// must be discarded (fleet_store poisons its writer; a follower goes
+/// into a desynced error state).
+/// `retired_memory` bounds each device's retired-nonce ring (0 = keep
+/// all), matching hub_config.retired_memory so replayed state equals
+/// live state.
+void apply_record(state_image& img, std::span<const std::uint8_t> payload,
+                  std::size_t record_index, std::size_t retired_memory);
+
+/// Parse + CRC-check a snapshot file image. Throws typed store_error on
+/// any corruption (fail closed).
+state_image parse_snapshot(std::span<const std::uint8_t> data,
+                           const std::string& path);
+
+/// Serialize the image as a version-current snapshot naming WAL
+/// generation `generation` (the caller's fence — compact() passes the
+/// NEXT generation before rolling the log). Inverse of parse_snapshot.
+byte_vec serialize_snapshot(const state_image& img,
+                            std::uint64_t generation);
+
+/// Elementwise max-merge of the persisted hub-level scalars from `live`
+/// into `img.stats`. The hub deliberately does not journal verdicts it
+/// cannot attribute to device state (an id-spraying attacker must not
+/// grow the log), so a mirror's histogram can run behind the live
+/// counters; compact() merges before serializing so snapshots keep the
+/// old "counters survive a clean compact" property. Max (not overwrite):
+/// both sides only ever grow, and max is safe regardless of which side
+/// saw a given event first.
+void merge_live_stats(state_image& img, const fleet::hub_stats& live);
+
+}  // namespace dialed::store
+
+#endif  // DIALED_STORE_STATE_IMAGE_H

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/error.h"
+#include "fleet/stats_render.h"
 #include "fleet/verifier_hub.h"
 #include "helpers.h"
 #include "proto/wire.h"
@@ -973,6 +974,183 @@ TEST(adapter, session_reports_superseded_via_hub_but_stale_via_v1_api) {
   (void)vrf.new_challenge();
   const auto r = vrf.hub().verify_report(vrf.id(), rep3);
   EXPECT_EQ(r.error, proto_error::challenge_superseded);
+}
+
+// ---------------------------------------------------------------------------
+// Stats renderers: Prometheus exposition format, strictly parsed
+// ---------------------------------------------------------------------------
+
+/// Strict line parser for the Prometheus text exposition format — the
+/// subset our renderers emit. Returns false (with a reason) on anything
+/// a real scraper would reject: malformed names, unescaped quote /
+/// backslash / newline in a label value, trailing junk, NaN-ish values.
+bool parse_exposition_line(const std::string& line, std::string& why) {
+  const auto name_ok = [](const std::string& n) {
+    if (n.empty()) return false;
+    for (std::size_t i = 0; i < n.size(); ++i) {
+      const char c = n[i];
+      const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+      const bool digit = c >= '0' && c <= '9';
+      if (!(alpha || c == '_' || c == ':' || (digit && i > 0))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+    const auto rest = line.substr(7);
+    const auto sp = rest.find(' ');
+    if (sp == std::string::npos || !name_ok(rest.substr(0, sp)) ||
+        sp + 1 >= rest.size()) {
+      why = "malformed comment: " + line;
+      return false;
+    }
+    if (line[2] == 'T') {
+      const auto type = rest.substr(sp + 1);
+      if (type != "counter" && type != "gauge") {
+        why = "unknown TYPE: " + line;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  if (!name_ok(line.substr(0, i))) {
+    why = "bad metric name: " + line;
+    return false;
+  }
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (true) {
+      std::size_t j = i;
+      while (j < line.size() && line[j] != '=') ++j;
+      if (j >= line.size() || !name_ok(line.substr(i, j - i)) ||
+          j + 1 >= line.size() || line[j + 1] != '"') {
+        why = "bad label name: " + line;
+        return false;
+      }
+      i = j + 2;
+      // Label value: only \\, \" and \n escapes; a raw quote ends it, a
+      // raw backslash without a legal escape (or a raw newline, which
+      // cannot appear in a line) is a renderer bug.
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          if (i + 1 >= line.size() ||
+              (line[i + 1] != '\\' && line[i + 1] != '"' &&
+               line[i + 1] != 'n')) {
+            why = "illegal escape: " + line;
+            return false;
+          }
+          ++i;
+        }
+        ++i;
+      }
+      if (i >= line.size()) {
+        why = "unterminated label value: " + line;
+        return false;
+      }
+      ++i;  // closing quote
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    if (i >= line.size() || line[i] != '}') {
+      why = "unterminated label set: " + line;
+      return false;
+    }
+    ++i;
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    why = "missing value separator: " + line;
+    return false;
+  }
+  const auto value = line.substr(i + 1);
+  if (value.empty() ||
+      value.find_first_not_of("0123456789.+-e") != std::string::npos) {
+    why = "bad sample value: " + line;
+    return false;
+  }
+  return true;
+}
+
+TEST(stats_render, escape_label_value_covers_the_three_escapes) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape_label_value("two\nlines"), "two\\nlines");
+  EXPECT_EQ(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+  // Everything else passes through untouched.
+  EXPECT_EQ(escape_label_value("ümlaut {x=1}"), "ümlaut {x=1}");
+}
+
+TEST(stats_render, parser_rejects_unescaped_label_values) {
+  std::string why;
+  // Sanity-check the parser itself: an escaped hostile value passes...
+  EXPECT_TRUE(parse_exposition_line(
+      "m{reason=\"" + escape_label_value("evil\"\\\n") + "\"} 1", why))
+      << why;
+  // ...and the same value dropped in raw breaks the line.
+  EXPECT_FALSE(parse_exposition_line("m{reason=\"evil\"\\\"} 1", why));
+  EXPECT_FALSE(parse_exposition_line("m{reason=\"trailing\\\"} 1", why));
+  EXPECT_FALSE(parse_exposition_line("m{reason=\"x\" 1", why));
+  EXPECT_FALSE(parse_exposition_line("1badname 2", why));
+}
+
+TEST(stats_render, every_rendered_line_survives_a_strict_scraper) {
+  // A hub_stats with every family populated, including the per-device
+  // breakdown and the full rejection histogram.
+  hub_stats s;
+  s.challenges_issued = 12;
+  s.challenges_expired = 1;
+  s.challenges_superseded = 2;
+  s.reports_accepted = 7;
+  s.reports_rejected_verdict = 3;
+  for (std::size_t i = 1; i < s.rejected_by_error.size(); ++i) {
+    s.rejected_by_error[i] = i;
+  }
+  s.verify_batches = 4;
+  s.verify_batch_frames = 9;
+  s.last_batch_frames = 5;
+  s.inflight_batches = 1;
+  s.per_device[3] = device_counters{4, 1, 2, 0};
+  s.per_device[900000001] = device_counters{1, 0, 0, 9};
+
+  std::string out;
+  render_stats_prometheus(s, out);
+  hub_stats p1 = s;
+  p1.challenges_issued = 99;
+  render_partition_prometheus(std::vector<hub_stats>{s, p1}, out);
+
+  std::size_t samples = 0;
+  std::size_t partition_samples = 0;
+  std::size_t start = 0;
+  ASSERT_FALSE(out.empty());
+  ASSERT_EQ(out.back(), '\n');
+  while (start < out.size()) {
+    const auto end = out.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const auto line = out.substr(start, end - start);
+    start = end + 1;
+    std::string why;
+    EXPECT_TRUE(parse_exposition_line(line, why)) << why;
+    if (line.rfind("# ", 0) != 0) {
+      ++samples;
+      if (line.rfind("dialed_partition_", 0) == 0) ++partition_samples;
+    }
+  }
+  // Every scalar family, one histogram line per typed error, 4 outcome
+  // lines per device, and the 4 per-partition families x 2 partitions.
+  EXPECT_GE(samples, 9u + (proto::proto_error_count - 1) + 8u + 8u);
+  EXPECT_EQ(partition_samples, 8u);
+
+  // Empty partition span: unpartitioned scrape bodies are unchanged.
+  std::string unchanged = out;
+  render_partition_prometheus({}, unchanged);
+  EXPECT_EQ(unchanged, out);
 }
 
 }  // namespace

@@ -687,7 +687,7 @@ TEST(net_serve, restart_from_state_dir_rejects_pre_crash_replay) {
 
     server_config cfg;
     cfg.bind_addr = "127.0.0.1";
-    attest_server server(*state.hub, cfg, state.store.get());
+    attest_server server(*state.hub, cfg, {state.store.get()});
     server.start();
 
     attest_client client("127.0.0.1", server.tcp_port());
@@ -712,7 +712,7 @@ TEST(net_serve, restart_from_state_dir_rejects_pre_crash_replay) {
     auto state = store::fleet_store::open(dir.string(), so);
     server_config cfg;
     cfg.bind_addr = "127.0.0.1";
-    attest_server server(*state.hub, cfg, state.store.get());
+    attest_server server(*state.hub, cfg, {state.store.get()});
     server.start();
 
     attest_client client("127.0.0.1", server.tcp_port());
@@ -759,6 +759,47 @@ TEST(net_serve, close_before_result_drops_the_result) {
   ASSERT_EQ(g2.error, proto::proto_error::none);
   const auto rep2 = dev.invoke(g2.nonce, args(3, 4));
   EXPECT_TRUE(again.submit_report(full_frame(id, g2.seq, rep2)).accepted);
+}
+
+// Every blocking client call is deadlined: a server that accepts the
+// connection into its backlog and then never serves it must produce the
+// typed net::timeout_error in bounded time, on both the attestation
+// stream and the HTTP scrape path — `dialed-attest --connect` can wedge
+// on neither.
+TEST(net_client, blocking_calls_time_out_against_a_wedged_server) {
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr),
+            0);
+  ASSERT_EQ(::listen(lfd, 8), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // The kernel completes the handshake from the backlog, so connect
+  // succeeds; the request then starves.
+  attest_client client("127.0.0.1", port, /*timeout_ms=*/200);
+  try {
+    (void)client.get_challenge(1);
+    FAIL() << "wedged server answered?";
+  } catch (const timeout_error&) {
+  }
+  EXPECT_THROW((void)http_get("127.0.0.1", port, "/metrics", 200),
+               timeout_error);
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed, 200);    // the deadline is real, not an EOF
+  EXPECT_LT(elapsed, 10000);  // and bounded, not a hang
+  ::close(lfd);
 }
 
 }  // namespace

@@ -1,0 +1,559 @@
+// Partitioned fleet: consistent-hash routing parity with a bare hub,
+// WAL shipping to warm standbys, promotion after a simulated partition
+// crash (pre-crash replays rejected, other partitions undisturbed), the
+// placement manifest, and online compaction under concurrent traffic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "common/store_error.h"
+#include "fleet/partition.h"
+#include "fleet/verifier_hub.h"
+#include "helpers.h"
+#include "proto/wire.h"
+#include "store/fleet_store.h"
+#include "store/ship.h"
+#include "store/state_image.h"
+
+namespace dialed::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+using test::build_op;
+
+constexpr const char* adder = "int op(int a, int b) { return a + b; }";
+
+byte_vec master_key() { return byte_vec(32, 0x42); }
+
+instr::linked_program prog_for(const char* src) {
+  return build_op(src, "op", instr::instrumentation::dialed);
+}
+
+proto::invocation args(std::uint16_t a0, std::uint16_t a1 = 0) {
+  proto::invocation inv;
+  inv.args[0] = a0;
+  inv.args[1] = a1;
+  return inv;
+}
+
+byte_vec frame_for(device_id id, const challenge_grant& g,
+                   const verifier::attestation_report& rep) {
+  proto::frame_info info;
+  info.device_id = id;
+  info.seq = g.seq;
+  return proto::encode_frame(info, rep);
+}
+
+/// One full accepted round for `id` through any hub surface; returns the
+/// submitted frame so callers can replay it later.
+byte_vec run_round(hub_like& hub, device_registry& reg, device_id id,
+                   std::uint16_t a, std::uint16_t b) {
+  const auto* rec = reg.find(id);
+  proto::prover_device dev(*rec->program, rec->key);
+  const auto g = hub.challenge(id);
+  EXPECT_TRUE(g.ok());
+  const auto frame = frame_for(id, g, dev.invoke(g.nonce, args(a, b)));
+  const auto r = hub.submit(frame);
+  EXPECT_TRUE(r.accepted()) << "device " << id;
+  EXPECT_EQ(r.verdict.replayed_result, a + b);
+  return frame;
+}
+
+/// First device id owned by each partition (scanning up from 1).
+std::vector<device_id> one_id_per_partition(
+    const partition_router& router) {
+  std::vector<device_id> ids(router.partition_count(), 0);
+  std::size_t found = 0;
+  for (device_id id = 1; found < ids.size(); ++id) {
+    const std::size_t p = router.index_of(id);
+    if (ids[p] == 0) {
+      ids[p] = id;
+      ++found;
+    }
+  }
+  return ids;
+}
+
+/// Fresh per-test state directory, removed on teardown.
+class partition_test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("dialed-partition-" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  store::fleet_store::options opts() const {
+    store::fleet_store::options o;
+    o.master_key = master_key();
+    o.hub.sequential_batch = true;  // single-threaded unless hammering
+    return o;
+  }
+
+  std::string dir() const { return dir_.string(); }
+  std::string sub(const char* name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// The ring
+// ---------------------------------------------------------------------------
+
+TEST(partition_ring, placement_is_deterministic_and_seed_sensitive) {
+  auto a = partitioned_fleet::create(4, master_key());
+  auto b = partitioned_fleet::create(4, master_key());
+  router_config other;
+  other.seed ^= 0x1234567;
+  auto c = partitioned_fleet::create(4, master_key(), {}, other);
+
+  std::size_t moved = 0;
+  for (device_id id = 1; id <= 2000; ++id) {
+    // Same (seed, vnodes, N) -> same placement, no coordination.
+    EXPECT_EQ(a.index_of(id), b.index_of(id));
+    if (a.index_of(id) != c.index_of(id)) ++moved;
+  }
+  // A different seed is a different ring — most ids move.
+  EXPECT_GT(moved, 1000u);
+}
+
+TEST(partition_ring, load_is_balanced_across_partitions) {
+  auto fleet = partitioned_fleet::create(4, master_key());
+  std::array<std::size_t, 4> load{};
+  const std::size_t ids = 20000;
+  for (device_id id = 1; id <= ids; ++id) ++load[fleet.index_of(id)];
+  for (std::size_t p = 0; p < 4; ++p) {
+    // 64 vnodes/partition keeps every partition within ~2x of fair
+    // share even on adversarially small fleets; this bound is loose.
+    EXPECT_GT(load[p], ids / 8) << "partition " << p;
+    EXPECT_LT(load[p], ids / 2) << "partition " << p;
+  }
+}
+
+TEST(partition_ring, single_partition_routes_everything_to_zero) {
+  auto fleet = partitioned_fleet::create(1, master_key());
+  for (device_id id = 1; id <= 64; ++id) {
+    EXPECT_EQ(fleet.index_of(id), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Routing parity with a bare hub
+// ---------------------------------------------------------------------------
+
+TEST(partition_router, routes_rounds_to_owners_and_aggregates_stats) {
+  auto fleet = partitioned_fleet::create(4, master_key());
+  const auto ids = one_id_per_partition(fleet.router());
+  const auto prog = prog_for(adder);
+  for (const auto id : ids) fleet.provision(id, prog);
+
+  byte_vec first_frame;
+  for (std::size_t p = 0; p < ids.size(); ++p) {
+    const auto frame =
+        run_round(fleet.router(), fleet.registry_of(p), ids[p],
+                  static_cast<std::uint16_t>(10 + p), 5);
+    if (p == 0) first_frame = frame;
+    // The round landed on the owning partition and nowhere else.
+    EXPECT_EQ(fleet.hub_of(p).stats().reports_accepted, 1u);
+  }
+
+  // Replays route back to the same owner and are rejected there.
+  EXPECT_EQ(fleet.router().submit(first_frame).error,
+            proto::proto_error::replayed_report);
+
+  // Aggregate = sum of partitions; per_device merges disjoint maps.
+  const auto total = fleet.router().stats();
+  EXPECT_EQ(total.challenges_issued, 4u);
+  EXPECT_EQ(total.reports_accepted, 4u);
+  EXPECT_EQ(total.rejected_by_error[static_cast<std::size_t>(
+                proto::proto_error::replayed_report)],
+            1u);
+  EXPECT_EQ(total.per_device.size(), 4u);
+
+  const auto parts = fleet.router().partition_stats();
+  ASSERT_EQ(parts.size(), 4u);
+  std::uint64_t sum = 0;
+  for (const auto& s : parts) sum += s.reports_accepted;
+  EXPECT_EQ(sum, total.reports_accepted);
+}
+
+TEST(partition_router, undecodable_frames_match_a_bare_hub) {
+  auto fleet = partitioned_fleet::create(4, master_key());
+  auto bare = partitioned_fleet::create(1, master_key());
+
+  // Unpeekable damage (empty, short, wrong magic, wrong version) and a
+  // peekable-but-truncated header: the router must surface exactly the
+  // typed error a single hub returns — routing adds no error surface.
+  const std::vector<byte_vec> damaged = {
+      {},                                              // empty
+      {0xa7, 0xd1},                                    // short
+      {0x00, 0x00, 2, 0, 1, 0, 0, 0, 0, 0},            // bad magic
+      {0xa7, 0xd1, 99, 0, 1, 0, 0, 0, 0, 0},           // bad version
+      {0xa7, 0xd1, 2, 0, 0x39, 0x05, 0x00, 0x00},      // truncated v2
+      {0xa7, 0xd1, 3, 0, 0xff, 0xff, 0xff, 0x7f, 1},   // truncated v2.1
+  };
+  for (const auto& frame : damaged) {
+    const auto via_router = fleet.router().submit(frame);
+    const auto via_hub = bare.hub_of(0).submit(frame);
+    EXPECT_EQ(via_router.error, via_hub.error)
+        << "frame size " << frame.size();
+    EXPECT_NE(via_router.error, proto::proto_error::none);
+  }
+}
+
+TEST(partition_router, batch_scatter_preserves_input_order) {
+  auto fleet = partitioned_fleet::create(4, master_key());
+  const auto ids = one_id_per_partition(fleet.router());
+  const auto prog = prog_for(adder);
+  for (const auto id : ids) fleet.provision(id, prog);
+
+  // Three rounds per device, interleaved so consecutive frames belong to
+  // different partitions — the scatter path, not the fast path.
+  std::vector<byte_vec> frames;
+  std::vector<device_id> expect_dev;
+  std::vector<std::uint16_t> expect_sum;
+  for (std::uint16_t round = 0; round < 3; ++round) {
+    for (std::size_t p = 0; p < ids.size(); ++p) {
+      const auto* rec = fleet.registry_of(p).find(ids[p]);
+      proto::prover_device dev(*rec->program, rec->key);
+      const auto g = fleet.router().challenge(ids[p]);
+      ASSERT_TRUE(g.ok());
+      const std::uint16_t a = static_cast<std::uint16_t>(3 * round + p);
+      frames.push_back(
+          frame_for(ids[p], g, dev.invoke(g.nonce, args(a, 7))));
+      expect_dev.push_back(ids[p]);
+      expect_sum.push_back(static_cast<std::uint16_t>(a + 7));
+    }
+  }
+  // A damaged frame mid-batch stays at its index with its typed error.
+  const std::size_t bad_at = 5;
+  frames.insert(frames.begin() + bad_at, byte_vec{0xde, 0xad});
+  expect_dev.insert(expect_dev.begin() + bad_at, 0);
+  expect_sum.insert(expect_sum.begin() + bad_at, 0);
+
+  const auto results = fleet.router().verify_batch(frames);
+  ASSERT_EQ(results.size(), frames.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i == bad_at) {
+      EXPECT_NE(results[i].error, proto::proto_error::none);
+      continue;
+    }
+    EXPECT_TRUE(results[i].accepted()) << "frame " << i;
+    EXPECT_EQ(results[i].device, expect_dev[i]) << "frame " << i;
+    EXPECT_EQ(results[i].verdict.replayed_result, expect_sum[i]);
+  }
+
+  const auto total = fleet.router().stats();
+  EXPECT_EQ(total.reports_accepted, 12u);
+}
+
+TEST(partition_router, tick_fans_out_one_logical_clock) {
+  auto fleet = partitioned_fleet::create(3, master_key());
+  fleet.router().tick(5);
+  EXPECT_EQ(fleet.router().now(), 5u);
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(fleet.hub_of(p).now(), 5u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Durable layout: the placement manifest
+// ---------------------------------------------------------------------------
+
+TEST_F(partition_test, manifest_pins_the_partition_layout) {
+  { auto fleet = partitioned_fleet::open(dir(), 2, opts()); }
+  // Same layout reopens fine.
+  { auto fleet = partitioned_fleet::open(dir(), 2, opts()); }
+
+  // A different partition count / vnode count / seed would re-hash
+  // devices onto partitions that never saw their consumed nonces:
+  // refused with the typed mismatch, never a silent re-shard.
+  try {
+    auto fleet = partitioned_fleet::open(dir(), 3, opts());
+    FAIL() << "re-partitioned 2x -> 3x";
+  } catch (const store_error& e) {
+    EXPECT_EQ(e.kind(), store_error_kind::partition_mismatch);
+  }
+  router_config rcfg;
+  rcfg.vnodes = 32;
+  try {
+    auto fleet = partitioned_fleet::open(dir(), 2, opts(), rcfg);
+    FAIL() << "reopened with different vnodes";
+  } catch (const store_error& e) {
+    EXPECT_EQ(e.kind(), store_error_kind::partition_mismatch);
+  }
+
+  // A corrupted manifest fails closed on its CRC.
+  const fs::path manifest =
+      fs::path(dir()) / partitioned_fleet::manifest_file;
+  auto bytes = *store::read_file(manifest);
+  bytes[6] ^= 0xff;
+  {
+    std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    auto fleet = partitioned_fleet::open(dir(), 2, opts());
+    FAIL() << "corrupt manifest loaded";
+  } catch (const store_error& e) {
+    EXPECT_EQ(e.kind(), store_error_kind::crc_mismatch);
+  }
+}
+
+TEST_F(partition_test, durable_partitions_recover_replay_state) {
+  std::vector<device_id> ids;
+  std::vector<byte_vec> frames;
+  {
+    auto fleet = partitioned_fleet::open(dir(), 2, opts());
+    ids = one_id_per_partition(fleet.router());
+    const auto prog = prog_for(adder);
+    for (const auto id : ids) fleet.provision(id, prog);
+    for (std::size_t p = 0; p < ids.size(); ++p) {
+      frames.push_back(run_round(fleet.router(), fleet.registry_of(p),
+                                 ids[p], 20, 22));
+    }
+  }  // "crash": drop every partition's in-memory objects
+
+  auto fleet = partitioned_fleet::open(dir(), 2, opts());
+  // Every partition rebuilt its anti-replay state from its own store.
+  for (const auto& frame : frames) {
+    EXPECT_EQ(fleet.router().submit(frame).error,
+              proto::proto_error::replayed_report);
+  }
+  for (std::size_t p = 0; p < ids.size(); ++p) {
+    run_round(fleet.router(), fleet.registry_of(p), ids[p], 6, 7);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WAL shipping + promotion
+// ---------------------------------------------------------------------------
+
+TEST_F(partition_test, follower_tracks_primary_and_promotes) {
+  auto st = store::fleet_store::open(sub("primary"), opts());
+  store::wal_shipper shipper;
+  store::wal_follower follower(sub("standby"));
+  shipper.add_follower(&follower);
+  st.store->attach_shipper(&shipper);
+  EXPECT_EQ(shipper.snapshots_shipped(), 1u);  // bootstrap snapshot
+  EXPECT_TRUE(follower.synced());
+
+  const auto id = st.registry->provision(prog_for(adder));
+  const auto pre_crash = run_round(*st.hub, *st.registry, id, 20, 22);
+  EXPECT_EQ(follower.records_applied(), shipper.records_shipped());
+  EXPECT_EQ(shipper.records_shipped(), st.store->wal_records());
+  EXPECT_EQ(follower.generation(), st.store->generation());
+
+  // Compaction ships a fresh snapshot; the follower rolls its log in
+  // lockstep and keeps applying post-compaction records.
+  st.store->compact();
+  EXPECT_EQ(shipper.snapshots_shipped(), 2u);
+  EXPECT_EQ(follower.generation(), st.store->generation());
+  run_round(*st.hub, *st.registry, id, 6, 7);
+  EXPECT_FALSE(follower.error().has_value());
+
+  // Promote: the standby is exactly a restarted primary — pre-crash
+  // frames are replays, fresh rounds verify.
+  auto promoted = follower.promote(opts());
+  EXPECT_EQ(promoted.registry->size(), 1u);
+  EXPECT_EQ(promoted.hub->submit(pre_crash).error,
+            proto::proto_error::replayed_report);
+  run_round(*promoted.hub, *promoted.registry, id, 30, 12);
+
+  // The old primary does not know its standby left: the next shipped
+  // record latches the follower into the sticky desync state.
+  run_round(*st.hub, *st.registry, id, 1, 2);
+  ASSERT_TRUE(follower.error().has_value());
+  EXPECT_EQ(follower.error()->kind(), store_error_kind::ship_desync);
+  EXPECT_FALSE(follower.synced());
+}
+
+TEST_F(partition_test, shipping_protocol_violations_latch_desync) {
+  // A record before any snapshot: nothing to apply it to.
+  {
+    store::wal_follower f(sub("f1"));
+    f.on_record(0, byte_vec{1, 2, 3});
+    ASSERT_TRUE(f.error().has_value());
+    EXPECT_EQ(f.error()->kind(), store_error_kind::ship_desync);
+    EXPECT_THROW((void)f.promote(opts()), store_error);
+  }
+
+  // A record for the wrong generation after a good snapshot.
+  store::state_image img;
+  img.master_key = master_key();
+  const auto snapshot = store::serialize_snapshot(img, /*generation=*/4);
+  {
+    store::wal_follower f(sub("f2"));
+    f.on_snapshot(4, snapshot);
+    EXPECT_TRUE(f.synced());
+    EXPECT_EQ(f.generation(), 4u);
+    f.on_record(9, byte_vec{1});
+    ASSERT_TRUE(f.error().has_value());
+    EXPECT_EQ(f.error()->kind(), store_error_kind::ship_desync);
+    // Errors are sticky: later traffic cannot un-desync a follower.
+    f.on_snapshot(4, snapshot);
+    EXPECT_FALSE(f.synced());
+  }
+
+  // A record the promote-time replay would refuse is refused NOW, not
+  // at promotion: garbage never reaches the follower's disk.
+  {
+    store::wal_follower f(sub("f3"));
+    f.on_snapshot(4, snapshot);
+    f.on_record(4, byte_vec{0xff, 0xff, 0xff});
+    ASSERT_TRUE(f.error().has_value());
+    EXPECT_EQ(f.records_applied(), 0u);
+    EXPECT_THROW((void)f.promote(opts()), store_error);
+  }
+}
+
+TEST_F(partition_test, promotion_mid_campaign_rejects_pre_crash_replays) {
+  auto fleet = partitioned_fleet::open(sub("fleet"), 3, opts());
+  const auto ids = one_id_per_partition(fleet.router());
+  const auto prog = prog_for(adder);
+  for (const auto id : ids) fleet.provision(id, prog);
+
+  // Partition 1 gets a warm standby.
+  const std::size_t victim = 1;
+  store::wal_shipper shipper;
+  store::wal_follower follower(sub("standby"));
+  shipper.add_follower(&follower);
+  fleet.store_of(victim)->attach_shipper(&shipper);
+
+  // Mid-campaign: K accepted rounds on the victim partition (each one
+  // several shipped records), plus live traffic everywhere else.
+  std::vector<byte_vec> pre_crash;
+  for (std::uint16_t k = 0; k < 3; ++k) {
+    pre_crash.push_back(run_round(fleet.router(),
+                                  fleet.registry_of(victim), ids[victim],
+                                  static_cast<std::uint16_t>(k + 1), 2));
+    for (std::size_t p = 0; p < ids.size(); ++p) {
+      if (p == victim) continue;
+      run_round(fleet.router(), fleet.registry_of(p), ids[p],
+                static_cast<std::uint16_t>(k), 9);
+    }
+  }
+  ASSERT_GT(shipper.records_shipped(), 0u);
+  ASSERT_TRUE(follower.synced());
+
+  std::vector<hub_stats> before;
+  for (std::size_t p = 0; p < ids.size(); ++p) {
+    before.push_back(fleet.hub_of(p).stats());
+  }
+
+  // Kill partition 1 (drop its hub, registry, catalog and store on the
+  // floor) and promote the standby into its slot.
+  { auto dead = fleet.release_partition(victim); }
+  fleet.install_partition(victim, follower.promote(opts()));
+
+  // THE property, across the router: every report the dead partition
+  // accepted is a replay at its successor.
+  for (const auto& frame : pre_crash) {
+    EXPECT_EQ(fleet.router().submit(frame).error,
+              proto::proto_error::replayed_report);
+  }
+  // And the promoted partition serves fresh rounds.
+  run_round(fleet.router(), fleet.registry_of(victim), ids[victim], 20,
+            22);
+
+  // The OTHER partitions never noticed: no counter moved during the
+  // promotion, and their devices keep attesting.
+  for (std::size_t p = 0; p < ids.size(); ++p) {
+    if (p == victim) continue;
+    const auto after = fleet.hub_of(p).stats();
+    EXPECT_EQ(after.challenges_issued, before[p].challenges_issued);
+    EXPECT_EQ(after.reports_accepted, before[p].reports_accepted);
+    EXPECT_EQ(after.reports_rejected_protocol(),
+              before[p].reports_rejected_protocol());
+    run_round(fleet.router(), fleet.registry_of(p), ids[p], 3, 4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Online compaction under traffic
+// ---------------------------------------------------------------------------
+
+TEST_F(partition_test, online_compaction_under_concurrent_traffic) {
+  constexpr std::size_t devices = 3;
+  constexpr std::size_t rounds = 10;
+  std::vector<byte_vec> last_frame(devices);
+  std::atomic<std::size_t> accepted{0};
+  std::uint64_t compactions = 0;
+
+  {
+    auto st = store::fleet_store::open(sub("primary"), opts());
+    store::wal_shipper shipper;
+    store::wal_follower follower(sub("standby"));
+    shipper.add_follower(&follower);
+    st.store->attach_shipper(&shipper);
+
+    const auto prog = prog_for(adder);
+    std::vector<device_id> ids;
+    for (std::size_t d = 0; d < devices; ++d) {
+      ids.push_back(st.registry->provision(prog));
+    }
+
+    // The point of ONLINE compaction: these run at the same time, with
+    // no quiescence handshake, and nothing is lost or torn.
+    std::atomic<bool> done{false};
+    std::thread compactor([&] {
+      while (!done.load(std::memory_order_relaxed) || compactions < 3) {
+        st.store->compact();
+        ++compactions;
+        std::this_thread::yield();
+      }
+    });
+    std::vector<std::thread> workers;
+    for (std::size_t d = 0; d < devices; ++d) {
+      workers.emplace_back([&, d] {
+        const auto* rec = st.registry->find(ids[d]);
+        proto::prover_device dev(*rec->program, rec->key);
+        for (std::size_t r = 0; r < rounds; ++r) {
+          const auto g = st.hub->challenge(ids[d]);
+          const auto frame = frame_for(
+              ids[d], g,
+              dev.invoke(g.nonce,
+                         args(static_cast<std::uint16_t>(r), 1)));
+          if (st.hub->submit(frame).accepted()) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          }
+          last_frame[d] = frame;
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    done.store(true, std::memory_order_relaxed);
+    compactor.join();
+
+    EXPECT_EQ(accepted.load(), devices * rounds);
+    EXPECT_GE(st.store->generation(), 3u);
+    EXPECT_FALSE(follower.error().has_value())
+        << follower.error()->what();
+    EXPECT_EQ(follower.generation(), st.store->generation());
+  }  // "crash" the primary
+
+  // Reopen from the primary's directory: whatever mix of snapshot
+  // generation + WAL tail the compactor left behind replays to the full
+  // campaign.
+  auto st = store::fleet_store::open(sub("primary"), opts());
+  EXPECT_EQ(st.registry->size(), devices);
+  EXPECT_EQ(st.hub->stats().reports_accepted, devices * rounds);
+  for (const auto& frame : last_frame) {
+    EXPECT_EQ(st.hub->submit(frame).error,
+              proto::proto_error::replayed_report);
+  }
+}
+
+}  // namespace
+}  // namespace dialed::fleet

@@ -684,6 +684,113 @@ TEST_F(store_test, compaction_preserves_state_and_resets_wal) {
   EXPECT_EQ(st.hub->stats().reports_accepted, 1u);
 }
 
+TEST_F(store_test, interrupted_compaction_chain_replays_both_logs) {
+  // An online compaction that crashes between rolling the log and
+  // publishing the snapshot leaves wal-G AND wal-(G+1), both live.
+  // Simulate that layout by splitting a real log at a record boundary.
+  auto o = opts();
+  o.compact_on_open = false;
+  fleet::device_id id = 0;
+  byte_vec frame;
+  {
+    auto st = fleet_store::open(dir(), o);
+    id = st.registry->provision(prog_for(adder));
+    proto::prover_device dev(*st.registry->find(id)->program,
+                             st.registry->find(id)->key);
+    const auto g = st.hub->challenge(id);
+    frame = frame_for(id, g, dev.invoke(g.nonce, args(20, 22)));
+    ASSERT_TRUE(st.hub->submit(frame).accepted());
+    ASSERT_EQ(st.store->wal_records(), 6u);
+  }
+  const auto bytes = *read_file(wal_file(0));
+  const auto parsed = read_wal(bytes);
+  ASSERT_EQ(parsed.records.size(), 6u);
+  const auto rewrite = [&](std::uint64_t gen, std::size_t from,
+                           std::size_t to) {
+    fs::remove(wal_file(gen));
+    wal_writer w(wal_file(gen).string(), 0, 0, /*sync=*/false);
+    for (std::size_t i = from; i < to; ++i) {
+      w.append(parsed.records[i].payload);
+    }
+  };
+  rewrite(0, 0, 4);
+  rewrite(1, 4, 6);
+
+  {
+    // The chain replays in order: full pre-crash state, generation
+    // advanced to the newest log, new appends land there.
+    auto st = fleet_store::open(dir(), o);
+    EXPECT_EQ(st.store->generation(), 1u);
+    EXPECT_EQ(st.hub->submit(frame).error,
+              proto::proto_error::replayed_report);
+    (void)st.hub->challenge(id);
+    // 2 replayed in wal-1 + the journaled replay rejection + 1 challenge.
+    EXPECT_EQ(st.store->wal_records(), 4u);
+  }
+
+  // compact_on_open folds a multi-file chain back into one snapshot +
+  // one fresh log even when the tail generation alone looks compact.
+  rewrite(0, 0, 4);
+  rewrite(1, 4, 6);
+  {
+    auto st = fleet_store::open(dir(), opts());
+    EXPECT_EQ(st.store->generation(), 2u);
+    EXPECT_EQ(st.store->wal_records(), 0u);
+    EXPECT_FALSE(fs::exists(wal_file(0)));
+    EXPECT_FALSE(fs::exists(wal_file(1)));
+    EXPECT_EQ(st.hub->submit(frame).error,
+              proto::proto_error::replayed_report);
+  }
+}
+
+TEST_F(store_test, damaged_wal_chain_fails_closed) {
+  // Same split-chain layout, then damage it: only the NEWEST generation
+  // may end torn — a torn or missing log with a successor was complete
+  // once, so the damage is corruption, not a crash signature.
+  auto o = opts();
+  o.compact_on_open = false;
+  {
+    auto st = fleet_store::open(dir(), o);
+    const auto id = st.registry->provision(prog_for(adder));
+    proto::prover_device dev(*st.registry->find(id)->program,
+                             st.registry->find(id)->key);
+    const auto g = st.hub->challenge(id);
+    ASSERT_TRUE(
+        st.hub->submit(frame_for(id, g, dev.invoke(g.nonce, args(1, 2))))
+            .accepted());
+  }
+  const auto bytes = *read_file(wal_file(0));
+  const auto parsed = read_wal(bytes);
+  const auto rewrite = [&](std::uint64_t gen, std::size_t from,
+                           std::size_t to) {
+    fs::remove(wal_file(gen));
+    wal_writer w(wal_file(gen).string(), 0, 0, /*sync=*/false);
+    for (std::size_t i = from; i < to; ++i) {
+      w.append(parsed.records[i].payload);
+    }
+  };
+
+  // Torn mid-chain: truncate wal-0's final record while wal-1 exists.
+  rewrite(0, 0, 4);
+  rewrite(1, 4, 6);
+  fs::resize_file(wal_file(0), fs::file_size(wal_file(0)) - 1);
+  try {
+    auto st = fleet_store::open(dir(), o);
+    FAIL() << "torn mid-chain log loaded";
+  } catch (const store_error& e) {
+    EXPECT_EQ(e.kind(), store_error_kind::crc_mismatch);
+  }
+
+  // Missing mid-chain: wal-1 exists but wal-0 is gone entirely.
+  fs::remove(wal_file(0));
+  try {
+    auto st = fleet_store::open(dir(), o);
+    FAIL() << "gapped chain loaded";
+  } catch (const store_error& e) {
+    EXPECT_EQ(e.kind(), store_error_kind::crc_mismatch);
+  }
+}
+
 TEST_F(store_test, concurrent_traffic_journals_consistently) {
   // Four devices hammered from four threads, every event journaled
   // through the store's shared appender (shard locks + registry lock all

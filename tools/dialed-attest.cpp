@@ -8,6 +8,7 @@
 //                 [--net b,b,...] [--adc s,s,...] [--repeat K]
 //                 [--workers N] [--delta] [--state-dir DIR]
 //                 [--stats-json PATH] [--hex-frame] [--trace]
+//                 [--connect HOST:PORT [--timeout-ms MS] [--scrape]]
 //
 // --repeat K runs K attested invocations (K challenges outstanding at
 // once, K wire frames) and verifies them as one batch; --workers N fans
@@ -95,7 +96,7 @@ void usage() {
                "[--device-id N] [--args a,b,...] [--net b,b,...] "
                "[--adc s,s,...] [--repeat K] [--workers N] [--delta] "
                "[--state-dir DIR] [--stats-json PATH] "
-               "[--connect HOST:PORT] [--scrape] "
+               "[--connect HOST:PORT] [--timeout-ms MS] [--scrape] "
                "[--hex-frame] [--trace]\n");
 }
 
@@ -136,12 +137,13 @@ int run_connected(const std::string& host, std::uint16_t port,
                   const dialed::instr::linked_program& prog,
                   const dialed::proto::invocation& inv,
                   dialed::fleet::device_id device_id, std::uint32_t repeat,
-                  bool delta, bool hex_frame, bool scrape) {
+                  bool delta, bool hex_frame, bool scrape,
+                  int timeout_ms) {
   using namespace dialed;
   const byte_vec demo_master_key(32, 0xAB);
   const fleet::device_registry key_source(demo_master_key);
   proto::prover_device dev(prog, key_source.derive_key(device_id));
-  net::attest_client client(host, port);
+  net::attest_client client(host, port, timeout_ms);
 
   std::size_t accepted = 0;
   proto::delta_emitter emitter;
@@ -212,9 +214,9 @@ int run_connected(const std::string& host, std::uint16_t port,
               repeat, host.c_str(), port);
   if (scrape) {
     std::printf("---- GET /healthz ----\n%s",
-                net::http_get(host, port, "/healthz").c_str());
+                net::http_get(host, port, "/healthz", timeout_ms).c_str());
     std::printf("---- GET /metrics ----\n%s",
-                net::http_get(host, port, "/metrics").c_str());
+                net::http_get(host, port, "/metrics", timeout_ms).c_str());
   }
   return accepted == repeat ? 0 : 1;
 }
@@ -236,6 +238,7 @@ int main(int argc, char** argv) {
   fleet::device_id device_id = 1;
   std::uint32_t repeat = 1;
   std::uint32_t workers = 0;
+  std::uint32_t timeout_ms = 5000;
   bool delta = false, hex_frame = false, trace = false, scrape = false;
 
   try {
@@ -282,6 +285,10 @@ int main(int argc, char** argv) {
         stats_json = argv[++i];
       } else if (arg == "--connect" && i + 1 < argc) {
         connect = argv[++i];
+      } else if (arg == "--timeout-ms" && i + 1 < argc) {
+        const auto vals = parse_list(argv[++i], 3600000);
+        if (vals.size() != 1) throw error("--timeout-ms needs one value");
+        timeout_ms = vals[0];
       } else if (arg == "--scrape") {
         scrape = true;
       } else if (arg == "--hex-frame") {
@@ -349,7 +356,8 @@ int main(int argc, char** argv) {
 
     if (!connect.empty()) {
       return run_connected(remote.first, remote.second, prog, inv,
-                           device_id, repeat, delta, hex_frame, scrape);
+                           device_id, repeat, delta, hex_frame, scrape,
+                           static_cast<int>(timeout_ms));
     }
 
     fleet::hub_config hub_cfg;

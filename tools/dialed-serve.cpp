@@ -9,6 +9,7 @@
 //                [--batch-max N] [--batch-latency-ms MS] [--workers N]
 //                [--max-outstanding N] [--max-pending N]
 //                [--idle-timeout-ms MS] [--state-dir DIR]
+//                [--partitions N]
 //
 // Devices 1..N are provisioned from the fleet demo master key (0xAB*32 —
 // real deployments must supply their own), so any dialed-attest --connect
@@ -17,6 +18,14 @@
 // to) a durable fleet store: a report accepted before a crash is
 // rejected as a replay after the restart.
 //
+// --partitions N shards the fleet across N hubs behind a consistent-hash
+// router (src/fleet/partition.h): each device id lives on exactly one
+// partition, /metrics grows per-partition dialed_partition_* families,
+// and with --state-dir each partition journals to its own store under
+// DIR/p0..p<N-1> (the placement manifest refuses a restart with a
+// different N). The wire protocol is unchanged — clients cannot tell a
+// partitioned service from a single hub.
+//
 // Prints "listening: tcp=PORT udp=PORT" once serving (PORT resolves
 // --port 0 to the kernel's pick, for scripts and tests). SIGINT/SIGTERM
 // shut down cleanly: the handler only calls the async-signal-safe
@@ -24,6 +33,7 @@
 //
 // Observability on the TCP port: GET /metrics (Prometheus text),
 // GET /healthz (hub + store liveness JSON).
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -31,6 +41,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "fleet/partition.h"
 #include "net/server.h"
 #include "verifier/firmware_artifact.h"
 
@@ -66,7 +77,7 @@ void usage() {
       "[--bind ADDR] [--port P] [--udp-port P] [--no-udp] "
       "[--batch-max N] [--batch-latency-ms MS] [--workers N] "
       "[--max-outstanding N] [--max-pending N] [--idle-timeout-ms MS] "
-      "[--state-dir DIR]\n");
+      "[--state-dir DIR] [--partitions N]\n");
 }
 
 }  // namespace
@@ -77,6 +88,7 @@ int main(int argc, char** argv) {
   std::string entry = "op";
   std::string state_dir;
   std::uint32_t devices = 4;
+  std::uint32_t partitions = 1;
   std::uint32_t workers = 0;
   std::uint32_t max_outstanding = 64;
   net::server_config cfg;
@@ -121,6 +133,11 @@ int main(int argc, char** argv) {
         cfg.limits.idle_timeout_ms = parse_u32(next(), 3600000);
       } else if (arg == "--state-dir") {
         state_dir = next();
+      } else if (arg == "--partitions") {
+        partitions = parse_u32(next(), 1024);
+        if (partitions == 0) {
+          throw error("--partitions needs a nonzero count");
+        }
       } else if (!arg.empty() && arg[0] == '-') {
         usage();
         return 2;
@@ -157,24 +174,23 @@ int main(int argc, char** argv) {
     hub_cfg.workers = workers;
 
     const byte_vec demo_master_key(32, 0xAB);
-    std::optional<fleet::device_registry> local_registry;
-    std::optional<fleet::verifier_hub> local_hub;
-    store::fleet_state persisted;
-    if (state_dir.empty()) {
-      local_registry.emplace(demo_master_key);
-    } else {
-      store::fleet_store::options so;
-      so.master_key = demo_master_key;
-      so.hub = hub_cfg;
-      persisted = store::fleet_store::open(state_dir, so);
-    }
-    fleet::device_registry& registry =
-        local_registry ? *local_registry : *persisted.registry;
+    fleet::partitioned_fleet fleet_parts =
+        state_dir.empty()
+            ? fleet::partitioned_fleet::create(partitions,
+                                               demo_master_key, hub_cfg)
+            : [&] {
+                store::fleet_store::options so;
+                so.master_key = demo_master_key;
+                so.hub = hub_cfg;
+                return fleet::partitioned_fleet::open(
+                    state_dir, partitions, std::move(so));
+              }();
 
     const auto fw_id = verifier::firmware_artifact::fingerprint(prog);
     std::uint32_t provisioned = 0, resumed = 0;
     for (std::uint32_t id = 1; id <= devices; ++id) {
-      if (const auto* rec = registry.find(id)) {
+      const auto p = fleet_parts.index_of(id);
+      if (const auto* rec = fleet_parts.registry_of(p).find(id)) {
         if (rec->firmware->id() != fw_id) {
           std::fprintf(stderr,
                        "dialed-serve: device %u is provisioned with a "
@@ -185,17 +201,17 @@ int main(int argc, char** argv) {
         }
         ++resumed;
       } else {
-        registry.provision(id, prog);
+        fleet_parts.provision(id, prog);
         ++provisioned;
       }
     }
 
-    if (local_registry) local_hub.emplace(registry, hub_cfg);
-    fleet::verifier_hub& hub = local_hub ? *local_hub : *persisted.hub;
+    fleet::hub_like& hub = fleet_parts.router();
 
     net::attest_server server(hub, cfg,
-                              state_dir.empty() ? nullptr
-                                                : persisted.store.get());
+                              state_dir.empty()
+                                  ? std::vector<store::fleet_store*>{}
+                                  : fleet_parts.stores());
     g_server = &server;
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
@@ -203,14 +219,24 @@ int main(int argc, char** argv) {
     std::printf("fleet:    %u device(s) (%u provisioned, %u resumed), "
                 "firmware %.16s...\n",
                 devices, provisioned, resumed,
-                registry.find(1)->firmware->id_hex().c_str());
+                fleet_parts.registry_of(fleet_parts.index_of(1))
+                    .find(1)
+                    ->firmware->id_hex()
+                    .c_str());
+    if (partitions > 1) {
+      std::printf("partitions: %u hubs behind the consistent-hash "
+                  "router\n",
+                  partitions);
+    }
     if (!state_dir.empty()) {
+      unsigned long long wal_total = 0;
+      unsigned long long gen_max = 0;
+      for (auto* st : fleet_parts.stores()) {
+        wal_total += st->wal_records();
+        gen_max = std::max<unsigned long long>(gen_max, st->generation());
+      }
       std::printf("state:    %s (generation %llu, %llu WAL records)\n",
-                  state_dir.c_str(),
-                  static_cast<unsigned long long>(
-                      persisted.store->generation()),
-                  static_cast<unsigned long long>(
-                      persisted.store->wal_records()));
+                  state_dir.c_str(), gen_max, wal_total);
     }
     std::printf("batching: max=%zu latency=%ums workers=%zu\n",
                 cfg.batching.batch_max, cfg.batching.batch_latency_ms,
