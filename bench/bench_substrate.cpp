@@ -38,6 +38,54 @@ void BM_hmac_sha256(benchmark::State& state) {
 }
 BENCHMARK(BM_hmac_sha256)->Arg(256)->Arg(2048)->Arg(16384);
 
+void BM_sha256_backend(benchmark::State& state) {
+  // The PR 8 dispatch sweep: the same bytes through every compression
+  // backend. Unsupported rows (non-x86, DIALED_SHA256_SIMD=OFF, CPU
+  // without the extension) are skipped, not failed.
+  const auto backend =
+      static_cast<dialed::crypto::sha256_backend>(state.range(0));
+  if (!dialed::crypto::sha256_backend_supported(backend)) {
+    state.SkipWithError("backend not supported by this build/CPU");
+    return;
+  }
+  const auto prev = dialed::crypto::sha256_active_backend();
+  dialed::crypto::sha256_force_backend(backend);
+  byte_vec data(static_cast<std::size_t>(state.range(1)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  for (auto _ : state) {
+    const auto d = dialed::crypto::sha256::hash(data);
+    benchmark::DoNotOptimize(d);
+  }
+  dialed::crypto::sha256_force_backend(prev);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(1));
+  state.SetLabel(dialed::crypto::to_string(backend));
+}
+BENCHMARK(BM_sha256_backend)
+    ->ArgNames({"backend", "len"})
+    ->ArgsProduct({{0, 1, 2}, {256, 2048, 16384}});
+
+void BM_hmac_sha256_keystate(benchmark::State& state) {
+  // The cached-key-schedule path the verifier hot loop runs: ipad/opad
+  // midstates derived once, replayed per message. Compare against
+  // BM_hmac_sha256 at the same length for the two-compression saving.
+  const byte_vec key(32, 0x11);
+  const auto ks = dialed::crypto::hmac_keystate::derive(key);
+  byte_vec data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  for (auto _ : state) {
+    const auto mac = dialed::crypto::hmac_sha256::compute(ks, data);
+    benchmark::DoNotOptimize(mac);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_hmac_sha256_keystate)->Arg(256)->Arg(2048)->Arg(16384);
+
 void BM_emulator_mips(benchmark::State& state) {
   // A tight counted loop: 3 instructions per iteration.
   dialed::emu::memory_map map;
@@ -401,6 +449,39 @@ void BM_wire_delta_encode(benchmark::State& state) {
 }
 BENCHMARK(BM_wire_delta_encode);
 
+void BM_wire_decode_frame(benchmark::State& state) {
+  // Copy vs borrow decode of a v2 frame: borrow is the hub's submit
+  // path (or_view into the frame, no OR memcpy); copy is the
+  // self-contained fallback. The spread is the zero-copy win per frame.
+  const auto app = dialed::apps::evaluation_apps()[1];
+  const auto prog =
+      dialed::apps::build_app(app, dialed::instr::instrumentation::dialed);
+  dialed::proto::prover_device dev(prog, bench_key());
+  std::array<std::uint8_t, 16> chal{};
+  chal.fill(0x5a);
+  dialed::proto::frame_info info;
+  info.device_id = 1;
+  const auto frame =
+      dialed::proto::encode_frame(info,
+                                  dev.invoke(chal,
+                                             app.representative_input));
+  const auto mode = state.range(0) == 0
+                        ? dialed::proto::decode_mode::copy
+                        : dialed::proto::decode_mode::borrow;
+  dialed::proto::decoded_frame scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dialed::proto::decode_frame_into(frame, scratch, mode));
+    benchmark::DoNotOptimize(scratch.or_view.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(frame.size()));
+  state.counters["or_bytes"] =
+      static_cast<double>(scratch.or_view.size());
+  state.SetLabel(state.range(0) == 0 ? "copy" : "borrow");
+}
+BENCHMARK(BM_wire_decode_frame)->ArgNames({"mode"})->Arg(0)->Arg(1);
+
 void BM_fleet_delta_submit(benchmark::State& state) {
   // End-to-end verify cost of the delta path: hub baseline resolution +
   // reconstruction + MAC + abstract execution, vs the same report as a
@@ -463,37 +544,81 @@ void BM_fleet_delta_submit(benchmark::State& state) {
 BENCHMARK(BM_fleet_delta_submit)->Unit(benchmark::kMillisecond);
 
 void BM_fleet_store_wal_append(benchmark::State& state) {
-  // Durability tax on the hot path: one journaled verdict per iteration
-  // (the retire+verdict pair is what every verified report appends). No
-  // fsync — the default process-crash durability mode the hub runs with.
+  // Durability tax on the hot path, swept across the sync policies: one
+  // journaled verdict per iteration (the retire+verdict pair every
+  // verified report appends) followed by the hub's sync_barrier — a
+  // no-op under none, already-durable under per_record, and the
+  // group-commit protocol under group. The threaded rows are where
+  // group commit earns its keep: concurrent barriers fold into shared
+  // fsyncs, so per-thread cost amortizes while per_record's inline
+  // fsyncs serialize.
   namespace fs = std::filesystem;
+  static std::unique_ptr<dialed::store::fleet_state> shared;
+  static dialed::fleet::device_id shared_id = 0;
   const auto dir =
       fs::temp_directory_path() / "dialed-bench-store-append";
-  fs::remove_all(dir);
-  dialed::store::fleet_store::options opts;
-  opts.master_key = bench_key();
-  opts.hub.sequential_batch = true;
-  auto st = dialed::store::fleet_store::open(dir.string(), opts);
-  const auto id = st.registry->provision(dialed::apps::build_app(
-      dialed::apps::evaluation_apps()[1],
-      dialed::instr::instrumentation::dialed));
-  const dialed::fleet::nonce16 nonce{};
+  if (state.thread_index() == 0) {
+    fs::remove_all(dir);
+    dialed::store::fleet_store::options opts;
+    opts.master_key = bench_key();
+    opts.hub.sequential_batch = true;
+    opts.wal.sync = static_cast<dialed::store::wal_sync>(state.range(0));
+    shared = std::make_unique<dialed::store::fleet_state>(
+        dialed::store::fleet_store::open(dir.string(), opts));
+    shared_id = shared->registry->provision(dialed::apps::build_app(
+        dialed::apps::evaluation_apps()[1],
+        dialed::instr::instrumentation::dialed));
+  }
+  // Unique nonce per thread+iteration: the store's online mirror
+  // enforces challenge-before-retire, exactly like WAL replay would.
+  dialed::fleet::nonce16 nonce{};
+  nonce[0] = static_cast<std::uint8_t>(state.thread_index());
+  std::uint64_t seq = 0;
   for (auto _ : state) {
-    st.store->on_retire(id, nonce, dialed::fleet::nonce_fate::consumed);
-    st.store->on_verdict(id, dialed::proto::proto_error::none, true);
+    ++seq;
+    for (std::size_t i = 0; i < 8; ++i) {
+      nonce[8 + i] = static_cast<std::uint8_t>(seq >> (8 * i));
+    }
+    shared->store->on_challenge(shared_id,
+                                static_cast<std::uint32_t>(seq), nonce,
+                                /*issued_at=*/0);
+    shared->store->on_retire(shared_id, nonce,
+                             dialed::fleet::nonce_fate::consumed);
+    shared->store->on_verdict(shared_id,
+                              dialed::proto::proto_error::none, true);
+    shared->store->sync_barrier();
   }
   state.counters["journaled_reports_per_s"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
-  state.counters["wal_bytes_per_report"] =
-      static_cast<double>(st.store->wal_bytes()) /
-      static_cast<double>(std::max<std::uint64_t>(
-          1, st.store->wal_records() / 2));
-  st.hub.reset();
-  st.registry.reset();
-  st.store.reset();
-  fs::remove_all(dir);
+  // Label from the arg, not `shared` — thread 0 tears `shared` down
+  // below while the other threads are still reporting.
+  state.SetLabel(dialed::store::to_string(
+      static_cast<dialed::store::wal_sync>(state.range(0))));
+  if (state.thread_index() == 0) {
+    const auto gc = shared->store->group_commit();
+    if (gc.syncs > 0) {
+      state.counters["fsyncs"] = static_cast<double>(gc.syncs);
+      state.counters["records_per_fsync"] =
+          static_cast<double>(gc.records) / static_cast<double>(gc.syncs);
+    }
+    state.counters["wal_bytes_per_report"] =
+        static_cast<double>(shared->store->wal_bytes()) /
+        static_cast<double>(std::max<std::uint64_t>(
+            1, shared->store->wal_records() / 3));
+    shared.reset();
+    fs::remove_all(dir);
+  }
 }
-BENCHMARK(BM_fleet_store_wal_append);
+BENCHMARK(BM_fleet_store_wal_append)
+    ->ArgNames({"sync"})
+    // 0 = per_record, 1 = group, 2 = none (store::wal_sync order).
+    ->Args({0})
+    ->Args({1})
+    ->Args({2})
+    ->Threads(1)
+    ->Threads(8)
+    ->Threads(16)
+    ->UseRealTime();
 
 void BM_fleet_store_reopen(benchmark::State& state) {
   // Crash-recovery latency: reopen a store holding `range(0)` devices on

@@ -4,7 +4,7 @@
 
 namespace dialed::crypto {
 
-hmac_sha256::hmac_sha256(std::span<const std::uint8_t> key) {
+hmac_keystate hmac_keystate::derive(std::span<const std::uint8_t> key) {
   std::array<std::uint8_t, sha256::block_size> block_key{};
   if (key.size() > sha256::block_size) {
     const auto digest = sha256::hash(key);
@@ -13,12 +13,30 @@ hmac_sha256::hmac_sha256(std::span<const std::uint8_t> key) {
     std::copy(key.begin(), key.end(), block_key.begin());
   }
 
-  std::array<std::uint8_t, sha256::block_size> ipad_key{};
+  std::array<std::uint8_t, sha256::block_size> pad{};
   for (std::size_t i = 0; i < sha256::block_size; ++i) {
-    ipad_key[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
-    opad_key_[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+    pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
   }
-  inner_.update(ipad_key);
+  hmac_keystate out;
+  sha256 h;
+  h.update(pad);
+  out.inner = h.save();
+  for (std::size_t i = 0; i < sha256::block_size; ++i) {
+    pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  }
+  h.reset();
+  h.update(pad);
+  out.outer = h.save();
+  return out;
+}
+
+hmac_sha256::hmac_sha256(std::span<const std::uint8_t> key)
+    : ks_(hmac_keystate::derive(key)) {
+  inner_.restore(ks_.inner);
+}
+
+hmac_sha256::hmac_sha256(const hmac_keystate& ks) : ks_(ks) {
+  inner_.restore(ks_.inner);
 }
 
 void hmac_sha256::update(std::span<const std::uint8_t> data) {
@@ -28,15 +46,26 @@ void hmac_sha256::update(std::span<const std::uint8_t> data) {
 hmac_sha256::mac hmac_sha256::finish() {
   const auto inner_digest = inner_.finish();
   sha256 outer;
-  outer.update(opad_key_);
+  outer.restore(ks_.outer);
   outer.update(inner_digest);
+  // Re-arm for the next message under the same key.
+  inner_.restore(ks_.inner);
   return outer.finish();
 }
 
 hmac_sha256::mac hmac_sha256::compute(std::span<const std::uint8_t> key,
                                       std::span<const std::uint8_t> data) {
-  hmac_sha256 h(key);
+  return compute(hmac_keystate::derive(key), data);
+}
+
+hmac_sha256::mac hmac_sha256::compute(const hmac_keystate& ks,
+                                      std::span<const std::uint8_t> data) {
+  sha256 h;
+  h.restore(ks.inner);
   h.update(data);
+  const auto inner_digest = h.finish();
+  h.restore(ks.outer);
+  h.update(inner_digest);
   return h.finish();
 }
 

@@ -9,12 +9,27 @@
 
 namespace dialed::crypto {
 
-/// Incremental HMAC-SHA256 keyed at construction.
+/// Precomputed HMAC key schedule: the SHA-256 midstates left after
+/// absorbing the ipad- and opad-masked key blocks. Deriving one costs two
+/// compressions; every MAC computed from it then spends compressions on
+/// message bytes only (vs. two extra key-block compressions per MAC when
+/// starting from the raw key). Holds key material — treat as secret, never
+/// persist (recompute from the key on load).
+struct hmac_keystate {
+  sha256::midstate inner;  ///< state after the ipad block
+  sha256::midstate outer;  ///< state after the opad block
+
+  static hmac_keystate derive(std::span<const std::uint8_t> key);
+};
+
+/// Incremental HMAC-SHA256 keyed at construction. `finish()` re-arms the
+/// instance for the next message under the same key.
 class hmac_sha256 {
  public:
   using mac = sha256::digest;
 
   explicit hmac_sha256(std::span<const std::uint8_t> key);
+  explicit hmac_sha256(const hmac_keystate& ks);
 
   void update(std::span<const std::uint8_t> data);
   mac finish();
@@ -23,11 +38,16 @@ class hmac_sha256 {
   static mac compute(std::span<const std::uint8_t> key,
                      std::span<const std::uint8_t> data);
 
+  /// One-shot from a cached key schedule: no key hashing, no ipad/opad
+  /// block temporaries — a single hash object resumed from the midstates.
+  static mac compute(const hmac_keystate& ks,
+                     std::span<const std::uint8_t> data);
+
   /// Constant-time comparison of two MACs.
   static bool equal(const mac& a, const mac& b);
 
  private:
-  std::array<std::uint8_t, sha256::block_size> opad_key_{};
+  hmac_keystate ks_;
   sha256 inner_;
 };
 

@@ -1,7 +1,15 @@
 #include "crypto/sha256.h"
 
+#include <atomic>
 #include <bit>
+#include <cstdlib>
 #include <cstring>
+
+#include "crypto/sha256_backends.h"
+
+#if DIALED_SHA256_HAVE_X86
+#include <cpuid.h>
+#endif
 
 namespace dialed::crypto {
 
@@ -33,7 +41,191 @@ constexpr std::uint32_t small_sigma1(std::uint32_t x) {
   return std::rotr(x, 17) ^ std::rotr(x, 19) ^ (x >> 10);
 }
 
+// ---------------------------------------------------------------------------
+// Backend dispatch. Resolved once (cpuid probe + DIALED_SHA256_IMPL env
+// override), then every compression goes through one atomic function-pointer
+// load. sha256_force_backend() swaps both atomics; hashes in flight finish
+// on whichever backend they loaded — all backends are bit-identical.
+
+using compress_fn = void (*)(std::uint32_t*, const std::uint8_t*,
+                             std::size_t);
+
+std::atomic<compress_fn> g_compress{nullptr};
+std::atomic<sha256_backend> g_backend{sha256_backend::scalar};
+
+#if DIALED_SHA256_HAVE_X86
+struct cpu_features {
+  bool avx2 = false;
+  bool shani = false;
+};
+
+cpu_features probe_cpu() {
+  cpu_features out;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return out;
+  const bool ssse3 = (ecx & (1u << 9)) != 0;
+  const bool sse41 = (ecx & (1u << 19)) != 0;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  // AVX2 needs the OS to context-switch YMM state (XCR0 bits 1:2).
+  bool ymm_ok = false;
+  if (osxsave) {
+    std::uint32_t xcr0_lo = 0, xcr0_hi = 0;
+    __asm__ volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+    ymm_ok = (xcr0_lo & 0x6u) == 0x6u;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return out;
+  out.avx2 = ymm_ok && (ebx & (1u << 5)) != 0;
+  // The SHA-NI kernel also leans on SSSE3/SSE4.1 shuffles.
+  out.shani = ssse3 && sse41 && (ebx & (1u << 29)) != 0;
+  return out;
+}
+
+const cpu_features& cached_cpu() {
+  static const cpu_features f = probe_cpu();
+  return f;
+}
+#endif  // DIALED_SHA256_HAVE_X86
+
+compress_fn backend_fn(sha256_backend b) {
+  switch (b) {
+#if DIALED_SHA256_HAVE_X86
+    case sha256_backend::avx2:
+      return detail::sha256_compress_avx2;
+    case sha256_backend::shani:
+      return detail::sha256_compress_shani;
+#endif
+    default:
+      return detail::sha256_compress_scalar;
+  }
+}
+
+sha256_backend best_supported() {
+  if (sha256_backend_supported(sha256_backend::shani))
+    return sha256_backend::shani;
+  if (sha256_backend_supported(sha256_backend::avx2))
+    return sha256_backend::avx2;
+  return sha256_backend::scalar;
+}
+
+void init_dispatch() {
+  sha256_backend chosen = best_supported();
+  if (const char* env = std::getenv("DIALED_SHA256_IMPL")) {
+    sha256_backend want = chosen;
+    bool parsed = false;
+    if (std::strcmp(env, "scalar") == 0) {
+      want = sha256_backend::scalar;
+      parsed = true;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      want = sha256_backend::avx2;
+      parsed = true;
+    } else if (std::strcmp(env, "shani") == 0) {
+      want = sha256_backend::shani;
+      parsed = true;
+    }
+    if (parsed && sha256_backend_supported(want)) chosen = want;
+  }
+  g_backend.store(chosen, std::memory_order_relaxed);
+  g_compress.store(backend_fn(chosen), std::memory_order_release);
+}
+
+compress_fn active_fn() {
+  compress_fn fn = g_compress.load(std::memory_order_acquire);
+  if (fn == nullptr) [[unlikely]] {
+    // Thread-safe one-time resolve via the magic-static guard.
+    static const bool once = (init_dispatch(), true);
+    (void)once;
+    fn = g_compress.load(std::memory_order_acquire);
+  }
+  return fn;
+}
+
 }  // namespace
+
+namespace detail {
+
+void sha256_compress_scalar(std::uint32_t* state, const std::uint8_t* blocks,
+                            std::size_t n) {
+  while (n-- != 0) {
+    const std::uint8_t* block = blocks;
+    std::array<std::uint32_t, 64> w{};
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+             (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+             (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+             static_cast<std::uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      w[i] = small_sigma1(w[i - 2]) + w[i - 7] + small_sigma0(w[i - 15]) +
+             w[i - 16];
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t t1 =
+          h + big_sigma1(e) + ((e & f) ^ (~e & g)) + k[i] + w[i];
+      const std::uint32_t t2 = big_sigma0(a) + ((a & b) ^ (a & c) ^ (b & c));
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+    blocks += sha256::block_size;
+  }
+}
+
+}  // namespace detail
+
+const char* to_string(sha256_backend b) {
+  switch (b) {
+    case sha256_backend::avx2:
+      return "avx2";
+    case sha256_backend::shani:
+      return "shani";
+    default:
+      return "scalar";
+  }
+}
+
+bool sha256_backend_supported(sha256_backend b) {
+  switch (b) {
+    case sha256_backend::scalar:
+      return true;
+#if DIALED_SHA256_HAVE_X86
+    case sha256_backend::avx2:
+      return cached_cpu().avx2;
+    case sha256_backend::shani:
+      return cached_cpu().shani;
+#endif
+    default:
+      return false;
+  }
+}
+
+sha256_backend sha256_active_backend() {
+  (void)active_fn();  // force one-time resolution
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+bool sha256_force_backend(sha256_backend b) {
+  if (!sha256_backend_supported(b)) return false;
+  (void)active_fn();  // resolve first so a later lazy init can't clobber us
+  g_backend.store(b, std::memory_order_relaxed);
+  g_compress.store(backend_fn(b), std::memory_order_release);
+  return true;
+}
 
 void sha256::reset() {
   state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
@@ -42,41 +234,8 @@ void sha256::reset() {
   total_bytes_ = 0;
 }
 
-void sha256::compress(const std::uint8_t* block) {
-  std::array<std::uint32_t, 64> w{};
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
-           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<std::uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    w[i] = small_sigma1(w[i - 2]) + w[i - 7] + small_sigma0(w[i - 15]) +
-           w[i - 16];
-  }
-
-  auto [a, b, c, d, e, f, g, h] = state_;
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t t1 =
-        h + big_sigma1(e) + ((e & f) ^ (~e & g)) + k[i] + w[i];
-    const std::uint32_t t2 = big_sigma0(a) + ((a & b) ^ (a & c) ^ (b & c));
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
-  }
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+void sha256::compress_blocks(const std::uint8_t* blocks, std::size_t n) {
+  active_fn()(state_.data(), blocks, n);
 }
 
 void sha256::update(std::span<const std::uint8_t> data) {
@@ -93,13 +252,14 @@ void sha256::update(std::span<const std::uint8_t> data) {
     buffered_ += take;
     pos = take;
     if (buffered_ == block_size) {
-      compress(buffer_.data());
+      compress_blocks(buffer_.data(), 1);
       buffered_ = 0;
     }
   }
-  while (pos + block_size <= data.size()) {
-    compress(data.data() + pos);
-    pos += block_size;
+  if (const std::size_t whole = (data.size() - pos) / block_size;
+      whole != 0) {
+    compress_blocks(data.data() + pos, whole);
+    pos += whole * block_size;
   }
   if (pos < data.size()) {
     std::memcpy(buffer_.data(), data.data() + pos, data.size() - pos);
@@ -112,7 +272,7 @@ sha256::digest sha256::finish() {
   buffer_[buffered_++] = 0x80;
   if (buffered_ > block_size - 8) {
     std::memset(buffer_.data() + buffered_, 0, block_size - buffered_);
-    compress(buffer_.data());
+    compress_blocks(buffer_.data(), 1);
     buffered_ = 0;
   }
   std::memset(buffer_.data() + buffered_, 0, block_size - 8 - buffered_);
@@ -120,7 +280,7 @@ sha256::digest sha256::finish() {
     buffer_[block_size - 8 + i] =
         static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
   }
-  compress(buffer_.data());
+  compress_blocks(buffer_.data(), 1);
 
   digest out{};
   for (int i = 0; i < 8; ++i) {
@@ -129,6 +289,7 @@ sha256::digest sha256::finish() {
     out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
     out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
   }
+  reset();
   return out;
 }
 

@@ -1,0 +1,36 @@
+// Internal: raw SHA-256 compression backends behind the dispatch in
+// sha256.cpp. Each function folds `n` consecutive 64-byte blocks into
+// `state` (8 words, host order); callers guarantee n >= 1. Not part of the
+// public crypto API — include crypto/sha256.h instead.
+#ifndef DIALED_CRYPTO_SHA256_BACKENDS_H
+#define DIALED_CRYPTO_SHA256_BACKENDS_H
+
+#include <cstddef>
+#include <cstdint>
+
+// x86 SIMD backends need function-level target attributes (so the rest of
+// the build keeps its baseline -march) and are compiled out entirely on
+// other architectures or when DIALED_SHA256_PORTABLE is defined (CMake
+// -DDIALED_SHA256_SIMD=OFF).
+#if !defined(DIALED_SHA256_PORTABLE) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define DIALED_SHA256_HAVE_X86 1
+#else
+#define DIALED_SHA256_HAVE_X86 0
+#endif
+
+namespace dialed::crypto::detail {
+
+void sha256_compress_scalar(std::uint32_t* state, const std::uint8_t* blocks,
+                            std::size_t n);
+
+#if DIALED_SHA256_HAVE_X86
+void sha256_compress_avx2(std::uint32_t* state, const std::uint8_t* blocks,
+                          std::size_t n);
+void sha256_compress_shani(std::uint32_t* state, const std::uint8_t* blocks,
+                           std::size_t n);
+#endif
+
+}  // namespace dialed::crypto::detail
+
+#endif  // DIALED_CRYPTO_SHA256_BACKENDS_H

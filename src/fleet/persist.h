@@ -155,6 +155,17 @@ class persist_sink {
 
   /// From tick(); `now` is the post-increment clock value.
   virtual void on_tick(std::uint64_t now) = 0;
+
+  /// Durability barrier: block until every record this THREAD has
+  /// journaled so far is as durable as the sink's policy promises. The
+  /// hub calls it between consuming a nonce (on_retire, under the shard
+  /// lock) and computing the verdict (no locks) — the §III rule that a
+  /// report never verifies unless its consumption would survive a crash.
+  /// Called WITHOUT any hub lock held, possibly from many verifier
+  /// threads at once: a batching store turns those concurrent calls into
+  /// one fsync (see fleet_store::sync_barrier). Default no-op for sinks
+  /// whose on_retire is already as durable as it will ever be.
+  virtual void sync_barrier() {}
 };
 
 }  // namespace dialed::fleet

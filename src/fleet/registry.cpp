@@ -46,6 +46,7 @@ device_record device_registry::make_record(
   device_record rec;
   rec.id = id;
   rec.key = std::move(key);
+  rec.mac_state = crypto::hmac_keystate::derive(rec.key);
   rec.firmware = std::move(fw);
   // Alias into the artifact — record.program shares its control block and
   // costs no copy.

@@ -37,6 +37,7 @@
 #include <shared_mutex>
 
 #include "common/error.h"
+#include "crypto/hmac.h"
 #include "fleet/firmware_catalog.h"
 #include "fleet/persist.h"
 #include "instr/oplink.h"
@@ -69,6 +70,11 @@ class registry_error : public error {
 struct device_record {
   device_id id = 0;
   byte_vec key;  ///< K_dev — what the factory burns into the device
+  /// Precomputed HMAC key schedule for `key` (ipad/opad midstates): the
+  /// hub MACs every report against this instead of rehashing K_dev.
+  /// Derived at provision/restore time, NEVER persisted — the store
+  /// snapshots only `key` and this is recomputed on open.
+  crypto::hmac_keystate mac_state;
   /// The shared per-firmware verifier artifact (one per distinct image,
   /// interned via the catalog; immutable and safe to verify on from any
   /// thread).

@@ -217,7 +217,7 @@ attest_result verifier_hub::verify_report(
 
 attest_result verifier_hub::verify_impl(
     device_id id, std::uint32_t seq, bool check_seq,
-    const verifier::attestation_report& report) {
+    const verifier::report_view& report) {
   attest_result r;
   r.device = id;
   r.seq = seq;
@@ -287,17 +287,28 @@ attest_result verifier_hub::verify_impl(
     stp = &st;  // map nodes are address-stable; see threading note below
   }
 
+  // Durability barrier between the phases: the consumption journaled
+  // above must be as durable as the store promises BEFORE any verdict is
+  // computed — a crash must replay the nonce as consumed, never let the
+  // report verify twice. Deliberately outside the shard lock: under a
+  // group-commit store, concurrent verifiers park here and one batch
+  // fsync releases them all.
+  if (cfg_.sink != nullptr) cfg_.sink->sync_barrier();
+
   // Phase 2 (no locks held): the expensive MAC + abstract-execution
   // verification, straight off the record's shared per-firmware artifact
   // (immutable, reentrant) — or through the device's policy context when
   // one was materialized. The record pointer is stable and its key/
-  // firmware immutable, so reading them unlocked is safe.
+  // firmware/mac_state immutable, so reading them unlocked is safe. The
+  // record's precomputed HMAC key schedule skips the per-report ipad/opad
+  // rehash of K_dev.
   if (ctx != nullptr) {
     r.verdict = ctx->verify(report, nonce);
   } else {
     static const std::vector<std::shared_ptr<verifier::policy>>
         no_policies;
-    r.verdict = rec->firmware->verify(report, rec->key, no_policies, nonce);
+    r.verdict =
+        rec->firmware->verify(report, rec->mac_state, no_policies, nonce);
   }
   // stp stays valid unlocked: std::map nodes are address-stable and
   // device states are never erased; the counters are atomics.
@@ -363,7 +374,7 @@ std::optional<attest_result> verifier_hub::reconstruct_delta(
 }
 
 void verifier_hub::adopt_baseline(device_id id, std::uint32_t seq,
-                                  const byte_vec& or_bytes) {
+                                  std::span<const std::uint8_t> or_bytes) {
   shard& sh = shard_for(id);
   std::lock_guard<std::mutex> lk(sh.mu);
   device_state& st = sh.states[id];
@@ -375,8 +386,8 @@ void verifier_hub::adopt_baseline(device_id id, std::uint32_t seq,
   if (cfg_.sink != nullptr) cfg_.sink->on_baseline(id, seq, or_bytes);
   st.baseline.valid = true;
   st.baseline.seq = seq;
-  st.baseline.bytes = or_bytes;
-  st.baseline.hash = proto::or_baseline_hash(seq, or_bytes);
+  st.baseline.bytes.assign(or_bytes.begin(), or_bytes.end());
+  st.baseline.hash = proto::or_baseline_hash(seq, st.baseline.bytes);
 }
 
 attest_result verifier_hub::submit(std::span<const std::uint8_t> frame) {
@@ -384,7 +395,13 @@ attest_result verifier_hub::submit(std::span<const std::uint8_t> frame) {
   // (and verify_batch workers) never share a buffer but batches still
   // reuse or_bytes capacity across frames.
   static thread_local proto::decoded_frame scratch;
-  const proto_error err = proto::decode_frame_into(frame, scratch);
+  // Borrow mode: a full frame's OR stays in `frame` (scratch.or_view
+  // points into it) and is verified in place; only an ACCEPTED verdict
+  // copies it (adopt_baseline). Delta frames reconstruct into the
+  // thread-local scratch arena below. submit never reads `frame` after
+  // returning, honoring the decode_mode::borrow lifetime contract.
+  const proto_error err =
+      proto::decode_frame_into(frame, scratch, proto::decode_mode::borrow);
   if (err != proto_error::none) {
     attest_result r;
     r.error = err;
@@ -397,17 +414,23 @@ attest_result verifier_hub::submit(std::span<const std::uint8_t> frame) {
     r.error = proto_error::unknown_device;
     return rejected(r, nullptr);
   }
+  verifier::report_view view(scratch.report);
   if (scratch.delta.present) {
     // v2.1: rebuild the full OR before anything downstream sees the
     // report — verification below is byte-for-byte the full-frame path.
+    // Reconstruction lands in the thread-local scratch report's or_bytes
+    // (a per-thread arena whose capacity is recycled across frames).
     if (auto rejected_early = reconstruct_delta(
             scratch.info.device_id, scratch.info.seq, scratch.delta,
             scratch.report)) {
       return *rejected_early;
     }
+    view.or_bytes = scratch.report.or_bytes;
+  } else {
+    view.or_bytes = scratch.or_view;  // zero-copy: still in `frame`
   }
-  return verify_report(scratch.info.device_id, scratch.info.seq,
-                       scratch.report);
+  return verify_impl(scratch.info.device_id, scratch.info.seq,
+                     /*check_seq=*/true, view);
 }
 
 std::vector<attest_result> verifier_hub::verify_batch(

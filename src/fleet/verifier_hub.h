@@ -171,7 +171,11 @@ class verifier_hub : public hub_like {
   /// comment); a mismatch is the typed baseline_mismatch and leaves the
   /// challenge outstanding. Thread-safe, reentrant: decoding uses a
   /// thread-local scratch frame, so concurrent submits never share a
-  /// buffer.
+  /// buffer. Zero-copy: full frames are decoded in borrow mode — the OR
+  /// is verified straight out of `frame` (never copied unless the verdict
+  /// is accepted and the bytes become the delta baseline); delta frames
+  /// reconstruct into the thread-local scratch arena. Either way `frame`
+  /// is not read after submit returns.
   attest_result submit(std::span<const std::uint8_t> frame) override;
 
   /// Verify an already-decoded report for a device, requiring the frame's
@@ -343,9 +347,13 @@ class verifier_hub : public hub_like {
   /// Looks up (or lazily builds) the device's policy context. Caller must
   /// hold the shard lock. Returns nullptr for an unknown device.
   verifier::op_verifier* core_locked(shard& sh, device_id id);
+  /// The common verification core. Takes a report VIEW: `report.or_bytes`
+  /// may borrow the caller's frame buffer (submit's zero-copy path) and is
+  /// only read for the duration of the call — adopt_baseline copies the
+  /// bytes it keeps.
   attest_result verify_impl(device_id id, std::uint32_t seq,
                             bool check_seq,
-                            const verifier::attestation_report& report);
+                            const verifier::report_view& report);
   /// v2.1 path: check the frame's baseline reference against the device's
   /// or_baseline (under the shard lock), copy the baseline bytes out, and
   /// reconstruct the full OR into report.or_bytes (outside the lock).
@@ -357,9 +365,10 @@ class verifier_hub : public hub_like {
       verifier::attestation_report& report);
   /// Adopt `or_bytes` as the device's delta baseline for round `seq` if
   /// it is newer than the current one (accepted verdicts only; takes the
-  /// shard lock; journals under it).
+  /// shard lock; journals under it). COPIES the bytes — the span may
+  /// alias a borrowed frame buffer that dies when submit returns.
   void adopt_baseline(device_id id, std::uint32_t seq,
-                      const byte_vec& or_bytes);
+                      std::span<const std::uint8_t> or_bytes);
 
   const device_registry& registry_;
   hub_config cfg_;

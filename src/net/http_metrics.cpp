@@ -85,7 +85,8 @@ std::string render_http_response(int status,
 
 std::string render_metrics_body(
     const fleet::hub_stats& hub, const server_stats& net,
-    std::span<const fleet::hub_stats> partitions) {
+    std::span<const fleet::hub_stats> partitions,
+    const store_metrics& store) {
   std::string out;
   out.reserve(4096);
   fleet::render_stats_prometheus(hub, out);
@@ -162,6 +163,40 @@ std::string render_metrics_body(
   }
   sample(out, "dialed_net_batch_size_sum", net.batching.batch_frames);
   sample(out, "dialed_net_batch_size_count", net.batching.batches);
+
+  if (store.present) {
+    family(out, "dialed_store_wal_sync_policy", "gauge",
+           "Configured WAL durability policy (1 on the active label).");
+    sample(out, "dialed_store_wal_sync_policy", 1,
+           std::string("{policy=\"") + store.sync_policy + "\"}");
+    family(out, "dialed_store_wal_records", "gauge",
+           "WAL records since the last snapshot (all partitions).");
+    sample(out, "dialed_store_wal_records", store.wal_records);
+    family(out, "dialed_store_wal_bytes", "gauge",
+           "WAL bytes since the last snapshot (all partitions).");
+    sample(out, "dialed_store_wal_bytes", store.wal_bytes);
+    // Group-commit batch histogram: how many records each fsync made
+    // durable. Batches of 1 mean no absorption (lone writers or
+    // per_record policy); the right-hand buckets are group commit
+    // earning its keep under concurrency.
+    family(out, "dialed_store_group_commit_batch", "histogram",
+           "Records made durable per WAL fsync.");
+    std::uint64_t gcum = 0;
+    std::size_t gbound = 1;
+    const auto& gh = store.group_commit.batch_hist;
+    for (std::size_t i = 0; i < gh.size(); ++i) {
+      gcum += gh[i];
+      const std::string le =
+          i + 1 == gh.size() ? "+Inf" : std::to_string(gbound);
+      sample(out, "dialed_store_group_commit_batch_bucket", gcum,
+             "{le=\"" + le + "\"}");
+      gbound <<= 1;
+    }
+    sample(out, "dialed_store_group_commit_batch_sum",
+           store.group_commit.records);
+    sample(out, "dialed_store_group_commit_batch_count",
+           store.group_commit.syncs);
+  }
   return out;
 }
 

@@ -19,8 +19,20 @@
 
 #include "fleet/stats_render.h"
 #include "net/batcher.h"
+#include "store/wal.h"
 
 namespace dialed::net {
+
+/// Snapshot of the backing store(s) for /metrics; `present == false`
+/// renders no dialed_store_* families (serving without --state-dir).
+/// With partitioned stores the fields aggregate (sums; histograms add).
+struct store_metrics {
+  bool present = false;
+  const char* sync_policy = "none";  ///< store::to_string(wal_sync)
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;
+  store::group_commit_stats group_commit;
+};
 
 /// Net-side counters, snapshotted by attest_server::stats(). Everything
 /// here is maintained by the reactor thread and read via atomics (see
@@ -70,7 +82,8 @@ std::string render_http_response(int status,
 /// dialed_partition_* families.
 std::string render_metrics_body(
     const fleet::hub_stats& hub, const server_stats& net,
-    std::span<const fleet::hub_stats> partitions = {});
+    std::span<const fleet::hub_stats> partitions = {},
+    const store_metrics& store = {});
 
 /// The /healthz body. `store_ok` false renders "degraded" (and the
 /// endpoint answers 503); without a store the store field reads "none".

@@ -156,9 +156,25 @@ std::string attest_server::handle_http(const http_request& req) {
     // Fold live traffic first so a scrape sees current bytes.
     for (auto& [fd, c] : conns_) fold_traffic(*c);
     const auto parts = hub_.partition_stats();
+    // Store families aggregate across partitioned stores (sums;
+    // histogram buckets add — all partitions share one sync policy).
+    store_metrics sm;
+    for (const auto* st : stores_) {
+      if (st == nullptr) continue;
+      sm.present = true;
+      sm.sync_policy = store::to_string(st->wal_sync_policy());
+      sm.wal_records += st->wal_records();
+      sm.wal_bytes += st->wal_bytes();
+      const auto gc = st->group_commit();
+      sm.group_commit.syncs += gc.syncs;
+      sm.group_commit.records += gc.records;
+      for (std::size_t i = 0; i < gc.batch_hist.size(); ++i) {
+        sm.group_commit.batch_hist[i] += gc.batch_hist[i];
+      }
+    }
     return render_http_response(
         200, "text/plain; version=0.0.4",
-        render_metrics_body(hub_.stats(), stats(), parts));
+        render_metrics_body(hub_.stats(), stats(), parts, sm));
   }
   if (req.path == "/healthz") {
     // With several backing stores (one per partition) the depth fields

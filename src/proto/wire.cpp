@@ -70,14 +70,25 @@ std::string to_string(proto_error e) {
 }
 
 std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) {
+  // Table-driven (one lookup per byte, ~8x the bitwise loop): the frame
+  // CRC runs over every report on the hot verify path, where the bitwise
+  // version was the single biggest decode cost.
+  static const auto table = [] {
+    std::array<std::uint16_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint16_t c = static_cast<std::uint16_t>(i << 8);
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 0x8000) ? static_cast<std::uint16_t>((c << 1) ^ 0x1021)
+                         : static_cast<std::uint16_t>(c << 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
   std::uint16_t crc = 0xffff;
   for (const std::uint8_t b : data) {
-    crc ^= static_cast<std::uint16_t>(b) << 8;
-    for (int i = 0; i < 8; ++i) {
-      crc = (crc & 0x8000)
-                ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
-                : static_cast<std::uint16_t>(crc << 1);
-    }
+    crc = static_cast<std::uint16_t>(
+        (crc << 8) ^ table[((crc >> 8) ^ b) & 0xffu]);
   }
   return crc;
 }
@@ -182,6 +193,7 @@ proto_error decode_v21_into(std::span<const std::uint8_t> frame,
   for (std::size_t i = 0; i < 32; ++i) rep.mac[i] = frame[40 + i];
   // The frame carries no full OR; the verifier reconstructs it.
   rep.or_bytes.clear();
+  out.or_view = {};
 
   auto& d = out.delta;
   d.present = true;
@@ -216,7 +228,7 @@ proto_error decode_v21_into(std::span<const std::uint8_t> frame,
 }  // namespace
 
 proto_error decode_frame_into(std::span<const std::uint8_t> frame,
-                              decoded_frame& out) {
+                              decoded_frame& out, decode_mode mode) {
   if (frame.size() < 3) return proto_error::truncated;
   if (load_le16(frame, 0) != wire_magic) return proto_error::bad_magic;
   const std::uint8_t version = frame[2];
@@ -260,8 +272,17 @@ proto_error decode_frame_into(std::span<const std::uint8_t> frame,
   rep.halt_code = load_le16(frame, off + 10);
   for (std::size_t i = 0; i < 16; ++i) rep.challenge[i] = frame[off + 12 + i];
   for (std::size_t i = 0; i < 32; ++i) rep.mac[i] = frame[off + 28 + i];
-  rep.or_bytes.assign(frame.begin() + static_cast<std::ptrdiff_t>(hdr),
-                      frame.begin() + static_cast<std::ptrdiff_t>(hdr + or_len));
+  if (mode == decode_mode::borrow) {
+    // Zero-copy: the OR stays in the caller's frame buffer (see the
+    // decode_mode lifetime contract in wire.h).
+    rep.or_bytes.clear();
+    out.or_view = frame.subspan(hdr, or_len);
+  } else {
+    rep.or_bytes.assign(
+        frame.begin() + static_cast<std::ptrdiff_t>(hdr),
+        frame.begin() + static_cast<std::ptrdiff_t>(hdr + or_len));
+    out.or_view = rep.or_bytes;
+  }
   return proto_error::none;
 }
 

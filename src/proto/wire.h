@@ -171,6 +171,12 @@ struct or_delta {
 struct decoded_frame {
   frame_info info;
   verifier::attestation_report report;
+  /// The decoded OR payload as a span, regardless of decode mode: in
+  /// `copy` mode it views `report.or_bytes`; in `borrow` mode it views
+  /// the caller's frame buffer (see decode_mode lifetime rules) and
+  /// `report.or_bytes` stays empty. Empty for v2.1 frames — the OR does
+  /// not exist until apply_or_delta reconstructs it.
+  std::span<const std::uint8_t> or_view;
   /// v2.1 only: the delta section. When `delta.present`, report.or_bytes
   /// is EMPTY — the verifier must reconstruct it against its baseline via
   /// apply_or_delta before anything downstream (MAC!) may run.
@@ -203,10 +209,34 @@ proto_error encode_frame_into(const frame_info& info,
 /// Parse and validate a frame of any supported version.
 decode_result decode_frame(std::span<const std::uint8_t> frame);
 
+/// How decode_frame_into materializes the OR payload.
+///
+/// `copy`   — report.or_bytes owns a copy (capacity reused across calls);
+///            or_view aliases it. The decoded frame is self-contained.
+/// `borrow` — ZERO-COPY: or_view points INTO the caller's `frame` buffer
+///            and report.or_bytes stays empty. Lifetime contract: the
+///            frame bytes must stay alive AND unmodified for as long as
+///            or_view (or any report_view built from it) is read — i.e.
+///            until verification of this report completes. The borrowing
+///            callers in-tree all satisfy this structurally: the hub
+///            verifies synchronously inside submit() while the caller
+///            holds the frame; the net batcher keeps each batch's frames
+///            in stable per-batch storage until every verdict is out; WAL
+///            replay keeps the record buffer alive across the apply.
+///            Anything that must OUTLIVE the frame (e.g. a delta
+///            baseline adopted from an accepted report) must copy out of
+///            the view — never store the span.
+///
+/// v2.1 delta frames carry no OR either way; or_view is empty until
+/// apply_or_delta reconstructs the payload into caller storage.
+enum class decode_mode : std::uint8_t { copy, borrow };
+
 /// Parse into caller-owned storage, reusing `out.report.or_bytes`'s
-/// capacity — the allocation-free path `verify_batch` runs on.
+/// capacity — the allocation-free path `verify_batch` runs on. See
+/// decode_mode for the `borrow` lifetime rules.
 proto_error decode_frame_into(std::span<const std::uint8_t> frame,
-                              decoded_frame& out);
+                              decoded_frame& out,
+                              decode_mode mode = decode_mode::copy);
 
 // ---- v2.1 delta codec -----------------------------------------------------
 

@@ -4,25 +4,69 @@
 
 namespace dialed::rot {
 
-crypto::hmac_sha256::mac compute_attestation_mac(
-    std::span<const std::uint8_t> key, const attest_input& in) {
-  // KDF: bind the session challenge into a one-time key (VRASED design).
-  const auto derived = crypto::hmac_sha256::compute(key, in.challenge);
-
-  crypto::hmac_sha256 mac(derived);
+std::array<std::uint8_t, 9> attest_mac_header(std::uint16_t er_min,
+                                              std::uint16_t er_max,
+                                              std::uint16_t or_min,
+                                              std::uint16_t or_max,
+                                              bool exec) {
   std::array<std::uint8_t, 9> header{};
-  header[0] = static_cast<std::uint8_t>(in.er_min & 0xff);
-  header[1] = static_cast<std::uint8_t>(in.er_min >> 8);
-  header[2] = static_cast<std::uint8_t>(in.er_max & 0xff);
-  header[3] = static_cast<std::uint8_t>(in.er_max >> 8);
-  header[4] = static_cast<std::uint8_t>(in.or_min & 0xff);
-  header[5] = static_cast<std::uint8_t>(in.or_min >> 8);
-  header[6] = static_cast<std::uint8_t>(in.or_max & 0xff);
-  header[7] = static_cast<std::uint8_t>(in.or_max >> 8);
-  header[8] = in.exec ? 1 : 0;
+  header[0] = static_cast<std::uint8_t>(er_min & 0xff);
+  header[1] = static_cast<std::uint8_t>(er_min >> 8);
+  header[2] = static_cast<std::uint8_t>(er_max & 0xff);
+  header[3] = static_cast<std::uint8_t>(er_max >> 8);
+  header[4] = static_cast<std::uint8_t>(or_min & 0xff);
+  header[5] = static_cast<std::uint8_t>(or_min >> 8);
+  header[6] = static_cast<std::uint8_t>(or_max & 0xff);
+  header[7] = static_cast<std::uint8_t>(or_max >> 8);
+  header[8] = exec ? 1 : 0;
+  return header;
+}
+
+namespace {
+
+crypto::hmac_sha256::mac mac_with_keystate(
+    const crypto::hmac_keystate& key_state, const attest_input& in) {
+  // KDF: bind the session challenge into a one-time key (VRASED design).
+  const auto derived = crypto::hmac_sha256::compute(key_state, in.challenge);
+
+  crypto::hmac_sha256 mac((std::span<const std::uint8_t>(derived)));
+  const auto header = attest_mac_header(in.er_min, in.er_max, in.or_min,
+                                        in.or_max, in.exec);
   mac.update(header);
   mac.update(in.er_bytes);
   mac.update(in.or_bytes);
+  return mac.finish();
+}
+
+}  // namespace
+
+crypto::hmac_sha256::mac compute_attestation_mac(
+    std::span<const std::uint8_t> key, const attest_input& in) {
+  return mac_with_keystate(crypto::hmac_keystate::derive(key), in);
+}
+
+crypto::hmac_sha256::mac compute_attestation_mac(
+    const crypto::hmac_keystate& key_state, const attest_input& in) {
+  return mac_with_keystate(key_state, in);
+}
+
+crypto::hmac_sha256::mac compute_attestation_mac(
+    const crypto::hmac_keystate& key_state,
+    std::span<const std::uint8_t> challenge,
+    std::span<const std::uint8_t> header_and_er,
+    std::span<const std::uint8_t> or_bytes) {
+  const auto derived = crypto::hmac_sha256::compute(key_state, challenge);
+  return compute_attestation_mac_derived(
+      crypto::hmac_keystate::derive(derived), header_and_er, or_bytes);
+}
+
+crypto::hmac_sha256::mac compute_attestation_mac_derived(
+    const crypto::hmac_keystate& derived_key_state,
+    std::span<const std::uint8_t> header_and_er,
+    std::span<const std::uint8_t> or_bytes) {
+  crypto::hmac_sha256 mac(derived_key_state);
+  mac.update(header_and_er);
+  mac.update(or_bytes);
   return mac.finish();
 }
 

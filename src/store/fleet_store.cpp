@@ -154,7 +154,7 @@ fleet_state fleet_store::open(const std::string& dir, options opts) {
 
   store->wal_ = std::make_unique<wal_writer>(
       store->wal_path(chain_end), tail_valid, tail_count,
-      store->opts_.sync_every_append);
+      store->opts_.wal);
 
   auto hub_cfg = store->opts_.hub;
   hub_cfg.sink = store.get();
@@ -350,6 +350,15 @@ void fleet_store::on_tick(std::uint64_t now) {
   w.u8(static_cast<std::uint8_t>(rec::tick));
   w.u64(now);
   journal(w.data());
+}
+
+void fleet_store::sync_barrier() {
+  // per_record synced inside append; none promises nothing — only group
+  // has anything to wait for. The caller's own record is already staged
+  // (its journal() happened-before, same thread), so syncing to the
+  // current staged horizon covers it.
+  if (opts_.wal.sync != wal_sync::group) return;
+  wal_->sync_to(wal_->staged_lsn());
 }
 
 }  // namespace dialed::store

@@ -101,9 +101,12 @@ class fleet_store final : public fleet::persist_sink {
     /// Configuration for the reopened hub (shards, TTL, workers...).
     /// The store installs itself as cfg.sink.
     fleet::hub_config hub{};
-    /// fsync every WAL append (power-loss durability) instead of only
-    /// flushing to the OS (process-crash durability, the default).
-    bool sync_every_append = false;
+    /// WAL durability policy (see the sync policy matrix in
+    /// src/store/wal.h): per_record fsyncs inside every append, group
+    /// batches concurrent appenders' fsyncs into one (the hub's
+    /// sync_barrier is the commit point), none trusts the OS page cache
+    /// (process-crash durability, the default).
+    wal_options wal{};
     /// Rewrite the snapshot and reset the WAL at open() when the WAL is
     /// non-empty or no snapshot exists yet. Keeps reopen cost bounded and
     /// makes the master key durable from the first open.
@@ -137,6 +140,9 @@ class fleet_store final : public fleet::persist_sink {
   /// Observability: current WAL size (records/bytes since the snapshot).
   std::uint64_t wal_records() const { return wal_->records(); }
   std::uint64_t wal_bytes() const { return wal_->bytes(); }
+  /// Fsync batching counters (the /metrics group-commit histogram).
+  group_commit_stats group_commit() const { return wal_->sync_stats(); }
+  wal_sync wal_sync_policy() const { return opts_.wal.sync; }
   std::uint64_t generation() const {
     return generation_.load(std::memory_order_relaxed);
   }
@@ -154,6 +160,14 @@ class fleet_store final : public fleet::persist_sink {
   void on_baseline(fleet::device_id id, std::uint32_t seq,
                    std::span<const std::uint8_t> or_bytes) override;
   void on_tick(std::uint64_t now) override;
+  /// The hub's phase-1/phase-2 durability barrier. Under wal_sync::group
+  /// this is where concurrent verifiers park and one batch fsync covers
+  /// them all; per_record is already durable and none promises nothing,
+  /// so both return immediately. Deliberately does NOT take log_mu_ —
+  /// the caller's record was appended before this call (same thread),
+  /// and blocking the journal for the fsync wait would serialize the
+  /// very batching group commit exists for.
+  void sync_barrier() override;
 
  private:
   fleet_store(std::string dir, options opts);

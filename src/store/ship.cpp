@@ -49,8 +49,7 @@ void wal_follower::on_snapshot(std::uint64_t generation,
                      ("wal-" + std::to_string(gen_) + ".log"),
                  ec);
     }
-    wal_ = std::make_unique<wal_writer>(wal.string(), 0, 0,
-                                        cfg_.sync_every_append);
+    wal_ = std::make_unique<wal_writer>(wal.string(), 0, 0, cfg_.wal);
     img_ = std::move(img);
     img_.wal_generation = generation;
     gen_ = generation;

@@ -98,8 +98,10 @@ class wal_shipper final : public ship_sink {
 /// directory (snapshot file + WAL, same layout as the primary's), ready
 /// to be promoted to a live fleet after the primary dies.
 struct follower_config {
-  /// fsync the follower's WAL on every applied record.
-  bool sync_every_append = false;
+  /// Durability policy for the follower's WAL (same matrix as the
+  /// primary's, src/store/wal.h). Followers apply a serialized stream,
+  /// so group buys little here — per_record or none are the usual picks.
+  wal_options wal{};
   /// Retired-nonce ring bound for the follower's VALIDATION image;
   /// match the primary's hub_config.retired_memory. Only bounds the
   /// follower's memory — the promoted hub re-applies its own bound.

@@ -15,7 +15,7 @@ constexpr std::uint64_t max_walk_steps = 5'000'000;
 
 class cfa_walker {
  public:
-  cfa_walker(const firmware_artifact& fw, const attestation_report& report)
+  cfa_walker(const firmware_artifact& fw, const report_view& report)
       : fw_(fw),
         prog_(fw.program()),
         report_(report),
@@ -222,7 +222,7 @@ class cfa_walker {
 
   const firmware_artifact& fw_;
   const instr::linked_program& prog_;
-  const attestation_report& report_;
+  report_view report_;
   const std::vector<std::uint8_t>& mem_;  ///< artifact's flattened image
   logfmt::log_view log_;
   std::vector<std::uint16_t> shadow_;
@@ -237,7 +237,7 @@ class cfa_walker {
 }  // namespace
 
 cfa_result check_cfa_log(const firmware_artifact& fw,
-                         const attestation_report& report) {
+                         const report_view& report) {
   if (fw.program().options.mode != instr::instrumentation::tinycfa) {
     throw error(
         "verifier: check_cfa_log requires a Tiny-CFA-instrumented program "
@@ -247,7 +247,7 @@ cfa_result check_cfa_log(const firmware_artifact& fw,
 }
 
 cfa_result check_cfa_log(const instr::linked_program& prog,
-                         const attestation_report& report) {
+                         const report_view& report) {
   const firmware_artifact fw(prog);
   return check_cfa_log(fw, report);
 }

@@ -43,13 +43,13 @@ struct cfa_result {
 /// throws dialed::error otherwise. Const over the artifact — safe from
 /// many threads at once.
 cfa_result check_cfa_log(const firmware_artifact& fw,
-                         const attestation_report& report);
+                         const report_view& report);
 
 /// Convenience for one-shot callers (tests/tools): builds a throwaway
 /// artifact for `prog` first. Fleet code verifies through a shared
 /// artifact instead.
 cfa_result check_cfa_log(const instr::linked_program& prog,
-                         const attestation_report& report);
+                         const report_view& report);
 
 }  // namespace dialed::verifier
 

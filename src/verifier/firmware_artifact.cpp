@@ -120,6 +120,18 @@ firmware_artifact::firmware_artifact(instr::linked_program prog,
   }
   er_bytes_ = prog_.er_bytes();
 
+  // Prebuild the fixed MAC-message prefix (header ‖ ER) for both EXEC
+  // values — per report only the challenge KDF and the OR bytes vary.
+  const auto& map0 = prog_.options.map;
+  for (const bool exec : {true, false}) {
+    const auto header = rot::attest_mac_header(
+        prog_.er_min, prog_.er_max, map0.or_min, map0.or_max, exec);
+    byte_vec& prefix = exec ? mac_prefix_exec1_ : mac_prefix_exec0_;
+    prefix.reserve(header.size() + er_bytes_.size());
+    prefix.assign(header.begin(), header.end());
+    prefix.insert(prefix.end(), er_bytes_.begin(), er_bytes_.end());
+  }
+
   // Flatten the image once — the bytes the bus holds right after load.
   flat_.assign(0x10000, 0);
   for (const auto& seg : prog_.image.segments) {
@@ -208,7 +220,15 @@ const isa::decoded* firmware_artifact::decoded_at(std::uint16_t pc) const {
 }
 
 verdict firmware_artifact::verify(
-    const attestation_report& report, std::span<const std::uint8_t> key,
+    const report_view& report, std::span<const std::uint8_t> key,
+    const std::vector<std::shared_ptr<policy>>& policies,
+    std::optional<std::array<std::uint8_t, 16>> expected_challenge) const {
+  return verify(report, crypto::hmac_keystate::derive(key), policies,
+                expected_challenge);
+}
+
+verdict firmware_artifact::verify(
+    const report_view& report, const crypto::hmac_keystate& key_state,
     const std::vector<std::shared_ptr<policy>>& policies,
     std::optional<std::array<std::uint8_t, 16>> expected_challenge) const {
   verdict v;
@@ -231,21 +251,22 @@ verdict firmware_artifact::verify(
   }
 
   // ---- 2. MAC + EXEC ----
-  rot::attest_input in;
-  in.er_min = report.er_min;
-  in.er_max = report.er_max;
-  in.or_min = report.or_min;
-  in.or_max = report.or_max;
-  in.exec = true;  // Vrf only ever accepts proofs of violation-free runs
-  in.challenge = report.challenge;
-  in.er_bytes = er_bytes_;
-  in.or_bytes = report.or_bytes;
-  const auto expected_mac = rot::compute_attestation_mac(key, in);
+  // KDF once per report (k' is challenge-bound), then MAC over the
+  // prebuilt header‖ER prefix and the viewed OR. Vrf only ever accepts
+  // proofs of violation-free runs, so EXEC=1 is what the expected MAC
+  // asserts. Bounds already matched the program's, so the artifact's
+  // prefix is exactly this report's header‖ER.
+  const auto derived = crypto::hmac_sha256::compute(key_state,
+                                                    report.challenge);
+  const auto derived_state = crypto::hmac_keystate::derive(derived);
+  const auto expected_mac = rot::compute_attestation_mac_derived(
+      derived_state, mac_prefix_exec1_, report.or_bytes);
   if (!crypto::hmac_sha256::equal(expected_mac, report.mac)) {
     // Distinguish an authentic EXEC=0 report from an outright forgery —
-    // purely diagnostic; both are rejected.
-    in.exec = false;
-    const auto mac_exec0 = rot::compute_attestation_mac(key, in);
+    // purely diagnostic; both are rejected. Reuses the derived key
+    // schedule: only the one-byte exec flag in the prefix differs.
+    const auto mac_exec0 = rot::compute_attestation_mac_derived(
+        derived_state, mac_prefix_exec0_, report.or_bytes);
     if (crypto::hmac_sha256::equal(mac_exec0, report.mac)) {
       v.findings.push_back(
           {attack_kind::exec_cleared,

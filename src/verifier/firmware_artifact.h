@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/hmac.h"
 #include "instr/oplink.h"
 #include "isa/isa.h"
 #include "verifier/report.h"
@@ -113,9 +114,19 @@ class firmware_artifact {
   /// Full §III verification of one report against this firmware, under a
   /// given device key. `policies` may be empty; `expected_challenge`
   /// enforces anti-replay. Const, reentrant, and safe to call from many
-  /// threads at once.
-  verdict verify(const attestation_report& report,
+  /// threads at once. Takes a report_view (owning reports convert
+  /// implicitly); the viewed OR storage must stay alive for the call.
+  verdict verify(const report_view& report,
                  std::span<const std::uint8_t> key,
+                 const std::vector<std::shared_ptr<policy>>& policies,
+                 std::optional<std::array<std::uint8_t, 16>>
+                     expected_challenge = std::nullopt) const;
+
+  /// Same, from a cached HMAC key schedule for the device key (what
+  /// fleet::device_record carries) — skips four key-block compressions
+  /// per report.
+  verdict verify(const report_view& report,
+                 const crypto::hmac_keystate& key_state,
                  const std::vector<std::shared_ptr<policy>>& policies,
                  std::optional<std::array<std::uint8_t, 16>>
                      expected_challenge = std::nullopt) const;
@@ -138,6 +149,11 @@ class firmware_artifact {
   mutable firmware_id id_{};
   bool id_precomputed_ = false;
   byte_vec er_bytes_;
+  /// attest_mac_header(..., exec) ‖ ER as one contiguous buffer per EXEC
+  /// value — the fixed prefix of every MAC'd message for this firmware,
+  /// prebuilt so verify() absorbs it in a single unbroken hash run.
+  byte_vec mac_prefix_exec1_;
+  byte_vec mac_prefix_exec0_;
   std::vector<std::uint8_t> flat_;
   std::map<std::uint16_t, bounds_site> sites_;
   std::vector<std::uint16_t> taken_labels_;  ///< sorted

@@ -89,7 +89,7 @@ struct watcher_guard {
 class replay_engine final : public emu::watcher {
  public:
   replay_engine(const firmware_artifact& fw,
-                const attestation_report& report,
+                const report_view& report,
                 const std::vector<std::shared_ptr<policy>>& policies,
                 emu::machine& m)
       : fw_(fw),
@@ -410,7 +410,7 @@ class replay_engine final : public emu::watcher {
 
   const firmware_artifact& fw_;
   const instr::linked_program& prog_;
-  const attestation_report& report_;
+  report_view report_;
   const std::vector<std::shared_ptr<policy>>& policies_;
   emu::machine& m_;
   replay_state state_;
@@ -584,7 +584,7 @@ replay_result replay_engine::run() {
 }  // namespace
 
 replay_result replay_operation(
-    const firmware_artifact& fw, const attestation_report& report,
+    const firmware_artifact& fw, const report_view& report,
     const std::vector<std::shared_ptr<policy>>& policies) {
   machine_lease lease(fw.program().options.map);
   replay_engine engine(fw, report, policies, lease.machine());

@@ -99,7 +99,7 @@ struct replay_result {
 /// decode once replayed code has been overwritten. Safe to call from many
 /// threads concurrently; each thread has its own machine.
 replay_result replay_operation(
-    const firmware_artifact& fw, const attestation_report& report,
+    const firmware_artifact& fw, const report_view& report,
     const std::vector<std::shared_ptr<policy>>& policies);
 
 }  // namespace dialed::verifier

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,39 @@ struct attestation_report {
   // Unattested device claims (useful for diagnosis; never trusted).
   std::uint16_t claimed_result = 0;
   std::uint16_t halt_code = 0;
+};
+
+/// Non-owning view of an attestation report: the scalar fields by value,
+/// `or_bytes` as a span into storage the CALLER keeps alive — a decoded
+/// wire frame, a WAL buffer, or an owning attestation_report (the implicit
+/// conversion below, so every existing owning call site still compiles).
+/// The whole verification pipeline consumes this view, which is what lets
+/// a full-frame v2 submission verify without ever copying its OR.
+struct report_view {
+  std::uint16_t er_min = 0;
+  std::uint16_t er_max = 0;
+  std::uint16_t or_min = 0;
+  std::uint16_t or_max = 0;
+  bool exec = false;
+  std::array<std::uint8_t, 16> challenge{};
+  std::span<const std::uint8_t> or_bytes;  ///< [or_min, or_max+1]
+  crypto::hmac_sha256::mac mac{};
+  std::uint16_t claimed_result = 0;
+  std::uint16_t halt_code = 0;
+
+  report_view() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): deliberate implicit view.
+  report_view(const attestation_report& r)
+      : er_min(r.er_min),
+        er_max(r.er_max),
+        or_min(r.or_min),
+        or_max(r.or_max),
+        exec(r.exec),
+        challenge(r.challenge),
+        or_bytes(r.or_bytes),
+        mac(r.mac),
+        claimed_result(r.claimed_result),
+        halt_code(r.halt_code) {}
 };
 
 enum class attack_kind : std::uint8_t {

@@ -4,20 +4,23 @@ namespace dialed::verifier {
 
 op_verifier::op_verifier(instr::linked_program prog, byte_vec key)
     : fw_(firmware_artifact::build(std::move(prog))),
-      key_(std::move(key)) {}
+      key_(std::move(key)),
+      key_state_(crypto::hmac_keystate::derive(key_)) {}
 
 op_verifier::op_verifier(std::shared_ptr<const firmware_artifact> fw,
                          byte_vec key)
-    : fw_(std::move(fw)), key_(std::move(key)) {}
+    : fw_(std::move(fw)),
+      key_(std::move(key)),
+      key_state_(crypto::hmac_keystate::derive(key_)) {}
 
 void op_verifier::add_policy(std::shared_ptr<policy> p) {
   policies_.push_back(std::move(p));
 }
 
 verdict op_verifier::verify(
-    const attestation_report& report,
+    const report_view& report,
     std::optional<std::array<std::uint8_t, 16>> expected_challenge) const {
-  return fw_->verify(report, key_, policies_, expected_challenge);
+  return fw_->verify(report, key_state_, policies_, expected_challenge);
 }
 
 std::size_t op_verifier::context_footprint_bytes() const {

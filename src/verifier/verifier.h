@@ -48,9 +48,10 @@ class op_verifier {
   /// Register an app-specific safety policy evaluated during replay.
   void add_policy(std::shared_ptr<policy> p);
 
-  /// Verify a report. If `expected_challenge` is given, the report must
-  /// carry exactly that nonce (anti-replay).
-  verdict verify(const attestation_report& report,
+  /// Verify a report (owning reports convert to the view implicitly). If
+  /// `expected_challenge` is given, the report must carry exactly that
+  /// nonce (anti-replay). Runs on the key schedule cached at construction.
+  verdict verify(const report_view& report,
                  std::optional<std::array<std::uint8_t, 16>>
                      expected_challenge = std::nullopt) const;
 
@@ -69,6 +70,8 @@ class op_verifier {
  private:
   std::shared_ptr<const firmware_artifact> fw_;
   byte_vec key_;
+  /// Precomputed ipad/opad schedule for key_ (never persisted).
+  crypto::hmac_keystate key_state_;
   std::vector<std::shared_ptr<policy>> policies_;
 };
 

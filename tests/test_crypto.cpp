@@ -1,6 +1,10 @@
 // SHA-256 (FIPS 180-4 / NIST CAVP vectors) and HMAC-SHA256 (RFC 4231).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
 #include "common/bytes.h"
 #include "common/error.h"
 #include "crypto/hmac.h"
@@ -203,6 +207,231 @@ TEST(bytes, le16_round_trip) {
   EXPECT_EQ(buf[1], 0xef);
   EXPECT_EQ(buf[2], 0xbe);
   EXPECT_EQ(load_le16(buf, 1), 0xbeef);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD backend differential battery (PR 8)
+//
+// Every backend the CPU supports must produce byte-identical digests to
+// the scalar reference, over adversarial lengths (block boundaries, the
+// padding cliff at 55/56, multi-block AVX2 pairs) AND over the checked-in
+// wire fuzz corpus — real frame bytes, not synthetic patterns. Backends
+// the CPU lacks are SKIPPED, not failed: the suite must pass on any
+// x86-64 (and, compiled portable, collapses to scalar-vs-scalar).
+// ---------------------------------------------------------------------------
+
+/// Deterministic pseudo-random fill (splitmix64), so failures replay.
+byte_vec prng_bytes(std::size_t n, std::uint64_t seed) {
+  byte_vec out(n);
+  std::uint64_t x = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    out[i] = static_cast<std::uint8_t>((z ^ (z >> 31)) & 0xff);
+  }
+  return out;
+}
+
+/// RAII backend override: forces `b` for the test body, restores the
+/// environment's pick afterwards even on assertion failure.
+class forced_backend {
+ public:
+  explicit forced_backend(sha256_backend b)
+      : prev_(sha256_active_backend()), ok_(sha256_force_backend(b)) {}
+  ~forced_backend() { sha256_force_backend(prev_); }
+  bool ok() const { return ok_; }
+
+ private:
+  sha256_backend prev_;
+  bool ok_;
+};
+
+class sha256_backends : public ::testing::TestWithParam<sha256_backend> {
+ protected:
+  void SetUp() override {
+    if (!sha256_backend_supported(GetParam())) {
+      GTEST_SKIP() << "backend " << to_string(GetParam())
+                   << " not supported on this CPU/build";
+    }
+  }
+};
+
+TEST_P(sha256_backends, matches_scalar_on_boundary_lengths) {
+  // 0/1: empty+tiny. 55/56: the padding cliff (56 spills a second
+  // block). 63/64/65: block boundary. 127..129: the AVX2 two-block
+  // pair boundary. 4096: bulk. 65535: or_max, the largest OR a wire
+  // frame can carry. 70000: beyond any frame, multi-block remainder mix.
+  const std::size_t lengths[] = {0,  1,  55,  56,  63,   64,   65,
+                                 96, 127, 128, 129, 4096, 65535, 70000};
+  for (const std::size_t n : lengths) {
+    const byte_vec msg = prng_bytes(n, 0xd1a1ed00ull + n);
+    sha256::digest want;
+    {
+      forced_backend f(sha256_backend::scalar);
+      ASSERT_TRUE(f.ok());
+      want = sha256::hash(msg);
+    }
+    forced_backend f(GetParam());
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(to_hex(sha256::hash(msg)), to_hex(want))
+        << "backend " << to_string(GetParam()) << " diverges at length "
+        << n;
+  }
+}
+
+TEST_P(sha256_backends, matches_scalar_on_incremental_chunking) {
+  // Chunked updates stress the partial-block buffer against the
+  // multi-block bulk path: every chunk size crosses block boundaries at
+  // different phases.
+  const byte_vec msg = prng_bytes(3000, 0xfeedface);
+  sha256::digest want;
+  {
+    forced_backend f(sha256_backend::scalar);
+    ASSERT_TRUE(f.ok());
+    want = sha256::hash(msg);
+  }
+  forced_backend f(GetParam());
+  ASSERT_TRUE(f.ok());
+  for (const std::size_t chunk : {1u, 7u, 64u, 65u, 191u, 1024u}) {
+    sha256 h;
+    for (std::size_t off = 0; off < msg.size(); off += chunk) {
+      h.update(std::span<const std::uint8_t>(msg).subspan(
+          off, std::min(chunk, msg.size() - off)));
+    }
+    EXPECT_EQ(to_hex(h.finish()), to_hex(want))
+        << "backend " << to_string(GetParam()) << " chunk " << chunk;
+  }
+}
+
+TEST_P(sha256_backends, matches_scalar_on_wire_fuzz_corpus) {
+  // Real frame bytes from the wire fuzz battery's checked-in corpus.
+  const std::filesystem::path dir = DIALED_FUZZ_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::exists(dir))
+      << "fuzz corpus missing: " << dir;
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    ASSERT_TRUE(in) << entry.path();
+    byte_vec data((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+    sha256::digest want;
+    {
+      forced_backend f(sha256_backend::scalar);
+      ASSERT_TRUE(f.ok());
+      want = sha256::hash(data);
+    }
+    forced_backend f(GetParam());
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(to_hex(sha256::hash(data)), to_hex(want))
+        << "backend " << to_string(GetParam()) << " diverges on corpus "
+        << entry.path();
+    ++files;
+  }
+  EXPECT_GT(files, 0u) << "corpus directory is empty";
+}
+
+TEST_P(sha256_backends, hmac_keystate_equals_from_scratch) {
+  forced_backend f(GetParam());
+  ASSERT_TRUE(f.ok());
+  for (const std::size_t key_len : {16u, 32u, 64u, 65u, 200u}) {
+    const byte_vec key = prng_bytes(key_len, 0x4b4b + key_len);
+    const byte_vec msg = prng_bytes(777, 0x6d6d);
+    const auto ks = hmac_keystate::derive(key);
+    EXPECT_EQ(to_hex(hmac_sha256::compute(ks, msg)),
+              to_hex(hmac_sha256::compute(key, msg)))
+        << "keystate MAC diverges, key length " << key_len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(all, sha256_backends,
+                         ::testing::Values(sha256_backend::scalar,
+                                           sha256_backend::avx2,
+                                           sha256_backend::shani),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(sha256_dispatch, active_backend_is_supported) {
+  EXPECT_TRUE(sha256_backend_supported(sha256_active_backend()));
+  // scalar must exist everywhere — it is the reference and the fallback.
+  EXPECT_TRUE(sha256_backend_supported(sha256_backend::scalar));
+}
+
+TEST(sha256_dispatch, force_rejects_unsupported_and_keeps_current) {
+  // Exercise only when some backend genuinely is unsupported (portable
+  // builds / non-SHA CPUs); otherwise nothing to observe.
+  const auto before = sha256_active_backend();
+  for (const auto b :
+       {sha256_backend::scalar, sha256_backend::avx2,
+        sha256_backend::shani}) {
+    if (sha256_backend_supported(b)) continue;
+    EXPECT_FALSE(sha256_force_backend(b));
+    EXPECT_EQ(sha256_active_backend(), before);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// midstate save/restore + finish() auto-reset (PR 8)
+// ---------------------------------------------------------------------------
+
+TEST(sha256_midstate, save_restore_resumes_at_block_boundary) {
+  const byte_vec head = prng_bytes(128, 1);  // two whole blocks
+  const byte_vec tail = prng_bytes(100, 2);
+  sha256 ref;
+  ref.update(head);
+  ref.update(tail);
+  const auto want = ref.finish();
+
+  sha256 h;
+  h.update(head);
+  const auto mid = h.save();
+  // Resume from the midstate in a FRESH object: the whole point is
+  // skipping the head's compressions.
+  sha256 resumed;
+  resumed.restore(mid);
+  resumed.update(tail);
+  EXPECT_EQ(to_hex(resumed.finish()), to_hex(want));
+  // The midstate is reusable: restore again, different tail.
+  sha256 again;
+  again.restore(mid);
+  again.update(head);  // any other continuation
+  sha256 ref2;
+  ref2.update(head);
+  ref2.update(head);
+  EXPECT_EQ(to_hex(again.finish()), to_hex(ref2.finish()));
+}
+
+TEST(sha256_midstate, save_off_boundary_throws) {
+  sha256 h;
+  h.update(prng_bytes(65, 3));  // one byte past a block boundary
+  EXPECT_THROW((void)h.save(), error);
+}
+
+TEST(sha256_finish, auto_resets_for_reuse) {
+  const byte_vec a = bytes_of("first message");
+  const byte_vec b = bytes_of("second message");
+  sha256 h;
+  h.update(a);
+  const auto da = h.finish();
+  h.update(b);  // no explicit reset(): finish() re-armed the object
+  const auto db = h.finish();
+  EXPECT_EQ(to_hex(da), to_hex(sha256::hash(a)));
+  EXPECT_EQ(to_hex(db), to_hex(sha256::hash(b)));
+}
+
+TEST(hmac_keystate, finish_rearms_for_same_key) {
+  const byte_vec key = prng_bytes(32, 4);
+  const auto ks = hmac_keystate::derive(key);
+  hmac_sha256 mac(ks);
+  mac.update(bytes_of("one"));
+  const auto m1 = mac.finish();
+  mac.update(bytes_of("two"));  // reuse without re-keying
+  const auto m2 = mac.finish();
+  EXPECT_EQ(to_hex(m1), to_hex(hmac_sha256::compute(key, bytes_of("one"))));
+  EXPECT_EQ(to_hex(m2), to_hex(hmac_sha256::compute(key, bytes_of("two"))));
 }
 
 }  // namespace

@@ -522,6 +522,42 @@ TEST(hub, delta_fallback_negotiation_keeps_the_nonce_alive) {
   EXPECT_EQ(stats.per_device.at(id).rejected_protocol, 1u);
 }
 
+TEST(hub, adopted_baseline_survives_frame_buffer_reuse) {
+  // The zero-copy decode hands verify a view INTO the submitted frame.
+  // The baseline adopted from an accepted round must be a COPY of those
+  // bytes — if adoption ever stored the span, reusing (or clobbering)
+  // the frame buffer would tear every later delta reconstruction.
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id = reg.provision(prog);
+  hub_config cfg;
+  cfg.sequential_batch = true;
+  verifier_hub hub(reg, cfg);
+  proto::prover_device dev(prog, reg.derive_key(id));
+
+  const auto g1 = hub.challenge(id);
+  const auto rep1 = dev.invoke(g1.nonce, args(20, 22));
+  auto frame1 = frame_for(id, g1, rep1);
+  ASSERT_TRUE(hub.submit(frame1).accepted());
+
+  // Clobber the buffer the hub borrowed during that submit, the way a
+  // network receive loop reuses its read buffer for the next frame.
+  std::fill(frame1.begin(), frame1.end(), std::uint8_t{0xcc});
+
+  // A delta against the adopted baseline still reconstructs and
+  // verifies: the hub kept its own bytes, not the dead view.
+  const auto g2 = hub.challenge(id);
+  const auto rep2 = dev.invoke(g2.nonce, args(6, 7));
+  proto::frame_info info;
+  info.device_id = id;
+  info.seq = g2.seq;
+  const auto r =
+      hub.submit(proto::encode_delta_frame(info, rep2, g1.seq,
+                                           rep1.or_bytes));
+  ASSERT_TRUE(r.accepted());
+  EXPECT_EQ(r.verdict.replayed_result, 13);
+}
+
 TEST(hub, baselines_can_be_disabled_per_hub) {
   device_registry reg(master_key());
   const auto prog = adder_prog();

@@ -4,6 +4,8 @@
 // artifacts by content id.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -143,7 +145,7 @@ TEST(store_wal, records_round_trip_and_torn_tail_drops) {
   const auto path = fs::path(::testing::TempDir()) / "wal-test.log";
   fs::remove(path);
   {
-    wal_writer w(path.string(), 0, 0, /*sync=*/false);
+    wal_writer w(path.string(), 0, 0, {});
     w.append(byte_vec{1, 2, 3});
     w.append(byte_vec{4});
     EXPECT_EQ(w.records(), 2u);
@@ -708,7 +710,7 @@ TEST_F(store_test, interrupted_compaction_chain_replays_both_logs) {
   const auto rewrite = [&](std::uint64_t gen, std::size_t from,
                            std::size_t to) {
     fs::remove(wal_file(gen));
-    wal_writer w(wal_file(gen).string(), 0, 0, /*sync=*/false);
+    wal_writer w(wal_file(gen).string(), 0, 0, {});
     for (std::size_t i = from; i < to; ++i) {
       w.append(parsed.records[i].payload);
     }
@@ -764,7 +766,7 @@ TEST_F(store_test, damaged_wal_chain_fails_closed) {
   const auto rewrite = [&](std::uint64_t gen, std::size_t from,
                            std::size_t to) {
     fs::remove(wal_file(gen));
-    wal_writer w(wal_file(gen).string(), 0, 0, /*sync=*/false);
+    wal_writer w(wal_file(gen).string(), 0, 0, {});
     for (std::size_t i = from; i < to; ++i) {
       w.append(parsed.records[i].payload);
     }
@@ -853,6 +855,285 @@ TEST_F(store_test, enrolled_devices_keep_their_external_keys) {
   // The restored key is NOT the KDF key — exactly why key material is
   // persisted rather than re-derived.
   EXPECT_NE(st.registry->find(id)->key, st.registry->derive_key(id));
+}
+
+// ---------------------------------------------------------------------------
+// wal_writer sync policies: the group-commit protocol (PR 8)
+// ---------------------------------------------------------------------------
+
+class wal_sync_test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = fs::path(::testing::TempDir()) /
+            ("dialed-wal-sync-" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()) +
+             ".log");
+    fs::remove(path_);
+  }
+  void TearDown() override { fs::remove(path_); }
+
+  static wal_options with(wal_sync s, std::uint32_t delay_us = 100) {
+    wal_options o;
+    o.sync = s;
+    o.group_max_delay_us = delay_us;
+    return o;
+  }
+
+  fs::path path_;
+};
+
+TEST_F(wal_sync_test, per_record_is_durable_at_append_return) {
+  wal_writer w(path_.string(), 0, 0, with(wal_sync::per_record));
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(w.append(byte_vec{static_cast<std::uint8_t>(i)}), i);
+    // Horizon tracks the staged LSN exactly: every append fsynced inline.
+    EXPECT_EQ(w.synced_lsn(), i);
+    w.sync_to(i);  // already covered — must return instantly
+  }
+  const auto s = w.sync_stats();
+  EXPECT_EQ(s.syncs, 5u);
+  EXPECT_EQ(s.records, 5u);
+  EXPECT_EQ(s.batch_hist[0], 5u);  // all batches of exactly 1
+}
+
+TEST_F(wal_sync_test, none_never_fsyncs_but_reports_covered) {
+  wal_writer w(path_.string(), 0, 0, with(wal_sync::none));
+  for (std::uint64_t i = 1; i <= 4; ++i) w.append(byte_vec{7});
+  // `none` treats flush-to-OS as its durability ceiling, so sync_to has
+  // nothing to wait for and the counters stay zero.
+  EXPECT_EQ(w.staged_lsn(), 4u);
+  EXPECT_EQ(w.synced_lsn(), 4u);
+  w.sync_to(4);
+  const auto s = w.sync_stats();
+  EXPECT_EQ(s.syncs, 0u);
+  EXPECT_EQ(s.records, 0u);
+}
+
+TEST_F(wal_sync_test, group_sync_to_advances_horizon_and_batches) {
+  wal_writer w(path_.string(), 0, 0, with(wal_sync::group));
+  const auto a = w.append(byte_vec{1});
+  const auto b = w.append(byte_vec{2});
+  const auto c = w.append(byte_vec{3});
+  EXPECT_EQ(c, 3u);
+  // Staged but not yet durable.
+  EXPECT_EQ(w.staged_lsn(), 3u);
+  EXPECT_EQ(w.synced_lsn(), 0u);
+
+  // One sync_to covers everything staged at fsync time — a and b ride
+  // along with c's batch.
+  w.sync_to(c);
+  EXPECT_GE(w.synced_lsn(), c);
+  const auto s = w.sync_stats();
+  EXPECT_EQ(s.syncs, 1u);
+  EXPECT_EQ(s.records, 3u);
+  EXPECT_EQ(s.batch_hist[2], 1u);  // batch of 3 → (2,4] bucket
+
+  // Already-covered LSNs never trigger another fsync.
+  w.sync_to(a);
+  w.sync_to(b);
+  EXPECT_EQ(w.sync_stats().syncs, 1u);
+}
+
+TEST_F(wal_sync_test, reset_to_hands_off_durability_and_keeps_lsns) {
+  const auto next = fs::path(path_.string() + ".g1");
+  fs::remove(next);
+  wal_writer w(path_.string(), 0, 0, with(wal_sync::group));
+  w.append(byte_vec{1});
+  w.append(byte_vec{2});
+  ASSERT_EQ(w.synced_lsn(), 0u);
+
+  // Rotation fsyncs the outgoing file (handoff) and releases the
+  // horizon: nothing staged before the rotation can be lost by it.
+  w.reset_to(next.string());
+  EXPECT_EQ(w.synced_lsn(), 2u);
+  EXPECT_EQ(w.records(), 0u);  // per-file count reset...
+  EXPECT_EQ(w.append(byte_vec{3}), 3u);  // ...but LSNs stay monotone
+  EXPECT_EQ(w.staged_lsn(), 3u);
+  w.sync_to(3);
+  EXPECT_EQ(w.synced_lsn(), 3u);
+  fs::remove(next);
+}
+
+TEST_F(wal_sync_test, group_commit_multithread_hammer) {
+  // N appender threads each staging then waiting for durability, the
+  // way verifier-hub traffic drives the store. Every record must end
+  // covered, LSNs must be unique, and the batching counters must add up
+  // (records == total appends; syncs <= that, usually far fewer).
+  constexpr int kthreads = 8;
+  constexpr int kiters = 25;
+  wal_writer w(path_.string(), 0, 0, with(wal_sync::group, 200));
+  std::vector<std::thread> threads;
+  std::array<std::array<std::uint64_t, kiters>, kthreads> lsns{};
+  for (int t = 0; t < kthreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kiters; ++i) {
+        const auto lsn = w.append(byte_vec{static_cast<std::uint8_t>(t),
+                                           static_cast<std::uint8_t>(i)});
+        w.sync_to(lsn);
+        ASSERT_GE(w.synced_lsn(), lsn);
+        lsns[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] =
+            lsn;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  constexpr auto total =
+      static_cast<std::uint64_t>(kthreads) * kiters;
+  EXPECT_EQ(w.staged_lsn(), total);
+  EXPECT_EQ(w.synced_lsn(), total);
+
+  // Every LSN unique (the per-thread sequences interleave arbitrarily).
+  std::vector<std::uint64_t> flat;
+  for (const auto& row : lsns) {
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  std::sort(flat.begin(), flat.end());
+  EXPECT_EQ(std::adjacent_find(flat.begin(), flat.end()), flat.end());
+  EXPECT_EQ(flat.front(), 1u);
+  EXPECT_EQ(flat.back(), total);
+
+  // Accounting: every record was made durable by exactly one batch.
+  const auto s = w.sync_stats();
+  EXPECT_EQ(s.records, total);
+  EXPECT_GE(s.syncs, 1u);
+  EXPECT_LE(s.syncs, total);
+  std::uint64_t hist_syncs = 0;
+  for (const auto n : s.batch_hist) hist_syncs += n;
+  EXPECT_EQ(hist_syncs, s.syncs);
+
+  // And the file itself holds all records intact.
+  const auto bytes = *read_file(path_);
+  const auto parsed = read_wal(bytes);
+  EXPECT_FALSE(parsed.torn_tail);
+  EXPECT_EQ(parsed.records.size(), total);
+}
+
+// ---------------------------------------------------------------------------
+// fleet_store under group commit: the verdict-durability invariant
+// ---------------------------------------------------------------------------
+
+TEST_F(store_test, verdict_never_precedes_consumed_nonce_on_disk) {
+  // THE group-commit safety property: by the time submit() returns a
+  // verdict, the retire record consuming that nonce is durable — the
+  // hub's sync_barrier between nonce consumption and crypto guarantees
+  // a crash after the verdict can only lose *later* records, so replay
+  // protection never regresses.
+  auto o = opts();
+  o.wal.sync = wal_sync::group;
+  auto st = fleet_store::open(dir(), o);
+  EXPECT_EQ(st.store->wal_sync_policy(), wal_sync::group);
+  const auto id = st.registry->provision(prog_for(adder));
+  proto::prover_device dev(*st.registry->find(id)->program,
+                           st.registry->find(id)->key);
+  const auto g = st.hub->challenge(id);
+  ASSERT_TRUE(
+      st.hub->submit(frame_for(id, g, dev.invoke(g.nonce, args(20, 22))))
+          .accepted());
+
+  // Read the WAL straight off disk while the store is still live: the
+  // retire record for g.nonce must already be there.
+  const auto maybe_bytes = read_file(wal_file(st.store->generation()));
+  ASSERT_TRUE(maybe_bytes.has_value());
+  const auto& bytes = *maybe_bytes;
+  const auto parsed = read_wal(bytes);
+  bool retired_on_disk = false;
+  for (const auto& r : parsed.records) {
+    if (r.payload.size() > 1 + 4 + g.nonce.size() &&
+        r.payload[0] == static_cast<std::uint8_t>(rec::retire) &&
+        std::equal(g.nonce.begin(), g.nonce.end(),
+                   r.payload.begin() + 1 + 4)) {
+      retired_on_disk = true;
+    }
+  }
+  EXPECT_TRUE(retired_on_disk)
+      << "verdict returned but consumed nonce not durable";
+
+  // The barrier fsyncs: the store's group-commit counters saw it.
+  const auto s = st.store->group_commit();
+  EXPECT_GE(s.syncs, 1u);
+  EXPECT_GE(s.records, 1u);
+}
+
+TEST_F(store_test, group_commit_crash_recovery_matches_per_record) {
+  // Same crash-recovery property the per-record suite proves, under
+  // group commit: an accepted frame is a replay after reopen, and the
+  // counters show batched fsyncs did the journaling.
+  auto o = opts();
+  o.wal.sync = wal_sync::group;
+  byte_vec frame;
+  fleet::device_id id = 0;
+  {
+    auto st = fleet_store::open(dir(), o);
+    id = st.registry->provision(prog_for(adder));
+    proto::prover_device dev(*st.registry->find(id)->program,
+                             st.registry->find(id)->key);
+    const auto g = st.hub->challenge(id);
+    frame = frame_for(id, g, dev.invoke(g.nonce, args(20, 22)));
+    ASSERT_TRUE(st.hub->submit(frame).accepted());
+    EXPECT_GE(st.store->group_commit().syncs, 1u);
+  }  // crash
+
+  auto st = fleet_store::open(dir(), o);
+  EXPECT_EQ(st.hub->submit(frame).error,
+            proto::proto_error::replayed_report);
+  // Fresh rounds still verify after recovery.
+  proto::prover_device dev(*st.registry->find(id)->program,
+                           st.registry->find(id)->key);
+  const auto g = st.hub->challenge(id);
+  const auto r =
+      st.hub->submit(frame_for(id, g, dev.invoke(g.nonce, args(6, 7))));
+  ASSERT_TRUE(r.accepted());
+  EXPECT_EQ(r.verdict.replayed_result, 13);
+}
+
+TEST_F(store_test, group_commit_concurrent_hub_traffic) {
+  // The store-level hammer: concurrent verifier traffic over a
+  // group-commit WAL. Each submit crosses the sync_barrier, so
+  // concurrent rounds' retire records fold into shared fsyncs.
+  auto o = opts();
+  o.hub.sequential_batch = false;
+  o.hub.workers = 2;
+  o.hub.max_outstanding = 64;
+  o.wal.sync = wal_sync::group;
+  constexpr int kthreads = 4;
+  constexpr int kiters = 6;
+  std::vector<fleet::device_id> ids;
+  {
+    auto st = fleet_store::open(dir(), o);
+    for (int t = 0; t < kthreads; ++t) {
+      ids.push_back(st.registry->provision(prog_for(adder)));
+    }
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kthreads; ++t) {
+      threads.emplace_back([&, t] {
+        const auto id = ids[static_cast<std::size_t>(t)];
+        proto::prover_device dev(*st.registry->find(id)->program,
+                                 st.registry->find(id)->key);
+        for (int i = 0; i < kiters; ++i) {
+          const auto g = st.hub->challenge(id);
+          ASSERT_TRUE(
+              st.hub->submit(frame_for(id, g, dev.invoke(g.nonce,
+                                                         args(1, 2))))
+                  .accepted());
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const auto s = st.store->group_commit();
+    // Every accepted round's retire record crossed a sync_barrier, so at
+    // least that many records are durable — but concurrent barriers fold
+    // into shared fsyncs, so syncs can be (and usually is) far fewer.
+    EXPECT_GE(s.records, static_cast<std::uint64_t>(kthreads * kiters));
+    EXPECT_GE(s.syncs, 1u);
+    EXPECT_LE(s.syncs, s.records);
+  }
+  // Reopen: every journaled event replays, counts agree.
+  auto st = fleet_store::open(dir(), o);
+  EXPECT_EQ(st.hub->stats().reports_accepted,
+            static_cast<std::uint64_t>(kthreads * kiters));
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 // Wire format (framing/CRC) and taint-provenance analysis.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "helpers.h"
 #include "proto/session.h"
@@ -189,6 +191,47 @@ TEST(wire_v2, decode_into_reuses_caller_storage) {
     EXPECT_EQ(scratch.report.or_bytes, rep.or_bytes);
     EXPECT_EQ(scratch.info.device_id, 2u);
   }
+}
+
+TEST(wire_v2, borrow_mode_aliases_frame_without_copying) {
+  const auto rep = sample_report();
+  frame_info info;
+  info.device_id = 3;
+  auto frame = encode_frame(info, rep);
+  decoded_frame scratch;
+  ASSERT_EQ(decode_frame_into(frame, scratch, decode_mode::borrow),
+            proto_error::none);
+  // Zero-copy: or_bytes owns nothing, or_view points INTO the frame.
+  EXPECT_TRUE(scratch.report.or_bytes.empty());
+  ASSERT_EQ(scratch.or_view.size(), rep.or_bytes.size());
+  EXPECT_TRUE(std::equal(scratch.or_view.begin(), scratch.or_view.end(),
+                         rep.or_bytes.begin()));
+  EXPECT_GE(scratch.or_view.data(), frame.data());
+  EXPECT_LT(scratch.or_view.data(), frame.data() + frame.size());
+  // Aliasing is observable: mutate the frame byte under the view.
+  const auto off =
+      static_cast<std::size_t>(scratch.or_view.data() - frame.data());
+  frame[off] ^= 0xff;
+  EXPECT_EQ(scratch.or_view[0],
+            static_cast<std::uint8_t>(rep.or_bytes[0] ^ 0xff));
+  // Scalar fields were still decoded by value.
+  EXPECT_EQ(scratch.info.device_id, 3u);
+  EXPECT_EQ(scratch.report.mac, rep.mac);
+}
+
+TEST(wire_v2, copy_mode_or_view_aliases_owned_storage) {
+  const auto rep = sample_report();
+  frame_info info;
+  info.device_id = 4;
+  const auto frame = encode_frame(info, rep);
+  decoded_frame scratch;
+  ASSERT_EQ(decode_frame_into(frame, scratch, decode_mode::copy),
+            proto_error::none);
+  // Self-contained: or_view is just a window over the owned copy, so the
+  // frame buffer may be freed or reused immediately.
+  EXPECT_EQ(scratch.report.or_bytes, rep.or_bytes);
+  EXPECT_EQ(scratch.or_view.data(), scratch.report.or_bytes.data());
+  EXPECT_EQ(scratch.or_view.size(), scratch.report.or_bytes.size());
 }
 
 TEST(wire_v2, oversize_or_is_rejected_not_truncated) {
@@ -382,6 +425,31 @@ TEST(wire_v21, malformed_segments_are_bad_length) {
     auto bad = frame;
     store_le16(bad, 86, 9);
     EXPECT_EQ(decode_frame(refix(bad)).error, proto_error::bad_length);
+  }
+}
+
+TEST(wire_v21, delta_frames_have_no_or_view_in_either_mode) {
+  // A v2.1 frame carries no OR payload — only segments against a
+  // baseline — so borrow mode has nothing to alias: or_view must stay
+  // empty (and a stale view from a previous decode must not survive).
+  auto base_rep = synthetic_report(128, 0x10);
+  auto rep = base_rep;
+  rep.or_bytes[5] = 0xee;
+  const auto delta_frame = encode_delta_frame(
+      frame_info{.device_id = 1, .seq = 2}, rep, 1, base_rep.or_bytes);
+  for (const auto mode : {decode_mode::copy, decode_mode::borrow}) {
+    decoded_frame scratch;
+    // Seed a stale or_view first.
+    ASSERT_EQ(decode_frame_into(encode_frame(frame_info{.device_id = 1},
+                                             synthetic_report(64, 0x33)),
+                                scratch, mode),
+              proto_error::none);
+    ASSERT_FALSE(scratch.or_view.empty());
+    ASSERT_EQ(decode_frame_into(delta_frame, scratch, mode),
+              proto_error::none);
+    ASSERT_TRUE(scratch.delta.present);
+    EXPECT_TRUE(scratch.or_view.empty());
+    EXPECT_TRUE(scratch.report.or_bytes.empty());
   }
 }
 

@@ -9,7 +9,7 @@
 //                [--batch-max N] [--batch-latency-ms MS] [--workers N]
 //                [--max-outstanding N] [--max-pending N]
 //                [--idle-timeout-ms MS] [--state-dir DIR]
-//                [--partitions N]
+//                [--partitions N] [--wal-sync per_record|group|none]
 //
 // Devices 1..N are provisioned from the fleet demo master key (0xAB*32 —
 // real deployments must supply their own), so any dialed-attest --connect
@@ -77,7 +77,8 @@ void usage() {
       "[--bind ADDR] [--port P] [--udp-port P] [--no-udp] "
       "[--batch-max N] [--batch-latency-ms MS] [--workers N] "
       "[--max-outstanding N] [--max-pending N] [--idle-timeout-ms MS] "
-      "[--state-dir DIR] [--partitions N]\n");
+      "[--state-dir DIR] [--partitions N] "
+      "[--wal-sync per_record|group|none]\n");
 }
 
 }  // namespace
@@ -91,6 +92,7 @@ int main(int argc, char** argv) {
   std::uint32_t partitions = 1;
   std::uint32_t workers = 0;
   std::uint32_t max_outstanding = 64;
+  store::wal_options wal_opts;
   net::server_config cfg;
 
   try {
@@ -133,6 +135,17 @@ int main(int argc, char** argv) {
         cfg.limits.idle_timeout_ms = parse_u32(next(), 3600000);
       } else if (arg == "--state-dir") {
         state_dir = next();
+      } else if (arg == "--wal-sync") {
+        const std::string v = next();
+        if (v == "per_record") {
+          wal_opts.sync = store::wal_sync::per_record;
+        } else if (v == "group") {
+          wal_opts.sync = store::wal_sync::group;
+        } else if (v == "none") {
+          wal_opts.sync = store::wal_sync::none;
+        } else {
+          throw error("--wal-sync must be per_record, group, or none");
+        }
       } else if (arg == "--partitions") {
         partitions = parse_u32(next(), 1024);
         if (partitions == 0) {
@@ -182,6 +195,7 @@ int main(int argc, char** argv) {
                 store::fleet_store::options so;
                 so.master_key = demo_master_key;
                 so.hub = hub_cfg;
+                so.wal = wal_opts;
                 return fleet::partitioned_fleet::open(
                     state_dir, partitions, std::move(so));
               }();
@@ -235,8 +249,10 @@ int main(int argc, char** argv) {
         wal_total += st->wal_records();
         gen_max = std::max<unsigned long long>(gen_max, st->generation());
       }
-      std::printf("state:    %s (generation %llu, %llu WAL records)\n",
-                  state_dir.c_str(), gen_max, wal_total);
+      std::printf("state:    %s (generation %llu, %llu WAL records, "
+                  "wal-sync=%s)\n",
+                  state_dir.c_str(), gen_max, wal_total,
+                  store::to_string(wal_opts.sync));
     }
     std::printf("batching: max=%zu latency=%ums workers=%zu\n",
                 cfg.batching.batch_max, cfg.batching.batch_latency_ms,
