@@ -305,6 +305,24 @@ BENCHMARK(BM_fleet_verify_batch_one_firmware)
     ->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
+void BM_fleet_obs_overhead(benchmark::State& state) {
+  // The PR 9 acceptance gate: the pipeline observability layer (span
+  // recorder clock reads, histogram bumps, flight-recorder admission
+  // check) against the identical workload with cfg.obs.enabled = false
+  // (which removes every clock read from the hot path). Run both arms
+  // and compare their reports_per_s — the instrumented arm must stay
+  // within 2% of the baseline (plus noise).
+  const bool instrumented = state.range(0) != 0;
+  fleet_batch_bench bench(64, /*n_rounds=*/4);
+  bench.cfg.obs.enabled = instrumented;
+  bench.run(state);
+  state.counters["instrumented"] = instrumented ? 1 : 0;
+}
+BENCHMARK(BM_fleet_obs_overhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_fleet_verify_batch_parallel(benchmark::State& state) {
   // Thread-scaling sweep over the same workload: 32 devices x 4 rounds
   // (128 frames/batch), `range(0)` = total verify threads. 1 means the

@@ -1,0 +1,11 @@
+#pragma once
+
+// Single source of truth for the service version string, exported through
+// the dialed_build_info metric (and anything else that wants to name the
+// build). Bump alongside user-visible service changes.
+
+namespace dialed {
+
+inline constexpr const char* dialed_version = "0.9.0";
+
+}  // namespace dialed

@@ -29,6 +29,7 @@
 
 #include "common/bytes.h"
 #include "fleet/persist.h"
+#include "obs/obs.h"
 #include "proto/errors.h"
 #include "verifier/verifier.h"
 
@@ -147,6 +148,22 @@ class hub_like {
   /// Empty for an unpartitioned hub (the default); a router returns one
   /// entry per partition, in partition-index order.
   virtual std::vector<hub_stats> partition_stats() const { return {}; }
+
+  // ---- pipeline observability (src/obs) -------------------------------
+
+  /// Aggregate per-stage latency histograms across the whole hub.
+  /// Implementations that do not instrument return empty histograms.
+  virtual obs::pipeline_snapshot pipeline() const { return {}; }
+
+  /// Per-partition stage histograms, partition-index order. Empty for an
+  /// unpartitioned hub (mirrors partition_stats()).
+  virtual std::vector<obs::pipeline_snapshot> partition_pipelines() const {
+    return {};
+  }
+
+  /// Bounded flight-recorder dump (slowest + rejected span traces). A
+  /// router merges its partitions' dumps with span_trace::partition set.
+  virtual obs::trace_dump traces() const { return {}; }
 };
 
 }  // namespace dialed::fleet

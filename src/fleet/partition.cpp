@@ -184,6 +184,68 @@ std::vector<hub_stats> partition_router::partition_stats() const {
   return out;
 }
 
+obs::pipeline_snapshot partition_router::pipeline() const {
+  obs::pipeline_snapshot total;
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    total.merge(at(p)->pipeline());
+  }
+  return total;
+}
+
+std::vector<obs::pipeline_snapshot> partition_router::partition_pipelines()
+    const {
+  std::vector<obs::pipeline_snapshot> out;
+  out.reserve(parts_.size());
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    out.push_back(at(p)->pipeline());
+  }
+  return out;
+}
+
+obs::trace_dump partition_router::traces() const {
+  obs::trace_dump merged;
+  std::size_t slow_cap = 0;
+  std::size_t rejected_cap = 0;
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    auto d = at(p)->traces();
+    slow_cap = std::max(slow_cap, d.slow_capacity);
+    rejected_cap = std::max(rejected_cap, d.rejected_capacity);
+    for (auto& t : d.slow) t.partition = static_cast<std::uint32_t>(p);
+    for (auto& t : d.rejected) t.partition = static_cast<std::uint32_t>(p);
+    merged.slow.insert(merged.slow.end(), d.slow.begin(), d.slow.end());
+    merged.rejected.insert(merged.rejected.end(), d.rejected.begin(),
+                           d.rejected.end());
+    merged.slowest_ns = std::max(merged.slowest_ns, d.slowest_ns);
+    merged.slow_recorded += d.slow_recorded;
+    merged.rejected_recorded += d.rejected_recorded;
+  }
+  // Keep the dump bounded by ONE partition's ring capacity, not N of
+  // them: slow traces compete fleet-wide on duration (slowest last),
+  // rejected traces keep the newest by start time (oldest first, like a
+  // single hub's ring).
+  std::sort(merged.slow.begin(), merged.slow.end(),
+            [](const obs::span_trace& a, const obs::span_trace& b) {
+              return a.total_ns < b.total_ns;
+            });
+  if (merged.slow.size() > slow_cap) {
+    merged.slow.erase(merged.slow.begin(),
+                      merged.slow.end() -
+                          static_cast<std::ptrdiff_t>(slow_cap));
+  }
+  std::sort(merged.rejected.begin(), merged.rejected.end(),
+            [](const obs::span_trace& a, const obs::span_trace& b) {
+              return a.start_ns < b.start_ns;
+            });
+  if (merged.rejected.size() > rejected_cap) {
+    merged.rejected.erase(merged.rejected.begin(),
+                          merged.rejected.end() -
+                              static_cast<std::ptrdiff_t>(rejected_cap));
+  }
+  merged.slow_capacity = slow_cap;
+  merged.rejected_capacity = rejected_cap;
+  return merged;
+}
+
 // ---------------------------------------------------------------------------
 // partitioned_fleet
 // ---------------------------------------------------------------------------

@@ -95,6 +95,13 @@ class partition_router final : public hub_like {
   /// (disjoint by routing); last_batch_frames takes the max.
   hub_stats stats(bool include_per_device = true) const override;
   std::vector<hub_stats> partition_stats() const override;
+  /// Stage histograms summed across partitions.
+  obs::pipeline_snapshot pipeline() const override;
+  std::vector<obs::pipeline_snapshot> partition_pipelines() const override;
+  /// Partition dumps merged, each trace tagged with its partition index;
+  /// slow traces are re-ranked fleet-wide (slowest last), both rings
+  /// re-bounded to one partition's capacity.
+  obs::trace_dump traces() const override;
 
  private:
   hub_like* at(std::size_t idx) const {

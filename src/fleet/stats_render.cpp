@@ -146,6 +146,56 @@ void render_stats_prometheus(const hub_stats& s, std::string& out) {
   }
 }
 
+void render_latency_samples(const obs::histogram_snapshot& h,
+                            const char* name, const std::string& labels,
+                            std::string& out) {
+  const std::string sep = labels.empty() ? "" : ",";
+  char buf[48];
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < obs::latency_buckets; ++i) {
+    cum += h.buckets[i];
+    std::string le = "+Inf";
+    if (i + 1 != obs::latency_buckets) {
+      // Bucket bounds are exact powers-of-two nanoseconds; %g in seconds
+      // renders them compactly (1.024e-06, 0.00524288, ...).
+      std::snprintf(buf, sizeof buf, "%g",
+                    static_cast<double>(obs::latency_bucket_bound_ns(i)) *
+                        1e-9);
+      le = buf;
+    }
+    sample(out, (std::string(name) + "_bucket").c_str(), cum,
+           "{" + labels + sep + "le=\"" + le + "\"}");
+  }
+  const std::string braced = labels.empty() ? "" : "{" + labels + "}";
+  std::snprintf(buf, sizeof buf, "%.9g",
+                static_cast<double>(h.sum_ns) * 1e-9);
+  out += name;
+  out += "_sum";
+  out += braced;
+  out += ' ';
+  out += buf;
+  out += '\n';
+  sample(out, (std::string(name) + "_count").c_str(), h.count, braced);
+}
+
+void render_stage_prometheus(std::span<const obs::pipeline_snapshot> parts,
+                             std::string& out) {
+  if (parts.empty()) return;
+  family(out, "dialed_stage_latency_seconds", "histogram",
+         "Per-report pipeline stage latency "
+         "(decode/journal/mac/replay/verdict), per partition.");
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    for (std::size_t s = 0; s < obs::stage_count; ++s) {
+      const std::string labels =
+          "stage=\"" +
+          escape_label_value(obs::to_string(static_cast<obs::stage>(s))) +
+          "\",partition=\"" + std::to_string(p) + "\"";
+      render_latency_samples(parts[p].stages[s],
+                             "dialed_stage_latency_seconds", labels, out);
+    }
+  }
+}
+
 void render_partition_prometheus(std::span<const hub_stats> parts,
                                  std::string& out) {
   if (parts.empty()) return;

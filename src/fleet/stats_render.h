@@ -40,6 +40,23 @@ void render_stats_prometheus(const hub_stats& s, std::string& out);
 void render_partition_prometheus(std::span<const hub_stats> parts,
                                  std::string& out);
 
+/// Append one obs latency histogram's samples (`name_bucket` with
+/// cumulative le labels in SECONDS, `name_sum`, `name_count`) — no
+/// HELP/TYPE header; the caller emits the family introduction once and
+/// may call this repeatedly with different `labels` (comma-joined
+/// `k="v"` pairs, no braces; empty for an unlabeled histogram).
+void render_latency_samples(const obs::histogram_snapshot& h,
+                            const char* name, const std::string& labels,
+                            std::string& out);
+
+/// Append the `dialed_stage_latency_seconds{stage,partition}` histogram
+/// family: one histogram per pipeline stage per partition. `parts` is
+/// hub_like::partition_pipelines() in partition-index order; a
+/// single-hub caller passes one snapshot (labeled partition="0").
+/// Empty input appends nothing.
+void render_stage_prometheus(std::span<const obs::pipeline_snapshot> parts,
+                             std::string& out);
+
 }  // namespace dialed::fleet
 
 #endif  // DIALED_FLEET_STATS_RENDER_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/event_log.h"
 
 namespace dialed::fleet {
 
@@ -22,7 +23,7 @@ constexpr std::uint32_t default_shards = 16;
 }  // namespace
 
 verifier_hub::verifier_hub(const device_registry& registry, hub_config cfg)
-    : registry_(registry), cfg_(cfg) {
+    : registry_(registry), cfg_(cfg), obs_(cfg.obs) {
   if (cfg_.max_outstanding == 0) cfg_.max_outstanding = 1;
   if (cfg_.shards == 0) cfg_.shards = default_shards;
   shards_.reserve(cfg_.shards);
@@ -204,20 +205,39 @@ verifier::op_verifier& verifier_hub::core(device_id id) {
   return *core;
 }
 
+attest_result verifier_hub::observed(const obs::span_recorder& sp,
+                                     attest_result r) {
+  obs_.record(sp, r.device, r.seq, static_cast<std::uint8_t>(r.error),
+              r.accepted());
+  if (!r.accepted() && obs::log().should(obs::log_level::debug)) {
+    // Rate-limited per process, not per device: a replay flood from one
+    // compromised device must not drown the log (the per-device counters
+    // and the rejected-trace ring keep the full picture).
+    static obs::rate_limit rl(20);
+    obs::log().emit(obs::log_level::debug, "report_rejected", rl,
+                    {{"device", r.device},
+                     {"seq", r.seq},
+                     {"error", proto::to_string(r.error)}});
+  }
+  return r;
+}
+
 attest_result verifier_hub::verify_report(
     device_id id, std::uint32_t seq,
     const verifier::attestation_report& report) {
-  return verify_impl(id, seq, /*check_seq=*/true, report);
+  obs::span_recorder sp(obs_.enabled());
+  return observed(sp, verify_impl(id, seq, /*check_seq=*/true, report, sp));
 }
 
 attest_result verifier_hub::verify_report(
     device_id id, const verifier::attestation_report& report) {
-  return verify_impl(id, 0, /*check_seq=*/false, report);
+  obs::span_recorder sp(obs_.enabled());
+  return observed(sp, verify_impl(id, 0, /*check_seq=*/false, report, sp));
 }
 
 attest_result verifier_hub::verify_impl(
     device_id id, std::uint32_t seq, bool check_seq,
-    const verifier::report_view& report) {
+    const verifier::report_view& report, obs::span_recorder& sp) {
   attest_result r;
   r.device = id;
   r.seq = seq;
@@ -238,6 +258,7 @@ attest_result verifier_hub::verify_impl(
     rec = registry_.find(id);
     if (rec == nullptr) {
       r.error = proto_error::unknown_device;
+      sp.mark(obs::stage::journal);
       return rejected(r, nullptr);
     }
     device_state& st = sh.states[id];
@@ -264,13 +285,16 @@ attest_result verifier_hub::verify_impl(
             r.error = proto_error::challenge_expired;
             break;
         }
+        sp.mark(obs::stage::journal);
         return rejected(r, &st);
       }
       r.error = proto_error::stale_nonce;
+      sp.mark(obs::stage::journal);
       return rejected(r, &st);
     }
     if (check_seq && seq != match->seq) {
       r.error = proto_error::sequence_mismatch;
+      sp.mark(obs::stage::journal);
       return rejected(r, &st);
     }
 
@@ -294,6 +318,9 @@ attest_result verifier_hub::verify_impl(
   // group-commit store, concurrent verifiers park here and one batch
   // fsync releases them all.
   if (cfg_.sink != nullptr) cfg_.sink->sync_barrier();
+  // The journal stage: nonce bookkeeping under the shard lock plus the
+  // durability barrier the consumption rode out on.
+  sp.mark(obs::stage::journal);
 
   // Phase 2 (no locks held): the expensive MAC + abstract-execution
   // verification, straight off the record's shared per-firmware artifact
@@ -302,14 +329,18 @@ attest_result verifier_hub::verify_impl(
   // firmware/mac_state immutable, so reading them unlocked is safe. The
   // record's precomputed HMAC key schedule skips the per-report ipad/opad
   // rehash of K_dev.
+  verifier::verify_timings vt;
+  verifier::verify_timings* const vtp = sp.enabled() ? &vt : nullptr;
   if (ctx != nullptr) {
-    r.verdict = ctx->verify(report, nonce);
+    r.verdict = ctx->verify(report, nonce, vtp);
   } else {
     static const std::vector<std::shared_ptr<verifier::policy>>
         no_policies;
-    r.verdict =
-        rec->firmware->verify(report, rec->mac_state, no_policies, nonce);
+    r.verdict = rec->firmware->verify(report, rec->mac_state, no_policies,
+                                      nonce, vtp);
   }
+  sp.credit(obs::stage::mac, vt.mac_ns);
+  sp.credit(obs::stage::replay, vt.replay_ns);
   // stp stays valid unlocked: std::map nodes are address-stable and
   // device states are never erased; the counters are atomics.
   if (r.verdict.accepted) {
@@ -329,6 +360,9 @@ attest_result verifier_hub::verify_impl(
   if (cfg_.sink != nullptr) {
     cfg_.sink->on_verdict(id, proto_error::none, r.verdict.accepted);
   }
+  // Everything since the journal mark that was not MAC or replay work:
+  // baseline adoption, counters, the verdict journal entry.
+  sp.mark_excluding(obs::stage::verdict, vt.mac_ns + vt.replay_ns);
   return r;
 }
 
@@ -391,6 +425,7 @@ void verifier_hub::adopt_baseline(device_id id, std::uint32_t seq,
 }
 
 attest_result verifier_hub::submit(std::span<const std::uint8_t> frame) {
+  obs::span_recorder sp(obs_.enabled());
   // Reentrancy: one decode scratch per thread, so concurrent submits
   // (and verify_batch workers) never share a buffer but batches still
   // reuse or_bytes capacity across frames.
@@ -405,14 +440,16 @@ attest_result verifier_hub::submit(std::span<const std::uint8_t> frame) {
   if (err != proto_error::none) {
     attest_result r;
     r.error = err;
-    return rejected(r, nullptr);
+    sp.mark(obs::stage::decode);
+    return observed(sp, rejected(r, nullptr));
   }
   if (scratch.info.version != proto::wire_v2 &&
       scratch.info.version != proto::wire_v21) {
     // A v1 frame names no device; the hub cannot route it.
     attest_result r;
     r.error = proto_error::unknown_device;
-    return rejected(r, nullptr);
+    sp.mark(obs::stage::decode);
+    return observed(sp, rejected(r, nullptr));
   }
   verifier::report_view view(scratch.report);
   if (scratch.delta.present) {
@@ -423,14 +460,17 @@ attest_result verifier_hub::submit(std::span<const std::uint8_t> frame) {
     if (auto rejected_early = reconstruct_delta(
             scratch.info.device_id, scratch.info.seq, scratch.delta,
             scratch.report)) {
-      return *rejected_early;
+      sp.mark(obs::stage::decode);
+      return observed(sp, *rejected_early);
     }
     view.or_bytes = scratch.report.or_bytes;
   } else {
     view.or_bytes = scratch.or_view;  // zero-copy: still in `frame`
   }
-  return verify_impl(scratch.info.device_id, scratch.info.seq,
-                     /*check_seq=*/true, view);
+  // Decode covers the frame parse plus any v2.1 delta reconstruction.
+  sp.mark(obs::stage::decode);
+  return observed(sp, verify_impl(scratch.info.device_id, scratch.info.seq,
+                                  /*check_seq=*/true, view, sp));
 }
 
 std::vector<attest_result> verifier_hub::verify_batch(

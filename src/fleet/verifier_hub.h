@@ -149,6 +149,10 @@ struct hub_config {
   /// the order the hub committed to. nullptr = no persistence. Must
   /// outlive the hub.
   persist_sink* sink = nullptr;
+  /// Pipeline observability (src/obs): per-stage latency histograms and
+  /// the slow/rejected flight recorder. `obs.enabled = false` removes
+  /// every clock read from the verify path (the overhead bench baseline).
+  obs::pipeline_config obs{};
 };
 
 // challenge_grant, hub_stats, and attest_result moved to
@@ -232,6 +236,12 @@ class verifier_hub : public hub_like {
   /// lock-free hub-level scalars only (the store's snapshot writer does —
   /// it gets the per-device rows from dump_devices() anyway).
   hub_stats stats(bool include_per_device = true) const override;
+
+  /// Per-stage latency histograms for every report this hub verified.
+  obs::pipeline_snapshot pipeline() const override { return obs_.snapshot(); }
+
+  /// Slowest + rejected span traces (bounded flight-recorder rings).
+  obs::trace_dump traces() const override { return obs_.traces(); }
 
   // ---- persistence surface (src/store/fleet_store) --------------------
 
@@ -353,7 +363,12 @@ class verifier_hub : public hub_like {
   /// bytes it keeps.
   attest_result verify_impl(device_id id, std::uint32_t seq,
                             bool check_seq,
-                            const verifier::report_view& report);
+                            const verifier::report_view& report,
+                            obs::span_recorder& sp);
+  /// Fold the finished span into the hub's histograms/flight recorder and
+  /// pass the result through — every top-level verify path returns
+  /// through this.
+  attest_result observed(const obs::span_recorder& sp, attest_result r);
   /// v2.1 path: check the frame's baseline reference against the device's
   /// or_baseline (under the shard lock), copy the baseline bytes out, and
   /// reconstruct the full OR into report.or_bytes (outside the lock).
@@ -376,6 +391,7 @@ class verifier_hub : public hub_like {
   std::vector<std::unique_ptr<shard>> shards_;
   std::unique_ptr<thread_pool> pool_;  ///< null when sequential_batch
   mutable counters stats_;
+  obs::pipeline_obs obs_;
 };
 
 }  // namespace dialed::fleet

@@ -18,6 +18,18 @@ std::size_t hist_bucket(std::size_t n) {
 
 }  // namespace
 
+const char* to_string(flush_cause c) {
+  switch (c) {
+    case flush_cause::size:
+      return "size";
+    case flush_cause::deadline:
+      return "deadline";
+    case flush_cause::idle:
+      return "idle";
+  }
+  return "unknown";
+}
+
 batcher::batcher(fleet::hub_like& hub, batcher_config cfg, reactor& r)
     : hub_(hub), cfg_(cfg), reactor_(r) {
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
@@ -38,11 +50,14 @@ void batcher::enqueue(std::uint64_t conn_id, byte_vec frame) {
   }
   pending_.conn_ids.push_back(conn_id);
   pending_.frames.push_back(std::move(frame));
+  pending_.enqueued_ns.push_back(obs::now_ns());
   backlog_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void batcher::maybe_flush(std::chrono::steady_clock::time_point now) {
-  while (pending_.frames.size() >= cfg_.batch_max) flush_pending();
+  while (pending_.frames.size() >= cfg_.batch_max) {
+    flush_pending(flush_cause::size);
+  }
   if (pending_.frames.empty()) return;
   const bool idle = [&] {
     if (busy_.load(std::memory_order_acquire)) return false;
@@ -51,7 +66,11 @@ void batcher::maybe_flush(std::chrono::steady_clock::time_point now) {
   }();
   const bool deadline =
       now - oldest_ >= std::chrono::milliseconds(cfg_.batch_latency_ms);
-  if (idle || deadline) flush_pending();
+  if (idle || deadline) {
+    // Deadline wins the label when both hold: the batch was already owed
+    // to the latency bound regardless of dispatcher state.
+    flush_pending(deadline ? flush_cause::deadline : flush_cause::idle);
+  }
 }
 
 int batcher::timeout_ms(std::chrono::steady_clock::time_point now) const {
@@ -67,7 +86,7 @@ int batcher::timeout_ms(std::chrono::steady_clock::time_point now) const {
   return static_cast<int>(ms) + 1;
 }
 
-void batcher::flush_pending() {
+void batcher::flush_pending(flush_cause cause) {
   if (pending_.frames.empty()) return;
   batch b;
   const std::size_t take =
@@ -81,18 +100,26 @@ void batcher::flush_pending() {
     b.frames.assign(std::make_move_iterator(pending_.frames.begin()),
                     std::make_move_iterator(pending_.frames.begin() +
                                             static_cast<long>(take)));
+    b.enqueued_ns.assign(
+        pending_.enqueued_ns.begin(),
+        pending_.enqueued_ns.begin() + static_cast<long>(take));
     pending_.conn_ids.erase(
         pending_.conn_ids.begin(),
         pending_.conn_ids.begin() + static_cast<long>(take));
     pending_.frames.erase(
         pending_.frames.begin(),
         pending_.frames.begin() + static_cast<long>(take));
+    pending_.enqueued_ns.erase(
+        pending_.enqueued_ns.begin(),
+        pending_.enqueued_ns.begin() + static_cast<long>(take));
     oldest_ = std::chrono::steady_clock::now();
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
   batch_frames_.fetch_add(b.frames.size(), std::memory_order_relaxed);
   hist_[hist_bucket(b.frames.size())].fetch_add(1,
                                                 std::memory_order_relaxed);
+  flushes_[static_cast<std::size_t>(cause)].fetch_add(
+      1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(mu_);
     jobs_.push_back(std::move(b));
@@ -117,6 +144,10 @@ batcher::stats batcher::snapshot() const {
   for (std::size_t i = 0; i < batch_hist_buckets; ++i) {
     s.batch_size_hist[i] = hist_[i].load(std::memory_order_relaxed);
   }
+  for (std::size_t i = 0; i < flush_cause_count; ++i) {
+    s.flush_by_cause[i] = flushes_[i].load(std::memory_order_relaxed);
+  }
+  s.queue_wait = queue_wait_.snapshot();
   return s;
 }
 
@@ -130,6 +161,12 @@ void batcher::dispatcher_loop() {
       b = std::move(jobs_.front());
       jobs_.pop_front();
       busy_.store(true, std::memory_order_release);
+    }
+    // Queue wait ends here: the frame is about to be verified. Recording
+    // on the dispatcher thread keeps the reactor's flush path clean.
+    const auto start = obs::now_ns();
+    for (const auto enq : b.enqueued_ns) {
+      queue_wait_.record(start > enq ? start - enq : 0);
     }
     auto results = hub_.verify_batch(b.frames);
     {

@@ -36,6 +36,7 @@
 
 #include "fleet/hub_like.h"
 #include "net/reactor.h"
+#include "obs/obs.h"
 
 namespace dialed::net {
 
@@ -54,6 +55,13 @@ struct completion {
 /// Batch-size histogram: bucket i counts batches of size in
 /// (2^(i-1), 2^i]; the last bucket is unbounded.
 constexpr std::size_t batch_hist_buckets = 11;
+
+/// Why a batch left the pending buffer: it filled (size), the oldest
+/// frame hit the latency bound (deadline), or the dispatcher was idle at
+/// end of turn (idle — the adaptive fast path under light load).
+enum class flush_cause : std::uint8_t { size, deadline, idle };
+constexpr std::size_t flush_cause_count = 3;
+const char* to_string(flush_cause c);
 
 class batcher {
  public:
@@ -89,6 +97,11 @@ class batcher {
     std::uint64_t batch_frames = 0;
     std::uint64_t backlog = 0;  ///< gauge
     std::array<std::uint64_t, batch_hist_buckets> batch_size_hist{};
+    /// Batches flushed, by cause (sums to `batches`).
+    std::array<std::uint64_t, flush_cause_count> flush_by_cause{};
+    /// Per-frame wait from enqueue to the start of its verify_batch call
+    /// (pending buffer + job queue time — the batching latency cost).
+    obs::histogram_snapshot queue_wait;
   };
   stats snapshot() const;
 
@@ -96,9 +109,10 @@ class batcher {
   struct batch {
     std::vector<std::uint64_t> conn_ids;
     std::vector<byte_vec> frames;
+    std::vector<std::uint64_t> enqueued_ns;  ///< obs::now_ns at enqueue
   };
 
-  void flush_pending();
+  void flush_pending(flush_cause cause);
   void dispatcher_loop();
 
   fleet::hub_like& hub_;
@@ -121,6 +135,8 @@ class batcher {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batch_frames_{0};
   std::array<std::atomic<std::uint64_t>, batch_hist_buckets> hist_{};
+  std::array<std::atomic<std::uint64_t>, flush_cause_count> flushes_{};
+  obs::latency_histogram queue_wait_;
 
   std::thread dispatcher_;
 };

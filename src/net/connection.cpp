@@ -57,7 +57,10 @@ void connection::do_read() {
             std::memcmp(http_buf_.data(), "GET ", 4) == 0 ||
             std::memcmp(http_buf_.data(), "HEAD", 4) == 0 ||
             std::memcmp(http_buf_.data(), "POST", 4) == 0 ||
-            std::memcmp(http_buf_.data(), "PUT ", 4) == 0;
+            std::memcmp(http_buf_.data(), "PUT ", 4) == 0 ||
+            std::memcmp(http_buf_.data(), "DELE", 4) == 0 ||
+            std::memcmp(http_buf_.data(), "OPTI", 4) == 0 ||
+            std::memcmp(http_buf_.data(), "PATC", 4) == 0;
         if (http) {
           mode_ = mode::http;
           dispatch_http();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "proto/errors.h"
+
 namespace dialed::net {
 
 namespace {
@@ -73,24 +75,36 @@ http_request parse_http_request(std::span<const std::uint8_t> buf,
 
 std::string render_http_response(int status,
                                  const std::string& content_type,
-                                 const std::string& body) {
+                                 const std::string& body,
+                                 const std::string& extra_headers) {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
                     status_text(status) + "\r\n";
   out += "Content-Type: " + content_type + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += extra_headers;
   out += "Connection: close\r\n\r\n";
   out += body;
   return out;
 }
 
+std::string strip_http_body(const std::string& response) {
+  const auto pos = response.find("\r\n\r\n");
+  if (pos == std::string::npos) return response;
+  return response.substr(0, pos + 4);
+}
+
 std::string render_metrics_body(
     const fleet::hub_stats& hub, const server_stats& net,
     std::span<const fleet::hub_stats> partitions,
-    const store_metrics& store) {
+    const store_metrics& store,
+    std::span<const obs::pipeline_snapshot> pipelines,
+    std::span<const store::ship_stats> ship,
+    const build_info_metrics& build) {
   std::string out;
-  out.reserve(4096);
+  out.reserve(8192);
   fleet::render_stats_prometheus(hub, out);
   fleet::render_partition_prometheus(partitions, out);
+  fleet::render_stage_prometheus(pipelines, out);
 
   family(out, "dialed_net_connections_accepted_total", "counter",
          "TCP connections accepted.");
@@ -163,6 +177,19 @@ std::string render_metrics_body(
   }
   sample(out, "dialed_net_batch_size_sum", net.batching.batch_frames);
   sample(out, "dialed_net_batch_size_count", net.batching.batches);
+  family(out, "dialed_net_batch_flush_total", "counter",
+         "Batch flushes by trigger (size cap, deadline, queue idle).");
+  for (std::size_t i = 0; i < flush_cause_count; ++i) {
+    sample(out, "dialed_net_batch_flush_total", net.batching.flush_by_cause[i],
+           std::string("{cause=\"") +
+               to_string(static_cast<flush_cause>(i)) + "\"}");
+  }
+  // Queue wait: enqueue on the reactor to verify start on the dispatcher
+  // — the latency the batcher itself adds in front of the pipeline.
+  family(out, "dialed_net_queue_wait_seconds", "histogram",
+         "Frame wait from ingest enqueue to verify start.");
+  fleet::render_latency_samples(net.batching.queue_wait,
+                                "dialed_net_queue_wait_seconds", "", out);
 
   if (store.present) {
     family(out, "dialed_store_wal_sync_policy", "gauge",
@@ -197,21 +224,146 @@ std::string render_metrics_body(
     sample(out, "dialed_store_group_commit_batch_count",
            store.group_commit.syncs);
   }
+  if (!ship.empty()) {
+    const auto each = [&](const char* name, const char* type,
+                          const char* help, auto value_of) {
+      family(out, name, type, help);
+      for (std::size_t i = 0; i < ship.size(); ++i) {
+        sample(out, name, value_of(ship[i]),
+               "{partition=\"" + std::to_string(i) + "\"}");
+      }
+    };
+    each("dialed_ship_records_total", "counter",
+         "WAL records shipped to standbys, per partition.",
+         [](const store::ship_stats& s) { return s.records_shipped; });
+    each("dialed_ship_bytes_total", "counter",
+         "WAL bytes shipped to standbys, per partition.",
+         [](const store::ship_stats& s) { return s.bytes_shipped; });
+    each("dialed_ship_snapshots_total", "counter",
+         "Snapshots shipped to standbys, per partition.",
+         [](const store::ship_stats& s) { return s.snapshots_shipped; });
+    each("dialed_ship_followers", "gauge",
+         "Tracked standby followers, per partition.",
+         [](const store::ship_stats& s) { return s.followers; });
+    each("dialed_ship_lag_records", "gauge",
+         "Max standby apply lag in records, per partition.",
+         [](const store::ship_stats& s) { return s.max_lag_records; });
+    each("dialed_ship_desync", "gauge",
+         "1 while any standby of the partition has latched a stream "
+         "error.",
+         [](const store::ship_stats& s) {
+           return static_cast<std::uint64_t>(s.any_desync ? 1 : 0);
+         });
+  }
+  if (build.version != nullptr && build.version[0] != '\0') {
+    family(out, "dialed_build_info", "gauge",
+           "Build identity: constant 1, the labels are the data.");
+    sample(out, "dialed_build_info", 1,
+           "{version=\"" + fleet::escape_label_value(build.version) +
+               "\",sha256_backend=\"" +
+               fleet::escape_label_value(build.sha256_backend) +
+               "\",wal_sync=\"" +
+               fleet::escape_label_value(build.wal_sync) + "\"}");
+  }
   return out;
 }
 
-std::string render_healthz_body(bool has_store, bool store_ok,
-                                std::uint64_t wal_records,
-                                std::uint64_t generation) {
-  std::string out = "{\"hub\": \"ok\", \"store\": ";
-  if (!has_store) {
+std::string render_healthz_body(std::span<const partition_health> parts) {
+  bool any_store = false;
+  bool any_desync = false;
+  std::uint64_t wal_records = 0;
+  std::uint64_t generation = 0;
+  for (const auto& p : parts) {
+    if (p.has_store) {
+      any_store = true;
+      wal_records += p.wal_records;
+      generation = std::max(generation, p.generation);
+    }
+    if (p.ship_desync) any_desync = true;
+  }
+  // Legacy aggregate fields first (existing probes grep for them), then
+  // the per-partition detail.
+  std::string out = "{\"hub\": \"ok\", \"status\": ";
+  out += any_desync ? "\"degraded\"" : "\"ok\"";
+  out += ", \"store\": ";
+  if (!any_store) {
     out += "\"none\"";
   } else {
-    out += store_ok ? "\"ok\"" : "\"degraded\"";
+    out += any_desync ? "\"degraded\"" : "\"ok\"";
     out += ", \"wal_records\": " + std::to_string(wal_records) +
            ", \"generation\": " + std::to_string(generation);
   }
+  if (!parts.empty()) {
+    out += ", \"partitions\": [";
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      const auto& p = parts[i];
+      if (i != 0) out += ", ";
+      out += "{\"partition\": " + std::to_string(i) + ", \"store\": ";
+      if (!p.has_store) {
+        out += "\"none\"";
+      } else {
+        out += p.ship_desync ? "\"degraded\"" : "\"ok\"";
+        out += ", \"generation\": " + std::to_string(p.generation) +
+               ", \"wal_records\": " + std::to_string(p.wal_records);
+      }
+      if (p.has_standby) {
+        out += ", \"standby\": {\"synced\": ";
+        out += p.standby_synced ? "true" : "false";
+        out += ", \"lag_records\": " +
+               std::to_string(p.ship_lag_records) + ", \"desync\": ";
+        out += p.ship_desync ? "true" : "false";
+        out += "}";
+      }
+      out += "}";
+    }
+    out += "]";
+  }
   out += "}\n";
+  return out;
+}
+
+namespace {
+
+void render_trace(std::string& out, const obs::span_trace& t) {
+  out += "{\"trace_id\": " + std::to_string(t.trace_id) +
+         ", \"partition\": " + std::to_string(t.partition) +
+         ", \"device\": " + std::to_string(t.device) +
+         ", \"seq\": " + std::to_string(t.seq) + ", \"accepted\": ";
+  out += t.accepted ? "true" : "false";
+  out += ", \"error\": \"";
+  out += t.error < proto::proto_error_count
+             ? proto::to_string(static_cast<proto::proto_error>(t.error))
+             : "unknown";
+  out += "\", \"total_ns\": " + std::to_string(t.total_ns) +
+         ", \"stages\": {";
+  for (std::size_t s = 0; s < obs::stage_count; ++s) {
+    if (s != 0) out += ", ";
+    out += std::string("\"") +
+           obs::to_string(static_cast<obs::stage>(s)) +
+           "\": " + std::to_string(t.stage_ns[s]);
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+std::string render_traces_body(const obs::trace_dump& d) {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"slowest_ns\": " + std::to_string(d.slowest_ns) +
+         ", \"slow_recorded\": " + std::to_string(d.slow_recorded) +
+         ", \"rejected_recorded\": " +
+         std::to_string(d.rejected_recorded) + ", \"slow\": [";
+  for (std::size_t i = 0; i < d.slow.size(); ++i) {
+    if (i != 0) out += ", ";
+    render_trace(out, d.slow[i]);
+  }
+  out += "], \"rejected\": [";
+  for (std::size_t i = 0; i < d.rejected.size(); ++i) {
+    if (i != 0) out += ", ";
+    render_trace(out, d.rejected[i]);
+  }
+  out += "]}\n";
   return out;
 }
 

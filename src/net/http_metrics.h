@@ -3,9 +3,14 @@
 // load-balancer health checks on the same reactor (and port) the binary
 // protocol runs on. Two endpoints:
 //
-//   GET /metrics   hub counters (fleet/stats_render) + the net server's
-//                  own counters/gauges/histogram, Prometheus text format
-//   GET /healthz   hub + store liveness as a one-line JSON body
+//   GET /metrics        hub counters (fleet/stats_render), per-stage
+//                       latency histograms, the net server's own
+//                       counters/gauges/histograms, store + WAL-ship
+//                       health, build info — Prometheus text format
+//   GET /healthz        hub + per-partition store/standby health, JSON;
+//                       503 once any standby latches ship_desync
+//   GET /debug/traces   flight-recorder dump (slowest + rejected span
+//                       traces), JSON
 //
 // Requests are parsed from the connection's buffer (method + path only;
 // headers are skipped), responses always carry Connection: close and the
@@ -19,6 +24,8 @@
 
 #include "fleet/stats_render.h"
 #include "net/batcher.h"
+#include "obs/obs.h"
+#include "store/ship.h"
 #include "store/wal.h"
 
 namespace dialed::net {
@@ -56,6 +63,25 @@ struct server_stats {
   batcher::stats batching;
 };
 
+/// One partition's slice of the /healthz body (and the 503 decision).
+struct partition_health {
+  bool has_store = false;
+  std::uint64_t generation = 0;
+  std::uint64_t wal_records = 0;
+  bool has_standby = false;  ///< a wal_shipper with tracked followers
+  std::uint64_t ship_lag_records = 0;
+  bool standby_synced = false;
+  bool ship_desync = false;  ///< latched follower error -> answer 503
+};
+
+/// The dialed_build_info labels: which binary, crypto backend and
+/// durability policy this scrape talks to.
+struct build_info_metrics {
+  const char* version = "";
+  const char* sha256_backend = "";
+  const char* wal_sync = "none";
+};
+
 struct http_request {
   bool complete = false;   ///< header terminator seen
   bool too_large = false;  ///< header exceeded the cap before terminating
@@ -71,25 +97,44 @@ http_request parse_http_request(std::span<const std::uint8_t> buf,
                                 std::size_t max_header);
 
 /// A full HTTP/1.1 response (status line, minimal headers incl.
-/// Content-Length and Connection: close, then body).
+/// Content-Length and Connection: close, then body). `extra_headers`,
+/// when non-empty, must be complete CRLF-terminated header lines (e.g.
+/// "Allow: GET, HEAD\r\n").
 std::string render_http_response(int status,
                                  const std::string& content_type,
-                                 const std::string& body);
+                                 const std::string& body,
+                                 const std::string& extra_headers = {});
+
+/// Drop the body of a rendered response, keeping every header byte —
+/// the HEAD answer (Content-Length still names the GET body's size, as
+/// the RFC wants).
+std::string strip_http_body(const std::string& response);
 
 /// The /metrics body: hub families + dialed_net_* families. A non-empty
 /// `partitions` (one hub_stats per partition, from
 /// hub_like::partition_stats) additionally renders the labeled
-/// dialed_partition_* families.
+/// dialed_partition_* families; `pipelines`
+/// (hub_like::partition_pipelines, or a single aggregate snapshot for a
+/// bare hub) renders dialed_stage_latency_seconds; `ship` (one
+/// wal_shipper::stats per partition) renders the dialed_ship_* standby
+/// families; a build with a non-empty version renders dialed_build_info.
 std::string render_metrics_body(
     const fleet::hub_stats& hub, const server_stats& net,
     std::span<const fleet::hub_stats> partitions = {},
-    const store_metrics& store = {});
+    const store_metrics& store = {},
+    std::span<const obs::pipeline_snapshot> pipelines = {},
+    std::span<const store::ship_stats> ship = {},
+    const build_info_metrics& build = {});
 
-/// The /healthz body. `store_ok` false renders "degraded" (and the
-/// endpoint answers 503); without a store the store field reads "none".
-std::string render_healthz_body(bool has_store, bool store_ok,
-                                std::uint64_t wal_records,
-                                std::uint64_t generation);
+/// The /healthz body: overall status plus one entry per partition. The
+/// endpoint answers 503 when any partition reads ship_desync (the
+/// standby is silently diverging — the operator signal this exists
+/// for). Empty `parts` renders the storeless body.
+std::string render_healthz_body(std::span<const partition_health> parts);
+
+/// The /debug/traces body: the flight-recorder dump as JSON (bounded;
+/// a reactor-safe snapshot taken by the caller).
+std::string render_traces_body(const obs::trace_dump& d);
 
 }  // namespace dialed::net
 

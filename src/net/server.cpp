@@ -8,6 +8,9 @@
 #include <cerrno>
 
 #include "common/error.h"
+#include "common/version.h"
+#include "crypto/sha256.h"
+#include "obs/event_log.h"
 
 namespace dialed::net {
 
@@ -15,13 +18,22 @@ namespace {
 
 constexpr auto relaxed = std::memory_order_relaxed;
 
+// Per-callsite budgets: a flood of broken peers must not turn the event
+// log into the bottleneck (suppressed counts surface when the window
+// reopens).
+obs::rate_limit rl_framing{10};
+obs::rate_limit rl_close{20};
+obs::rate_limit rl_backpressure{10};
+
 }  // namespace
 
 attest_server::attest_server(fleet::hub_like& hub, server_config cfg,
-                             std::vector<store::fleet_store*> stores)
+                             std::vector<store::fleet_store*> stores,
+                             std::vector<const store::wal_shipper*> shippers)
     : hub_(hub),
       cfg_(cfg),
       stores_(std::move(stores)),
+      shippers_(std::move(shippers)),
       batcher_(hub, cfg.batching, loop_) {
   listen_fd_ = listen_tcp(cfg_.bind_addr, cfg_.tcp_port);
   tcp_port_ = local_port(listen_fd_);
@@ -49,6 +61,10 @@ void attest_server::run() {
   loop_.add(listen_fd_, EPOLLIN, &accept_handler_);
   if (udp_fd_ >= 0) loop_.add(udp_fd_, EPOLLIN, &udp_handler_);
   last_sweep_ = std::chrono::steady_clock::now();
+  obs::log().emit(obs::log_level::info, "server_started",
+                  {{"tcp_port", tcp_port_},
+                   {"udp_port", udp_port_},
+                   {"max_connections", cfg_.max_connections}});
   running_.store(true, std::memory_order_release);
 
   while (!stop_flag_.load(std::memory_order_acquire)) {
@@ -81,6 +97,11 @@ void attest_server::run() {
   process_doomed();
   loop_.remove(listen_fd_);
   if (udp_fd_ >= 0) loop_.remove(udp_fd_);
+  obs::log().emit(obs::log_level::info, "server_stopped",
+                  {{"connections_accepted",
+                    connections_accepted_.load(relaxed)},
+                   {"frames_tcp", tcp_frames_.load(relaxed)},
+                   {"frames_udp", udp_datagrams_.load(relaxed)}});
   running_.store(false, std::memory_order_release);
 }
 
@@ -148,11 +169,14 @@ void attest_server::on_report_frame(connection& c, byte_vec frame) {
 
 std::string attest_server::handle_http(const http_request& req) {
   http_requests_.fetch_add(1, relaxed);
-  if (req.method != "GET" && req.method != "HEAD") {
-    return render_http_response(405, "text/plain",
-                                "method not allowed\n");
-  }
-  if (req.path == "/metrics") {
+  // HEAD is GET minus the body: route and render identically, then strip
+  // (Content-Length still describes the GET body, per RFC 9110).
+  const bool head = req.method == "HEAD";
+  std::string resp;
+  if (req.method != "GET" && !head) {
+    resp = render_http_response(405, "text/plain", "method not allowed\n",
+                                "Allow: GET, HEAD\r\n");
+  } else if (req.path == "/metrics") {
     // Fold live traffic first so a scrape sees current bytes.
     for (auto& [fd, c] : conns_) fold_traffic(*c);
     const auto parts = hub_.partition_stats();
@@ -172,29 +196,53 @@ std::string attest_server::handle_http(const http_request& req) {
         sm.group_commit.batch_hist[i] += gc.batch_hist[i];
       }
     }
-    return render_http_response(
-        200, "text/plain; version=0.0.4",
-        render_metrics_body(hub_.stats(), stats(), parts, sm));
-  }
-  if (req.path == "/healthz") {
-    // With several backing stores (one per partition) the depth fields
-    // aggregate: records sum, generation is the maximum.
-    bool has_store = !stores_.empty();
-    std::uint64_t wal_records = 0, generation = 0;
-    for (const auto* st : stores_) {
-      if (st == nullptr) {
-        has_store = false;
-        break;
-      }
-      wal_records += st->wal_records();
-      generation = std::max(generation, st->generation());
+    // A partitioned hub labels each partition; a bare hub is one
+    // pipeline labeled partition="0".
+    auto pipes = hub_.partition_pipelines();
+    if (pipes.empty()) pipes.push_back(hub_.pipeline());
+    std::vector<store::ship_stats> ships;
+    ships.reserve(shippers_.size());
+    for (const auto* sh : shippers_) {
+      ships.push_back(sh != nullptr ? sh->stats() : store::ship_stats{});
     }
-    const std::string body = render_healthz_body(
-        has_store, /*store_ok=*/has_store,
-        has_store ? wal_records : 0, has_store ? generation : 0);
-    return render_http_response(200, "application/json", body);
+    build_info_metrics build;
+    build.version = dialed_version;
+    build.sha256_backend =
+        crypto::to_string(crypto::sha256_active_backend());
+    build.wal_sync = sm.sync_policy;
+    resp = render_http_response(
+        200, "text/plain; version=0.0.4",
+        render_metrics_body(hub_.stats(), stats(), parts, sm, pipes,
+                            ships, build));
+  } else if (req.path == "/healthz") {
+    std::vector<partition_health> parts(
+        std::max(stores_.size(), shippers_.size()));
+    bool any_desync = false;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      auto& p = parts[i];
+      if (i < stores_.size() && stores_[i] != nullptr) {
+        p.has_store = true;
+        p.generation = stores_[i]->generation();
+        p.wal_records = stores_[i]->wal_records();
+      }
+      if (i < shippers_.size() && shippers_[i] != nullptr) {
+        const auto ss = shippers_[i]->stats();
+        p.has_standby = ss.followers > 0;
+        p.ship_lag_records = ss.max_lag_records;
+        p.ship_desync = ss.any_desync;
+        p.standby_synced = p.has_standby && !ss.any_desync;
+        if (ss.any_desync) any_desync = true;
+      }
+    }
+    resp = render_http_response(any_desync ? 503 : 200, "application/json",
+                                render_healthz_body(parts));
+  } else if (req.path == "/debug/traces") {
+    resp = render_http_response(200, "application/json",
+                                render_traces_body(hub_.traces()));
+  } else {
+    resp = render_http_response(404, "text/plain", "not found\n");
   }
-  return render_http_response(404, "text/plain", "not found\n");
+  return head ? strip_http_body(resp) : resp;
 }
 
 void attest_server::request_close(connection& c, close_reason why) {
@@ -207,12 +255,18 @@ void attest_server::request_close(connection& c, close_reason why) {
   switch (why) {
     case close_reason::framing_error:
       framing_errors_.fetch_add(1, relaxed);
+      obs::log().emit(obs::log_level::warn, "conn_framing_error",
+                      rl_framing, {{"conn", c.id()}});
       break;
     case close_reason::write_stalled:
       closed_stalled_.fetch_add(1, relaxed);
+      obs::log().emit(obs::log_level::warn, "conn_write_stalled",
+                      rl_close, {{"conn", c.id()}});
       break;
     case close_reason::idle:
       closed_idle_.fetch_add(1, relaxed);
+      obs::log().emit(obs::log_level::debug, "conn_idle_closed",
+                      rl_close, {{"conn", c.id()}});
       break;
     default:
       break;
@@ -287,11 +341,17 @@ void attest_server::check_backpressure() {
   const std::size_t backlog = batcher_.backlog();
   if (!ingest_paused_ && backlog >= cfg_.max_pending_frames) {
     ingest_paused_ = true;
+    obs::log().emit(obs::log_level::warn, "ingest_paused",
+                    rl_backpressure,
+                    {{"backlog", backlog},
+                     {"cap", cfg_.max_pending_frames}});
     for (auto& [fd, c] : conns_) {
       if (!c->close_requested()) c->pause_ingest();
     }
   } else if (ingest_paused_ && backlog <= cfg_.max_pending_frames / 2) {
     ingest_paused_ = false;
+    obs::log().emit(obs::log_level::info, "ingest_resumed",
+                    rl_backpressure, {{"backlog", backlog}});
     for (auto& [fd, c] : conns_) {
       if (!c->close_requested()) c->resume_ingest();
     }

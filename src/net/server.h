@@ -3,7 +3,8 @@
 //
 //   * a TCP listener for the length-prefixed binary protocol (challenge
 //     requests + report frames) AND one-shot HTTP scrapes (/metrics,
-//     /healthz) — protocol sniffed per connection (see connection.h);
+//     /healthz, /debug/traces) — protocol sniffed per connection (see
+//     connection.h);
 //   * a UDP socket for connectionless fire-and-forget report ingest
 //     (one raw wire frame per datagram, no response);
 //   * the batcher's completion queue (verification happens on the
@@ -65,10 +66,14 @@ class attest_server final : public connection_host {
   /// (the server is how `--partitions N` serves unmodified). `stores`
   /// (optional) powers /healthz depth — one entry per backing store, in
   /// partition order; the hub(s) must already be wired to them as their
-  /// persist sinks by the caller. All must outlive the server. Binds the
-  /// sockets immediately (throws dialed::error).
+  /// persist sinks by the caller. `shippers` (optional, same indexing)
+  /// powers the dialed_ship_* families and the standby half of /healthz
+  /// — once any tracked follower latches ship_desync, /healthz answers
+  /// 503. All must outlive the server. Binds the sockets immediately
+  /// (throws dialed::error).
   attest_server(fleet::hub_like& hub, server_config cfg,
-                std::vector<store::fleet_store*> stores = {});
+                std::vector<store::fleet_store*> stores = {},
+                std::vector<const store::wal_shipper*> shippers = {});
   ~attest_server();  ///< stops and joins if still running
 
   attest_server(const attest_server&) = delete;
@@ -119,6 +124,7 @@ class attest_server final : public connection_host {
   fleet::hub_like& hub_;
   server_config cfg_;
   std::vector<store::fleet_store*> stores_;
+  std::vector<const store::wal_shipper*> shippers_;
 
   int listen_fd_ = -1;
   int udp_fd_ = -1;

@@ -1,0 +1,263 @@
+#include "obs/event_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+#include "obs/obs.h"
+
+namespace dialed::obs {
+namespace {
+
+std::mutex g_write_mu;  // serialises formatted writes, not formatting
+
+void append_timestamp(std::string& out) {
+  // Wall-clock UTC with millisecond precision: 2026-08-07T10:11:12.345Z
+  const auto now = std::chrono::system_clock::now();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count();
+  const std::time_t secs = static_cast<std::time_t>(ms / 1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                              tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                              tm.tm_hour, tm.tm_min, tm.tm_sec,
+                              static_cast<int>(ms % 1000));
+  out.append(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+}
+
+bool logfmt_needs_quotes(std::string_view v) {
+  if (v.empty()) return true;
+  for (const char c : v) {
+    if (c == ' ' || c == '=' || c == '"' || c == '\\' || c == '\n' || c == '\r' ||
+        c == '\t')
+      return true;
+  }
+  return false;
+}
+
+void append_logfmt_string(std::string& out, std::string_view v) {
+  if (!logfmt_needs_quotes(v)) {
+    out.append(v);
+    return;
+  }
+  out.push_back('"');
+  for (const char c : v) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+void append_json_string(std::string& out, std::string_view v) {
+  out.push_back('"');
+  for (const char c : v) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, const kv& f) {
+  char buf[40];
+  int n = 0;
+  switch (f.k) {
+    case kv::kind::u64:
+      n = std::snprintf(buf, sizeof buf, "%" PRIu64, f.u);
+      break;
+    case kv::kind::i64:
+      n = std::snprintf(buf, sizeof buf, "%" PRId64, f.i);
+      break;
+    case kv::kind::f64:
+      n = std::snprintf(buf, sizeof buf, "%.6g", f.f);
+      break;
+    default:
+      break;
+  }
+  out.append(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+}
+
+void append_field_logfmt(std::string& out, const kv& f) {
+  out.push_back(' ');
+  out.append(f.key);
+  out.push_back('=');
+  switch (f.k) {
+    case kv::kind::str:
+      append_logfmt_string(out, f.str);
+      break;
+    case kv::kind::boolean:
+      out.append(f.b ? "true" : "false");
+      break;
+    default:
+      append_number(out, f);
+  }
+}
+
+void append_field_json(std::string& out, const kv& f) {
+  out.push_back(',');
+  append_json_string(out, f.key);
+  out.push_back(':');
+  switch (f.k) {
+    case kv::kind::str:
+      append_json_string(out, f.str);
+      break;
+    case kv::kind::boolean:
+      out.append(f.b ? "true" : "false");
+      break;
+    default:
+      append_number(out, f);
+  }
+}
+
+}  // namespace
+
+const char* to_string(log_level l) {
+  switch (l) {
+    case log_level::trace:
+      return "trace";
+    case log_level::debug:
+      return "debug";
+    case log_level::info:
+      return "info";
+    case log_level::warn:
+      return "warn";
+    case log_level::error:
+      return "error";
+    case log_level::off:
+      return "off";
+  }
+  return "unknown";
+}
+
+bool parse_log_level(std::string_view s, log_level& out) {
+  for (const auto l : {log_level::trace, log_level::debug, log_level::info,
+                       log_level::warn, log_level::error, log_level::off}) {
+    if (s == to_string(l)) {
+      out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+void event_logger::set_sink(sink_fn fn, void* ctx) {
+  // Order matters for racy readers: publish the ctx before the fn that
+  // will consume it (write() reads fn first).
+  sink_ctx_.store(ctx, std::memory_order_release);
+  sink_.store(fn, std::memory_order_release);
+}
+
+void event_logger::emit(log_level l, std::string_view event,
+                        std::initializer_list<kv> fields) {
+  if (!should(l)) return;
+  write(l, event, fields, 0);
+}
+
+void event_logger::emit(log_level l, std::string_view event, rate_limit& rl,
+                        std::initializer_list<kv> fields) {
+  if (!should(l)) return;
+  const auto now = now_ns();
+  auto start = rl.window_start.load(std::memory_order_relaxed);
+  if (now - start >= rl.window_ns) {
+    if (rl.window_start.compare_exchange_strong(start, now,
+                                                std::memory_order_relaxed)) {
+      rl.emitted.store(0, std::memory_order_relaxed);
+    }
+  }
+  if (rl.emitted.fetch_add(1, std::memory_order_relaxed) >= rl.max_per_window) {
+    rl.suppressed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const auto suppressed = rl.suppressed.exchange(0, std::memory_order_relaxed);
+  write(l, event, fields, suppressed);
+}
+
+void event_logger::write(log_level l, std::string_view event,
+                         std::initializer_list<kv> fields,
+                         std::uint64_t suppressed) {
+  std::string line;
+  line.reserve(128);
+  const bool as_json = json();
+  if (as_json) {
+    std::string ts;
+    append_timestamp(ts);
+    line.append("{\"ts\":");
+    append_json_string(line, ts);
+    line.append(",\"level\":");
+    append_json_string(line, to_string(l));
+    line.append(",\"event\":");
+    append_json_string(line, event);
+    for (const auto& f : fields) append_field_json(line, f);
+    if (suppressed != 0) append_field_json(line, kv{"suppressed", suppressed});
+    line.append("}\n");
+  } else {
+    line.append("ts=");
+    append_timestamp(line);
+    line.append(" level=");
+    line.append(to_string(l));
+    line.append(" event=");
+    append_logfmt_string(line, event);
+    for (const auto& f : fields) append_field_logfmt(line, f);
+    if (suppressed != 0) append_field_logfmt(line, kv{"suppressed", suppressed});
+    line.push_back('\n');
+  }
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  const auto fn = sink_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lk(g_write_mu);
+  if (fn != nullptr) {
+    fn(sink_ctx_.load(std::memory_order_acquire), line);
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+event_logger& log() {
+  static event_logger logger;
+  return logger;
+}
+
+}  // namespace dialed::obs

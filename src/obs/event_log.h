@@ -1,0 +1,107 @@
+#pragma once
+
+// Structured, leveled event log for the service layers (net/store/fleet).
+// Events are key=value logfmt lines (or JSON objects with --log-json) on
+// stderr, carrying device/partition/nonce context instead of free-form
+// prose. The library default level is `off`: linking dialed never makes a
+// test or bench chatty; tools opt in (dialed-serve --log-level info).
+//
+// Emission is cheap to skip (one relaxed load) and safe from any thread
+// (one mutex around the formatted write). High-frequency callsites guard
+// themselves with a token-bucket rate_limit so a misbehaving peer cannot
+// turn the log into the bottleneck — suppressed counts are reported when
+// the window reopens.
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace dialed::obs {
+
+enum class log_level : std::uint8_t { trace, debug, info, warn, error, off };
+
+const char* to_string(log_level l);
+bool parse_log_level(std::string_view s, log_level& out);
+
+/// One typed key=value field. Constructors cover the value types events
+/// actually carry; integrals keep their signedness.
+struct kv {
+  enum class kind : std::uint8_t { str, u64, i64, f64, boolean };
+
+  std::string_view key;
+  kind k = kind::str;
+  std::string_view str{};
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  double f = 0;
+  bool b = false;
+
+  kv(std::string_view key_, std::string_view v) : key(key_), str(v) {}
+  kv(std::string_view key_, const char* v) : key(key_), str(v) {}
+  kv(std::string_view key_, bool v) : key(key_), k(kind::boolean), b(v) {}
+  kv(std::string_view key_, double v) : key(key_), k(kind::f64), f(v) {}
+  template <std::unsigned_integral T>
+    requires(!std::same_as<T, bool>)
+  kv(std::string_view key_, T v) : key(key_), k(kind::u64), u(v) {}
+  template <std::signed_integral T>
+  kv(std::string_view key_, T v)
+      : key(key_), k(kind::i64), i(static_cast<std::int64_t>(v)) {}
+};
+
+/// Per-callsite token bucket: at most `max_per_window` events per window,
+/// then the callsite goes quiet and counts what it dropped.
+struct rate_limit {
+  explicit rate_limit(std::uint32_t max_per_window_,
+                      std::uint64_t window_ns_ = 1'000'000'000ull)
+      : max_per_window(max_per_window_), window_ns(window_ns_) {}
+
+  std::uint32_t max_per_window;
+  std::uint64_t window_ns;
+  std::atomic<std::uint64_t> window_start{0};
+  std::atomic<std::uint32_t> emitted{0};
+  std::atomic<std::uint64_t> suppressed{0};
+};
+
+class event_logger {
+ public:
+  using sink_fn = void (*)(void* ctx, std::string_view line);
+
+  void configure(log_level level, bool json) {
+    level_.store(level, std::memory_order_relaxed);
+    json_.store(json, std::memory_order_relaxed);
+  }
+  /// Redirect output (tests). nullptr restores the stderr default.
+  void set_sink(sink_fn fn, void* ctx);
+
+  log_level level() const { return level_.load(std::memory_order_relaxed); }
+  bool json() const { return json_.load(std::memory_order_relaxed); }
+  bool should(log_level l) const { return l >= level() && l != log_level::off; }
+
+  /// Format and write one event. No-op below the configured level.
+  void emit(log_level l, std::string_view event, std::initializer_list<kv> fields);
+  /// Rate-limited variant: drops (and counts) events past the limit; the
+  /// first event of a new window carries a `suppressed=` field with the
+  /// number dropped in between.
+  void emit(log_level l, std::string_view event, rate_limit& rl,
+            std::initializer_list<kv> fields);
+
+  std::uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
+
+ private:
+  void write(log_level l, std::string_view event, std::initializer_list<kv> fields,
+             std::uint64_t suppressed);
+
+  std::atomic<log_level> level_{log_level::off};
+  std::atomic<bool> json_{false};
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<sink_fn> sink_{nullptr};
+  std::atomic<void*> sink_ctx_{nullptr};
+};
+
+/// The process-wide logger every layer emits through.
+event_logger& log();
+
+}  // namespace dialed::obs

@@ -1,0 +1,90 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+
+namespace dialed::obs {
+
+const char* to_string(stage s) {
+  switch (s) {
+    case stage::decode:
+      return "decode";
+    case stage::journal:
+      return "journal";
+    case stage::mac:
+      return "mac";
+    case stage::replay:
+      return "replay";
+    case stage::verdict:
+      return "verdict";
+  }
+  return "unknown";
+}
+
+flight_recorder::flight_recorder(recorder_config cfg)
+    : cfg_(cfg), slow_(cfg.slow_capacity), rejected_(cfg.rejected_capacity) {}
+
+void flight_recorder::ring::copy_to(std::vector<span_trace>& out) const {
+  // Oldest first: the cursor points at the oldest live slot once the ring
+  // has wrapped; before that, slots [0, next) are in insertion order.
+  const std::size_t n = slots.size();
+  if (n == 0) return;
+  const bool wrapped = total >= n;
+  const std::size_t live = wrapped ? n : next;
+  out.reserve(live);
+  const std::size_t first = wrapped ? next : 0;
+  for (std::size_t i = 0; i < live; ++i) out.push_back(slots[(first + i) % n]);
+}
+
+void flight_recorder::record(const span_trace& t) {
+  bool slow = false;
+  if (t.accepted) {
+    // Adaptive bar: keep the ring focused on the current tail. A trace at
+    // least half as slow as the slowest ever seen is tail-worthy.
+    auto prev = slowest_ns_.load(std::memory_order_relaxed);
+    while (t.total_ns > prev && !slowest_ns_.compare_exchange_weak(
+                                    prev, t.total_ns, std::memory_order_relaxed)) {
+    }
+    const auto bar = std::max(cfg_.slow_floor_ns,
+                              slowest_ns_.load(std::memory_order_relaxed) / 2);
+    slow = t.total_ns >= bar;
+  }
+  if (!slow && t.accepted) return;  // common case: fast + accepted, no lock
+  std::lock_guard<std::mutex> lk(mu_);
+  if (slow) slow_.push(t);
+  if (!t.accepted) rejected_.push(t);
+}
+
+trace_dump flight_recorder::snapshot() const {
+  trace_dump d;
+  std::lock_guard<std::mutex> lk(mu_);
+  slow_.copy_to(d.slow);
+  rejected_.copy_to(d.rejected);
+  d.slowest_ns = slowest_ns_.load(std::memory_order_relaxed);
+  d.slow_recorded = slow_.total;
+  d.rejected_recorded = rejected_.total;
+  d.slow_capacity = slow_.slots.size();
+  d.rejected_capacity = rejected_.slots.size();
+  return d;
+}
+
+void pipeline_obs::record(const span_recorder& sp, std::uint32_t device,
+                          std::uint32_t seq, std::uint8_t error, bool accepted) {
+  if (!cfg_.enabled || !sp.enabled()) return;
+  const auto& ns = sp.stage_ns();
+  const auto marked = sp.marked();
+  for (std::size_t i = 0; i < stage_count; ++i) {
+    if (marked & (1u << i)) stages_[i].record(ns[i]);
+  }
+  span_trace t;
+  t.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  t.start_ns = sp.start_ns();
+  t.total_ns = sp.total_ns();
+  t.stage_ns = ns;
+  t.device = device;
+  t.seq = seq;
+  t.error = error;
+  t.accepted = accepted;
+  recorder_.record(t);
+}
+
+}  // namespace dialed::obs

@@ -1,5 +1,7 @@
 #include "store/fleet_store.h"
 
+#include "obs/event_log.h"
+
 #include <filesystem>
 #include <vector>
 
@@ -232,6 +234,10 @@ void fleet_store::compact() {
   write_file_atomic(fs::path(dir_) / snapshot_file, snap);
   std::error_code ec;
   fs::remove(wal_path(old_gen), ec);  // best-effort cleanup
+  obs::log().emit(obs::log_level::info, "store_compacted",
+                  {{"dir", dir_},
+                   {"generation", new_gen},
+                   {"snapshot_bytes", snap.size()}});
 }
 
 void fleet_store::attach_shipper(ship_sink* s) {

@@ -1,10 +1,34 @@
 #include "store/ship.h"
 
+#include <algorithm>
 #include <filesystem>
+
+#include "obs/event_log.h"
 
 namespace dialed::store {
 
 namespace fs = std::filesystem;
+
+void wal_shipper::add_follower(wal_follower* f) {
+  followers_.push_back(f);
+  tracked_.push_back(f);
+}
+
+ship_stats wal_shipper::stats() const {
+  ship_stats s;
+  s.records_shipped = records_shipped();
+  s.bytes_shipped = bytes_shipped();
+  s.snapshots_shipped = snapshots_shipped();
+  s.followers = tracked_.size();
+  for (const auto* f : tracked_) {
+    const auto applied = f->records_applied();
+    const auto lag =
+        s.records_shipped > applied ? s.records_shipped - applied : 0;
+    s.max_lag_records = std::max(s.max_lag_records, lag);
+    if (f->error().has_value()) s.any_desync = true;
+  }
+  return s;
+}
 
 wal_follower::wal_follower(std::string dir, follower_config cfg)
     : dir_(std::move(dir)), cfg_(cfg) {
@@ -17,7 +41,12 @@ wal_follower::wal_follower(std::string dir, follower_config cfg)
 }
 
 void wal_follower::latch_locked(store_error err) {
-  if (!error_) error_.emplace(std::move(err));
+  if (error_) return;
+  // The operator-facing moment this follower stops being a standby:
+  // say so once, with the cause (stats()/healthz carry it from here on).
+  obs::log().emit(obs::log_level::error, "standby_desync",
+                  {{"dir", dir_}, {"error", err.what()}});
+  error_.emplace(std::move(err));
 }
 
 void wal_follower::on_snapshot(std::uint64_t generation,
@@ -114,6 +143,10 @@ fleet_state wal_follower::promote(fleet_store::options opts) {
     closing = std::move(wal_);  // close (flush) outside the lock
   }
   closing.reset();
+  obs::log().emit(obs::log_level::info, "standby_promoted",
+                  {{"dir", dir_},
+                   {"generation", gen_},
+                   {"records_applied", records_applied()}});
   return fleet_store::open(dir_, std::move(opts));
 }
 

@@ -58,12 +58,36 @@ class ship_sink {
                          std::span<const std::uint8_t> payload) = 0;
 };
 
+class wal_follower;
+
+/// Point-in-time standby health, from wal_shipper::stats(): how far the
+/// TRACKED followers (added via the wal_follower overload) trail the
+/// shipped stream, and whether any of them latched a desync.
+struct ship_stats {
+  std::uint64_t records_shipped = 0;
+  std::uint64_t bytes_shipped = 0;
+  std::uint64_t snapshots_shipped = 0;
+  std::uint64_t followers = 0;      ///< tracked followers only
+  /// Max over tracked followers of (records shipped - records applied).
+  /// A follower that applies synchronously reads 0; a desynced one stops
+  /// applying, so its lag grows with every shipped record.
+  std::uint64_t max_lag_records = 0;
+  bool any_desync = false;  ///< some follower latched store_error
+};
+
 /// Fan-out + instrumentation: one shipper forwards the stream to any
 /// number of followers. Register followers BEFORE attaching the shipper
 /// to a store — the follower set is not mutable while shipping.
 class wal_shipper final : public ship_sink {
  public:
   void add_follower(ship_sink* f) { followers_.push_back(f); }
+  /// Same, but keeps the typed pointer so stats() can report the
+  /// follower's apply lag and desync state.
+  void add_follower(wal_follower* f);
+
+  /// Shipping + standby-health snapshot (safe from any thread; briefly
+  /// takes each tracked follower's mutex for the error check).
+  ship_stats stats() const;
 
   void on_snapshot(std::uint64_t generation,
                    std::span<const std::uint8_t> snapshot) override {
@@ -89,6 +113,7 @@ class wal_shipper final : public ship_sink {
 
  private:
   std::vector<ship_sink*> followers_;
+  std::vector<wal_follower*> tracked_;  ///< subset with lag visibility
   std::atomic<std::uint64_t> records_shipped_{0};
   std::atomic<std::uint64_t> bytes_shipped_{0};
   std::atomic<std::uint64_t> snapshots_shipped_{0};

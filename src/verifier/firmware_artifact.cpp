@@ -5,6 +5,7 @@
 #include "common/bytes.h"
 #include "common/error.h"
 #include "crypto/hmac.h"
+#include "obs/obs.h"
 #include "crypto/sha256.h"
 #include "rot/attest.h"
 #include "verifier/cfa_check.h"
@@ -230,7 +231,8 @@ verdict firmware_artifact::verify(
 verdict firmware_artifact::verify(
     const report_view& report, const crypto::hmac_keystate& key_state,
     const std::vector<std::shared_ptr<policy>>& policies,
-    std::optional<std::array<std::uint8_t, 16>> expected_challenge) const {
+    std::optional<std::array<std::uint8_t, 16>> expected_challenge,
+    verify_timings* timings) const {
   verdict v;
 
   // ---- 1. configuration ----
@@ -256,6 +258,7 @@ verdict firmware_artifact::verify(
   // proofs of violation-free runs, so EXEC=1 is what the expected MAC
   // asserts. Bounds already matched the program's, so the artifact's
   // prefix is exactly this report's header‖ER.
+  const std::uint64_t t_mac = timings != nullptr ? obs::now_ns() : 0;
   const auto derived = crypto::hmac_sha256::compute(key_state,
                                                     report.challenge);
   const auto derived_state = crypto::hmac_keystate::derive(derived);
@@ -295,8 +298,17 @@ verdict firmware_artifact::verify(
                               0, 0});
       }
     }
+    if (timings != nullptr) timings->mac_ns = obs::now_ns() - t_mac;
     return v;
   }
+  if (timings != nullptr) timings->mac_ns = obs::now_ns() - t_mac;
+
+  // Everything from here is replay-shaped work (CFA reconstruction or the
+  // full ER replay); stamp it on every exit path below.
+  const std::uint64_t t_replay = timings != nullptr ? obs::now_ns() : 0;
+  const auto stamp_replay = [&] {
+    if (timings != nullptr) timings->replay_ns = obs::now_ns() - t_replay;
+  };
 
   // ---- 3a. CFA-only verification (Tiny-CFA deployments) ----
   if (prog_.options.mode == instr::instrumentation::tinycfa) {
@@ -310,12 +322,14 @@ verdict firmware_artifact::verify(
     v.log_slots_consumed = cfa.entries_consumed;
     v.log_bytes = 2 * cfa.entries_consumed;
     v.accepted = cfa.ok;
+    stamp_replay();
     return v;
   }
   if (prog_.options.mode != instr::instrumentation::dialed) {
     // Uninstrumented: the MAC and EXEC guarantees above are all this
     // configuration can offer.
     v.accepted = true;
+    stamp_replay();
     return v;
   }
 
@@ -332,6 +346,7 @@ verdict firmware_artifact::verify(
       v.findings.push_back({attack_kind::replay_divergence,
                             "replay did not reach the op's return", 0, 0});
     }
+    stamp_replay();
     return v;
   }
 
@@ -363,6 +378,7 @@ verdict firmware_artifact::verify(
   }
 
   v.accepted = v.findings.empty();
+  stamp_replay();
   return v;
 }
 

@@ -124,12 +124,14 @@ class firmware_artifact {
 
   /// Same, from a cached HMAC key schedule for the device key (what
   /// fleet::device_record carries) — skips four key-block compressions
-  /// per report.
+  /// per report. `timings`, when non-null, receives the MAC/replay wall
+  /// split for pipeline stage attribution (no clock reads when null).
   verdict verify(const report_view& report,
                  const crypto::hmac_keystate& key_state,
                  const std::vector<std::shared_ptr<policy>>& policies,
                  std::optional<std::array<std::uint8_t, 16>>
-                     expected_challenge = std::nullopt) const;
+                     expected_challenge = std::nullopt,
+                 verify_timings* timings = nullptr) const;
 
   /// Approximate heap+object footprint of this artifact (metrics: fleet
   /// verifier memory is artifacts * this, not devices * program).

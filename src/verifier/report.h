@@ -99,6 +99,14 @@ struct io_event {
   bool tainted = false;
 };
 
+/// Optional out-param of verify(): wall time the call spent in the MAC
+/// check vs the ER replay, for per-stage latency attribution. Written only
+/// when a non-null pointer is passed — the clock is never read otherwise.
+struct verify_timings {
+  std::uint64_t mac_ns = 0;
+  std::uint64_t replay_ns = 0;
+};
+
 struct verdict {
   bool accepted = false;
   std::vector<finding> findings;

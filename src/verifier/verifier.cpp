@@ -19,8 +19,10 @@ void op_verifier::add_policy(std::shared_ptr<policy> p) {
 
 verdict op_verifier::verify(
     const report_view& report,
-    std::optional<std::array<std::uint8_t, 16>> expected_challenge) const {
-  return fw_->verify(report, key_state_, policies_, expected_challenge);
+    std::optional<std::array<std::uint8_t, 16>> expected_challenge,
+    verify_timings* timings) const {
+  return fw_->verify(report, key_state_, policies_, expected_challenge,
+                     timings);
 }
 
 std::size_t op_verifier::context_footprint_bytes() const {

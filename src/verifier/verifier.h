@@ -51,9 +51,11 @@ class op_verifier {
   /// Verify a report (owning reports convert to the view implicitly). If
   /// `expected_challenge` is given, the report must carry exactly that
   /// nonce (anti-replay). Runs on the key schedule cached at construction.
+  /// `timings`, when non-null, receives the MAC/replay wall split.
   verdict verify(const report_view& report,
                  std::optional<std::array<std::uint8_t, 16>>
-                     expected_challenge = std::nullopt) const;
+                     expected_challenge = std::nullopt,
+                 verify_timings* timings = nullptr) const;
 
   const instr::linked_program& program() const { return fw_->program(); }
 

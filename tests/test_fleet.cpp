@@ -1113,6 +1113,99 @@ bool parse_exposition_line(const std::string& line, std::string& why) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Pipeline observability (PR 9): stage histograms + flight recorder
+// threaded through verify
+// ---------------------------------------------------------------------------
+
+TEST(hub_obs, accepted_report_times_every_stage) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id = reg.provision(prog);
+  verifier_hub hub(reg, {});
+  proto::prover_device dev(prog, reg.derive_key(id));
+
+  const auto g = hub.challenge(id);
+  ASSERT_TRUE(
+      hub.verify_report(id, g.seq, dev.invoke(g.nonce, args(2, 3)))
+          .accepted());
+
+  const auto p = hub.pipeline();
+  // verify_report enters after decode, so journal/mac/replay/verdict
+  // each saw exactly one sample (0ns at clock granularity still counts).
+  using obs::stage;
+  EXPECT_EQ(p.stages[static_cast<std::size_t>(stage::journal)].count, 1u);
+  EXPECT_EQ(p.stages[static_cast<std::size_t>(stage::mac)].count, 1u);
+  EXPECT_EQ(p.stages[static_cast<std::size_t>(stage::replay)].count, 1u);
+  EXPECT_EQ(p.stages[static_cast<std::size_t>(stage::verdict)].count, 1u);
+  // The replay dominates an accepted verify; its time must be nonzero
+  // and no stage's sum may exceed the total recorded wall time.
+  EXPECT_GT(p.stages[static_cast<std::size_t>(stage::replay)].sum_ns, 0u);
+
+  // The (only) report is by definition the slowest: flight-recorded.
+  const auto traces = hub.traces();
+  ASSERT_EQ(traces.slow.size(), 1u);
+  EXPECT_TRUE(traces.slow[0].accepted);
+  EXPECT_EQ(traces.slow[0].device, id);
+  EXPECT_GT(traces.slowest_ns, 0u);
+  EXPECT_TRUE(traces.rejected.empty());
+}
+
+TEST(hub_obs, submit_times_decode_and_records_rejections) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id = reg.provision(prog);
+  verifier_hub hub(reg, {});
+  proto::prover_device dev(prog, reg.derive_key(id));
+
+  const auto g = hub.challenge(id);
+  const auto rep = dev.invoke(g.nonce, args(7, 8));
+  proto::frame_info info;
+  info.device_id = id;
+  info.seq = g.seq;
+  const auto frame = proto::encode_frame(info, rep);
+  ASSERT_TRUE(hub.submit(frame).accepted());
+  // Same frame again: the replay rejection must land in the rejected
+  // ring with the typed error and the device identity attached.
+  EXPECT_EQ(hub.submit(frame).error, proto_error::replayed_report);
+
+  const auto p = hub.pipeline();
+  using obs::stage;
+  EXPECT_EQ(p.stages[static_cast<std::size_t>(stage::decode)].count, 2u);
+  // The replayed submit never reached mac/replay.
+  EXPECT_EQ(p.stages[static_cast<std::size_t>(stage::mac)].count, 1u);
+  EXPECT_EQ(p.stages[static_cast<std::size_t>(stage::journal)].count, 2u);
+
+  const auto traces = hub.traces();
+  ASSERT_EQ(traces.rejected.size(), 1u);
+  EXPECT_EQ(traces.rejected[0].device, id);
+  EXPECT_EQ(traces.rejected[0].error,
+            static_cast<std::uint8_t>(proto_error::replayed_report));
+  EXPECT_FALSE(traces.rejected[0].accepted);
+}
+
+TEST(hub_obs, disabled_observability_records_nothing) {
+  device_registry reg(master_key());
+  const auto prog = adder_prog();
+  const auto id = reg.provision(prog);
+  hub_config cfg;
+  cfg.obs.enabled = false;
+  verifier_hub hub(reg, cfg);
+  proto::prover_device dev(prog, reg.derive_key(id));
+
+  const auto g = hub.challenge(id);
+  ASSERT_TRUE(
+      hub.verify_report(id, g.seq, dev.invoke(g.nonce, args(1, 1)))
+          .accepted());
+
+  const auto p = hub.pipeline();
+  for (const auto& st : p.stages) EXPECT_EQ(st.count, 0u);
+  const auto traces = hub.traces();
+  EXPECT_TRUE(traces.slow.empty());
+  EXPECT_TRUE(traces.rejected.empty());
+  EXPECT_EQ(traces.slowest_ns, 0u);
+}
+
 TEST(stats_render, escape_label_value_covers_the_three_escapes) {
   EXPECT_EQ(escape_label_value("plain"), "plain");
   EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");

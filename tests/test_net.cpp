@@ -802,5 +802,324 @@ TEST(net_client, blocking_calls_time_out_against_a_wedged_server) {
   ::close(lfd);
 }
 
+
+// ---------------------------------------------------------------------------
+// PR 9 observability: response hygiene, stage histograms, flight
+// recorder endpoint, standby-aware health, scrape-under-traffic (TSan)
+// ---------------------------------------------------------------------------
+
+TEST(net_http, head_allow_and_body_strip) {
+  const auto full =
+      render_http_response(405, "text/plain", "method not allowed\n",
+                           "Allow: GET, HEAD\r\n");
+  EXPECT_NE(full.find("HTTP/1.1 405"), std::string::npos);
+  EXPECT_NE(full.find("Allow: GET, HEAD\r\n"), std::string::npos);
+  const auto head = strip_http_body(full);
+  // Headers survive byte-for-byte (Content-Length still names the GET
+  // body size); the body is gone.
+  EXPECT_EQ(head.substr(head.size() - 4), "\r\n\r\n");
+  EXPECT_EQ(head, full.substr(0, head.size()));
+  EXPECT_NE(head.find("Content-Length: 19\r\n"), std::string::npos);
+  EXPECT_EQ(head.find("method not allowed"), std::string::npos);
+}
+
+TEST(net_http, traces_body_renders_json) {
+  obs::trace_dump d;
+  d.slowest_ns = 5000;
+  d.slow_recorded = 1;
+  d.rejected_recorded = 1;
+  obs::span_trace t;
+  t.trace_id = 7;
+  t.total_ns = 5000;
+  t.stage_ns[static_cast<std::size_t>(obs::stage::mac)] = 1200;
+  t.device = 42;
+  t.seq = 3;
+  t.partition = 1;
+  t.accepted = true;
+  d.slow.push_back(t);
+  t.accepted = false;
+  t.error =
+      static_cast<std::uint8_t>(proto::proto_error::replayed_report);
+  d.rejected.push_back(t);
+
+  const auto body = render_traces_body(d);
+  EXPECT_NE(body.find("\"slowest_ns\": 5000"), std::string::npos);
+  EXPECT_NE(body.find("\"trace_id\": 7"), std::string::npos);
+  EXPECT_NE(body.find("\"device\": 42"), std::string::npos);
+  EXPECT_NE(body.find("\"partition\": 1"), std::string::npos);
+  EXPECT_NE(body.find("\"mac\": 1200"), std::string::npos);
+  EXPECT_NE(body.find("\"error\": \"replayed_report\""),
+            std::string::npos);
+  EXPECT_NE(body.find("\"accepted\": true"), std::string::npos);
+  EXPECT_NE(body.find("\"accepted\": false"), std::string::npos);
+}
+
+TEST(net_http, healthz_body_partitions_and_degraded) {
+  std::vector<partition_health> parts(2);
+  parts[0].has_store = true;
+  parts[0].generation = 3;
+  parts[0].wal_records = 10;
+  parts[0].has_standby = true;
+  parts[0].standby_synced = true;
+  parts[1].has_store = true;
+  parts[1].generation = 5;
+  parts[1].wal_records = 7;
+  parts[1].has_standby = true;
+  parts[1].ship_lag_records = 4;
+  parts[1].ship_desync = true;
+
+  const auto body = render_healthz_body(parts);
+  // Legacy aggregates survive for existing probes...
+  EXPECT_NE(body.find("\"hub\": \"ok\""), std::string::npos);
+  EXPECT_NE(body.find("\"wal_records\": 17"), std::string::npos);
+  EXPECT_NE(body.find("\"generation\": 5"), std::string::npos);
+  // ...and the desync degrades the overall status plus its partition.
+  EXPECT_NE(body.find("\"status\": \"degraded\""), std::string::npos);
+  EXPECT_NE(body.find("\"partition\": 1"), std::string::npos);
+  EXPECT_NE(body.find("\"lag_records\": 4"), std::string::npos);
+  EXPECT_NE(body.find("\"desync\": true"), std::string::npos);
+
+  std::vector<partition_health> healthy(1);
+  healthy[0].has_store = true;
+  const auto ok = render_healthz_body(healthy);
+  EXPECT_NE(ok.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(ok.find("\"store\": \"ok\""), std::string::npos);
+}
+
+/// Value of the first sample whose line starts with `prefix`.
+std::uint64_t metric_value(const std::string& body,
+                           const std::string& prefix) {
+  const auto pos = body.find(prefix);
+  EXPECT_NE(pos, std::string::npos) << prefix;
+  if (pos == std::string::npos) return 0;
+  const auto eol = body.find('\n', pos);
+  const auto sp = body.rfind(' ', eol);
+  return std::stoull(body.substr(sp + 1, eol - sp - 1));
+}
+
+TEST(net_serve, stage_histograms_and_build_info_in_metrics) {
+  harness h;
+  const auto prog = adder_prog();
+  const auto id = h.provision(prog);
+  proto::prover_device dev(prog, h.key(id));
+  attest_client client("127.0.0.1", h.port());
+  const auto grant = client.get_challenge(id);
+  const auto rep = dev.invoke(grant.nonce, args(40, 2));
+  ASSERT_TRUE(client.submit_report(full_frame(id, grant.seq, rep)).accepted);
+
+  const auto metrics = http_get("127.0.0.1", h.port(), "/metrics");
+  // One histogram per stage, partition-labeled (a bare hub is
+  // partition "0"); the accepted report moved every stage's count.
+  for (const char* stage :
+       {"decode", "journal", "mac", "replay", "verdict"}) {
+    const std::string count =
+        std::string("dialed_stage_latency_seconds_count{stage=\"") +
+        stage + "\",partition=\"0\"}";
+    EXPECT_EQ(metric_value(metrics, count), 1u) << stage;
+  }
+  EXPECT_NE(metrics.find("dialed_stage_latency_seconds_bucket{"
+                         "stage=\"replay\",partition=\"0\",le=\"+Inf\"} 1"),
+            std::string::npos);
+  // Batcher attribution: one flush, by cause, and its queue wait.
+  std::uint64_t flushes = 0;
+  for (const char* cause : {"size", "deadline", "idle"}) {
+    flushes += metric_value(
+        metrics, std::string("dialed_net_batch_flush_total{cause=\"") +
+                     cause + "\"}");
+  }
+  EXPECT_GE(flushes, 1u);
+  EXPECT_GE(metric_value(metrics, "dialed_net_queue_wait_seconds_count"),
+            1u);
+  // Build identity.
+  EXPECT_NE(metrics.find("dialed_build_info{version=\""),
+            std::string::npos);
+  EXPECT_NE(metrics.find("sha256_backend=\""), std::string::npos);
+}
+
+TEST(net_serve, debug_traces_endpoint_reports_rejections) {
+  harness h;
+  const auto prog = adder_prog();
+  const auto id = h.provision(prog);
+  proto::prover_device dev(prog, h.key(id));
+  attest_client client("127.0.0.1", h.port());
+  const auto grant = client.get_challenge(id);
+  const auto rep = dev.invoke(grant.nonce, args(1, 2));
+  const auto frame = full_frame(id, grant.seq, rep);
+  ASSERT_TRUE(client.submit_report(frame).accepted);
+  // The same frame again is a replay: rejected, so flight-recorded.
+  EXPECT_EQ(client.submit_report(frame).error,
+            proto::proto_error::replayed_report);
+
+  const auto resp = http_get("127.0.0.1", h.port(), "/debug/traces");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("application/json"), std::string::npos);
+  EXPECT_NE(resp.find("\"rejected\": [{"), std::string::npos);
+  EXPECT_NE(resp.find("\"error\": \"replayed_report\""),
+            std::string::npos);
+  EXPECT_NE(resp.find("\"device\": " + std::to_string(id)),
+            std::string::npos);
+  // The accepted report is the slowest seen: it is in the slow ring.
+  EXPECT_NE(resp.find("\"slow\": [{"), std::string::npos);
+}
+
+TEST(net_serve, head_is_get_without_a_body) {
+  harness h;
+  const int fd = raw_connect(h.port());
+  const std::string head = "HEAD /healthz HTTP/1.1\r\n\r\n";
+  write_all(fd, {reinterpret_cast<const std::uint8_t*>(head.data()),
+                 head.size()});
+  std::string resp;
+  char buf[1024];
+  ssize_t r;
+  while ((r = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length:"), std::string::npos);
+  // The response ends at the header terminator: no body bytes follow.
+  EXPECT_EQ(resp.substr(resp.size() - 4), "\r\n\r\n");
+  EXPECT_EQ(resp.find("\"hub\""), std::string::npos);
+}
+
+TEST(net_serve, unsupported_method_names_the_allowed_ones) {
+  harness h;
+  const int fd = raw_connect(h.port());
+  const std::string del = "DELETE /metrics HTTP/1.1\r\n\r\n";
+  write_all(fd, {reinterpret_cast<const std::uint8_t*>(del.data()),
+                 del.size()});
+  std::string resp;
+  char buf[1024];
+  ssize_t r;
+  while ((r = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  EXPECT_NE(resp.find("HTTP/1.1 405"), std::string::npos);
+  EXPECT_NE(resp.find("Allow: GET, HEAD"), std::string::npos);
+}
+
+// A standby follower behind a shipper surfaces on both endpoints; a
+// desynced one flips /healthz to 503. Uses the store-backed server
+// wiring exactly as dialed-serve --standby-dir does.
+TEST(net_serve, healthz_standby_depth_and_desync_503) {
+  const auto dir = fs::path(::testing::TempDir()) / "dialed-net-standby";
+  fs::remove_all(dir);
+  const auto prog = adder_prog();
+
+  store::fleet_store::options so;
+  so.master_key = master_key();
+  so.hub.workers = 1;
+  auto state = store::fleet_store::open((dir / "primary").string(), so);
+  const auto id = state.registry->provision(prog);
+  proto::prover_device dev(prog, state.registry->find(id)->key);
+
+  store::wal_follower follower((dir / "standby").string());
+  store::wal_shipper shipper;
+  shipper.add_follower(&follower);
+  state.store->attach_shipper(&shipper);
+
+  server_config cfg;
+  cfg.bind_addr = "127.0.0.1";
+  attest_server server(*state.hub, cfg, {state.store.get()}, {&shipper});
+  server.start();
+
+  attest_client client("127.0.0.1", server.tcp_port());
+  const auto grant = client.get_challenge(id);
+  const auto rep = dev.invoke(grant.nonce, args(5, 6));
+  ASSERT_TRUE(
+      client.submit_report(full_frame(id, grant.seq, rep)).accepted);
+
+  const auto port = server.tcp_port();
+  auto health = http_get("127.0.0.1", port, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("\"standby\": {\"synced\": true"),
+            std::string::npos);
+  const auto metrics = http_get("127.0.0.1", port, "/metrics");
+  EXPECT_GE(metric_value(metrics,
+                         "dialed_ship_records_total{partition=\"0\"}"),
+            1u);
+  EXPECT_EQ(metric_value(metrics,
+                         "dialed_ship_desync{partition=\"0\"}"),
+            0u);
+
+  // Poison the stream the way a genuine desync looks to the follower: a
+  // record for a generation it is not following.
+  follower.on_record(/*generation=*/999, byte_vec{1, 2, 3});
+  health = http_get("127.0.0.1", port, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_NE(health.find("\"status\": \"degraded\""), std::string::npos);
+  EXPECT_NE(health.find("\"desync\": true"), std::string::npos);
+
+  server.stop();
+  state.store->attach_shipper(nullptr);
+}
+
+/// Every non-comment line of a Prometheus body is `name{labels} value`.
+void expect_prometheus_parses(const std::string& response) {
+  const auto body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  std::size_t at = body_at + 4;
+  while (at < response.size()) {
+    auto eol = response.find('\n', at);
+    if (eol == std::string::npos) eol = response.size();
+    const std::string line = response.substr(at, eol - at);
+    at = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const auto sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_NE(sp, 0u) << line;
+    const std::string value = line.substr(sp + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    std::size_t used = 0;
+    (void)std::stod(value, &used);
+    EXPECT_EQ(used, value.size()) << line;
+  }
+}
+
+// Scrapes racing live traffic: every body parses, and the stage
+// histogram totals never move backwards. This is a TSan target — it
+// pits the reactor's scrape path against the hub's recording path.
+TEST(net_serve, concurrent_scrape_under_traffic) {
+  harness h(server_config{}, /*hub_workers=*/2);
+  const auto prog = adder_prog();
+  const auto id = h.provision(prog);
+  proto::prover_device dev(prog, h.key(id));
+
+  std::atomic<bool> stop{false};
+  std::thread traffic([&] {
+    attest_client client("127.0.0.1", h.port());
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto grant = client.get_challenge(id);
+      if (grant.error != proto::proto_error::none) continue;
+      const auto rep = dev.invoke(grant.nonce, args(9, 9));
+      const auto frame = full_frame(id, grant.seq, rep);
+      (void)client.submit_report(frame);
+      (void)client.submit_report(frame);  // replay: keeps rejects flowing
+    }
+  });
+
+  std::uint64_t last_total = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto metrics = http_get("127.0.0.1", h.port(), "/metrics");
+    expect_prometheus_parses(metrics);
+    std::uint64_t total = 0;
+    for (const char* stage :
+         {"decode", "journal", "mac", "replay", "verdict"}) {
+      total += metric_value(
+          metrics,
+          std::string("dialed_stage_latency_seconds_count{stage=\"") +
+              stage + "\",partition=\"0\"}");
+    }
+    EXPECT_GE(total, last_total);
+    last_total = total;
+    const auto traces = http_get("127.0.0.1", h.port(), "/debug/traces");
+    EXPECT_NE(traces.find("\"slowest_ns\":"), std::string::npos);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  traffic.join();
+  EXPECT_GT(last_total, 0u);
+}
+
 }  // namespace
 }  // namespace dialed::net

@@ -1,0 +1,327 @@
+// The observability core: log2 latency buckets and histogram snapshot
+// self-consistency, span-recorder stage attribution (incl. the
+// zero-duration-marked-stage guarantee and the verdict exclusion), the
+// flight recorder's adaptive slow bar + bounded rings, and the
+// structured event log (logfmt/JSON shapes, level gating, per-callsite
+// rate limiting). Pure in-process — the socket-facing rendering of the
+// same data is covered in test_net.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/obs.h"
+
+namespace dialed::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Latency buckets
+// ---------------------------------------------------------------------------
+
+TEST(obs_histogram, bucket_boundaries) {
+  // Bucket 0 covers everything through 1.024us, including 0.
+  EXPECT_EQ(latency_bucket(0), 0u);
+  EXPECT_EQ(latency_bucket(1), 0u);
+  EXPECT_EQ(latency_bucket(1024), 0u);
+  // Exact upper bounds land in their own bucket; one past moves up.
+  for (std::size_t i = 0; i + 1 < latency_buckets; ++i) {
+    EXPECT_EQ(latency_bucket(latency_bucket_bound_ns(i)), i) << i;
+    EXPECT_EQ(latency_bucket(latency_bucket_bound_ns(i) + 1), i + 1) << i;
+  }
+  // Everything past the last bound clamps into the +Inf bucket.
+  EXPECT_EQ(latency_bucket(~std::uint64_t{0}), latency_buckets - 1);
+}
+
+TEST(obs_histogram, record_snapshot_merge) {
+  latency_histogram h;
+  h.record(100);        // bucket 0
+  h.record(5000);       // bucket 3 (4.096us..8.192us)
+  h.record(5000);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum_ns, 10100u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[latency_bucket(5000)], 2u);
+  // count is derived from the buckets: always self-consistent.
+  std::uint64_t total = 0;
+  for (const auto b : s.buckets) total += b;
+  EXPECT_EQ(total, s.count);
+
+  histogram_snapshot m = s;
+  m.merge(s);
+  EXPECT_EQ(m.count, 6u);
+  EXPECT_EQ(m.sum_ns, 20200u);
+}
+
+// ---------------------------------------------------------------------------
+// Span recorder
+// ---------------------------------------------------------------------------
+
+TEST(obs_span, disabled_recorder_is_inert) {
+  span_recorder sp(false);
+  sp.mark(stage::decode);
+  sp.credit(stage::mac, 1000);
+  sp.mark_excluding(stage::verdict, 10);
+  EXPECT_EQ(sp.total_ns(), 0u);
+  EXPECT_EQ(sp.marked(), 0u);
+  for (const auto ns : sp.stage_ns()) EXPECT_EQ(ns, 0u);
+}
+
+TEST(obs_span, marks_credit_and_exclusion) {
+  span_recorder sp(true);
+  sp.mark(stage::decode);
+  sp.mark(stage::journal);
+  sp.credit(stage::mac, 700);
+  sp.credit(stage::replay, 300);
+  sp.mark_excluding(stage::verdict, 1000);
+
+  const auto& ns = sp.stage_ns();
+  EXPECT_EQ(ns[static_cast<std::size_t>(stage::mac)], 700u);
+  EXPECT_EQ(ns[static_cast<std::size_t>(stage::replay)], 300u);
+  // Every stage marked — including any that took 0ns at clock
+  // granularity (the histogram must still count them).
+  EXPECT_EQ(sp.marked(), 0b11111u);
+  // total covers start..last-mark; at least the attributed wall time.
+  std::uint64_t attributed = 0;
+  for (std::size_t i = 0; i < stage_count; ++i) {
+    if (static_cast<stage>(i) == stage::mac ||
+        static_cast<stage>(i) == stage::replay) {
+      continue;  // credited externally, not wall time between marks
+    }
+    attributed += ns[i];
+  }
+  EXPECT_GE(sp.total_ns(), attributed);
+}
+
+TEST(obs_span, exclusion_never_underflows) {
+  span_recorder sp(true);
+  // Excluding far more than elapsed clamps the stage to 0 — and the
+  // stage still registers as marked.
+  sp.mark_excluding(stage::verdict, ~std::uint64_t{0});
+  EXPECT_EQ(sp.stage_ns()[static_cast<std::size_t>(stage::verdict)], 0u);
+  EXPECT_NE(sp.marked() &
+                (1u << static_cast<std::size_t>(stage::verdict)),
+            0u);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+span_trace make_trace(std::uint64_t id, std::uint64_t total,
+                      bool accepted) {
+  span_trace t;
+  t.trace_id = id;
+  t.start_ns = id;  // monotone stand-in
+  t.total_ns = total;
+  t.accepted = accepted;
+  return t;
+}
+
+TEST(obs_recorder, rejected_always_recorded_slow_bar_adapts) {
+  recorder_config cfg;
+  cfg.slow_capacity = 4;
+  cfg.rejected_capacity = 4;
+  flight_recorder fr(cfg);
+
+  // First accepted trace sets the bar (slowest=1000, bar=500).
+  fr.record(make_trace(1, 1000, true));
+  // Under the bar: not recorded as slow.
+  fr.record(make_trace(2, 400, true));
+  // At/above the bar: recorded.
+  fr.record(make_trace(3, 600, true));
+  // Rejected traces are always recorded, however fast.
+  fr.record(make_trace(4, 1, false));
+
+  const auto d = fr.snapshot();
+  EXPECT_EQ(d.slowest_ns, 1000u);
+  ASSERT_EQ(d.slow.size(), 2u);
+  EXPECT_EQ(d.slow[0].trace_id, 1u);
+  EXPECT_EQ(d.slow[1].trace_id, 3u);
+  ASSERT_EQ(d.rejected.size(), 1u);
+  EXPECT_EQ(d.rejected[0].trace_id, 4u);
+  EXPECT_EQ(d.slow_recorded, 2u);
+  EXPECT_EQ(d.rejected_recorded, 1u);
+}
+
+TEST(obs_recorder, slow_floor_suppresses_warmup) {
+  recorder_config cfg;
+  cfg.slow_floor_ns = 10000;
+  flight_recorder fr(cfg);
+  fr.record(make_trace(1, 500, true));  // slowest=500, but under floor
+  EXPECT_EQ(fr.snapshot().slow.size(), 0u);
+  fr.record(make_trace(2, 20000, true));
+  EXPECT_EQ(fr.snapshot().slow.size(), 1u);
+}
+
+TEST(obs_recorder, ring_wraps_oldest_first) {
+  recorder_config cfg;
+  cfg.rejected_capacity = 3;
+  flight_recorder fr(cfg);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    fr.record(make_trace(i, 10, false));
+  }
+  const auto d = fr.snapshot();
+  ASSERT_EQ(d.rejected.size(), 3u);
+  EXPECT_EQ(d.rejected[0].trace_id, 3u);  // oldest surviving first
+  EXPECT_EQ(d.rejected[1].trace_id, 4u);
+  EXPECT_EQ(d.rejected[2].trace_id, 5u);
+  EXPECT_EQ(d.rejected_recorded, 5u);  // lifetime admissions keep counting
+}
+
+TEST(obs_pipeline, record_bumps_marked_stages_only) {
+  pipeline_obs po;
+  span_recorder sp(true);
+  sp.mark(stage::decode);
+  sp.credit(stage::mac, 50);
+  po.record(sp, /*device=*/7, /*seq=*/3, /*error=*/0, /*accepted=*/true);
+
+  const auto s = po.snapshot();
+  EXPECT_EQ(s.stages[static_cast<std::size_t>(stage::decode)].count, 1u);
+  EXPECT_EQ(s.stages[static_cast<std::size_t>(stage::mac)].count, 1u);
+  EXPECT_EQ(s.stages[static_cast<std::size_t>(stage::journal)].count, 0u);
+  EXPECT_EQ(s.stages[static_cast<std::size_t>(stage::replay)].count, 0u);
+}
+
+TEST(obs_pipeline, concurrent_record_and_snapshot) {
+  pipeline_obs po;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto s = po.snapshot();
+      std::uint64_t count =
+          s.stages[static_cast<std::size_t>(stage::decode)].count;
+      EXPECT_GE(count, last);  // monotone across snapshots
+      last = count;
+      (void)po.traces();
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    span_recorder sp(true);
+    sp.mark(stage::decode);
+    sp.mark(stage::journal);
+    po.record(sp, 1, static_cast<std::uint32_t>(i), 0, (i % 7) != 0);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  const auto s = po.snapshot();
+  EXPECT_EQ(s.stages[static_cast<std::size_t>(stage::decode)].count,
+            2000u);
+}
+
+// ---------------------------------------------------------------------------
+// Event log
+// ---------------------------------------------------------------------------
+
+struct capture {
+  std::vector<std::string> lines;
+  static void sink(void* ctx, std::string_view line) {
+    static_cast<capture*>(ctx)->lines.emplace_back(line);
+  }
+};
+
+/// Scoped logger reconfiguration: tests share the process-wide logger,
+/// so always restore the quiet default.
+struct scoped_logger {
+  explicit scoped_logger(log_level l, bool json, capture& c) {
+    log().configure(l, json);
+    log().set_sink(&capture::sink, &c);
+  }
+  ~scoped_logger() {
+    log().configure(log_level::off, false);
+    log().set_sink(nullptr, nullptr);
+  }
+};
+
+TEST(obs_events, logfmt_shape_and_quoting) {
+  capture c;
+  scoped_logger guard(log_level::debug, /*json=*/false, c);
+  log().emit(log_level::info, "device_flagged",
+             {{"device", std::uint64_t{42}},
+              {"note", "needs quoting here"},
+              {"delta", -3},
+              {"ok", true}});
+  ASSERT_EQ(c.lines.size(), 1u);
+  const auto& line = c.lines[0];
+  EXPECT_NE(line.find("level=info"), std::string::npos);
+  EXPECT_NE(line.find("event=device_flagged"), std::string::npos);
+  EXPECT_NE(line.find("device=42"), std::string::npos);
+  EXPECT_NE(line.find("note=\"needs quoting here\""), std::string::npos);
+  EXPECT_NE(line.find("delta=-3"), std::string::npos);
+  EXPECT_NE(line.find("ok=true"), std::string::npos);
+  EXPECT_EQ(line.find("ts="), 0u);  // timestamp leads the line
+}
+
+TEST(obs_events, json_shape) {
+  capture c;
+  scoped_logger guard(log_level::debug, /*json=*/true, c);
+  log().emit(log_level::warn, "standby_desync",
+             {{"dir", "/tmp/x \"y\""}, {"lag", std::uint64_t{9}}});
+  ASSERT_EQ(c.lines.size(), 1u);
+  const auto& line = c.lines[0];
+  EXPECT_EQ(line.front(), '{');
+  ASSERT_GE(line.size(), 2u);
+  EXPECT_EQ(line.substr(line.size() - 2), "}\n");
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"standby_desync\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"dir\":\"/tmp/x \\\"y\\\"\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"lag\":9"), std::string::npos);
+}
+
+TEST(obs_events, level_gating) {
+  capture c;
+  scoped_logger guard(log_level::warn, /*json=*/false, c);
+  EXPECT_FALSE(log().should(log_level::debug));
+  EXPECT_TRUE(log().should(log_level::error));
+  log().emit(log_level::info, "dropped", {});
+  log().emit(log_level::error, "kept", {});
+  ASSERT_EQ(c.lines.size(), 1u);
+  EXPECT_NE(c.lines[0].find("event=kept"), std::string::npos);
+}
+
+TEST(obs_events, off_means_off) {
+  capture c;
+  scoped_logger guard(log_level::off, /*json=*/false, c);
+  EXPECT_FALSE(log().should(log_level::error));
+  log().emit(log_level::error, "nope", {});
+  EXPECT_TRUE(c.lines.empty());
+}
+
+TEST(obs_events, rate_limit_suppresses_and_reports) {
+  capture c;
+  scoped_logger guard(log_level::debug, /*json=*/false, c);
+  rate_limit rl(/*max_per_window=*/2, /*window_ns=*/60'000'000'000ull);
+  for (int i = 0; i < 10; ++i) {
+    log().emit(log_level::info, "flood", rl, {{"i", i}});
+  }
+  // Only the budgeted two lines emerge; the rest are counted.
+  EXPECT_EQ(c.lines.size(), 2u);
+  EXPECT_EQ(rl.suppressed.load(), 8u);
+}
+
+TEST(obs_events, parse_levels) {
+  log_level l;
+  EXPECT_TRUE(parse_log_level("info", l));
+  EXPECT_EQ(l, log_level::info);
+  EXPECT_TRUE(parse_log_level("off", l));
+  EXPECT_EQ(l, log_level::off);
+  EXPECT_FALSE(parse_log_level("verbose", l));
+  EXPECT_STREQ(to_string(log_level::warn), "warn");
+}
+
+TEST(obs_stage_names, round_trip) {
+  EXPECT_STREQ(to_string(stage::decode), "decode");
+  EXPECT_STREQ(to_string(stage::journal), "journal");
+  EXPECT_STREQ(to_string(stage::mac), "mac");
+  EXPECT_STREQ(to_string(stage::replay), "replay");
+  EXPECT_STREQ(to_string(stage::verdict), "verdict");
+}
+
+}  // namespace
+}  // namespace dialed::obs

@@ -379,6 +379,83 @@ TEST_F(partition_test, follower_tracks_primary_and_promotes) {
   EXPECT_FALSE(follower.synced());
 }
 
+TEST(partition_obs, router_merges_and_labels_pipelines) {
+  auto fleet = partitioned_fleet::create(3, master_key());
+  const auto prog = prog_for(adder);
+  const auto ids = one_id_per_partition(fleet.router());
+  for (const auto id : ids) fleet.provision(id, prog);
+
+  // One accepted round per partition, plus one replay on partition of
+  // ids[0] to seed its rejected ring.
+  byte_vec replay;
+  for (const auto id : ids) {
+    replay = run_round(fleet.router(), fleet.registry_of(
+                           fleet.index_of(id)), id, 2, 2);
+  }
+  EXPECT_EQ(fleet.router().submit(replay).error,
+            proto::proto_error::replayed_report);
+
+  // Per-partition snapshots: each partition timed exactly its own
+  // report(s); the aggregate is their sum.
+  const auto per = fleet.router().partition_pipelines();
+  ASSERT_EQ(per.size(), 3u);
+  const auto agg = fleet.router().pipeline();
+  using obs::stage;
+  const auto replay_idx = static_cast<std::size_t>(stage::replay);
+  std::uint64_t sum = 0;
+  for (const auto& p : per) {
+    EXPECT_EQ(p.stages[replay_idx].count, 1u);
+    sum += p.stages[replay_idx].count;
+  }
+  EXPECT_EQ(agg.stages[replay_idx].count, sum);
+
+  // Merged traces carry the partition index the router assigned.
+  const auto traces = fleet.router().traces();
+  ASSERT_EQ(traces.rejected.size(), 1u);
+  const auto last = fleet.index_of(ids.back());
+  EXPECT_EQ(traces.rejected[0].partition,
+            static_cast<std::uint32_t>(last));
+  EXPECT_EQ(traces.slow.size(), 3u);
+  for (const auto& t : traces.slow) {
+    EXPECT_LT(t.partition, 3u);
+    EXPECT_TRUE(t.accepted);
+  }
+  // Ascending by duration: the router keeps the slowest at the back.
+  for (std::size_t i = 1; i < traces.slow.size(); ++i) {
+    EXPECT_GE(traces.slow[i].total_ns, traces.slow[i - 1].total_ns);
+  }
+}
+
+TEST_F(partition_test, shipper_stats_track_lag_and_desync) {
+  auto st = store::fleet_store::open(sub("primary"), opts());
+  store::wal_shipper shipper;
+  store::wal_follower follower(sub("standby"));
+  shipper.add_follower(&follower);
+  st.store->attach_shipper(&shipper);
+
+  auto ss = shipper.stats();
+  EXPECT_EQ(ss.followers, 1u);
+  EXPECT_EQ(ss.max_lag_records, 0u);
+  EXPECT_FALSE(ss.any_desync);
+
+  const auto id = st.registry->provision(prog_for(adder));
+  run_round(*st.hub, *st.registry, id, 3, 4);
+  ss = shipper.stats();
+  EXPECT_GT(ss.records_shipped, 0u);
+  EXPECT_EQ(ss.max_lag_records, 0u);  // synchronous apply: no lag
+
+  // Latch a desync, then keep shipping: the follower stops applying, so
+  // its lag now grows with every record while any_desync holds.
+  follower.on_record(/*generation=*/999, byte_vec{0xde, 0xad});
+  run_round(*st.hub, *st.registry, id, 5, 6);
+  ss = shipper.stats();
+  EXPECT_TRUE(ss.any_desync);
+  EXPECT_EQ(ss.max_lag_records,
+            ss.records_shipped - follower.records_applied());
+  EXPECT_GT(ss.max_lag_records, 0u);
+  st.store->attach_shipper(nullptr);
+}
+
 TEST_F(partition_test, shipping_protocol_violations_latch_desync) {
   // A record before any snapshot: nothing to apply it to.
   {

@@ -9,7 +9,10 @@
 //                [--batch-max N] [--batch-latency-ms MS] [--workers N]
 //                [--max-outstanding N] [--max-pending N]
 //                [--idle-timeout-ms MS] [--state-dir DIR]
+//                [--standby-dir DIR]
 //                [--partitions N] [--wal-sync per_record|group|none]
+//                [--log-level trace|debug|info|warn|error|off]
+//                [--log-json]
 //
 // Devices 1..N are provisioned from the fleet demo master key (0xAB*32 —
 // real deployments must supply their own), so any dialed-attest --connect
@@ -31,8 +34,14 @@
 // shut down cleanly: the handler only calls the async-signal-safe
 // request_stop().
 //
-// Observability on the TCP port: GET /metrics (Prometheus text),
-// GET /healthz (hub + store liveness JSON).
+// Observability on the TCP port: GET /metrics (Prometheus text, incl.
+// per-stage latency histograms and build info), GET /healthz (hub +
+// per-partition store/standby health JSON; 503 once a standby desyncs),
+// GET /debug/traces (flight-recorder dump). --log-level turns on the
+// structured event log to stderr (logfmt, or JSON with --log-json).
+// --standby-dir DIR keeps a warm standby of each partition's store under
+// DIR/p<i> by WAL shipping; its lag and desync state surface on both
+// endpoints.
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
@@ -43,6 +52,8 @@
 #include "common/error.h"
 #include "fleet/partition.h"
 #include "net/server.h"
+#include "obs/event_log.h"
+#include "store/ship.h"
 #include "verifier/firmware_artifact.h"
 
 namespace {
@@ -77,8 +88,9 @@ void usage() {
       "[--bind ADDR] [--port P] [--udp-port P] [--no-udp] "
       "[--batch-max N] [--batch-latency-ms MS] [--workers N] "
       "[--max-outstanding N] [--max-pending N] [--idle-timeout-ms MS] "
-      "[--state-dir DIR] [--partitions N] "
-      "[--wal-sync per_record|group|none]\n");
+      "[--state-dir DIR] [--standby-dir DIR] [--partitions N] "
+      "[--wal-sync per_record|group|none] "
+      "[--log-level trace|debug|info|warn|error|off] [--log-json]\n");
 }
 
 }  // namespace
@@ -88,6 +100,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::string entry = "op";
   std::string state_dir;
+  std::string standby_dir;
   std::uint32_t devices = 4;
   std::uint32_t partitions = 1;
   std::uint32_t workers = 0;
@@ -135,6 +148,17 @@ int main(int argc, char** argv) {
         cfg.limits.idle_timeout_ms = parse_u32(next(), 3600000);
       } else if (arg == "--state-dir") {
         state_dir = next();
+      } else if (arg == "--standby-dir") {
+        standby_dir = next();
+      } else if (arg == "--log-level") {
+        const std::string v = next();
+        obs::log_level lv;
+        if (!obs::parse_log_level(v, lv)) {
+          throw error("--log-level: unknown level '" + v + "'");
+        }
+        obs::log().configure(lv, obs::log().json());
+      } else if (arg == "--log-json") {
+        obs::log().configure(obs::log().level(), true);
       } else if (arg == "--wal-sync") {
         const std::string v = next();
         if (v == "per_record") {
@@ -165,6 +189,12 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) {
     usage();
+    return 2;
+  }
+  if (!standby_dir.empty() && state_dir.empty()) {
+    std::fprintf(stderr,
+                 "dialed-serve: --standby-dir needs --state-dir (a "
+                 "standby follows a durable store's WAL)\n");
     return 2;
   }
 
@@ -222,10 +252,34 @@ int main(int argc, char** argv) {
 
     fleet::hub_like& hub = fleet_parts.router();
 
+    // Warm standbys: one follower + shipper per partition store, wired
+    // before the server exists and destroyed after it stops (the server
+    // reads shipper stats on every scrape).
+    std::vector<std::unique_ptr<store::wal_follower>> followers;
+    std::vector<std::unique_ptr<store::wal_shipper>> shippers;
+    std::vector<const store::wal_shipper*> shipper_ptrs;
+    if (!standby_dir.empty()) {
+      auto stores = fleet_parts.stores();
+      for (std::size_t p = 0; p < stores.size(); ++p) {
+        store::follower_config fc;
+        fc.retired_memory = hub_cfg.retired_memory;
+        followers.push_back(std::make_unique<store::wal_follower>(
+            standby_dir + "/p" + std::to_string(p), fc));
+        shippers.push_back(std::make_unique<store::wal_shipper>());
+        shippers.back()->add_follower(followers.back().get());
+        stores[p]->attach_shipper(shippers.back().get());
+        shipper_ptrs.push_back(shippers.back().get());
+      }
+      obs::log().emit(obs::log_level::info, "standby_attached",
+                      {{"dir", standby_dir},
+                       {"partitions", stores.size()}});
+    }
+
     net::attest_server server(hub, cfg,
                               state_dir.empty()
                                   ? std::vector<store::fleet_store*>{}
-                                  : fleet_parts.stores());
+                                  : fleet_parts.stores(),
+                              shipper_ptrs);
     g_server = &server;
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
@@ -265,6 +319,10 @@ int main(int argc, char** argv) {
 
     server.run();
     g_server = nullptr;
+    // Detach shippers before they (and the followers) are destroyed.
+    if (!standby_dir.empty()) {
+      for (auto* st : fleet_parts.stores()) st->attach_shipper(nullptr);
+    }
 
     const auto net = server.stats();
     const auto hs = hub.stats();
