@@ -16,6 +16,8 @@
 #include "proto/wire.h"
 #include "store/fleet_store.h"
 #include "store/ship.h"
+#include "verifier/firmware_artifact.h"
+#include "verifier/replay.h"
 #include "verifier/verifier.h"
 
 namespace {
@@ -192,6 +194,12 @@ struct fleet_batch_bench {
     cfg.seed = 0xfee1f1ee7ull;
     cfg.max_outstanding = static_cast<std::uint32_t>(rounds);
     cfg.sequential_batch = true;  // callers override for parallel runs
+    // These benches measure the raw per-report verify pipeline. The
+    // frames deliberately share attested inputs (one firmware, same
+    // args), so the replay memo would turn all but one replay per round
+    // into a cache hit and hide the dispatch cost being measured —
+    // BM_fleet_verify_batch_memoized quantifies that win separately.
+    cfg.replay_memo_entries = 0;
 
     dialed::instr::link_options lo;
     lo.entry = "op";
@@ -304,6 +312,65 @@ BENCHMARK(BM_fleet_verify_batch_one_firmware)
     ->Arg(64)
     ->Arg(256)
     ->Unit(benchmark::kMillisecond);
+
+void BM_fleet_verify_batch_memoized(benchmark::State& state) {
+  // The memo's headline case: repeated rounds whose attested inputs are
+  // byte-identical (a fleet of idle devices re-attesting). The MAC still
+  // runs per report; only the §III replay is served from the LRU cache.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  fleet_batch_bench bench(n, /*n_rounds=*/1);
+  bench.cfg.replay_memo_entries = 1024;
+  bench.run(state);
+}
+BENCHMARK(BM_fleet_verify_batch_memoized)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_verifier_replay_dispatch(benchmark::State& state) {
+  // Direct A/B of the replay loop's two dispatch paths on one report:
+  // range(1) == 0 pins the legacy live-decode loop, 1 the predecoded
+  // fast path. Same bytes, same verdict — only the loop differs.
+  const auto n = static_cast<std::uint16_t>(state.range(0));
+  const bool fast = state.range(1) != 0;
+  dialed::instr::link_options lo;
+  lo.entry = "op";
+  lo.mode = dialed::instr::instrumentation::dialed;
+  const auto prog = dialed::instr::build_operation(
+      "int g = 3;"
+      "int op(int n) { int s = 0; int i;"
+      "  for (i = 0; i < n; i++) { s = s + g + i; } return s; }",
+      lo);
+  dialed::proto::prover_device dev(prog, bench_key());
+  std::array<std::uint8_t, 16> chal{};
+  dialed::proto::invocation inv;
+  inv.args[0] = n;
+  const auto rep = dev.invoke(chal, inv);
+  const auto fw = dialed::verifier::firmware_artifact::build(prog);
+  dialed::verifier::replay_force_dispatch(
+      fast ? dialed::verifier::replay_dispatch::fast
+           : dialed::verifier::replay_dispatch::legacy);
+  double instructions = 0;
+  for (auto _ : state) {
+    const auto r = dialed::verifier::replay_operation(*fw, rep, {});
+    instructions = static_cast<double>(r.instructions);
+    benchmark::DoNotOptimize(r);
+  }
+  dialed::verifier::replay_force_dispatch(
+      dialed::verifier::replay_dispatch::fast);
+  state.counters["replayed_instr"] = instructions;
+  state.counters["instr_per_s"] = benchmark::Counter(
+      instructions * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_verifier_replay_dispatch)
+    ->ArgNames({"n", "fast"})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_fleet_obs_overhead(benchmark::State& state) {
   // The PR 9 acceptance gate: the pipeline observability layer (span

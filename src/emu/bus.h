@@ -49,6 +49,13 @@ class mmio_device {
   virtual bool owns(std::uint16_t addr) const = 0;
   virtual std::uint8_t read8(std::uint16_t addr) = 0;
   virtual void write8(std::uint16_t addr, std::uint8_t value) = 0;
+  /// Side-effect-free observation of the byte a CPU read8 would see.
+  /// bus::peek8 routes device-owned addresses here, so the host/loader
+  /// view and the CPU view give ONE authoritative answer per address —
+  /// previously peeks bypassed devices and returned stale backing bytes.
+  /// Devices whose read8 is already idempotent implement read8 in terms
+  /// of this.
+  virtual std::uint8_t peek8(std::uint16_t addr) const = 0;
 };
 
 class bus {
@@ -75,8 +82,13 @@ class bus {
   /// state a freshly constructed bus starts in. Part of machine::recycle.
   void clear_memory() { mem_.fill(0); }
 
-  /// Device and watcher registration (non-owning).
-  void add_device(mmio_device* dev) { devices_.push_back(dev); }
+  /// Device and watcher registration (non-owning). add_device indexes the
+  /// device's owns() range into the page table; devices are never removed,
+  /// so the table stays coherent across machine::recycle().
+  void add_device(mmio_device* dev) {
+    devices_.push_back(dev);
+    index_device(dev);
+  }
   void add_watcher(watcher* w) { watchers_.push_back(w); }
   void remove_watcher(const watcher* w);
 
@@ -85,12 +97,29 @@ class bus {
   void notify_reset();
 
  private:
+  /// 64 KiB / 256 B page table entry: the dispatch decision for every
+  /// address in the page, precomputed at add_device time so the per-byte
+  /// `for (d : devices_) if (d->owns(addr))` scan is gone from the hot
+  /// path. `dev == nullptr` (the overwhelmingly common case: all of RAM,
+  /// OR and flash) means plain backing memory — a single array index.
+  /// One device in the page still needs its per-address owns() check (a
+  /// device may claim only a few bytes of the page); `multi` falls back
+  /// to the registration-order scan so first-registered keeps priority.
+  struct page_entry {
+    mmio_device* dev = nullptr;
+    bool multi = false;
+  };
+  static constexpr unsigned page_shift = 8;
+
+  void index_device(mmio_device* dev);
   std::uint8_t raw_read8(std::uint16_t addr);
   void raw_write8(std::uint16_t addr, std::uint8_t value);
+  std::uint8_t raw_peek8(std::uint16_t addr) const;
   void notify(const bus_access& a);
 
   memory_map map_;
   std::array<std::uint8_t, 0x10000> mem_{};
+  std::array<page_entry, 0x100> pages_{};
   std::vector<mmio_device*> devices_;
   std::vector<watcher*> watchers_;
 };

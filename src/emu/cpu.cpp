@@ -98,37 +98,57 @@ constexpr std::uint32_t mask_of(bool byte) { return byte ? 0xffu : 0xffffu; }
 constexpr std::uint32_t sign_of(bool byte) { return byte ? 0x80u : 0x8000u; }
 }  // namespace
 
-void cpu::execute(const isa::instruction& ins) {
+// Dispatch table in enum order: 12 format-I entries, rrc..call, reti,
+// then the 8 jumps. Kept next to the handlers so a reordering of
+// isa::opcode is caught by the static_asserts below.
+const std::array<cpu::exec_fn, 27> cpu::exec_table_ = {
+    // Format I: mov..and_
+    &cpu::exec_format1, &cpu::exec_format1, &cpu::exec_format1,
+    &cpu::exec_format1, &cpu::exec_format1, &cpu::exec_format1,
+    &cpu::exec_format1, &cpu::exec_format1, &cpu::exec_format1,
+    &cpu::exec_format1, &cpu::exec_format1, &cpu::exec_format1,
+    // Format II: rrc, swpb, rra, sxt, push, call
+    &cpu::exec_format2, &cpu::exec_format2, &cpu::exec_format2,
+    &cpu::exec_format2, &cpu::exec_format2, &cpu::exec_format2,
+    // reti
+    &cpu::exec_reti,
+    // Jumps: jne..jmp
+    &cpu::exec_jump, &cpu::exec_jump, &cpu::exec_jump, &cpu::exec_jump,
+    &cpu::exec_jump, &cpu::exec_jump, &cpu::exec_jump, &cpu::exec_jump,
+};
+static_assert(static_cast<int>(opcode::mov) == 0);
+static_assert(static_cast<int>(opcode::and_) == 11);
+static_assert(static_cast<int>(opcode::reti) == 18);
+static_assert(static_cast<int>(opcode::jmp) == 26);
+
+void cpu::exec_jump(const isa::instruction& ins) {
+  bool taken = false;
+  const bool n = flag(isa::SR_N), z = flag(isa::SR_Z), c = flag(isa::SR_C),
+             v = flag(isa::SR_V);
+  switch (ins.op) {
+    case opcode::jne: taken = !z; break;
+    case opcode::jeq: taken = z; break;
+    case opcode::jnc: taken = !c; break;
+    case opcode::jc: taken = c; break;
+    case opcode::jn: taken = n; break;
+    case opcode::jge: taken = !(n ^ v); break;
+    case opcode::jl: taken = (n ^ v); break;
+    case opcode::jmp: taken = true; break;
+    default: throw error("emu: bad jump");
+  }
+  if (taken) regs_[isa::REG_PC] = ins.target;
+}
+
+void cpu::exec_reti(const isa::instruction&) {
+  regs_[isa::REG_SR] = pop_word();
+  regs_[isa::REG_PC] = pop_word();
+}
+
+void cpu::exec_format2(const isa::instruction& ins) {
   const bool byte = ins.byte_op;
   const std::uint32_t mask = mask_of(byte);
   const std::uint32_t sign = sign_of(byte);
-
-  if (isa::is_jump(ins.op)) {
-    bool taken = false;
-    const bool n = flag(isa::SR_N), z = flag(isa::SR_Z), c = flag(isa::SR_C),
-               v = flag(isa::SR_V);
-    switch (ins.op) {
-      case opcode::jne: taken = !z; break;
-      case opcode::jeq: taken = z; break;
-      case opcode::jnc: taken = !c; break;
-      case opcode::jc: taken = c; break;
-      case opcode::jn: taken = n; break;
-      case opcode::jge: taken = !(n ^ v); break;
-      case opcode::jl: taken = (n ^ v); break;
-      case opcode::jmp: taken = true; break;
-      default: throw error("emu: bad jump");
-    }
-    if (taken) regs_[isa::REG_PC] = ins.target;
-    return;
-  }
-
-  if (ins.op == opcode::reti) {
-    regs_[isa::REG_SR] = pop_word();
-    regs_[isa::REG_PC] = pop_word();
-    return;
-  }
-
-  if (isa::is_format2(ins.op)) {
+  {
     operand_ref ref{};
     const std::uint16_t v16 = read_operand(ins.dst, byte, &ref);
     const std::uint32_t v = v16 & mask;
@@ -179,10 +199,13 @@ void cpu::execute(const isa::instruction& ins) {
       default:
         throw error("emu: unhandled format-II opcode");
     }
-    return;
   }
+}
 
-  // Format I.
+void cpu::exec_format1(const isa::instruction& ins) {
+  const bool byte = ins.byte_op;
+  const std::uint32_t mask = mask_of(byte);
+  const std::uint32_t sign = sign_of(byte);
   const std::uint16_t src16 = read_operand(ins.src, byte, nullptr);
   operand_ref dref{};
   std::uint16_t dst16 = 0;

@@ -74,7 +74,19 @@ class cpu {
                              operand_ref* ref);
   std::uint16_t read_ref(const operand_ref& ref, bool byte);
   void write_ref(const operand_ref& ref, std::uint16_t value, bool byte);
-  void execute(const isa::instruction& ins);
+
+  // Execution is direct-threaded: a 27-entry table maps opcode -> handler,
+  // replacing the old is_jump/is_format2/format-I branch chain. decode()
+  // only ever yields the 27 enumerators, so the table index is total.
+  using exec_fn = void (cpu::*)(const isa::instruction&);
+  static const std::array<exec_fn, 27> exec_table_;
+  void execute(const isa::instruction& ins) {
+    (this->*exec_table_[static_cast<std::uint8_t>(ins.op)])(ins);
+  }
+  void exec_format1(const isa::instruction& ins);
+  void exec_format2(const isa::instruction& ins);
+  void exec_jump(const isa::instruction& ins);
+  void exec_reti(const isa::instruction& ins);
 
   // Flag helpers (operate on regs_[SR]).
   bool flag(std::uint16_t bit) const { return (regs_[isa::REG_SR] & bit) != 0; }

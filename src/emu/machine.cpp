@@ -40,6 +40,9 @@ void machine::reset() {
 }
 
 void machine::recycle() {
+  // The bus page table needs no rebuild here: it is derived purely from
+  // the registered devices, which recycle never adds or removes — only
+  // backing memory and CPU state return to the constructed state.
   bus_.clear_memory();
   halt_code_.reset();
   cpu_.hard_clear();

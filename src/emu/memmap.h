@@ -66,7 +66,11 @@ struct memory_map {
 
   bool in_ram(std::uint16_t a) const { return a >= ram_start && a <= ram_end; }
   bool in_or(std::uint16_t a) const {
-    return a >= or_min && a <= static_cast<std::uint16_t>(or_max + 1);
+    // 32-bit arithmetic: with or_max = 0xffff the uint16 cast used to wrap
+    // or_max + 1 to 0, emptying the region instead of extending it to the
+    // top byte. (Such a map is rejected by the verifier — see
+    // firmware_artifact — but the predicate must not lie about it.)
+    return a >= or_min && a <= static_cast<std::uint32_t>(or_max) + 1;
   }
   bool in_srom(std::uint16_t a) const {
     return a >= srom_start && a <= srom_end;

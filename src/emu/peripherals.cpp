@@ -4,7 +4,7 @@
 
 namespace dialed::emu {
 
-std::uint8_t gpio_device::read8(std::uint16_t addr) {
+std::uint8_t gpio_device::peek8(std::uint16_t addr) const {
   if (addr == map_.p3in) return p3in_;
   return p3out_;
 }
@@ -17,7 +17,7 @@ void gpio_device::write8(std::uint16_t addr, std::uint8_t value) {
   // Writes to the input register are ignored, as on hardware.
 }
 
-std::uint8_t net_device::read8(std::uint16_t addr) {
+std::uint8_t net_device::peek8(std::uint16_t addr) const {
   if (addr == map_.net_data) {
     // Idempotent read of the FIFO head: the DIALED logging stub and the
     // instrumented instruction each read the register once (paper Fig. 5
@@ -37,8 +37,8 @@ void net_device::write8(std::uint16_t addr, std::uint8_t value) {
   if (addr == map_.net_data && !rx_.empty()) rx_.pop_front();  // ack/advance
 }
 
-std::uint8_t adc_device::read8(std::uint16_t addr) {
-  // Reads are idempotent (see net_device::read8): they return the last
+std::uint8_t adc_device::peek8(std::uint16_t addr) const {
+  // Reads are idempotent (see net_device::peek8): they return the last
   // converted sample. A write to ADC_MEM triggers the next conversion.
   if (addr == map_.adc_mem) {
     return static_cast<std::uint8_t>(last_ & 0xff);
@@ -56,7 +56,7 @@ void adc_device::write8(std::uint16_t addr, std::uint8_t) {
   }
 }
 
-std::uint8_t timer_device::read8(std::uint16_t addr) {
+std::uint8_t timer_device::peek8(std::uint16_t addr) const {
   const std::uint16_t t = static_cast<std::uint16_t>(now_() & 0xffff);
   if (addr == map_.tar) return static_cast<std::uint8_t>(t & 0xff);
   return static_cast<std::uint8_t>(t >> 8);
@@ -71,7 +71,7 @@ void halt_device::write8(std::uint16_t addr, std::uint8_t value) {
   }
 }
 
-std::uint8_t mailbox_device::read8(std::uint16_t addr) {
+std::uint8_t mailbox_device::peek8(std::uint16_t addr) const {
   if (addr >= map_.args_base && addr < map_.args_base + 16) {
     const int off = addr - map_.args_base;
     const std::uint16_t w = args_[static_cast<std::size_t>(off / 2)];

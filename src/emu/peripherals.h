@@ -30,7 +30,8 @@ class gpio_device final : public mmio_device {
   bool owns(std::uint16_t addr) const override {
     return addr == map_.p3out || addr == map_.p3in;
   }
-  std::uint8_t read8(std::uint16_t addr) override;
+  std::uint8_t read8(std::uint16_t addr) override { return peek8(addr); }
+  std::uint8_t peek8(std::uint16_t addr) const override;
   void write8(std::uint16_t addr, std::uint8_t value) override;
 
   void set_input(std::uint8_t v) { p3in_ = v; }
@@ -58,7 +59,8 @@ class net_device final : public mmio_device {
     return addr == map_.net_data || addr == map_.net_avail ||
            addr == map_.net_tx;
   }
-  std::uint8_t read8(std::uint16_t addr) override;
+  std::uint8_t read8(std::uint16_t addr) override { return peek8(addr); }
+  std::uint8_t peek8(std::uint16_t addr) const override;
   void write8(std::uint16_t addr, std::uint8_t value) override;
 
   void push_rx(std::uint8_t b) { rx_.push_back(b); }
@@ -86,7 +88,8 @@ class adc_device final : public mmio_device {
     return addr == map_.adc_mem ||
            addr == static_cast<std::uint16_t>(map_.adc_mem + 1);
   }
-  std::uint8_t read8(std::uint16_t addr) override;
+  std::uint8_t read8(std::uint16_t addr) override { return peek8(addr); }
+  std::uint8_t peek8(std::uint16_t addr) const override;
   void write8(std::uint16_t addr, std::uint8_t value) override;
 
   void push_sample(std::uint16_t s) { samples_.push_back(s); }
@@ -107,7 +110,8 @@ class timer_device final : public mmio_device {
     return addr == map_.tar ||
            addr == static_cast<std::uint16_t>(map_.tar + 1);
   }
-  std::uint8_t read8(std::uint16_t addr) override;
+  std::uint8_t read8(std::uint16_t addr) override { return peek8(addr); }
+  std::uint8_t peek8(std::uint16_t addr) const override;
   void write8(std::uint16_t, std::uint8_t) override {}
 
  private:
@@ -126,6 +130,7 @@ class halt_device final : public mmio_device {
            addr == static_cast<std::uint16_t>(map_.halt_port + 1);
   }
   std::uint8_t read8(std::uint16_t) override { return 0; }
+  std::uint8_t peek8(std::uint16_t) const override { return 0; }
   void write8(std::uint16_t addr, std::uint8_t value) override;
 
  private:
@@ -145,7 +150,8 @@ class mailbox_device final : public mmio_device {
            addr == map_.result_addr ||
            addr == static_cast<std::uint16_t>(map_.result_addr + 1);
   }
-  std::uint8_t read8(std::uint16_t addr) override;
+  std::uint8_t read8(std::uint16_t addr) override { return peek8(addr); }
+  std::uint8_t peek8(std::uint16_t addr) const override;
   void write8(std::uint16_t addr, std::uint8_t value) override;
 
   void set_arg(int i, std::uint16_t v);

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "obs/event_log.h"
+#include "verifier/replay_cache.h"
 
 namespace dialed::fleet {
 
@@ -37,6 +38,10 @@ verifier_hub::verifier_hub(const device_registry& registry, hub_config cfg)
                                     ? cfg_.workers
                                     : thread_pool::hardware_workers();
     pool_ = std::make_unique<thread_pool>(workers);
+  }
+  if (cfg_.replay_memo_entries > 0) {
+    memo_ =
+        std::make_unique<verifier::replay_memo>(cfg_.replay_memo_entries);
   }
 }
 
@@ -113,6 +118,11 @@ hub_stats verifier_hub::stats(bool include_per_device) const {
       stats_.last_batch_frames.load(std::memory_order_relaxed);
   s.inflight_batches =
       stats_.inflight_batches.load(std::memory_order_relaxed);
+  if (memo_ != nullptr) {
+    s.replay_memo_hits = memo_->hits();
+    s.replay_memo_misses = memo_->misses();
+    s.replay_memo_entries = memo_->entries();
+  }
   if (include_per_device) {
     for (const auto& shp : shards_) {
       std::lock_guard<std::mutex> lk(shp->mu);
@@ -336,8 +346,11 @@ attest_result verifier_hub::verify_impl(
   } else {
     static const std::vector<std::shared_ptr<verifier::policy>>
         no_policies;
+    // memo_ (when configured) serves repeated-input replays from the
+    // LRU; the MAC above always runs per report, so a cache hit is only
+    // ever reachable for a freshly authenticated input vector.
     r.verdict = rec->firmware->verify(report, rec->mac_state, no_policies,
-                                      nonce, vtp);
+                                      nonce, vtp, memo_.get());
   }
   sp.credit(obs::stage::mac, vt.mac_ns);
   sp.credit(obs::stage::replay, vt.replay_ns);

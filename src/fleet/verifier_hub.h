@@ -153,6 +153,11 @@ struct hub_config {
   /// the slow/rejected flight recorder. `obs.enabled = false` removes
   /// every clock read from the verify path (the overhead bench baseline).
   obs::pipeline_config obs{};
+  /// Replay-memoization capacity (results, LRU-bounded): repeated rounds
+  /// with byte-identical attested inputs skip the §III replay entirely —
+  /// the MAC is still verified per report, and devices with policies
+  /// attached bypass the memo. 0 disables memoization.
+  std::size_t replay_memo_entries = 1024;
 };
 
 // challenge_grant, hub_stats, and attest_result moved to
@@ -392,6 +397,9 @@ class verifier_hub : public hub_like {
   std::unique_ptr<thread_pool> pool_;  ///< null when sequential_batch
   mutable counters stats_;
   obs::pipeline_obs obs_;
+  /// Shared replay-result cache (null when cfg.replay_memo_entries == 0);
+  /// internally synchronized, consulted only on the artifact hot path.
+  std::unique_ptr<verifier::replay_memo> memo_;
 };
 
 }  // namespace dialed::fleet

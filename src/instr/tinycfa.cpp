@@ -216,8 +216,11 @@ class tinycfa {
       if (opts_.static_write_filter) {
         if (const auto addr =
                 detail::resolve_static_addr(s.ops[1], opts_.symbols)) {
+          // 32-bit compare: a uint16 cast of or_max + 1 would wrap to 0
+          // for a top-of-memory OR and mark EVERY write "outside",
+          // silently disabling the F5 check.
           const bool outside_or =
-              *addr > static_cast<std::uint16_t>(opts_.map.or_max + 1) ||
+              *addr > static_cast<std::uint32_t>(opts_.map.or_max) + 1 ||
               *addr + 1 < opts_.map.or_min;
           if (outside_or) {
             out.stmts.push_back(s);

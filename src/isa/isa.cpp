@@ -16,14 +16,6 @@ std::string reg_name(std::uint8_t r) {
   }
 }
 
-bool is_format1(opcode op) {
-  return op >= opcode::mov && op <= opcode::and_;
-}
-bool is_format2(opcode op) {
-  return op >= opcode::rrc && op <= opcode::reti;
-}
-bool is_jump(opcode op) { return op >= opcode::jne && op <= opcode::jmp; }
-
 namespace {
 struct mnemonic_entry {
   std::string_view name;

@@ -60,9 +60,18 @@ enum class opcode : std::uint8_t {
   jne, jeq, jnc, jc, jn, jge, jl, jmp,
 };
 
-bool is_format1(opcode op);
-bool is_format2(opcode op);
-bool is_jump(opcode op);
+// Format predicates ride on the enum's contiguous layout; constexpr and
+// header-inline because the emulator's dispatch asks them once per
+// executed instruction.
+constexpr bool is_format1(opcode op) {
+  return op >= opcode::mov && op <= opcode::and_;
+}
+constexpr bool is_format2(opcode op) {
+  return op >= opcode::rrc && op <= opcode::reti;
+}
+constexpr bool is_jump(opcode op) {
+  return op >= opcode::jne && op <= opcode::jmp;
+}
 
 /// Canonical mnemonic ("mov", "xor", "jne", ...). Never includes ".b".
 std::string_view mnemonic(opcode op);

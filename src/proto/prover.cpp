@@ -192,9 +192,13 @@ verifier::attestation_report prover_device::invoke(
   // or_max + 1. SW-Att MACs the same [or_min, or_max+1] range
   // (src/rot/vrased.cpp) and the verifier replays it — trimming the loop
   // to or_max would drop that byte and break every MAC. The layout is
-  // documented in src/proto/wire.h and src/emu/memmap.h.
+  // documented in src/proto/wire.h and src/emu/memmap.h. The 0xffff
+  // clamp keeps the uint16 cast from wrapping the tail read to 0x0000 if
+  // a map ever put or_max at the very top (such layouts are rejected by
+  // the verifier; the prover must still not read the wrong byte).
   for (std::uint32_t a = map.or_min;
-       a <= static_cast<std::uint32_t>(map.or_max) + 1; ++a) {
+       a <= static_cast<std::uint32_t>(map.or_max) + 1 && a <= 0xffffu;
+       ++a) {
     rep.or_bytes.push_back(m.get_bus().peek8(static_cast<std::uint16_t>(a)));
   }
   for (std::uint16_t i = 0; i < 32; ++i) {

@@ -89,6 +89,14 @@
 // snapshots it, and the verifier replays it; an encoder that drops the
 // final byte produces a frame whose MAC can never verify.
 //
+// Because the topmost slot spans [or_max, or_max+1], a valid layout
+// needs `or_max <= 0xfffe` — with or_max = 0xffff the tail byte would
+// sit past the top of the address space and 16-bit arithmetic on
+// `or_max + 1` wraps to 0x0000. The verifier fails such layouts closed
+// (firmware_artifact rejects them at build time; replay_operation
+// returns a bounds_mismatch finding), and every snapshot loop clamps at
+// 0xffff rather than wrap.
+//
 // The or_bytes length field is 16 bits: an OR snapshot larger than
 // `max_or_bytes` is unencodable and is rejected with bad_length (it used
 // to be silently truncated, yielding a frame that could never decode).

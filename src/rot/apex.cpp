@@ -14,7 +14,7 @@ std::string to_string(apex_violation v) {
   return "?";
 }
 
-std::uint8_t apex_monitor::read8(std::uint16_t addr) {
+std::uint8_t apex_monitor::peek8(std::uint16_t addr) const {
   const std::uint16_t off = addr - map_.meta_base;
   auto word_byte = [&](std::uint16_t v) {
     return static_cast<std::uint8_t>((off % 2) ? (v >> 8) : (v & 0xff));

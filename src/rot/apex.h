@@ -41,7 +41,8 @@ class apex_monitor final : public emu::watcher, public emu::mmio_device {
   bool owns(std::uint16_t addr) const override {
     return addr >= map_.meta_base && addr < map_.meta_base + 32;
   }
-  std::uint8_t read8(std::uint16_t addr) override;
+  std::uint8_t read8(std::uint16_t addr) override { return peek8(addr); }
+  std::uint8_t peek8(std::uint16_t addr) const override;
   void write8(std::uint16_t addr, std::uint8_t value) override;
 
   // --- watcher (the hardware signals) -------------------------------------
@@ -72,8 +73,9 @@ class apex_monitor final : public emu::watcher, public emu::mmio_device {
  private:
   bool in_er(std::uint16_t a) const { return a >= er_min_ && a <= er_max_; }
   bool in_or(std::uint16_t a) const {
-    // or_max is the address of the top log slot (a word), hence +1.
-    return a >= or_min_ && a <= static_cast<std::uint16_t>(or_max_ + 1);
+    // or_max is the address of the top log slot (a word), hence +1 — in
+    // 32-bit arithmetic so an OR abutting 0xffff does not wrap to empty.
+    return a >= or_min_ && a <= static_cast<std::uint32_t>(or_max_) + 1;
   }
   void violate(apex_violation v, std::uint16_t addr);
 

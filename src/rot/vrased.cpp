@@ -70,15 +70,22 @@ void vrased_rot::run_swatt() {
 
   // Snapshot the attested regions exactly as SW-Att would read them. ER
   // covers [er_min, er_max+1]: er_max is the address of the final (one
-  // word) instruction, so the range includes both of its bytes.
+  // word) instruction, so the range includes both of its bytes. The
+  // 0xffff clamps keep the uint16 casts from wrapping a top-of-memory
+  // bound's tail read to 0x0000 — the hardware would just stop at the
+  // last byte of the address space.
   byte_vec er_bytes;
-  for (std::uint32_t a = er_min;
-       a <= static_cast<std::uint32_t>(er_max) + 1 && er_min != 0; ++a) {
+  for (std::uint32_t a = er_min; a <= static_cast<std::uint32_t>(er_max) +
+                                          1 &&
+                                 a <= 0xffffu && er_min != 0;
+       ++a) {
     er_bytes.push_back(bus.peek8(static_cast<std::uint16_t>(a)));
   }
   byte_vec or_bytes;
-  for (std::uint32_t a = or_min;
-       a <= static_cast<std::uint32_t>(or_max) + 1 && or_min != 0; ++a) {
+  for (std::uint32_t a = or_min; a <= static_cast<std::uint32_t>(or_max) +
+                                          1 &&
+                                 a <= 0xffffu && or_min != 0;
+       ++a) {
     or_bytes.push_back(bus.peek8(static_cast<std::uint16_t>(a)));
   }
   const auto chal = apex_.challenge();

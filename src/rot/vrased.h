@@ -66,6 +66,11 @@ class vrased_rot final : public emu::watcher, public emu::mmio_device {
     return map_.in_key(addr);
   }
   std::uint8_t read8(std::uint16_t addr) override;
+  /// The gated view read8 returns, without recording a violation: a peek
+  /// is the host observing the bus, not software issuing a read.
+  std::uint8_t peek8(std::uint16_t addr) const override {
+    return swatt_active_ ? key_[addr - map_.key_base] : 0;
+  }
   void write8(std::uint16_t addr, std::uint8_t value) override;
 
   // --- watcher -------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include "rot/attest.h"
 #include "verifier/cfa_check.h"
 #include "verifier/replay.h"
+#include "verifier/replay_cache.h"
 
 namespace dialed::verifier {
 
@@ -119,6 +120,26 @@ firmware_artifact::firmware_artifact(instr::linked_program prog,
     id_ = *precomputed_id;
     id_precomputed_ = true;
   }
+
+  // Fail closed on layouts that abut the top of the address space. The
+  // topmost OR slot spans [or_max, or_max+1] and an instruction fetch at
+  // pc reads [pc, pc+5]; or_max = 0xffff or er_max > 0xfffa would make
+  // those windows wrap to 0x0000 in 16-bit arithmetic. Rather than give
+  // every downstream loop a wrapping special case, reject the layout at
+  // artifact build time — no real map needs it (flash tops out below the
+  // IVT) and a forged report attesting such bounds is already caught by
+  // the bounds_mismatch check in verify().
+  if (prog_.options.map.or_max == 0xffff) {
+    throw error(
+        "verifier: or_max = 0xffff — the topmost OR slot would wrap past "
+        "the top of the address space");
+  }
+  if (prog_.er_max > 0xfffa) {
+    throw error(
+        "verifier: er_max > 0xfffa — the instruction fetch window would "
+        "wrap past the top of the address space");
+  }
+
   er_bytes_ = prog_.er_bytes();
 
   // Prebuild the fixed MAC-message prefix (header ‖ ER) for both EXEC
@@ -153,6 +174,8 @@ firmware_artifact::firmware_artifact(instr::linked_program prog,
         static_cast<std::size_t>(prog_.er_max - prog_.er_min) / 2 + 1;
     decoded_.resize(n);
     decoded_valid_.assign(n, 0);
+    decoded_flags_.assign(n, 0);
+    site_index_.assign(n, nullptr);
     for (std::size_t i = 0; i < n; ++i) {
       const auto pc =
           static_cast<std::uint16_t>(prog_.er_min + 2 * i);
@@ -162,6 +185,10 @@ firmware_artifact::firmware_artifact(instr::linked_program prog,
       try {
         decoded_[i] = isa::decode(words, pc);
         decoded_valid_[i] = 1;
+        if (is_ret_instruction(decoded_[i].ins)) decoded_flags_[i] |= df_ret;
+        if (decoded_[i].ins.op == isa::opcode::call) {
+          decoded_flags_[i] |= df_call;
+        }
       } catch (const error&) {
         // Not every even address is an instruction boundary; callers that
         // land here decode live and get the identical error.
@@ -169,7 +196,8 @@ firmware_artifact::firmware_artifact(instr::linked_program prog,
     }
   }
 
-  // Resolve the compiler's access sites to code addresses.
+  // Resolve the compiler's access sites to code addresses, then index
+  // the in-ER ones into the flat per-pc array site_at() serves from.
   for (const auto& s : prog_.compile_info.access_sites) {
     bounds_site info;
     info.object = s.object;
@@ -180,6 +208,14 @@ firmware_artifact::firmware_artifact(instr::linked_program prog,
       info.global_base = prog_.global_addrs.at(s.object);
     }
     sites_[prog_.image.symbol(s.label)] = info;
+  }
+  for (const auto& [pc, site] : sites_) {
+    if (pc >= prog_.er_min && pc <= prog_.er_max &&
+        ((pc - prog_.er_min) & 1) == 0) {
+      site_index_[static_cast<std::size_t>(pc - prog_.er_min) / 2] = &site;
+    } else {
+      sites_outside_er_ = true;
+    }
   }
 
   // Stub labels the CF-Log walker classifies conditionals by.
@@ -211,15 +247,6 @@ bool firmware_artifact::is_taken_label(std::uint16_t addr) const {
                             addr);
 }
 
-const isa::decoded* firmware_artifact::decoded_at(std::uint16_t pc) const {
-  if (pc < prog_.er_min || pc > prog_.er_max ||
-      ((pc - prog_.er_min) & 1) != 0) {
-    return nullptr;
-  }
-  const std::size_t i = static_cast<std::size_t>(pc - prog_.er_min) / 2;
-  return decoded_valid_[i] ? &decoded_[i] : nullptr;
-}
-
 verdict firmware_artifact::verify(
     const report_view& report, std::span<const std::uint8_t> key,
     const std::vector<std::shared_ptr<policy>>& policies,
@@ -232,7 +259,7 @@ verdict firmware_artifact::verify(
     const report_view& report, const crypto::hmac_keystate& key_state,
     const std::vector<std::shared_ptr<policy>>& policies,
     std::optional<std::array<std::uint8_t, 16>> expected_challenge,
-    verify_timings* timings) const {
+    verify_timings* timings, replay_memo* memo) const {
   verdict v;
 
   // ---- 1. configuration ----
@@ -333,7 +360,12 @@ verdict firmware_artifact::verify(
     return v;
   }
 
-  replay_result rr = replay_operation(*this, report, policies);
+  // Replay is a pure function of (artifact, attested inputs): the memo is
+  // only consulted when no policies run (policies may carry state the
+  // cache cannot key on).
+  replay_result rr = (memo != nullptr && policies.empty())
+                         ? memo->get_or_replay(*this, report)
+                         : replay_operation(*this, report, policies);
   v.findings.insert(v.findings.end(), rr.findings.begin(),
                     rr.findings.end());
   v.replay_instructions = rr.instructions;
@@ -432,6 +464,8 @@ std::size_t firmware_artifact::footprint_bytes() const {
   n += flat_.capacity();
   n += decoded_.capacity() * sizeof(isa::decoded);
   n += decoded_valid_.capacity();
+  n += decoded_flags_.capacity();
+  n += site_index_.capacity() * sizeof(const bounds_site*);
   n += taken_labels_.capacity() * sizeof(std::uint16_t);
   for (const auto& [pc, s] : sites_) {
     (void)pc;

@@ -41,10 +41,23 @@
 
 namespace dialed::verifier {
 
-class policy;  // replay.h
+class policy;       // replay.h
+class replay_memo;  // replay_cache.h
 
 /// Content address of a firmware image (SHA-256).
 using firmware_id = std::array<std::uint8_t, 32>;
+
+/// The instrumented `ret` idiom (`mov @SP+, PC`) — the pattern both the
+/// replay loop's return-address witness and the artifact's predecoded
+/// flags classify by. One definition so the cached and live-decode paths
+/// can never disagree.
+constexpr bool is_ret_instruction(const isa::instruction& ins) {
+  return ins.op == isa::opcode::mov &&
+         ins.src.mode == isa::addr_mode::indirect_inc &&
+         ins.src.base == isa::REG_SP &&
+         ins.dst.mode == isa::addr_mode::reg &&
+         ins.dst.base == isa::REG_PC;
+}
 
 /// One compiler-recorded array access, resolved to its code address: at
 /// this site r15 holds the effective address of an access into `object`,
@@ -108,8 +121,37 @@ class firmware_artifact {
   /// image. Callers fall back to a live decode (identical bytes, so
   /// identical result or identical error) — and MUST do so for every pc
   /// once replayed code has been overwritten (see replay.cpp's dirty
-  /// tracking).
-  const isa::decoded* decoded_at(std::uint16_t pc) const;
+  /// tracking). Header-inline: this sits on the replay loop's
+  /// per-instruction path.
+  const isa::decoded* decoded_at(std::uint16_t pc) const {
+    if (pc < prog_.er_min || pc > prog_.er_max ||
+        ((pc - prog_.er_min) & 1) != 0) {
+      return nullptr;
+    }
+    const std::size_t i = static_cast<std::size_t>(pc - prog_.er_min) / 2;
+    return decoded_valid_[i] ? &decoded_[i] : nullptr;
+  }
+
+  /// Classification bits precomputed alongside the decode cache; only
+  /// meaningful where decoded_at(pc) is non-null.
+  enum : std::uint8_t { df_ret = 1, df_call = 2 };
+  std::uint8_t decoded_flags(std::uint16_t pc) const {
+    return decoded_flags_[static_cast<std::size_t>(pc - prog_.er_min) / 2];
+  }
+
+  /// Access-site lookup for one code address, O(1) for sites inside ER
+  /// (the only place instrumented code executes from) — the replay loop
+  /// asks this once per instruction, and the old per-pc map::find was
+  /// measurable at fleet batch rates.
+  const bounds_site* site_at(std::uint16_t pc) const {
+    if (pc >= prog_.er_min && pc <= prog_.er_max &&
+        ((pc - prog_.er_min) & 1) == 0) {
+      return site_index_[static_cast<std::size_t>(pc - prog_.er_min) / 2];
+    }
+    if (!sites_outside_er_) return nullptr;
+    const auto it = sites_.find(pc);
+    return it == sites_.end() ? nullptr : &it->second;
+  }
 
   /// Full §III verification of one report against this firmware, under a
   /// given device key. `policies` may be empty; `expected_challenge`
@@ -124,14 +166,18 @@ class firmware_artifact {
 
   /// Same, from a cached HMAC key schedule for the device key (what
   /// fleet::device_record carries) — skips four key-block compressions
-  /// per report. `timings`, when non-null, receives the MAC/replay wall
+  /// per report. `timings`, when non-null, receives the MAC/replay stage
   /// split for pipeline stage attribution (no clock reads when null).
+  /// `memo`, when non-null AND `policies` is empty, serves the replay
+  /// stage from the memo's cache keyed on (artifact id, attested-input
+  /// digest) — see replay_cache.h for why nonce/MAC stay outside the key.
   verdict verify(const report_view& report,
                  const crypto::hmac_keystate& key_state,
                  const std::vector<std::shared_ptr<policy>>& policies,
                  std::optional<std::array<std::uint8_t, 16>>
                      expected_challenge = std::nullopt,
-                 verify_timings* timings = nullptr) const;
+                 verify_timings* timings = nullptr,
+                 replay_memo* memo = nullptr) const;
 
   /// Approximate heap+object footprint of this artifact (metrics: fleet
   /// verifier memory is artifacts * this, not devices * program).
@@ -160,9 +206,14 @@ class firmware_artifact {
   std::map<std::uint16_t, bounds_site> sites_;
   std::vector<std::uint16_t> taken_labels_;  ///< sorted
   /// Decode cache over [er_min, er_max]: entry (pc - er_min)/2; a parallel
-  /// validity bitmap marks addresses that do not decode as laid out.
+  /// validity bitmap marks addresses that do not decode as laid out, a
+  /// parallel flags array carries df_* classification bits, and a parallel
+  /// pointer array resolves access sites without the map.
   std::vector<isa::decoded> decoded_;
   std::vector<std::uint8_t> decoded_valid_;
+  std::vector<std::uint8_t> decoded_flags_;
+  std::vector<const bounds_site*> site_index_;
+  bool sites_outside_er_ = false;
 };
 
 }  // namespace dialed::verifier

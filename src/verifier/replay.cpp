@@ -1,5 +1,7 @@
 #include "verifier/replay.h"
 
+#include <algorithm>
+#include <atomic>
 #include <bitset>
 #include <map>
 #include <optional>
@@ -9,6 +11,18 @@
 #include "verifier/firmware_artifact.h"
 
 namespace dialed::verifier {
+
+namespace {
+std::atomic<replay_dispatch> forced_dispatch{replay_dispatch::fast};
+}  // namespace
+
+void replay_force_dispatch(replay_dispatch d) {
+  forced_dispatch.store(d, std::memory_order_relaxed);
+}
+
+replay_dispatch replay_forced_dispatch() {
+  return forced_dispatch.load(std::memory_order_relaxed);
+}
 
 std::uint16_t replay_state::global(const std::string& name) const {
   const auto it = prog_.global_addrs.find(name);
@@ -298,10 +312,9 @@ class replay_engine final : public emu::watcher {
 
   // ---- detectors ----
   void check_site(std::uint16_t pc) {
-    const auto& sites = fw_.sites();
-    const auto it = sites.find(pc);
-    if (it == sites.end()) return;
-    const bounds_site& s = it->second;
+    const bounds_site* sp = fw_.site_at(pc);
+    if (sp == nullptr) return;
+    const bounds_site& s = *sp;
     const std::uint16_t ea = reg(15);
     std::uint16_t lo, hi;
     if (s.is_global) {
@@ -419,6 +432,10 @@ class replay_engine final : public emu::watcher {
   /// Replayed code overwrote bytes the decode cache covers; decode live
   /// from the bus for the rest of the run.
   bool code_dirty_ = false;
+  /// Sampled once per replay so a mid-run flip of the test hook cannot
+  /// mix dispatch paths within one execution.
+  const bool legacy_decode_ =
+      replay_forced_dispatch() == replay_dispatch::legacy;
   std::uint16_t saved_sp_ = 0;
   std::uint16_t current_pc_ = 0;
   isa::instruction current_ins_{};
@@ -492,11 +509,23 @@ replay_result replay_engine::run() {
       // Decode (for feeding) without executing — through the artifact's
       // predecoded index while the code bytes are pristine, live from the
       // bus once an attack overwrote them (identical bytes -> identical
-      // decode, so the cache can never change a verdict).
-      const isa::decoded* dp =
-          code_dirty_ ? nullptr : fw_.decoded_at(pc);
+      // decode, so the cache can never change a verdict). The legacy pin
+      // (test hook) forces the live path for every instruction.
+      const isa::decoded* dp = (legacy_decode_ || code_dirty_)
+                                   ? nullptr
+                                   : fw_.decoded_at(pc);
       isa::decoded live;
       if (dp == nullptr) {
+        if (pc > 0xfffa) {
+          // The 6-byte fetch window [pc, pc+5] would wrap past 0xffff to
+          // 0x0000; the real MCU has no code there (flash tops out below
+          // the IVT), so fail closed instead of decoding wrapped bytes.
+          add_finding(attack_kind::replay_divergence,
+                      "instruction fetch window at " + hex16(pc) +
+                          " wraps past the top of memory",
+                      pc);
+          break;
+        }
         std::array<std::uint16_t, 3> words = {
             m_.get_bus().peek16(pc),
             m_.get_bus().peek16(static_cast<std::uint16_t>(pc + 2)),
@@ -510,12 +539,13 @@ replay_result replay_engine::run() {
       feed_for(d.ins, pc);
       propagate_taint(d.ins);
 
-      // Return-address witness: `ret` must pop what the call pushed.
-      const bool is_ret = d.ins.op == isa::opcode::mov &&
-                          d.ins.src.mode == isa::addr_mode::indirect_inc &&
-                          d.ins.src.base == isa::REG_SP &&
-                          d.ins.dst.mode == isa::addr_mode::reg &&
-                          d.ins.dst.base == isa::REG_PC;
+      // Return-address witness: `ret` must pop what the call pushed. The
+      // predecoded index carries the classification as a flag; the live
+      // path computes the same shared predicate.
+      const bool is_ret =
+          dp != &live
+              ? (fw_.decoded_flags(pc) & firmware_artifact::df_ret) != 0
+              : is_ret_instruction(d.ins);
       if (is_ret) {
         const std::uint16_t sp = reg(isa::REG_SP);
         const std::uint16_t actual = m_.get_bus().peek16(sp);
@@ -573,8 +603,13 @@ replay_result replay_engine::run() {
     }
   }
 
-  for (std::uint32_t a = report_.or_min;
-       a <= static_cast<std::uint32_t>(report_.or_max) + 1; ++a) {
+  // Extract the replayed OR snapshot [or_min, or_max+1]. The clamp keeps
+  // the loop inside the address space even for an (elsewhere-rejected)
+  // or_max of 0xffff — without it the uint16 cast would wrap the tail
+  // read to 0x0000 and the loop bound would overflow.
+  const std::uint32_t or_top = std::min<std::uint32_t>(
+      static_cast<std::uint32_t>(report_.or_max) + 1, 0xffff);
+  for (std::uint32_t a = report_.or_min; a <= or_top; ++a) {
     result_.replay_or_bytes.push_back(
         m_.get_bus().peek8(static_cast<std::uint16_t>(a)));
   }
@@ -586,6 +621,20 @@ replay_result replay_engine::run() {
 replay_result replay_operation(
     const firmware_artifact& fw, const report_view& report,
     const std::vector<std::shared_ptr<policy>>& policies) {
+  if (report.or_max == 0xffff || report.er_max > 0xfffa) {
+    // Fail closed before touching a machine: the OR snapshot covers
+    // [or_min, or_max+1] and a fetch reads [pc, pc+5]; these bounds would
+    // wrap past 0xffff. Unreachable through verify() — the artifact
+    // constructor rejects such layouts and verify() requires the report's
+    // bounds to match the program's — but the pure entry point must not
+    // rely on its callers for that.
+    replay_result r;
+    r.findings.push_back(
+        {attack_kind::bounds_mismatch,
+         "attested region abuts the top of the address space", 0,
+         report.er_max > 0xfffa ? report.er_max : report.or_max});
+    return r;
+  }
   machine_lease lease(fw.program().options.map);
   replay_engine engine(fw, report, policies, lease.machine());
   return engine.run();

@@ -1,0 +1,65 @@
+#include "verifier/replay_cache.h"
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+#include "verifier/firmware_artifact.h"
+
+namespace dialed::verifier {
+
+replay_memo::key_t replay_memo::make_key(const firmware_artifact& fw,
+                                         const report_view& report) {
+  crypto::sha256 h;
+  const auto& id = fw.id();
+  h.update({id.data(), id.size()});
+  std::array<std::uint8_t, 8> bounds{};
+  store_le16(bounds, 0, report.er_min);
+  store_le16(bounds, 2, report.er_max);
+  store_le16(bounds, 4, report.or_min);
+  store_le16(bounds, 6, report.or_max);
+  h.update(bounds);
+  // or_bytes is the full attested input vector: entry registers, saved SP
+  // and every I-Log slot the replay will feed from.
+  h.update(report.or_bytes);
+  return h.finish();
+}
+
+replay_result replay_memo::get_or_replay(const firmware_artifact& fw,
+                                         const report_view& report) {
+  static const std::vector<std::shared_ptr<policy>> no_policies;
+  if (max_entries_ == 0) {
+    return replay_operation(fw, report, no_policies);
+  }
+
+  const key_t key = make_key(fw, report);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->result;  // copy out under the lock
+    }
+  }
+
+  // Miss: replay outside the lock — this is the multi-millisecond part,
+  // and two racing misses on one key just produce the same pure result.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  replay_result result = replay_operation(fw, report, no_policies);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // A racing miss inserted first; refresh recency and keep its copy.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return result;
+  }
+  lru_.push_front({key, result});
+  index_[key] = lru_.begin();
+  while (lru_.size() > max_entries_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return result;
+}
+
+}  // namespace dialed::verifier

@@ -1,0 +1,100 @@
+// Replay memoization (PR 10 tentpole, layer 3). At fleet scale the same
+// firmware is attested over and over, and across rounds a device that did
+// not change state produces byte-identical attested inputs. replay_result
+// is a PURE function of (artifact, ER/OR bounds, OR bytes):
+//
+//   * the artifact's content id covers the image, the memory map, the
+//     instrumentation mode and the access-site table — everything the
+//     abstract executor derives behavior from;
+//   * the OR bytes carry the entry argument registers, the saved SP and
+//     every I-Log-fed value, i.e. the entire attested input vector the
+//     replay consumes.
+//
+// The challenge nonce and the MAC are deliberately NOT part of the key:
+// replay is independent of both. The MAC binds the OR bytes to the device
+// key and nonce and is verified per report BEFORE the memo is consulted
+// (firmware_artifact::verify), so a cache hit can only be served for an
+// input vector that freshly authenticated — memoization never weakens
+// anti-replay. Policies are also outside the key: verify() bypasses the
+// memo whenever policies run.
+#ifndef DIALED_VERIFIER_REPLAY_CACHE_H
+#define DIALED_VERIFIER_REPLAY_CACHE_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "verifier/replay.h"
+
+namespace dialed::verifier {
+
+class firmware_artifact;
+
+/// Bounded LRU cache of replay results, safe for concurrent use by the
+/// hub's verify workers. A miss runs the replay OUTSIDE the lock (replays
+/// are the expensive part; concurrent misses on the same key simply both
+/// replay — identical pure results, last insert wins).
+class replay_memo {
+ public:
+  /// `max_entries` bounds the cache; 0 disables it (every call replays).
+  explicit replay_memo(std::size_t max_entries)
+      : max_entries_(max_entries) {}
+
+  replay_memo(const replay_memo&) = delete;
+  replay_memo& operator=(const replay_memo&) = delete;
+
+  /// Serve `(fw, report)` from the cache, or replay (no policies) and
+  /// remember the result.
+  replay_result get_or_replay(const firmware_artifact& fw,
+                              const report_view& report);
+
+  std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+
+ private:
+  using key_t = std::array<std::uint8_t, 32>;
+
+  /// SHA-256 over (artifact id ‖ bounds ‖ OR bytes) — see the header
+  /// comment for what that covers and what it deliberately excludes.
+  static key_t make_key(const firmware_artifact& fw,
+                        const report_view& report);
+
+  struct key_hash {
+    std::size_t operator()(const key_t& k) const {
+      // The key is itself a SHA-256 digest: its first bytes are already
+      // uniformly distributed.
+      std::size_t h = 0;
+      for (std::size_t i = 0; i < sizeof(h); ++i) {
+        h = (h << 8) | k[i];
+      }
+      return h;
+    }
+  };
+
+  struct entry {
+    key_t key;
+    replay_result result;
+  };
+
+  const std::size_t max_entries_;
+  mutable std::mutex mu_;
+  std::list<entry> lru_;  ///< front = most recently used
+  std::unordered_map<key_t, std::list<entry>::iterator, key_hash> index_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace dialed::verifier
+
+#endif  // DIALED_VERIFIER_REPLAY_CACHE_H

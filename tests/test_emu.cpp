@@ -489,5 +489,59 @@ TEST(machine, halt_code_word_write) {
   EXPECT_TRUE(m->halted());
 }
 
+TEST(bus, peek_is_authoritative_for_mmio_addresses) {
+  // Regression (PR 10): peek8/peek16 used to read the raw RAM array under
+  // device-owned addresses, so a host observation of a peripheral register
+  // disagreed with what the program would read. The page table now gives
+  // the device the one authoritative answer for both paths.
+  emu::memory_map map;
+  machine m{};
+  m.get_bus().write8(map.p3out, 0x5a);
+  m.gpio().set_input(0x07);
+  EXPECT_EQ(m.gpio().output(), 0x5a);
+  EXPECT_EQ(m.get_bus().peek8(map.p3out), 0x5a);
+  EXPECT_EQ(m.get_bus().peek8(map.p3in), 0x07);
+  // p3in/p3out are adjacent (0x18/0x19): a 16-bit peek must compose the
+  // same per-byte device answers.
+  EXPECT_EQ(m.get_bus().peek16(map.p3in), 0x5a07);
+
+  m.adc().push_sample(0x0123);
+  m.get_bus().write8(map.adc_mem, 0);  // trigger a conversion
+  EXPECT_EQ(m.get_bus().peek16(map.adc_mem), 0x0123);
+}
+
+TEST(bus, peek_does_not_consume_the_net_fifo) {
+  // Observation must be side-effect-free: peeking the RX head leaves the
+  // FIFO depth untouched, and only the program's ack (a write to net_data)
+  // advances it.
+  emu::memory_map map;
+  machine m{};
+  m.net().push_rx(0xaa);
+  m.net().push_rx(0xbb);
+  EXPECT_EQ(m.get_bus().peek8(map.net_data), 0xaa);
+  EXPECT_EQ(m.get_bus().peek8(map.net_data), 0xaa);
+  EXPECT_EQ(m.get_bus().peek8(map.net_avail), 2);
+  m.get_bus().write8(map.net_data, 0);  // ack: pop the head
+  EXPECT_EQ(m.get_bus().peek8(map.net_data), 0xbb);
+  EXPECT_EQ(m.get_bus().peek8(map.net_avail), 1);
+}
+
+TEST(bus, page_table_stays_coherent_across_recycle) {
+  // recycle() clears RAM and re-arms the peripherals but never
+  // adds/removes devices — the dispatch page table must keep routing
+  // device addresses afterwards.
+  emu::memory_map map;
+  machine m{};
+  m.get_bus().write8(map.p3out, 0x11);
+  m.recycle();
+  EXPECT_EQ(m.get_bus().peek8(map.p3out), m.gpio().output());
+  m.get_bus().write8(map.p3out, 0x22);
+  EXPECT_EQ(m.get_bus().peek8(map.p3out), 0x22);
+  EXPECT_EQ(m.gpio().output(), 0x22);
+  // Plain RAM still reads/writes through the no-device fast path.
+  m.get_bus().write8(0x0200, 0x33);
+  EXPECT_EQ(m.get_bus().peek8(0x0200), 0x33);
+}
+
 }  // namespace
 }  // namespace dialed::emu
